@@ -1,0 +1,191 @@
+// Package repro's root benchmarks map one testing.B benchmark to each table
+// and figure of the paper's evaluation (Section IV). Every benchmark
+// iteration runs the figure's workload on the simulated cluster and reports
+// the *virtual* collective runtime as the custom metric "virtual-us/op"
+// (the number the paper plots); the wall-clock ns/op measures the simulator
+// itself. Quick shapes keep `go test -bench=.` under a few minutes; the
+// full paper-scale sweeps live in cmd/pipmcoll-bench -full, with results
+// recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/fabric"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// benchSpec runs one measurement per b.N iteration and reports the virtual
+// runtime metric.
+func benchSpec(b *testing.B, spec bench.Spec) {
+	b.Helper()
+	var virtual float64
+	for i := 0; i < b.N; i++ {
+		m, err := bench.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual = m.MeanMicros()
+	}
+	b.ReportMetric(virtual, "virtual-us/op")
+}
+
+// benchFigure sweeps a figure's series (libraries) at representative points.
+func benchFigure(b *testing.B, op bench.Op, nodes, ppn int, sizes []int, ls []*libs.Library) {
+	b.Helper()
+	for _, size := range sizes {
+		for _, l := range ls {
+			b.Run(fmt.Sprintf("%s/%dB", l.Name(), size), func(b *testing.B) {
+				benchSpec(b, bench.Spec{Lib: l, Op: op, Nodes: nodes, PPN: ppn,
+					Bytes: size, Warmup: 1, Iters: 1})
+			})
+		}
+	}
+}
+
+func pipPair() []*libs.Library { return []*libs.Library{libs.PiPMPICH(), libs.PiPMColl()} }
+
+// BenchmarkFig1MessageRate regenerates Figure 1a: message rate at 4 kB for
+// increasing sender/receiver pair counts.
+func BenchmarkFig1MessageRate(b *testing.B) {
+	for _, k := range []int{1, 4, 18} {
+		b.Run(fmt.Sprintf("pairs%d", k), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				rate, _ = bench.FloodRates(k, 200, 4<<10, fabric.DefaultParams())
+			}
+			b.ReportMetric(rate/1e6, "Mmsg/s")
+		})
+	}
+}
+
+// BenchmarkFig1Throughput regenerates Figure 1b: throughput at 128 kB.
+func BenchmarkFig1Throughput(b *testing.B) {
+	for _, k := range []int{1, 4, 18} {
+		b.Run(fmt.Sprintf("pairs%d", k), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				_, bw = bench.FloodRates(k, 50, 128<<10, fabric.DefaultParams())
+			}
+			b.ReportMetric(bw/1e9, "GB/s")
+		})
+	}
+}
+
+// BenchmarkFig6Scatter regenerates Figure 6: scatter scalability, baseline
+// vs PiP-MColl at 16 B and 1 kB.
+func BenchmarkFig6Scatter(b *testing.B) {
+	benchFigure(b, bench.OpScatter, 8, 6, []int{16, 1 << 10}, pipPair())
+}
+
+// BenchmarkFig7Allgather regenerates Figure 7: allgather scalability.
+func BenchmarkFig7Allgather(b *testing.B) {
+	benchFigure(b, bench.OpAllgather, 8, 6, []int{16, 1 << 10}, pipPair())
+}
+
+// BenchmarkFig8Allreduce regenerates Figure 8: allreduce scalability at 16
+// and 1k doubles.
+func BenchmarkFig8Allreduce(b *testing.B) {
+	benchFigure(b, bench.OpAllreduce, 8, 6, []int{16 * 8, 1024 * 8}, pipPair())
+}
+
+// BenchmarkFig9ScatterSmall regenerates Figure 9: small-message scatter
+// across all five libraries.
+func BenchmarkFig9ScatterSmall(b *testing.B) {
+	benchFigure(b, bench.OpScatter, 16, 6, []int{16, 256, 1 << 10}, libs.All())
+}
+
+// BenchmarkFig10AllgatherSmall regenerates Figure 10: small-message
+// allgather across all five libraries.
+func BenchmarkFig10AllgatherSmall(b *testing.B) {
+	benchFigure(b, bench.OpAllgather, 16, 6, []int{16, 64, 512}, libs.All())
+}
+
+// BenchmarkFig11AllreduceSmall regenerates Figure 11: small-count allreduce
+// across all five libraries.
+func BenchmarkFig11AllreduceSmall(b *testing.B) {
+	benchFigure(b, bench.OpAllreduce, 16, 6, []int{2 * 8, 32 * 8, 64 * 8}, libs.All())
+}
+
+// BenchmarkFig12ScatterLarge regenerates Figure 12: medium/large scatter.
+func BenchmarkFig12ScatterLarge(b *testing.B) {
+	benchFigure(b, bench.OpScatter, 8, 4, []int{1 << 10, 64 << 10, 512 << 10}, libs.All())
+}
+
+// BenchmarkFig13AllgatherLarge regenerates Figure 13: medium/large
+// allgather including the PiP-MColl-small ablation (the 64 kB switch).
+func BenchmarkFig13AllgatherLarge(b *testing.B) {
+	ls := append(libs.All(), libs.PiPMCollSmall())
+	benchFigure(b, bench.OpAllgather, 8, 4, []int{4 << 10, 64 << 10, 256 << 10}, ls)
+}
+
+// BenchmarkFig14AllreduceLarge regenerates Figure 14: medium/large
+// allreduce including the PiP-MColl-small ablation (the 8k-count switch).
+func BenchmarkFig14AllreduceLarge(b *testing.B) {
+	ls := append(libs.All(), libs.PiPMCollSmall())
+	benchFigure(b, bench.OpAllreduce, 8, 6, []int{1024 * 8, 16384 * 8, 262144 * 8}, ls)
+}
+
+// BenchmarkAblationOverlap quantifies DESIGN.md ablation 2: the PiP-MColl
+// large allgather (overlapped intranode broadcast) against the same
+// algorithm forced through the small path (no overlap) at one size.
+func BenchmarkAblationOverlap(b *testing.B) {
+	for _, l := range []*libs.Library{libs.PiPMColl(), libs.PiPMCollSmall()} {
+		b.Run(l.Name(), func(b *testing.B) {
+			benchSpec(b, bench.Spec{Lib: l, Op: bench.OpAllgather,
+				Nodes: 8, PPN: 4, Bytes: 128 << 10, Warmup: 1, Iters: 1})
+		})
+	}
+}
+
+// BenchmarkAblationTransport quantifies DESIGN.md ablation 4: identical
+// flat algorithms over each intranode mechanism.
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, l := range []*libs.Library{libs.PiPMPICH(), libs.OpenMPI()} {
+		b.Run(l.Name(), func(b *testing.B) {
+			benchSpec(b, bench.Spec{Lib: l, Op: bench.OpAllreduce,
+				Nodes: 4, PPN: 4, Bytes: 64 << 10, Warmup: 1, Iters: 1})
+		})
+	}
+}
+
+// benchApp times a mini-application end to end on a fresh 4x4 world per
+// iteration, reporting the virtual makespan.
+func benchApp(b *testing.B, l *libs.Library, body func(*mpi.Rank)) {
+	b.Helper()
+	var virtual float64
+	for i := 0; i < b.N; i++ {
+		world := mpi.MustNewWorld(topology.New(4, 4, topology.Block), l.Config())
+		if err := world.Run(body); err != nil {
+			b.Fatal(err)
+		}
+		virtual = simtime.Duration(world.Horizon()).Microseconds()
+	}
+	b.ReportMetric(virtual, "virtual-us/op")
+}
+
+// BenchmarkAppE5 runs each mini-application end to end under PiP-MColl and
+// the PiP-MPICH baseline — the extension experiment E5's headline points.
+func BenchmarkAppE5(b *testing.B) {
+	for _, l := range pipPair() {
+		l := l
+		b.Run("CG/"+l.Name(), func(b *testing.B) {
+			benchApp(b, l, func(r *mpi.Rank) { apps.CG(r, l, 1600, 40) })
+		})
+		b.Run("KMeans/"+l.Name(), func(b *testing.B) {
+			benchApp(b, l, func(r *mpi.Rank) { apps.KMeans(r, l, 300, 8, 6, 8) })
+		})
+		b.Run("SampleSort/"+l.Name(), func(b *testing.B) {
+			benchApp(b, l, func(r *mpi.Rank) { apps.SampleSort(r, 1024) })
+		})
+		b.Run("Jacobi/"+l.Name(), func(b *testing.B) {
+			benchApp(b, l, func(r *mpi.Rank) { apps.Jacobi2D(r, l, 128, 20) })
+		})
+	}
+}

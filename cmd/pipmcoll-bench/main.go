@@ -1,0 +1,104 @@
+// Command pipmcoll-bench regenerates the paper's evaluation figures on the
+// simulated cluster and prints them as aligned tables (and optionally CSV
+// files). Each figure corresponds to one driver in internal/bench; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded runs.
+//
+// Usage:
+//
+//	pipmcoll-bench [-fig 1,6,9] [-full] [-iters 3] [-warmup 2] [-csv DIR]
+//
+// Without -fig, every figure runs in order. Quick mode (default) uses small
+// cluster shapes that finish in seconds; -full uses the largest shapes that
+// fit in memory (see the bench package comment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	figList := flag.String("fig", "", "comma-separated figure ids (default: all)")
+	full := flag.Bool("full", false, "use paper-scale cluster shapes where memory allows")
+	iters := flag.Int("iters", 3, "measured iterations per point")
+	warmup := flag.Int("warmup", 2, "warm-up iterations per point")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	ext := flag.Bool("ext", false, "also run the extension experiments E1-E4 (bcast/gather/reduce/alltoall)")
+	abl := flag.Bool("ablation", false, "also run the ablation experiments A1-A3")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper figures:")
+		for _, f := range bench.Figures() {
+			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
+		}
+		fmt.Println("extensions:")
+		for _, f := range bench.ExtFigures() {
+			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
+		}
+		fmt.Println("ablations and sensitivity:")
+		for _, f := range append(bench.AblationFigures(), bench.SensitivityFigures()...) {
+			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	opts := bench.Opts{Full: *full, Warmup: *warmup, Iters: *iters}
+
+	var figs []bench.Figure
+	if *figList == "" {
+		figs = bench.Figures()
+		if *ext {
+			figs = append(figs, bench.ExtFigures()...)
+		}
+		if *abl {
+			figs = append(figs, bench.AblationFigures()...)
+		}
+	} else {
+		for _, id := range strings.Split(*figList, ",") {
+			f, err := bench.FigureByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			figs = append(figs, f)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Printf("PiP-MColl benchmark harness (%s mode, %d warm-up + %d measured iterations)\n\n",
+		mode, *warmup, *iters)
+
+	for _, f := range figs {
+		start := time.Now()
+		tables := f.Run(opts)
+		fmt.Printf("=== Figure %s: %s  [%.1fs]\n\n", f.ID, f.Title, time.Since(start).Seconds())
+		for i, t := range tables {
+			fmt.Println(t.Format())
+			if *csvDir != "" {
+				name := fmt.Sprintf("fig%s_%d.csv", f.ID, i)
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

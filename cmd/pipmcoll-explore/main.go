@@ -1,0 +1,144 @@
+// Command pipmcoll-explore studies the reproduction's cost model: it prints
+// the active calibration, compares the paper's Section III closed-form
+// predictions against simulated runtimes across message sizes, and runs the
+// design-choice ablations DESIGN.md calls out (multi-object vs
+// single-object, transport mechanism under a fixed algorithm, PiP size-sync
+// on/off via the baseline comparison).
+//
+// Usage:
+//
+//	pipmcoll-explore [-nodes 8] [-ppn 4] [-queue-bw GB/s] [-link-bw GB/s] [-copy-bw GB/s]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/shm"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	ppn := flag.Int("ppn", 4, "processes per node")
+	queueBW := flag.Float64("queue-bw", 0, "override per-queue DMA bandwidth (GB/s)")
+	linkBW := flag.Float64("link-bw", 0, "override node link bandwidth (GB/s)")
+	copyBW := flag.Float64("copy-bw", 0, "override intranode copy bandwidth (GB/s)")
+	memBW := flag.Float64("mem-bw", 0, "enable aggregate node memory contention at this bandwidth (GB/s)")
+	flag.Parse()
+
+	cfg := mpi.DefaultConfig()
+	if *queueBW > 0 {
+		cfg.Fabric.QueueBandwidth = *queueBW * 1e9
+	}
+	if *linkBW > 0 {
+		cfg.Fabric.LinkBandwidth = *linkBW * 1e9
+	}
+	if *copyBW > 0 {
+		cfg.Shm.CopyBandwidth = *copyBW * 1e9
+	}
+	if *memBW > 0 {
+		cfg.Shm.NodeMemBandwidth = *memBW * 1e9
+	}
+
+	fmt.Printf("Calibration (%dx%d cluster):\n", *nodes, *ppn)
+	fmt.Printf("  fabric: wire=%v queueOverhead=%v queueBW=%.3g GB/s linkOverhead=%v linkBW=%.3g GB/s eager=%dB window=%d\n",
+		cfg.Fabric.WireLatency, cfg.Fabric.QueueOverhead, cfg.Fabric.QueueBandwidth/1e9,
+		cfg.Fabric.LinkOverhead, cfg.Fabric.LinkBandwidth/1e9, cfg.Fabric.EagerLimit, cfg.Fabric.InjectionWindow)
+	fmt.Printf("  shm:    alphaR=%v copyBW=%.3g GB/s reduceBW=%.3g GB/s syscall=%v pagefault=%v attach=%v sizeSync=%v\n\n",
+		cfg.Shm.Latency, cfg.Shm.CopyBandwidth/1e9, cfg.Shm.ReduceBandwidth/1e9,
+		cfg.Shm.SyscallCost, cfg.Shm.PageFaultCost, cfg.Shm.AttachCost, cfg.Shm.PiPSizeSync)
+
+	model := bench.NewModel(cfg, *nodes, *ppn)
+	fmt.Printf("Derived Hockney constants: alphaR=%v alphaE=%v betaR=%.3g s/B betaE=%.3g s/B gamma=%.3g s/B\n\n",
+		model.AlphaR, model.AlphaE, model.BetaR, model.BetaE, model.Gamma)
+
+	fmt.Println("Section III predictions vs simulation (PiP-MColl):")
+	fmt.Printf("%-18s %10s %12s %12s %8s\n", "experiment", "size", "predicted", "simulated", "ratio")
+	lib := libs.PiPMColl()
+	rows := []struct {
+		name    string
+		op      bench.Op
+		sizes   []int
+		predict func(int) simtime.Duration
+	}{
+		{"scatter", bench.OpScatter, []int{64, 1 << 10, 16 << 10, 128 << 10}, model.ScatterTime},
+		{"allgather-small", bench.OpAllgather, []int{64, 1 << 10, 8 << 10}, model.AllgatherSmallTime},
+		{"allgather-large", bench.OpAllgather, []int{64 << 10, 256 << 10}, model.AllgatherLargeTime},
+		{"allreduce-small", bench.OpAllreduce, []int{64, 1 << 10, 8 << 10}, model.AllreduceSmallTime},
+		{"allreduce-large", bench.OpAllreduce, []int{64 << 10, 256 << 10}, model.AllreduceLargeTime},
+	}
+	for _, row := range rows {
+		for _, cb := range row.sizes {
+			spec := bench.Spec{Lib: lib, Op: row.op, Nodes: *nodes, PPN: *ppn,
+				Bytes: cb, Warmup: 1, Iters: 1}
+			m := bench.MustRun(spec)
+			pred := row.predict(cb).Microseconds()
+			fmt.Printf("%-18s %10s %10.4gus %10.4gus %8.2f\n",
+				row.name, size(cb), pred, m.MeanMicros(), m.MeanMicros()/pred)
+		}
+	}
+
+	fmt.Println("\nAblation: intranode mechanism under the identical flat algorithm stack")
+	fmt.Printf("%-12s", "size")
+	mechs := []shm.Mechanism{shm.PiP, shm.POSIX, shm.CMA, shm.XPMEM, shm.KNEM}
+	for _, m := range mechs {
+		fmt.Printf(" %12s", m)
+	}
+	fmt.Println(" [us, allreduce]")
+	for _, cb := range []int{256, 8 << 10, 256 << 10} {
+		fmt.Printf("%-12s", size(cb))
+		for _, mech := range mechs {
+			fmt.Printf(" %12.4g", mechTime(cfg, mech, *nodes, *ppn, cb))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nAblation: multi-object vs single-object internode exchange (Figure 1 premise)")
+	fmt.Printf("%-8s %18s %22s\n", "pairs", "msg rate (M/s, 4kB)", "throughput (GB/s, 128kB)")
+	for _, k := range []int{1, 2, 4, 8, *ppn} {
+		r, bw := bench.FloodRates(k, 200, 4<<10, cfg.Fabric)
+		_, bw2 := bench.FloodRates(k, 50, 128<<10, cfg.Fabric)
+		_ = bw
+		fmt.Printf("%-8d %18.3f %22.2f\n", k, r/1e6, bw2/1e9)
+	}
+}
+
+// mechTime measures a flat recursive-doubling allreduce under one intranode
+// mechanism, isolating the transport axis.
+func mechTime(cfg mpi.Config, mech shm.Mechanism, nodes, ppn, cb int) float64 {
+	c := cfg
+	c.Mechanism = mech
+	w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), c)
+	var dur simtime.Duration
+	if err := w.Run(func(r *mpi.Rank) {
+		send := make([]byte, cb)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, cb)
+		lib := libs.PiPMPICH() // flat algorithm stack; transport comes from c
+		// Warm attach caches, then measure.
+		lib.Allreduce(r, send, recv, nums.Sum)
+		r.HarnessBarrier()
+		start := r.Now()
+		lib.Allreduce(r, send, recv, nums.Sum)
+		r.HarnessBarrier()
+		if r.Rank() == 0 {
+			dur = r.Now().Sub(start)
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return dur.Microseconds()
+}
+
+func size(n int) string {
+	if n >= 1<<10 && n%(1<<10) == 0 {
+		return fmt.Sprintf("%dkB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,43 @@
+// Command pipmcoll-tune measures PiP-MColl's small- and large-message
+// algorithm variants across a size ladder on a chosen cluster shape and
+// recommends the switch points (core.Tunables) for that configuration —
+// the offline tuning stage a production MPI library ships with. The paper's
+// 64 kB / 8k-count switches are Bebop's values; other fabrics move the
+// crossovers (see EXPERIMENTS.md ablation A2).
+//
+// Usage:
+//
+//	pipmcoll-tune [-nodes 8] [-ppn 6] [-queue-bw GB/s] [-link-bw GB/s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/mpi"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	ppn := flag.Int("ppn", 6, "processes per node")
+	queueBW := flag.Float64("queue-bw", 0, "override per-queue DMA bandwidth (GB/s)")
+	linkBW := flag.Float64("link-bw", 0, "override node link bandwidth (GB/s)")
+	flag.Parse()
+
+	cfg := mpi.DefaultConfig()
+	if *queueBW > 0 {
+		cfg.Fabric.QueueBandwidth = *queueBW * 1e9
+	}
+	if *linkBW > 0 {
+		cfg.Fabric.LinkBandwidth = *linkBW * 1e9
+	}
+
+	fmt.Printf("tuning PiP-MColl switch points on %dx%d\n\n", *nodes, *ppn)
+	res, err := bench.Tune(cfg, *nodes, *ppn, bench.Opts{Warmup: 1, Iters: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+}

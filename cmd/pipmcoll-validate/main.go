@@ -1,0 +1,76 @@
+// Command pipmcoll-validate sweeps every library profile, collective, and a
+// grid of cluster shapes and payload sizes, verifying each result against
+// the serial reference (the bench runner checks every rank's output). It
+// prints a pass/fail line per combination and exits non-zero on any
+// failure — the repository's end-to-end correctness gate.
+//
+// Usage:
+//
+//	pipmcoll-validate [-quick] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/libs"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller shape/size grid")
+	verbose := flag.Bool("v", false, "print every combination, not just failures")
+	flag.Parse()
+
+	shapes := [][2]int{{1, 1}, {1, 4}, {2, 3}, {4, 4}, {5, 3}, {8, 2}, {4, 6}}
+	sizes := []int{8, 64, 1 << 10, 16 << 10, 96 << 10}
+	if *quick {
+		shapes = [][2]int{{2, 3}, {4, 4}}
+		sizes = []int{64, 96 << 10}
+	}
+	ops := []bench.Op{bench.OpScatter, bench.OpAllgather, bench.OpAllreduce}
+	extOps := []string{"bcast", "gather", "reduce", "alltoall"}
+	ls := append(libs.All(), libs.PiPMCollSmall())
+
+	start := time.Now()
+	total, failed := 0, 0
+	report := func(l *libs.Library, op string, sh [2]int, size int, err error) {
+		total++
+		switch {
+		case err != nil:
+			failed++
+			fmt.Printf("FAIL %-16s %-9s %3dx%-2d %7dB: %v\n",
+				l.Name(), op, sh[0], sh[1], size, err)
+		case *verbose:
+			fmt.Printf("ok   %-16s %-9s %3dx%-2d %7dB\n",
+				l.Name(), op, sh[0], sh[1], size)
+		}
+	}
+	for _, l := range ls {
+		for _, op := range ops {
+			for _, sh := range shapes {
+				for _, size := range sizes {
+					_, err := bench.Run(bench.Spec{
+						Lib: l, Op: op, Nodes: sh[0], PPN: sh[1],
+						Bytes: size, Warmup: 1, Iters: 1,
+					})
+					report(l, string(op), sh, size, err)
+				}
+			}
+		}
+		for _, op := range extOps {
+			for _, sh := range shapes {
+				for _, size := range sizes {
+					err := bench.RunExtension(l, op, sh[0], sh[1], size)
+					report(l, op, sh, size, err)
+				}
+			}
+		}
+	}
+	fmt.Printf("\n%d combinations, %d failed, %.1fs\n", total, failed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

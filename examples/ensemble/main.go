@@ -1,0 +1,98 @@
+// ensemble demonstrates communicators: an ensemble of models trains in
+// parallel, each on its own sub-communicator carved with MPI_Comm_split.
+// Every step, members of one ensemble group average their gradients with a
+// group-local allreduce (baseline algorithms over the comm view), then the
+// group leaders exchange ensemble statistics over a leaders-only
+// communicator. Disjoint groups communicate concurrently without
+// interfering — the tag-window isolation the communicator layer provides.
+//
+//	go run ./examples/ensemble
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+const (
+	nodes    = 4
+	ppn      = 4
+	groups   = 4 // ensemble members
+	gradDim  = 4096
+	steps    = 3
+	groupDim = gradDim * nums.F64Size
+)
+
+func main() {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world, err := mpi.NewWorld(cluster, mpi.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := cluster.Size()
+	perGroup := size / groups
+	fmt.Printf("ensemble of %d models on %v (%d ranks each), %d steps\n\n",
+		groups, cluster, perGroup, steps)
+
+	var makespan simtime.Time
+	err = world.Run(func(r *mpi.Rank) {
+		me := r.Rank()
+		group := me % groups // round-robin over groups mixes nodes
+		gc := mpi.WorldComm(r).Split(group, me)
+		gv := coll.CommView(gc)
+
+		// Leaders communicator: group index 0 of each group.
+		leaderColor := mpi.Undefined
+		if gc.Rank() == 0 {
+			leaderColor = 0
+		}
+		lc := mpi.WorldComm(r).Split(leaderColor, group)
+
+		grad := make([]byte, groupDim)
+		avg := make([]byte, groupDim)
+		losses := make([]byte, groups*nums.F64Size)
+		for step := 0; step < steps; step++ {
+			// "Backprop": group- and step-dependent gradients plus a
+			// compute-time skew.
+			nums.Fill(grad, group*100+step)
+			r.Proc().Advance(simtime.Micros(80 + float64(me%7)*3))
+
+			// Group-local gradient averaging.
+			coll.AllreduceRecDoubling(gv, grad, avg, nums.Sum)
+
+			// Verify inside the simulation: all group members hold the
+			// same vector, equal to perGroup times the pattern.
+			want := nums.PatternValue(group*100+step, 0) * float64(perGroup)
+			if got := nums.F64At(avg, 0); got != want {
+				log.Fatalf("rank %d group %d step %d: avg[0]=%v want %v", me, group, step, got, want)
+			}
+
+			// Leaders exchange a per-group scalar (the "loss") so every
+			// group can see ensemble progress.
+			if lc != nil {
+				mine := make([]byte, nums.F64Size)
+				nums.SetF64At(mine, 0, float64(1000*group+step))
+				coll.AllgatherBruck(coll.CommView(lc), mine, losses)
+				for g := 0; g < groups; g++ {
+					if got := nums.F64At(losses, g); got != float64(1000*g+step) {
+						log.Fatalf("leader of group %d: loss[%d]=%v", group, g, got)
+					}
+				}
+			}
+			// Leaders broadcast the ensemble stats into their group.
+			coll.Bcast(gv, 0, losses)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	makespan = world.Horizon()
+	fmt.Printf("all %d groups trained concurrently; ensemble stats verified everywhere\n", groups)
+	fmt.Printf("virtual makespan: %v\n", makespan)
+}

@@ -1,0 +1,151 @@
+// mlallreduce models the communication pattern of data-parallel deep
+// learning — the workload class the paper's introduction motivates (SCaffe,
+// TensorFlow-over-MPI): every training step, all ranks average a gradient
+// vector with MPI_Allreduce. The example runs a short synthetic training
+// loop per library, layer by layer (a mix of small bias vectors and large
+// weight tensors, so both allreduce algorithms are exercised), and prints
+// the virtual time each library spends communicating per step.
+//
+//	go run ./examples/mlallreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// layer is one parameter tensor of the synthetic model.
+type layer struct {
+	name  string
+	elems int
+}
+
+// A small MLP-like model: large weight matrices, tiny biases.
+var model = []layer{
+	{"fc1.weight", 64 * 1024},
+	{"fc1.bias", 64},
+	{"fc2.weight", 128 * 1024},
+	{"fc2.bias", 128},
+	{"head.weight", 8 * 1024},
+	{"head.bias", 16},
+}
+
+func main() {
+	const (
+		nodes = 8
+		ppn   = 6
+		steps = 3
+	)
+	cluster := topology.New(nodes, ppn, topology.Block)
+	fmt.Printf("data-parallel training on %v, %d steps, %d layers\n\n", cluster, steps, len(model))
+	fmt.Printf("%-12s %16s %16s\n", "library", "comm/step", "total comm")
+
+	for _, lib := range []*libs.Library{libs.IntelMPI(), libs.OpenMPI(), libs.MVAPICH2(), libs.PiPMPICH(), libs.PiPMColl()} {
+		world, err := mpi.NewWorld(cluster, lib.Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total simtime.Duration
+		err = world.Run(func(r *mpi.Rank) {
+			// Per-layer gradient buffers, filled with a deterministic
+			// pattern standing in for backprop output.
+			grads := make([][]byte, len(model))
+			sums := make([][]byte, len(model))
+			for i, l := range model {
+				grads[i] = make([]byte, l.elems*nums.F64Size)
+				sums[i] = make([]byte, l.elems*nums.F64Size)
+				nums.Fill(grads[i], r.Rank()+i)
+			}
+			for step := 0; step < steps; step++ {
+				// "Compute": charge a fixed backprop time so the
+				// communication overlaps realistically with
+				// slightly skewed arrival (stragglers).
+				r.Proc().Advance(simtime.Micros(50 + float64(r.Rank()%5)))
+
+				r.HarnessBarrier()
+				start := r.Now()
+				for i := range model {
+					lib.Allreduce(r, grads[i], sums[i], nums.Sum)
+				}
+				r.HarnessBarrier()
+				if r.Rank() == 0 {
+					total += r.Now().Sub(start)
+				}
+			}
+			// Spot-check the last layer's average on every rank.
+			size := float64(r.Size())
+			want := 0.0
+			for k := 0; k < r.Size(); k++ {
+				want += nums.PatternValue(k+len(model)-1, 0)
+			}
+			if got := nums.F64At(sums[len(model)-1], 0); got != want {
+				log.Fatalf("rank %d: gradient sum %v, want %v (size %v)", r.Rank(), got, want, size)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %16v %16v\n", lib.Name(), total/steps, total)
+	}
+	fmt.Println("\n(gradient averaging verified on every rank)")
+
+	overlapDemo(cluster)
+}
+
+// overlapDemo contrasts blocking and nonblocking gradient averaging: with
+// MPI_Iallreduce, each layer's collective overlaps the next layer's
+// backprop (the standard deep-learning trick), so a step costs roughly
+// max(compute, comm) instead of compute + comm.
+func overlapDemo(cluster *topology.Cluster) {
+	fmt.Println("\noverlap: blocking vs nonblocking PiP-MColl allreduce")
+	for _, async := range []bool{false, true} {
+		world, err := mpi.NewWorld(cluster, libs.PiPMColl().Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl := core.Coll{}
+		err = world.Run(func(r *mpi.Rank) {
+			grads := make([][]byte, len(model))
+			sums := make([][]byte, len(model))
+			for i, l := range model {
+				grads[i] = make([]byte, l.elems*nums.F64Size)
+				sums[i] = make([]byte, l.elems*nums.F64Size)
+				nums.Fill(grads[i], r.Rank()+i)
+			}
+			perLayerCompute := simtime.Micros(120)
+			if async {
+				// Backprop layer by layer; each finished layer's
+				// allreduce rides a helper while the next layer
+				// computes.
+				var ops []*mpi.AsyncOp
+				for i := range model {
+					r.Proc().Advance(perLayerCompute)
+					ops = append(ops, cl.IAllreduce(r, grads[i], sums[i], nums.Sum))
+				}
+				for _, op := range ops {
+					op.Wait(r)
+				}
+			} else {
+				for i := range model {
+					r.Proc().Advance(perLayerCompute)
+					cl.Allreduce(r, grads[i], sums[i], nums.Sum)
+				}
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "blocking "
+		if async {
+			mode = "iallreduce"
+		}
+		fmt.Printf("  %s step: %v\n", mode, simtime.Duration(world.Horizon()))
+	}
+}

@@ -1,0 +1,58 @@
+// sweep runs all three collectives across a message-size ladder for every
+// library profile and prints where PiP-MColl's advantage peaks and where
+// its size-based algorithm switches land — a compact, runnable version of
+// the paper's Figures 9-14 story.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/libs"
+)
+
+func main() {
+	const nodes, ppn = 8, 4
+	sizes := []int{64, 512, 4 << 10, 32 << 10, 128 << 10}
+	ls := append(libs.All(), libs.PiPMCollSmall())
+
+	for _, op := range []bench.Op{bench.OpScatter, bench.OpAllgather, bench.OpAllreduce} {
+		fmt.Printf("=== %s on %dx%d (mean virtual µs; best per row marked *)\n", op, nodes, ppn)
+		fmt.Printf("%-8s", "size")
+		for _, l := range ls {
+			fmt.Printf(" %15s", l.Name())
+		}
+		fmt.Println()
+		for _, size := range sizes {
+			fmt.Printf("%-8s", label(size))
+			best := -1.0
+			times := make([]float64, len(ls))
+			for i, l := range ls {
+				m := bench.MustRun(bench.Spec{Lib: l, Op: op, Nodes: nodes,
+					PPN: ppn, Bytes: size, Warmup: 1, Iters: 2})
+				times[i] = m.MeanMicros()
+				if best < 0 || times[i] < best {
+					best = times[i]
+				}
+			}
+			for _, tm := range times {
+				mark := " "
+				if tm == best {
+					mark = "*"
+				}
+				fmt.Printf(" %14.4g%s", tm, mark)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func label(n int) string {
+	if n >= 1<<10 {
+		return fmt.Sprintf("%dkB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,212 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func runWorld(t *testing.T, lib *libs.Library, nodes, ppn int, body func(*mpi.Rank)) {
+	t.Helper()
+	w, err := mpi.NewWorld(topology.New(nodes, ppn, topology.Block), lib.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+}
+
+func TestCGMatchesSerial(t *testing.T) {
+	const n, iters = 240, 30
+	serial := SerialCG(n, iters)
+	for _, lib := range []*libs.Library{libs.PiPMColl(), libs.PiPMPICH()} {
+		for _, sh := range [][2]int{{2, 3}, {4, 2}} {
+			lib, sh := lib, sh
+			t.Run(fmt.Sprintf("%s %dx%d", lib.Name(), sh[0], sh[1]), func(t *testing.T) {
+				perRank := make([]float64, sh[0]*sh[1])
+				runWorld(t, lib, sh[0], sh[1], func(r *mpi.Rank) {
+					perRank[r.Rank()] = CG(r, lib, n, iters).Residual
+				})
+				got := CGResult{Iterations: iters, Residual: perRank[0]}
+				// Every rank must agree exactly (identical allreduce
+				// results everywhere).
+				for rank, res := range perRank {
+					if res != got.Residual {
+						t.Errorf("rank %d residual %v != rank 0's %v", rank, res, got.Residual)
+					}
+				}
+				// Parallel dot products reorder additions; residuals
+				// agree to high relative precision.
+				relErr := math.Abs(got.Residual-serial.Residual) / serial.Residual
+				if relErr > 1e-9 {
+					t.Errorf("parallel residual %v vs serial %v (rel %v)",
+						got.Residual, serial.Residual, relErr)
+				}
+				// 30 CG iterations must have reduced the residual a lot.
+				if got.Residual > SerialCG(n, 0).Residual/10 {
+					t.Errorf("CG did not converge: %v", got.Residual)
+				}
+			})
+		}
+	}
+}
+
+func TestCGDimensionValidation(t *testing.T) {
+	lib := libs.PiPMColl()
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), lib.Config())
+	if err := w.Run(func(r *mpi.Rank) { CG(r, lib, 13, 1) }); err == nil {
+		t.Fatal("indivisible CG dimension accepted")
+	}
+}
+
+func TestKMeansMatchesSerial(t *testing.T) {
+	const (
+		points = 50
+		dim    = 3
+		k      = 4
+		iters  = 5
+	)
+	for _, sh := range [][2]int{{2, 2}, {3, 2}} {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			lib := libs.PiPMColl()
+			serial := SerialKMeans(sh[0]*sh[1], points, dim, k, iters)
+			runWorld(t, lib, sh[0], sh[1], func(r *mpi.Rank) {
+				got := KMeans(r, lib, points, dim, k, iters)
+				relErr := math.Abs(got.Inertia-serial.Inertia) / serial.Inertia
+				if relErr > 1e-9 {
+					t.Errorf("rank %d inertia %v vs serial %v", r.Rank(), got.Inertia, serial.Inertia)
+				}
+				for c := range got.Centroids {
+					for d := range got.Centroids[c] {
+						if math.Abs(got.Centroids[c][d]-serial.Centroids[c][d]) > 1e-8 {
+							t.Errorf("rank %d centroid (%d,%d) %v vs %v", r.Rank(), c, d,
+								got.Centroids[c][d], serial.Centroids[c][d])
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	lib := libs.PiPMColl()
+	w := mpi.MustNewWorld(topology.New(1, 2, topology.Block), lib.Config())
+	if err := w.Run(func(r *mpi.Rank) { KMeans(r, lib, 10, 2, 0, 1) }); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSampleSortGloballySorted(t *testing.T) {
+	const keys = 200
+	for _, sh := range [][2]int{{2, 2}, {3, 3}, {4, 2}} {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			size := sh[0] * sh[1]
+			lib := libs.PiPMColl()
+			maxPerRank := make([]float64, size)
+			minPerRank := make([]float64, size)
+			counts := make([]int, size)
+			runWorld(t, lib, sh[0], sh[1], func(r *mpi.Rank) {
+				res := SampleSort(r, keys)
+				if res.Global != size*keys {
+					t.Errorf("rank %d global count %d, want %d", r.Rank(), res.Global, size*keys)
+				}
+				if !sort.Float64sAreSorted(res.Local) {
+					t.Errorf("rank %d partition unsorted", r.Rank())
+				}
+				counts[r.Rank()] = len(res.Local)
+				if len(res.Local) > 0 {
+					minPerRank[r.Rank()] = res.Local[0]
+					maxPerRank[r.Rank()] = res.Local[len(res.Local)-1]
+				}
+			})
+			// Partitions must be globally ordered and complete.
+			total := 0
+			for i := 0; i < size; i++ {
+				total += counts[i]
+				if i > 0 && counts[i] > 0 && counts[i-1] > 0 &&
+					minPerRank[i] < maxPerRank[i-1] {
+					t.Errorf("rank %d min %v below rank %d max %v",
+						i, minPerRank[i], i-1, maxPerRank[i-1])
+				}
+			}
+			if total != size*keys {
+				t.Errorf("elements lost: %d of %d", total, size*keys)
+			}
+		})
+	}
+}
+
+func TestSampleSortPreservesMultiset(t *testing.T) {
+	const keys = 64
+	lib := libs.PiPMColl()
+	var gathered []float64
+	runWorld(t, lib, 2, 2, func(r *mpi.Rank) {
+		res := SampleSort(r, keys)
+		gathered = append(gathered, res.Local...) // sim-serialized appends
+	})
+	var want []float64
+	for rank := 0; rank < 4; rank++ {
+		want = append(want, syntheticKeys(rank, keys)...)
+	}
+	sort.Float64s(want)
+	sort.Float64s(gathered)
+	if len(gathered) != len(want) {
+		t.Fatalf("multiset size %d, want %d", len(gathered), len(want))
+	}
+	for i := range want {
+		if gathered[i] != want[i] {
+			t.Fatalf("multiset differs at %d: %v vs %v", i, gathered[i], want[i])
+		}
+	}
+}
+
+func TestSampleSortValidation(t *testing.T) {
+	lib := libs.PiPMColl()
+	w := mpi.MustNewWorld(topology.New(3, 2, topology.Block), lib.Config())
+	if err := w.Run(func(r *mpi.Rank) { SampleSort(r, 3) }); err == nil {
+		t.Fatal("too few keys accepted")
+	}
+}
+
+func TestJacobiMatchesSerial(t *testing.T) {
+	const g, iters = 48, 20
+	serial := SerialJacobi2D(g, iters)
+	if serial.MaxDelta <= 0 || serial.Checksum <= 0 {
+		t.Fatalf("serial degenerate: %+v", serial)
+	}
+	for _, sh := range [][2]int{{2, 2}, {2, 3}, {4, 4}} {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			lib := libs.PiPMColl()
+			runWorld(t, lib, sh[0], sh[1], func(r *mpi.Rank) {
+				got := Jacobi2D(r, lib, g, iters)
+				// The max-delta reduction is order-insensitive: exact match.
+				if got.MaxDelta != serial.MaxDelta {
+					t.Errorf("rank %d delta %v vs serial %v", r.Rank(), got.MaxDelta, serial.MaxDelta)
+				}
+				relErr := math.Abs(got.Checksum-serial.Checksum) / serial.Checksum
+				if relErr > 1e-12 {
+					t.Errorf("rank %d checksum %v vs serial %v", r.Rank(), got.Checksum, serial.Checksum)
+				}
+			})
+		})
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	lib := libs.PiPMColl()
+	w := mpi.MustNewWorld(topology.New(3, 1, topology.Block), lib.Config())
+	if err := w.Run(func(r *mpi.Rank) { Jacobi2D(r, lib, 10, 1) }); err == nil {
+		t.Fatal("indivisible grid accepted")
+	}
+}

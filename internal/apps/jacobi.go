@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// JacobiResult reports a distributed 2D Jacobi run.
+type JacobiResult struct {
+	Iterations int
+	MaxDelta   float64 // global max |u_new - u_old| of the last sweep
+	Checksum   float64 // global sum of the interior field
+}
+
+// Jacobi2D relaxes the Laplace equation on a global G x G grid with fixed
+// boundary values (top edge = 100, others = 0), decomposed over the
+// squarest 2D process grid. Each sweep exchanges halos with up to four
+// neighbours (point-to-point) and reduces the convergence delta with the
+// library's allreduce (Max) — the canonical structured-stencil workload.
+// G must be divisible by both grid dimensions.
+func Jacobi2D(r *mpi.Rank, lib *libs.Library, g, iters int) JacobiResult {
+	size := r.Size()
+	grid := topology.SquarestGrid(size)
+	if g%grid.Rows() != 0 || g%grid.Cols() != 0 {
+		panic(fmt.Sprintf("apps: %d grid not divisible by %dx%d process grid", g, grid.Rows(), grid.Cols()))
+	}
+	lr := g / grid.Rows() // local rows
+	lc := g / grid.Cols() // local cols
+	me := r.Rank()
+	row, _ := grid.Coords(me)
+
+	// Local field with a one-cell halo ring: (lr+2) x (lc+2).
+	stride := lc + 2
+	u := make([]float64, (lr+2)*stride)
+	un := make([]float64, (lr+2)*stride)
+	at := func(i, j int) int { return i*stride + j }
+	// Boundary condition: global top edge = 100.
+	if row == 0 {
+		for j := 0; j < stride; j++ {
+			u[at(0, j)] = 100
+			un[at(0, j)] = 100
+		}
+	}
+
+	up := grid.Neighbor(me, -1, 0)
+	down := grid.Neighbor(me, 1, 0)
+	left := grid.Neighbor(me, 0, -1)
+	right := grid.Neighbor(me, 0, 1)
+
+	rowBuf := make([]byte, lc*nums.F64Size)
+	rowIn := make([]byte, lc*nums.F64Size)
+	colBuf := make([]byte, lr*nums.F64Size)
+	colIn := make([]byte, lr*nums.F64Size)
+
+	var delta float64
+	for it := 0; it < iters; it++ {
+		tag := 8_000_000 + 8*it
+		// Halo exchange: rows up/down, columns left/right. Each
+		// direction is a symmetric sendrecv with distinct tags.
+		if up >= 0 {
+			for j := 0; j < lc; j++ {
+				nums.SetF64At(rowBuf, j, u[at(1, j+1)])
+			}
+			r.Sendrecv(up, tag, rowBuf, up, tag+1, rowIn)
+			for j := 0; j < lc; j++ {
+				u[at(0, j+1)] = nums.F64At(rowIn, j)
+			}
+		}
+		if down >= 0 {
+			for j := 0; j < lc; j++ {
+				nums.SetF64At(rowBuf, j, u[at(lr, j+1)])
+			}
+			r.Sendrecv(down, tag+1, rowBuf, down, tag, rowIn)
+			for j := 0; j < lc; j++ {
+				u[at(lr+1, j+1)] = nums.F64At(rowIn, j)
+			}
+		}
+		if left >= 0 {
+			for i := 0; i < lr; i++ {
+				nums.SetF64At(colBuf, i, u[at(i+1, 1)])
+			}
+			r.Sendrecv(left, tag+2, colBuf, left, tag+3, colIn)
+			for i := 0; i < lr; i++ {
+				u[at(i+1, 0)] = nums.F64At(colIn, i)
+			}
+		}
+		if right >= 0 {
+			for i := 0; i < lr; i++ {
+				nums.SetF64At(colBuf, i, u[at(i+1, lc)])
+			}
+			r.Sendrecv(right, tag+3, colBuf, right, tag+2, colIn)
+			for i := 0; i < lr; i++ {
+				u[at(i+1, lc+1)] = nums.F64At(colIn, i)
+			}
+		}
+
+		// Sweep.
+		localDelta := 0.0
+		for i := 1; i <= lr; i++ {
+			for j := 1; j <= lc; j++ {
+				v := 0.25 * (u[at(i-1, j)] + u[at(i+1, j)] + u[at(i, j-1)] + u[at(i, j+1)])
+				d := math.Abs(v - u[at(i, j)])
+				if d > localDelta {
+					localDelta = d
+				}
+				un[at(i, j)] = v
+			}
+		}
+		u, un = un, u
+		// Convergence check: global max delta.
+		in := make([]byte, nums.F64Size)
+		out := make([]byte, nums.F64Size)
+		nums.SetF64At(in, 0, localDelta)
+		lib.Allreduce(r, in, out, nums.Max)
+		delta = nums.F64At(out, 0)
+	}
+
+	// Global checksum of the interior.
+	sum := 0.0
+	for i := 1; i <= lr; i++ {
+		for j := 1; j <= lc; j++ {
+			sum += u[at(i, j)]
+		}
+	}
+	in := make([]byte, nums.F64Size)
+	out := make([]byte, nums.F64Size)
+	nums.SetF64At(in, 0, sum)
+	lib.Allreduce(r, in, out, nums.Sum)
+	return JacobiResult{Iterations: iters, MaxDelta: delta, Checksum: nums.F64At(out, 0)}
+}
+
+// SerialJacobi2D runs the identical relaxation on one process.
+func SerialJacobi2D(g, iters int) JacobiResult {
+	stride := g + 2
+	u := make([]float64, (g+2)*stride)
+	un := make([]float64, (g+2)*stride)
+	at := func(i, j int) int { return i*stride + j }
+	for j := 0; j < stride; j++ {
+		u[at(0, j)] = 100
+		un[at(0, j)] = 100
+	}
+	var delta float64
+	for it := 0; it < iters; it++ {
+		delta = 0
+		for i := 1; i <= g; i++ {
+			for j := 1; j <= g; j++ {
+				v := 0.25 * (u[at(i-1, j)] + u[at(i+1, j)] + u[at(i, j-1)] + u[at(i, j+1)])
+				if d := math.Abs(v - u[at(i, j)]); d > delta {
+					delta = d
+				}
+				un[at(i, j)] = v
+			}
+		}
+		u, un = un, u
+	}
+	sum := 0.0
+	for i := 1; i <= g; i++ {
+		for j := 1; j <= g; j++ {
+			sum += u[at(i, j)]
+		}
+	}
+	return JacobiResult{Iterations: iters, MaxDelta: delta, Checksum: sum}
+}

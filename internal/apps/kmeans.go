@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// KMeansResult reports a distributed k-means run.
+type KMeansResult struct {
+	Centroids [][]float64
+	Inertia   float64 // sum of squared distances to assigned centroids
+}
+
+// KMeans clusters pointsPerRank synthetic D-dimensional points per rank
+// into k clusters with Lloyd's algorithm for a fixed iteration count. The
+// per-iteration communication is one allreduce of the (k·(D+1)) partial
+// centroid sums + counts and one of the partial inertia — the pattern of
+// every distributed EM-style algorithm. Points are deterministic per rank;
+// all ranks return identical centroids.
+func KMeans(r *mpi.Rank, lib *libs.Library, pointsPerRank, dim, k, iters int) KMeansResult {
+	if k < 1 || dim < 1 || pointsPerRank < 1 {
+		panic(fmt.Sprintf("apps: kmeans shape %d/%d/%d", pointsPerRank, dim, k))
+	}
+	pts := syntheticPoints(r.Rank(), pointsPerRank, dim, k)
+
+	// Deterministic initial centroids, identical on all ranks.
+	cents := make([][]float64, k)
+	for c := range cents {
+		cents[c] = make([]float64, dim)
+		for d := range cents[c] {
+			cents[c][d] = float64(c*37+d*11) / 7
+		}
+	}
+
+	sumLen := k * (dim + 1) // per cluster: D coordinate sums + count
+	sums := make([]byte, sumLen*nums.F64Size)
+	global := make([]byte, sumLen*nums.F64Size)
+	inBuf := make([]byte, nums.F64Size)
+	outBuf := make([]byte, nums.F64Size)
+
+	var inertia float64
+	for it := 0; it < iters; it++ {
+		for i := range sums {
+			sums[i] = 0
+		}
+		localInertia := 0.0
+		for _, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c := range cents {
+				d := sqDist(p, cents[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			localInertia += bestD
+			base := best * (dim + 1)
+			for d := 0; d < dim; d++ {
+				nums.SetF64At(sums, base+d, nums.F64At(sums, base+d)+p[d])
+			}
+			nums.SetF64At(sums, base+dim, nums.F64At(sums, base+dim)+1)
+		}
+		lib.Allreduce(r, sums, global, nums.Sum)
+		for c := range cents {
+			base := c * (dim + 1)
+			n := nums.F64At(global, base+dim)
+			if n == 0 {
+				continue // empty cluster keeps its centroid
+			}
+			for d := 0; d < dim; d++ {
+				cents[c][d] = nums.F64At(global, base+d) / n
+			}
+		}
+		nums.SetF64At(inBuf, 0, localInertia)
+		lib.Allreduce(r, inBuf, outBuf, nums.Sum)
+		inertia = nums.F64At(outBuf, 0)
+	}
+	return KMeansResult{Centroids: cents, Inertia: inertia}
+}
+
+// SerialKMeans runs the same algorithm over the union of all ranks' points.
+func SerialKMeans(ranks, pointsPerRank, dim, k, iters int) KMeansResult {
+	var pts [][]float64
+	for rank := 0; rank < ranks; rank++ {
+		pts = append(pts, syntheticPoints(rank, pointsPerRank, dim, k)...)
+	}
+	cents := make([][]float64, k)
+	for c := range cents {
+		cents[c] = make([]float64, dim)
+		for d := range cents[c] {
+			cents[c][d] = float64(c*37+d*11) / 7
+		}
+	}
+	var inertia float64
+	for it := 0; it < iters; it++ {
+		sums := make([][]float64, k)
+		counts := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		inertia = 0
+		for _, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c := range cents {
+				d := sqDist(p, cents[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			inertia += bestD
+			for d := 0; d < dim; d++ {
+				sums[best][d] += p[d]
+			}
+			counts[best]++
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				cents[c][d] = sums[c][d] / counts[c]
+			}
+		}
+	}
+	return KMeansResult{Centroids: cents, Inertia: inertia}
+}
+
+// syntheticPoints produces rank-deterministic points around k well-spread
+// anchors, so clustering has structure to find.
+func syntheticPoints(rank, n, dim, k int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		anchor := (rank + i) % k
+		for d := range p {
+			jitter := float64((rank*131+i*29+d*17)%100)/100 - 0.5
+			p[d] = float64(anchor*100+d*13) + jitter
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

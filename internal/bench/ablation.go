@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/shm"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Ablation experiments for the design choices DESIGN.md section 5 calls
+// out. A1 sweeps the PiP size-synchronization cost — the overhead PiP
+// imposes on a drop-in MPI transport, which PiP-MColl's address-posting
+// design avoids; it explains the PiP-MPICH degradation of Figure 10. A2
+// sweeps the allgather algorithm switch point around the paper's 64 kB. A3
+// compares intranode mechanisms under one fixed algorithm stack.
+
+// AblationFigures returns the ablation drivers.
+func AblationFigures() []Figure {
+	return []Figure{
+		{"A1", "PiP size-synchronization cost sweep (ablation)", AblA1},
+		{"A2", "Allgather algorithm switch-point sweep (ablation)", AblA2},
+		{"A3", "Intranode mechanism under a fixed algorithm stack (ablation)", AblA3},
+	}
+}
+
+// AblA1 sweeps the per-message PiP size-sync cost and reports the
+// small-message allgather time of the PiP-MPICH baseline (which pays it on
+// every intranode message) against PiP-MColl (which posts addresses once
+// per collective and is insensitive to it).
+func AblA1(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 8, 32), pick(o, 4, 12)
+	syncs := []simtime.Duration{0, simtime.Nanos(250), simtime.Nanos(500),
+		simtime.Nanos(1000), simtime.Nanos(2000)}
+	cols := []string{"PiP-MPICH", "PiP-MColl"}
+	rows := make([]string, len(syncs))
+	for i, s := range syncs {
+		rows[i] = s.String()
+	}
+	t := stats.NewTable(fmt.Sprintf("A1: 256B allgather vs PiP size-sync cost (%dx%d)", nodes, ppn),
+		"size-sync", "us", cols, rows)
+	for i, sync := range syncs {
+		for _, name := range cols {
+			lib, err := libs.ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			cfg := lib.Config()
+			cfg.Shm.PiPSizeSync = sync
+			us := measureAllgatherWithConfig(lib, cfg, nodes, ppn, 256, o)
+			t.Set(rows[i], name, us)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// measureAllgatherWithConfig measures a verified allgather under an
+// overridden transport configuration.
+func measureAllgatherWithConfig(lib *libs.Library, cfg mpi.Config, nodes, ppn, chunk int, o Opts) float64 {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world := mpi.MustNewWorld(cluster, cfg)
+	size := cluster.Size()
+	var sum simtime.Duration
+	if err := world.Run(func(r *mpi.Rank) {
+		send := make([]byte, chunk)
+		nums.FillBytes(send, r.Rank())
+		recv := make([]byte, size*chunk)
+		for it := 0; it < o.Warmup+o.Iters; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			lib.Allgather(r, send, recv)
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return (sum / simtime.Duration(o.Iters)).Microseconds()
+}
+
+// AblA2 sweeps the PiP-MColl allgather switch point across candidate values
+// and reports the runtime at sizes bracketing the paper's 64 kB choice: the
+// sweep shows where the Bruck/ring crossover falls in this fabric.
+func AblA2(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 8, 8), pick(o, 4, 6)
+	switches := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 1 << 30}
+	sizes := []int{8 << 10, 32 << 10, 64 << 10, 128 << 10}
+	cols := make([]string, len(switches))
+	for i, s := range switches {
+		if s == 1<<30 {
+			cols[i] = "never"
+		} else {
+			cols[i] = sizeLabel(s)
+		}
+	}
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
+		rows[i] = sizeLabel(s)
+	}
+	t := stats.NewTable(fmt.Sprintf("A2: PiP-MColl allgather runtime vs switch point (%dx%d)", nodes, ppn),
+		"msg size", "us", cols, rows)
+	for i, size := range sizes {
+		for j, sw := range switches {
+			us := measureCoreAllgather(core.Tunables{AllgatherLargeMin: sw}, nodes, ppn, size, o)
+			t.Set(rows[i], cols[j], us)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+func measureCoreAllgather(tun core.Tunables, nodes, ppn, chunk int, o Opts) float64 {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world := mpi.MustNewWorld(cluster, mpi.DefaultConfig())
+	cl := core.Coll{Tun: tun}
+	size := cluster.Size()
+	var sum simtime.Duration
+	if err := world.Run(func(r *mpi.Rank) {
+		send := make([]byte, chunk)
+		nums.FillBytes(send, r.Rank())
+		recv := make([]byte, size*chunk)
+		for it := 0; it < o.Warmup+o.Iters; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			cl.Allgather(r, send, recv)
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return (sum / simtime.Duration(o.Iters)).Microseconds()
+}
+
+// AblA3 runs one fixed algorithm stack (the flat MPICH selection) over
+// every intranode mechanism, isolating the transport axis of the paper's
+// Section II comparison.
+func AblA3(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 4, 8), pick(o, 4, 8)
+	mechs := []shm.Mechanism{shm.PiP, shm.POSIX, shm.CMA, shm.XPMEM, shm.KNEM}
+	sizes := []int{256, 8 << 10, 64 << 10, 256 << 10}
+	cols := make([]string, len(mechs))
+	for i, m := range mechs {
+		cols[i] = m.String()
+	}
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
+		rows[i] = sizeLabel(s)
+	}
+	t := stats.NewTable(fmt.Sprintf("A3: flat allreduce vs intranode mechanism (%dx%d)", nodes, ppn),
+		"vector", "us", cols, rows)
+	base := libs.PiPMPICH() // flat algorithm stack; mechanism overridden below
+	for i, size := range sizes {
+		for j, mech := range mechs {
+			cfg := mpi.DefaultConfig()
+			cfg.Mechanism = mech
+			us := measureAllreduceWithConfig(base, cfg, nodes, ppn, size, o)
+			t.Set(rows[i], cols[j], us)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+func measureAllreduceWithConfig(lib *libs.Library, cfg mpi.Config, nodes, ppn, vec int, o Opts) float64 {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world := mpi.MustNewWorld(cluster, cfg)
+	var sum simtime.Duration
+	if err := world.Run(func(r *mpi.Rank) {
+		send := make([]byte, vec)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, vec)
+		for it := 0; it < o.Warmup+o.Iters; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			lib.Allreduce(r, send, recv, nums.Sum)
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return (sum / simtime.Duration(o.Iters)).Microseconds()
+}

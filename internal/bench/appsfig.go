@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ExtE5 measures the four mini-applications (internal/apps) across the
+// library profiles — application-level end-to-end times rather than
+// isolated collectives.
+func ExtE5(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 4, 8), pick(o, 4, 8)
+	cluster := topology.New(nodes, ppn, topology.Block)
+	ls := libs.All()
+	cols := make([]string, len(ls))
+	for i, l := range ls {
+		cols[i] = l.Name()
+	}
+	rows := []string{"cg", "kmeans", "samplesort", "jacobi"}
+	t := stats.NewTable(fmt.Sprintf("E5: mini-application end-to-end times (%dx%d)", nodes, ppn),
+		"app", "us", cols, rows)
+	for _, l := range ls {
+		runs := map[string]func(*mpi.Rank){
+			"cg": func(r *mpi.Rank) {
+				if res := apps.CG(r, l, 1600, 40); res.Residual > 1 {
+					panic(fmt.Sprintf("bench: CG diverged under %s: %v", l.Name(), res.Residual))
+				}
+			},
+			"kmeans": func(r *mpi.Rank) { apps.KMeans(r, l, 300, 8, 6, 8) },
+			"samplesort": func(r *mpi.Rank) {
+				if res := apps.SampleSort(r, 1024); res.Global != cluster.Size()*1024 {
+					panic(fmt.Sprintf("bench: sample sort lost elements under %s", l.Name()))
+				}
+			},
+			"jacobi": func(r *mpi.Rank) { apps.Jacobi2D(r, l, 128, 20) },
+		}
+		for _, app := range rows {
+			world := mpi.MustNewWorld(cluster, l.Config())
+			if err := world.Run(runs[app]); err != nil {
+				panic(err)
+			}
+			t.Set(app, l.Name(), simtime.Duration(world.Horizon()).Microseconds())
+		}
+	}
+	return []*stats.Table{t, t.Normalized("PiP-MColl")}
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+)
+
+func TestRunBasicMeasurement(t *testing.T) {
+	m, err := Run(Spec{Lib: libs.PiPMColl(), Op: OpAllreduce,
+		Nodes: 2, PPN: 3, Bytes: 256, Warmup: 1, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerIter) != 4 {
+		t.Fatalf("got %d iterations", len(m.PerIter))
+	}
+	if m.Summary.Mean <= 0 {
+		t.Fatalf("mean = %v", m.Summary.Mean)
+	}
+	// Deterministic simulation: identical iterations after warm-up.
+	for _, d := range m.PerIter[1:] {
+		if d != m.PerIter[0] {
+			t.Fatalf("iterations differ: %v", m.PerIter)
+		}
+	}
+	if m.Summary.StdDev != 0 {
+		t.Fatalf("stddev = %v, want 0 for deterministic iterations", m.Summary.StdDev)
+	}
+}
+
+func TestRunAllOpsAllLibs(t *testing.T) {
+	ls := append(libs.All(), libs.PiPMCollSmall())
+	for _, op := range []Op{OpScatter, OpAllgather, OpAllreduce} {
+		for _, l := range ls {
+			m, err := Run(Spec{Lib: l, Op: op, Nodes: 2, PPN: 2, Bytes: 64, Warmup: 1, Iters: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", l.Name(), op, err)
+			}
+			if m.MeanMicros() <= 0 {
+				t.Fatalf("%s/%s: non-positive time", l.Name(), op)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Lib: libs.PiPMColl(), Op: OpScatter, Nodes: 0, PPN: 1, Bytes: 8, Iters: 1},
+		{Lib: libs.PiPMColl(), Op: OpScatter, Nodes: 1, PPN: 1, Bytes: 0, Iters: 1},
+		{Lib: libs.PiPMColl(), Op: OpAllreduce, Nodes: 1, PPN: 1, Bytes: 7, Iters: 1},
+		{Lib: libs.PiPMColl(), Op: Op("bogus"), Nodes: 1, PPN: 1, Bytes: 8, Iters: 1},
+		{Lib: libs.PiPMColl(), Op: OpScatter, Nodes: 1, PPN: 1, Bytes: 8, Iters: 0},
+	}
+	for i, s := range bad {
+		if _, err := Run(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	// The XPMEM profile's first iteration pays attach costs; with warm-up
+	// the measured iterations must all be identical.
+	m, err := Run(Spec{Lib: libs.MVAPICH2(), Op: OpAllreduce,
+		Nodes: 2, PPN: 2, Bytes: 64 << 10, Warmup: 1, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.PerIter[1:] {
+		if d != m.PerIter[0] {
+			t.Fatalf("warmed iterations differ: %v", m.PerIter)
+		}
+	}
+	// Without warm-up, the first iteration must be the slowest.
+	cold, err := Run(Spec{Lib: libs.MVAPICH2(), Op: OpAllreduce,
+		Nodes: 2, PPN: 2, Bytes: 64 << 10, Warmup: 0, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PerIter[0] <= cold.PerIter[1] {
+		t.Fatalf("cold first iteration %v not slower than warmed %v",
+			cold.PerIter[0], cold.PerIter[1])
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 10 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.Run == nil || f.Title == "" {
+			t.Fatalf("figure %q incomplete", f.ID)
+		}
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+		got, err := FigureByID(f.ID)
+		if err != nil || got.ID != f.ID {
+			t.Fatalf("FigureByID(%q) failed: %v", f.ID, err)
+		}
+	}
+	if _, err := FigureByID("99"); err == nil {
+		t.Fatal("unknown figure resolved")
+	}
+}
+
+func TestFig1ShapesHold(t *testing.T) {
+	tables := Fig1(Opts{Warmup: 1, Iters: 1})
+	if len(tables) != 1 {
+		t.Fatalf("fig1 returned %d tables", len(tables))
+	}
+	tb := tables[0]
+	rate1 := tb.Get("1", tb.Columns[0])
+	rate18 := tb.Get("18", tb.Columns[0])
+	bw1 := tb.Get("1", tb.Columns[1])
+	bw18 := tb.Get("18", tb.Columns[1])
+	if !(rate18 > rate1) || !(bw18 > bw1) {
+		t.Fatalf("fig1 not monotone: rate %v->%v, bw %v->%v", rate1, rate18, bw1, bw18)
+	}
+	if bw18 > 12.5*1.05 {
+		t.Fatalf("fig1 throughput %v exceeds link", bw18)
+	}
+}
+
+func TestScaleFigureQuick(t *testing.T) {
+	// Figure 6 in quick mode: PiP-MColl at or below the baseline at every
+	// node count, both sizes.
+	tables := Fig6(Opts{Warmup: 1, Iters: 1})
+	if len(tables) != 2 {
+		t.Fatalf("fig6 returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		for _, row := range tb.RowNames {
+			base := tb.Get(row, "PiP-MPICH")
+			ours := tb.Get(row, "PiP-MColl")
+			if math.IsNaN(base) || math.IsNaN(ours) {
+				t.Fatalf("missing cell in %s row %s", tb.Title, row)
+			}
+			if ours > base {
+				t.Errorf("%s: PiP-MColl (%v us) slower than baseline (%v us) at %s nodes",
+					tb.Title, ours, base, row)
+			}
+		}
+	}
+}
+
+func TestNormalizedReferenceColumnIsOne(t *testing.T) {
+	tabs := Fig11(Opts{Warmup: 1, Iters: 1})
+	if len(tabs) != 2 {
+		t.Fatalf("fig11 returned %d tables", len(tabs))
+	}
+	norm := tabs[1]
+	if !strings.Contains(norm.Title, "normalized") {
+		t.Fatalf("second table not normalized: %q", norm.Title)
+	}
+	for _, row := range norm.RowNames {
+		if v := norm.Get(row, "PiP-MColl"); math.Abs(v-1) > 1e-9 {
+			t.Fatalf("reference column at %s = %v", row, v)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{16: "16B", 1 << 10: "1kB", 512 << 10: "512kB", 1 << 20: "1MB", 1500: "1500B"}
+	for n, want := range cases {
+		if got := sizeLabel(n); got != want {
+			t.Errorf("sizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTuneFindsCrossovers(t *testing.T) {
+	res, err := Tune(mpi.DefaultConfig(), 4, 3, Opts{Warmup: 1, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) == 0 || len(res.AGSmall) != len(res.Sizes) {
+		t.Fatalf("incomplete ladder: %+v", res)
+	}
+	// On this fabric the large algorithms win well before the paper's
+	// 64 kB (ablation A2); the recommendation must reflect that.
+	if res.AllgatherCrossover == 0 || res.AllgatherCrossover > 64<<10 {
+		t.Errorf("allgather crossover = %d", res.AllgatherCrossover)
+	}
+	if res.Recommended.AllgatherLargeMin != res.AllgatherCrossover {
+		t.Errorf("recommendation %d does not match crossover %d",
+			res.Recommended.AllgatherLargeMin, res.AllgatherCrossover)
+	}
+	if res.Format() == "" {
+		t.Error("empty report")
+	}
+	// The recommended tunables must themselves be valid and run.
+	m, err := Run(Spec{Lib: libs.PiPMColl(), Op: OpAllgather, Nodes: 4, PPN: 3,
+		Bytes: res.AllgatherCrossover, Warmup: 1, Iters: 1})
+	if err != nil || m.MeanMicros() <= 0 {
+		t.Fatalf("crossover-size run failed: %v", err)
+	}
+}
+
+func TestClaimsHoldQuickMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims evaluation regenerates several figures (~25s)")
+	}
+	results, err := EvaluateClaims(Opts{Warmup: 1, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Claims()) {
+		t.Fatalf("%d results for %d claims", len(results), len(Claims()))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s failed: %s (%s)", r.Claim.ID, r.Claim.Text, r.Detail)
+		}
+		if r.Detail == "" {
+			t.Errorf("%s has no detail", r.Claim.ID)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// The claims checker encodes the paper's headline experimental claims as
+// predicates over regenerated figure tables, so a reproduction run ends
+// with explicit PASS/FAIL verdicts instead of eyeballed plots. Claims are
+// phrased structurally (who wins, where switches pay off), matching the
+// fidelity a substituted substrate can promise.
+
+// Claim is one checkable statement from the paper.
+type Claim struct {
+	ID    string
+	Text  string
+	FigID string // the figure whose tables the predicate inspects
+	Check func(tables []*stats.Table) (bool, string)
+}
+
+// ClaimResult is a claim's verdict with supporting detail.
+type ClaimResult struct {
+	Claim  Claim
+	Pass   bool
+	Detail string
+}
+
+// Claims returns the paper's checkable claims in paper order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:    "C1",
+			Text:  "One sender saturates neither message rate nor bandwidth; both scale with sender count and then flatten (Fig 1)",
+			FigID: "1",
+			Check: func(ts []*stats.Table) (bool, string) {
+				tb := ts[0]
+				first, last := tb.RowNames[0], tb.RowNames[len(tb.RowNames)-1]
+				mid := tb.RowNames[len(tb.RowNames)/2]
+				for _, col := range tb.Columns {
+					lo, mi, hi := tb.Get(first, col), tb.Get(mid, col), tb.Get(last, col)
+					if !(mi > lo*1.2) {
+						return false, fmt.Sprintf("%s does not scale: %g -> %g", col, lo, mi)
+					}
+					if hi > mi*2 {
+						return false, fmt.Sprintf("%s never saturates: %g -> %g", col, mi, hi)
+					}
+				}
+				return true, "rates scale then saturate"
+			},
+		},
+		{
+			ID:    "C2",
+			Text:  "PiP-MColl outperforms PiP-MPICH at every node count, more at 16 B than at 1 kB (Fig 6)",
+			FigID: "6",
+			Check: func(ts []*stats.Table) (bool, string) {
+				speedup := func(tb *stats.Table) (float64, bool) {
+					worst := math.Inf(1)
+					for _, row := range tb.RowNames {
+						s := tb.Get(row, "PiP-MPICH") / tb.Get(row, "PiP-MColl")
+						if s < 1 {
+							return s, false
+						}
+						worst = math.Min(worst, s)
+					}
+					return worst, true
+				}
+				sSmall, ok1 := speedup(ts[0])
+				sMed, ok2 := speedup(ts[1])
+				if !ok1 || !ok2 {
+					return false, "baseline won somewhere"
+				}
+				if sSmall <= sMed {
+					return false, fmt.Sprintf("16B speedup %.2f not above 1kB %.2f", sSmall, sMed)
+				}
+				return true, fmt.Sprintf("worst-case speedups: 16B %.2fx, 1kB %.2fx", sSmall, sMed)
+			},
+		},
+		{
+			ID:    "C3",
+			Text:  "PiP-MColl is the fastest library at every small scatter size (Fig 9)",
+			FigID: "9",
+			Check: fastestEverywhere,
+		},
+		{
+			ID:    "C4",
+			Text:  "PiP-MColl is fastest at every small allgather size, and PiP-MPICH is sometimes the slowest of all libraries (Fig 10)",
+			FigID: "10",
+			Check: func(ts []*stats.Table) (bool, string) {
+				if ok, why := fastestEverywhere(ts); !ok {
+					return false, why
+				}
+				tb := ts[0]
+				for _, row := range tb.RowNames {
+					worst, worstCol := 0.0, ""
+					for _, col := range tb.Columns {
+						if v := tb.Get(row, col); v > worst {
+							worst, worstCol = v, col
+						}
+					}
+					if worstCol == "PiP-MPICH" {
+						return true, fmt.Sprintf("baseline anomaly reproduced at %s", row)
+					}
+				}
+				return false, "PiP-MPICH never the slowest"
+			},
+		},
+		{
+			ID:    "C5",
+			Text:  "The large-message allgather algorithm beats the small-message one past the switch (Fig 13 ablation)",
+			FigID: "13",
+			Check: func(ts []*stats.Table) (bool, string) {
+				tb := ts[0]
+				gain := 0.0
+				for _, row := range tb.RowNames {
+					main := tb.Get(row, "PiP-MColl")
+					small := tb.Get(row, "PiP-MColl-small")
+					if small > main {
+						gain = math.Max(gain, small/main)
+					}
+				}
+				if gain < 1.5 {
+					return false, fmt.Sprintf("ablation gain only %.2fx", gain)
+				}
+				return true, fmt.Sprintf("large algorithm up to %.2fx over always-small", gain)
+			},
+		},
+		{
+			ID:    "C6",
+			Text:  "Allreduce loses to other libraries somewhere in the medium-count window but wins at the largest counts (Fig 14)",
+			FigID: "14",
+			Check: func(ts []*stats.Table) (bool, string) {
+				tb := ts[0]
+				lostSomewhere := false
+				for _, row := range tb.RowNames[:len(tb.RowNames)-1] {
+					for _, col := range tb.Columns {
+						if col == "PiP-MColl" || col == "PiP-MColl-small" {
+							continue
+						}
+						if tb.Get(row, col) < tb.Get(row, "PiP-MColl") {
+							lostSomewhere = true
+						}
+					}
+				}
+				last := tb.RowNames[len(tb.RowNames)-1]
+				for _, col := range tb.Columns {
+					if col == "PiP-MColl" {
+						continue
+					}
+					if tb.Get(last, col) < tb.Get(last, "PiP-MColl") {
+						return false, fmt.Sprintf("%s faster at the largest count", col)
+					}
+				}
+				if !lostSomewhere {
+					return false, "no medium-count window found (paper reports one)"
+				}
+				return true, "win -> lose (medium window) -> win reproduced"
+			},
+		},
+	}
+}
+
+// fastestEverywhere checks that PiP-MColl holds the minimum of every row of
+// the figure's raw table.
+func fastestEverywhere(ts []*stats.Table) (bool, string) {
+	tb := ts[0]
+	for _, row := range tb.RowNames {
+		ours := tb.Get(row, "PiP-MColl")
+		for _, col := range tb.Columns {
+			if col == "PiP-MColl" || col == "PiP-MColl-small" {
+				continue
+			}
+			if tb.Get(row, col) < ours {
+				return false, fmt.Sprintf("%s beats PiP-MColl at %s", col, row)
+			}
+		}
+	}
+	return true, "PiP-MColl fastest at every size"
+}
+
+// EvaluateClaims regenerates the needed figures (each once) and returns the
+// verdicts in claim order.
+func EvaluateClaims(o Opts) ([]ClaimResult, error) {
+	cache := map[string][]*stats.Table{}
+	var out []ClaimResult
+	for _, c := range Claims() {
+		tables, ok := cache[c.FigID]
+		if !ok {
+			fig, err := FigureByID(c.FigID)
+			if err != nil {
+				return nil, err
+			}
+			tables = fig.Run(o)
+			cache[c.FigID] = tables
+		}
+		pass, detail := c.Check(tables)
+		out = append(out, ClaimResult{Claim: c, Pass: pass, Detail: detail})
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Extension experiments: the multi-object Bcast, Gather, Reduce and
+// Alltoall are not part of the paper's evaluation, but follow its Section
+// III recipe (DESIGN.md lists them as E1-E4). Each driver sweeps message
+// sizes across all library profiles on a fixed cluster, with results
+// verified like the primary collectives.
+
+// ExtOp extends the measurable operations to the extension collectives.
+type extOp string
+
+const (
+	extBcast    extOp = "bcast"
+	extGather   extOp = "gather"
+	extReduce   extOp = "reduce"
+	extAlltoall extOp = "alltoall"
+)
+
+// ExtFigures returns the extension experiment drivers.
+func ExtFigures() []Figure {
+	return []Figure{
+		{"E1", "MPI_Bcast across message sizes (extension)", ExtE1},
+		{"E2", "MPI_Gather across message sizes (extension)", ExtE2},
+		{"E3", "MPI_Reduce across message sizes (extension)", ExtE3},
+		{"E4", "MPI_Alltoall across message sizes (extension)", ExtE4},
+		{"E5", "Mini-application end-to-end comparison (extension)", ExtE5},
+	}
+}
+
+// ExtE1 sweeps broadcast sizes.
+func ExtE1(o Opts) []*stats.Table { return extSweep(o, extBcast, "E1: MPI_Bcast") }
+
+// ExtE2 sweeps gather sizes.
+func ExtE2(o Opts) []*stats.Table { return extSweep(o, extGather, "E2: MPI_Gather") }
+
+// ExtE3 sweeps reduce sizes.
+func ExtE3(o Opts) []*stats.Table { return extSweep(o, extReduce, "E3: MPI_Reduce") }
+
+// ExtE4 sweeps alltoall chunk sizes.
+func ExtE4(o Opts) []*stats.Table { return extSweep(o, extAlltoall, "E4: MPI_Alltoall") }
+
+func extSweep(o Opts, op extOp, title string) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 8, 16), pick(o, 4, 12)
+	sizes := []int{64, 1 << 10, 16 << 10, 128 << 10}
+	if op == extAlltoall {
+		// Alltoall payloads are per-peer chunks; keep totals bounded.
+		sizes = []int{16, 256, 4 << 10, 32 << 10}
+	}
+	ls := libs.All()
+	cols := make([]string, len(ls))
+	for i, l := range ls {
+		cols[i] = l.Name()
+	}
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
+		rows[i] = sizeLabel(s)
+	}
+	t := stats.NewTable(fmt.Sprintf("%s (%dx%d)", title, nodes, ppn), "size", "us", cols, rows)
+	for i, size := range sizes {
+		for _, l := range ls {
+			us, err := runExt(l, op, nodes, ppn, size, o)
+			if err != nil {
+				panic(err)
+			}
+			t.Set(rows[i], l.Name(), us)
+		}
+	}
+	return []*stats.Table{t, t.Normalized("PiP-MColl")}
+}
+
+// runExt measures one extension point with verification.
+func runExt(lib *libs.Library, op extOp, nodes, ppn, payload int, o Opts) (float64, error) {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world, err := mpi.NewWorld(cluster, lib.Config())
+	if err != nil {
+		return 0, err
+	}
+	size := cluster.Size()
+	root := size / 2
+	var sum simtime.Duration
+	var verifyErr error
+	err = world.Run(func(r *mpi.Rank) {
+		in, out, want := extBuffers(op, r, size, payload, root)
+		total := o.Warmup + o.Iters
+		for it := 0; it < total; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			runExtOnce(lib, op, r, root, in, out)
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+		if err := verifyExt(op, r, root, out, want); err != nil && verifyErr == nil {
+			verifyErr = err
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s/%s %dx%d %dB: %w", lib.Name(), op, nodes, ppn, payload, err)
+	}
+	if verifyErr != nil {
+		return 0, verifyErr
+	}
+	return (simtime.Duration(sum) / simtime.Duration(o.Iters)).Microseconds(), nil
+}
+
+func extBuffers(op extOp, r *mpi.Rank, size, payload, root int) (in, out, want []byte) {
+	switch op {
+	case extBcast:
+		want = make([]byte, payload)
+		nums.FillBytes(want, 9)
+		out = make([]byte, payload)
+		if r.Rank() == root {
+			copy(out, want)
+		}
+	case extGather:
+		in = make([]byte, payload)
+		nums.FillBytes(in, r.Rank())
+		if r.Rank() == root {
+			out = make([]byte, size*payload)
+			want = make([]byte, size*payload)
+			for i := 0; i < size; i++ {
+				nums.FillBytes(want[i*payload:(i+1)*payload], i)
+			}
+		}
+	case extReduce:
+		in = make([]byte, payload)
+		nums.Fill(in, r.Rank())
+		if r.Rank() == root {
+			out = make([]byte, payload)
+			want = make([]byte, payload)
+			nums.Fill(want, 0)
+			tmp := make([]byte, payload)
+			for i := 1; i < size; i++ {
+				nums.Fill(tmp, i)
+				nums.Sum.Combine(want, tmp)
+			}
+		}
+	case extAlltoall:
+		in = make([]byte, size*payload)
+		for j := 0; j < size; j++ {
+			nums.FillBytes(in[j*payload:(j+1)*payload], r.Rank()*1000+j)
+		}
+		out = make([]byte, size*payload)
+		want = make([]byte, size*payload)
+		for src := 0; src < size; src++ {
+			nums.FillBytes(want[src*payload:(src+1)*payload], src*1000+r.Rank())
+		}
+	}
+	return in, out, want
+}
+
+func runExtOnce(lib *libs.Library, op extOp, r *mpi.Rank, root int, in, out []byte) {
+	switch op {
+	case extBcast:
+		lib.Bcast(r, root, out)
+	case extGather:
+		lib.Gather(r, root, in, out)
+	case extReduce:
+		lib.Reduce(r, root, in, out, nums.Sum)
+	case extAlltoall:
+		lib.Alltoall(r, in, out)
+	}
+}
+
+func verifyExt(op extOp, r *mpi.Rank, root int, out, want []byte) error {
+	if want == nil {
+		return nil // non-root in a rooted collective
+	}
+	if op == extBcast || op == extAlltoall || r.Rank() == root {
+		if !bytes.Equal(out, want) {
+			return fmt.Errorf("bench: %s rank %d produced wrong result", op, r.Rank())
+		}
+	}
+	return nil
+}
+
+// RunExtension runs one verified measurement of an extension collective for
+// the validation tool, discarding the timing.
+func RunExtension(lib *libs.Library, op string, nodes, ppn, payload int) error {
+	_, err := runExt(lib, extOp(op), nodes, ppn, payload, Opts{Warmup: 1, Iters: 1})
+	return err
+}

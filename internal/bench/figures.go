@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/libs"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Opts scales the figure drivers. Quick mode keeps every run under a few
+// seconds; Full mode uses the largest shapes that fit this machine's memory
+// (see the package comment for why the paper's 128x18 cannot always be
+// reproduced literally).
+type Opts struct {
+	Full   bool
+	Warmup int
+	Iters  int
+}
+
+// DefaultOpts returns quick-mode options with the harness's standard
+// repetition counts (the simulation is deterministic, so a handful of
+// iterations pins the mean; warm-up still matters for attach caches).
+func DefaultOpts() Opts { return Opts{Warmup: 2, Iters: 3} }
+
+func (o Opts) withDefaults() Opts {
+	if o.Warmup == 0 && o.Iters == 0 {
+		o.Warmup, o.Iters = 2, 3
+	}
+	if o.Iters == 0 {
+		o.Iters = 1
+	}
+	return o
+}
+
+// pick returns quick in quick mode, full in full mode.
+func pick[T any](o Opts, quick, full T) T {
+	if o.Full {
+		return full
+	}
+	return quick
+}
+
+// Figure is a named driver regenerating one paper figure.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(Opts) []*stats.Table
+}
+
+// Figures returns every paper-figure driver in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{"1", "Inter-node message rate and throughput vs sender/receiver count", Fig1},
+		{"6", "MPI_Scatter vs node count (16 B, 1 kB)", Fig6},
+		{"7", "MPI_Allgather vs node count (16 B, 1 kB)", Fig7},
+		{"8", "MPI_Allreduce vs node count (16, 1k doubles)", Fig8},
+		{"9", "MPI_Scatter small message sizes", Fig9},
+		{"10", "MPI_Allgather small message sizes", Fig10},
+		{"11", "MPI_Allreduce small message counts", Fig11},
+		{"12", "MPI_Scatter medium/large message sizes", Fig12},
+		{"13", "MPI_Allgather medium/large message sizes (with small-alg ablation)", Fig13},
+		{"14", "MPI_Allreduce medium/large message counts (with small-alg ablation)", Fig14},
+	}
+}
+
+// FigureByID resolves one driver, searching paper figures first, then the
+// extension experiments (E1-E4).
+func FigureByID(id string) (Figure, error) {
+	all := append(Figures(), ExtFigures()...)
+	all = append(all, AblationFigures()...)
+	all = append(all, SensitivityFigures()...)
+	for _, f := range all {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// Fig1 reproduces the motivation microbenchmark: k sender/receiver pairs
+// flooding between two nodes, reporting message rate at 4 kB and throughput
+// at 128 kB. It drives the fabric directly, like the paper's raw
+// point-to-point test.
+func Fig1(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	ks := []int{1, 2, 4, 8, 12, 18}
+	cols := []string{"msgrate-4kB (Mmsg/s)", "throughput-128kB (GB/s)"}
+	rows := make([]string, len(ks))
+	for i, k := range ks {
+		rows[i] = fmt.Sprintf("%d", k)
+	}
+	t := stats.NewTable("Fig 1: p2p scaling with sender/receiver pairs", "pairs", "", cols, rows)
+	count := pick(o, 200, 1000)
+	for _, k := range ks {
+		rate := floodRate(k, count, 4<<10)
+		_, bw := floodRateBW(k, pick(o, 50, 200), 128<<10)
+		t.Set(fmt.Sprintf("%d", k), cols[0], rate/1e6)
+		t.Set(fmt.Sprintf("%d", k), cols[1], bw/1e9)
+	}
+	return []*stats.Table{t}
+}
+
+// floodRate measures achieved messages/second for k pairs.
+func floodRate(k, count, bytes int) float64 {
+	r, _ := floodRateBW(k, count, bytes)
+	return r
+}
+
+func floodRateBW(k, count, bytes int) (msgsPerSec, bytesPerSec float64) {
+	return FloodRates(k, count, bytes, fabric.DefaultParams())
+}
+
+// FloodRates measures the achieved message rate and throughput of k
+// concurrent sender/receiver pairs between two nodes under the given fabric
+// calibration — the Figure 1 primitive, exported for the explorer tool.
+func FloodRates(k, count, bytes int, params fabric.Params) (msgsPerSec, bytesPerSec float64) {
+	f := fabric.MustNew(2, k, params)
+	e := newFloodEngine(f, k, count, bytes)
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	elapsed := simtime.Duration(e.Horizon()).Seconds()
+	total := float64(k * count)
+	return total / elapsed, total * float64(bytes) / elapsed
+}
+
+// sweepTable runs a library x x-axis sweep and fills a table of mean
+// microseconds.
+func sweepTable(title, xlabel string, ls []*libs.Library, points []Spec, labels []string) *stats.Table {
+	cols := make([]string, len(ls))
+	for i, l := range ls {
+		cols[i] = l.Name()
+	}
+	t := stats.NewTable(title, xlabel, "us", cols, labels)
+	for i, base := range points {
+		for _, l := range ls {
+			spec := base
+			spec.Lib = l
+			m := MustRun(spec)
+			t.Set(labels[i], l.Name(), m.MeanMicros())
+		}
+	}
+	return t
+}
+
+// scalePair is the node-sweep driver shared by Figures 6-8: baseline vs
+// PiP-MColl across node counts at two payload sizes.
+func scalePair(o Opts, op Op, figTitle string, small, medium int, maxNodes int) []*stats.Table {
+	o = o.withDefaults()
+	nodes := []int{2, 4, 8}
+	if o.Full {
+		for n := 16; n <= maxNodes; n *= 2 {
+			nodes = append(nodes, n)
+		}
+	}
+	ppn := pick(o, 6, 18)
+	ls := []*libs.Library{libs.PiPMPICH(), libs.PiPMColl()}
+	var tables []*stats.Table
+	for _, size := range []int{small, medium} {
+		labels := make([]string, len(nodes))
+		points := make([]Spec, len(nodes))
+		for i, n := range nodes {
+			labels[i] = fmt.Sprintf("%d", n)
+			points[i] = Spec{Op: op, Nodes: n, PPN: ppn, Bytes: size,
+				Warmup: o.Warmup, Iters: o.Iters}
+		}
+		title := fmt.Sprintf("%s, %s per process, %d ppn", figTitle, sizeLabel(size), ppn)
+		tables = append(tables, sweepTable(title, "nodes", ls, points, labels))
+	}
+	return tables
+}
+
+// Fig6 is the scatter scalability test (paper: 16 B and 1 kB, 2..128 nodes).
+func Fig6(o Opts) []*stats.Table {
+	return scalePair(o, OpScatter, "Fig 6: MPI_Scatter scalability", 16, 1<<10, 128)
+}
+
+// Fig7 is the allgather scalability test. Full mode stops at 64 nodes: at
+// 128x18 the 1 kB allgather result alone needs >5 GB across simulated
+// ranks.
+func Fig7(o Opts) []*stats.Table {
+	return scalePair(o, OpAllgather, "Fig 7: MPI_Allgather scalability", 16, 1<<10, 64)
+}
+
+// Fig8 is the allreduce scalability test (16 doubles and 1k doubles).
+func Fig8(o Opts) []*stats.Table {
+	return scalePair(o, OpAllreduce, "Fig 8: MPI_Allreduce scalability", 16*8, 1024*8, 128)
+}
+
+// sizeSweep drives Figures 9-14: all five libraries across a payload sweep
+// on a fixed cluster, reporting both raw microseconds and the
+// normalized-to-PiP-MColl view the paper plots.
+func sizeSweep(o Opts, op Op, title string, sizes []int, ls []*libs.Library, nodes, ppn int, countLabels bool) []*stats.Table {
+	labels := make([]string, len(sizes))
+	points := make([]Spec, len(sizes))
+	for i, s := range sizes {
+		if countLabels {
+			labels[i] = fmt.Sprintf("%d", s/8)
+		} else {
+			labels[i] = sizeLabel(s)
+		}
+		points[i] = Spec{Op: op, Nodes: nodes, PPN: ppn, Bytes: s,
+			Warmup: o.Warmup, Iters: o.Iters}
+	}
+	full := fmt.Sprintf("%s (%dx%d)", title, nodes, ppn)
+	t := sweepTable(full, xlabelFor(countLabels), ls, points, labels)
+	return []*stats.Table{t, t.Normalized("PiP-MColl")}
+}
+
+func xlabelFor(countLabels bool) string {
+	if countLabels {
+		return "doubles"
+	}
+	return "size"
+}
+
+// Fig9: scatter, small sizes, all libraries.
+func Fig9(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
+	return sizeSweep(o, OpScatter, "Fig 9: MPI_Scatter small messages",
+		sizes, libs.All(), pick(o, 16, 128), pick(o, 6, 18), false)
+}
+
+// Fig10: allgather, small sizes, all libraries. Full mode uses 64 nodes
+// (memory; see package comment).
+func Fig10(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	sizes := []int{16, 32, 64, 128, 256, 512}
+	return sizeSweep(o, OpAllgather, "Fig 10: MPI_Allgather small messages",
+		sizes, libs.All(), pick(o, 16, 64), pick(o, 6, 18), false)
+}
+
+// Fig11: allreduce, small double counts, all libraries.
+func Fig11(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	sizes := []int{2 * 8, 4 * 8, 8 * 8, 16 * 8, 32 * 8, 64 * 8}
+	return sizeSweep(o, OpAllreduce, "Fig 11: MPI_Allreduce small double counts",
+		sizes, libs.All(), pick(o, 16, 128), pick(o, 6, 18), true)
+}
+
+// Fig12: scatter, medium/large sizes, all libraries. Full mode uses 32
+// nodes: at 64x18 the root buffer plus per-subtree staging of the flat
+// binomial baseline exceeds this machine's memory at 512 kB chunks.
+func Fig12(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	var sizes []int
+	for s := 1 << 10; s <= 512<<10; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizeSweep(o, OpScatter, "Fig 12: MPI_Scatter medium/large messages",
+		sizes, libs.All(), pick(o, 8, 32), pick(o, 4, 18), false)
+}
+
+// Fig13: allgather, medium/large sizes, all libraries plus the
+// small-algorithm ablation. The cluster is small (memory: the allgather
+// result is ranks x size per rank).
+func Fig13(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	var sizes []int
+	for s := 1 << 10; s <= 512<<10; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	ls := append(libs.All(), libs.PiPMCollSmall())
+	return sizeSweep(o, OpAllgather, "Fig 13: MPI_Allgather medium/large messages",
+		sizes, ls, pick(o, 8, 8), pick(o, 4, 6), false)
+}
+
+// Fig14: allreduce, medium/large double counts, all libraries plus the
+// small-algorithm ablation.
+func Fig14(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	var sizes []int
+	for c := 1 << 10; c <= 512<<10; c *= 4 {
+		sizes = append(sizes, c*8)
+	}
+	ls := append(libs.All(), libs.PiPMCollSmall())
+	return sizeSweep(o, OpAllreduce, "Fig 14: MPI_Allreduce medium/large double counts",
+		sizes, ls, pick(o, 8, 16), pick(o, 6, 9), true)
+}
+
+// sizeLabel formats a byte count like the paper's axes.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dkB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

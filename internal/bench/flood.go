@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+)
+
+// newFloodEngine builds the Figure 1 microbenchmark: k sender processes on
+// node 0 each streaming count messages of the given size to k paired
+// receivers on node 1, directly over the fabric (no MPI layer), exactly as
+// the paper's point-to-point motivation experiment isolates the NIC.
+func newFloodEngine(f *fabric.Fabric, k, count, bytes int) *simtime.Engine {
+	e := simtime.NewEngine()
+	for q := 0; q < k; q++ {
+		q := q
+		e.Spawn(fmt.Sprintf("sender%d", q), func(p *simtime.Proc) {
+			for i := 0; i < count; i++ {
+				f.Send(p, fabric.Endpoint{Node: 0, Queue: q},
+					fabric.Endpoint{Node: 1, Queue: q}, bytes, nil)
+			}
+		})
+		e.Spawn(fmt.Sprintf("recver%d", q), func(p *simtime.Proc) {
+			for i := 0; i < count; i++ {
+				f.Inbox(fabric.Endpoint{Node: 1, Queue: q}).Get(p, nil)
+			}
+		})
+	}
+	return e
+}

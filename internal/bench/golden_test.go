@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden figure CSVs")
+
+// TestGoldenFigures locks the quick-mode output of representative figure
+// drivers against committed CSVs. The simulation is deterministic, so any
+// diff means the calibration, an algorithm, or the harness changed — all
+// things a reproduction repository wants to notice. Regenerate after an
+// intentional change with:
+//
+//	go test ./internal/bench -run Golden -update
+func TestGoldenFigures(t *testing.T) {
+	opts := Opts{Warmup: 1, Iters: 1}
+	figs := []struct {
+		name string
+		id   string
+	}{
+		{"fig1", "1"},
+		{"fig6", "6"},
+		{"fig11", "11"},
+		{"figE4", "E4"},
+		{"figA3", "A3"},
+	}
+	for _, fc := range figs {
+		fc := fc
+		t.Run(fc.name, func(t *testing.T) {
+			fig, err := FigureByID(fc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables := fig.Run(opts)
+			var got string
+			for _, tb := range tables {
+				got += tb.CSV() + "\n"
+			}
+			path := filepath.Join("testdata", fc.name+".golden.csv")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+					fc.name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+)
+
+// TestHockneyPredictions validates the simulator against the paper's
+// Section III closed-form analysis: for each PiP-MColl algorithm, the
+// measured virtual runtime must (a) stay within an order of magnitude of
+// the prediction and (b) grow with message size whenever the model says it
+// grows — the structural agreement a single-(α,β,γ) model can promise
+// about a pipelined multi-queue fabric.
+func TestHockneyPredictions(t *testing.T) {
+	const nodes, ppn = 8, 4
+	lib := libs.PiPMColl()
+	m := NewModel(lib.Config(), nodes, ppn)
+
+	cases := []struct {
+		name    string
+		op      Op
+		sizes   []int
+		predict func(int) float64 // microseconds
+	}{
+		{"scatter", OpScatter, []int{64, 512, 4 << 10, 32 << 10},
+			func(cb int) float64 { return m.ScatterTime(cb).Microseconds() }},
+		{"allgather-small", OpAllgather, []int{64, 512, 4 << 10},
+			func(cb int) float64 { return m.AllgatherSmallTime(cb).Microseconds() }},
+		{"allgather-large", OpAllgather, []int{64 << 10, 128 << 10},
+			func(cb int) float64 { return m.AllgatherLargeTime(cb).Microseconds() }},
+		{"allreduce-small", OpAllreduce, []int{64, 512, 4 << 10},
+			func(cb int) float64 { return m.AllreduceSmallTime(cb).Microseconds() }},
+		{"allreduce-large", OpAllreduce, []int{64 << 10, 256 << 10},
+			func(cb int) float64 { return m.AllreduceLargeTime(cb).Microseconds() }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var pred, meas []float64
+			for _, cb := range c.sizes {
+				mm := MustRun(Spec{Lib: lib, Op: c.op, Nodes: nodes, PPN: ppn,
+					Bytes: cb, Warmup: 1, Iters: 1})
+				pred = append(pred, c.predict(cb))
+				meas = append(meas, mm.MeanMicros())
+			}
+			for i, cb := range c.sizes {
+				ratio := meas[i] / pred[i]
+				if ratio < 0.1 || ratio > 10 {
+					t.Errorf("%s %dB: measured %.3g us vs predicted %.3g us (ratio %.2f)",
+						c.name, cb, meas[i], pred[i], ratio)
+				}
+			}
+			if !Monotone(pred) {
+				t.Errorf("%s: prediction not monotone: %v", c.name, pred)
+			}
+			if !Correlates(pred, meas, 1.0) {
+				t.Errorf("%s: growth directions disagree: pred %v meas %v", c.name, pred, meas)
+			}
+		})
+	}
+}
+
+func TestModelDerivation(t *testing.T) {
+	m := NewModel(mpi.DefaultConfig(), 16, 18)
+	if m.N != 16 || m.P != 18 {
+		t.Fatalf("shape = %d/%d", m.N, m.P)
+	}
+	if m.AlphaE <= m.AlphaR {
+		t.Fatal("internode latency should exceed intranode latency")
+	}
+	if m.BetaR >= 1/1e9 || m.BetaE >= 1/1e9 {
+		t.Fatal("betas implausibly slow")
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := []struct{ n, base, want int }{
+		{1, 2, 0}, {2, 2, 1}, {3, 2, 2}, {8, 2, 3}, {9, 2, 4},
+		{19, 19, 1}, {20, 19, 2}, {361, 19, 2},
+	}
+	for _, c := range cases {
+		if got := logCeil(c.n, c.base); got != c.want {
+			t.Errorf("logCeil(%d,%d) = %d, want %d", c.n, c.base, got, c.want)
+		}
+	}
+}
+
+func TestWithinFactorAndHelpers(t *testing.T) {
+	if !WithinFactor(100, 200, 3) || WithinFactor(100, 400, 3) || WithinFactor(0, 5, 3) {
+		t.Fatal("WithinFactor wrong")
+	}
+	if !Monotone([]float64{1, 2, 2, 3}) || Monotone([]float64{2, 1}) {
+		t.Fatal("Monotone wrong")
+	}
+	if !Correlates([]float64{1, 2, 3}, []float64{10, 20, 30}, 1.0) {
+		t.Fatal("Correlates false negative")
+	}
+	if Correlates([]float64{1, 2, 3}, []float64{30, 20, 10}, 1.0) {
+		t.Fatal("Correlates false positive")
+	}
+	if Correlates([]float64{1}, []float64{1}, 1.0) {
+		t.Fatal("Correlates accepted short series")
+	}
+}
+
+func TestModelPredictionsScaleWithN(t *testing.T) {
+	// The paper's scalability claims: scatter and allreduce-small grow
+	// with N (linearly and logarithmically respectively).
+	cfg := mpi.DefaultConfig()
+	var scatter, ar []float64
+	for _, n := range []int{4, 16, 64} {
+		m := NewModel(cfg, n, 18)
+		scatter = append(scatter, m.ScatterTime(1024).Microseconds())
+		ar = append(ar, m.AllreduceSmallTime(1024).Microseconds())
+	}
+	if !Monotone(scatter) || !Monotone(ar) {
+		t.Fatalf("model not monotone in N: scatter %v allreduce %v", scatter, ar)
+	}
+}

@@ -1,0 +1,214 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section IV): workload construction,
+// the two-stage (warm-up + measurement) microbenchmark methodology,
+// verification of every collective's result against a serial reference, and
+// per-figure drivers emitting the same series the paper plots.
+//
+// Scale note: the paper's testbed is 128 nodes x 18 processes and, for
+// allgather, up to 512 kB per process. A single simulation address space
+// (this machine: ~15 GB) cannot hold 2304 ranks x 1.2 GB result buffers, so
+// each figure driver picks the largest cluster shape that preserves the
+// figure's shape (who wins, where algorithms cross over) within memory;
+// EXPERIMENTS.md records the shapes used. Timing is virtual, so the smaller
+// shapes lose no timing fidelity — only absolute node counts.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Op selects the collective under test.
+type Op string
+
+// The three collectives of the paper's evaluation.
+const (
+	OpScatter   Op = "scatter"
+	OpAllgather Op = "allgather"
+	OpAllreduce Op = "allreduce"
+)
+
+// Spec describes one measurement point: a library, a collective, a cluster
+// shape, and a per-process payload.
+type Spec struct {
+	Lib   *libs.Library
+	Op    Op
+	Nodes int
+	PPN   int
+	// Bytes is the per-process payload: the scatter/allgather chunk, or
+	// the allreduce vector length (a multiple of 8).
+	Bytes  int
+	Warmup int // unmeasured iterations (warms XPMEM attach caches etc.)
+	Iters  int // measured iterations
+}
+
+// Measurement is the outcome of running a Spec: per-iteration virtual
+// runtimes plus their summary, with every iteration's result verified
+// against the serial reference.
+type Measurement struct {
+	Spec    Spec
+	PerIter []simtime.Duration
+	Summary stats.Summary // over per-iteration microseconds
+}
+
+// MeanMicros returns the mean per-iteration runtime in microseconds.
+func (m Measurement) MeanMicros() float64 { return m.Summary.Mean }
+
+// Run executes a measurement point. It builds a fresh world with the
+// library's transport configuration, runs warm-up and measured iterations
+// separated by zero-cost harness barriers (the paper's two-stage
+// methodology), verifies the collective's output on every rank, and
+// returns per-iteration virtual durations.
+func Run(spec Spec) (Measurement, error) {
+	if err := validate(spec); err != nil {
+		return Measurement{}, err
+	}
+	cluster := topology.New(spec.Nodes, spec.PPN, topology.Block)
+	world, err := mpi.NewWorld(cluster, spec.Lib.Config())
+	if err != nil {
+		return Measurement{}, err
+	}
+	size := cluster.Size()
+	durs := make([]simtime.Duration, spec.Iters)
+	var verifyErr error
+
+	expect := expected(spec, size)
+	runErr := world.Run(func(r *mpi.Rank) {
+		in, out := buffers(spec, r, size)
+		total := spec.Warmup + spec.Iters
+		for it := 0; it < total; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			runOnce(spec, r, in, out)
+			r.HarnessBarrier() // all ranks aligned at the slowest finisher
+			if it >= spec.Warmup && r.Rank() == 0 {
+				durs[it-spec.Warmup] = r.Now().Sub(start)
+			}
+			if it == total-1 {
+				if err := verify(spec, r, out, expect); err != nil && verifyErr == nil {
+					verifyErr = err
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return Measurement{}, fmt.Errorf("bench: %s/%s %dx%d %dB: %w",
+			spec.Lib.Name(), spec.Op, spec.Nodes, spec.PPN, spec.Bytes, runErr)
+	}
+	if verifyErr != nil {
+		return Measurement{}, verifyErr
+	}
+	us := make([]float64, len(durs))
+	for i, d := range durs {
+		us[i] = d.Microseconds()
+	}
+	return Measurement{Spec: spec, PerIter: durs, Summary: stats.Summarize(us)}, nil
+}
+
+// MustRun is Run for driver code with program-constant specs.
+func MustRun(spec Spec) Measurement {
+	m, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func validate(spec Spec) error {
+	switch {
+	case spec.Lib == nil:
+		return fmt.Errorf("bench: no library")
+	case spec.Nodes < 1 || spec.PPN < 1:
+		return fmt.Errorf("bench: bad shape %dx%d", spec.Nodes, spec.PPN)
+	case spec.Bytes <= 0:
+		return fmt.Errorf("bench: bad payload %dB", spec.Bytes)
+	case spec.Op == OpAllreduce && spec.Bytes%nums.F64Size != 0:
+		return fmt.Errorf("bench: allreduce payload %dB not a float64 vector", spec.Bytes)
+	case spec.Iters < 1 || spec.Warmup < 0:
+		return fmt.Errorf("bench: bad iteration counts %d/%d", spec.Warmup, spec.Iters)
+	case spec.Op != OpScatter && spec.Op != OpAllgather && spec.Op != OpAllreduce:
+		return fmt.Errorf("bench: unknown op %q", spec.Op)
+	}
+	return nil
+}
+
+// buffers allocates and fills the per-rank send/recv buffers.
+func buffers(spec Spec, r *mpi.Rank, size int) (in, out []byte) {
+	switch spec.Op {
+	case OpScatter:
+		if r.Rank() == 0 {
+			in = make([]byte, size*spec.Bytes)
+			for i := 0; i < size; i++ {
+				nums.FillBytes(in[i*spec.Bytes:(i+1)*spec.Bytes], i)
+			}
+		}
+		out = make([]byte, spec.Bytes)
+	case OpAllgather:
+		in = make([]byte, spec.Bytes)
+		nums.FillBytes(in, r.Rank())
+		out = make([]byte, size*spec.Bytes)
+	case OpAllreduce:
+		in = make([]byte, spec.Bytes)
+		nums.Fill(in, r.Rank())
+		out = make([]byte, spec.Bytes)
+	}
+	return in, out
+}
+
+func runOnce(spec Spec, r *mpi.Rank, in, out []byte) {
+	switch spec.Op {
+	case OpScatter:
+		spec.Lib.Scatter(r, 0, in, out)
+	case OpAllgather:
+		spec.Lib.Allgather(r, in, out)
+	case OpAllreduce:
+		spec.Lib.Allreduce(r, in, out, nums.Sum)
+	}
+}
+
+// expected precomputes the reference output shared by all ranks (allgather
+// and allreduce; scatter is verified per rank).
+func expected(spec Spec, size int) []byte {
+	switch spec.Op {
+	case OpAllgather:
+		want := make([]byte, size*spec.Bytes)
+		for i := 0; i < size; i++ {
+			nums.FillBytes(want[i*spec.Bytes:(i+1)*spec.Bytes], i)
+		}
+		return want
+	case OpAllreduce:
+		want := make([]byte, spec.Bytes)
+		nums.Fill(want, 0)
+		tmp := make([]byte, spec.Bytes)
+		for i := 1; i < size; i++ {
+			nums.Fill(tmp, i)
+			nums.Sum.Combine(want, tmp)
+		}
+		return want
+	default:
+		return nil
+	}
+}
+
+func verify(spec Spec, r *mpi.Rank, out, expect []byte) error {
+	switch spec.Op {
+	case OpScatter:
+		want := make([]byte, spec.Bytes)
+		nums.FillBytes(want, r.Rank())
+		if !bytes.Equal(out, want) {
+			return fmt.Errorf("bench: %s scatter rank %d received wrong chunk", spec.Lib.Name(), r.Rank())
+		}
+	default:
+		if !bytes.Equal(out, expect) {
+			return fmt.Errorf("bench: %s %s rank %d produced wrong result", spec.Lib.Name(), spec.Op, r.Rank())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// S1 is a topology-sensitivity experiment beyond the paper: the same
+// allgather under increasingly oversubscribed two-level fabrics (nodes
+// grouped under leaf switches whose shared uplinks throttle inter-group
+// traffic). The paper's testbed is full-bisection OPA; production fat
+// trees often are not, and the multi-object design's extra concurrent
+// flows could in principle congest a thin uplink — S1 quantifies that.
+func SensitivityFigures() []Figure {
+	return []Figure{
+		{"S1", "Allgather under fat-tree oversubscription (sensitivity)", SensS1},
+		{"S2", "Allgather under node memory contention (sensitivity)", SensS2},
+	}
+}
+
+// SensS1 sweeps the per-group uplink bandwidth from full bisection down to
+// 8x oversubscribed for PiP-MColl and the PiP-MPICH baseline.
+func SensS1(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 8, 16), pick(o, 4, 8)
+	const chunk = 4 << 10
+	groupSize := 4
+	// Full bisection for a group is groupSize x link bandwidth.
+	full := float64(groupSize) * mpi.DefaultConfig().Fabric.LinkBandwidth
+	overs := []float64{1, 2, 4, 8} // oversubscription ratios
+	ls := []*libs.Library{libs.PiPMPICH(), libs.PiPMColl()}
+	cols := make([]string, len(ls))
+	for i, l := range ls {
+		cols[i] = l.Name()
+	}
+	rows := make([]string, len(overs))
+	for i, ov := range overs {
+		rows[i] = fmt.Sprintf("%gx", ov)
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("S1: %s allgather vs uplink oversubscription (%dx%d, groups of %d)",
+			sizeLabel(chunk), nodes, ppn, groupSize),
+		"oversub", "us", cols, rows)
+	for i, ov := range overs {
+		for _, l := range ls {
+			cfg := l.Config()
+			cfg.Fabric.GroupSize = groupSize
+			cfg.Fabric.GroupLatency = simtime.Nanos(400)
+			cfg.Fabric.GroupBandwidth = full / ov
+			us := measureGroupedAllgather(l, cfg, nodes, ppn, chunk, o)
+			t.Set(rows[i], l.Name(), us)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+func measureGroupedAllgather(lib *libs.Library, cfg mpi.Config, nodes, ppn, chunk int, o Opts) float64 {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world := mpi.MustNewWorld(cluster, cfg)
+	size := cluster.Size()
+	var sum simtime.Duration
+	if err := world.Run(func(r *mpi.Rank) {
+		send := make([]byte, chunk)
+		nums.FillBytes(send, r.Rank())
+		recv := make([]byte, size*chunk)
+		for it := 0; it < o.Warmup+o.Iters; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			lib.Allgather(r, send, recv)
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+	return (sum / simtime.Duration(o.Iters)).Microseconds()
+}
+
+// SensS2 enables the aggregate node-memory-port model and sweeps its
+// bandwidth: intranode-copy-heavy phases (PiP-MColl's staging and
+// broadcast copies, POSIX double copies) stretch when many cores stream
+// concurrently. The paper's analysis uses uncontended per-core beta_r;
+// S2 quantifies how the comparison shifts when that assumption is relaxed.
+func SensS2(o Opts) []*stats.Table {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 8, 16), pick(o, 4, 8)
+	const chunk = 16 << 10
+	// Aggregate memory bandwidths: off (uncontended), then multiples of
+	// the per-core copy bandwidth.
+	perCore := mpi.DefaultConfig().Shm.CopyBandwidth
+	levels := []float64{0, 8 * perCore, 4 * perCore, 2 * perCore}
+	labels := []string{"off", "8x core", "4x core", "2x core"}
+	ls := []*libs.Library{libs.IntelMPI(), libs.PiPMPICH(), libs.PiPMColl()}
+	cols := make([]string, len(ls))
+	for i, l := range ls {
+		cols[i] = l.Name()
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("S2: %s allgather vs node memory contention (%dx%d)", sizeLabel(chunk), nodes, ppn),
+		"mem port", "us", cols, labels)
+	for i, bw := range levels {
+		for _, l := range ls {
+			cfg := l.Config()
+			cfg.Shm.NodeMemBandwidth = bw
+			us := measureGroupedAllgather(l, cfg, nodes, ppn, chunk, o)
+			t.Set(labels[i], l.Name(), us)
+		}
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDriversSmoke runs every cheap figure driver once in quick mode and
+// checks structural invariants: full tables (no NaN cells), positive
+// runtimes. The expensive drivers (12-14) are exercised by the claims and
+// golden tests.
+func TestDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver smoke regenerates several figures")
+	}
+	o := Opts{Warmup: 1, Iters: 1}
+	for _, id := range []string{"7", "8", "9", "10", "E1", "E2", "E3", "A1", "S1"} {
+		id := id
+		t.Run("fig"+id, func(t *testing.T) {
+			fig, err := FigureByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables := fig.Run(o)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				for i, row := range tb.Cells {
+					for j, v := range row {
+						if math.IsNaN(v) || v <= 0 {
+							t.Fatalf("%s cell (%s,%s) = %v",
+								tb.Title, tb.RowNames[i], tb.Columns[j], v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSensitivityShape: oversubscription must monotonically slow both
+// libraries while PiP-MColl keeps the advantage (the S1 finding).
+func TestSensitivityShape(t *testing.T) {
+	tables := SensS1(Opts{Warmup: 1, Iters: 1})
+	tb := tables[0]
+	prevBase, prevOurs := 0.0, 0.0
+	for _, row := range tb.RowNames {
+		base := tb.Get(row, "PiP-MPICH")
+		ours := tb.Get(row, "PiP-MColl")
+		if ours >= base {
+			t.Errorf("PiP-MColl not ahead at %s oversubscription", row)
+		}
+		if base < prevBase || ours < prevOurs {
+			t.Errorf("thinner uplink got faster at %s", row)
+		}
+		prevBase, prevOurs = base, ours
+	}
+}
+
+// TestAblationA1Shape: the baseline must degrade with the size-sync cost
+// while PiP-MColl stays flat.
+func TestAblationA1Shape(t *testing.T) {
+	tb := AblA1(Opts{Warmup: 1, Iters: 1})[0]
+	first, last := tb.RowNames[0], tb.RowNames[len(tb.RowNames)-1]
+	if tb.Get(last, "PiP-MPICH") <= tb.Get(first, "PiP-MPICH") {
+		t.Error("baseline insensitive to size-sync cost")
+	}
+	if tb.Get(last, "PiP-MColl") != tb.Get(first, "PiP-MColl") {
+		t.Error("PiP-MColl sensitive to size-sync cost (it must not pay it)")
+	}
+}
+
+// TestAblationA2Shape: larger switch points must never beat the best
+// smaller one at sizes past the true crossover (monotone rows).
+func TestAblationA2Shape(t *testing.T) {
+	tb := AblA2(Opts{Warmup: 1, Iters: 1})[0]
+	for _, row := range tb.RowNames {
+		// Within a row, runtime is non-decreasing as the switch point
+		// moves right past the row's size (the ring stops being used).
+		prev := 0.0
+		for _, col := range tb.Columns {
+			v := tb.Get(row, col)
+			if v < prev*(1-1e-9) {
+				t.Errorf("row %s not monotone at %s: %v < %v", row, col, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestSensitivityS2Shape: contention never speeds anything up, and the
+// tightest memory port must slow the copy-heavy PiP-MColl phases.
+func TestSensitivityS2Shape(t *testing.T) {
+	tb := SensS2(Opts{Warmup: 1, Iters: 1})[0]
+	for _, col := range tb.Columns {
+		off := tb.Get("off", col)
+		tight := tb.Get("2x core", col)
+		if tight < off*(1-1e-9) {
+			t.Errorf("%s faster under contention: %v vs %v", col, tight, off)
+		}
+	}
+	if tb.Get("2x core", "PiP-MColl") <= tb.Get("off", "PiP-MColl") {
+		t.Error("PiP-MColl unaffected by a 2x-core memory port")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Auto-tuning: the paper's switch points (64 kB allgather, 8k-count
+// allreduce) are calibrated to its testbed; on a different fabric or
+// cluster shape the Bruck/ring and recursive/reduce-scatter crossovers
+// move (see ablation A2). Tune measures both algorithm variants across a
+// size ladder and returns the switch points that minimize runtime for the
+// given configuration — what an MPI library's tuning stage does offline.
+
+// TuneResult reports a recommended Tunables and the measurements behind it.
+type TuneResult struct {
+	Recommended core.Tunables
+	// Crossovers lists, per collective, the first ladder size at which
+	// the large-message algorithm won (0 = it never won).
+	AllgatherCrossover int
+	AllreduceCrossover int
+	// Ladder and per-size runtimes (µs) for transparency.
+	Sizes                          []int
+	AGSmall, AGLarge, ARSml, ARLrg []float64
+}
+
+// Tune measures PiP-MColl's small and large algorithm variants for
+// allgather and allreduce across a size ladder on the given cluster shape
+// and configuration, and recommends switch points.
+func Tune(cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, error) {
+	o = o.withDefaults()
+	var res TuneResult
+	for s := 1 << 10; s <= 256<<10; s *= 2 {
+		res.Sizes = append(res.Sizes, s)
+	}
+	huge := 1 << 40
+	smallAG := core.Tunables{AllgatherLargeMin: huge}
+	largeAG := core.Tunables{AllgatherLargeMin: 1}
+	smallAR := core.Tunables{AllreduceLargeMin: huge}
+	largeAR := core.Tunables{AllreduceLargeMin: 8} // any vector: large path
+
+	for _, size := range res.Sizes {
+		ag1, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
+			cl.Allgather(r, in, out)
+		}, smallAG, false)
+		if err != nil {
+			return res, err
+		}
+		ag2, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
+			cl.Allgather(r, in, out)
+		}, largeAG, false)
+		if err != nil {
+			return res, err
+		}
+		ar1, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
+			cl.Allreduce(r, in, out, nums.Sum)
+		}, smallAR, true)
+		if err != nil {
+			return res, err
+		}
+		ar2, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
+			cl.Allreduce(r, in, out, nums.Sum)
+		}, largeAR, true)
+		if err != nil {
+			return res, err
+		}
+		res.AGSmall = append(res.AGSmall, ag1)
+		res.AGLarge = append(res.AGLarge, ag2)
+		res.ARSml = append(res.ARSml, ar1)
+		res.ARLrg = append(res.ARLrg, ar2)
+		if res.AllgatherCrossover == 0 && ag2 < ag1 {
+			res.AllgatherCrossover = size
+		}
+		if res.AllreduceCrossover == 0 && ar2 < ar1 {
+			res.AllreduceCrossover = size
+		}
+	}
+	res.Recommended = core.DefaultTunables()
+	if res.AllgatherCrossover > 0 {
+		res.Recommended.AllgatherLargeMin = res.AllgatherCrossover
+	}
+	if res.AllreduceCrossover > 0 {
+		res.Recommended.AllreduceLargeMin = res.AllreduceCrossover
+	}
+	return res, nil
+}
+
+// tunePoint measures one (collective, tunables, size) combination.
+func tunePoint(cfg mpi.Config, nodes, ppn, size int, o Opts,
+	run func(core.Coll, *mpi.Rank, []byte, []byte), tun core.Tunables, reduce bool) (float64, error) {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world, err := mpi.NewWorld(cluster, cfg)
+	if err != nil {
+		return 0, err
+	}
+	cl := core.Coll{Tun: tun}
+	ranks := cluster.Size()
+	var sum simtime.Duration
+	err = world.Run(func(r *mpi.Rank) {
+		in := make([]byte, size)
+		var out []byte
+		if reduce {
+			nums.Fill(in, r.Rank())
+			out = make([]byte, size)
+		} else {
+			nums.FillBytes(in, r.Rank())
+			out = make([]byte, ranks*size)
+		}
+		for it := 0; it < o.Warmup+o.Iters; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			run(cl, r, in, out)
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return (sum / simtime.Duration(o.Iters)).Microseconds(), nil
+}
+
+// Format renders the tuning report.
+func (t TuneResult) Format() string {
+	out := fmt.Sprintf("%-10s %12s %12s %12s %12s\n", "size",
+		"AG-small", "AG-large", "AR-small", "AR-large")
+	for i, s := range t.Sizes {
+		out += fmt.Sprintf("%-10s %10.4gus %10.4gus %10.4gus %10.4gus\n",
+			sizeLabel(s), t.AGSmall[i], t.AGLarge[i], t.ARSml[i], t.ARLrg[i])
+	}
+	out += fmt.Sprintf("\nrecommended: AllgatherLargeMin=%s AllreduceLargeMin=%s\n",
+		sizeLabel(t.Recommended.AllgatherLargeMin), sizeLabel(t.Recommended.AllreduceLargeMin))
+	return out
+}

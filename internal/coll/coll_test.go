@@ -1,0 +1,425 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// runWorld builds a world over nodes x ppn and runs body on every rank.
+func runWorld(t *testing.T, nodes, ppn int, body func(*mpi.Rank)) {
+	t.Helper()
+	w, err := mpi.NewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatalf("world run (%dx%d): %v", nodes, ppn, err)
+	}
+}
+
+// shapes covers power-of-two and odd node/rank counts, single node, and
+// single rank per node.
+var shapes = [][2]int{{1, 1}, {1, 4}, {2, 1}, {2, 3}, {3, 2}, {4, 4}, {5, 3}, {8, 2}, {3, 5}}
+
+// expectedGather builds the reference gathered buffer: rank i's chunk is
+// FillBytes(chunk, i).
+func expectedGather(size, chunk int) []byte {
+	out := make([]byte, size*chunk)
+	for i := 0; i < size; i++ {
+		nums.FillBytes(out[i*chunk:(i+1)*chunk], i)
+	}
+	return out
+}
+
+// expectedSum builds the reference allreduce-sum result over rank patterns.
+func expectedSum(size, elems int) []byte {
+	acc := make([]byte, elems*nums.F64Size)
+	nums.Fill(acc, 0)
+	for i := 1; i < size; i++ {
+		b := make([]byte, elems*nums.F64Size)
+		nums.Fill(b, i)
+		nums.Sum.Combine(acc, b)
+	}
+	return acc
+}
+
+func TestBcastAllShapesAllRoots(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for root := 0; root < size; root += 1 + size/3 {
+			sh, root := sh, root
+			t.Run(fmt.Sprintf("%dx%d root%d", sh[0], sh[1], root), func(t *testing.T) {
+				want := make([]byte, 100)
+				nums.FillBytes(want, 42)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					buf := make([]byte, 100)
+					if r.Rank() == root {
+						copy(buf, want)
+					}
+					Bcast(World(r), root, buf)
+					if !bytes.Equal(buf, want) {
+						t.Errorf("rank %d: bcast result wrong", r.Rank())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestScatterAllShapesAllRoots(t *testing.T) {
+	const chunk = 24
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for root := 0; root < size; root += 1 + size/3 {
+			sh, root := sh, root
+			t.Run(fmt.Sprintf("%dx%d root%d", sh[0], sh[1], root), func(t *testing.T) {
+				full := expectedGather(size, chunk)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					var send []byte
+					if r.Rank() == root {
+						send = append([]byte(nil), full...)
+					}
+					recv := make([]byte, chunk)
+					Scatter(World(r), root, send, recv)
+					want := full[r.Rank()*chunk : (r.Rank()+1)*chunk]
+					if !bytes.Equal(recv, want) {
+						t.Errorf("rank %d got wrong chunk", r.Rank())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestGatherAllShapesAllRoots(t *testing.T) {
+	const chunk = 17
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for root := 0; root < size; root += 1 + size/2 {
+			sh, root := sh, root
+			t.Run(fmt.Sprintf("%dx%d root%d", sh[0], sh[1], root), func(t *testing.T) {
+				want := expectedGather(size, chunk)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, chunk)
+					nums.FillBytes(send, r.Rank())
+					var recv []byte
+					if r.Rank() == root {
+						recv = make([]byte, size*chunk)
+					}
+					Gather(World(r), root, send, recv)
+					if r.Rank() == root && !bytes.Equal(recv, want) {
+						t.Errorf("root %d gathered wrong data", root)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceAllShapes(t *testing.T) {
+	const elems = 9
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		root := size - 1
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			want := expectedSum(size, elems)
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, r.Rank())
+				var recv []byte
+				if r.Rank() == root {
+					recv = make([]byte, len(send))
+				}
+				Reduce(World(r), root, send, recv, nums.Sum)
+				if r.Rank() == root && !bytes.Equal(recv, want) {
+					t.Errorf("reduce at root wrong: got %v want %v",
+						nums.F64(recv), nums.F64(want))
+				}
+			})
+		})
+	}
+}
+
+func testAllgather(t *testing.T, name string, ag func(View, []byte, []byte), pow2Only bool) {
+	const chunk = 16
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		if pow2Only && size&(size-1) != 0 {
+			continue
+		}
+		sh := sh
+		t.Run(fmt.Sprintf("%s %dx%d", name, sh[0], sh[1]), func(t *testing.T) {
+			want := expectedGather(size, chunk)
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, chunk)
+				nums.FillBytes(send, r.Rank())
+				recv := make([]byte, size*chunk)
+				ag(World(r), send, recv)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d allgather wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func TestAllgatherBruck(t *testing.T)       { testAllgather(t, "bruck", AllgatherBruck, false) }
+func TestAllgatherRing(t *testing.T)        { testAllgather(t, "ring", AllgatherRing, false) }
+func TestAllgatherRecDoubling(t *testing.T) { testAllgather(t, "recdbl", AllgatherRecDoubling, true) }
+
+func TestAllgatherRecDoublingRejectsNonPow2(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(3, 1, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		AllgatherRecDoubling(World(r), make([]byte, 8), make([]byte, 24))
+	})
+	if err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+func TestAllgatherAutoSelect(t *testing.T) {
+	const chunk = 32
+	for _, thresh := range []int{1, 1 << 30} { // force ring, force small path
+		thresh := thresh
+		t.Run(fmt.Sprintf("thresh%d", thresh), func(t *testing.T) {
+			want := expectedGather(6, chunk)
+			runWorld(t, 3, 2, func(r *mpi.Rank) {
+				send := make([]byte, chunk)
+				nums.FillBytes(send, r.Rank())
+				recv := make([]byte, 6*chunk)
+				Allgather(World(r), send, recv, thresh)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d allgather wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func testAllreduce(t *testing.T, name string, ar func(View, []byte, []byte, nums.Op)) {
+	for _, sh := range shapes {
+		for _, elems := range []int{1, 7, 64, 1000} {
+			size := sh[0] * sh[1]
+			sh, elems := sh, elems
+			t.Run(fmt.Sprintf("%s %dx%d n%d", name, sh[0], sh[1], elems), func(t *testing.T) {
+				want := expectedSum(size, elems)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					recv := make([]byte, len(send))
+					ar(World(r), send, recv, nums.Sum)
+					if !bytes.Equal(recv, want) {
+						t.Errorf("rank %d allreduce wrong: got %v want %v",
+							r.Rank(), nums.F64(recv)[:min(4, elems)], nums.F64(want)[:min(4, elems)])
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestAllreduceRecDoubling(t *testing.T)  { testAllreduce(t, "recdbl", AllreduceRecDoubling) }
+func TestAllreduceRing(t *testing.T)         { testAllreduce(t, "ring", AllreduceRing) }
+func TestAllreduceRabenseifner(t *testing.T) { testAllreduce(t, "raben", AllreduceRabenseifner) }
+
+func TestAllreduceOtherOps(t *testing.T) {
+	ops := []nums.Op{nums.Max, nums.Min, nums.Prod}
+	for _, op := range ops {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			const elems = 5
+			want := make([]byte, elems*nums.F64Size)
+			nums.Fill(want, 0)
+			for i := 1; i < 6; i++ {
+				b := make([]byte, elems*nums.F64Size)
+				nums.Fill(b, i)
+				op.Combine(want, b)
+			}
+			runWorld(t, 3, 2, func(r *mpi.Rank) {
+				send := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, r.Rank())
+				recv := make([]byte, len(send))
+				AllreduceRecDoubling(World(r), send, recv, op)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d %s wrong", r.Rank(), op.Name)
+				}
+			})
+		})
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			size := sh[0] * sh[1]
+			var maxArrive, minLeave int64
+			minLeave = 1 << 62
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				r.Proc().Advance(simtime.Duration(r.Rank()+1) * simtime.Microsecond)
+				arrive := int64(r.Now())
+				if arrive > maxArrive {
+					maxArrive = arrive
+				}
+				Barrier(World(r))
+				leave := int64(r.Now())
+				if leave < minLeave {
+					minLeave = leave
+				}
+			})
+			if size > 1 && minLeave < maxArrive {
+				t.Errorf("a rank left the barrier (%d) before the last arrival (%d)", minLeave, maxArrive)
+			}
+		})
+	}
+}
+
+func TestHierCollectives(t *testing.T) {
+	const chunk = 16
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			full := expectedGather(size, chunk)
+			sum := expectedSum(size, 8)
+			root := size / 2
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				me := r.Rank()
+				// ScatterHier
+				var send []byte
+				if me == root {
+					send = append([]byte(nil), full...)
+				}
+				recv := make([]byte, chunk)
+				ScatterHier(World(r), root, send, recv)
+				if !bytes.Equal(recv, full[me*chunk:(me+1)*chunk]) {
+					t.Errorf("rank %d hier scatter wrong", me)
+				}
+				// GatherHier
+				mine := make([]byte, chunk)
+				nums.FillBytes(mine, me)
+				var gbuf []byte
+				if me == root {
+					gbuf = make([]byte, size*chunk)
+				}
+				GatherHier(World(r), root, mine, gbuf)
+				if me == root && !bytes.Equal(gbuf, full) {
+					t.Errorf("hier gather wrong at root")
+				}
+				// BcastHier
+				bbuf := make([]byte, 64)
+				if me == root {
+					nums.FillBytes(bbuf, 7)
+				}
+				BcastHier(World(r), root, bbuf)
+				wantB := make([]byte, 64)
+				nums.FillBytes(wantB, 7)
+				if !bytes.Equal(bbuf, wantB) {
+					t.Errorf("rank %d hier bcast wrong", me)
+				}
+				// AllgatherHier (both leader algorithm paths)
+				for _, thresh := range []int{1, 1 << 30} {
+					abuf := make([]byte, size*chunk)
+					AllgatherHier(World(r), mine, abuf, thresh)
+					if !bytes.Equal(abuf, full) {
+						t.Errorf("rank %d hier allgather wrong (thresh %d)", me, thresh)
+					}
+				}
+				// AllreduceHier (both leader algorithm paths)
+				vec := make([]byte, 64)
+				nums.Fill(vec, me)
+				for _, thresh := range []int{1, 1 << 30} {
+					out := make([]byte, 64)
+					AllreduceHier(World(r), vec, out, nums.Sum, thresh)
+					if !bytes.Equal(out, sum) {
+						t.Errorf("rank %d hier allreduce wrong (thresh %d)", me, thresh)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestHierRequiresBlockLayout(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.RoundRobin), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		BcastHier(World(r), 0, make([]byte, 8))
+	})
+	if err == nil {
+		t.Fatal("round-robin layout accepted by hierarchical collective")
+	}
+}
+
+func TestViewIndexTranslation(t *testing.T) {
+	runWorld(t, 2, 3, func(r *mpi.Rank) {
+		nv := NodeView(r)
+		if nv.Size() != 3 || nv.Me() != r.Local() {
+			t.Errorf("rank %d node view wrong: size %d me %d", r.Rank(), nv.Size(), nv.Me())
+		}
+		lv := LeaderView(r)
+		if lv.Size() != 2 {
+			t.Errorf("leader view size %d", lv.Size())
+		}
+		if r.Local() == 0 && lv.Me() != r.Node() {
+			t.Errorf("leader me %d != node %d", lv.Me(), r.Node())
+		}
+		wv := World(r)
+		if wv.Size() != 6 || wv.Me() != r.Rank() {
+			t.Error("world view wrong")
+		}
+	})
+}
+
+func TestViewBadIndexPanics(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		NodeView(r).Send(5, 0, nil)
+	})
+	if err == nil {
+		t.Fatal("bad view index accepted")
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	cnts, disps := blockCounts(10, 4)
+	wantC := []int{3, 3, 2, 2}
+	wantD := []int{0, 3, 6, 8}
+	for i := range wantC {
+		if cnts[i] != wantC[i] || disps[i] != wantD[i] {
+			t.Fatalf("blockCounts(10,4) = %v %v", cnts, disps)
+		}
+	}
+	total := 0
+	for _, c := range cnts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestPowHelpers(t *testing.T) {
+	if nextPow2(1) != 1 || nextPow2(5) != 8 || nextPow2(8) != 8 {
+		t.Fatal("nextPow2 wrong")
+	}
+	if prevPow2(1) != 1 || prevPow2(5) != 4 || prevPow2(8) != 8 {
+		t.Fatal("prevPow2 wrong")
+	}
+	if maskLog2(1) != 0 || maskLog2(8) != 3 {
+		t.Fatal("maskLog2 wrong")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

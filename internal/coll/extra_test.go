@@ -1,0 +1,153 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+func expectedAlltoall(size, chunk, me int) []byte {
+	out := make([]byte, size*chunk)
+	for src := 0; src < size; src++ {
+		nums.FillBytes(out[src*chunk:(src+1)*chunk], src*1000+me)
+	}
+	return out
+}
+
+func testAlltoall(t *testing.T, name string, a2a func(View, []byte, []byte), chunk int) {
+	t.Helper()
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%s %dx%d", name, sh[0], sh[1]), func(t *testing.T) {
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, size*chunk)
+				for j := 0; j < size; j++ {
+					nums.FillBytes(send[j*chunk:(j+1)*chunk], r.Rank()*1000+j)
+				}
+				recv := make([]byte, size*chunk)
+				a2a(World(r), send, recv)
+				if !bytes.Equal(recv, expectedAlltoall(size, chunk, r.Rank())) {
+					t.Errorf("rank %d %s wrong", r.Rank(), name)
+				}
+			})
+		})
+	}
+}
+
+func TestAlltoallBruck(t *testing.T)    { testAlltoall(t, "bruck", AlltoallBruck, 16) }
+func TestAlltoallPairwise(t *testing.T) { testAlltoall(t, "pairwise", AlltoallPairwise, 16) }
+
+func TestAlltoallAutoSelect(t *testing.T) {
+	for _, thresh := range []int{1, 1 << 30} {
+		thresh := thresh
+		testAlltoall(t, fmt.Sprintf("auto-%d", thresh),
+			func(v View, s, r []byte) { Alltoall(v, s, r, thresh) }, 32)
+	}
+}
+
+func TestAlltoallBadBuffersPanic(t *testing.T) {
+	runExpectError(t, func(r *mpi.Rank) {
+		AlltoallBruck(World(r), make([]byte, 7), make([]byte, 7))
+	})
+}
+
+func TestBcastScatterAllgather(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			n := size * 96 // divisible by size
+			want := make([]byte, n)
+			nums.FillBytes(want, 5)
+			for _, root := range []int{0, size - 1} {
+				root := root
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					buf := make([]byte, n)
+					if r.Rank() == root {
+						copy(buf, want)
+					}
+					BcastScatterAllgather(World(r), root, buf)
+					if !bytes.Equal(buf, want) {
+						t.Errorf("rank %d vdg bcast wrong (root %d)", r.Rank(), root)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestBcastScatterAllgatherIndivisiblePanics(t *testing.T) {
+	runExpectError(t, func(r *mpi.Rank) {
+		BcastScatterAllgather(World(r), 0, make([]byte, 7))
+	})
+}
+
+func TestReduceScatterGather(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, elems := range []int{1, 64, 1000} {
+			sh, elems := sh, elems
+			t.Run(fmt.Sprintf("%dx%d n%d", sh[0], sh[1], elems), func(t *testing.T) {
+				root := size / 2
+				want := expectedSum(size, elems)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					var recv []byte
+					if r.Rank() == root {
+						recv = make([]byte, len(send))
+					}
+					ReduceScatterGather(World(r), root, send, recv, nums.Sum)
+					if r.Rank() == root && !bytes.Equal(recv, want) {
+						t.Errorf("rsg reduce wrong: got %v want %v",
+							nums.F64(recv)[:min(3, elems)], nums.F64(want)[:min(3, elems)])
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceHier(t *testing.T) {
+	for _, sh := range [][2]int{{2, 3}, {4, 4}, {3, 5}} {
+		for _, elems := range []int{16, 4096} { // below and above the large threshold
+			size := sh[0] * sh[1]
+			sh, elems := sh, elems
+			t.Run(fmt.Sprintf("%dx%d n%d", sh[0], sh[1], elems), func(t *testing.T) {
+				root := size - 1 // non-leader root
+				want := expectedSum(size, elems)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					var recv []byte
+					if r.Rank() == root {
+						recv = make([]byte, len(send))
+					}
+					ReduceHier(World(r), root, send, recv, nums.Sum, 8<<10)
+					if r.Rank() == root && !bytes.Equal(recv, want) {
+						t.Errorf("hier reduce wrong")
+					}
+				})
+			})
+		}
+	}
+}
+
+// runExpectError runs a 2x2 world expecting the body to fail.
+func runExpectError(t *testing.T, body func(*mpi.Rank)) {
+	t.Helper()
+	w, err := mpi.NewWorld(clusterForTest(), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err == nil {
+		t.Fatal("expected failure, got success")
+	}
+}
+
+func clusterForTest() *topology.Cluster { return topology.New(2, 2, topology.Block) }

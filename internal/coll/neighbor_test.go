@@ -1,0 +1,93 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+func TestNeighborAlltoallGrid(t *testing.T) {
+	for _, sh := range [][2]int{{2, 2}, {3, 2}, {4, 4}, {2, 3}} {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			size := sh[0] * sh[1]
+			grid := topology.SquarestGrid(size)
+			const n = 40
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				me := r.Rank()
+				dirs := [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+				var send, recv [4][]byte
+				for d, dir := range dirs {
+					if grid.Neighbor(me, dir[0], dir[1]) < 0 {
+						continue
+					}
+					send[d] = make([]byte, n)
+					nums.FillBytes(send[d], me*10+d)
+					recv[d] = make([]byte, n)
+				}
+				NeighborAlltoallGrid(World(r), grid, send, recv)
+				// The block received from direction d is the peer's
+				// block sent in the opposite direction.
+				opposite := [4]int{1, 0, 3, 2}
+				for d, dir := range dirs {
+					peer := grid.Neighbor(me, dir[0], dir[1])
+					if peer < 0 {
+						continue
+					}
+					want := make([]byte, n)
+					nums.FillBytes(want, peer*10+opposite[d])
+					if !bytes.Equal(recv[d], want) {
+						t.Errorf("rank %d direction %d: wrong halo from %d", me, d, peer)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestNeighborAlltoallValidation(t *testing.T) {
+	runExpectError(t, func(r *mpi.Rank) {
+		NeighborAlltoallGrid(World(r), topology.NewGrid(2, 1, 2), [4][]byte{}, [4][]byte{})
+	})
+	runExpectError(t, func(r *mpi.Rank) {
+		// Grid matches but a needed slot is nil.
+		NeighborAlltoallGrid(World(r), topology.SquarestGrid(r.Size()), [4][]byte{}, [4][]byte{})
+	})
+}
+
+func TestNeighborAlltoallRepeated(t *testing.T) {
+	// Back-to-back halo exchanges (the stencil steady state) must not
+	// cross-match between iterations.
+	runWorld(t, 2, 2, func(r *mpi.Rank) {
+		grid := topology.SquarestGrid(r.Size())
+		dirs := [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+		for it := 0; it < 3; it++ {
+			var send, recv [4][]byte
+			for d, dir := range dirs {
+				if grid.Neighbor(r.Rank(), dir[0], dir[1]) < 0 {
+					continue
+				}
+				send[d] = make([]byte, 8)
+				nums.FillBytes(send[d], it*100+r.Rank()*10+d)
+				recv[d] = make([]byte, 8)
+			}
+			NeighborAlltoallGrid(World(r), grid, send, recv)
+			opposite := [4]int{1, 0, 3, 2}
+			for d, dir := range dirs {
+				peer := grid.Neighbor(r.Rank(), dir[0], dir[1])
+				if peer < 0 {
+					continue
+				}
+				want := make([]byte, 8)
+				nums.FillBytes(want, it*100+peer*10+opposite[d])
+				if !bytes.Equal(recv[d], want) {
+					t.Errorf("iter %d rank %d dir %d wrong", it, r.Rank(), d)
+				}
+			}
+		}
+	})
+}

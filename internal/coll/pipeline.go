@@ -1,0 +1,53 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// BcastChainPipelined is the segmented chain broadcast: buf flows down the
+// rank chain root → root+1 → ... in segments of segSize bytes, so rank i
+// forwards segment k downstream while segment k+1 is still inbound — the
+// classic pipelined broadcast whose steady-state throughput approaches link
+// bandwidth independent of the chain length (for messages much larger than
+// one segment). A baseline alternative to the van de Geijn composition for
+// large broadcasts.
+func BcastChainPipelined(v View, root int, buf []byte, segSize int) {
+	size := v.Size()
+	checkRoot("bcast", root, size)
+	if segSize <= 0 {
+		panic(fmt.Sprintf("coll: pipelined bcast segment size %d", segSize))
+	}
+	if size == 1 || len(buf) == 0 {
+		return
+	}
+	tag := v.tagWindow()
+	rel := (v.me - root + size) % size
+	hasNext := rel+1 < size
+	next := (v.me + 1) % size
+	prev := (v.me - 1 + size) % size
+
+	nseg := (len(buf) + segSize - 1) / segSize
+	seg := func(k int) []byte {
+		lo := k * segSize
+		hi := lo + segSize
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		return buf[lo:hi]
+	}
+
+	var forwards []*mpi.Request
+	for k := 0; k < nseg; k++ {
+		if rel > 0 {
+			v.Recv(prev, tag+k, seg(k))
+		}
+		if hasNext {
+			// Forward asynchronously: the next segment's receive (or
+			// the root's next injection) overlaps this send.
+			forwards = append(forwards, v.Isend(next, tag+k, seg(k)))
+		}
+	}
+	v.r.Waitall(forwards...)
+}

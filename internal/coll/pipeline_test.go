@@ -1,0 +1,75 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+func TestBcastChainPipelinedCorrect(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, segSize := range []int{64, 4 << 10} {
+			for _, root := range []int{0, size - 1} {
+				sh, segSize, root := sh, segSize, root
+				t.Run(fmt.Sprintf("%dx%d seg%d root%d", sh[0], sh[1], segSize, root), func(t *testing.T) {
+					const n = 10_000 // not a multiple of the segment size
+					want := make([]byte, n)
+					nums.FillBytes(want, 21)
+					runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+						buf := make([]byte, n)
+						if r.Rank() == root {
+							copy(buf, want)
+						}
+						BcastChainPipelined(World(r), root, buf, segSize)
+						if !bytes.Equal(buf, want) {
+							t.Errorf("rank %d pipelined bcast wrong", r.Rank())
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestBcastChainPipelinedBeatsUnsegmented(t *testing.T) {
+	// For a large buffer over a long chain, pipelining must beat the
+	// single-segment chain (which serializes the full buffer per hop).
+	const n = 1 << 20
+	elapsed := func(segSize int) int64 {
+		w := mpi.MustNewWorld(topology.New(8, 1, topology.Block), mpi.DefaultConfig())
+		if err := w.Run(func(r *mpi.Rank) {
+			buf := make([]byte, n)
+			if r.Rank() == 0 {
+				nums.FillBytes(buf, 1)
+			}
+			BcastChainPipelined(World(r), 0, buf, segSize)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(w.Horizon())
+	}
+	pipelined := elapsed(32 << 10)
+	unsegmented := elapsed(n)
+	if pipelined >= unsegmented {
+		t.Errorf("pipelined (%d) not faster than unsegmented chain (%d)", pipelined, unsegmented)
+	}
+	// Steady state: the pipelined chain over 8 hops should cost well
+	// under half the store-and-forward chain.
+	if pipelined > unsegmented*2/3 {
+		t.Errorf("pipelining too weak: %d vs %d", pipelined, unsegmented)
+	}
+}
+
+func TestBcastChainPipelinedValidation(t *testing.T) {
+	runExpectError(t, func(r *mpi.Rank) {
+		BcastChainPipelined(World(r), 0, make([]byte, 64), 0)
+	})
+	runExpectError(t, func(r *mpi.Rank) {
+		BcastChainPipelined(World(r), 9, make([]byte, 64), 8)
+	})
+}

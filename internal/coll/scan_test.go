@@ -1,0 +1,147 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// expectedPrefix computes op(send_0..send_k) over the rank patterns.
+func expectedPrefix(k, elems int, op nums.Op) []byte {
+	acc := make([]byte, elems*nums.F64Size)
+	nums.Fill(acc, 0)
+	for i := 1; i <= k; i++ {
+		b := make([]byte, elems*nums.F64Size)
+		nums.Fill(b, i)
+		op.Combine(acc, b)
+	}
+	return acc
+}
+
+func TestScanAllShapes(t *testing.T) {
+	for _, sh := range shapes {
+		for _, elems := range []int{1, 9, 200} {
+			sh, elems := sh, elems
+			t.Run(fmt.Sprintf("%dx%d n%d", sh[0], sh[1], elems), func(t *testing.T) {
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					recv := make([]byte, len(send))
+					Scan(World(r), send, recv, nums.Sum)
+					if !bytes.Equal(recv, expectedPrefix(r.Rank(), elems, nums.Sum)) {
+						t.Errorf("rank %d scan wrong", r.Rank())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestScanMax(t *testing.T) {
+	runWorld(t, 3, 2, func(r *mpi.Rank) {
+		const elems = 4
+		send := make([]byte, elems*nums.F64Size)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, len(send))
+		Scan(World(r), send, recv, nums.Max)
+		if !bytes.Equal(recv, expectedPrefix(r.Rank(), elems, nums.Max)) {
+			t.Errorf("rank %d max-scan wrong", r.Rank())
+		}
+	})
+}
+
+func TestExscan(t *testing.T) {
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			const elems = 7
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, r.Rank())
+				recv := make([]byte, len(send))
+				sentinel := byte(0xAB)
+				for i := range recv {
+					recv[i] = sentinel
+				}
+				Exscan(World(r), send, recv, nums.Sum)
+				if r.Rank() == 0 {
+					for _, b := range recv {
+						if b != sentinel {
+							t.Error("rank 0 exscan buffer modified")
+							break
+						}
+					}
+					return
+				}
+				if !bytes.Equal(recv, expectedPrefix(r.Rank()-1, elems, nums.Sum)) {
+					t.Errorf("rank %d exscan wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func TestScanBadBuffersPanic(t *testing.T) {
+	runExpectError(t, func(r *mpi.Rank) {
+		Scan(World(r), make([]byte, 8), make([]byte, 16), nums.Sum)
+	})
+	runExpectError(t, func(r *mpi.Rank) {
+		Scan(World(r), make([]byte, 7), make([]byte, 7), nums.Sum)
+	})
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, blockElems := range []int{1, 16} {
+			sh, blockElems := sh, blockElems
+			t.Run(fmt.Sprintf("%dx%d be%d", sh[0], sh[1], blockElems), func(t *testing.T) {
+				elems := size * blockElems
+				want := expectedSum(size, elems)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					recv := make([]byte, blockElems*nums.F64Size)
+					ReduceScatterBlock(World(r), send, recv, nums.Sum)
+					lo := r.Rank() * blockElems * nums.F64Size
+					if !bytes.Equal(recv, want[lo:lo+len(recv)]) {
+						t.Errorf("rank %d reduce_scatter block wrong", r.Rank())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceScatterBlockValidation(t *testing.T) {
+	runExpectError(t, func(r *mpi.Rank) {
+		ReduceScatterBlock(World(r), make([]byte, 33), make([]byte, 8), nums.Sum)
+	})
+	runExpectError(t, func(r *mpi.Rank) {
+		ReduceScatterBlock(World(r), make([]byte, 32), make([]byte, 16), nums.Sum)
+	})
+}
+
+func TestScanOverCommView(t *testing.T) {
+	runWorld(t, 2, 4, func(r *mpi.Rank) {
+		c := mpi.WorldComm(r).Split(r.Rank()%2, r.Rank())
+		v := CommView(c)
+		send := make([]byte, 8)
+		nums.SetF64At(send, 0, float64(r.Rank()))
+		recv := make([]byte, 8)
+		Scan(v, send, recv, nums.Sum)
+		want := 0.0
+		for i, wr := range c.WorldRanks() {
+			if i > v.Me() {
+				break
+			}
+			want += float64(wr)
+		}
+		if got := nums.F64At(recv, 0); got != want {
+			t.Errorf("rank %d comm scan = %v, want %v", r.Rank(), got, want)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Variable-count collectives (MPI_Scatterv / MPI_Gatherv / MPI_Allgatherv):
+// the v-variants let every rank contribute or receive a different amount,
+// which irregular applications (unbalanced domain decompositions, variable-
+// length records) rely on. The implementations reuse the fixed-count
+// algorithm structures with per-rank counts and displacements.
+
+// checkCounts validates a counts/displacements pair against a buffer, with
+// non-overlap enforced by requiring displacements to be in count order when
+// walked sequentially (the common MPI usage; overlapping segments would
+// make the collectives ill-defined).
+func checkCounts(opName string, counts, displs []int, size, bufLen int, atRoot bool) {
+	if !atRoot {
+		return
+	}
+	if len(counts) != size || len(displs) != size {
+		panic(fmt.Sprintf("coll: %s needs %d counts/displs, got %d/%d",
+			opName, size, len(counts), len(displs)))
+	}
+	for i := 0; i < size; i++ {
+		if counts[i] < 0 || displs[i] < 0 || displs[i]+counts[i] > bufLen {
+			panic(fmt.Sprintf("coll: %s segment %d [%d,+%d) outside %dB buffer",
+				opName, i, displs[i], counts[i], bufLen))
+		}
+	}
+}
+
+// Scatterv distributes counts[i] bytes from send[displs[i]:] (root only) to
+// view index i's recv (whose length must equal counts[i] there). Linear
+// algorithm: the root streams each segment directly, as MPICH does (a tree
+// cannot help when segment sizes are arbitrary).
+func Scatterv(v View, root int, send []byte, counts, displs []int, recv []byte) {
+	tag := v.tagWindow()
+	size := v.Size()
+	checkRoot("scatterv", root, size)
+	checkCounts("scatterv", counts, displs, size, len(send), v.me == root)
+	if v.me == root {
+		reqs := make([]*mpi.Request, 0, size-1)
+		for i := 0; i < size; i++ {
+			if i == root {
+				v.memcpy(recv, send[displs[i]:displs[i]+counts[i]])
+				continue
+			}
+			reqs = append(reqs, v.Isend(i, tag+i, send[displs[i]:displs[i]+counts[i]]))
+		}
+		v.r.Waitall(reqs...)
+		return
+	}
+	v.Recv(root, tag+v.me, recv)
+}
+
+// Gatherv collects view index i's send (len counts[i] at root) into
+// recv[displs[i]:] at the root. Linear, mirroring Scatterv.
+func Gatherv(v View, root int, send []byte, counts, displs []int, recv []byte) {
+	tag := v.tagWindow()
+	size := v.Size()
+	checkRoot("gatherv", root, size)
+	checkCounts("gatherv", counts, displs, size, len(recv), v.me == root)
+	if v.me == root {
+		for i := 0; i < size; i++ {
+			if i == root {
+				v.memcpy(recv[displs[i]:displs[i]+counts[i]], send)
+				continue
+			}
+			v.Recv(i, tag+i, recv[displs[i]:displs[i]+counts[i]])
+		}
+		return
+	}
+	v.Send(root, tag+v.me, send)
+}
+
+// Allgatherv gathers view index i's send (len counts[i]) into every rank's
+// recv at displs[i]. Every rank must pass identical counts/displs. The
+// implementation is the ring algorithm generalized to unequal blocks — the
+// MPI standard choice, bandwidth-optimal regardless of skew.
+func Allgatherv(v View, send []byte, counts, displs []int, recv []byte) {
+	tag := v.tagWindow()
+	size := v.Size()
+	checkCounts("allgatherv", counts, displs, size, len(recv), true)
+	if len(send) != counts[v.me] {
+		panic(fmt.Sprintf("coll: allgatherv rank %d sends %dB, counts say %dB",
+			v.me, len(send), counts[v.me]))
+	}
+	v.memcpy(recv[displs[v.me]:displs[v.me]+counts[v.me]], send)
+	if size == 1 {
+		return
+	}
+	left := (v.me - 1 + size) % size
+	right := (v.me + 1) % size
+	for s := 0; s < size-1; s++ {
+		sendBlock := (v.me - s + 2*size) % size
+		recvBlock := (v.me - s - 1 + 2*size) % size
+		v.Sendrecv(right, tag+s,
+			recv[displs[sendBlock]:displs[sendBlock]+counts[sendBlock]],
+			left, tag+s,
+			recv[displs[recvBlock]:displs[recvBlock]+counts[recvBlock]])
+	}
+}
+
+// Alltoallv is the variable-count total exchange: view index i sends
+// sendCounts[j] bytes from send[sendDispls[j]:] to view index j, receiving
+// recvCounts[j] bytes into recv[recvDispls[j]:]. Counts must agree pairwise
+// (my sendCounts[j] == j's recvCounts[i]); the pairwise-exchange schedule
+// handles arbitrary skew.
+func Alltoallv(v View, send []byte, sendCounts, sendDispls []int,
+	recv []byte, recvCounts, recvDispls []int) {
+	size := v.Size()
+	checkCounts("alltoallv-send", sendCounts, sendDispls, size, len(send), true)
+	checkCounts("alltoallv-recv", recvCounts, recvDispls, size, len(recv), true)
+	tag := v.tagWindow()
+	// Self block.
+	v.memcpy(recv[recvDispls[v.me]:recvDispls[v.me]+recvCounts[v.me]],
+		send[sendDispls[v.me]:sendDispls[v.me]+sendCounts[v.me]])
+	for s := 1; s < size; s++ {
+		dst := (v.me + s) % size
+		src := (v.me - s + size) % size
+		rq := v.Irecv(src, tag+s, recv[recvDispls[src]:recvDispls[src]+recvCounts[src]])
+		sq := v.Isend(dst, tag+s, send[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]])
+		v.r.Waitall(rq, sq)
+	}
+}

@@ -1,0 +1,197 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// varLayout builds a skewed counts/displacements layout: rank i contributes
+// (i%4+1)*stride bytes, packed contiguously.
+func varLayout(size, stride int) (counts, displs []int, total int) {
+	counts = make([]int, size)
+	displs = make([]int, size)
+	for i := range counts {
+		counts[i] = (i%4 + 1) * stride
+		displs[i] = total
+		total += counts[i]
+	}
+	return counts, displs, total
+}
+
+// varExpected builds the packed reference buffer: rank i's segment is
+// FillBytes(seed=i).
+func varExpected(counts, displs []int, total int) []byte {
+	out := make([]byte, total)
+	for i := range counts {
+		nums.FillBytes(out[displs[i]:displs[i]+counts[i]], i)
+	}
+	return out
+}
+
+func TestScattervGatherv(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, root := range []int{0, size - 1} {
+			sh, root := sh, root
+			t.Run(fmt.Sprintf("%dx%d root%d", sh[0], sh[1], root), func(t *testing.T) {
+				counts, displs, total := varLayout(size, 24)
+				full := varExpected(counts, displs, total)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					me := r.Rank()
+					// Scatterv.
+					var send []byte
+					if me == root {
+						send = append([]byte(nil), full...)
+					}
+					recv := make([]byte, counts[me])
+					Scatterv(World(r), root, send, counts, displs, recv)
+					if !bytes.Equal(recv, full[displs[me]:displs[me]+counts[me]]) {
+						t.Errorf("rank %d scatterv wrong", me)
+					}
+					// Gatherv (send back what was received).
+					var g []byte
+					if me == root {
+						g = make([]byte, total)
+					}
+					Gatherv(World(r), root, recv, counts, displs, g)
+					if me == root && !bytes.Equal(g, full) {
+						t.Errorf("gatherv at root wrong")
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			counts, displs, total := varLayout(size, 16)
+			want := varExpected(counts, displs, total)
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, counts[r.Rank()])
+				nums.FillBytes(send, r.Rank())
+				recv := make([]byte, total)
+				Allgatherv(World(r), send, counts, displs, recv)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d allgatherv wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func TestAllgathervZeroCounts(t *testing.T) {
+	// Ranks may legitimately contribute nothing.
+	runWorld(t, 2, 3, func(r *mpi.Rank) {
+		size := r.Size()
+		counts := make([]int, size)
+		displs := make([]int, size)
+		total := 0
+		for i := range counts {
+			if i%2 == 0 {
+				counts[i] = 32
+			}
+			displs[i] = total
+			total += counts[i]
+		}
+		send := make([]byte, counts[r.Rank()])
+		nums.FillBytes(send, r.Rank())
+		recv := make([]byte, total)
+		Allgatherv(World(r), send, counts, displs, recv)
+		for i := 0; i < size; i++ {
+			want := make([]byte, counts[i])
+			nums.FillBytes(want, i)
+			if !bytes.Equal(recv[displs[i]:displs[i]+counts[i]], want) {
+				t.Errorf("rank %d block %d wrong", r.Rank(), i)
+			}
+		}
+	})
+}
+
+func TestVarcountValidation(t *testing.T) {
+	// Wrong counts length at root.
+	runExpectError(t, func(r *mpi.Rank) {
+		Scatterv(World(r), 0, make([]byte, 16), []int{16}, []int{0}, make([]byte, 16))
+	})
+	// Segment outside the buffer.
+	runExpectError(t, func(r *mpi.Rank) {
+		counts := []int{8, 16, 8, 8}
+		displs := []int{0, 8, 24, 32}
+		Gatherv(World(r), 0, make([]byte, counts[r.Rank()]), counts, displs, make([]byte, 32))
+	})
+	// Send length disagreeing with counts in allgatherv.
+	runExpectError(t, func(r *mpi.Rank) {
+		counts := []int{8, 8, 8, 8}
+		displs := []int{0, 8, 16, 24}
+		Allgatherv(World(r), make([]byte, 9), counts, displs, make([]byte, 32))
+	})
+}
+
+func TestScattervOverCommView(t *testing.T) {
+	runWorld(t, 2, 4, func(r *mpi.Rank) {
+		c := mpi.WorldComm(r).Split(r.Rank()%2, r.Rank())
+		v := CommView(c)
+		counts, displs, total := varLayout(v.Size(), 8)
+		full := varExpected(counts, displs, total)
+		var send []byte
+		if v.Me() == 0 {
+			send = append([]byte(nil), full...)
+		}
+		recv := make([]byte, counts[v.Me()])
+		Scatterv(v, 0, send, counts, displs, recv)
+		if !bytes.Equal(recv, full[displs[v.Me()]:displs[v.Me()]+counts[v.Me()]]) {
+			t.Errorf("rank %d comm scatterv wrong", r.Rank())
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			// Rank i sends (i+j)%5 * 8 bytes to rank j, pattern-filled.
+			cnt := func(i, j int) int { return ((i + j) % 5) * 8 }
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				me := r.Rank()
+				sendCounts := make([]int, size)
+				sendDispls := make([]int, size)
+				total := 0
+				for j := 0; j < size; j++ {
+					sendCounts[j] = cnt(me, j)
+					sendDispls[j] = total
+					total += sendCounts[j]
+				}
+				send := make([]byte, total)
+				for j := 0; j < size; j++ {
+					nums.FillBytes(send[sendDispls[j]:sendDispls[j]+sendCounts[j]], me*1000+j)
+				}
+				recvCounts := make([]int, size)
+				recvDispls := make([]int, size)
+				rtotal := 0
+				for j := 0; j < size; j++ {
+					recvCounts[j] = cnt(j, me)
+					recvDispls[j] = rtotal
+					rtotal += recvCounts[j]
+				}
+				recv := make([]byte, rtotal)
+				Alltoallv(World(r), send, sendCounts, sendDispls, recv, recvCounts, recvDispls)
+				for j := 0; j < size; j++ {
+					want := make([]byte, recvCounts[j])
+					nums.FillBytes(want, j*1000+me)
+					if !bytes.Equal(recv[recvDispls[j]:recvDispls[j]+recvCounts[j]], want) {
+						t.Errorf("rank %d block from %d wrong", me, j)
+						break
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Allgather is PiP-MColl MPI_Allgather with the paper's size switch: the
+// multi-object Bruck algorithm below Tun.AllgatherLargeMin bytes per
+// process, the multi-object ring with overlapped intranode broadcast at or
+// above it (Figure 13 switches at 64 kB).
+func (cl Coll) Allgather(r *mpi.Rank, send, recv []byte) {
+	if len(send) >= cl.Tun.withDefaults().AllgatherLargeMin {
+		AllgatherLarge(r, send, recv)
+	} else {
+		AllgatherSmall(r, send, recv)
+	}
+}
+
+// AllgatherSmall is the small-message PiP-MColl allgather (III-A2): an
+// intranode gather into the local root's buffer, a multi-object Bruck
+// exchange over node slabs with base P+1 (every process drives its own NIC
+// queue with a distinct node offset), a remainder step for non-powers of
+// P+1, a local re-shift into rank order, and an intranode broadcast of the
+// assembled result.
+func AllgatherSmall(r *mpi.Rank, send, recv []byte) {
+	requireBlock(r, "allgather")
+	c := r.Cluster()
+	size := c.Size()
+	chunk := len(send)
+	if len(recv) != size*chunk {
+		panic(fmt.Sprintf("core: allgather buffer mismatch: %dB recv for %d x %dB", len(recv), size, chunk))
+	}
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+	blk := P * chunk // one node slab
+
+	// Step 1: intranode gather into the local root's staging buffer B,
+	// which accumulates node slabs in *relative* node order: segment s
+	// holds the slab of node (me+s) mod N.
+	var B []byte
+	var ownSlab []byte
+	if r.Local() == 0 {
+		B = make([]byte, N*blk)
+		ownSlab = B[:blk]
+	}
+	intraGather(r, epoch, 0, 0, send, ownSlab)
+	if r.Local() == 0 {
+		env.Post(p, epoch, 0, slotMain, B)
+	} else {
+		B = env.Read(p, epoch, 0, slotMain).([]byte)
+	}
+	nb.wait() // gather complete before anyone ships segment 0
+
+	// Steps 2-4: multi-object Bruck over node slabs, base Bk = P+1.
+	// After a full stage with span Sp, B holds segments [0, Sp*(P+1)).
+	Bk := P + 1
+	Sp := 1
+	stage := 0
+	for Sp*Bk <= N {
+		// Process l exchanges with node offset (l+1)*Sp: sends the
+		// currently held Sp segments, receives the peer's Sp segments
+		// into position (l+1)*Sp.
+		off := (r.Local() + 1) * Sp
+		srcNode := (me + off) % N
+		dstNode := (me - off + N) % N
+		stageTag := tag + stage*phaseGap
+		rq := r.Irecv(c.Rank(srcNode, r.Local()), stageTag, B[off*blk:(off+Sp)*blk])
+		sq := r.Isend(c.Rank(dstNode, r.Local()), stageTag, B[:Sp*blk])
+		r.Waitall(rq, sq)
+		Sp *= Bk
+		stage++
+		nb.wait() // all of the stage's receives landed in B
+	}
+
+	// Step 5: remainder for N not a power of P+1. Process l fetches the
+	// prefix of node (me+(l+1)*Sp)'s held segments — its length
+	// min(Sp, N-(l+1)*Sp) — completing coverage of [0, N).
+	if Sp < N {
+		off := (r.Local() + 1) * Sp
+		cnt := min(Sp, N-off)
+		stageTag := tag + stage*phaseGap
+		var rq, sq *mpi.Request
+		if cnt > 0 {
+			srcNode := (me + off) % N
+			rq = r.Irecv(c.Rank(srcNode, r.Local()), stageTag, B[off*blk:(off+cnt)*blk])
+		}
+		// Symmetric send side: some peer needs this node's prefix iff
+		// its offset lands within [Sp, N).
+		if off < N { // same condition by symmetry of the schedule
+			dstNode := (me - off + N) % N
+			sq = r.Isend(c.Rank(dstNode, r.Local()), stageTag, B[:cnt*blk])
+		}
+		switch {
+		case rq != nil && sq != nil:
+			r.Waitall(rq, sq)
+		case rq != nil:
+			r.Wait(rq)
+		case sq != nil:
+			r.Wait(sq)
+		}
+		nb.wait()
+	}
+
+	// Step 6: shift into absolute rank order and broadcast. The shift is
+	// folded into the broadcast copy-out: every process (root included)
+	// copies the staged slabs from B into its own result buffer with the
+	// rotation applied — two contiguous copies, all P processes in
+	// parallel, no serial root pass.
+	sh.Memcpy(p, recv[me*blk:], B[:(N-me)*blk])
+	sh.Memcpy(p, recv[:me*blk], B[(N-me)*blk:])
+	finish(r, epoch, nb)
+}
+
+// phaseGap spaces the internode tags of successive stages.
+const phaseGap = 1 << 12
+
+// AllgatherLarge is the medium/large-message PiP-MColl allgather (III-B1):
+// intranode gather into the local root's result buffer, then a multi-object
+// ring over node slabs — each process ships its own C_b sub-chunk of the
+// slab, so one slab moves as P concurrent messages — with the intranode
+// broadcast of already-received slabs overlapped against the ring's
+// asynchronous network phase.
+func AllgatherLarge(r *mpi.Rank, send, recv []byte) {
+	requireBlock(r, "allgather")
+	c := r.Cluster()
+	size := c.Size()
+	chunk := len(send)
+	if len(recv) != size*chunk {
+		panic(fmt.Sprintf("core: allgather buffer mismatch: %dB recv for %d x %dB", len(recv), size, chunk))
+	}
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+	l := r.Local()
+	blk := P * chunk
+
+	// Step 1: intranode gather into the local root's recv at this node's
+	// own slab position; post the shared result buffer.
+	var shared []byte
+	if l == 0 {
+		shared = recv
+		env.Post(p, epoch, 0, slotMain, shared)
+		intraGather(r, epoch, 0, 0, send, shared[me*blk:(me+1)*blk])
+	} else {
+		intraGather(r, epoch, 0, 0, send, nil)
+		shared = env.Read(p, epoch, 0, slotMain).([]byte)
+	}
+	nb.wait()
+
+	// Steps 2-5: ring over nodes; process l carries sub-chunk l of each
+	// slab. Overlap: while step s's messages are in flight, copy the slab
+	// that arrived in step s-1 (or the own slab at s=0) into the private
+	// recv buffer.
+	left := (me - 1 + N) % N
+	right := (me + 1) % N
+	for s := 0; s < N-1; s++ {
+		sendSlab := (me - s + 2*N) % N
+		recvSlab := (me - s - 1 + 2*N) % N
+		stageTag := tag + s*phaseGap
+		sub := func(slab int) []byte {
+			base := slab*blk + l*chunk
+			return shared[base : base+chunk]
+		}
+		rq := r.Irecv(c.Rank(left, l), stageTag, sub(recvSlab))
+		sq := r.Isend(c.Rank(right, l), stageTag, sub(sendSlab))
+		// Overlapped intranode broadcast: non-root processes copy the
+		// slab that is already present while the network works.
+		if l != 0 {
+			cp := (me - s + 2*N) % N
+			sh.Memcpy(p, recv[cp*blk:(cp+1)*blk], shared[cp*blk:(cp+1)*blk])
+		}
+		r.Waitall(rq, sq)
+		nb.wait() // the slab received this step is fully assembled
+	}
+	// Final slab (received in the last step) still needs the local copy;
+	// with a single node the loop never ran, so copy the whole (only)
+	// slab instead.
+	if l != 0 {
+		cp := (me + 1) % N
+		sh.Memcpy(p, recv[cp*blk:(cp+1)*blk], shared[cp*blk:(cp+1)*blk])
+	}
+	finish(r, epoch, nb)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

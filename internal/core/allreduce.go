@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// Allreduce is PiP-MColl MPI_Allreduce with the paper's size switch: the
+// recursive multi-object Bruck algorithm below Tun.AllreduceLargeMin bytes,
+// the multi-object reduce-scatter + allgather at or above it (Figure 14
+// switches at an 8k double count = 64 kB).
+func (cl Coll) Allreduce(r *mpi.Rank, send, recv []byte, op nums.Op) {
+	if len(send) >= cl.Tun.withDefaults().AllreduceLargeMin {
+		AllreduceLarge(r, send, recv, op)
+	} else {
+		AllreduceSmall(r, send, recv, op)
+	}
+}
+
+// checkReduceBufs validates an allreduce buffer pair.
+func checkReduceBufs(send, recv []byte) {
+	if len(send) != len(recv) {
+		panic(fmt.Sprintf("core: allreduce buffer mismatch %d != %d", len(send), len(recv)))
+	}
+	if len(send)%nums.F64Size != 0 {
+		panic(fmt.Sprintf("core: allreduce buffer %dB is not a float64 vector", len(send)))
+	}
+}
+
+// AllreduceSmall is the small-message PiP-MColl allreduce (III-A3): an
+// intranode reduce into the local root's accumulator, then recursive
+// multi-object Bruck stages with base P+1 — at each stage, process l
+// exchanges the node's running partial sum with the node at offset
+// (l+1)·span and folds the received partial in, multiplying the covered
+// span by P+1 — followed by a remainder phase for N not a power of P+1
+// that combines snapshot partials of smaller spans, and a final intranode
+// broadcast. op must be commutative.
+//
+// The remainder phase realizes the paper's per-stage remainder-buffer idea
+// as a base-(P+1) digit decomposition: after the last full stage covering
+// span S, the still-missing N-S nodes are covered by fetching, for each
+// base-(P+1) digit d_j of N-S, d_j partials of span (P+1)^j from the
+// appropriate node offsets — each node retains a posted snapshot of its
+// partial after every stage precisely so peers can fetch these.
+func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
+	requireBlock(r, "allreduce")
+	checkReduceBufs(send, recv)
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	c := r.Cluster()
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+	l := r.Local()
+	V := len(send)
+
+	// Step 1: intranode reduce into the local root's accumulator acc,
+	// shared on the board.
+	var acc []byte
+	if l == 0 {
+		acc = make([]byte, V)
+	}
+	intraReduce(r, epoch, 0, 0, send, acc, op, 1<<62) // binomial: vectors are small here
+	if l == 0 {
+		env.Post(p, epoch, 0, slotMain, acc)
+	} else {
+		acc = env.Read(p, epoch, 0, slotMain).([]byte)
+	}
+	nb.wait()
+
+	// Full multi-object Bruck stages. Invariant: entering a stage with
+	// span Sp, acc holds the partial sum over nodes [me, me+Sp). The
+	// local root snapshots and posts acc before each stage's sends so
+	// (a) the stage sends a stable image and (b) the remainder phase can
+	// fetch span-Sp partials later.
+	Bk := P + 1
+	Sp := 1
+	stage := 0
+	snapshot := func() []byte {
+		var snap []byte
+		if l == 0 {
+			snap = make([]byte, V)
+			sh.Memcpy(p, snap, acc)
+			env.Post(p, epoch, 0, slotStageSnap+stage, snap)
+		} else {
+			snap = env.Read(p, epoch, 0, slotStageSnap+stage).([]byte)
+		}
+		return snap
+	}
+	snaps := []([]byte){snapshot()} // span-1 snapshot (stage 0)
+
+	for Sp*Bk <= N {
+		off := (l + 1) * Sp
+		srcNode := (me + off) % N
+		dstNode := (me - off + N) % N
+		stageTag := tag + stage*phaseGap
+		tmp := make([]byte, V)
+		rq := r.Irecv(c.Rank(srcNode, l), stageTag, tmp)
+		sq := r.Isend(c.Rank(dstNode, l), stageTag, snaps[stage])
+		r.Waitall(rq, sq)
+		// Fold the received span-Sp partial (from offset (l+1)Sp) into
+		// the shared accumulator. Commutativity makes the folding
+		// order across local ranks irrelevant.
+		sh.Combine(p, acc, tmp, op)
+		env.Counter(epoch, 0, slotStageDone).Add(p, 1)
+		if l == 0 {
+			env.Counter(epoch, 0, slotStageDone).WaitGE(p, uint64(P*(stage+1)))
+		}
+		nb.wait()
+		Sp *= Bk
+		stage++
+		snaps = append(snaps, snapshot())
+	}
+
+	// Remainder phase: cover nodes [me+Sp, me+N) with snapshot partials.
+	// Decompose rem = N-Sp in base Bk and schedule one fetch per digit
+	// unit, round-robin over local ranks; symmetric sends are derived
+	// from the same schedule.
+	rem := N - Sp
+	if rem > 0 {
+		type fetch struct {
+			off   int // node offset whose partial we need
+			stage int // snapshot stage to pull (span Bk^stage)
+		}
+		var plan []fetch
+		o := Sp
+		span := Sp
+		st := stage
+		for st >= 0 {
+			// span = Bk^st; digit = how many such blocks fit.
+			for rem >= span {
+				plan = append(plan, fetch{off: o, stage: st})
+				o += span
+				rem -= span
+			}
+			st--
+			span /= Bk
+		}
+		var reqs []*mpi.Request
+		tmps := make([][]byte, 0, len(plan))
+		for i, f := range plan {
+			if i%P != l {
+				continue
+			}
+			stageTag := tag + (stage+1+i)*phaseGap
+			// Receive the span partial from node me+off's stage
+			// snapshot; send ours to node me-off symmetrically.
+			tmp := make([]byte, V)
+			tmps = append(tmps, tmp)
+			reqs = append(reqs,
+				r.Irecv(c.Rank((me+f.off)%N, l), stageTag, tmp),
+				r.Isend(c.Rank((me-f.off+N)%N, l), stageTag, snaps[f.stage]))
+		}
+		r.Waitall(reqs...)
+		for _, tmp := range tmps {
+			sh.Combine(p, acc, tmp, op)
+		}
+		env.Counter(epoch, 0, slotStageDone+1).Add(p, 1)
+		if l == 0 {
+			env.Counter(epoch, 0, slotStageDone+1).WaitGE(p, uint64(P))
+		}
+		nb.wait()
+	}
+
+	// Step 7: broadcast the full result intranode.
+	if l == 0 {
+		sh.Memcpy(p, recv, acc)
+	}
+	intraBcast(r, epoch, slotSpan, 0, recv, 1<<62) // small-message temp-buffer path
+	finish(r, epoch, nb)
+}
+
+// AllreduceLarge is the medium/large-message PiP-MColl allreduce (III-B2):
+// chunked intranode reduce into the local root's accumulator, a
+// multi-object internode reduce-scatter — process l serves the node range
+// [N·l/P, N·(l+1)/P), shipping each range-node's chunk straight out of the
+// shared accumulator, while the owner of the home chunk folds in the N-1
+// incoming partials — then a multi-object ring allgather of the reduced
+// chunks with the intranode broadcast overlapped. op must be commutative.
+func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
+	requireBlock(r, "allreduce")
+	checkReduceBufs(send, recv)
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	c := r.Cluster()
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+	l := r.Local()
+	V := len(send)
+	elems := V / nums.F64Size
+
+	// Step 1: chunked intranode reduce into the local root's shared
+	// accumulator.
+	var acc []byte
+	if l == 0 {
+		acc = make([]byte, V)
+	}
+	intraReduce(r, epoch, 0, 0, send, acc, op, 0) // force the chunked path
+	if l == 0 {
+		env.Post(p, epoch, 0, slotMain, acc)
+	} else {
+		acc = env.Read(p, epoch, 0, slotMain).([]byte)
+	}
+	nb.wait()
+
+	// Steps 3-4: internode reduce-scatter. The vector splits into N node
+	// chunks; node q owns chunk q. Process l serves nodes
+	// [ranges[l], ranges[l+1]): it sends chunk q to (q, l) for each
+	// foreign q in its range, and if the home node's chunk falls in its
+	// range it receives and folds the N-1 partials.
+	cnts, disps := blockCounts(elems, N)
+	chunkOf := func(b []byte, q int) []byte {
+		return b[disps[q]*nums.F64Size : (disps[q]+cnts[q])*nums.F64Size]
+	}
+	rangeCnts, rangeDisps := blockCounts(N, P)
+	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
+
+	var sendReqs []*mpi.Request
+	for q := loQ; q < hiQ; q++ {
+		if q == me || cnts[q] == 0 {
+			continue
+		}
+		sendReqs = append(sendReqs, r.Isend(c.Rank(q, l), tag+q, chunkOf(acc, q)))
+	}
+	if me >= loQ && me < hiQ && cnts[me] > 0 {
+		// Home-chunk owner: fold in every other node's partial.
+		tmp := make([]byte, cnts[me]*nums.F64Size)
+		for s := 0; s < N; s++ {
+			if s == me {
+				continue
+			}
+			r.Recv(c.Rank(s, l), tag+me, tmp)
+			sh.Combine(p, chunkOf(acc, me), tmp, op)
+		}
+	}
+	for _, q := range sendReqs {
+		r.Wait(q)
+	}
+	nb.wait()
+
+	// Step 5: multi-object ring allgather of the node chunks with
+	// overlapped intranode broadcast, mirroring AllgatherLarge but over
+	// the (uneven) node chunks of the accumulator.
+	subCnts := make([][]int, N)
+	subDisps := make([][]int, N)
+	for q := 0; q < N; q++ {
+		subCnts[q], subDisps[q] = blockCounts(cnts[q], P)
+	}
+	sub := func(b []byte, q int) []byte {
+		base := (disps[q] + subDisps[q][l]) * nums.F64Size
+		return b[base : base+subCnts[q][l]*nums.F64Size]
+	}
+	left := (me - 1 + N) % N
+	right := (me + 1) % N
+	copySlab := func(q int) {
+		if l != 0 && cnts[q] > 0 {
+			sh.Memcpy(p, chunkOf(recv, q), chunkOf(acc, q))
+		}
+	}
+	for s := 0; s < N-1; s++ {
+		sendQ := (me - s + 2*N) % N
+		recvQ := (me - s - 1 + 2*N) % N
+		stageTag := tag + N + s*phaseGap
+		var rq, sq *mpi.Request
+		if subCnts[recvQ][l] > 0 {
+			rq = r.Irecv(c.Rank(left, l), stageTag, sub(acc, recvQ))
+		}
+		if subCnts[sendQ][l] > 0 {
+			sq = r.Isend(c.Rank(right, l), stageTag, sub(acc, sendQ))
+		}
+		copySlab((me - s + 2*N) % N) // overlap: chunk already present
+		if rq != nil {
+			r.Wait(rq)
+		}
+		if sq != nil {
+			r.Wait(sq)
+		}
+		nb.wait()
+	}
+	copySlab((me + 1) % N)
+	if l == 0 {
+		sh.Memcpy(p, recv, acc)
+	}
+	finish(r, epoch, nb)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/mpi"
+)
+
+// Alltoall is the multi-object MPI_Alltoall extension: a node-aggregated
+// total exchange in the PiP style. All P send buffers of a node are
+// posted, so any local process can read any peer's outgoing chunks
+// directly; process l packs and ships the node-to-node bundles for the
+// destination nodes in its range [N·l/P, N·(l+1)/P) — P concurrent senders
+// per node — while incoming bundles arrive spread across local ranks by
+// the mirrored owner function (multi-object receive). Each process then
+// copies its own rows out of the staged bundles.
+//
+// Internode volume is the minimal (N-1)·P²·chunk per node, versus
+// P·(R-1)·chunk for the flat algorithms, and every intranode byte moves as
+// a single direct userspace copy.
+func (cl Coll) Alltoall(r *mpi.Rank, send, recv []byte) {
+	requireBlock(r, "alltoall")
+	c := r.Cluster()
+	size := c.Size()
+	if len(send) != len(recv) || len(send)%size != 0 {
+		panic(fmt.Sprintf("core: alltoall buffers must be equal and divisible by %d (got %dB/%dB)",
+			size, len(send), len(recv)))
+	}
+	chunk := len(send) / size
+	if chunk >= cl.Tun.withDefaults().AlltoallAggMax {
+		// Large chunks: the pairwise exchange (every process already a
+		// concurrent sender) beats node aggregation, whose pack and
+		// unpack copies scale with P^2.
+		coll.AlltoallPairwise(coll.World(r), send, recv)
+		return
+	}
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+	l := r.Local()
+	bundle := P * P * chunk // all (local sender, remote receiver) pairs
+
+	// Post every process's send buffer and the node staging area (owned
+	// by the local root) where incoming bundles land.
+	env.Post(p, epoch, l, slotA2ASend+l, send)
+	var staging []byte
+	if l == 0 {
+		staging = make([]byte, N*bundle)
+		env.Post(p, epoch, 0, slotMain, staging)
+	} else {
+		staging = env.Read(p, epoch, 0, slotMain).([]byte)
+	}
+
+	peerSend := func(peer int) []byte {
+		return env.Read(p, epoch, peer, slotA2ASend+peer).([]byte)
+	}
+
+	rangeCnts, rangeDisps := blockCounts(N, P)
+	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
+	owner := func(q int) int {
+		for ll := 0; ll < P; ll++ {
+			if q >= rangeDisps[ll] && q < rangeDisps[ll]+rangeCnts[ll] {
+				return ll
+			}
+		}
+		panic("core: node owner not found")
+	}
+
+	// The node's own bundle never touches the network: copy it straight
+	// into staging (each sender's diagonal rows, done by the local root's
+	// owner to keep the copy parallel with the packing below).
+	if me >= loQ && me < hiQ {
+		dst := staging[me*bundle:]
+		for src := 0; src < P; src++ {
+			sb := peerSend(src)
+			at := (c.Rank(me, 0)) * chunk
+			sh.Memcpy(p, dst[src*P*chunk:(src+1)*P*chunk], sb[at:at+P*chunk])
+		}
+	}
+
+	// Pack and ship one bundle per destination node in this process's
+	// range; receive the bundles of source nodes owned by this local
+	// rank. Sender (s, owner(q)) pairs with receiver (q, owner(s)).
+	var reqs []*mpi.Request
+	for q := loQ; q < hiQ; q++ {
+		if q == me {
+			continue
+		}
+		pack := make([]byte, bundle)
+		for src := 0; src < P; src++ {
+			sb := peerSend(src)
+			at := c.Rank(q, 0) * chunk
+			sh.Memcpy(p, pack[src*P*chunk:(src+1)*P*chunk], sb[at:at+P*chunk])
+		}
+		reqs = append(reqs, r.Isend(c.Rank(q, owner(me)), tag+q, pack))
+	}
+	for s := loQ; s < hiQ; s++ {
+		if s == me {
+			continue
+		}
+		// Source node s's bundle for this node, sent by (s, owner(me)):
+		// land it in staging at the source slot.
+		reqs = append(reqs, r.Irecv(c.Rank(s, owner(me)), tag+me, staging[s*bundle:(s+1)*bundle]))
+	}
+	r.Waitall(reqs...)
+	nb.wait()
+
+	// Unpack: my recv row from source rank (s, src) lives at staging
+	// slot s, sender block src, position local l.
+	for s := 0; s < N; s++ {
+		for src := 0; src < P; src++ {
+			from := staging[s*bundle+src*P*chunk+l*chunk:]
+			at := c.Rank(s, src) * chunk
+			sh.Memcpy(p, recv[at:at+chunk], from[:chunk])
+		}
+	}
+	finish(r, epoch, nb)
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// Coll is a PiP-MColl collective context carrying the algorithm switch
+// points. The zero value uses DefaultTunables.
+type Coll struct {
+	Tun Tunables
+}
+
+// Scatter runs PiP-MColl MPI_Scatter (the same multi-object tree for all
+// sizes, per III-A1).
+func (cl Coll) Scatter(r *mpi.Rank, root int, send, recv []byte) {
+	Scatter(r, root, send, recv)
+}
+
+// IntraBcast broadcasts buf from the node's local rank rootLocal to all
+// node peers using the III-C auxiliary broadcast (temp-buffer posting for
+// small payloads, direct address sharing for large ones). It is a
+// node-scope collective: every local rank of the caller's node must call it.
+func (cl Coll) IntraBcast(r *mpi.Rank, rootLocal int, buf []byte) {
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	intraBcast(r, epoch, 0, rootLocal, buf, cl.Tun.withDefaults().IntraLargeMin)
+	finish(r, epoch, nb)
+}
+
+// IntraGather collects each local rank's send chunk into full (significant
+// only at rootLocal) via the III-C address-posting gather.
+func (cl Coll) IntraGather(r *mpi.Rank, rootLocal int, send, full []byte) {
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	intraGather(r, epoch, 0, rootLocal, send, full)
+	finish(r, epoch, nb)
+}
+
+// IntraReduce combines each local rank's send vector into dst at rootLocal
+// (binomial below the intra switch point, chunked-parallel above, per
+// III-C and Figure 5). op must be commutative.
+func (cl Coll) IntraReduce(r *mpi.Rank, rootLocal int, send, dst []byte, op nums.Op) {
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	intraReduce(r, epoch, 0, rootLocal, send, dst, op, cl.Tun.withDefaults().IntraLargeMin)
+	finish(r, epoch, nb)
+}

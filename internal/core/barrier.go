@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/mpi"
+)
+
+// Barrier is the multi-object MPI_Barrier: local ranks arrive at the node's
+// counting barrier, then the node-level dissemination rounds are spread
+// across the P processes — round k is driven by local rank k mod P, so up
+// to P rounds proceed through distinct NIC queues — and a final node
+// barrier releases everyone. With N nodes the internode phase still needs
+// ceil(log2 N) sequential rounds (dissemination is inherently ordered), but
+// each round's message leaves from a different queue, avoiding serial
+// per-process injection overhead.
+func (cl Coll) Barrier(r *mpi.Rank) {
+	requireBlock(r, "barrier")
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	c := r.Cluster()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+
+	// Everyone on the node has arrived.
+	nb.wait()
+
+	// Node-level dissemination: in round k, the node signals node
+	// (me + 2^k) mod N and hears from (me - 2^k) mod N. Local rank
+	// k mod P drives round k.
+	empty := []byte{}
+	in := []byte{}
+	round := 0
+	for mask := 1; mask < N; mask <<= 1 {
+		if r.Local() == round%P {
+			// Pair with the driving rank of the same round on the
+			// peer nodes.
+			dstRank := c.Rank((me+mask)%N, round%P)
+			srcRank := c.Rank((me-mask+N)%N, round%P)
+			rq := r.Irecv(srcRank, tag+round, in)
+			sq := r.Isend(dstRank, tag+round, empty)
+			r.Waitall(rq, sq)
+		}
+		// All local ranks resynchronize so round k+1's driver cannot
+		// signal before round k completed on this node.
+		nb.wait()
+		round++
+	}
+	finish(r, epoch, nb)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// The broadcast, gather, reduce and alltoall collectives below extend
+// PiP-MColl's multi-object design beyond the paper's three evaluated
+// primitives, following the same construction rules: all P processes of a
+// node drive the fabric concurrently, intranode movement goes through
+// posted addresses, and algorithms switch with message size. DESIGN.md
+// lists them as extension experiments; they are not part of the paper's
+// evaluation but follow directly from its Section III recipe.
+
+// Bcast is the multi-object MPI_Bcast. Small payloads ride a (P+1)-ary
+// node tree (each holder's P processes forward the buffer to P subtree
+// head nodes in parallel, collapsing tree depth from log2 N to
+// log_{P+1} N), followed by the III-C intranode broadcast. Large payloads
+// use the van de Geijn composition with the paper's own building blocks:
+// PiP-MColl scatter of node chunks, then the multi-object ring allgather.
+func (cl Coll) Bcast(r *mpi.Rank, root int, buf []byte) {
+	requireBlock(r, "bcast")
+	t := cl.Tun.withDefaults()
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("core: bcast root %d outside world of %d", root, size))
+	}
+	if len(buf) >= t.AllgatherLargeMin && len(buf)%(size) == 0 && size > 1 {
+		cl.bcastLarge(r, root, buf)
+		return
+	}
+	bcastSmall(r, root, buf, t.IntraLargeMin)
+}
+
+// bcastSmall is the (P+1)-ary multi-object broadcast tree.
+func bcastSmall(r *mpi.Rank, root int, buf []byte, intraLarge int) {
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	c := r.Cluster()
+	env := r.Env()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	rootNode := c.Node(root)
+	rootLocalOnNode := c.Local(root)
+	vnode := (r.Node() - rootNode + N) % N
+
+	// The root posts its buffer; on every other node the local root will
+	// post after receiving. All peers read the posted slab at the end.
+	if r.Rank() == root {
+		env.Post(p, epoch, r.Local(), slotMain, buf)
+	}
+
+	// Walk the same (P+1)-ary subtree schedule as Scatter, but forward
+	// the whole buffer instead of slabs.
+	lo, hi := 0, N
+	var haveBuf []byte
+	var sendReqs []*mpi.Request
+	read := func(owner int) []byte {
+		if haveBuf == nil {
+			haveBuf = env.Read(p, epoch, owner, slotMain).([]byte)
+		}
+		return haveBuf
+	}
+	owner := 0
+	if vnode == 0 {
+		owner = rootLocalOnNode
+	}
+	for round := 0; hi-lo > 1; round++ {
+		sizes, starts := splitParts(hi-lo, P+1)
+		if vnode == lo {
+			part := r.Local() + 1
+			if sizes[part] > 0 {
+				src := read(owner)
+				dstV := lo + starts[part]
+				dst := c.Rank((dstV+rootNode)%N, 0)
+				sendReqs = append(sendReqs, r.Isend(dst, tag+round, src))
+			}
+			hi = lo + sizes[0]
+			continue
+		}
+		part := partOf(vnode-lo, starts, sizes)
+		recvV := lo + starts[part]
+		if vnode == recvV && r.Local() == 0 {
+			slab := make([]byte, len(buf))
+			srcHolder := c.Rank((lo+rootNode)%N, part-1)
+			r.Recv(srcHolder, tag+round, slab)
+			env.Post(p, epoch, 0, slotMain, slab)
+		}
+		lo, hi = recvV, recvV+sizes[part]
+	}
+
+	// Intranode broadcast out of the posted slab.
+	src := read(owner)
+	if r.Rank() != root {
+		r.Env().Shm().Memcpy(p, buf, src)
+	}
+	for _, q := range sendReqs {
+		r.Wait(q)
+	}
+	finish(r, epoch, nb)
+}
+
+// bcastLarge composes the paper's own primitives (van de Geijn): scatter
+// the buffer as node chunks, then allgather them back with the multi-object
+// ring. len(buf) must divide evenly by the world size.
+func (cl Coll) bcastLarge(r *mpi.Rank, root int, buf []byte) {
+	size := r.Size()
+	chunk := len(buf) / size
+	piece := make([]byte, chunk)
+	Scatter(r, root, buf, piece)
+	AllgatherLarge(r, piece, buf)
+}

@@ -1,0 +1,155 @@
+// Package core implements PiP-MColl, the paper's contribution: multi-object
+// interprocess MPI collectives over the Process-in-Process shared address
+// space. "Multi-object" means every process of a node acts as an internode
+// sender/receiver simultaneously (driving its own NIC queue), while
+// intranode data movement happens through direct userspace copies via
+// addresses posted on the PiP board — no per-message size synchronization,
+// no kernel crossings, no bounce-buffer double copies.
+//
+// The package provides the three primary collectives the paper evaluates —
+// Scatter, Allgather, Allreduce — with the paper's size-based algorithm
+// switching, plus the auxiliary intranode collectives (bcast, gather,
+// reduce) of Section III-C they are built from:
+//
+//   - Scatter: multi-object (P+1)-ary tree with intranode scatter
+//     overlapped against the asynchronous internode sends (III-A1); the
+//     same algorithm serves all message sizes.
+//   - Allgather: multi-object Bruck with base P+1 for small messages
+//     (III-A2); multi-object ring with overlapped intranode broadcast for
+//     large messages (III-B1).
+//   - Allreduce: recursive multi-object Bruck with remainder reduction for
+//     small vectors (III-A3); multi-object reduce-scatter + multi-object
+//     ring allgather for large vectors (III-B2).
+//
+// All algorithms require the Block rank layout (as the paper's testbed
+// uses) and commutative reduction operators.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Tunables are the algorithm switch points. Zero values select
+// DefaultTunables.
+type Tunables struct {
+	// AllgatherLargeMin is the per-process payload (bytes) at which
+	// Allgather switches from the Bruck to the ring algorithm. The paper
+	// switches at 64 kB (Figure 13).
+	AllgatherLargeMin int
+	// AllreduceLargeMin is the vector size (bytes) at which Allreduce
+	// switches from the recursive Bruck to the reduce-scatter algorithm.
+	// The paper switches at an 8k double count = 64 kB (Figure 14).
+	AllreduceLargeMin int
+	// IntraLargeMin is the payload at which the auxiliary intranode
+	// bcast/reduce switch from their temp-buffer/binomial small-message
+	// forms to the address-sharing/chunked large-message forms (III-C).
+	IntraLargeMin int
+	// AlltoallAggMax is the largest per-peer chunk for which Alltoall
+	// uses node aggregation (bundling all P processes' chunks into one
+	// internode message); larger chunks use the pairwise exchange, where
+	// aggregation's extra pack/unpack copies no longer pay off.
+	AlltoallAggMax int
+}
+
+// DefaultTunables returns the paper's switch points.
+func DefaultTunables() Tunables {
+	return Tunables{
+		AllgatherLargeMin: 64 << 10,
+		AllreduceLargeMin: 64 << 10,
+		IntraLargeMin:     16 << 10,
+		AlltoallAggMax:    4 << 10,
+	}
+}
+
+// withDefaults fills zero fields from DefaultTunables.
+func (t Tunables) withDefaults() Tunables {
+	d := DefaultTunables()
+	if t.AllgatherLargeMin == 0 {
+		t.AllgatherLargeMin = d.AllgatherLargeMin
+	}
+	if t.AllreduceLargeMin == 0 {
+		t.AllreduceLargeMin = d.AllreduceLargeMin
+	}
+	if t.IntraLargeMin == 0 {
+		t.IntraLargeMin = d.IntraLargeMin
+	}
+	if t.AlltoallAggMax == 0 {
+		t.AlltoallAggMax = d.AlltoallAggMax
+	}
+	return t
+}
+
+// requireBlock panics unless the cluster uses the Block layout, which the
+// paper's rank arithmetic assumes.
+func requireBlock(r *mpi.Rank, opName string) {
+	if r.Cluster().Layout() != topology.Block {
+		panic(fmt.Sprintf("core: PiP-MColl %s requires block rank layout", opName))
+	}
+}
+
+// Board slots used by the collectives. Each collective invocation owns a
+// fresh epoch, so slots only need to be unique within one invocation. Slot
+// ranges with a local-rank or stage component add that index to the base.
+const (
+	slotBcastBuf    = 0   // flag, owner = intranode root: broadcast source
+	slotBcastDone   = 1   // counter, owner = intranode root: copies finished
+	slotGatherBuf   = 2   // flag, owner = intranode root: gather destination
+	slotGatherDone  = 3   // counter, owner = intranode root
+	slotReduceDst   = 4   // flag, owner = intranode root: reduce destination
+	slotReduceDone  = 5   // counter, owner = intranode root
+	slotMain        = 6   // flag, owner = local root: the collective's shared buffer
+	slotStageDone   = 7   // counter, owner = local root: per-stage arrivals
+	slotReduceSrc   = 32  // +local: flag, each process's source buffer (large reduce)
+	slotReduceLevel = 64  // +level: flag, binomial reduce accumulator posts
+	slotStageSnap   = 128 // +stage: flag, allreduce-small stage snapshots
+	slotA2ASend     = 256 // +local: flag, alltoall posted send buffers
+	slotNodeBar     = 511 // counter, owner 0: the collective's counting barrier
+	slotSpan        = 512 // stride between independent intra-op slot groups
+)
+
+// tagBase returns the invocation-private internode tag window (see coll's
+// tag discipline; core shares the same epoch counter so windows never
+// collide across packages).
+func tagBase(epoch uint64) int { return int(epoch) << 24 }
+
+// finish closes a collective: a final node barrier, then the local root
+// frees the epoch's board cells.
+func finish(r *mpi.Rank, epoch uint64, nb *nodeBar) {
+	nb.wait()
+	if r.Local() == 0 {
+		r.Env().EndEpoch(epoch)
+	}
+}
+
+// nodeBar is an epoch-scoped counting barrier over the node's local ranks.
+// Unlike a shared barrier object, it lives entirely in the collective's
+// board epoch, so concurrent collectives on the same node (e.g. a
+// nonblocking collective overlapping a blocking one) can never cross-release
+// each other. Each wait charges one intranode handoff — the per-step
+// multi-object synchronization cost the paper discusses for MPI_Allreduce
+// at medium sizes.
+type nodeBar struct {
+	r         *mpi.Rank
+	c         *simtime.Counter
+	ppn       int
+	crossings int
+}
+
+// newNodeBarrier binds a counting barrier to the collective's epoch.
+func newNodeBarrier(r *mpi.Rank, epoch uint64) *nodeBar {
+	return &nodeBar{r: r, c: r.Env().Counter(epoch, 0, slotNodeBar), ppn: r.Env().PPN()}
+}
+
+// wait blocks until every local rank has crossed this barrier as many times
+// as the caller. Arrival counts are monotone, so a rank racing ahead to the
+// next crossing cannot release waiters of the previous one early.
+func (b *nodeBar) wait() {
+	b.r.Env().Shm().Handoff(b.r.Proc())
+	b.crossings++
+	b.c.Add(b.r.Proc(), 1)
+	b.c.WaitGE(b.r.Proc(), uint64(b.ppn*b.crossings))
+}

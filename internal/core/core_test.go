@@ -1,0 +1,408 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+func runWorld(t *testing.T, nodes, ppn int, body func(*mpi.Rank)) {
+	t.Helper()
+	w, err := mpi.NewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatalf("world run (%dx%d): %v", nodes, ppn, err)
+	}
+}
+
+// shapes stresses powers of P+1 (scatter/Bruck fast paths), non-powers
+// (remainder logic), N<P, N>P, P=1 and N=1 degenerate cases.
+var shapes = [][2]int{
+	{1, 1}, {1, 4}, {2, 1}, {2, 3}, {3, 2}, {4, 4}, {4, 3}, // 4 = (3+1)^1
+	{5, 3}, {8, 2}, {9, 2}, {16, 3}, {16, 1}, {3, 6}, {7, 2},
+}
+
+func expectedGather(size, chunk int) []byte {
+	out := make([]byte, size*chunk)
+	for i := 0; i < size; i++ {
+		nums.FillBytes(out[i*chunk:(i+1)*chunk], i)
+	}
+	return out
+}
+
+func expectedSum(size, elems int) []byte {
+	acc := make([]byte, elems*nums.F64Size)
+	nums.Fill(acc, 0)
+	for i := 1; i < size; i++ {
+		b := make([]byte, elems*nums.F64Size)
+		nums.Fill(b, i)
+		nums.Sum.Combine(acc, b)
+	}
+	return acc
+}
+
+func TestScatterAllShapes(t *testing.T) {
+	const chunk = 32
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, root := range []int{0, size / 2, size - 1} {
+			sh, root := sh, root
+			t.Run(fmt.Sprintf("%dx%d root%d", sh[0], sh[1], root), func(t *testing.T) {
+				full := expectedGather(size, chunk)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					var send []byte
+					if r.Rank() == root {
+						send = append([]byte(nil), full...)
+					}
+					recv := make([]byte, chunk)
+					Scatter(r, root, send, recv)
+					if !bytes.Equal(recv, full[r.Rank()*chunk:(r.Rank()+1)*chunk]) {
+						t.Errorf("rank %d scatter chunk wrong", r.Rank())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestScatterLargeChunks(t *testing.T) {
+	// Chunks past the fabric and intranode eager limits exercise
+	// rendezvous paths inside the same algorithm.
+	const chunk = 48 << 10
+	for _, sh := range [][2]int{{3, 2}, {4, 3}} {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			size := sh[0] * sh[1]
+			full := expectedGather(size, chunk)
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				var send []byte
+				if r.Rank() == 0 {
+					send = append([]byte(nil), full...)
+				}
+				recv := make([]byte, chunk)
+				Scatter(r, 0, send, recv)
+				if !bytes.Equal(recv, full[r.Rank()*chunk:(r.Rank()+1)*chunk]) {
+					t.Errorf("rank %d large scatter chunk wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func testAllgatherImpl(t *testing.T, name string, ag func(*mpi.Rank, []byte, []byte), chunk int) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%s %dx%d", name, sh[0], sh[1]), func(t *testing.T) {
+			want := expectedGather(size, chunk)
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, chunk)
+				nums.FillBytes(send, r.Rank())
+				recv := make([]byte, size*chunk)
+				ag(r, send, recv)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d %s wrong", r.Rank(), name)
+				}
+			})
+		})
+	}
+}
+
+func TestAllgatherSmallAllShapes(t *testing.T) {
+	testAllgatherImpl(t, "small", AllgatherSmall, 24)
+}
+
+func TestAllgatherLargeAllShapes(t *testing.T) {
+	testAllgatherImpl(t, "large", AllgatherLarge, 24)
+}
+
+func TestAllgatherLargeBigChunks(t *testing.T) {
+	testAllgatherImpl(t, "large-72k", AllgatherLarge, 72<<10)
+}
+
+func TestAllgatherDispatch(t *testing.T) {
+	// Below and above the switch point both produce correct results.
+	for _, chunk := range []int{512, 80 << 10} {
+		chunk := chunk
+		t.Run(fmt.Sprintf("%dB", chunk), func(t *testing.T) {
+			want := expectedGather(6, chunk)
+			runWorld(t, 3, 2, func(r *mpi.Rank) {
+				send := make([]byte, chunk)
+				nums.FillBytes(send, r.Rank())
+				recv := make([]byte, 6*chunk)
+				Coll{}.Allgather(r, send, recv)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d dispatch allgather wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func testAllreduceImpl(t *testing.T, name string, ar func(*mpi.Rank, []byte, []byte, nums.Op), elemsList []int) {
+	for _, sh := range shapes {
+		for _, elems := range elemsList {
+			size := sh[0] * sh[1]
+			sh, elems := sh, elems
+			t.Run(fmt.Sprintf("%s %dx%d n%d", name, sh[0], sh[1], elems), func(t *testing.T) {
+				want := expectedSum(size, elems)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					recv := make([]byte, len(send))
+					ar(r, send, recv, nums.Sum)
+					if !bytes.Equal(recv, want) {
+						t.Errorf("rank %d %s wrong: got %v want %v", r.Rank(), name,
+							nums.F64(recv)[:minInt(3, elems)], nums.F64(want)[:minInt(3, elems)])
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestAllreduceSmallAllShapes(t *testing.T) {
+	testAllreduceImpl(t, "small", AllreduceSmall, []int{1, 7, 100})
+}
+
+func TestAllreduceLargeAllShapes(t *testing.T) {
+	testAllreduceImpl(t, "large", AllreduceLarge, []int{1, 7, 100, 5000})
+}
+
+func TestAllreduceDispatch(t *testing.T) {
+	for _, elems := range []int{64, 16 << 10} {
+		elems := elems
+		t.Run(fmt.Sprintf("n%d", elems), func(t *testing.T) {
+			want := expectedSum(6, elems)
+			runWorld(t, 3, 2, func(r *mpi.Rank) {
+				send := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, r.Rank())
+				recv := make([]byte, len(send))
+				Coll{}.Allreduce(r, send, recv, nums.Sum)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d dispatch allreduce wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func TestAllreduceOtherOps(t *testing.T) {
+	for _, op := range []nums.Op{nums.Max, nums.Min, nums.Prod} {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			const elems = 6
+			want := make([]byte, elems*nums.F64Size)
+			nums.Fill(want, 0)
+			for i := 1; i < 6; i++ {
+				b := make([]byte, elems*nums.F64Size)
+				nums.Fill(b, i)
+				op.Combine(want, b)
+			}
+			runWorld(t, 3, 2, func(r *mpi.Rank) {
+				send := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, r.Rank())
+				recv := make([]byte, len(send))
+				AllreduceSmall(r, send, recv, op)
+				if !bytes.Equal(recv, want) {
+					t.Errorf("rank %d %s wrong", r.Rank(), op.Name)
+				}
+			})
+		})
+	}
+}
+
+func TestIntraCollectives(t *testing.T) {
+	for _, ppn := range []int{1, 2, 3, 5, 8} {
+		ppn := ppn
+		t.Run(fmt.Sprintf("ppn%d", ppn), func(t *testing.T) {
+			runWorld(t, 2, ppn, func(r *mpi.Rank) {
+				cl := Coll{}
+				// IntraBcast, small and large payloads.
+				for _, n := range []int{64, 64 << 10} {
+					buf := make([]byte, n)
+					want := make([]byte, n)
+					nums.FillBytes(want, 11)
+					if r.Local() == 0 {
+						copy(buf, want)
+					}
+					cl.IntraBcast(r, 0, buf)
+					if !bytes.Equal(buf, want) {
+						t.Errorf("rank %d intra bcast (%dB) wrong", r.Rank(), n)
+					}
+				}
+				// IntraGather.
+				chunk := 40
+				send := make([]byte, chunk)
+				nums.FillBytes(send, r.Local())
+				var full []byte
+				if r.Local() == 1%ppn {
+					full = make([]byte, ppn*chunk)
+				}
+				cl.IntraGather(r, 1%ppn, send, full)
+				if r.Local() == 1%ppn {
+					for i := 0; i < ppn; i++ {
+						want := make([]byte, chunk)
+						nums.FillBytes(want, i)
+						if !bytes.Equal(full[i*chunk:(i+1)*chunk], want) {
+							t.Errorf("intra gather chunk %d wrong on node %d", i, r.Node())
+						}
+					}
+				}
+				// IntraReduce, binomial and chunked paths.
+				for _, elems := range []int{16, 8 << 10} {
+					vec := make([]byte, elems*nums.F64Size)
+					nums.Fill(vec, r.Local())
+					var dst []byte
+					if r.Local() == 0 {
+						dst = make([]byte, len(vec))
+					}
+					cl.IntraReduce(r, 0, vec, dst, nums.Sum)
+					if r.Local() == 0 {
+						want := expectedSum(ppn, elems)
+						if !bytes.Equal(dst, want) {
+							t.Errorf("intra reduce (n=%d) wrong on node %d", elems, r.Node())
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestIntraReduceNonRootRoot(t *testing.T) {
+	// Reduce to a non-zero local root exercises the relative-rank paths.
+	runWorld(t, 1, 4, func(r *mpi.Rank) {
+		const elems = 10
+		vec := make([]byte, elems*nums.F64Size)
+		nums.Fill(vec, r.Local())
+		var dst []byte
+		if r.Local() == 2 {
+			dst = make([]byte, len(vec))
+		}
+		Coll{}.IntraReduce(r, 2, vec, dst, nums.Sum)
+		if r.Local() == 2 && !bytes.Equal(dst, expectedSum(4, elems)) {
+			t.Error("intra reduce to local root 2 wrong")
+		}
+	})
+}
+
+func TestBoardCellsFreedAfterCollectives(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(3, 3, topology.Block), mpi.DefaultConfig())
+	if err := w.Run(func(r *mpi.Rank) {
+		send := make([]byte, 256)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, 256)
+		for i := 0; i < 5; i++ {
+			AllreduceSmall(r, send, recv, nums.Sum)
+		}
+		ag := make([]byte, 9*256)
+		AllgatherSmall(r, send, ag)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if cells := w.Env(n).Cells(); cells != 0 {
+			t.Errorf("node %d leaked %d board cells", n, cells)
+		}
+	}
+}
+
+func TestRepeatedCollectivesDeterministic(t *testing.T) {
+	run := func() []byte {
+		var out []byte
+		runWorld(t, 3, 2, func(r *mpi.Rank) {
+			send := make([]byte, 128)
+			nums.Fill(send, r.Rank())
+			recv := make([]byte, 128)
+			for i := 0; i < 3; i++ {
+				AllreduceSmall(r, send, recv, nums.Sum)
+			}
+			if r.Rank() == 0 {
+				out = append([]byte(nil), recv...)
+			}
+		})
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated runs produced different results")
+	}
+}
+
+func TestScatterRejectsRoundRobin(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.RoundRobin), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		Scatter(r, 0, make([]byte, 4*8), make([]byte, 8))
+	})
+	if err == nil {
+		t.Fatal("round-robin layout accepted")
+	}
+}
+
+func TestScatterBadBuffersPanic(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		var send []byte
+		if r.Rank() == 0 {
+			send = make([]byte, 10) // not size*chunk
+		}
+		Scatter(r, 0, send, make([]byte, 8))
+	})
+	if err == nil {
+		t.Fatal("bad scatter buffers accepted")
+	}
+}
+
+func TestAllreduceNonF64Panics(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 1, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		AllreduceSmall(r, make([]byte, 7), make([]byte, 7), nums.Sum)
+	})
+	if err == nil {
+		t.Fatal("non-float64 allreduce accepted")
+	}
+}
+
+func TestTunablesDefaults(t *testing.T) {
+	var z Tunables
+	d := z.withDefaults()
+	if d != DefaultTunables() {
+		t.Fatalf("zero tunables = %+v", d)
+	}
+	custom := Tunables{AllgatherLargeMin: 1}.withDefaults()
+	if custom.AllgatherLargeMin != 1 || custom.AllreduceLargeMin != DefaultTunables().AllreduceLargeMin {
+		t.Fatalf("partial tunables = %+v", custom)
+	}
+}
+
+func TestSplitParts(t *testing.T) {
+	sizes, starts := splitParts(10, 4)
+	wantS := []int{3, 3, 2, 2}
+	wantO := []int{0, 3, 6, 8}
+	for i := range wantS {
+		if sizes[i] != wantS[i] || starts[i] != wantO[i] {
+			t.Fatalf("splitParts(10,4) = %v %v", sizes, starts)
+		}
+	}
+	sizes, _ = splitParts(2, 19)
+	if sizes[0] != 1 || sizes[1] != 1 {
+		t.Fatalf("splitParts(2,19) head = %v", sizes[:3])
+	}
+	if partOf(7, wantO, wantS) != 2 {
+		t.Fatal("partOf wrong")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// A PiP-MColl allreduce over a simulated 4-node cluster: every rank
+// contributes its rank number and reads back the global sum.
+func Example() {
+	cluster := topology.New(4, 3, topology.Block)
+	world := mpi.MustNewWorld(cluster, mpi.DefaultConfig())
+	err := world.Run(func(r *mpi.Rank) {
+		var mc core.Coll
+		send := make([]byte, 8)
+		nums.SetF64At(send, 0, float64(r.Rank()))
+		recv := make([]byte, 8)
+		mc.Allreduce(r, send, recv, nums.Sum)
+		if r.Rank() == 0 {
+			fmt.Printf("sum of ranks 0..11 = %v\n", nums.F64At(recv, 0))
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// sum of ranks 0..11 = 66
+}
+
+// Nonblocking collectives overlap communication with computation: the
+// helper runs the allreduce while the parent advances its own clock, and
+// Wait only pays the uncovered remainder.
+func ExampleColl_IAllreduce() {
+	cluster := topology.New(2, 2, topology.Block)
+	world := mpi.MustNewWorld(cluster, mpi.DefaultConfig())
+	err := world.Run(func(r *mpi.Rank) {
+		var mc core.Coll
+		send := make([]byte, 1024)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, 1024)
+		op := mc.IAllreduce(r, send, recv, nums.Sum)
+		// ... compute here while the collective progresses ...
+		op.Wait(r)
+		if r.Rank() == 0 {
+			fmt.Println("overlapped allreduce complete")
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// overlapped allreduce complete
+}

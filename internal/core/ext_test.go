@@ -1,0 +1,340 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// The extension collectives (Bcast, Gather, Reduce, Alltoall) get the same
+// exhaustive cross-shape treatment as the paper's three primaries.
+
+func TestBcastAllShapes(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, root := range []int{0, size - 1} {
+			for _, n := range []int{100, 96 << 10} {
+				sh, root, n := sh, root, n
+				t.Run(fmt.Sprintf("%dx%d root%d %dB", sh[0], sh[1], root, n), func(t *testing.T) {
+					want := make([]byte, n)
+					nums.FillBytes(want, 33)
+					runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+						buf := make([]byte, n)
+						if r.Rank() == root {
+							copy(buf, want)
+						}
+						Coll{}.Bcast(r, root, buf)
+						if !bytes.Equal(buf, want) {
+							t.Errorf("rank %d bcast wrong", r.Rank())
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestBcastLargePathUsed(t *testing.T) {
+	// A divisible large buffer must take the scatter+allgather path and
+	// beat the small tree (its point), and still be correct under odd
+	// divisibility falls back gracefully.
+	elapsedFor := func(n int) int64 {
+		w := mpi.MustNewWorld(topology.New(4, 3, topology.Block), mpi.DefaultConfig())
+		if err := w.Run(func(r *mpi.Rank) {
+			buf := make([]byte, n)
+			if r.Rank() == 0 {
+				nums.FillBytes(buf, 1)
+			}
+			Coll{}.Bcast(r, 0, buf)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(w.Horizon())
+	}
+	big := 768 << 10 // divisible by 12
+	treeOnly := elapsedFor(big + 1)
+	composed := elapsedFor(big)
+	if composed >= treeOnly {
+		t.Errorf("van de Geijn path (%d) not faster than tree (%d) at 768kB", composed, treeOnly)
+	}
+}
+
+func TestGatherAllShapes(t *testing.T) {
+	const chunk = 24
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, root := range []int{0, size / 2, size - 1} {
+			sh, root := sh, root
+			t.Run(fmt.Sprintf("%dx%d root%d", sh[0], sh[1], root), func(t *testing.T) {
+				want := expectedGather(size, chunk)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, chunk)
+					nums.FillBytes(send, r.Rank())
+					var recv []byte
+					if r.Rank() == root {
+						recv = make([]byte, size*chunk)
+					}
+					Coll{}.Gather(r, root, send, recv)
+					if r.Rank() == root && !bytes.Equal(recv, want) {
+						t.Errorf("gather at root %d wrong", root)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestGatherLargeChunks(t *testing.T) {
+	const chunk = 32 << 10
+	runWorld(t, 4, 3, func(r *mpi.Rank) {
+		send := make([]byte, chunk)
+		nums.FillBytes(send, r.Rank())
+		var recv []byte
+		if r.Rank() == 5 {
+			recv = make([]byte, 12*chunk)
+		}
+		Coll{}.Gather(r, 5, send, recv)
+		if r.Rank() == 5 && !bytes.Equal(recv, expectedGather(12, chunk)) {
+			t.Error("large gather wrong")
+		}
+	})
+}
+
+func TestReduceAllShapes(t *testing.T) {
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		for _, elems := range []int{1, 33, 9000} { // 9000*8 = 72kB: large path
+			sh, elems := sh, elems
+			t.Run(fmt.Sprintf("%dx%d n%d", sh[0], sh[1], elems), func(t *testing.T) {
+				root := size - 1
+				want := expectedSum(size, elems)
+				runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+					send := make([]byte, elems*nums.F64Size)
+					nums.Fill(send, r.Rank())
+					var recv []byte
+					if r.Rank() == root {
+						recv = make([]byte, len(send))
+					}
+					Coll{}.Reduce(r, root, send, recv, nums.Sum)
+					if r.Rank() == root && !bytes.Equal(recv, want) {
+						t.Errorf("reduce at root wrong: got %v want %v",
+							nums.F64(recv)[:minInt(3, elems)], nums.F64(want)[:minInt(3, elems)])
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceOtherOps(t *testing.T) {
+	for _, op := range []nums.Op{nums.Max, nums.Prod} {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			const elems = 8
+			want := make([]byte, elems*nums.F64Size)
+			nums.Fill(want, 0)
+			for i := 1; i < 6; i++ {
+				b := make([]byte, elems*nums.F64Size)
+				nums.Fill(b, i)
+				op.Combine(want, b)
+			}
+			runWorld(t, 2, 3, func(r *mpi.Rank) {
+				send := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, r.Rank())
+				var recv []byte
+				if r.Rank() == 0 {
+					recv = make([]byte, len(send))
+				}
+				Coll{}.Reduce(r, 0, send, recv, op)
+				if r.Rank() == 0 && !bytes.Equal(recv, want) {
+					t.Errorf("%s reduce wrong", op.Name)
+				}
+			})
+		})
+	}
+}
+
+// expectedAlltoall builds the reference: rank j's recv block i is rank i's
+// send block j; rank i's send block j is FillBytes(seed=i*1000+j).
+func expectedAlltoall(size, chunk, me int) []byte {
+	out := make([]byte, size*chunk)
+	for src := 0; src < size; src++ {
+		nums.FillBytes(out[src*chunk:(src+1)*chunk], src*1000+me)
+	}
+	return out
+}
+
+func TestAlltoallAllShapes(t *testing.T) {
+	const chunk = 16
+	for _, sh := range shapes {
+		size := sh[0] * sh[1]
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				send := make([]byte, size*chunk)
+				for j := 0; j < size; j++ {
+					nums.FillBytes(send[j*chunk:(j+1)*chunk], r.Rank()*1000+j)
+				}
+				recv := make([]byte, size*chunk)
+				Coll{}.Alltoall(r, send, recv)
+				if !bytes.Equal(recv, expectedAlltoall(size, chunk, r.Rank())) {
+					t.Errorf("rank %d alltoall wrong", r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func TestAlltoallLargeChunks(t *testing.T) {
+	const chunk = 24 << 10
+	runWorld(t, 3, 2, func(r *mpi.Rank) {
+		size := r.Size()
+		send := make([]byte, size*chunk)
+		for j := 0; j < size; j++ {
+			nums.FillBytes(send[j*chunk:(j+1)*chunk], r.Rank()*1000+j)
+		}
+		recv := make([]byte, size*chunk)
+		Coll{}.Alltoall(r, send, recv)
+		if !bytes.Equal(recv, expectedAlltoall(size, chunk, r.Rank())) {
+			t.Errorf("rank %d large alltoall wrong", r.Rank())
+		}
+	})
+}
+
+func TestAlltoallBadBuffersPanic(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	if err := w.Run(func(r *mpi.Rank) {
+		Coll{}.Alltoall(r, make([]byte, 9), make([]byte, 9))
+	}); err == nil {
+		t.Fatal("indivisible alltoall buffers accepted")
+	}
+}
+
+func TestExtensionRootValidation(t *testing.T) {
+	cases := []func(r *mpi.Rank){
+		func(r *mpi.Rank) { Coll{}.Bcast(r, 99, make([]byte, 8)) },
+		func(r *mpi.Rank) { Coll{}.Gather(r, -1, make([]byte, 8), nil) },
+		func(r *mpi.Rank) { Coll{}.Reduce(r, 99, make([]byte, 8), nil, nums.Sum) },
+	}
+	for i, body := range cases {
+		w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+		if err := w.Run(body); err == nil {
+			t.Errorf("case %d: bad root accepted", i)
+		}
+	}
+}
+
+func TestSubtreeScheduleCoversAllNodes(t *testing.T) {
+	// Every node except the root must appear as exactly one head, and
+	// every head's span must tile [1, N).
+	for _, tc := range []struct{ n, p int }{{1, 1}, {7, 3}, {16, 3}, {19, 18}, {128, 18}, {5, 1}} {
+		headSpans := map[int]int{}
+		for v := 0; v < tc.n; v++ {
+			events, span := subtreeSchedule(v, tc.n, tc.p)
+			if v == 0 && span != tc.n {
+				t.Fatalf("N=%d P=%d: root span %d", tc.n, tc.p, span)
+			}
+			heads := 0
+			for _, ev := range events {
+				if !ev.holder {
+					heads++
+					headSpans[v] = ev.span
+				}
+			}
+			if v == 0 && heads != 0 {
+				t.Fatalf("N=%d P=%d: root is a head", tc.n, tc.p)
+			}
+			if v != 0 && heads != 1 {
+				t.Fatalf("N=%d P=%d: node %d is head %d times", tc.n, tc.p, v, heads)
+			}
+		}
+		// Tiling check: the spans of head nodes plus singleton coverage
+		// must cover each non-root node exactly once.
+		covered := make([]int, tc.n)
+		covered[0]++ // root holds itself
+		for v, span := range headSpans {
+			for i := 0; i < span; i++ {
+				covered[v+i]++
+			}
+		}
+		// Every node inside a head's span is covered by that span; heads
+		// of sub-spans nest, so total coverage per node equals its
+		// nesting depth >= 1. Just verify nothing is uncovered.
+		for v, cnt := range covered {
+			if cnt == 0 {
+				t.Fatalf("N=%d P=%d: node %d never covered", tc.n, tc.p, v)
+			}
+		}
+	}
+}
+
+func TestBarrierAllShapes(t *testing.T) {
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(t *testing.T) {
+			var maxArrive, minLeave int64
+			minLeave = 1 << 62
+			runWorld(t, sh[0], sh[1], func(r *mpi.Rank) {
+				r.Proc().Advance(simtime.Duration(r.Rank()+1) * simtime.Microsecond)
+				arrive := int64(r.Now())
+				if arrive > maxArrive {
+					maxArrive = arrive
+				}
+				Coll{}.Barrier(r)
+				leave := int64(r.Now())
+				if leave < minLeave {
+					minLeave = leave
+				}
+			})
+			if minLeave < maxArrive {
+				t.Errorf("a rank left the barrier (%d) before the last arrival (%d)", minLeave, maxArrive)
+			}
+		})
+	}
+}
+
+func TestBarrierRepeated(t *testing.T) {
+	runWorld(t, 3, 3, func(r *mpi.Rank) {
+		for i := 0; i < 4; i++ {
+			r.Proc().Advance(simtime.Duration((r.Rank()*7+i)%5) * simtime.Microsecond)
+			Coll{}.Barrier(r)
+		}
+	})
+}
+
+func TestLargeScaleSmoke(t *testing.T) {
+	// The paper's full 128x18 shape: a small-message allreduce and a
+	// scatter, verified end to end (allgather at this scale exceeds the
+	// harness memory budget; Fig 7/10 cover it at 64x18).
+	if testing.Short() {
+		t.Skip("large-scale smoke skipped in -short mode")
+	}
+	runWorld(t, 128, 18, func(r *mpi.Rank) {
+		const elems = 16
+		send := make([]byte, elems*nums.F64Size)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, len(send))
+		AllreduceSmall(r, send, recv, nums.Sum)
+		if !bytes.Equal(recv, expectedSum(r.Size(), elems)) {
+			t.Errorf("rank %d large-scale allreduce wrong", r.Rank())
+		}
+	})
+	const chunk = 64
+	full := expectedGather(128*18, chunk)
+	runWorld(t, 128, 18, func(r *mpi.Rank) {
+		var send []byte
+		if r.Rank() == 0 {
+			send = full
+		}
+		recv := make([]byte, chunk)
+		Scatter(r, 0, send, recv)
+		if !bytes.Equal(recv, full[r.Rank()*chunk:(r.Rank()+1)*chunk]) {
+			t.Errorf("rank %d large-scale scatter wrong", r.Rank())
+		}
+	})
+}

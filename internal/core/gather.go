@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// subtreeEvent records one node's role in one round of the (P+1)-ary
+// subtree schedule shared by Scatter (forward), Gather and Reduce
+// (reversed). A node is either the holder of a subtree (it exchanges parts
+// with P head nodes) or the head of a part (it exchanges its whole subtree
+// with the holder).
+type subtreeEvent struct {
+	round  int
+	holder bool
+	// holder fields: the split of this round.
+	sizes, starts []int
+	lo            int
+	// head fields: which part this node heads, under which holder, and
+	// the subtree span it owns afterwards.
+	part, holderV, span int
+}
+
+// subtreeSchedule walks the (P+1)-ary decomposition for a node at virtual
+// index vnode and returns its events plus the node's maximal subtree span
+// (N for the root node, the received span for every other node).
+func subtreeSchedule(vnode, N, P int) (events []subtreeEvent, span int) {
+	lo, hi := 0, N
+	span = N
+	if vnode != 0 {
+		span = 0 // set when this node becomes a head
+	}
+	for round := 0; hi-lo > 1; round++ {
+		sizes, starts := splitParts(hi-lo, P+1)
+		if vnode == lo {
+			events = append(events, subtreeEvent{round: round, holder: true,
+				sizes: sizes, starts: starts, lo: lo})
+			hi = lo + sizes[0]
+			continue
+		}
+		part := partOf(vnode-lo, starts, sizes)
+		recvV := lo + starts[part]
+		if vnode == recvV {
+			events = append(events, subtreeEvent{round: round,
+				part: part, holderV: lo, span: sizes[part]})
+			if span == 0 {
+				span = sizes[part]
+			}
+		}
+		lo, hi = recvV, recvV+sizes[part]
+	}
+	return events, span
+}
+
+// Gather is the multi-object MPI_Gather: the mirror image of Scatter. The
+// (P+1)-ary schedule runs in reverse — subtree heads ship their accumulated
+// slabs up to the holder, whose P processes receive the P parts
+// concurrently (multi-object receive) straight into the shared staging
+// buffer. Intranode contributions enter through the III-C address-posting
+// gather. recv is significant only at root.
+func (cl Coll) Gather(r *mpi.Rank, root int, send, recv []byte) {
+	requireBlock(r, "gather")
+	c := r.Cluster()
+	size := c.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("core: gather root %d outside world of %d", root, size))
+	}
+	chunk := len(send)
+	if r.Rank() == root && len(recv) != size*chunk {
+		panic(fmt.Sprintf("core: gather buffer mismatch: %dB recv for %d x %dB", len(recv), size, chunk))
+	}
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	rootNode := c.Node(root)
+	vnode := (r.Node() - rootNode + N) % N
+	nodeBytes := P * chunk
+
+	events, span := subtreeSchedule(vnode, N, P)
+
+	// Allocate the node staging buffer D (covering the node's maximal
+	// subtree, own slab first) and gather local chunks into its head.
+	intraRoot := 0
+	if vnode == 0 {
+		intraRoot = c.Local(root)
+	}
+	var D []byte
+	if r.Local() == intraRoot {
+		D = make([]byte, span*nodeBytes)
+		env.Post(p, epoch, intraRoot, slotMain, D)
+	} else {
+		D = env.Read(p, epoch, intraRoot, slotMain).([]byte)
+	}
+	intraGather(r, epoch, slotSpan, intraRoot, send, D[:nodeBytes])
+	nb.wait()
+
+	// Replay the schedule in reverse: leaves ship first, the root node's
+	// holder rounds come last.
+	for i := len(events) - 1; i >= 0; i-- {
+		ev := events[i]
+		if ev.holder {
+			// Multi-object receive: local rank part-1 pulls part
+			// `part` directly into D.
+			part := r.Local() + 1
+			if ev.sizes[part] > 0 {
+				childV := ev.lo + ev.starts[part]
+				child := c.Rank((childV+rootNode)%N, r.Local())
+				at := ev.starts[part] * nodeBytes
+				r.Recv(child, tag+ev.round, D[at:at+ev.sizes[part]*nodeBytes])
+			}
+			nb.wait() // D extended before the next (earlier) round ships it
+			continue
+		}
+		// Head: local rank part-1 ships the whole accumulated subtree.
+		if r.Local() == ev.part-1 {
+			parent := c.Rank((ev.holderV+rootNode)%N, ev.part-1)
+			r.Send(parent, tag+ev.round, D[:ev.span*nodeBytes])
+		}
+	}
+
+	// The root rank rotates the virtual-node-ordered staging buffer into
+	// absolute rank order.
+	if r.Rank() == root {
+		sh.Memcpy(p, recv[rootNode*nodeBytes:], D[:(N-rootNode)*nodeBytes])
+		sh.Memcpy(p, recv[:rootNode*nodeBytes], D[(N-rootNode)*nodeBytes:])
+	}
+	finish(r, epoch, nb)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// The auxiliary intranode collectives of Section III-C. They operate purely
+// through the PiP board and direct userspace copies: no MPI point-to-point,
+// no size synchronization, no kernel involvement.
+//
+// Each takes an epoch plus a slot base so a single collective invocation can
+// run several of them without board-cell collisions (slot bases must be
+// slotSpan apart).
+
+// intraBcast broadcasts buf from local rank rootLocal to every process's
+// buf. Small payloads go through a temp buffer the root publishes (root
+// does not wait for readers); large payloads share the root's buffer
+// directly, and the root waits until all peers have copied out (III-C).
+func intraBcast(r *mpi.Rank, epoch uint64, slotBase, rootLocal int, buf []byte, largeMin int) {
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	ppn := env.PPN()
+	if ppn == 1 {
+		return
+	}
+	large := len(buf) >= largeMin
+	if r.Local() == rootLocal {
+		src := buf
+		if !large {
+			tmp := make([]byte, len(buf))
+			sh.Memcpy(p, tmp, buf)
+			src = tmp
+		}
+		env.Post(p, epoch, rootLocal, slotBase+slotBcastBuf, src)
+		if large {
+			env.Counter(epoch, rootLocal, slotBase+slotBcastDone).WaitGE(p, uint64(ppn-1))
+		}
+		return
+	}
+	src := env.Read(p, epoch, rootLocal, slotBase+slotBcastBuf).([]byte)
+	sh.Memcpy(p, buf, src)
+	if large {
+		env.Counter(epoch, rootLocal, slotBase+slotBcastDone).Add(p, 1)
+	}
+}
+
+// intraGather collects each process's send chunk into the root's full
+// buffer at offset local*len(send): the root posts its destination address,
+// every peer copies its chunk in directly, and the root waits for all
+// copies (III-C). full is significant only at the root.
+func intraGather(r *mpi.Rank, epoch uint64, slotBase, rootLocal int, send, full []byte) {
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	ppn := env.PPN()
+	chunk := len(send)
+	if r.Local() == rootLocal {
+		if len(full) != ppn*chunk {
+			panic(fmt.Sprintf("core: intra gather %dB full buffer for %d x %dB", len(full), ppn, chunk))
+		}
+		env.Post(p, epoch, rootLocal, slotBase+slotGatherBuf, full)
+		sh.Memcpy(p, full[rootLocal*chunk:(rootLocal+1)*chunk], send)
+		env.Counter(epoch, rootLocal, slotBase+slotGatherDone).WaitGE(p, uint64(ppn-1))
+		return
+	}
+	dst := env.Read(p, epoch, rootLocal, slotBase+slotGatherBuf).([]byte)
+	sh.Memcpy(p, dst[r.Local()*chunk:(r.Local()+1)*chunk], send)
+	env.Counter(epoch, rootLocal, slotBase+slotGatherDone).Add(p, 1)
+}
+
+// intraReduce combines every process's send vector into dst at the root
+// (dst significant only there). Small vectors use a binomial tree of posted
+// accumulators; large vectors use the chunked-parallel reduction of Figure
+// 5: every process posts its source, the root posts the destination, and
+// process i reduces the i-th chunk of all P sources into the destination
+// (III-C). op must be commutative.
+func intraReduce(r *mpi.Rank, epoch uint64, slotBase, rootLocal int, send, dst []byte, op nums.Op, largeMin int) {
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	ppn := env.PPN()
+	if r.Local() == rootLocal && len(dst) != len(send) {
+		panic(fmt.Sprintf("core: intra reduce buffer mismatch %d != %d", len(dst), len(send)))
+	}
+	if ppn == 1 {
+		sh.Memcpy(p, dst, send)
+		return
+	}
+	if len(send) >= largeMin {
+		intraReduceChunked(r, epoch, slotBase, rootLocal, send, dst, op)
+		return
+	}
+
+	// Binomial tree over posted accumulators. Each non-surviving process
+	// posts its accumulator; the surviving partner reads it and combines.
+	rel := (r.Local() - rootLocal + ppn) % ppn
+	var acc []byte
+	if rel == 0 {
+		acc = dst
+	} else {
+		acc = make([]byte, len(send))
+	}
+	sh.Memcpy(p, acc, send)
+	level := 0
+	for mask := 1; mask < ppn; mask <<= 1 {
+		if rel&mask != 0 {
+			env.Post(p, epoch, r.Local(), slotBase+slotReduceLevel+level, acc)
+			break
+		}
+		if rel+mask < ppn {
+			peerLocal := (r.Local() + mask) % ppn
+			peerAcc := env.Read(p, epoch, peerLocal, slotBase+slotReduceLevel+level).([]byte)
+			sh.Combine(p, acc, peerAcc, op)
+		}
+		level++
+	}
+}
+
+// intraReduceChunked is the large-message intranode reduce of Figure 5.
+func intraReduceChunked(r *mpi.Rank, epoch uint64, slotBase, rootLocal int, send, dst []byte, op nums.Op) {
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	ppn := env.PPN()
+	elems := len(send) / nums.F64Size
+	if len(send)%nums.F64Size != 0 {
+		panic(fmt.Sprintf("core: intra reduce on %dB non-float64 buffer", len(send)))
+	}
+
+	// Publish: root its destination, everyone their source.
+	if r.Local() == rootLocal {
+		env.Post(p, epoch, rootLocal, slotBase+slotReduceDst, dst)
+	}
+	env.Post(p, epoch, r.Local(), slotBase+slotReduceSrc+r.Local(), send)
+	root := env.Read(p, epoch, rootLocal, slotBase+slotReduceDst).([]byte)
+
+	// Process i owns chunk i: seed it from local rank 0's source, then
+	// fold the other P-1 sources in.
+	cnts, disps := blockCounts(elems, ppn)
+	lo := disps[r.Local()] * nums.F64Size
+	hi := lo + cnts[r.Local()]*nums.F64Size
+	if lo < hi {
+		first := env.Read(p, epoch, 0, slotBase+slotReduceSrc+0).([]byte)
+		sh.Memcpy(p, root[lo:hi], first[lo:hi])
+		for l := 1; l < ppn; l++ {
+			src := env.Read(p, epoch, l, slotBase+slotReduceSrc+l).([]byte)
+			sh.Combine(p, root[lo:hi], src[lo:hi], op)
+		}
+	}
+	env.Counter(epoch, rootLocal, slotBase+slotReduceDone).Add(p, 1)
+	if r.Local() == rootLocal {
+		env.Counter(epoch, rootLocal, slotBase+slotReduceDone).WaitGE(p, uint64(ppn))
+	}
+}
+
+// blockCounts splits elems elements into blocks pieces as evenly as
+// possible, returning per-block counts and displacements (in elements).
+func blockCounts(elems, blocks int) (cnts, disps []int) {
+	cnts = make([]int, blocks)
+	disps = make([]int, blocks)
+	base, extra := elems/blocks, elems%blocks
+	off := 0
+	for i := range cnts {
+		cnts[i] = base
+		if i < extra {
+			cnts[i]++
+		}
+		disps[i] = off
+		off += cnts[i]
+	}
+	return cnts, disps
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// Nonblocking collectives (the I-variants of MPI): each starts the
+// corresponding PiP-MColl collective on an async helper sharing the rank's
+// identity and returns immediately, letting the caller overlap computation
+// with the collective — the natural extension of the paper's
+// intranode/internode overlap theme to the application level.
+//
+// MPI's nonblocking-collective rules apply: every rank must start the same
+// nonblocking collectives in the same order, the buffers belong to the
+// operation until Wait returns, and the caller must not run a conflicting
+// collective on the same buffers concurrently.
+
+// IAllreduce starts a nonblocking PiP-MColl allreduce.
+func (cl Coll) IAllreduce(r *mpi.Rank, send, recv []byte, op nums.Op) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Allreduce(ar, send, recv, op) })
+}
+
+// IAllgather starts a nonblocking PiP-MColl allgather.
+func (cl Coll) IAllgather(r *mpi.Rank, send, recv []byte) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Allgather(ar, send, recv) })
+}
+
+// IScatter starts a nonblocking PiP-MColl scatter.
+func (cl Coll) IScatter(r *mpi.Rank, root int, send, recv []byte) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Scatter(ar, root, send, recv) })
+}
+
+// IBcast starts a nonblocking PiP-MColl broadcast.
+func (cl Coll) IBcast(r *mpi.Rank, root int, buf []byte) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Bcast(ar, root, buf) })
+}
+
+// IGather starts a nonblocking PiP-MColl gather.
+func (cl Coll) IGather(r *mpi.Rank, root int, send, recv []byte) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Gather(ar, root, send, recv) })
+}
+
+// IReduce starts a nonblocking PiP-MColl reduce.
+func (cl Coll) IReduce(r *mpi.Rank, root int, send, recv []byte, op nums.Op) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Reduce(ar, root, send, recv, op) })
+}
+
+// IAlltoall starts a nonblocking PiP-MColl alltoall.
+func (cl Coll) IAlltoall(r *mpi.Rank, send, recv []byte) *mpi.AsyncOp {
+	return r.Async(func(ar *mpi.Rank) { cl.Alltoall(ar, send, recv) })
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestIAllreduceCorrectAndOverlaps(t *testing.T) {
+	const nodes, ppn, elems = 4, 3, 512
+	size := nodes * ppn
+	want := expectedSum(size, elems)
+
+	// Measure the blocking collective alone, the compute alone, and the
+	// overlapped version: overlap must cost less than the sum.
+	elapsed := func(compute simtime.Duration, async bool) simtime.Time {
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+		if err := w.Run(func(r *mpi.Rank) {
+			send := make([]byte, elems*nums.F64Size)
+			nums.Fill(send, r.Rank())
+			recv := make([]byte, len(send))
+			if async {
+				op := Coll{}.IAllreduce(r, send, recv, nums.Sum)
+				r.Proc().Advance(compute) // overlapped computation
+				op.Wait(r)
+			} else {
+				r.Proc().Advance(compute)
+				Coll{}.Allreduce(r, send, recv, nums.Sum)
+			}
+			if !bytes.Equal(recv, want) {
+				t.Errorf("rank %d async allreduce wrong", r.Rank())
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Horizon()
+	}
+
+	collOnly := elapsed(0, false)
+	compute := simtime.Duration(collOnly) // compute as long as the collective
+	sequential := elapsed(compute, false)
+	overlapped := elapsed(compute, true)
+	if overlapped >= sequential {
+		t.Errorf("overlap gained nothing: overlapped %v vs sequential %v", overlapped, sequential)
+	}
+	// Perfect overlap would be max(compute, coll) = collOnly + small sync;
+	// allow generous slack for helper start/wait handshakes.
+	if overlapped > sequential-simtime.Time(compute)/2 {
+		t.Errorf("overlap too weak: %v (collective alone %v, sequential %v)",
+			overlapped, collOnly, sequential)
+	}
+}
+
+func TestNonblockingAllCollectives(t *testing.T) {
+	const nodes, ppn = 3, 2
+	size := nodes * ppn
+	const chunk = 64
+	wantGather := expectedGather(size, chunk)
+	wantSum := expectedSum(size, chunk/8)
+	runWorld(t, nodes, ppn, func(r *mpi.Rank) {
+		cl := Coll{}
+		me := r.Rank()
+
+		// Start several distinct nonblocking collectives back-to-back,
+		// then wait for all of them (stress for epoch-band isolation).
+		sendAG := make([]byte, chunk)
+		nums.FillBytes(sendAG, me)
+		recvAG := make([]byte, size*chunk)
+		opAG := cl.IAllgather(r, sendAG, recvAG)
+
+		sendAR := make([]byte, chunk)
+		nums.Fill(sendAR, me)
+		recvAR := make([]byte, chunk)
+		opAR := cl.IAllreduce(r, sendAR, recvAR, nums.Sum)
+
+		bufB := make([]byte, 48)
+		if me == 1 {
+			nums.FillBytes(bufB, 5)
+		}
+		opB := cl.IBcast(r, 1, bufB)
+
+		var scatterSend []byte
+		if me == 0 {
+			scatterSend = append([]byte(nil), wantGather...)
+		}
+		scatterRecv := make([]byte, chunk)
+		opS := cl.IScatter(r, 0, scatterSend, scatterRecv)
+
+		opAG.Wait(r)
+		opAR.Wait(r)
+		opB.Wait(r)
+		opS.Wait(r)
+
+		if !bytes.Equal(recvAG, wantGather) {
+			t.Errorf("rank %d iallgather wrong", me)
+		}
+		if !bytes.Equal(recvAR, wantSum) {
+			t.Errorf("rank %d iallreduce wrong", me)
+		}
+		wantB := make([]byte, 48)
+		nums.FillBytes(wantB, 5)
+		if !bytes.Equal(bufB, wantB) {
+			t.Errorf("rank %d ibcast wrong", me)
+		}
+		if !bytes.Equal(scatterRecv, wantGather[me*chunk:(me+1)*chunk]) {
+			t.Errorf("rank %d iscatter wrong", me)
+		}
+	})
+}
+
+func TestNonblockingRootedAndAlltoall(t *testing.T) {
+	const nodes, ppn = 2, 3
+	size := nodes * ppn
+	const chunk = 32
+	runWorld(t, nodes, ppn, func(r *mpi.Rank) {
+		cl := Coll{}
+		me := r.Rank()
+		root := size - 1
+
+		mine := make([]byte, chunk)
+		nums.FillBytes(mine, me)
+		var g []byte
+		if me == root {
+			g = make([]byte, size*chunk)
+		}
+		opG := cl.IGather(r, root, mine, g)
+
+		vec := make([]byte, chunk)
+		nums.Fill(vec, me)
+		var red []byte
+		if me == root {
+			red = make([]byte, chunk)
+		}
+		opR := cl.IReduce(r, root, vec, red, nums.Sum)
+
+		a2aSend := make([]byte, size*chunk)
+		for j := 0; j < size; j++ {
+			nums.FillBytes(a2aSend[j*chunk:(j+1)*chunk], me*1000+j)
+		}
+		a2aRecv := make([]byte, size*chunk)
+		opA := cl.IAlltoall(r, a2aSend, a2aRecv)
+
+		opG.Wait(r)
+		opR.Wait(r)
+		opA.Wait(r)
+
+		if me == root {
+			if !bytes.Equal(g, expectedGather(size, chunk)) {
+				t.Error("igather wrong")
+			}
+			if !bytes.Equal(red, expectedSum(size, chunk/8)) {
+				t.Error("ireduce wrong")
+			}
+		}
+		if !bytes.Equal(a2aRecv, expectedAlltoall(size, chunk, me)) {
+			t.Errorf("rank %d ialltoall wrong", me)
+		}
+	})
+}
+
+func TestAsyncMixedWithBlocking(t *testing.T) {
+	// A nonblocking collective in flight while the parent runs a
+	// different blocking collective: epoch bands keep them isolated.
+	runWorld(t, 2, 3, func(r *mpi.Rank) {
+		size := r.Size()
+		cl := Coll{}
+		sendA := make([]byte, 128)
+		nums.Fill(sendA, r.Rank())
+		recvA := make([]byte, 128)
+		op := cl.IAllreduce(r, sendA, recvA, nums.Sum)
+
+		sendB := make([]byte, 64)
+		nums.FillBytes(sendB, r.Rank())
+		recvB := make([]byte, size*64)
+		cl.Allgather(r, sendB, recvB) // blocking, concurrent with the async op
+
+		op.Wait(r)
+		if !bytes.Equal(recvA, expectedSum(size, 16)) {
+			t.Errorf("rank %d async allreduce wrong", r.Rank())
+		}
+		if !bytes.Equal(recvB, expectedGather(size, 64)) {
+			t.Errorf("rank %d blocking allgather wrong", r.Rank())
+		}
+	})
+}
+
+func TestAsyncHelperPanicsPropagate(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		op := r.Async(func(ar *mpi.Rank) {
+			panic(fmt.Sprintf("helper %d exploded", ar.Rank()))
+		})
+		op.Wait(r)
+	})
+	if err == nil {
+		t.Fatal("helper panic swallowed")
+	}
+}
+
+func TestAsyncHelperCannotUseHarnessBarrier(t *testing.T) {
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		op := r.Async(func(ar *mpi.Rank) { ar.HarnessBarrier() })
+		op.Wait(r)
+	})
+	if err == nil {
+		t.Fatal("harness barrier from helper accepted")
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	runOnce := func() simtime.Time {
+		w := mpi.MustNewWorld(topology.New(3, 2, topology.Block), mpi.DefaultConfig())
+		if err := w.Run(func(r *mpi.Rank) {
+			send := make([]byte, 256)
+			nums.Fill(send, r.Rank())
+			recv := make([]byte, 256)
+			op := Coll{}.IAllreduce(r, send, recv, nums.Sum)
+			r.Proc().Advance(10 * simtime.Microsecond)
+			op.Wait(r)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Horizon()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("async runs diverge: %v vs %v", a, b)
+	}
+}
+
+func TestMismatchedCollectiveOrderDeadlocksDetectably(t *testing.T) {
+	// MPI requires all ranks to issue collectives in the same order;
+	// violating it must not hang the harness — the engine's deadlock
+	// detector reports the stuck processes instead.
+	w := mpi.MustNewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	err := w.Run(func(r *mpi.Rank) {
+		send := make([]byte, 64)
+		recv := make([]byte, 64)
+		full := make([]byte, 4*64)
+		if r.Rank() == 0 {
+			AllreduceSmall(r, send, recv, nums.Sum) // wrong order on rank 0
+			AllgatherSmall(r, send, full)
+		} else {
+			AllgatherSmall(r, send, full)
+			AllreduceSmall(r, send, recv, nums.Sum)
+		}
+	})
+	var dl *simtime.DeadlockError
+	if !errorsAs(err, &dl) {
+		t.Fatalf("err = %v, want deadlock report", err)
+	}
+	if len(dl.Parked) == 0 {
+		t.Fatal("deadlock report lists no processes")
+	}
+}
+
+func errorsAs(err error, dl **simtime.DeadlockError) bool {
+	d, ok := err.(*simtime.DeadlockError)
+	if ok {
+		*dl = d
+	}
+	return ok
+}

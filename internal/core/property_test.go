@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// Property tests: every PiP-MColl collective must be correct on arbitrary
+// cluster shapes, payload sizes, and roots — the shape grid in the table
+// tests plus whatever the generator invents.
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 25}
+}
+
+// randomShape derives a small but irregular cluster shape and payload.
+func randomShape(seed int64) (nodes, ppn, payload, root int) {
+	rng := rand.New(rand.NewSource(seed))
+	nodes = 1 + rng.Intn(9)
+	ppn = 1 + rng.Intn(6)
+	payload = 8 * (1 + rng.Intn(64)) // 8B..512B, float64-aligned
+	root = rng.Intn(nodes * ppn)
+	return
+}
+
+func TestPropertyScatter(t *testing.T) {
+	f := func(seed int64) bool {
+		nodes, ppn, payload, root := randomShape(seed)
+		size := nodes * ppn
+		full := expectedGather(size, payload)
+		ok := true
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+		err := w.Run(func(r *mpi.Rank) {
+			var send []byte
+			if r.Rank() == root {
+				send = append([]byte(nil), full...)
+			}
+			recv := make([]byte, payload)
+			Scatter(r, root, send, recv)
+			if !bytes.Equal(recv, full[r.Rank()*payload:(r.Rank()+1)*payload]) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAllgather(t *testing.T) {
+	f := func(seed int64, large bool) bool {
+		nodes, ppn, payload, _ := randomShape(seed)
+		size := nodes * ppn
+		want := expectedGather(size, payload)
+		ag := AllgatherSmall
+		if large {
+			ag = AllgatherLarge
+		}
+		ok := true
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+		err := w.Run(func(r *mpi.Rank) {
+			send := make([]byte, payload)
+			nums.FillBytes(send, r.Rank())
+			recv := make([]byte, size*payload)
+			ag(r, send, recv)
+			if !bytes.Equal(recv, want) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAllreduce(t *testing.T) {
+	f := func(seed int64, large bool) bool {
+		nodes, ppn, payload, _ := randomShape(seed)
+		size := nodes * ppn
+		want := expectedSum(size, payload/8)
+		ar := AllreduceSmall
+		if large {
+			ar = AllreduceLarge
+		}
+		ok := true
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+		err := w.Run(func(r *mpi.Rank) {
+			send := make([]byte, payload)
+			nums.Fill(send, r.Rank())
+			recv := make([]byte, payload)
+			ar(r, send, recv, nums.Sum)
+			if !bytes.Equal(recv, want) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExtensions(t *testing.T) {
+	f := func(seed int64) bool {
+		nodes, ppn, payload, root := randomShape(seed)
+		size := nodes * ppn
+		wantGather := expectedGather(size, payload)
+		wantSum := expectedSum(size, payload/8)
+		ok := true
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+		err := w.Run(func(r *mpi.Rank) {
+			cl := Coll{}
+			// Bcast.
+			buf := make([]byte, payload)
+			if r.Rank() == root {
+				nums.FillBytes(buf, 3)
+			}
+			cl.Bcast(r, root, buf)
+			wantB := make([]byte, payload)
+			nums.FillBytes(wantB, 3)
+			if !bytes.Equal(buf, wantB) {
+				ok = false
+			}
+			// Gather.
+			send := make([]byte, payload)
+			nums.FillBytes(send, r.Rank())
+			var g []byte
+			if r.Rank() == root {
+				g = make([]byte, size*payload)
+			}
+			cl.Gather(r, root, send, g)
+			if r.Rank() == root && !bytes.Equal(g, wantGather) {
+				ok = false
+			}
+			// Reduce.
+			vec := make([]byte, payload)
+			nums.Fill(vec, r.Rank())
+			var out []byte
+			if r.Rank() == root {
+				out = make([]byte, payload)
+			}
+			cl.Reduce(r, root, vec, out, nums.Sum)
+			if r.Rank() == root && !bytes.Equal(out, wantSum) {
+				ok = false
+			}
+			// Alltoall.
+			a2aSend := make([]byte, size*payload)
+			for j := 0; j < size; j++ {
+				nums.FillBytes(a2aSend[j*payload:(j+1)*payload], r.Rank()*1000+j)
+			}
+			a2aRecv := make([]byte, size*payload)
+			cl.Alltoall(r, a2aSend, a2aRecv)
+			if !bytes.Equal(a2aRecv, expectedAlltoall(size, payload, r.Rank())) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyVirtualTimesDeterministic: same seed, same shape -> identical
+// virtual makespan across runs (the reproducibility guarantee behind the
+// zero-stddev measurements).
+func TestPropertyVirtualTimesDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() int64 {
+			nodes, ppn, payload, _ := randomShape(seed)
+			w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), mpi.DefaultConfig())
+			if err := w.Run(func(r *mpi.Rank) {
+				send := make([]byte, payload)
+				nums.Fill(send, r.Rank())
+				recv := make([]byte, payload)
+				AllreduceSmall(r, send, recv, nums.Sum)
+			}); err != nil {
+				return -1
+			}
+			return int64(w.Horizon())
+		}
+		a := run()
+		return a > 0 && a == run()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// Reduce is the multi-object MPI_Reduce. Small vectors ride the reversed
+// (P+1)-ary tree: each subtree head ships its partial sum up to the holder
+// node, whose P processes receive and fold the P partials concurrently into
+// the node accumulator. Large vectors use the paper's own large-allreduce
+// machinery truncated at the root: a multi-object reduce-scatter followed
+// by a multi-object gather of the reduced chunks into the root's buffer.
+// op must be commutative; recv is significant only at root.
+func (cl Coll) Reduce(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
+	requireBlock(r, "reduce")
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("core: reduce root %d outside world of %d", root, size))
+	}
+	if r.Rank() == root && len(recv) != len(send) {
+		panic(fmt.Sprintf("core: reduce buffer mismatch %d != %d", len(recv), len(send)))
+	}
+	if len(send)%nums.F64Size != 0 {
+		panic(fmt.Sprintf("core: reduce buffer %dB is not a float64 vector", len(send)))
+	}
+	if len(send) >= cl.Tun.withDefaults().AllreduceLargeMin {
+		reduceLarge(r, root, send, recv, op)
+	} else {
+		reduceSmall(r, root, send, recv, op, cl.Tun.withDefaults().IntraLargeMin)
+	}
+}
+
+// reduceSmall combines up the reversed (P+1)-ary tree.
+func reduceSmall(r *mpi.Rank, root int, send, recv []byte, op nums.Op, intraLarge int) {
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	c := r.Cluster()
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	rootNode := c.Node(root)
+	vnode := (r.Node() - rootNode + N) % N
+	V := len(send)
+
+	events, _ := subtreeSchedule(vnode, N, P)
+
+	// Intranode reduce into the node accumulator, shared via the board.
+	intraRoot := 0
+	if vnode == 0 {
+		intraRoot = c.Local(root)
+	}
+	var acc []byte
+	if r.Local() == intraRoot {
+		acc = make([]byte, V)
+		env.Post(p, epoch, intraRoot, slotMain, acc)
+	} else {
+		acc = env.Read(p, epoch, intraRoot, slotMain).([]byte)
+	}
+	intraReduce(r, epoch, slotSpan, intraRoot, send, acc, op, intraLarge)
+	nb.wait()
+
+	// Reverse replay: heads ship partials up; holders fold P partials in
+	// parallel (multi-object receive + combine).
+	for i := len(events) - 1; i >= 0; i-- {
+		ev := events[i]
+		if ev.holder {
+			part := r.Local() + 1
+			if ev.sizes[part] > 0 {
+				childV := ev.lo + ev.starts[part]
+				child := c.Rank((childV+rootNode)%N, r.Local())
+				tmp := make([]byte, V)
+				r.Recv(child, tag+ev.round, tmp)
+				sh.Combine(p, acc, tmp, op)
+			}
+			nb.wait()
+			continue
+		}
+		if r.Local() == ev.part-1 {
+			parent := c.Rank((ev.holderV+rootNode)%N, ev.part-1)
+			r.Send(parent, tag+ev.round, acc)
+		}
+	}
+	if r.Rank() == root {
+		sh.Memcpy(p, recv, acc)
+	}
+	finish(r, epoch, nb)
+}
+
+// reduceLarge is the multi-object reduce-scatter of III-B2 followed by a
+// multi-object chunk gather into the root's buffer: the owner process of
+// each node chunk ships it to its counterpart local rank on the root node,
+// which writes it straight into the root's posted result buffer.
+func reduceLarge(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	c := r.Cluster()
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	me := r.Node()
+	l := r.Local()
+	V := len(send)
+	elems := V / nums.F64Size
+	rootNode := c.Node(root)
+
+	// Phase 1+2: chunked intranode reduce, then internode reduce-scatter
+	// (identical structure to AllreduceLarge).
+	var acc []byte
+	if l == 0 {
+		acc = make([]byte, V)
+	}
+	intraReduce(r, epoch, 0, 0, send, acc, op, 0)
+	if l == 0 {
+		env.Post(p, epoch, 0, slotMain, acc)
+	} else {
+		acc = env.Read(p, epoch, 0, slotMain).([]byte)
+	}
+	nb.wait()
+
+	cnts, disps := blockCounts(elems, N)
+	chunkOf := func(b []byte, q int) []byte {
+		return b[disps[q]*nums.F64Size : (disps[q]+cnts[q])*nums.F64Size]
+	}
+	rangeCnts, rangeDisps := blockCounts(N, P)
+	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
+
+	var sendReqs []*mpi.Request
+	for q := loQ; q < hiQ; q++ {
+		if q == me || cnts[q] == 0 {
+			continue
+		}
+		sendReqs = append(sendReqs, r.Isend(c.Rank(q, l), tag+q, chunkOf(acc, q)))
+	}
+	if me >= loQ && me < hiQ && cnts[me] > 0 {
+		tmp := make([]byte, cnts[me]*nums.F64Size)
+		for s := 0; s < N; s++ {
+			if s == me {
+				continue
+			}
+			r.Recv(c.Rank(s, l), tag+me, tmp)
+			sh.Combine(p, chunkOf(acc, me), tmp, op)
+		}
+	}
+	for _, q := range sendReqs {
+		r.Wait(q)
+	}
+	nb.wait()
+
+	// Phase 3: multi-object chunk gather to the root. The root posts its
+	// result buffer; the owner process of chunk q on node q ships it to
+	// local rank owner(q) on the root node, which lands it in place.
+	if r.Rank() == root {
+		env.Post(p, epoch, c.Local(root), slotMain+1, recv)
+	}
+	owner := func(q int) int {
+		for ll := 0; ll < P; ll++ {
+			if q >= rangeDisps[ll] && q < rangeDisps[ll]+rangeCnts[ll] {
+				return ll
+			}
+		}
+		panic("core: chunk owner not found")
+	}
+	gatherTag := tag + N + 1
+	switch {
+	case me != rootNode && me >= loQ && me < hiQ && cnts[me] > 0:
+		// This node's reduced chunk travels to the root node.
+		r.Send(c.Rank(rootNode, l), gatherTag+me, chunkOf(acc, me))
+	case me == rootNode:
+		dst := env.Read(p, epoch, c.Local(root), slotMain+1).([]byte)
+		// Local rank l receives the chunks of the nodes it owns.
+		for q := loQ; q < hiQ; q++ {
+			if cnts[q] == 0 {
+				continue
+			}
+			if q == rootNode {
+				// The root node's own chunk is already reduced
+				// in acc; its owner copies it across.
+				if owner(q) == l {
+					sh.Memcpy(p, chunkOf(dst, q), chunkOf(acc, q))
+				}
+				continue
+			}
+			r.Recv(c.Rank(q, l), gatherTag+q, chunkOf(dst, q))
+		}
+	}
+	finish(r, epoch, nb)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Scatter is PiP-MColl MPI_Scatter (III-A1): a multi-object (P+1)-ary
+// distribution tree over nodes. Each round, every node holding data uses
+// all P of its processes as concurrent internode senders — process l ships
+// the (l+1)-th subtree slab straight out of the shared buffer to the slab's
+// first node — while the intranode scatter (each process copying its own
+// chunk out of the shared buffer) overlaps with the asynchronous sends. The
+// same algorithm serves every message size; its linear scaling in both C_b
+// and N is what Figures 6, 9 and 12 measure.
+//
+// send is significant only at root and must hold Size() chunks of len(recv)
+// bytes in rank order; every rank receives its chunk in recv.
+func Scatter(r *mpi.Rank, root int, send, recv []byte) {
+	requireBlock(r, "scatter")
+	c := r.Cluster()
+	size := c.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("core: scatter root %d outside world of %d", root, size))
+	}
+	chunk := len(recv)
+	if r.Rank() == root && len(send) != size*chunk {
+		panic(fmt.Sprintf("core: scatter buffer mismatch: %dB send for %d x %dB", len(send), size, chunk))
+	}
+
+	epoch := r.NextEpoch()
+	nb := newNodeBarrier(r, epoch)
+	tag := tagBase(epoch)
+	env := r.Env()
+	sh := env.Shm()
+	p := r.Proc()
+	N := c.Nodes()
+	P := c.PPN()
+	rootNode := c.Node(root)
+	// vnode rotates node ids so the root's node is virtual node 0.
+	vnode := (r.Node() - rootNode + N) % N
+	nodeBytes := P * chunk
+
+	// The root process prepares the shared buffer D in virtual-node order
+	// and posts it; every local rank (including on other nodes, once
+	// their local root receives) learns D from the board.
+	if r.Rank() == root {
+		D := send
+		if rootNode != 0 {
+			// Rotate so virtual node 0's slab comes first.
+			D = make([]byte, len(send))
+			cut := rootNode * nodeBytes
+			sh.Memcpy(p, D[:len(send)-cut], send[cut:])
+			sh.Memcpy(p, D[len(send)-cut:], send[:cut])
+		}
+		env.Post(p, epoch, r.Local(), slotMain, D)
+	}
+
+	// Walk the (P+1)-ary subtree decomposition. Every node follows the
+	// same schedule; communication happens only on the rounds where this
+	// node is a subtree holder (sender) or a slab's first node (receiver).
+	var sendReqs []*mpi.Request
+	var D []byte
+	haveD := false
+	readD := func(ownerLocal int) {
+		if !haveD {
+			D = env.Read(p, epoch, ownerLocal, slotMain).([]byte)
+			haveD = true
+			// Overlapped intranode scatter: grab the own chunk the
+			// moment the slab is visible, while internode sends
+			// (issued just before, on holder nodes) are in flight.
+			sh.Memcpy(p, recv, D[r.Local()*chunk:(r.Local()+1)*chunk])
+		}
+	}
+	rootOwner := c.Local(root) // board owner on the root's node
+
+	lo, hi := 0, N
+	for round := 0; hi-lo > 1; round++ {
+		sizes, starts := splitParts(hi-lo, P+1)
+		if vnode == lo {
+			// Holder: process l ships slab l+1 (if any) to its
+			// first node's local root.
+			part := r.Local() + 1
+			if sizes[part] > 0 {
+				owner := rootOwner
+				if vnode != 0 {
+					owner = 0
+				}
+				readD(owner)
+				dstV := lo + starts[part]
+				dst := c.Rank((dstV+rootNode)%N, 0)
+				slab := D[starts[part]*nodeBytes : (starts[part]+sizes[part])*nodeBytes]
+				sendReqs = append(sendReqs, r.Isend(dst, tag+round, slab))
+			}
+			hi = lo + sizes[0]
+			continue
+		}
+		part := partOf(vnode-lo, starts, sizes)
+		recvV := lo + starts[part]
+		if vnode == recvV && r.Local() == 0 {
+			// This node's local root receives its subtree slab.
+			srcHolder := c.Rank((lo+rootNode)%N, part-1)
+			slab := make([]byte, sizes[part]*nodeBytes)
+			r.Recv(srcHolder, tag+round, slab)
+			env.Post(p, epoch, 0, slotMain, slab)
+		}
+		lo, hi = recvV, recvV+sizes[part]
+	}
+
+	// Leaf: make sure the slab is visible and the own chunk copied (this
+	// is where non-root processes of every node land).
+	if vnode == 0 {
+		readD(rootOwner)
+	} else {
+		readD(0)
+	}
+
+	// Step 4: wait for all internode sends to complete.
+	for _, q := range sendReqs {
+		r.Wait(q)
+	}
+	finish(r, epoch, nb)
+}
+
+// splitParts divides n consecutive items into parts contiguous groups,
+// sizes as even as possible with earlier parts larger; returns sizes and
+// start offsets.
+func splitParts(n, parts int) (sizes, starts []int) {
+	sizes = make([]int, parts)
+	starts = make([]int, parts)
+	base, extra := n/parts, n%parts
+	off := 0
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+		starts[i] = off
+		off += sizes[i]
+	}
+	return sizes, starts
+}
+
+// partOf returns the index of the part containing offset off.
+func partOf(off int, starts, sizes []int) int {
+	for i := range starts {
+		if off >= starts[i] && off < starts[i]+sizes[i] {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: offset %d outside parts %v", off, sizes))
+}

@@ -1,0 +1,380 @@
+// Package fabric models the inter-node interconnect: a multi-queue NIC per
+// node feeding a node-wide link, with wire latency, eager/rendezvous
+// protocols, and receive-side processing.
+//
+// The model is what lets the reproduction exhibit the paper's Figure 1
+// behaviour, which motivates the whole multi-object design: a single sender
+// process cannot saturate either the NIC message rate or the link bandwidth,
+// while k concurrent senders scale both until the node-level caps are hit.
+// Concretely, each process owns a private injection (and drain) queue with a
+// per-message overhead and a per-queue DMA bandwidth, and all queues on a
+// node share a serial link with its own (smaller) per-message overhead and
+// (larger) total bandwidth:
+//
+//	queue stage:  o_q + M/B_q      (serial per process queue)
+//	link stage:   max(o_l, M/B_l)  (serial per node, tx and rx separately)
+//	wire:         L                (propagation latency)
+//
+// so message rate scales like k/o_q up to 1/o_l and throughput like k·B_q up
+// to B_l. Messages above the eager limit pay a rendezvous round-trip before
+// data moves, and complete at the sender only when the payload has left the
+// node; eager messages complete as soon as the local queue stage finishes.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Params are the calibration constants of the fabric model. The defaults
+// (see DefaultParams) approximate one Intel Omni-Path 100 Gb/s port as
+// described in the paper's experimental setup.
+type Params struct {
+	// WireLatency is the one-way propagation delay between any two nodes
+	// (the fabric is modelled as a full crossbar, like a fat-tree with
+	// full bisection bandwidth).
+	WireLatency simtime.Duration
+	// QueueOverhead is the per-message processing cost of one process's
+	// injection queue; its reciprocal is the per-process message rate.
+	QueueOverhead simtime.Duration
+	// QueueBandwidth is the DMA bandwidth of a single injection/drain
+	// queue in bytes/s. A single process cannot push data faster than
+	// this, which is why multiple senders improve large-message
+	// throughput (Figure 1b).
+	QueueBandwidth float64
+	// LinkOverhead is the per-message cost at the node's link; its
+	// reciprocal is the node-level message-rate cap (97 M msg/s for OPA).
+	LinkOverhead simtime.Duration
+	// LinkBandwidth is the node's total injection bandwidth in bytes/s
+	// (100 Gb/s = 12.5 GB/s for OPA).
+	LinkBandwidth float64
+	// RecvOverhead is the per-message receive-side queue processing cost.
+	RecvOverhead simtime.Duration
+	// SendCPU is the CPU time the sending process itself spends
+	// initiating a transfer (descriptor write, doorbell).
+	SendCPU simtime.Duration
+	// EagerLimit is the largest payload sent eagerly. Larger messages use
+	// a rendezvous handshake costing one extra round trip and complete at
+	// the sender only after the payload clears the node link.
+	EagerLimit int
+	// InjectionWindow is the maximum number of in-flight sends per
+	// endpoint: Send blocks the caller until the oldest outstanding
+	// message has cleared the injection queue. This models NIC queue
+	// depth/credits, and keeps the simulation honest — without it a
+	// process could book unbounded far-future resource slots while its
+	// own clock stands still, starving later (in simulation order, but
+	// not in virtual time) senders of link gaps. Zero means unlimited.
+	InjectionWindow int
+
+	// The optional two-level topology models an oversubscribed fat tree:
+	// nodes are grouped under leaf switches of GroupSize nodes each, and
+	// traffic between groups pays extra latency and shares a per-group
+	// uplink. GroupSize 0 (the default, used by all paper experiments)
+	// keeps the flat full-bisection crossbar.
+
+	// GroupSize is the number of nodes per leaf switch (0 = flat).
+	GroupSize int
+	// GroupLatency is the extra one-way latency for inter-group hops.
+	GroupLatency simtime.Duration
+	// GroupBandwidth is each group's uplink bandwidth in bytes/s shared
+	// by all of the group's inter-group traffic (0 = unconstrained).
+	GroupBandwidth float64
+}
+
+// DefaultParams returns the OPA-like calibration used by all paper-figure
+// experiments. Per-queue message rate ~3.3 M msg/s (one core driving PSM2),
+// node cap 97 M msg/s, per-queue DMA 8 GB/s (a single queue approaches but
+// cannot reach the 12.5 GB/s link, per Figure 1b), ~1 µs wire latency.
+func DefaultParams() Params {
+	return Params{
+		WireLatency:     simtime.Nanos(900),
+		QueueOverhead:   simtime.Nanos(300), // ~3.3 M msg/s per process
+		QueueBandwidth:  8.0e9,
+		LinkOverhead:    simtime.Nanos(10.3), // ~97 M msg/s per node
+		LinkBandwidth:   12.5e9,              // 100 Gb/s
+		RecvOverhead:    simtime.Nanos(90),
+		SendCPU:         simtime.Nanos(60),
+		EagerLimit:      16 << 10,
+		InjectionWindow: 8,
+	}
+}
+
+// Validate reports an error if any parameter is nonsensical.
+func (p Params) Validate() error {
+	switch {
+	case p.WireLatency < 0, p.QueueOverhead < 0, p.LinkOverhead < 0,
+		p.RecvOverhead < 0, p.SendCPU < 0:
+		return fmt.Errorf("fabric: negative duration parameter: %+v", p)
+	case p.QueueBandwidth <= 0 || p.LinkBandwidth <= 0:
+		return fmt.Errorf("fabric: bandwidths must be positive: %+v", p)
+	case p.EagerLimit < 0:
+		return fmt.Errorf("fabric: negative eager limit %d", p.EagerLimit)
+	case p.InjectionWindow < 0:
+		return fmt.Errorf("fabric: negative injection window %d", p.InjectionWindow)
+	case p.GroupSize < 0 || p.GroupLatency < 0 || p.GroupBandwidth < 0:
+		return fmt.Errorf("fabric: negative group topology parameter: %+v", p)
+	}
+	return nil
+}
+
+// Endpoint identifies one process's attachment point: (node, queue). The MPI
+// layer maps local ranks to queues one-to-one.
+type Endpoint struct {
+	Node  int
+	Queue int
+}
+
+// Packet is what the fabric delivers to a destination inbox. Payload is an
+// opaque reference owned by the communication layer above (the fabric never
+// copies user data; copy costs are charged by the shared-memory and MPI
+// layers where copies actually happen).
+type Packet struct {
+	Src     Endpoint
+	Dst     Endpoint
+	Bytes   int
+	Payload any
+	SentAt  simtime.Time // sender's clock when the send was issued
+}
+
+// Stats aggregates per-fabric traffic counters, used by tests and by the
+// Figure 1 harness to compute achieved rates.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Fabric is the cluster-wide interconnect. It is not safe for concurrent use
+// outside a simtime engine (which serializes all process execution).
+type Fabric struct {
+	params Params
+	nodes  int
+	queues int
+
+	txQueue []simtime.Station // [node*queues + queue]
+	rxQueue []simtime.Station
+	txLink  []simtime.Station // [node]
+	rxLink  []simtime.Station
+	inbox   []*simtime.Mailbox // [node*queues + queue]
+	window  []windowRing       // [node*queues + queue] outstanding-send ring
+	upTx    []simtime.Station  // [group] uplink toward the spine
+	upRx    []simtime.Station  // [group] downlink from the spine
+
+	stats Stats
+}
+
+// New builds a fabric for nodes × queuesPerNode endpoints.
+func New(nodes, queuesPerNode int, params Params) (*Fabric, error) {
+	if nodes < 1 || queuesPerNode < 1 {
+		return nil, fmt.Errorf("fabric: invalid shape %d nodes x %d queues", nodes, queuesPerNode)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		params:  params,
+		nodes:   nodes,
+		queues:  queuesPerNode,
+		txQueue: make([]simtime.Station, nodes*queuesPerNode),
+		rxQueue: make([]simtime.Station, nodes*queuesPerNode),
+		txLink:  make([]simtime.Station, nodes),
+		rxLink:  make([]simtime.Station, nodes),
+		inbox:   make([]*simtime.Mailbox, nodes*queuesPerNode),
+	}
+	for i := range f.inbox {
+		f.inbox[i] = &simtime.Mailbox{}
+	}
+	if params.InjectionWindow > 0 {
+		f.window = make([]windowRing, nodes*queuesPerNode)
+		for i := range f.window {
+			f.window[i].slots = make([]simtime.Time, params.InjectionWindow)
+		}
+	}
+	if params.GroupSize > 0 {
+		groups := (nodes + params.GroupSize - 1) / params.GroupSize
+		f.upTx = make([]simtime.Station, groups)
+		f.upRx = make([]simtime.Station, groups)
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error, for experiment drivers whose shapes
+// are program constants.
+func MustNew(nodes, queuesPerNode int, params Params) *Fabric {
+	f, err := New(nodes, queuesPerNode, params)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Params returns the fabric's calibration.
+func (f *Fabric) Params() Params { return f.params }
+
+// Nodes returns the number of nodes the fabric connects.
+func (f *Fabric) Nodes() int { return f.nodes }
+
+// QueuesPerNode returns the number of endpoints per node.
+func (f *Fabric) QueuesPerNode() int { return f.queues }
+
+// Stats returns cumulative traffic counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// LinkReport describes the occupancy of one node's link and queue stations,
+// for utilization analysis in tests and the benchmark harness.
+type LinkReport struct {
+	TxBusy, RxBusy simtime.Duration // cumulative service time
+	TxLast, RxLast simtime.Time     // completion time of the last booked job
+	TxQueueBusy    simtime.Duration // summed over the node's injection queues
+	RxQueueBusy    simtime.Duration // summed over the node's drain queues
+	TxQueueLast    simtime.Time     // latest completion among injection queues
+	RxQueueLast    simtime.Time     // latest completion among drain queues
+}
+
+// Link returns the occupancy report for a node.
+func (f *Fabric) Link(node int) LinkReport {
+	if node < 0 || node >= f.nodes {
+		panic(fmt.Sprintf("fabric: node %d outside %d-node fabric", node, f.nodes))
+	}
+	r := LinkReport{
+		TxBusy: f.txLink[node].Busy(), RxBusy: f.rxLink[node].Busy(),
+		TxLast: f.txLink[node].FreeAt(), RxLast: f.rxLink[node].FreeAt(),
+	}
+	for q := 0; q < f.queues; q++ {
+		i := node*f.queues + q
+		r.TxQueueBusy += f.txQueue[i].Busy()
+		r.RxQueueBusy += f.rxQueue[i].Busy()
+		r.TxQueueLast = simtime.MaxTime(r.TxQueueLast, f.txQueue[i].FreeAt())
+		r.RxQueueLast = simtime.MaxTime(r.RxQueueLast, f.rxQueue[i].FreeAt())
+	}
+	return r
+}
+
+func (f *Fabric) index(ep Endpoint) int {
+	if ep.Node < 0 || ep.Node >= f.nodes || ep.Queue < 0 || ep.Queue >= f.queues {
+		panic(fmt.Sprintf("fabric: endpoint %+v outside %dx%d fabric", ep, f.nodes, f.queues))
+	}
+	return ep.Node*f.queues + ep.Queue
+}
+
+// Inbox returns the delivery mailbox of an endpoint. The layer above blocks
+// on it with a match predicate to receive packets.
+func (f *Fabric) Inbox(ep Endpoint) *simtime.Mailbox { return f.inbox[f.index(ep)] }
+
+// Send injects a packet of n bytes from src to dst, carrying payload. The
+// calling process p must be the one attached to src. Send advances p's clock
+// by the send CPU cost (plus the rendezvous round trip for large messages)
+// and returns the virtual time at which the send completes locally — when
+// the source buffer may be reused. Delivery to the destination inbox is
+// scheduled asynchronously; the receiver observes the packet no earlier than
+// its full network traversal.
+//
+// Sending to an endpoint on the same node is a programming error in the
+// layers above (intranode traffic goes through shared memory) and panics.
+func (f *Fabric) Send(p *simtime.Proc, src, dst Endpoint, n int, payload any) simtime.Time {
+	if src.Node == dst.Node {
+		panic(fmt.Sprintf("fabric: intranode send %+v -> %+v (use shm)", src, dst))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("fabric: negative payload size %d", n))
+	}
+	pr := f.params
+	issued := p.Now()
+	p.Advance(pr.SendCPU)
+
+	if f.window != nil {
+		// Injection flow control: block until the oldest outstanding
+		// send on this endpoint has cleared the injection queue.
+		if wait := f.window[f.index(src)].oldest(); wait > p.Now() {
+			p.Sleep(wait.Sub(p.Now()))
+		}
+	}
+
+	start := p.Now()
+	rendezvous := n > pr.EagerLimit
+	if rendezvous {
+		// RTS/CTS handshake: one round trip before any payload moves.
+		// The handshake itself rides the message-rate machinery as two
+		// tiny control messages; we charge their latency but not their
+		// (negligible) serialization.
+		start = start.Add(2*pr.WireLatency + 2*pr.LinkOverhead)
+	}
+
+	qService := pr.QueueOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
+	_, qDone := f.txQueue[f.index(src)].Use(start, qService)
+
+	lService := maxDuration(pr.LinkOverhead, simtime.TransferTime(n, pr.LinkBandwidth))
+	_, lDone := f.txLink[src.Node].Use(qDone, lService)
+
+	arrive := lDone.Add(pr.WireLatency)
+	if pr.GroupSize > 0 {
+		srcGroup := src.Node / pr.GroupSize
+		dstGroup := dst.Node / pr.GroupSize
+		if srcGroup != dstGroup {
+			// Inter-group: serialize through both groups' uplinks and
+			// pay the spine hop.
+			gService := simtime.TransferTime(n, pr.GroupBandwidth)
+			_, upDone := f.upTx[srcGroup].Use(lDone, gService)
+			spine := upDone.Add(pr.GroupLatency)
+			_, downDone := f.upRx[dstGroup].Use(spine, gService)
+			arrive = downDone.Add(pr.WireLatency)
+		}
+	}
+	_, rlDone := f.rxLink[dst.Node].Use(arrive, lService)
+
+	rService := pr.RecvOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
+	_, rqDone := f.rxQueue[f.index(dst)].Use(rlDone, rService)
+
+	if f.window != nil {
+		f.window[f.index(src)].push(qDone)
+	}
+
+	f.stats.Messages++
+	f.stats.Bytes += int64(n)
+
+	f.inbox[f.index(dst)].PutAt(p, rqDone, Packet{
+		Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: issued,
+	})
+
+	if rendezvous {
+		// Large sends complete only when the payload has cleared the
+		// node link: the source buffer is pinned until then.
+		return lDone
+	}
+	// Eager sends complete when the local queue stage has consumed the
+	// buffer (the NIC has its own copy in flight).
+	return qDone
+}
+
+// windowRing tracks the injection-queue completion times of the most recent
+// InjectionWindow sends from one endpoint.
+type windowRing struct {
+	slots []simtime.Time
+	head  int
+	count int
+}
+
+// oldest returns the completion time of the oldest tracked send, or zero if
+// the window still has room.
+func (w *windowRing) oldest() simtime.Time {
+	if w.count < len(w.slots) {
+		return 0
+	}
+	return w.slots[w.head]
+}
+
+// push records a new send's queue completion, evicting the oldest.
+func (w *windowRing) push(t simtime.Time) {
+	w.slots[w.head] = t
+	w.head = (w.head + 1) % len(w.slots)
+	if w.count < len(w.slots) {
+		w.count++
+	}
+}
+
+func maxDuration(a, b simtime.Duration) simtime.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,300 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.WireLatency = 100 * simtime.Nanosecond
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.LinkBandwidth = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero link bandwidth accepted")
+	}
+	bad = DefaultParams()
+	bad.WireLatency = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative latency accepted")
+	}
+	bad = DefaultParams()
+	bad.EagerLimit = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative eager limit accepted")
+	}
+}
+
+func TestNewRejectsBadShape(t *testing.T) {
+	if _, err := New(0, 1, DefaultParams()); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if _, err := New(1, 0, DefaultParams()); err == nil {
+		t.Fatal("0 queues accepted")
+	}
+	bad := DefaultParams()
+	bad.QueueBandwidth = -1
+	if _, err := New(2, 2, bad); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestSingleMessageLatency(t *testing.T) {
+	pr := testParams()
+	f := MustNew(2, 1, pr)
+	e := simtime.NewEngine()
+	var sendDone, recvAt simtime.Time
+	src, dst := Endpoint{0, 0}, Endpoint{1, 0}
+	const n = 64
+	e.Spawn("sender", func(p *simtime.Proc) {
+		sendDone = f.Send(p, src, dst, n, "hello")
+	})
+	e.Spawn("recver", func(p *simtime.Proc) {
+		pkt := f.Inbox(dst).Get(p, nil).(Packet)
+		recvAt = p.Now()
+		if pkt.Payload != "hello" || pkt.Bytes != n {
+			t.Errorf("packet = %+v", pkt)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Eager path: expected end-to-end time is sendCPU + queue + link + wire
+	// + rx link + rx queue, with no contention.
+	q := pr.QueueOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
+	l := pr.LinkOverhead // 64B at 12.5GB/s is far below the overhead
+	r := pr.RecvOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
+	want := simtime.Time(0).Add(pr.SendCPU + q + l + pr.WireLatency + l + r)
+	if recvAt != want {
+		t.Errorf("recv at %v, want %v", recvAt, want)
+	}
+	if wantSend := simtime.Time(0).Add(pr.SendCPU + q); sendDone != wantSend {
+		t.Errorf("send done at %v, want %v (eager completes at queue stage)", sendDone, wantSend)
+	}
+}
+
+func TestRendezvousSlowerAndPinsBuffer(t *testing.T) {
+	pr := testParams()
+	f := MustNew(2, 1, pr)
+	e := simtime.NewEngine()
+	n := pr.EagerLimit + 1
+	var sendDone, recvAt simtime.Time
+	e.Spawn("sender", func(p *simtime.Proc) {
+		sendDone = f.Send(p, Endpoint{0, 0}, Endpoint{1, 0}, n, nil)
+	})
+	e.Spawn("recver", func(p *simtime.Proc) {
+		f.Inbox(Endpoint{1, 0}).Get(p, nil)
+		recvAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Rendezvous completes at the link stage, after the handshake RTT.
+	minSend := simtime.Time(0).Add(pr.SendCPU + 2*pr.WireLatency +
+		simtime.TransferTime(n, pr.QueueBandwidth) + simtime.TransferTime(n, pr.LinkBandwidth))
+	if sendDone < minSend {
+		t.Errorf("rendezvous send done at %v, want >= %v", sendDone, minSend)
+	}
+	if recvAt <= sendDone {
+		t.Errorf("recv at %v not after send completion %v", recvAt, sendDone)
+	}
+}
+
+func TestIntranodeSendPanics(t *testing.T) {
+	f := MustNew(2, 2, testParams())
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		f.Send(p, Endpoint{0, 0}, Endpoint{0, 1}, 8, nil)
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("intranode fabric send did not fail")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	f := MustNew(2, 1, testParams())
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		f.Send(p, Endpoint{0, 0}, Endpoint{1, 0}, -1, nil)
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestBadEndpointPanics(t *testing.T) {
+	f := MustNew(2, 1, testParams())
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		f.Inbox(Endpoint{5, 0})
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+// flood measures the achieved message rate and throughput when k sender
+// processes on node 0 each send count messages of n bytes to k receivers on
+// node 1 — the Figure 1 microbenchmark.
+func flood(t *testing.T, k, count, n int) (msgsPerSec, bytesPerSec float64) {
+	t.Helper()
+	f := MustNew(2, k, testParams())
+	e := simtime.NewEngine()
+	for q := 0; q < k; q++ {
+		q := q
+		e.Spawn(fmt.Sprintf("s%d", q), func(p *simtime.Proc) {
+			for i := 0; i < count; i++ {
+				f.Send(p, Endpoint{0, q}, Endpoint{1, q}, n, nil)
+			}
+		})
+		e.Spawn(fmt.Sprintf("r%d", q), func(p *simtime.Proc) {
+			for i := 0; i < count; i++ {
+				f.Inbox(Endpoint{1, q}).Get(p, nil)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := simtime.Duration(e.Horizon()).Seconds()
+	total := float64(k * count)
+	return total / elapsed, total * float64(n) / elapsed
+}
+
+func TestMultiSenderMessageRateScalesThenSaturates(t *testing.T) {
+	// Figure 1a shape: message rate grows with sender count and flattens
+	// once the shared link's per-message cap binds.
+	const n = 4 << 10
+	rate1, _ := flood(t, 1, 200, n)
+	rate4, _ := flood(t, 4, 200, n)
+	rate16, _ := flood(t, 16, 200, n)
+	if rate4 < 1.5*rate1 {
+		t.Errorf("4 senders rate %.3g not well above 1 sender %.3g", rate4, rate1)
+	}
+	if rate16 < rate4 {
+		t.Errorf("16 senders rate %.3g below 4 senders %.3g", rate16, rate4)
+	}
+	// Saturation: 16 senders must not get 4x the 4-sender rate.
+	if rate16 > 3.5*rate4 {
+		t.Errorf("no saturation: 16 senders %.3g vs 4 senders %.3g", rate16, rate4)
+	}
+}
+
+func TestMultiSenderThroughputScalesThenSaturates(t *testing.T) {
+	// Figure 1b shape: one sender is DMA-limited well below link
+	// bandwidth; enough senders reach (and never exceed) the link.
+	const n = 128 << 10
+	_, bw1 := flood(t, 1, 50, n)
+	_, bw8 := flood(t, 8, 50, n)
+	pr := testParams()
+	if bw1 > 1.2*pr.QueueBandwidth {
+		t.Errorf("single sender %.3g B/s exceeds per-queue DMA %.3g", bw1, pr.QueueBandwidth)
+	}
+	if bw8 < 0.8*pr.LinkBandwidth {
+		t.Errorf("8 senders %.3g B/s does not approach link %.3g", bw8, pr.LinkBandwidth)
+	}
+	if bw8 > 1.05*pr.LinkBandwidth {
+		t.Errorf("8 senders %.3g B/s exceeds link bandwidth %.3g", bw8, pr.LinkBandwidth)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	f := MustNew(2, 1, testParams())
+	e := simtime.NewEngine()
+	e.Spawn("s", func(p *simtime.Proc) {
+		for i := 0; i < 5; i++ {
+			f.Send(p, Endpoint{0, 0}, Endpoint{1, 0}, 100, nil)
+		}
+	})
+	e.Spawn("r", func(p *simtime.Proc) {
+		for i := 0; i < 5; i++ {
+			f.Inbox(Endpoint{1, 0}).Get(p, nil)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.Stats(); s.Messages != 5 || s.Bytes != 500 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCausalityRecvAfterSend(t *testing.T) {
+	// Property over many shapes: every packet is observed at or after the
+	// instant it was sent plus the wire latency.
+	pr := testParams()
+	f := MustNew(3, 2, pr)
+	e := simtime.NewEngine()
+	type obs struct{ sent, recv simtime.Time }
+	var all []obs
+	for q := 0; q < 2; q++ {
+		q := q
+		e.Spawn(fmt.Sprintf("s%d", q), func(p *simtime.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Advance(simtime.Duration(i*7) * simtime.Nanosecond)
+				f.Send(p, Endpoint{0, q}, Endpoint{1 + q%2, q}, 32*(i+1), nil)
+			}
+		})
+		e.Spawn(fmt.Sprintf("r%d", q), func(p *simtime.Proc) {
+			for i := 0; i < 20; i++ {
+				pkt := f.Inbox(Endpoint{1 + q%2, q}).Get(p, nil).(Packet)
+				all = append(all, obs{pkt.SentAt, p.Now()})
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 40 {
+		t.Fatalf("observed %d packets, want 40", len(all))
+	}
+	for i, o := range all {
+		if o.recv < o.sent.Add(pr.WireLatency) {
+			t.Errorf("packet %d: recv %v before send %v + wire", i, o.recv, o.sent)
+		}
+	}
+}
+
+func TestLinkReport(t *testing.T) {
+	f := MustNew(2, 2, testParams())
+	e := simtime.NewEngine()
+	e.Spawn("s", func(p *simtime.Proc) {
+		f.Send(p, Endpoint{0, 0}, Endpoint{1, 1}, 1000, nil)
+	})
+	e.Spawn("r", func(p *simtime.Proc) {
+		f.Inbox(Endpoint{1, 1}).Get(p, nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tx := f.Link(0)
+	rx := f.Link(1)
+	if tx.TxBusy <= 0 || tx.TxQueueBusy <= 0 || tx.TxLast <= 0 || tx.TxQueueLast <= 0 {
+		t.Fatalf("tx report empty: %+v", tx)
+	}
+	if rx.RxBusy <= 0 || rx.RxQueueBusy <= 0 || rx.RxLast <= 0 || rx.RxQueueLast <= 0 {
+		t.Fatalf("rx report empty: %+v", rx)
+	}
+	if tx.RxBusy != 0 || rx.TxBusy != 0 {
+		t.Fatalf("reports leaked across directions: tx=%+v rx=%+v", tx, rx)
+	}
+	if f.Params().LinkBandwidth != testParams().LinkBandwidth ||
+		f.Nodes() != 2 || f.QueuesPerNode() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Link(9) did not panic")
+		}
+	}()
+	f.Link(9)
+}

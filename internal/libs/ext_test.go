@@ -1,0 +1,117 @@
+package libs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// TestExtensionCollectivesAllProfiles verifies Bcast, Gather, Reduce and
+// Alltoall for every profile across small and large payloads and a
+// non-zero, non-leader root.
+func TestExtensionCollectivesAllProfiles(t *testing.T) {
+	const nodes, ppn = 3, 4
+	size := nodes * ppn
+	root := 5 // node 1, local 1: exercises the root->leader hops
+	for _, lib := range allProfiles() {
+		for _, payload := range []int{48, 48 << 10} {
+			lib, payload := lib, payload
+			t.Run(fmt.Sprintf("%s %dB", lib.Name(), payload), func(t *testing.T) {
+				w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), lib.Config())
+				wantB := make([]byte, payload)
+				nums.FillBytes(wantB, 77)
+				wantGather := make([]byte, size*payload)
+				for i := 0; i < size; i++ {
+					nums.FillBytes(wantGather[i*payload:(i+1)*payload], i)
+				}
+				wantSum := make([]byte, payload)
+				nums.Fill(wantSum, 0)
+				tmp := make([]byte, payload)
+				for i := 1; i < size; i++ {
+					nums.Fill(tmp, i)
+					nums.Sum.Combine(wantSum, tmp)
+				}
+				err := w.Run(func(r *mpi.Rank) {
+					// Bcast.
+					buf := make([]byte, payload)
+					if r.Rank() == root {
+						copy(buf, wantB)
+					}
+					lib.Bcast(r, root, buf)
+					if !bytes.Equal(buf, wantB) {
+						t.Errorf("%s bcast rank %d wrong", lib.Name(), r.Rank())
+					}
+					// Gather.
+					mine := make([]byte, payload)
+					nums.FillBytes(mine, r.Rank())
+					var g []byte
+					if r.Rank() == root {
+						g = make([]byte, size*payload)
+					}
+					lib.Gather(r, root, mine, g)
+					if r.Rank() == root && !bytes.Equal(g, wantGather) {
+						t.Errorf("%s gather wrong", lib.Name())
+					}
+					// Reduce.
+					vec := make([]byte, payload)
+					nums.Fill(vec, r.Rank())
+					var out []byte
+					if r.Rank() == root {
+						out = make([]byte, payload)
+					}
+					lib.Reduce(r, root, vec, out, nums.Sum)
+					if r.Rank() == root && !bytes.Equal(out, wantSum) {
+						t.Errorf("%s reduce wrong", lib.Name())
+					}
+					// Alltoall (size-divisible buffers).
+					a2aChunk := payload / 8
+					a2aSend := make([]byte, size*a2aChunk)
+					for j := 0; j < size; j++ {
+						nums.FillBytes(a2aSend[j*a2aChunk:(j+1)*a2aChunk], r.Rank()*1000+j)
+					}
+					a2aRecv := make([]byte, size*a2aChunk)
+					lib.Alltoall(r, a2aSend, a2aRecv)
+					for src := 0; src < size; src++ {
+						want := make([]byte, a2aChunk)
+						nums.FillBytes(want, src*1000+r.Rank())
+						if !bytes.Equal(a2aRecv[src*a2aChunk:(src+1)*a2aChunk], want) {
+							t.Errorf("%s alltoall rank %d block %d wrong", lib.Name(), r.Rank(), src)
+							break
+						}
+					}
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", lib.Name(), err)
+				}
+			})
+		}
+	}
+}
+
+// TestBcastLargeUsesVanDeGeijn ensures the flat profiles switch broadcast
+// algorithms with size (the composed path must beat the tree on large
+// divisible buffers over the same transport).
+func TestBcastLargeUsesVanDeGeijn(t *testing.T) {
+	lib := PiPMPICH()
+	elapsed := func(n int) int64 {
+		w := mpi.MustNewWorld(topology.New(4, 3, topology.Block), lib.Config())
+		if err := w.Run(func(r *mpi.Rank) {
+			buf := make([]byte, n)
+			if r.Rank() == 0 {
+				nums.FillBytes(buf, 1)
+			}
+			lib.Bcast(r, 0, buf)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(w.Horizon())
+	}
+	big := 516 << 10 // divisible by 12
+	if vdg, tree := elapsed(big), elapsed(big+1); vdg >= tree {
+		t.Errorf("van de Geijn bcast (%d) not faster than binomial (%d)", vdg, tree)
+	}
+}

@@ -1,0 +1,251 @@
+// Package libs assembles the five "MPI libraries" the paper's evaluation
+// compares: PiP-MColl itself, the PiP-MPICH baseline, and profiles standing
+// in for Intel MPI, Open MPI and MVAPICH2. A profile is a transport
+// configuration (which intranode mechanism the library uses) plus an
+// algorithm-selection table (which collective algorithm runs at which size)
+// — the same two axes on which the real libraries differ:
+//
+//	PiP-MColl    — PiP transport; the paper's multi-object algorithms
+//	               with size-based switching (internal/core).
+//	PiP-MColl-S  — ablation: PiP-MColl's small-message algorithms forced
+//	               at every size (the PiP-MColl-small curve of Figures
+//	               13-14).
+//	PiP-MPICH    — the paper's baseline: stock MPICH flat algorithms
+//	               (binomial, Bruck/recursive-doubling/ring,
+//	               Rabenseifner) over the PiP intranode transport, which
+//	               pays the per-message size synchronization.
+//	Open MPI     — flat tuned algorithms over the CMA intranode
+//	               mechanism (Open MPI's default single-copy path).
+//	MVAPICH2     — hierarchical leader-based collectives over XPMEM.
+//	Intel MPI    — hierarchical leader-based collectives over
+//	               POSIX-SHMEM bounce buffers.
+//
+// Every profile exposes the same three collectives the paper benchmarks.
+package libs
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/shm"
+)
+
+// Library is one comparable MPI implementation profile.
+type Library struct {
+	name string
+	cfg  mpi.Config
+
+	scatter   func(r *mpi.Rank, root int, send, recv []byte)
+	allgather func(r *mpi.Rank, send, recv []byte)
+	allreduce func(r *mpi.Rank, send, recv []byte, op nums.Op)
+	bcast     func(r *mpi.Rank, root int, buf []byte)
+	gather    func(r *mpi.Rank, root int, send, recv []byte)
+	reduce    func(r *mpi.Rank, root int, send, recv []byte, op nums.Op)
+	alltoall  func(r *mpi.Rank, send, recv []byte)
+}
+
+// Name returns the profile's display name.
+func (l *Library) Name() string { return l.name }
+
+// Config returns the transport configuration the profile's world must use.
+func (l *Library) Config() mpi.Config { return l.cfg }
+
+// Scatter runs the profile's MPI_Scatter.
+func (l *Library) Scatter(r *mpi.Rank, root int, send, recv []byte) {
+	l.scatter(r, root, send, recv)
+}
+
+// Allgather runs the profile's MPI_Allgather.
+func (l *Library) Allgather(r *mpi.Rank, send, recv []byte) { l.allgather(r, send, recv) }
+
+// Allreduce runs the profile's MPI_Allreduce.
+func (l *Library) Allreduce(r *mpi.Rank, send, recv []byte, op nums.Op) {
+	l.allreduce(r, send, recv, op)
+}
+
+// Bcast runs the profile's MPI_Bcast.
+func (l *Library) Bcast(r *mpi.Rank, root int, buf []byte) { l.bcast(r, root, buf) }
+
+// Gather runs the profile's MPI_Gather (recv significant only at root).
+func (l *Library) Gather(r *mpi.Rank, root int, send, recv []byte) {
+	l.gather(r, root, send, recv)
+}
+
+// Reduce runs the profile's MPI_Reduce (recv significant only at root).
+func (l *Library) Reduce(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
+	l.reduce(r, root, send, recv, op)
+}
+
+// Alltoall runs the profile's MPI_Alltoall.
+func (l *Library) Alltoall(r *mpi.Rank, send, recv []byte) { l.alltoall(r, send, recv) }
+
+// Switch points for the baseline profiles, mirroring the documented MPICH /
+// Open MPI tuning: ring allgather beyond 256 kB total, Rabenseifner
+// allreduce beyond 16 kB vectors, hierarchical leader phases use the same.
+const (
+	flatRingThreshold = 256 << 10
+	rabenThreshold    = 16 << 10
+	hierRingThreshold = 256 << 10
+	hierARThreshold   = 16 << 10
+	bcastVDGThreshold = 128 << 10
+	pairwiseThreshold = 4 << 10
+)
+
+func baseConfig(mech shm.Mechanism) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.Mechanism = mech
+	// The real libraries tune their intranode eager/rendezvous switch
+	// differently (I_MPI_SHM_CELL sizes vs MVAPICH2's SMP_EAGERSIZE);
+	// keeping the profiles' switch points distinct separates their
+	// medium-message curves as in the paper's figures.
+	switch mech {
+	case shm.POSIX:
+		cfg.IntranodeEager = 2 << 10
+	case shm.XPMEM:
+		cfg.IntranodeEager = 8 << 10
+	}
+	return cfg
+}
+
+// flatAlgorithms is the stock-MPICH selection table used by the PiP-MPICH
+// and Open MPI profiles.
+func flatAlgorithms(l *Library) {
+	l.scatter = func(r *mpi.Rank, root int, send, recv []byte) {
+		coll.Scatter(coll.World(r), root, send, recv)
+	}
+	l.allgather = func(r *mpi.Rank, send, recv []byte) {
+		coll.Allgather(coll.World(r), send, recv, flatRingThreshold)
+	}
+	l.allreduce = func(r *mpi.Rank, send, recv []byte, op nums.Op) {
+		if len(send) >= rabenThreshold {
+			coll.AllreduceRabenseifner(coll.World(r), send, recv, op)
+		} else {
+			coll.AllreduceRecDoubling(coll.World(r), send, recv, op)
+		}
+	}
+	l.bcast = func(r *mpi.Rank, root int, buf []byte) {
+		if len(buf) >= bcastVDGThreshold && len(buf)%r.Size() == 0 {
+			coll.BcastScatterAllgather(coll.World(r), root, buf)
+		} else {
+			coll.Bcast(coll.World(r), root, buf)
+		}
+	}
+	l.gather = func(r *mpi.Rank, root int, send, recv []byte) {
+		coll.Gather(coll.World(r), root, send, recv)
+	}
+	l.reduce = func(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
+		if len(send) >= rabenThreshold {
+			coll.ReduceScatterGather(coll.World(r), root, send, recv, op)
+		} else {
+			coll.Reduce(coll.World(r), root, send, recv, op)
+		}
+	}
+	l.alltoall = func(r *mpi.Rank, send, recv []byte) {
+		coll.Alltoall(coll.World(r), send, recv, pairwiseThreshold)
+	}
+}
+
+// hierAlgorithms is the leader-based selection table used by the MVAPICH2
+// and Intel MPI profiles.
+func hierAlgorithms(l *Library) {
+	l.scatter = func(r *mpi.Rank, root int, send, recv []byte) {
+		coll.ScatterHier(coll.World(r), root, send, recv)
+	}
+	l.allgather = func(r *mpi.Rank, send, recv []byte) {
+		coll.AllgatherHier(coll.World(r), send, recv, hierRingThreshold)
+	}
+	l.allreduce = func(r *mpi.Rank, send, recv []byte, op nums.Op) {
+		coll.AllreduceHier(coll.World(r), send, recv, op, hierARThreshold)
+	}
+	l.bcast = func(r *mpi.Rank, root int, buf []byte) {
+		coll.BcastHier(coll.World(r), root, buf)
+	}
+	l.gather = func(r *mpi.Rank, root int, send, recv []byte) {
+		coll.GatherHier(coll.World(r), root, send, recv)
+	}
+	l.reduce = func(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
+		coll.ReduceHier(coll.World(r), root, send, recv, op, rabenThreshold)
+	}
+	l.alltoall = func(r *mpi.Rank, send, recv []byte) {
+		coll.Alltoall(coll.World(r), send, recv, pairwiseThreshold)
+	}
+}
+
+// PiPMColl returns the paper's system with its default switch points.
+func PiPMColl() *Library {
+	l := &Library{name: "PiP-MColl", cfg: baseConfig(shm.PiP)}
+	cl := core.Coll{}
+	wireCore(l, cl)
+	return l
+}
+
+// wireCore connects a PiP-MColl context's collectives to a profile.
+func wireCore(l *Library, cl core.Coll) {
+	l.scatter = cl.Scatter
+	l.allgather = cl.Allgather
+	l.allreduce = cl.Allreduce
+	l.bcast = cl.Bcast
+	l.gather = cl.Gather
+	l.reduce = cl.Reduce
+	l.alltoall = cl.Alltoall
+}
+
+// PiPMCollSmall returns the ablation variant that keeps the small-message
+// algorithms at every size (Figures 13-14's PiP-MColl-small curve).
+func PiPMCollSmall() *Library {
+	l := &Library{name: "PiP-MColl-small", cfg: baseConfig(shm.PiP)}
+	huge := 1 << 40
+	cl := core.Coll{Tun: core.Tunables{AllgatherLargeMin: huge, AllreduceLargeMin: huge}}
+	wireCore(l, cl)
+	return l
+}
+
+// PiPMPICH returns the paper's baseline: stock flat algorithms over the PiP
+// transport (with its per-message size synchronization).
+func PiPMPICH() *Library {
+	l := &Library{name: "PiP-MPICH", cfg: baseConfig(shm.PiP)}
+	flatAlgorithms(l)
+	return l
+}
+
+// OpenMPI returns the Open MPI stand-in: flat tuned algorithms over CMA.
+func OpenMPI() *Library {
+	l := &Library{name: "OpenMPI", cfg: baseConfig(shm.CMA)}
+	flatAlgorithms(l)
+	return l
+}
+
+// MVAPICH2 returns the MVAPICH2 stand-in: hierarchical collectives over
+// XPMEM.
+func MVAPICH2() *Library {
+	l := &Library{name: "MVAPICH2", cfg: baseConfig(shm.XPMEM)}
+	hierAlgorithms(l)
+	return l
+}
+
+// IntelMPI returns the Intel MPI stand-in: hierarchical collectives over
+// POSIX shared memory.
+func IntelMPI() *Library {
+	l := &Library{name: "IntelMPI", cfg: baseConfig(shm.POSIX)}
+	hierAlgorithms(l)
+	return l
+}
+
+// All returns the five profiles of the paper's main comparison figures, in
+// the paper's plotting order.
+func All() []*Library {
+	return []*Library{IntelMPI(), OpenMPI(), MVAPICH2(), PiPMPICH(), PiPMColl()}
+}
+
+// ByName resolves a profile by its display name.
+func ByName(name string) (*Library, error) {
+	for _, l := range append(All(), PiPMCollSmall()) {
+		if l.Name() == name {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("libs: unknown library %q", name)
+}

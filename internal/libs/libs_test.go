@@ -1,0 +1,134 @@
+package libs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/shm"
+	"repro/internal/topology"
+)
+
+func allProfiles() []*Library {
+	return append(All(), PiPMCollSmall())
+}
+
+func TestNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, l := range allProfiles() {
+		if seen[l.Name()] {
+			t.Fatalf("duplicate profile name %q", l.Name())
+		}
+		seen[l.Name()] = true
+		got, err := ByName(l.Name())
+		if err != nil || got.Name() != l.Name() {
+			t.Fatalf("ByName(%q) = %v, %v", l.Name(), got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestConfigsMatchMechanisms(t *testing.T) {
+	cases := map[string]shm.Mechanism{
+		"PiP-MColl": shm.PiP, "PiP-MPICH": shm.PiP, "OpenMPI": shm.CMA,
+		"MVAPICH2": shm.XPMEM, "IntelMPI": shm.POSIX,
+	}
+	for name, mech := range cases {
+		l, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Config().Mechanism != mech {
+			t.Errorf("%s mechanism = %v, want %v", name, l.Config().Mechanism, mech)
+		}
+		if err := l.Config().Validate(); err != nil {
+			t.Errorf("%s config invalid: %v", name, err)
+		}
+	}
+}
+
+// Every profile must produce correct results for every collective across
+// small and large payloads — the integration test tying libraries,
+// algorithms and transports together.
+func TestAllProfilesAllCollectivesCorrect(t *testing.T) {
+	const nodes, ppn = 3, 4
+	size := nodes * ppn
+	for _, lib := range allProfiles() {
+		for _, payload := range []int{64, 96 << 10} {
+			lib, payload := lib, payload
+			t.Run(fmt.Sprintf("%s %dB", lib.Name(), payload), func(t *testing.T) {
+				w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), lib.Config())
+				wantGather := make([]byte, size*payload)
+				for i := 0; i < size; i++ {
+					nums.FillBytes(wantGather[i*payload:(i+1)*payload], i)
+				}
+				wantSum := make([]byte, payload)
+				nums.Fill(wantSum, 0)
+				tmp := make([]byte, payload)
+				for i := 1; i < size; i++ {
+					nums.Fill(tmp, i)
+					nums.Sum.Combine(wantSum, tmp)
+				}
+				err := w.Run(func(r *mpi.Rank) {
+					// Scatter.
+					var send []byte
+					if r.Rank() == 0 {
+						send = append([]byte(nil), wantGather...)
+					}
+					chunk := make([]byte, payload)
+					lib.Scatter(r, 0, send, chunk)
+					if !bytes.Equal(chunk, wantGather[r.Rank()*payload:(r.Rank()+1)*payload]) {
+						t.Errorf("%s scatter rank %d wrong", lib.Name(), r.Rank())
+					}
+					// Allgather.
+					mine := make([]byte, payload)
+					nums.FillBytes(mine, r.Rank())
+					full := make([]byte, size*payload)
+					lib.Allgather(r, mine, full)
+					if !bytes.Equal(full, wantGather) {
+						t.Errorf("%s allgather rank %d wrong", lib.Name(), r.Rank())
+					}
+					// Allreduce.
+					vec := make([]byte, payload)
+					nums.Fill(vec, r.Rank())
+					out := make([]byte, payload)
+					lib.Allreduce(r, vec, out, nums.Sum)
+					if !bytes.Equal(out, wantSum) {
+						t.Errorf("%s allreduce rank %d wrong", lib.Name(), r.Rank())
+					}
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", lib.Name(), err)
+				}
+			})
+		}
+	}
+}
+
+func TestPiPMCollSmallNeverSwitches(t *testing.T) {
+	// The ablation profile must keep using the small algorithm at sizes
+	// where the main profile has switched; its timing therefore differs
+	// while results agree.
+	const nodes, ppn, payload = 4, 2, 128 << 10
+	elapsed := func(lib *Library) int64 {
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), lib.Config())
+		if err := w.Run(func(r *mpi.Rank) {
+			mine := make([]byte, payload)
+			nums.FillBytes(mine, r.Rank())
+			full := make([]byte, nodes*ppn*payload)
+			lib.Allgather(r, mine, full)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(w.Horizon())
+	}
+	main := elapsed(PiPMColl())
+	small := elapsed(PiPMCollSmall())
+	if small <= main {
+		t.Errorf("ablation (always-small) %d should be slower than switched %d at 128kB", small, main)
+	}
+}

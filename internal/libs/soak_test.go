@@ -1,0 +1,166 @@
+package libs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// TestCollectiveSoak runs a randomized sequence of collectives — mixed
+// operations, sizes, and roots, all ranks issuing the same sequence as MPI
+// requires — in one world per library, verifying every result. This is the
+// closest the suite gets to an application's lifetime: state (tag windows,
+// attach caches, board epochs) must stay consistent across dozens of
+// heterogeneous back-to-back collectives.
+func TestCollectiveSoak(t *testing.T) {
+	f := func(seed int64, libIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ls := allProfiles()
+		lib := ls[int(libIdx)%len(ls)]
+		nodes := 2 + rng.Intn(3)
+		ppn := 1 + rng.Intn(3)
+		size := nodes * ppn
+		steps := 5 + rng.Intn(10)
+
+		type step struct {
+			op      int
+			payload int
+			root    int
+		}
+		plan := make([]step, steps)
+		for i := range plan {
+			plan[i] = step{
+				op:      rng.Intn(7),
+				payload: 8 * (1 + rng.Intn(512)), // 8B..4kB
+				root:    rng.Intn(size),
+			}
+		}
+
+		ok := true
+		w := mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), lib.Config())
+		err := w.Run(func(r *mpi.Rank) {
+			me := r.Rank()
+			for si, st := range plan {
+				n := st.payload
+				switch st.op {
+				case 0: // scatter
+					var send []byte
+					if me == st.root {
+						send = make([]byte, size*n)
+						for i := 0; i < size; i++ {
+							nums.FillBytes(send[i*n:(i+1)*n], si*100+i)
+						}
+					}
+					recv := make([]byte, n)
+					lib.Scatter(r, st.root, send, recv)
+					want := make([]byte, n)
+					nums.FillBytes(want, si*100+me)
+					if !bytes.Equal(recv, want) {
+						ok = false
+					}
+				case 1: // allgather
+					mine := make([]byte, n)
+					nums.FillBytes(mine, si*100+me)
+					full := make([]byte, size*n)
+					lib.Allgather(r, mine, full)
+					for i := 0; i < size; i++ {
+						want := make([]byte, n)
+						nums.FillBytes(want, si*100+i)
+						if !bytes.Equal(full[i*n:(i+1)*n], want) {
+							ok = false
+							break
+						}
+					}
+				case 2: // allreduce
+					vec := make([]byte, n)
+					nums.Fill(vec, me)
+					out := make([]byte, n)
+					lib.Allreduce(r, vec, out, nums.Sum)
+					want := make([]byte, n)
+					nums.Fill(want, 0)
+					tmp := make([]byte, n)
+					for i := 1; i < size; i++ {
+						nums.Fill(tmp, i)
+						nums.Sum.Combine(want, tmp)
+					}
+					if !bytes.Equal(out, want) {
+						ok = false
+					}
+				case 3: // bcast
+					buf := make([]byte, n)
+					if me == st.root {
+						nums.FillBytes(buf, si)
+					}
+					lib.Bcast(r, st.root, buf)
+					want := make([]byte, n)
+					nums.FillBytes(want, si)
+					if !bytes.Equal(buf, want) {
+						ok = false
+					}
+				case 4: // gather
+					mine := make([]byte, n)
+					nums.FillBytes(mine, si*100+me)
+					var g []byte
+					if me == st.root {
+						g = make([]byte, size*n)
+					}
+					lib.Gather(r, st.root, mine, g)
+					if me == st.root {
+						for i := 0; i < size; i++ {
+							want := make([]byte, n)
+							nums.FillBytes(want, si*100+i)
+							if !bytes.Equal(g[i*n:(i+1)*n], want) {
+								ok = false
+								break
+							}
+						}
+					}
+				case 5: // reduce
+					vec := make([]byte, n)
+					nums.Fill(vec, me)
+					var out []byte
+					if me == st.root {
+						out = make([]byte, n)
+					}
+					lib.Reduce(r, st.root, vec, out, nums.Sum)
+					if me == st.root {
+						want := make([]byte, n)
+						nums.Fill(want, 0)
+						tmp := make([]byte, n)
+						for i := 1; i < size; i++ {
+							nums.Fill(tmp, i)
+							nums.Sum.Combine(want, tmp)
+						}
+						if !bytes.Equal(out, want) {
+							ok = false
+						}
+					}
+				case 6: // alltoall
+					send := make([]byte, size*n)
+					for j := 0; j < size; j++ {
+						nums.FillBytes(send[j*n:(j+1)*n], si*1000+me*100+j)
+					}
+					recv := make([]byte, size*n)
+					lib.Alltoall(r, send, recv)
+					for src := 0; src < size; src++ {
+						want := make([]byte, n)
+						nums.FillBytes(want, si*1000+src*100+me)
+						if !bytes.Equal(recv[src*n:(src+1)*n], want) {
+							ok = false
+							break
+						}
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered subset of the world's ranks with its
+// own rank numbering and a private tag-window space, so collectives on
+// disjoint or nested communicators never interfere. The world communicator
+// is available via WorldComm; subsets are carved with Split, which follows
+// MPI_Comm_split semantics (group by color, order by key then world rank).
+//
+// PiP-MColl's multi-object algorithms are world-scope (they assume whole
+// nodes, like the paper's system); communicator-scope collectives run the
+// baseline algorithms via coll.CommView.
+type Comm struct {
+	r     *Rank
+	ranks []int // world ranks in comm-rank order; nil means the world
+	me    int   // this process's comm rank
+	id    uint64
+	seq   uint64
+}
+
+// maxCommID and maxCommSeq bound the tag-window packing below.
+const (
+	maxCommID  = 1 << 12
+	maxCommSeq = 1 << 20
+)
+
+// WorldComm returns the communicator spanning every rank. Its collectives
+// draw tag windows from the rank's world epoch counter, so it may be
+// freely mixed with direct world-scope collectives.
+func WorldComm(r *Rank) *Comm {
+	return &Comm{r: r, me: r.Rank()}
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int {
+	if c.ranks == nil {
+		return c.r.Size()
+	}
+	return len(c.ranks)
+}
+
+// WorldRanks returns the communicator's members as world ranks in comm
+// order (a fresh copy; nil for the world communicator is expanded).
+func (c *Comm) WorldRanks() []int {
+	if c.ranks != nil {
+		return append([]int(nil), c.ranks...)
+	}
+	all := make([]int, c.r.Size())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// World returns the underlying world rank handle.
+func (c *Comm) World() *Rank { return c.r }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int {
+	if c.ranks == nil {
+		return commRank
+	}
+	if commRank < 0 || commRank >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: comm rank %d outside communicator of %d", commRank, len(c.ranks)))
+	}
+	return c.ranks[commRank]
+}
+
+// NextWindow returns a fresh tag window private to this communicator. For
+// the world communicator it delegates to the world epoch counter; for split
+// communicators it packs (comm id, sequence) above the world windows so the
+// spaces cannot collide.
+func (c *Comm) NextWindow() int {
+	if c.ranks == nil {
+		return int(c.r.NextEpoch()) << 24
+	}
+	c.seq++
+	if c.seq >= maxCommSeq {
+		panic("mpi: communicator exceeded its collective budget (2^20)")
+	}
+	return int((1<<32|c.id<<20|c.seq)<<24) | 0
+}
+
+// Send is a blocking comm-scoped send to comm rank dst.
+func (c *Comm) Send(dst, tag int, data []byte) { c.r.Send(c.WorldRank(dst), tag, data) }
+
+// Recv is a blocking comm-scoped receive from comm rank src.
+func (c *Comm) Recv(src, tag int, buf []byte) int {
+	return c.r.Recv(c.WorldRank(src), tag, buf)
+}
+
+// Isend starts a nonblocking comm-scoped send.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	return c.r.Isend(c.WorldRank(dst), tag, data)
+}
+
+// Irecv posts a nonblocking comm-scoped receive.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	return c.r.Irecv(c.WorldRank(src), tag, buf)
+}
+
+// Undefined is the color that opts a rank out of Split (MPI_UNDEFINED).
+const Undefined = -1
+
+// splitEntry is one member's contribution to a split.
+type splitEntry struct {
+	color, key, world int
+}
+
+// Split partitions the communicator: every member calls it with a color
+// (Undefined to receive no communicator) and a key; members with equal
+// colors form a new communicator ordered by (key, world rank). Split is a
+// collective over c and returns nil for Undefined callers.
+func (c *Comm) Split(color, key int) *Comm {
+	size := c.Size()
+	window := c.NextWindow()
+	root := c.WorldRank(0)
+
+	// Gather (color, key) at the comm root.
+	mine := encodeSplitEntry(splitEntry{color: color, key: key, world: c.r.Rank()})
+	var entries []splitEntry
+	if c.r.Rank() == root {
+		entries = make([]splitEntry, 0, size)
+		entries = append(entries, splitEntry{color: color, key: key, world: c.r.Rank()})
+		buf := make([]byte, splitEntryBytes)
+		for i := 1; i < size; i++ {
+			c.r.Recv(c.WorldRank(i), window+i, buf)
+			entries = append(entries, decodeSplitEntry(buf))
+		}
+	} else {
+		c.r.Send(root, window+c.me, mine)
+	}
+
+	// The root groups, orders, names each group with a world-unique comm
+	// id, and distributes the membership lists.
+	var result []byte // this rank's [id, members...] encoded reply
+	if c.r.Rank() == root {
+		groups := map[int][]splitEntry{}
+		var colors []int
+		for _, e := range entries {
+			if e.color == Undefined {
+				continue
+			}
+			if _, ok := groups[e.color]; !ok {
+				colors = append(colors, e.color)
+			}
+			groups[e.color] = append(groups[e.color], e)
+		}
+		sort.Ints(colors) // deterministic id assignment order
+		replies := map[int][]byte{}
+		for _, col := range colors {
+			g := groups[col]
+			sort.Slice(g, func(i, j int) bool {
+				if g[i].key != g[j].key {
+					return g[i].key < g[j].key
+				}
+				return g[i].world < g[j].world
+			})
+			id := c.r.world.nextCommID()
+			members := make([]int, len(g))
+			for i, e := range g {
+				members[i] = e.world
+			}
+			enc := encodeMembership(id, members)
+			for _, e := range g {
+				replies[e.world] = enc
+			}
+		}
+		for i := 0; i < size; i++ {
+			w := c.WorldRank(i)
+			enc := replies[w] // nil (empty) for Undefined members
+			if w == c.r.Rank() {
+				result = enc
+				continue
+			}
+			c.r.Send(w, window+size+i, enc)
+		}
+	} else {
+		// Membership replies are bounded by the comm size.
+		buf := make([]byte, 16+8*size)
+		n := c.r.Recv(root, window+size+c.me, buf)
+		result = buf[:n]
+	}
+
+	if len(result) == 0 {
+		return nil // Undefined
+	}
+	id, members := decodeMembership(result)
+	me := -1
+	for i, w := range members {
+		if w == c.r.Rank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic("mpi: split reply omits the caller")
+	}
+	return &Comm{r: c.r, ranks: members, me: me, id: id}
+}
+
+// nextCommID hands out world-unique communicator ids. The world structure
+// is shared state, but the simulation engine serializes all rank execution,
+// so a plain counter is safe and deterministic.
+func (w *World) nextCommID() uint64 {
+	w.commIDs++
+	if w.commIDs >= maxCommID {
+		panic("mpi: too many communicators (2^12)")
+	}
+	return w.commIDs
+}
+
+const splitEntryBytes = 24
+
+func encodeSplitEntry(e splitEntry) []byte {
+	b := make([]byte, splitEntryBytes)
+	putInt64(b[0:], int64(e.color))
+	putInt64(b[8:], int64(e.key))
+	putInt64(b[16:], int64(e.world))
+	return b
+}
+
+func decodeSplitEntry(b []byte) splitEntry {
+	return splitEntry{
+		color: int(getInt64(b[0:])),
+		key:   int(getInt64(b[8:])),
+		world: int(getInt64(b[16:])),
+	}
+}
+
+func encodeMembership(id uint64, members []int) []byte {
+	b := make([]byte, 16+8*len(members))
+	putInt64(b[0:], int64(id))
+	putInt64(b[8:], int64(len(members)))
+	for i, m := range members {
+		putInt64(b[16+8*i:], int64(m))
+	}
+	return b
+}
+
+func decodeMembership(b []byte) (id uint64, members []int) {
+	id = uint64(getInt64(b[0:]))
+	n := int(getInt64(b[8:]))
+	members = make([]int, n)
+	for i := range members {
+		members[i] = int(getInt64(b[16+8*i:]))
+	}
+	return id, members
+}
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getInt64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

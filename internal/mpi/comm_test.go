@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestWorldComm(t *testing.T) {
+	w := newWorld(t, 2, 3, nil)
+	run(t, w, func(r *Rank) {
+		c := WorldComm(r)
+		if c.Size() != 6 || c.Rank() != r.Rank() || c.World() != r {
+			t.Error("world comm accessors wrong")
+		}
+		if c.WorldRank(4) != 4 {
+			t.Error("world comm translation wrong")
+		}
+		if got := c.WorldRanks(); len(got) != 6 || got[5] != 5 {
+			t.Errorf("world ranks = %v", got)
+		}
+	})
+}
+
+func TestSplitByParity(t *testing.T) {
+	w := newWorld(t, 2, 3, nil)
+	run(t, w, func(r *Rank) {
+		c := WorldComm(r).Split(r.Rank()%2, r.Rank())
+		if c == nil {
+			t.Errorf("rank %d got nil comm", r.Rank())
+			return
+		}
+		if c.Size() != 3 {
+			t.Errorf("rank %d comm size %d", r.Rank(), c.Size())
+		}
+		// Members ordered by key=world rank: comm rank = world rank / 2.
+		if c.Rank() != r.Rank()/2 {
+			t.Errorf("rank %d comm rank %d, want %d", r.Rank(), c.Rank(), r.Rank()/2)
+		}
+		for i, wr := range c.WorldRanks() {
+			if wr%2 != r.Rank()%2 || wr/2 != i {
+				t.Errorf("rank %d member %d = %d", r.Rank(), i, wr)
+			}
+		}
+	})
+}
+
+func TestSplitKeyOrdersMembers(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	run(t, w, func(r *Rank) {
+		// Reverse ordering: key = -rank.
+		c := WorldComm(r).Split(0, -r.Rank())
+		if c.Rank() != r.Size()-1-r.Rank() {
+			t.Errorf("rank %d comm rank %d, want %d", r.Rank(), c.Rank(), r.Size()-1-r.Rank())
+		}
+	})
+}
+
+func TestSplitUndefined(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	run(t, w, func(r *Rank) {
+		color := 0
+		if r.Rank() == 2 {
+			color = Undefined
+		}
+		c := WorldComm(r).Split(color, 0)
+		if r.Rank() == 2 {
+			if c != nil {
+				t.Error("Undefined rank received a comm")
+			}
+			return
+		}
+		if c == nil || c.Size() != 3 {
+			t.Errorf("rank %d comm = %v", r.Rank(), c)
+		}
+	})
+}
+
+func TestSplitCommP2P(t *testing.T) {
+	w := newWorld(t, 2, 3, nil)
+	run(t, w, func(r *Rank) {
+		c := WorldComm(r).Split(r.Rank()%2, 0)
+		// Neighbours within the comm pass a token: comm rank i -> i+1.
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte{byte(r.Rank())})
+		}
+		if c.Rank() == 1 {
+			buf := make([]byte, 1)
+			c.Recv(0, 5, buf)
+			if int(buf[0]) != c.WorldRank(0) {
+				t.Errorf("comm p2p delivered %d, want %d", buf[0], c.WorldRank(0))
+			}
+		}
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	w := newWorld(t, 2, 4, nil)
+	run(t, w, func(r *Rank) {
+		byNode := WorldComm(r).Split(r.Node(), r.Local())
+		if byNode.Size() != 4 || byNode.Rank() != r.Local() {
+			t.Errorf("rank %d node comm wrong: size %d me %d", r.Rank(), byNode.Size(), byNode.Rank())
+		}
+		byPair := byNode.Split(r.Local()/2, r.Local())
+		if byPair.Size() != 2 || byPair.Rank() != r.Local()%2 {
+			t.Errorf("rank %d pair comm wrong: size %d me %d", r.Rank(), byPair.Size(), byPair.Rank())
+		}
+	})
+}
+
+func TestCommWindowsDistinct(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	run(t, w, func(r *Rank) {
+		a := WorldComm(r).Split(0, 0) // all ranks: one comm
+		b := WorldComm(r).Split(r.Rank()%2, 0)
+		wa, wb := a.NextWindow(), b.NextWindow()
+		if wa == wb {
+			t.Errorf("distinct comms share a tag window %d", wa)
+		}
+		if wa>>24 == 0 || wb>>24 == 0 {
+			t.Error("comm window collides with raw user tags")
+		}
+	})
+}
+
+func TestCommRankTranslationPanics(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	err := w.Run(func(r *Rank) {
+		c := WorldComm(r).Split(0, 0)
+		c.WorldRank(99)
+	})
+	if err == nil {
+		t.Fatal("bad comm rank accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package mpi is a miniature MPI runtime over the simulated cluster: ranks,
+// tagged point-to-point messaging (blocking and nonblocking), and the
+// transport selection logic real MPI libraries apply — shared memory inside
+// a node (with a configurable mechanism: PiP, POSIX, CMA, XPMEM, KNEM) and
+// the fabric between nodes (eager for small payloads, rendezvous for large).
+//
+// It implements just enough of the MPI surface for every algorithm in the
+// paper to run unmodified: Send/Recv/Isend/Irecv/Wait/Waitall with exact
+// (source, tag) matching. Payloads are byte slices; reductions interpret
+// them as little-endian float64 vectors via package nums.
+//
+// Matching note: messages between the same (source, destination) pair
+// carrying the same tag are matched in delivery order, which under link
+// contention may differ from issue order when their sizes differ. The
+// collective algorithms in this repository give every logical message a
+// distinct tag per (collective invocation, phase), so they never depend on
+// same-tag ordering; user code should do the same.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/pip"
+	"repro/internal/shm"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config selects the transport models of a World.
+type Config struct {
+	// Fabric calibrates the inter-node network.
+	Fabric fabric.Params
+	// Shm calibrates each node's memory system.
+	Shm shm.Params
+	// Mechanism is the intranode large-message data path. PiP also
+	// charges the per-message size synchronization the paper attributes
+	// to PiP-based MPI transports (which PiP-MColl's algorithms avoid by
+	// using the posting board directly).
+	Mechanism shm.Mechanism
+	// IntranodeEager is the largest intranode payload sent through the
+	// double-copy eager bounce path (all mechanisms share it, as real
+	// libraries do); larger payloads use the mechanism's single-copy
+	// rendezvous path. Must be positive.
+	IntranodeEager int
+}
+
+// DefaultConfig returns the calibration used by the paper experiments, with
+// the PiP intranode mechanism (the PiP-MPICH baseline's transport).
+func DefaultConfig() Config {
+	return Config{
+		Fabric:         fabric.DefaultParams(),
+		Shm:            shm.DefaultParams(),
+		Mechanism:      shm.PiP,
+		IntranodeEager: 4 << 10,
+	}
+}
+
+// Validate reports an error for nonsensical configuration.
+func (c Config) Validate() error {
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	if err := c.Shm.Validate(); err != nil {
+		return err
+	}
+	if c.IntranodeEager <= 0 {
+		return fmt.Errorf("mpi: intranode eager limit must be positive, got %d", c.IntranodeEager)
+	}
+	return nil
+}
+
+// World is one simulated MPI job: a cluster, its transports, and one Rank
+// per process. Build it with NewWorld, then Run a rank body.
+type World struct {
+	cluster *topology.Cluster
+	cfg     Config
+	engine  *simtime.Engine
+	fab     *fabric.Fabric
+	envs    []*pip.NodeEnv
+	ranks   []*Rank
+	harness *simtime.Barrier
+	tracer  *trace.Log
+	commIDs uint64
+}
+
+// NewWorld builds a world on the given cluster.
+func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fab, err := fabric.New(cluster.Nodes(), cluster.PPN(), cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		cluster: cluster,
+		cfg:     cfg,
+		engine:  simtime.NewEngine(),
+		fab:     fab,
+		envs:    make([]*pip.NodeEnv, cluster.Nodes()),
+		harness: simtime.NewBarrier(cluster.Size()),
+	}
+	for n := range w.envs {
+		shmNode, err := shm.NewNode(cfg.Shm)
+		if err != nil {
+			return nil, err
+		}
+		w.envs[n] = pip.NewNodeEnv(n, cluster.PPN(), shmNode)
+	}
+	w.ranks = make([]*Rank, cluster.Size())
+	for r := range w.ranks {
+		node, local := cluster.Place(r)
+		w.ranks[r] = &Rank{
+			world: w,
+			rank:  r,
+			node:  node,
+			local: local,
+			env:   w.envs[node],
+			ep:    fabric.Endpoint{Node: node, Queue: local},
+		}
+	}
+	return w, nil
+}
+
+// MustNewWorld is NewWorld that panics on error, for drivers whose
+// configuration is a program constant.
+func MustNewWorld(cluster *topology.Cluster, cfg Config) *World {
+	w, err := NewWorld(cluster, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Cluster returns the world's cluster description.
+func (w *World) Cluster() *topology.Cluster { return w.cluster }
+
+// Config returns the world's transport configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Fabric exposes the inter-node network, for utilization reports.
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// Env returns the PiP environment of a node.
+func (w *World) Env(node int) *pip.NodeEnv { return w.envs[node] }
+
+// Run spawns one simulated process per rank executing body and drives the
+// simulation to completion. It may be called once per World.
+func (w *World) Run(body func(r *Rank)) error {
+	for _, r := range w.ranks {
+		r := r
+		w.engine.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *simtime.Proc) {
+			r.proc = p
+			body(r)
+		})
+	}
+	return w.engine.Run()
+}
+
+// Horizon returns the virtual makespan after Run completes.
+func (w *World) Horizon() simtime.Time { return w.engine.Horizon() }
+
+// SetTracer attaches an event log; every point-to-point send and receive is
+// recorded. Pass nil to disable. Must be called before Run.
+func (w *World) SetTracer(l *trace.Log) { w.tracer = l }
+
+// Tracer returns the attached event log, or nil.
+func (w *World) Tracer() *trace.Log { return w.tracer }

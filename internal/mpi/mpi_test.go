@@ -1,0 +1,398 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/nums"
+	"repro/internal/shm"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func newWorld(t *testing.T, nodes, ppn int, mut func(*Config)) *World {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	w, err := NewWorld(topology.New(nodes, ppn, topology.Block), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func run(t *testing.T, w *World, body func(*Rank)) {
+	t.Helper()
+	if err := w.Run(body); err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.IntranodeEager = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero intranode eager accepted")
+	}
+	if _, err := NewWorld(topology.New(1, 1, topology.Block), bad); err == nil {
+		t.Fatal("NewWorld accepted bad config")
+	}
+}
+
+func TestInternodeSendRecv(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	msg := []byte("across the fabric")
+	run(t, w, func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 42, msg)
+		case 1:
+			buf := make([]byte, len(msg))
+			n := r.Recv(0, 42, buf)
+			if n != len(msg) || !bytes.Equal(buf, msg) {
+				t.Errorf("recv = %d %q", n, buf)
+			}
+		}
+	})
+}
+
+func TestIntranodeSmallAndLarge(t *testing.T) {
+	for _, size := range []int{16, 100 << 10} {
+		size := size
+		t.Run(fmt.Sprintf("%dB", size), func(t *testing.T) {
+			w := newWorld(t, 1, 2, nil)
+			msg := make([]byte, size)
+			nums.FillBytes(msg, 3)
+			run(t, w, func(r *Rank) {
+				if r.Rank() == 0 {
+					r.Send(1, 7, msg)
+				} else {
+					buf := make([]byte, size)
+					r.Recv(0, 7, buf)
+					if !bytes.Equal(buf, msg) {
+						t.Error("intranode payload corrupted")
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestEagerSnapshotAllowsBufferReuse(t *testing.T) {
+	// Sender mutates its buffer right after Send returns; the receiver
+	// must still observe the original bytes.
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			buf := []byte{1, 2, 3, 4}
+			r.Send(1, 0, buf)
+			buf[0] = 99
+		} else {
+			got := make([]byte, 4)
+			r.Proc().Advance(simtime.Second) // receive long after the mutation
+			r.Recv(0, 0, got)
+			if got[0] != 1 {
+				t.Errorf("receiver saw mutated eager buffer: %v", got)
+			}
+		}
+	})
+}
+
+func TestRendezvousInternode(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	size := w.Config().Fabric.EagerLimit * 4
+	msg := make([]byte, size)
+	nums.FillBytes(msg, 9)
+	var sendDone, recvDone simtime.Time
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 5, msg)
+			sendDone = r.Now()
+		} else {
+			buf := make([]byte, size)
+			r.Recv(0, 5, buf)
+			recvDone = r.Now()
+			if !bytes.Equal(buf, msg) {
+				t.Error("rendezvous payload corrupted")
+			}
+		}
+	})
+	if sendDone == 0 || recvDone < sendDone {
+		t.Errorf("send done %v, recv done %v", sendDone, recvDone)
+	}
+}
+
+func TestIntranodeZeroCopySenderBlocksUntilReceiverCopies(t *testing.T) {
+	w := newWorld(t, 1, 2, nil)
+	size := w.Config().IntranodeEager * 8
+	msg := make([]byte, size)
+	var sendDone, recvStart simtime.Time
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 1, msg)
+			sendDone = r.Now()
+		} else {
+			r.Proc().Advance(5 * simtime.Microsecond) // receiver is late
+			recvStart = r.Now()
+			r.Recv(0, 1, make([]byte, size))
+		}
+	})
+	if sendDone < recvStart {
+		t.Errorf("zero-copy send completed at %v before receiver engaged at %v", sendDone, recvStart)
+	}
+}
+
+func TestSelfSendWithWaitall(t *testing.T) {
+	for _, size := range []int{8, 64 << 10} {
+		size := size
+		t.Run(fmt.Sprintf("%dB", size), func(t *testing.T) {
+			w := newWorld(t, 1, 1, nil)
+			msg := make([]byte, size)
+			nums.FillBytes(msg, 1)
+			run(t, w, func(r *Rank) {
+				buf := make([]byte, size)
+				sq := r.Isend(0, 3, msg)
+				rq := r.Irecv(0, 3, buf)
+				r.Waitall(sq, rq)
+				if !bytes.Equal(buf, msg) {
+					t.Error("self-send corrupted")
+				}
+			})
+		})
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	// Every rank passes a token to its right neighbour simultaneously.
+	const n = 6
+	w := newWorld(t, 3, 2, nil)
+	got := make([]int, n)
+	run(t, w, func(r *Rank) {
+		right := (r.Rank() + 1) % n
+		left := (r.Rank() - 1 + n) % n
+		out := []byte{byte(r.Rank())}
+		in := make([]byte, 1)
+		r.Sendrecv(right, 11, out, left, 11, in)
+		got[r.Rank()] = int(in[0])
+	})
+	for rank, v := range got {
+		if want := (rank - 1 + n) % n; v != want {
+			t.Errorf("rank %d received %d, want %d", rank, v, want)
+		}
+	}
+}
+
+func TestTagMatchingOutOfOrderArrival(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 100, []byte{100})
+			r.Send(1, 200, []byte{200})
+		} else {
+			buf := make([]byte, 1)
+			r.Recv(0, 200, buf) // match the second message first
+			if buf[0] != 200 {
+				t.Errorf("tag 200 delivered %d", buf[0])
+			}
+			r.Recv(0, 100, buf)
+			if buf[0] != 100 {
+				t.Errorf("tag 100 delivered %d", buf[0])
+			}
+		}
+	})
+}
+
+func TestTruncationPanics(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, make([]byte, 16))
+		} else {
+			r.Recv(0, 0, make([]byte, 8))
+		}
+	})
+	if err == nil {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestBadRankPanics(t *testing.T) {
+	w := newWorld(t, 1, 1, nil)
+	if err := w.Run(func(r *Rank) { r.Send(5, 0, nil) }); err == nil {
+		t.Fatal("send to bad rank accepted")
+	}
+	w2 := newWorld(t, 1, 1, nil)
+	if err := w2.Run(func(r *Rank) { r.Recv(-1, 0, nil) }); err == nil {
+		t.Fatal("recv from bad rank accepted")
+	}
+}
+
+func TestUnmatchedRecvDeadlocks(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Recv(0, 9, make([]byte, 4)) // nobody sends
+		}
+	})
+	var dl *simtime.DeadlockError
+	if !asDeadlock(err, &dl) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func asDeadlock(err error, dl **simtime.DeadlockError) bool {
+	d, ok := err.(*simtime.DeadlockError)
+	if ok {
+		*dl = d
+	}
+	return ok
+}
+
+func TestPiPMechanismChargesSizeSync(t *testing.T) {
+	countSyncs := func(mech shm.Mechanism) int64 {
+		w := newWorld(t, 1, 2, func(c *Config) { c.Mechanism = mech })
+		run(t, w, func(r *Rank) {
+			if r.Rank() == 0 {
+				r.Send(1, 0, make([]byte, 64))
+			} else {
+				r.Recv(0, 0, make([]byte, 64))
+			}
+		})
+		return w.Env(0).Shm().Stats().SizeSyncs
+	}
+	if n := countSyncs(shm.PiP); n != 2 {
+		t.Errorf("PiP mechanism charged %d size syncs, want 2 (sender+receiver)", n)
+	}
+	if n := countSyncs(shm.POSIX); n != 0 {
+		t.Errorf("POSIX mechanism charged %d size syncs, want 0", n)
+	}
+}
+
+func TestMechanismAffectsLargeTransferTime(t *testing.T) {
+	elapsed := func(mech shm.Mechanism) simtime.Time {
+		w := newWorld(t, 1, 2, func(c *Config) { c.Mechanism = mech })
+		var end simtime.Time
+		run(t, w, func(r *Rank) {
+			const size = 256 << 10
+			if r.Rank() == 0 {
+				r.Send(1, 0, make([]byte, size))
+			} else {
+				r.Recv(0, 0, make([]byte, size))
+				end = r.Now()
+			}
+		})
+		return end
+	}
+	posix := elapsed(shm.POSIX)
+	cma := elapsed(shm.CMA)
+	if cma >= posix {
+		t.Errorf("CMA single copy (%v) should beat POSIX double copy (%v) at 256kB", cma, posix)
+	}
+}
+
+func TestEpochLockstep(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	epochs := make([]uint64, 4)
+	run(t, w, func(r *Rank) {
+		r.NextEpoch()
+		epochs[r.Rank()] = r.NextEpoch()
+	})
+	for rank, e := range epochs {
+		if e != 2 {
+			t.Errorf("rank %d epoch = %d, want 2", rank, e)
+		}
+	}
+}
+
+func TestHarnessBarrierFree(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	ends := make([]simtime.Time, 4)
+	run(t, w, func(r *Rank) {
+		r.Proc().Advance(simtime.Duration(r.Rank()) * simtime.Microsecond)
+		r.HarnessBarrier()
+		ends[r.Rank()] = r.Now()
+	})
+	for rank, e := range ends {
+		if want := simtime.Time(3 * simtime.Microsecond); e != want {
+			t.Errorf("rank %d left harness barrier at %v, want %v", rank, e, want)
+		}
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	w := newWorld(t, 2, 3, nil)
+	run(t, w, func(r *Rank) {
+		if r.Size() != 6 || r.World() != w || r.Cluster() != w.Cluster() {
+			t.Error("accessors wrong")
+		}
+		node, local := w.Cluster().Place(r.Rank())
+		if r.Node() != node || r.Local() != local {
+			t.Errorf("rank %d placement (%d,%d) vs (%d,%d)", r.Rank(), r.Node(), r.Local(), node, local)
+		}
+		if r.Env() != w.Env(node) {
+			t.Error("env mismatch")
+		}
+	})
+}
+
+func TestWaitIdempotent(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			q := r.Isend(1, 0, []byte{1})
+			r.Wait(q)
+			before := r.Now()
+			if n := r.Wait(q); n != 0 || r.Now() != before {
+				t.Error("second Wait had effects")
+			}
+		} else {
+			q := r.Irecv(0, 0, make([]byte, 1))
+			if n := r.Wait(q); n != 1 {
+				t.Errorf("recv n = %d", n)
+			}
+			if n := r.Wait(q); n != 1 {
+				t.Errorf("repeat Wait n = %d", n)
+			}
+		}
+	})
+}
+
+func TestManyRanksAllToOne(t *testing.T) {
+	// 4 nodes x 4 ranks funnel to rank 0, mixing intra- and internode.
+	w := newWorld(t, 4, 4, nil)
+	const n = 16
+	sum := 0
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			buf := make([]byte, 1)
+			for src := 1; src < n; src++ {
+				r.Recv(src, src, buf)
+				sum += int(buf[0])
+			}
+		} else {
+			r.Send(0, r.Rank(), []byte{byte(r.Rank())})
+		}
+	})
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestWorldAccessorsAndHorizon(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	if w.Fabric() == nil || w.Config().IntranodeEager <= 0 {
+		t.Fatal("world accessors wrong")
+	}
+	run(t, w, func(r *Rank) {
+		r.Proc().Advance(7 * simtime.Microsecond)
+	})
+	if w.Horizon() != simtime.Time(7*simtime.Microsecond) {
+		t.Fatalf("horizon = %v", w.Horizon())
+	}
+}

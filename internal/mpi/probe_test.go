@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nums"
+	"repro/internal/simtime"
+)
+
+func TestAnySourceReceivesAll(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				buf := make([]byte, 8)
+				q := r.Irecv(AnySource, 5, buf)
+				r.Wait(q)
+				src := q.Source()
+				if seen[src] {
+					t.Errorf("source %d matched twice", src)
+				}
+				seen[src] = true
+				want := make([]byte, 8)
+				nums.FillBytes(want, src)
+				if !bytes.Equal(buf, want) {
+					t.Errorf("payload from %d wrong", src)
+				}
+			}
+		} else {
+			data := make([]byte, 8)
+			nums.FillBytes(data, r.Rank())
+			r.Send(0, 5, data)
+		}
+	})
+}
+
+func TestProbeThenSizedRecv(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Proc().Advance(simtime.Microsecond)
+			r.Send(1, 9, make([]byte, 777))
+		} else {
+			st := r.Probe(0, 9)
+			if st.Bytes != 777 || st.Source != 0 || st.Tag != 9 {
+				t.Fatalf("probe status = %+v", st)
+			}
+			buf := make([]byte, st.Bytes) // sized exactly from the probe
+			if n := r.Recv(st.Source, st.Tag, buf); n != 777 {
+				t.Fatalf("recv n = %d", n)
+			}
+		}
+	})
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 1, []byte{42})
+		} else {
+			r.Probe(0, 1)
+			r.Probe(0, 1) // still there
+			buf := make([]byte, 1)
+			r.Recv(0, 1, buf)
+			if buf[0] != 42 {
+				t.Fatalf("payload %d", buf[0])
+			}
+		}
+	})
+}
+
+func TestIprobe(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			if _, ok := r.Iprobe(1, 3); ok {
+				t.Error("iprobe matched nothing")
+			}
+			r.Send(1, 3, make([]byte, 16))
+		} else {
+			r.Recv(0, 3, make([]byte, 16))
+			// Now probe for a message that was never sent.
+			if _, ok := r.Iprobe(0, 99); ok {
+				t.Error("iprobe matched a consumed/absent message")
+			}
+			// And one that is queued (self-send, intranode path).
+			r.Isend(1, 7, []byte{1, 2})
+			if st, ok := r.Iprobe(1, 7); !ok || st.Bytes != 2 {
+				t.Errorf("iprobe self-send = %+v, %v", st, ok)
+			}
+			r.Recv(1, 7, make([]byte, 2))
+		}
+	})
+}
+
+func TestProbeAnySource(t *testing.T) {
+	w := newWorld(t, 3, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			st := r.Probe(AnySource, 4)
+			if st.Source != 1 && st.Source != 2 {
+				t.Fatalf("probe source %d", st.Source)
+			}
+			for i := 0; i < 2; i++ {
+				buf := make([]byte, 4)
+				q := r.Irecv(AnySource, 4, buf)
+				r.Wait(q)
+			}
+		} else {
+			r.Send(0, 4, make([]byte, 4))
+		}
+	})
+}
+
+func TestProbeBadSourcePanics(t *testing.T) {
+	w := newWorld(t, 1, 1, nil)
+	if err := w.Run(func(r *Rank) { r.Probe(7, 0) }); err == nil {
+		t.Fatal("bad probe source accepted")
+	}
+}
+
+func TestAnyTag(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 77, []byte{77})
+			r.Send(1, 88, []byte{88})
+		} else {
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				buf := make([]byte, 1)
+				q := r.Irecv(0, AnyTag, buf)
+				r.Wait(q)
+				if int(buf[0]) != q.Tag() {
+					t.Errorf("payload %d for tag %d", buf[0], q.Tag())
+				}
+				got[q.Tag()] = true
+			}
+			if !got[77] || !got[88] {
+				t.Errorf("tags seen: %v", got)
+			}
+			// Probe with AnyTag on a fresh message.
+		}
+	})
+	w2 := newWorld(t, 2, 1, nil)
+	run(t, w2, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 123, make([]byte, 5))
+		} else {
+			st := r.Probe(AnySource, AnyTag)
+			if st.Tag != 123 || st.Bytes != 5 {
+				t.Errorf("probe = %+v", st)
+			}
+			r.Recv(0, 123, make([]byte, 5))
+		}
+	})
+}

@@ -1,0 +1,362 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/pip"
+	"repro/internal/shm"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Rank is one simulated MPI process. All methods must be called from the
+// rank's own process body (the function passed to World.Run).
+type Rank struct {
+	world *World
+	rank  int
+	node  int
+	local int
+	env   *pip.NodeEnv
+	ep    fabric.Endpoint
+	proc  *simtime.Proc
+	epoch uint64
+	// epochLimit caps epoch draws for async helper ranks (0 = parent,
+	// capped at the async band instead); asyncSeq numbers this rank's
+	// async operations.
+	epochLimit uint64
+	asyncSeq   int
+}
+
+// Rank returns the process's global rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.world.cluster.Size() }
+
+// Node returns the node the rank lives on.
+func (r *Rank) Node() int { return r.node }
+
+// Local returns the rank's local index on its node (0..PPN-1).
+func (r *Rank) Local() int { return r.local }
+
+// Cluster returns the world's cluster description.
+func (r *Rank) Cluster() *topology.Cluster { return r.world.cluster }
+
+// World returns the enclosing world.
+func (r *Rank) World() *World { return r.world }
+
+// Env returns the PiP node environment shared by the rank's node — the
+// posting board, node barrier and shared-memory cost domain PiP-MColl's
+// algorithms program against directly.
+func (r *Rank) Env() *pip.NodeEnv { return r.env }
+
+// Proc returns the underlying simulated process (for clock reads and
+// compute-cost charging).
+func (r *Rank) Proc() *simtime.Proc { return r.proc }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() simtime.Time { return r.proc.Now() }
+
+// NextEpoch returns a fresh collective epoch. MPI semantics guarantee all
+// ranks invoke collectives in the same order, so per-rank counters stay in
+// lockstep and the returned epoch identifies the same invocation everywhere.
+// Async helpers draw from a private band (see Async); parents are capped
+// below it so the bands can never collide.
+func (r *Rank) NextEpoch() uint64 {
+	r.epoch++
+	switch {
+	case r.epochLimit > 0 && r.epoch >= r.epochLimit:
+		panic("mpi: async helper exceeded its collective budget (2^16)")
+	case r.epochLimit == 0 && r.epoch >= asyncEpochBase:
+		panic("mpi: rank exceeded the world collective budget (2^30)")
+	}
+	return r.epoch
+}
+
+// HarnessBarrier synchronizes all ranks at zero virtual cost. It is not an
+// MPI operation: the benchmark harness uses it to separate warm-up from
+// measurement and to align iteration starts, exactly like the paper's
+// two-stage microbenchmark methodology (which excludes barrier cost).
+// Async helpers must not call it (the barrier counts world ranks only).
+func (r *Rank) HarnessBarrier() {
+	if r.epochLimit > 0 {
+		panic("mpi: HarnessBarrier called from an async helper")
+	}
+	r.world.harness.Wait(r.proc)
+}
+
+// envelope is one in-flight point-to-point message.
+type envelope struct {
+	src, dst int
+	tag      int
+	n        int
+	data     []byte        // snapshot, or live reference when zeroCopy
+	zeroCopy bool          // intranode rendezvous: data points into sender's buffer
+	srcLocal int           // sender's local rank, for mechanism cost accounting
+	done     *simtime.Flag // set by the receiver when a zeroCopy transfer finishes
+}
+
+// envOf extracts the envelope from a mailbox item, which is either a fabric
+// packet (internode) or a bare envelope (intranode).
+func envOf(item any) *envelope {
+	switch v := item.(type) {
+	case fabric.Packet:
+		return v.Payload.(*envelope)
+	case *envelope:
+		return v
+	default:
+		panic(fmt.Sprintf("mpi: foreign item in rank mailbox: %T", item))
+	}
+}
+
+// reqKind discriminates Request completion styles.
+type reqKind int
+
+const (
+	reqSendAt   reqKind = iota // complete at a known virtual time
+	reqSendFlag                // complete when the receiver sets the flag
+	reqRecv                    // complete by matching an incoming envelope
+)
+
+// Request is a pending nonblocking operation. Complete it with Rank.Wait or
+// Rank.Waitall.
+type Request struct {
+	kind   reqKind
+	doneAt simtime.Time
+	flag   *simtime.Flag
+	src    int
+	tag    int
+	buf    []byte
+	n      int
+	done   bool
+}
+
+// N returns the number of bytes transferred, valid after completion (for
+// receive requests it is the matched message's size).
+func (q *Request) N() int { return q.n }
+
+// Source returns the matched sender's rank, valid after a receive request
+// completes (useful with AnySource).
+func (q *Request) Source() int { return q.src }
+
+// Tag returns the matched message's tag, valid after a receive request
+// completes (useful with AnyTag).
+func (q *Request) Tag() int { return q.tag }
+
+// Isend starts a nonblocking send of data to rank dst with the given tag and
+// returns a request that completes when the source buffer is reusable.
+func (r *Rank) Isend(dst, tag int, data []byte) *Request {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mpi: Isend to rank %d in world of %d", dst, r.Size()))
+	}
+	intranode := r.world.cluster.SameNode(r.rank, dst)
+	if tr := r.world.tracer; tr != nil {
+		tr.Record(trace.Event{Kind: trace.KindSend, At: r.proc.Now(),
+			Src: r.rank, Dst: dst, Tag: tag, Bytes: len(data), Intranode: intranode})
+	}
+	if intranode {
+		return r.isendIntranode(dst, tag, data)
+	}
+	return r.isendInternode(dst, tag, data)
+}
+
+// isendInternode snapshots the payload (the eager protocol buffers it; the
+// rendezvous completion time already covers the pinned interval) and injects
+// it into the fabric.
+func (r *Rank) isendInternode(dst, tag int, data []byte) *Request {
+	snapshot := append([]byte(nil), data...)
+	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data), data: snapshot}
+	dstNode, dstLocal := r.world.cluster.Place(dst)
+	doneAt := r.world.fab.Send(r.proc, r.ep,
+		fabric.Endpoint{Node: dstNode, Queue: dstLocal}, len(data), env)
+	return &Request{kind: reqSendAt, doneAt: doneAt}
+}
+
+// isendIntranode moves data through the node's shared memory. Small payloads
+// take the double-copy eager bounce path; large ones are posted zero-copy
+// and transferred by the receiver via the configured mechanism.
+func (r *Rank) isendIntranode(dst, tag int, data []byte) *Request {
+	cfg := r.world.cfg
+	shmNode := r.env.Shm()
+	if cfg.Mechanism == shm.PiP {
+		// PiP transports synchronize message sizes before any data
+		// moves (the overhead PiP-MColl is designed to avoid).
+		shmNode.SizeSync(r.proc)
+	}
+	shmNode.Handoff(r.proc) // notify the peer: cacheline ping
+	_, dstLocal := r.world.cluster.Place(dst)
+	if len(data) <= cfg.IntranodeEager {
+		// Eager: copy into the bounce buffer now; receiver copies out.
+		bounce := make([]byte, len(data))
+		shmNode.Memcpy(r.proc, bounce, data)
+		env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data),
+			data: bounce, srcLocal: r.local}
+		r.world.fab.Inbox(fabric.Endpoint{Node: r.node, Queue: dstLocal}).Put(r.proc, env)
+		return &Request{kind: reqSendAt, doneAt: r.proc.Now()}
+	}
+	// Rendezvous: expose the live buffer; the receiver performs the
+	// single-copy transfer and signals completion.
+	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data),
+		data: data, zeroCopy: true, srcLocal: r.local, done: &simtime.Flag{}}
+	r.world.fab.Inbox(fabric.Endpoint{Node: r.node, Queue: dstLocal}).Put(r.proc, env)
+	return &Request{kind: reqSendFlag, flag: env.done}
+}
+
+// AnySource matches a receive against any sender (MPI_ANY_SOURCE).
+const AnySource = -1
+
+// AnyTag matches a receive or probe against any tag (MPI_ANY_TAG).
+const AnyTag = -1
+
+// Irecv posts a nonblocking receive for a message from src (or AnySource)
+// with the given tag into buf. Matching happens when the request is waited
+// on.
+func (r *Rank) Irecv(src, tag int, buf []byte) *Request {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d in world of %d", src, r.Size()))
+	}
+	return &Request{kind: reqRecv, src: src, tag: tag, buf: buf}
+}
+
+// Wait blocks until the request completes and returns the transferred byte
+// count. Waiting on an already-completed request returns immediately.
+func (r *Rank) Wait(q *Request) int {
+	if q.done {
+		return q.n
+	}
+	switch q.kind {
+	case reqSendAt:
+		r.proc.AdvanceTo(q.doneAt)
+	case reqSendFlag:
+		q.flag.Wait(r.proc)
+	case reqRecv:
+		r.completeRecv(q)
+	}
+	q.done = true
+	return q.n
+}
+
+// Waitall completes every request. Receive requests are progressed before
+// send requests so that matched zero-copy sends (including self-sends) can
+// complete; within each class, requests finish in argument order.
+func (r *Rank) Waitall(reqs ...*Request) {
+	for _, q := range reqs {
+		if q.kind == reqRecv {
+			r.Wait(q)
+		}
+	}
+	for _, q := range reqs {
+		r.Wait(q)
+	}
+}
+
+// completeRecv blocks for a matching envelope and finishes the transfer:
+// copy-out costs for eager paths, the mechanism's single-copy cost for
+// intranode rendezvous, and truncation checking throughout.
+func (r *Rank) completeRecv(q *Request) {
+	item := r.world.fab.Inbox(r.ep).Get(r.proc, func(it any) bool {
+		env := envOf(it)
+		return (q.src == AnySource || env.src == q.src) &&
+			(q.tag == AnyTag || env.tag == q.tag)
+	})
+	env := envOf(item)
+	if env.n > len(q.buf) {
+		panic(fmt.Sprintf("mpi: truncation on recv: %dB message from rank %d (tag %d) into %dB buffer",
+			env.n, env.src, env.tag, len(q.buf)))
+	}
+	cfg := r.world.cfg
+	shmNode := r.env.Shm()
+	intranode := r.world.cluster.SameNode(env.src, r.rank)
+	switch {
+	case intranode && env.zeroCopy:
+		if cfg.Mechanism == shm.PiP {
+			shmNode.SizeSync(r.proc)
+		}
+		copy(q.buf, env.data)
+		shmNode.ChargeTransfer(r.proc, cfg.Mechanism, env.srcLocal, r.local, env.n)
+		env.done.Set(r.proc, nil)
+	case intranode:
+		if cfg.Mechanism == shm.PiP {
+			shmNode.SizeSync(r.proc)
+		}
+		shmNode.Memcpy(r.proc, q.buf[:env.n], env.data) // bounce copy-out
+	default:
+		// Internode: eager messages are copied out of the receive
+		// buffer pool; rendezvous payloads landed in place.
+		if env.n <= cfg.Fabric.EagerLimit {
+			shmNode.Memcpy(r.proc, q.buf[:env.n], env.data)
+		} else {
+			copy(q.buf, env.data)
+		}
+	}
+	q.n = env.n
+	q.src = env.src
+	q.tag = env.tag
+	if tr := r.world.tracer; tr != nil {
+		tr.Record(trace.Event{Kind: trace.KindRecv, At: r.proc.Now(),
+			Src: env.src, Dst: r.rank, Tag: env.tag, Bytes: env.n, Intranode: intranode})
+	}
+}
+
+// Status describes a pending message observed by Probe/Iprobe.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Probe blocks until a message from src (or AnySource) with the given tag
+// is pending, and returns its envelope metadata without consuming it — the
+// classic pattern for sizing a receive buffer before Recv.
+func (r *Rank) Probe(src, tag int) Status {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpi: Probe from rank %d in world of %d", src, r.Size()))
+	}
+	item := r.world.fab.Inbox(r.ep).Peek(r.proc, func(it any) bool {
+		env := envOf(it)
+		return (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag)
+	})
+	env := envOf(item)
+	return Status{Source: env.src, Tag: env.tag, Bytes: env.n}
+}
+
+// Iprobe reports whether a matching message is already pending, without
+// blocking or consuming it. Like any non-blocking cross-process read in the
+// simulation, it may report false for a message whose delivery is scheduled
+// at an earlier virtual time but has not executed yet; the blocking Probe
+// has no such caveat.
+func (r *Rank) Iprobe(src, tag int) (Status, bool) {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpi: Iprobe from rank %d in world of %d", src, r.Size()))
+	}
+	item, ok := r.world.fab.Inbox(r.ep).TryPeek(r.proc, func(it any) bool {
+		env := envOf(it)
+		return (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag)
+	})
+	if !ok {
+		return Status{}, false
+	}
+	env := envOf(item)
+	return Status{Source: env.src, Tag: env.tag, Bytes: env.n}, true
+}
+
+// Send is a blocking send: it returns when the source buffer is reusable.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	r.Wait(r.Isend(dst, tag, data))
+}
+
+// Recv is a blocking receive; it returns the received byte count.
+func (r *Rank) Recv(src, tag int, buf []byte) int {
+	return r.Wait(r.Irecv(src, tag, buf))
+}
+
+// Sendrecv exchanges messages with two (possibly different) peers without
+// deadlocking, the workhorse of ring and Bruck algorithms.
+func (r *Rank) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, recvBuf []byte) int {
+	rq := r.Irecv(src, recvTag, recvBuf)
+	sq := r.Isend(dst, sendTag, sendData)
+	r.Waitall(rq, sq)
+	return rq.n
+}

@@ -1,0 +1,41 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func TestTracerRecordsTraffic(t *testing.T) {
+	w := MustNewWorld(topology.New(2, 2, topology.Block), DefaultConfig())
+	log := trace.NewLog(0)
+	w.SetTracer(log)
+	if w.Tracer() != log {
+		t.Fatal("tracer not attached")
+	}
+	if err := w.Run(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 1, make([]byte, 100)) // internode
+			r.Send(1, 2, make([]byte, 40))  // intranode
+		case 1:
+			r.Recv(0, 2, make([]byte, 40))
+		case 2:
+			r.Recv(0, 1, make([]byte, 100))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := log.Volume()
+	if v.SendsInter != 1 || v.BytesInter != 100 || v.SendsIntra != 1 || v.BytesIntra != 40 {
+		t.Fatalf("volume = %+v", v)
+	}
+	if msg := log.CheckCausality(); msg != "" {
+		t.Fatalf("causality violation: %s", msg)
+	}
+	// Two sends, two receives.
+	if log.Len() != 4 {
+		t.Fatalf("events = %d", log.Len())
+	}
+}

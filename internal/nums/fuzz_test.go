@@ -1,0 +1,45 @@
+package nums
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzF64RoundTrip: encoding then decoding any 8-aligned byte buffer as
+// float64s must reproduce the bytes exactly (including NaN payloads, which
+// Go preserves through Float64bits/Float64frombits).
+func FuzzF64RoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) - len(data)%F64Size
+		in := data[:n]
+		v := F64(in)
+		out := make([]byte, n)
+		PutF64(out, v)
+		if !bytes.Equal(in, out) {
+			t.Fatalf("round trip changed bytes: %x -> %x", in, out)
+		}
+	})
+}
+
+// FuzzOpsPreserveLength: every operator leaves buffer lengths untouched and
+// never panics on aligned same-length inputs.
+func FuzzOpsPreserveLength(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		n -= n % F64Size
+		acc := append([]byte(nil), a[:n]...)
+		src := append([]byte(nil), b[:n]...)
+		for _, op := range []Op{Sum, Prod, Min, Max} {
+			op.Combine(acc, src)
+			if len(acc) != n {
+				t.Fatalf("%s changed length", op.Name)
+			}
+		}
+	})
+}

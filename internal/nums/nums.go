@@ -1,0 +1,106 @@
+// Package nums provides the typed view the collectives need over raw byte
+// buffers: encoding/decoding of little-endian float64 vectors and the
+// reduction operators (sum, product, min, max) MPI_Allreduce applies.
+// Keeping payloads as []byte everywhere lets the transport layers stay
+// type-agnostic while reductions remain numerically real and testable.
+package nums
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// F64Size is the byte width of one float64 element.
+const F64Size = 8
+
+// PutF64 encodes v into dst, which must be exactly 8*len(v) bytes.
+func PutF64(dst []byte, v []float64) {
+	if len(dst) != F64Size*len(v) {
+		panic(fmt.Sprintf("nums: PutF64 buffer %dB for %d elements", len(dst), len(v)))
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[i*F64Size:], math.Float64bits(x))
+	}
+}
+
+// F64 decodes b (length a multiple of 8) into a fresh []float64.
+func F64(b []byte) []float64 {
+	if len(b)%F64Size != 0 {
+		panic(fmt.Sprintf("nums: F64 on %dB buffer (not a multiple of 8)", len(b)))
+	}
+	v := make([]float64, len(b)/F64Size)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*F64Size:]))
+	}
+	return v
+}
+
+// F64At reads element i of the float64 vector encoded in b.
+func F64At(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*F64Size:]))
+}
+
+// SetF64At writes element i of the float64 vector encoded in b.
+func SetF64At(b []byte, i int, x float64) {
+	binary.LittleEndian.PutUint64(b[i*F64Size:], math.Float64bits(x))
+}
+
+// Op is a binary reduction operator over float64 vectors encoded in bytes.
+// Combine folds src into acc element-wise; both must have equal length, a
+// multiple of 8.
+type Op struct {
+	Name    string
+	Combine func(acc, src []byte)
+}
+
+func foldOp(name string, f func(a, b float64) float64) Op {
+	return Op{
+		Name: name,
+		Combine: func(acc, src []byte) {
+			if len(acc) != len(src) || len(acc)%F64Size != 0 {
+				panic(fmt.Sprintf("nums: %s on mismatched buffers %dB/%dB", name, len(acc), len(src)))
+			}
+			for i := 0; i < len(acc); i += F64Size {
+				a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+				b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+				binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(f(a, b)))
+			}
+		},
+	}
+}
+
+// The standard MPI reduction operators over float64.
+var (
+	Sum  = foldOp("sum", func(a, b float64) float64 { return a + b })
+	Prod = foldOp("prod", func(a, b float64) float64 { return a * b })
+	Min  = foldOp("min", math.Min)
+	Max  = foldOp("max", math.Max)
+)
+
+// Fill writes a deterministic, rank-and-index-dependent float64 pattern into
+// buf (length a multiple of 8). Every (seed, index) pair yields a distinct
+// value, so tests catch both misplaced and miscombined elements.
+func Fill(buf []byte, seed int) {
+	if len(buf)%F64Size != 0 {
+		panic(fmt.Sprintf("nums: Fill on %dB buffer", len(buf)))
+	}
+	for i := 0; i < len(buf)/F64Size; i++ {
+		SetF64At(buf, i, PatternValue(seed, i))
+	}
+}
+
+// PatternValue is the deterministic fill value for (seed, index): chosen so
+// that sums of distinct subsets differ and floating-point addition is exact
+// at the scales the tests use (small integers).
+func PatternValue(seed, i int) float64 {
+	return float64((seed+1)*1000003%8191) + float64(i%97)
+}
+
+// FillBytes writes a deterministic byte pattern (not float64-structured)
+// for pure data-movement collectives like scatter and allgather.
+func FillBytes(buf []byte, seed int) {
+	for i := range buf {
+		buf[i] = byte((seed*131 + i*29 + 7) % 251)
+	}
+}

@@ -1,0 +1,145 @@
+// Package pip models the Process-in-Process execution environment of Hori et
+// al. (HPDC'18), the substrate PiP-MColl is built on: all MPI processes of a
+// node are loaded into one virtual address space, so any process can read or
+// write any peer's buffers directly in userspace, with no system calls.
+//
+// In this reproduction the shared address space is literal — all simulated
+// processes are goroutines in one Go address space — so "posting an address"
+// really does hand a peer a reference it can copy through. What the package
+// adds over raw shared memory is the PiP programming model the paper's
+// algorithms use:
+//
+//   - a posting board: one-shot publish/subscribe cells, keyed by
+//     (epoch, local rank, slot), through which processes expose buffer
+//     addresses and completion flags to node peers;
+//   - arrival counters for "wait until k peers have copied" patterns;
+//   - a node barrier;
+//   - epoch management so that back-to-back collectives reuse no cells.
+//
+// Costs: posting charges the small store-and-publish cost; waiting is free
+// (captured by virtual-time ordering); copies and reductions are charged by
+// the shm layer the algorithms call through.
+package pip
+
+import (
+	"fmt"
+
+	"repro/internal/shm"
+	"repro/internal/simtime"
+)
+
+// NodeEnv is the PiP environment of one node: the shared-memory cost domain
+// plus the posting board and node barrier. One NodeEnv is shared by all
+// local ranks of a node.
+type NodeEnv struct {
+	node    int
+	ppn     int
+	shmNode *shm.Node
+	barrier *simtime.Barrier
+	flags   map[cellKey]*simtime.Flag
+	counts  map[cellKey]*simtime.Counter
+}
+
+// cellKey addresses one posting-board cell. Epoch isolates successive
+// collective invocations; local is the posting rank for flags (or any
+// algorithm-chosen owner for counters); slot distinguishes multiple cells of
+// one owner within an epoch.
+type cellKey struct {
+	epoch uint64
+	local int
+	slot  int
+}
+
+// NewNodeEnv creates the PiP environment for a node with ppn local ranks.
+func NewNodeEnv(node, ppn int, shmNode *shm.Node) *NodeEnv {
+	if ppn < 1 {
+		panic(fmt.Sprintf("pip: node %d with %d ranks", node, ppn))
+	}
+	return &NodeEnv{
+		node:    node,
+		ppn:     ppn,
+		shmNode: shmNode,
+		barrier: simtime.NewBarrier(ppn),
+		flags:   make(map[cellKey]*simtime.Flag),
+		counts:  make(map[cellKey]*simtime.Counter),
+	}
+}
+
+// Node returns the node id this environment belongs to.
+func (e *NodeEnv) Node() int { return e.node }
+
+// PPN returns the number of local ranks sharing this environment.
+func (e *NodeEnv) PPN() int { return e.ppn }
+
+// Shm returns the node's shared-memory cost domain.
+func (e *NodeEnv) Shm() *shm.Node { return e.shmNode }
+
+// Barrier blocks until all local ranks of the node have arrived.
+func (e *NodeEnv) Barrier(p *simtime.Proc) { e.barrier.Wait(p) }
+
+// flag returns the (lazily created) flag cell for a key, so that waiters may
+// arrive before the poster.
+func (e *NodeEnv) flag(k cellKey) *simtime.Flag {
+	f, ok := e.flags[k]
+	if !ok {
+		f = &simtime.Flag{}
+		e.flags[k] = f
+	}
+	return f
+}
+
+// Post publishes payload (typically a buffer reference) on the calling
+// rank's cell (epoch, local, slot), charging the PiP post cost. Each cell
+// may be posted once per epoch.
+func (e *NodeEnv) Post(p *simtime.Proc, epoch uint64, local, slot int, payload any) {
+	e.checkLocal(local)
+	e.shmNode.Post(p)
+	e.flag(cellKey{epoch, local, slot}).Set(p, payload)
+}
+
+// Read blocks until the cell (epoch, local, slot) has been posted and
+// returns its payload. Reading a posted address is a plain load in the PiP
+// space; no cost beyond the virtual-time wait is charged.
+func (e *NodeEnv) Read(p *simtime.Proc, epoch uint64, local, slot int) any {
+	e.checkLocal(local)
+	return e.flag(cellKey{epoch, local, slot}).Wait(p)
+}
+
+// Counter returns the shared arrival counter for (epoch, owner, slot),
+// creating it on first use. Algorithms use it for "P-1 peers have copied
+// out" completion tracking.
+func (e *NodeEnv) Counter(epoch uint64, owner, slot int) *simtime.Counter {
+	e.checkLocal(owner)
+	k := cellKey{epoch, owner, slot}
+	c, ok := e.counts[k]
+	if !ok {
+		c = &simtime.Counter{}
+		e.counts[k] = c
+	}
+	return c
+}
+
+// EndEpoch discards every cell of the given epoch. Call it from exactly one
+// local rank after a synchronization point that proves no rank will touch
+// the epoch again (typically the collective's closing barrier).
+func (e *NodeEnv) EndEpoch(epoch uint64) {
+	for k := range e.flags {
+		if k.epoch == epoch {
+			delete(e.flags, k)
+		}
+	}
+	for k := range e.counts {
+		if k.epoch == epoch {
+			delete(e.counts, k)
+		}
+	}
+}
+
+// Cells reports the number of live board cells, for leak tests.
+func (e *NodeEnv) Cells() int { return len(e.flags) + len(e.counts) }
+
+func (e *NodeEnv) checkLocal(local int) {
+	if local < 0 || local >= e.ppn {
+		panic(fmt.Sprintf("pip: local rank %d outside node of %d", local, e.ppn))
+	}
+}

@@ -1,0 +1,179 @@
+package pip
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/shm"
+	"repro/internal/simtime"
+)
+
+func newEnv(ppn int) *NodeEnv {
+	return NewNodeEnv(0, ppn, shm.MustNewNode(shm.DefaultParams()))
+}
+
+func TestPostReadDeliversPayload(t *testing.T) {
+	env := newEnv(2)
+	e := simtime.NewEngine()
+	buf := []byte("shared")
+	e.Spawn("poster", func(p *simtime.Proc) {
+		p.Advance(10 * simtime.Nanosecond)
+		env.Post(p, 1, 0, 0, buf)
+	})
+	e.Spawn("reader", func(p *simtime.Proc) {
+		got := env.Read(p, 1, 0, 0).([]byte)
+		if string(got) != "shared" {
+			t.Errorf("payload = %q", got)
+		}
+		if p.Now() < simtime.Time(10*simtime.Nanosecond) {
+			t.Errorf("reader resumed at %v, before post", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBeforePostWaits(t *testing.T) {
+	env := newEnv(2)
+	e := simtime.NewEngine()
+	var readerTime simtime.Time
+	e.Spawn("reader", func(p *simtime.Proc) {
+		env.Read(p, 7, 1, 3)
+		readerTime = p.Now()
+	})
+	e.Spawn("poster", func(p *simtime.Proc) {
+		p.Advance(simtime.Microsecond)
+		env.Post(p, 7, 1, 3, nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	postCost := env.Shm().Params().PostCost
+	if want := simtime.Time(simtime.Microsecond + postCost); readerTime != want {
+		t.Fatalf("reader woke at %v, want %v", readerTime, want)
+	}
+}
+
+func TestEpochIsolation(t *testing.T) {
+	env := newEnv(1)
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		env.Post(p, 1, 0, 0, "epoch1")
+		env.Post(p, 2, 0, 0, "epoch2") // same (local, slot), new epoch: no clash
+		if got := env.Read(p, 1, 0, 0); got != "epoch1" {
+			t.Errorf("epoch1 read = %v", got)
+		}
+		if got := env.Read(p, 2, 0, 0); got != "epoch2" {
+			t.Errorf("epoch2 read = %v", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoublePostSameCellPanics(t *testing.T) {
+	env := newEnv(1)
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		env.Post(p, 1, 0, 0, nil)
+		env.Post(p, 1, 0, 0, nil)
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("double post not detected")
+	}
+}
+
+func TestCounterSharedAcrossRanks(t *testing.T) {
+	env := newEnv(4)
+	e := simtime.NewEngine()
+	var rootSaw simtime.Time
+	e.Spawn("root", func(p *simtime.Proc) {
+		env.Counter(3, 0, 0).WaitGE(p, 3)
+		rootSaw = p.Now()
+	})
+	for i := 1; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("peer%d", i), func(p *simtime.Proc) {
+			p.Advance(simtime.Duration(i*100) * simtime.Nanosecond)
+			env.Counter(3, 0, 0).Add(p, 1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := simtime.Time(300 * simtime.Nanosecond); rootSaw != want {
+		t.Fatalf("root resumed at %v, want %v (last peer arrival)", rootSaw, want)
+	}
+}
+
+func TestBarrierCoordinatesNode(t *testing.T) {
+	env := newEnv(3)
+	e := simtime.NewEngine()
+	var ends [3]simtime.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("r%d", i), func(p *simtime.Proc) {
+			p.Advance(simtime.Duration(i) * simtime.Microsecond)
+			env.Barrier(p)
+			ends[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ends {
+		if want := simtime.Time(2 * simtime.Microsecond); ends[i] != want {
+			t.Fatalf("rank %d left barrier at %v, want %v", i, ends[i], want)
+		}
+	}
+}
+
+func TestEndEpochFreesCells(t *testing.T) {
+	env := newEnv(2)
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		env.Post(p, 1, 0, 0, nil)
+		env.Post(p, 1, 0, 1, nil)
+		env.Counter(1, 0, 9).Add(p, 1)
+		env.Post(p, 2, 0, 0, nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Cells() != 4 {
+		t.Fatalf("cells = %d, want 4", env.Cells())
+	}
+	env.EndEpoch(1)
+	if env.Cells() != 1 {
+		t.Fatalf("cells after EndEpoch = %d, want 1", env.Cells())
+	}
+}
+
+func TestBadLocalRankPanics(t *testing.T) {
+	env := newEnv(2)
+	e := simtime.NewEngine()
+	e.Spawn("p", func(p *simtime.Proc) {
+		env.Post(p, 1, 2, 0, nil) // local 2 on a 2-rank node
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("bad local rank accepted")
+	}
+}
+
+func TestNewNodeEnvPanicsOnBadPPN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewNodeEnv(0, 0, shm.MustNewNode(shm.DefaultParams()))
+}
+
+func TestAccessors(t *testing.T) {
+	env := NewNodeEnv(7, 3, shm.MustNewNode(shm.DefaultParams()))
+	if env.Node() != 7 || env.PPN() != 3 || env.Shm() == nil {
+		t.Fatal("accessors wrong")
+	}
+}

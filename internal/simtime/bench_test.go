@@ -1,0 +1,66 @@
+package simtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Simulator micro-benchmarks: the DES engine's event throughput bounds how
+// large a cluster/workload the harness can simulate per wall-clock second.
+
+func BenchmarkEngineSleepPingPong(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMailboxHandoff(b *testing.B) {
+	e := NewEngine()
+	var m Mailbox
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			m.Put(p, i)
+			p.Sleep(0) // force alternation
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			m.Get(p, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier16(b *testing.B) {
+	e := NewEngine()
+	bar := NewBarrier(16)
+	for i := 0; i < 16; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for n := 0; n < b.N; n++ {
+				bar.Wait(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkStationEarliestFit(b *testing.B) {
+	var s Station
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Use(Time(i)*10, 7)
+	}
+}

@@ -1,0 +1,304 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Engine is a sequential discrete-event scheduler. Exactly one simulated
+// process runs at a time; the engine resumes the process owning the earliest
+// pending event, waits for it to park or finish, and repeats. All mutable
+// engine state is therefore accessed by at most one goroutine at a time,
+// with channel handoffs providing the necessary happens-before edges.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	done    int
+	ctl     chan struct{} // running proc -> engine: "I have yielded"
+	failure error
+	horizon Time // latest event time popped so far
+	running bool
+}
+
+// NewEngine returns an empty engine ready for Spawn and Run.
+func NewEngine() *Engine {
+	return &Engine{ctl: make(chan struct{})}
+}
+
+// procState tracks where a process is in its lifecycle, for deadlock
+// reporting and internal sanity checks.
+type procState int
+
+const (
+	stNew procState = iota
+	stScheduled
+	stRunning
+	stParked
+	stDone
+)
+
+// killToken is panicked inside a parked process goroutine during engine
+// teardown so that its deferred recover can exit the goroutine quietly.
+type killTokenType struct{}
+
+var killToken killTokenType
+
+// Proc is a simulated process: a goroutine driven by the engine, carrying
+// its own virtual clock. All Proc methods must be called from the process's
+// own goroutine while it is the running process.
+type Proc struct {
+	e       *Engine
+	id      int
+	name    string
+	now     Time
+	resume  chan Time
+	state   procState
+	poison  bool
+	fn      func(*Proc)
+	started bool
+	waiting string // human-readable blocking reason, for deadlock reports
+}
+
+// ID returns the process's engine-unique identifier, assigned in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the label given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's current virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Advance moves the process's clock forward by d without yielding to the
+// scheduler. It models local computation: no other process can observe the
+// intermediate instants, so no event needs to be scheduled. Negative
+// durations are ignored.
+func (p *Proc) Advance(d Duration) {
+	if d > 0 {
+		p.now = p.now.Add(d)
+	}
+}
+
+// AdvanceTo moves the process's clock forward to t if t is in its future.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+// Sleep advances the clock by d and yields, letting any process with an
+// earlier event run first. Use it when the waiting interval should interleave
+// with other processes' activity (e.g. polling loops); use Advance for pure
+// local compute.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.post(p, p.now.Add(d))
+	p.park("sleep")
+}
+
+// Yield gives every process with an event at or before the current instant a
+// chance to run, then resumes. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Spawn starts a child process at the parent's current virtual time.
+func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
+	return p.e.spawnAt(name, p.now, fn)
+}
+
+// park blocks the calling process goroutine and hands control back to the
+// engine. The process must already have a wakeup arranged: either an event in
+// the engine heap (posted via Engine.post) or a slot in some primitive's
+// waiter list that will eventually call Engine.post. On resume the clock
+// advances to the wakeup time if that is later.
+func (p *Proc) park(reason string) {
+	p.state = stParked
+	p.waiting = reason
+	p.e.ctl <- struct{}{}
+	t := <-p.resume
+	if p.poison {
+		panic(killToken)
+	}
+	p.state = stRunning
+	p.waiting = ""
+	p.AdvanceTo(t)
+}
+
+// Spawn registers a top-level process that starts at virtual time 0. It may
+// be called before Run, or by a running process (which starts the child at
+// the caller's current time via Proc.Spawn).
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.spawnAt(name, 0, fn)
+}
+
+func (e *Engine) spawnAt(name string, at Time, fn func(*Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		id:     len(e.procs),
+		name:   name,
+		now:    at,
+		resume: make(chan Time),
+		fn:     fn,
+	}
+	e.procs = append(e.procs, p)
+	e.post(p, at)
+	return p
+}
+
+// post schedules a wakeup for p at time t. Each parked process must have at
+// most one pending wakeup; the synchronization primitives in this package
+// maintain that invariant by removing a process from their waiter lists when
+// they post its wakeup.
+func (e *Engine) post(p *Proc, t Time) {
+	p.state = stScheduled
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// Horizon returns the virtual makespan observed so far: the latest event
+// time dispatched or final process clock recorded. After a successful Run it
+// is the simulation's total virtual runtime.
+func (e *Engine) Horizon() Time { return e.horizon }
+
+// DeadlockError reports that the event queue drained while processes were
+// still parked, i.e. the simulated program can make no further progress.
+type DeadlockError struct {
+	// Parked lists the stuck processes as "name@time: reason" strings.
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("simtime: deadlock, %d process(es) parked: %s",
+		len(d.Parked), strings.Join(d.Parked, "; "))
+}
+
+// PanicError wraps a panic raised inside a simulated process.
+type PanicError struct {
+	ProcName string
+	Value    any
+	Stack    string
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("simtime: process %q panicked: %v", p.ProcName, p.Value)
+}
+
+// Run dispatches events until every process has finished. It returns nil on
+// normal completion, a *DeadlockError if processes remain parked with no
+// pending events, or a *PanicError if a process panicked. After Run returns,
+// all process goroutines have exited.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("simtime: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for {
+		if e.failure != nil {
+			e.teardown()
+			return e.failure
+		}
+		if e.events.Len() == 0 {
+			if e.done == len(e.procs) {
+				return nil
+			}
+			err := e.deadlock()
+			e.teardown()
+			return err
+		}
+		ev := heap.Pop(&e.events).(event)
+		p := ev.p
+		if ev.t > e.horizon {
+			e.horizon = ev.t
+		}
+		p.state = stRunning
+		if !p.started {
+			p.started = true
+			go p.run(ev.t)
+		} else {
+			p.resume <- ev.t
+		}
+		<-e.ctl
+	}
+}
+
+// run is the top of each process goroutine: it executes the user function
+// and reports completion (or a panic) back to the engine.
+func (p *Proc) run(start Time) {
+	defer func() {
+		r := recover()
+		if _, killed := r.(killTokenType); killed {
+			return // engine teardown; exit without touching the engine
+		}
+		if r != nil {
+			p.e.failure = &PanicError{ProcName: p.name, Value: r, Stack: string(debug.Stack())}
+		}
+		if p.now > p.e.horizon {
+			p.e.horizon = p.now // count compute time after the last event
+		}
+		p.state = stDone
+		p.e.done++
+		p.e.ctl <- struct{}{}
+	}()
+	p.AdvanceTo(start)
+	p.fn(p)
+}
+
+// deadlock builds the error describing all parked processes.
+func (e *Engine) deadlock() error {
+	var parked []string
+	for _, p := range e.procs {
+		if p.state != stDone {
+			parked = append(parked, fmt.Sprintf("%s@%v: %s", p.name, p.now, p.waiting))
+		}
+	}
+	sort.Strings(parked)
+	return &DeadlockError{Parked: parked}
+}
+
+// teardown force-exits every live process goroutine so that Run never leaks
+// goroutines, even on error paths.
+func (e *Engine) teardown() {
+	for _, p := range e.procs {
+		if p.started && p.state != stDone && p.state != stRunning {
+			p.poison = true
+			p.resume <- 0
+		}
+	}
+}
+
+// event is one pending wakeup in the engine's priority queue.
+type event struct {
+	t   Time
+	seq uint64 // FIFO tie-break for equal timestamps: lower seq first
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

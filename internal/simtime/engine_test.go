@@ -1,0 +1,244 @@
+package simtime
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func mustRun(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+}
+
+func TestSingleProcAdvance(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(5 * Microsecond)
+		p.Advance(3 * Microsecond)
+		end = p.Now()
+	})
+	mustRun(t, e)
+	if want := Time(8 * Microsecond); end != want {
+		t.Fatalf("end time = %v, want %v", end, want)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(-Second)
+		if p.Now() != 0 {
+			t.Errorf("negative advance moved clock to %v", p.Now())
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestSleepInterleavesByTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	mark := func(p *Proc) { order = append(order, fmt.Sprintf("%s@%v", p.Name(), p.Now())) }
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		mark(p)
+		p.Sleep(20 * Nanosecond) // wakes at 30
+		mark(p)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(15 * Nanosecond)
+		mark(p)
+		p.Sleep(10 * Nanosecond) // wakes at 25
+		mark(p)
+	})
+	mustRun(t, e)
+	want := []string{"a@10ns", "b@15ns", "b@25ns", "a@30ns"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	// Processes scheduled at the same instant must run in spawn order.
+	for trial := 0; trial < 3; trial++ {
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(Microsecond)
+				order = append(order, i)
+			})
+		}
+		mustRun(t, e)
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("trial %d: order = %v", trial, order)
+			}
+		}
+	}
+}
+
+func TestSpawnChildStartsAtParentTime(t *testing.T) {
+	e := NewEngine()
+	var childStart Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Advance(42 * Nanosecond)
+		p.Spawn("child", func(c *Proc) {
+			childStart = c.Now()
+		})
+	})
+	mustRun(t, e)
+	if want := Time(42 * Nanosecond); childStart != want {
+		t.Fatalf("child start = %v, want %v", childStart, want)
+	}
+}
+
+func TestHorizonIsMakespan(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("short", func(p *Proc) { p.Sleep(Microsecond) })
+	e.Spawn("long", func(p *Proc) { p.Sleep(9 * Microsecond) })
+	mustRun(t, e)
+	if want := Time(9 * Microsecond); e.Horizon() != want {
+		t.Fatalf("horizon = %v, want %v", e.Horizon(), want)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	var f Flag
+	e.Spawn("waiter", func(p *Proc) { f.Wait(p) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Parked) != 1 {
+		t.Fatalf("parked = %v, want 1 entry", dl.Parked)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bomb", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		panic("boom")
+	})
+	e.Spawn("bystander", func(p *Proc) {
+		var f Flag
+		f.Wait(p) // parked forever; must be torn down, not leaked
+	})
+	err := e.Run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.ProcName != "bomb" || pe.Value != "boom" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if pe.Stack == "" {
+		t.Fatal("panic error missing stack")
+	}
+}
+
+func TestRunTwiceSequentially(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) { p.Sleep(Nanosecond) })
+	mustRun(t, e)
+	// A completed engine re-run has no pending events and all procs done.
+	if err := e.Run(); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		var bar = NewBarrier(3)
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				for step := 0; step < 4; step++ {
+					p.Sleep(Duration(i+1) * Nanosecond)
+					trace = append(trace, fmt.Sprintf("%d:%d@%v", i, step, p.Now()))
+					bar.Wait(p)
+				}
+			})
+		}
+		mustRun(t, e)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestManyProcsNoLeak(t *testing.T) {
+	e := NewEngine()
+	var n atomic.Int64
+	for i := 0; i < 500; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Duration(p.ID()) * Nanosecond)
+			n.Add(1)
+		})
+	}
+	mustRun(t, e)
+	if n.Load() != 500 {
+		t.Fatalf("ran %d procs, want 500", n.Load())
+	}
+}
+
+func TestClockMonotoneAcrossWakeups(t *testing.T) {
+	e := NewEngine()
+	var f Flag
+	var waiterEnd Time
+	e.Spawn("waiter", func(p *Proc) {
+		p.Advance(100 * Nanosecond) // waiter is ahead of the setter
+		f.Wait(p)
+		waiterEnd = p.Now()
+	})
+	e.Spawn("setter", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		f.Set(p, nil)
+	})
+	mustRun(t, e)
+	// The flag was set at t=10ns but the waiter had already reached 100ns:
+	// its clock must not move backwards.
+	if want := Time(100 * Nanosecond); waiterEnd != want {
+		t.Fatalf("waiter end = %v, want %v", waiterEnd, want)
+	}
+}
+
+func TestWaiterAdoptsLaterSetTime(t *testing.T) {
+	e := NewEngine()
+	var f Flag
+	var waiterEnd Time
+	e.Spawn("waiter", func(p *Proc) {
+		f.Wait(p)
+		waiterEnd = p.Now()
+	})
+	e.Spawn("setter", func(p *Proc) {
+		p.Sleep(70 * Nanosecond)
+		f.Set(p, nil)
+	})
+	mustRun(t, e)
+	if want := Time(70 * Nanosecond); waiterEnd != want {
+		t.Fatalf("waiter end = %v, want %v", waiterEnd, want)
+	}
+}

@@ -1,0 +1,344 @@
+package simtime
+
+import "fmt"
+
+// Counter is a monotone event counter: processes add to it and other
+// processes wait for it to reach a threshold. It is the building block for
+// flags (threshold 1), arrival counts, and epoch-based reusable
+// synchronization. A waiter woken by an Add resumes at the adder's virtual
+// time (or its own, whichever is later), modelling a shared-memory flag that
+// becomes visible the instant it is written.
+type Counter struct {
+	val     uint64
+	lastAt  Time
+	waiters []counterWaiter
+}
+
+type counterWaiter struct {
+	target uint64
+	p      *Proc
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.val }
+
+// LastAt returns the virtual time of the most recent Add.
+func (c *Counter) LastAt() Time { return c.lastAt }
+
+// Add increments the counter by n at p's current time and wakes every waiter
+// whose threshold is now met.
+func (c *Counter) Add(p *Proc, n uint64) {
+	c.val += n
+	c.lastAt = p.now
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if c.val >= w.target {
+			p.e.post(w.p, p.now)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+}
+
+// WaitGE blocks p until the counter reaches at least target. If the counter
+// is already there, it returns immediately without yielding: the value was
+// published at or before the caller's current time.
+func (c *Counter) WaitGE(p *Proc, target uint64) {
+	if c.val >= target {
+		return
+	}
+	c.waiters = append(c.waiters, counterWaiter{target: target, p: p})
+	p.park(fmt.Sprintf("counter>=%d (now %d)", target, c.val))
+}
+
+// Flag is a one-shot boolean with an associated timestamp and optional
+// payload, modelling "post an address/size, peers spin until they see it".
+type Flag struct {
+	c       Counter
+	payload any
+}
+
+// Set raises the flag at p's current time, attaching payload for waiters.
+// Setting an already-set flag panics: reuse requires a fresh Flag (or a
+// Counter with epochs), because a one-shot flag has no well-defined second
+// set time.
+func (f *Flag) Set(p *Proc, payload any) {
+	if f.c.Value() != 0 {
+		panic("simtime: Flag.Set on already-set flag")
+	}
+	f.payload = payload
+	f.c.Add(p, 1)
+}
+
+// IsSet reports whether the flag has been raised in simulation order. Note
+// the caveat documented on the package: non-blocking cross-process reads can
+// observe "not yet set" for a set that is scheduled at an earlier virtual
+// time but has not executed yet. All PiP-MColl algorithms use blocking waits,
+// where wake times are exact.
+func (f *Flag) IsSet() bool { return f.c.Value() != 0 }
+
+// Wait blocks p until the flag is set and returns the payload. p's clock
+// advances to at least the set time.
+func (f *Flag) Wait(p *Proc) any {
+	f.c.WaitGE(p, 1)
+	p.AdvanceTo(f.c.LastAt())
+	return f.payload
+}
+
+// Barrier is a reusable n-party barrier. All participants of an epoch resume
+// at the virtual time of the last arrival, modelling a sense-reversing
+// shared-memory barrier with zero propagation cost (charge any desired cost
+// separately before or after).
+type Barrier struct {
+	parties int
+	count   int
+	latest  Time
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for the given number of participants.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("simtime: barrier parties must be >= 1")
+	}
+	return &Barrier{parties: parties}
+}
+
+// Parties returns the number of participants per epoch.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks p until all parties of the current epoch have arrived, then
+// resumes everyone at the time of the last arrival.
+func (b *Barrier) Wait(p *Proc) {
+	b.count++
+	b.latest = MaxTime(b.latest, p.now)
+	if b.count == b.parties {
+		release := b.latest
+		for _, w := range b.waiters {
+			p.e.post(w, release)
+		}
+		b.waiters = b.waiters[:0]
+		b.count = 0
+		b.latest = 0
+		p.AdvanceTo(release)
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.park(fmt.Sprintf("barrier %d/%d", b.count, b.parties))
+}
+
+// Mailbox is a timestamped, predicate-matched message queue: the meeting
+// point between asynchronous deliveries (e.g. packets arriving from the
+// fabric) and blocking receivers. Items are matched in FIFO order among
+// those satisfying the receiver's predicate; a receiver resumes no earlier
+// than the matched item's delivery time.
+type Mailbox struct {
+	items     []mailItem
+	receivers []*mailRecv
+}
+
+type mailItem struct {
+	t    Time
+	item any
+}
+
+type mailRecv struct {
+	p      *Proc
+	match  func(any) bool
+	result any
+	filled bool
+	peek   bool // observe without consuming (for Probe-style waiting)
+}
+
+// Put deposits item at p's current time. If a parked receiver matches, it is
+// woken immediately (at max of the two clocks); otherwise the item queues.
+func (m *Mailbox) Put(p *Proc, item any) { m.PutAt(p, p.now, item) }
+
+// PutAt deposits item with an explicit availability time at or after p's
+// current time, for "this data lands in the future" patterns such as a NIC
+// delivering a packet whose transfer completes later.
+func (m *Mailbox) PutAt(p *Proc, t Time, item any) {
+	if t < p.now {
+		t = p.now
+	}
+	// Wake every matching peeker (they observe without consuming), then
+	// hand the item to the first matching real receiver, else queue it.
+	rest := m.receivers[:0]
+	consumed := false
+	for _, r := range m.receivers {
+		matches := r.match == nil || r.match(item)
+		switch {
+		case matches && r.peek:
+			r.result = item
+			r.filled = true
+			p.e.post(r.p, t)
+		case matches && !consumed:
+			r.result = item
+			r.filled = true
+			consumed = true
+			p.e.post(r.p, t)
+		default:
+			rest = append(rest, r)
+		}
+	}
+	m.receivers = rest
+	if !consumed {
+		m.items = append(m.items, mailItem{t: t, item: item})
+	}
+}
+
+// Get blocks p until an item matching the predicate (nil matches anything)
+// is available, removes it, and returns it. p's clock advances to at least
+// the item's availability time.
+func (m *Mailbox) Get(p *Proc, match func(any) bool) any {
+	for i, it := range m.items {
+		if match == nil || match(it.item) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			p.AdvanceTo(it.t)
+			return it.item
+		}
+	}
+	r := &mailRecv{p: p, match: match}
+	m.receivers = append(m.receivers, r)
+	p.park("mailbox get")
+	if !r.filled {
+		panic("simtime: mailbox receiver woken without item")
+	}
+	return r.result
+}
+
+// Peek blocks p until an item matching the predicate is available and
+// returns it without removing it from the queue — the primitive behind
+// MPI_Probe. p's clock advances to at least the item's availability time.
+func (m *Mailbox) Peek(p *Proc, match func(any) bool) any {
+	for _, it := range m.items {
+		if match == nil || match(it.item) {
+			p.AdvanceTo(it.t)
+			return it.item
+		}
+	}
+	r := &mailRecv{p: p, match: match, peek: true}
+	m.receivers = append(m.receivers, r)
+	p.park("mailbox peek")
+	if !r.filled {
+		panic("simtime: mailbox peeker woken without item")
+	}
+	return r.result
+}
+
+// TryPeek returns the first queued matching item without removing or
+// blocking (subject to the non-blocking-read caveat on Flag.IsSet).
+func (m *Mailbox) TryPeek(p *Proc, match func(any) bool) (any, bool) {
+	for _, it := range m.items {
+		if match == nil || match(it.item) {
+			p.AdvanceTo(it.t)
+			return it.item, true
+		}
+	}
+	return nil, false
+}
+
+// TryGet removes and returns the first queued item matching the predicate
+// without blocking. It reports false if none is queued (subject to the
+// non-blocking-read caveat documented on Flag.IsSet).
+func (m *Mailbox) TryGet(p *Proc, match func(any) bool) (any, bool) {
+	for i, it := range m.items {
+		if match == nil || match(it.item) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			p.AdvanceTo(it.t)
+			return it.item, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the number of queued (unmatched) items.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Station is a serial single-server resource used for non-blocking queueing
+// bookkeeping: NIC injection queues, link serialization, memory-port
+// contention. It is work-conserving and earliest-fit: a job arriving at time
+// t is scheduled into the earliest idle interval of sufficient length at or
+// after t, regardless of the order in which Use is called. This makes the
+// model insensitive to simulation execution order — a process that books the
+// station "late" in simulation order but with an early arrival timestamp
+// still fills the idle gap it would have used in reality.
+type Station struct {
+	busyIvals []interval // sorted by start, non-overlapping, adjacent merged
+	busy      Duration
+	jobs      int64
+}
+
+type interval struct{ start, end Time }
+
+// Use occupies the station for service starting no earlier than at, and
+// returns the start and completion times.
+func (s *Station) Use(at Time, service Duration) (start, done Time) {
+	if service <= 0 {
+		s.jobs++
+		return at, at
+	}
+	// Find the insertion region: skip intervals that end at or before the
+	// arrival (they cannot constrain or host this job).
+	lo, hi := 0, len(s.busyIvals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.busyIvals[mid].end <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start = at
+	i := lo
+	for ; i < len(s.busyIvals); i++ {
+		if start.Add(service) <= s.busyIvals[i].start {
+			break // fits in the gap before interval i
+		}
+		start = MaxTime(start, s.busyIvals[i].end)
+	}
+	done = start.Add(service)
+	s.insert(i, interval{start, done})
+	s.busy += service
+	s.jobs++
+	return start, done
+}
+
+// insert places iv before index i, merging with touching neighbours to keep
+// the list compact (under saturation all jobs collapse into one interval).
+func (s *Station) insert(i int, iv interval) {
+	mergeLeft := i > 0 && s.busyIvals[i-1].end == iv.start
+	mergeRight := i < len(s.busyIvals) && iv.end == s.busyIvals[i].start
+	switch {
+	case mergeLeft && mergeRight:
+		s.busyIvals[i-1].end = s.busyIvals[i].end
+		s.busyIvals = append(s.busyIvals[:i], s.busyIvals[i+1:]...)
+	case mergeLeft:
+		s.busyIvals[i-1].end = iv.end
+	case mergeRight:
+		s.busyIvals[i].start = iv.start
+	default:
+		s.busyIvals = append(s.busyIvals, interval{})
+		copy(s.busyIvals[i+1:], s.busyIvals[i:])
+		s.busyIvals[i] = iv
+	}
+}
+
+// FreeAt returns the time the last currently-booked job completes (a new job
+// may still start earlier by filling a gap).
+func (s *Station) FreeAt() Time {
+	if len(s.busyIvals) == 0 {
+		return 0
+	}
+	return s.busyIvals[len(s.busyIvals)-1].end
+}
+
+// Busy returns the cumulative service time charged to this station.
+func (s *Station) Busy() Duration { return s.busy }
+
+// Jobs returns the number of jobs served.
+func (s *Station) Jobs() int64 { return s.jobs }
+
+// Reset clears the station to an idle state at time 0.
+func (s *Station) Reset() { *s = Station{} }

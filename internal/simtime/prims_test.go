@@ -1,0 +1,385 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterImmediateWhenAlreadyMet(t *testing.T) {
+	e := NewEngine()
+	var c Counter
+	e.Spawn("adder", func(p *Proc) {
+		c.Add(p, 3)
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		p.Sleep(Nanosecond) // run after the adder
+		before := p.Now()
+		c.WaitGE(p, 2)
+		if p.Now() != before {
+			t.Errorf("satisfied wait advanced clock from %v to %v", before, p.Now())
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestCounterMultipleThresholds(t *testing.T) {
+	e := NewEngine()
+	var c Counter
+	wake := make(map[uint64]Time)
+	for _, target := range []uint64{1, 2, 3} {
+		target := target
+		e.Spawn(fmt.Sprintf("w%d", target), func(p *Proc) {
+			c.WaitGE(p, target)
+			wake[target] = p.Now()
+		})
+	}
+	e.Spawn("adder", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * Nanosecond)
+			c.Add(p, 1)
+		}
+	})
+	mustRun(t, e)
+	for target, want := range map[uint64]Time{1: Time(10 * Nanosecond), 2: Time(20 * Nanosecond), 3: Time(30 * Nanosecond)} {
+		if wake[target] != want {
+			t.Errorf("waiter %d woke at %v, want %v", target, wake[target], want)
+		}
+	}
+}
+
+func TestFlagPayloadAndDoubleSetPanics(t *testing.T) {
+	e := NewEngine()
+	var f Flag
+	e.Spawn("setter", func(p *Proc) {
+		f.Set(p, "addr:0xdead")
+		defer func() {
+			if recover() == nil {
+				t.Error("double Set did not panic")
+			}
+		}()
+		f.Set(p, "again")
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		if got := f.Wait(p); got != "addr:0xdead" {
+			t.Errorf("payload = %v", got)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestBarrierReleasesAtLastArrival(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(4)
+	ends := make([]Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Advance(Duration(i*10) * Nanosecond)
+			b.Wait(p)
+			ends[i] = p.Now()
+		})
+	}
+	mustRun(t, e)
+	for i, end := range ends {
+		if want := Time(30 * Nanosecond); end != want {
+			t.Errorf("proc %d released at %v, want %v", i, end, want)
+		}
+	}
+}
+
+func TestBarrierReusableEpochs(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(3)
+	const epochs = 5
+	releases := make([][]Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for ep := 0; ep < epochs; ep++ {
+				p.Advance(Duration(i+1) * Nanosecond)
+				b.Wait(p)
+				releases[i] = append(releases[i], p.Now())
+			}
+		})
+	}
+	mustRun(t, e)
+	for ep := 0; ep < epochs; ep++ {
+		if releases[0][ep] != releases[1][ep] || releases[1][ep] != releases[2][ep] {
+			t.Fatalf("epoch %d released at different times: %v %v %v",
+				ep, releases[0][ep], releases[1][ep], releases[2][ep])
+		}
+		if ep > 0 && releases[0][ep] <= releases[0][ep-1] {
+			t.Fatalf("epoch %d not after epoch %d", ep, ep-1)
+		}
+	}
+}
+
+func TestBarrierPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestMailboxFIFOAmongMatches(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(Nanosecond)
+			m.Put(p, i)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, m.Get(p, nil).(int))
+		}
+	})
+	mustRun(t, e)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestMailboxPredicateSkipsNonMatching(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	e.Spawn("producer", func(p *Proc) {
+		m.Put(p, "skip")
+		m.Put(p, "take")
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		v := m.Get(p, func(x any) bool { return x == "take" })
+		if v != "take" {
+			t.Errorf("got %v", v)
+		}
+		if m.Len() != 1 {
+			t.Errorf("mailbox len = %d, want 1 (skip still queued)", m.Len())
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestMailboxPutAtFutureDelivery(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	var recvAt Time
+	e.Spawn("producer", func(p *Proc) {
+		m.PutAt(p, Time(500*Nanosecond), "pkt")
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		m.Get(p, nil)
+		recvAt = p.Now()
+	})
+	mustRun(t, e)
+	if want := Time(500 * Nanosecond); recvAt != want {
+		t.Fatalf("received at %v, want %v", recvAt, want)
+	}
+}
+
+func TestMailboxPutAtClampsToPast(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	e.Spawn("producer", func(p *Proc) {
+		p.Advance(100 * Nanosecond)
+		m.PutAt(p, Time(10*Nanosecond), "late") // clamped to 100ns
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		m.Get(p, nil)
+		if want := Time(100 * Nanosecond); p.Now() != want {
+			t.Errorf("received at %v, want %v", p.Now(), want)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	e.Spawn("p", func(p *Proc) {
+		if _, ok := m.TryGet(p, nil); ok {
+			t.Error("TryGet on empty mailbox returned ok")
+		}
+		m.Put(p, 7)
+		v, ok := m.TryGet(p, nil)
+		if !ok || v != 7 {
+			t.Errorf("TryGet = %v, %v", v, ok)
+		}
+	})
+	mustRun(t, e)
+}
+
+func TestStationSerializes(t *testing.T) {
+	var s Station
+	start1, done1 := s.Use(0, 10*Nanosecond)
+	if start1 != 0 || done1 != Time(10*Nanosecond) {
+		t.Fatalf("job1 = (%v, %v)", start1, done1)
+	}
+	// Second job arrives while the first is in service: queued.
+	start2, done2 := s.Use(Time(3*Nanosecond), 5*Nanosecond)
+	if start2 != Time(10*Nanosecond) || done2 != Time(15*Nanosecond) {
+		t.Fatalf("job2 = (%v, %v)", start2, done2)
+	}
+	// Third job arrives after the station is idle again.
+	start3, done3 := s.Use(Time(100*Nanosecond), Nanosecond)
+	if start3 != Time(100*Nanosecond) || done3 != Time(101*Nanosecond) {
+		t.Fatalf("job3 = (%v, %v)", start3, done3)
+	}
+	if s.Jobs() != 3 || s.Busy() != 16*Nanosecond {
+		t.Fatalf("jobs=%d busy=%v", s.Jobs(), s.Busy())
+	}
+}
+
+// Property: for any job sequence (arrivals in any order), a station never
+// overlaps two service intervals, never starts a job before its arrival, and
+// its cumulative busy time equals the sum of services.
+func TestStationProperty(t *testing.T) {
+	f := func(seed int64, njobs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Station
+		type ival struct{ start, done Time }
+		var booked []ival
+		var totalService Duration
+		for i := 0; i < int(njobs%60)+1; i++ {
+			at := Time(rng.Int63n(int64(200 * Nanosecond))) // arbitrary order arrivals
+			service := Duration(rng.Int63n(int64(30 * Nanosecond)))
+			start, done := s.Use(at, service)
+			if start < at || done != start.Add(service) {
+				return false
+			}
+			if service > 0 {
+				booked = append(booked, ival{start, done})
+				totalService += service
+			}
+		}
+		for i := range booked {
+			for j := i + 1; j < len(booked); j++ {
+				a, b := booked[i], booked[j]
+				if a.start < b.done && b.start < a.done {
+					return false // overlap
+				}
+			}
+		}
+		return s.Busy() == totalService
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationGapFilling(t *testing.T) {
+	var s Station
+	// Book [100, 200), then a job arriving at 0 with service 50 must fill
+	// the idle gap before it rather than queueing behind.
+	s.Use(Time(100), Duration(100))
+	start, done := s.Use(Time(0), Duration(50))
+	if start != 0 || done != 50 {
+		t.Fatalf("gap job = (%v,%v), want (0ps,50ps)", start, done)
+	}
+	// A job too big for the remaining gap [50,100) goes after the booking.
+	start, _ = s.Use(Time(0), Duration(60))
+	if start != Time(200) {
+		t.Fatalf("oversized gap job started at %v, want 200ps", start)
+	}
+	// Adjacent bookings merge: [0,50)+[50,100)? fill exactly.
+	start, done = s.Use(Time(0), Duration(50))
+	if start != Time(50) || done != Time(100) {
+		t.Fatalf("exact-fit job = (%v,%v), want (50ps,100ps)", start, done)
+	}
+	if s.FreeAt() != Time(260) {
+		t.Fatalf("FreeAt = %v, want 260ps", s.FreeAt())
+	}
+}
+
+func TestStationZeroService(t *testing.T) {
+	var s Station
+	start, done := s.Use(Time(40), 0)
+	if start != Time(40) || done != Time(40) {
+		t.Fatalf("zero-service job = (%v,%v)", start, done)
+	}
+	if s.Busy() != 0 || s.Jobs() != 1 {
+		t.Fatalf("busy=%v jobs=%d", s.Busy(), s.Jobs())
+	}
+}
+
+// Property: transfer time scales linearly and is never negative.
+func TestTransferTimeProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		bw := 1e9 // 1 GB/s
+		d := TransferTime(int(n), bw)
+		if d < 0 {
+			return false
+		}
+		d2 := TransferTime(2*int(n), bw)
+		diff := d2 - 2*d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // rounding slack in picoseconds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTimeEdgeCases(t *testing.T) {
+	if TransferTime(0, 1e9) != 0 {
+		t.Error("zero bytes should cost nothing")
+	}
+	if TransferTime(-5, 1e9) != 0 {
+		t.Error("negative bytes should cost nothing")
+	}
+	if TransferTime(100, 0) != 0 {
+		t.Error("zero bandwidth means free transfer")
+	}
+	if got, want := TransferTime(1000, 1e9), Duration(Microsecond); got != want {
+		t.Errorf("1000B at 1GB/s = %v, want %v", got, want)
+	}
+}
+
+func TestPerMessage(t *testing.T) {
+	if got, want := PerMessage(1e6), Duration(Microsecond); got != want {
+		t.Errorf("1M msg/s gap = %v, want %v", got, want)
+	}
+	if PerMessage(0) != 0 {
+		t.Error("zero rate should cost nothing")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{1500 * Nanosecond, "1.5us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{-2 * Nanosecond, "-2ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(0).Add(5 * Nanosecond)
+	b := a.Add(3 * Nanosecond)
+	if b.Sub(a) != 3*Nanosecond {
+		t.Fatalf("sub = %v", b.Sub(a))
+	}
+	if MaxTime(a, b) != b || MaxTime(b, a) != b {
+		t.Fatal("MaxTime wrong")
+	}
+}

@@ -1,0 +1,185 @@
+// Package stats provides the summary statistics and table formatting the
+// benchmark harness uses to report paper figures: mean/stddev over
+// repetitions (the paper's methodology) and aligned ASCII / CSV rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics; it panics on an empty sample
+// (callers always control repetition counts).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Table is a labelled grid of measurements: one row per x-axis point (e.g.
+// message size), one column per series (e.g. library).
+type Table struct {
+	Title    string
+	XLabel   string
+	Unit     string // unit of the cell values, e.g. "us" or "Mmsg/s"
+	Columns  []string
+	RowNames []string
+	Cells    [][]float64 // [row][col]; NaN marks a missing measurement
+}
+
+// NewTable allocates a table with NaN-filled cells.
+func NewTable(title, xlabel, unit string, columns, rows []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(columns))
+		for j := range cells[i] {
+			cells[i][j] = math.NaN()
+		}
+	}
+	return &Table{Title: title, XLabel: xlabel, Unit: unit,
+		Columns: columns, RowNames: rows, Cells: cells}
+}
+
+// Set stores a cell by row and column name; unknown names panic (harness
+// bugs, not user input).
+func (t *Table) Set(row, col string, v float64) {
+	t.Cells[t.rowIndex(row)][t.colIndex(col)] = v
+}
+
+// Get reads a cell by names.
+func (t *Table) Get(row, col string) float64 {
+	return t.Cells[t.rowIndex(row)][t.colIndex(col)]
+}
+
+func (t *Table) rowIndex(name string) int {
+	for i, r := range t.RowNames {
+		if r == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown row %q in table %q", name, t.Title))
+}
+
+func (t *Table) colIndex(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown column %q in table %q", name, t.Title))
+}
+
+// Normalized returns a copy with every row divided by the row's value in
+// the reference column — the paper's "normalized to PiP-MColl" bar style.
+func (t *Table) Normalized(refCol string) *Table {
+	out := NewTable(t.Title+" (normalized to "+refCol+")", t.XLabel, "x", t.Columns, t.RowNames)
+	ref := t.colIndex(refCol)
+	for i, row := range t.Cells {
+		for j, v := range row {
+			out.Cells[i][j] = v / row[ref]
+		}
+	}
+	return out
+}
+
+// Format renders the table as aligned ASCII.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.RowNames {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+	for j, c := range t.Columns {
+		widths[j+1] = len(c)
+		for i := range t.RowNames {
+			if w := len(cell(t.Cells[i][j])); w > widths[j+1] {
+				widths[j+1] = w
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	if t.Unit != "" {
+		fmt.Fprintf(&b, "  [%s]", t.Unit)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.RowNames {
+		fmt.Fprintf(&b, "%-*s", widths[0], r)
+		for j := range t.Columns {
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cell(t.Cells[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.RowNames {
+		b.WriteString(r)
+		for j := range t.Columns {
+			b.WriteByte(',')
+			if v := t.Cells[i][j]; !math.IsNaN(v) {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-1.2909944487358056) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	one := Summarize([]float64{7})
+	if one.StdDev != 0 || one.Median != 7 || one.Mean != 7 {
+		t.Fatalf("single-sample summary = %+v", one)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			// Skip inputs whose sum overflows float64: the harness
+			// only ever summarizes microsecond-scale runtimes.
+			if math.IsNaN(x) || math.Abs(x) > 1e300/float64(len(xs)) {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9*math.Abs(s.Mean) && s.Mean <= s.Max+1e-9*math.Abs(s.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableSetGetFormat(t *testing.T) {
+	tb := NewTable("T", "size", "us", []string{"A", "B"}, []string{"16B", "1kB"})
+	tb.Set("16B", "A", 1.5)
+	tb.Set("1kB", "B", 2.5)
+	if tb.Get("16B", "A") != 1.5 {
+		t.Fatal("get wrong")
+	}
+	if !math.IsNaN(tb.Get("16B", "B")) {
+		t.Fatal("unset cell not NaN")
+	}
+	out := tb.Format()
+	for _, want := range []string{"T", "size", "A", "B", "1.5", "2.5", "-", "[us]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableUnknownNamesPanic(t *testing.T) {
+	tb := NewTable("T", "x", "", []string{"A"}, []string{"r"})
+	for _, f := range []func(){
+		func() { tb.Set("bogus", "A", 1) },
+		func() { tb.Set("r", "bogus", 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	tb := NewTable("T", "x", "us", []string{"A", "Ref"}, []string{"r1", "r2"})
+	tb.Set("r1", "A", 10)
+	tb.Set("r1", "Ref", 5)
+	tb.Set("r2", "A", 3)
+	tb.Set("r2", "Ref", 6)
+	n := tb.Normalized("Ref")
+	if n.Get("r1", "A") != 2 || n.Get("r1", "Ref") != 1 || n.Get("r2", "A") != 0.5 {
+		t.Fatalf("normalized = %+v", n.Cells)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("T", "x", "", []string{"A"}, []string{"r"})
+	tb.Set("r", "A", 1.25)
+	got := tb.CSV()
+	want := "x,A\nr,1.25\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records simulation events — point-to-point sends and
+// receives with their virtual timestamps — for debugging, validation, and
+// communication-volume accounting. The MPI layer emits events when a tracer
+// is attached to the world; analysis helpers aggregate volumes and check
+// causality invariants (every receive at or after its matching send).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Kind labels an event.
+type Kind int
+
+// Event kinds emitted by the runtime.
+const (
+	KindSend Kind = iota
+	KindRecv
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind      Kind
+	At        simtime.Time
+	Src, Dst  int // world ranks
+	Tag       int
+	Bytes     int
+	Intranode bool
+}
+
+// String formats the event compactly.
+func (e Event) String() string {
+	where := "inter"
+	if e.Intranode {
+		where = "intra"
+	}
+	return fmt.Sprintf("%v %s %d->%d tag=%d %dB (%s)", e.At, e.Kind, e.Src, e.Dst, e.Tag, e.Bytes, where)
+}
+
+// Log is an append-only event recorder. It is driven from simulation
+// processes, which the engine serializes, so no locking is needed.
+type Log struct {
+	events []Event
+	limit  int
+}
+
+// NewLog returns a recorder keeping at most limit events (0 = unbounded).
+func NewLog(limit int) *Log { return &Log{limit: limit} }
+
+// Record appends an event, dropping the oldest beyond the limit.
+func (l *Log) Record(e Event) {
+	if l.limit > 0 && len(l.events) == l.limit {
+		copy(l.events, l.events[1:])
+		l.events[len(l.events)-1] = e
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Reset discards all events.
+func (l *Log) Reset() { l.events = l.events[:0] }
+
+// Volume sums payload bytes by event kind and locality.
+type Volume struct {
+	SendsIntra, SendsInter int64
+	BytesIntra, BytesInter int64
+}
+
+// Volume aggregates the send events.
+func (l *Log) Volume() Volume {
+	var v Volume
+	for _, e := range l.events {
+		if e.Kind != KindSend {
+			continue
+		}
+		if e.Intranode {
+			v.SendsIntra++
+			v.BytesIntra += int64(e.Bytes)
+		} else {
+			v.SendsInter++
+			v.BytesInter += int64(e.Bytes)
+		}
+	}
+	return v
+}
+
+// CheckCausality verifies that every receive happens at or after a matching
+// send (same src, dst, tag, size) that has not already been consumed, and
+// returns a description of the first violation, or "".
+func (l *Log) CheckCausality() string {
+	type key struct {
+		src, dst, tag, bytes int
+	}
+	pending := map[key][]simtime.Time{}
+	for _, e := range l.events {
+		k := key{e.Src, e.Dst, e.Tag, e.Bytes}
+		switch e.Kind {
+		case KindSend:
+			pending[k] = append(pending[k], e.At)
+		case KindRecv:
+			times := pending[k]
+			if len(times) == 0 {
+				return fmt.Sprintf("recv without send: %v", e)
+			}
+			if e.At < times[0] {
+				return fmt.Sprintf("recv %v before send at %v", e, times[0])
+			}
+			pending[k] = times[1:]
+		}
+	}
+	return ""
+}
+
+// Format renders the log, one event per line.
+func (l *Log) Format() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

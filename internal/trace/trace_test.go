@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func ev(k Kind, at int64, src, dst, tag, n int, intra bool) Event {
+	return Event{Kind: k, At: simtime.Time(at), Src: src, Dst: dst, Tag: tag, Bytes: n, Intranode: intra}
+}
+
+func TestRecordAndVolume(t *testing.T) {
+	l := NewLog(0)
+	l.Record(ev(KindSend, 1, 0, 1, 7, 100, false))
+	l.Record(ev(KindSend, 2, 1, 0, 7, 50, true))
+	l.Record(ev(KindRecv, 3, 0, 1, 7, 100, false))
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	v := l.Volume()
+	if v.SendsInter != 1 || v.BytesInter != 100 || v.SendsIntra != 1 || v.BytesIntra != 50 {
+		t.Fatalf("volume = %+v", v)
+	}
+}
+
+func TestRingLimit(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(ev(KindSend, int64(i), i, 0, 0, 1, false))
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Events()[0].Src != 3 || l.Events()[1].Src != 4 {
+		t.Fatalf("retained wrong events: %v", l.Events())
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCausalityOK(t *testing.T) {
+	l := NewLog(0)
+	l.Record(ev(KindSend, 10, 0, 1, 1, 8, false))
+	l.Record(ev(KindRecv, 20, 0, 1, 1, 8, false))
+	if msg := l.CheckCausality(); msg != "" {
+		t.Fatalf("false violation: %s", msg)
+	}
+}
+
+func TestCausalityViolations(t *testing.T) {
+	orphan := NewLog(0)
+	orphan.Record(ev(KindRecv, 5, 0, 1, 1, 8, false))
+	if orphan.CheckCausality() == "" {
+		t.Fatal("orphan recv not detected")
+	}
+	early := NewLog(0)
+	early.Record(ev(KindSend, 10, 0, 1, 1, 8, false))
+	early.Record(ev(KindRecv, 5, 0, 1, 1, 8, false))
+	if early.CheckCausality() == "" {
+		t.Fatal("time-travelling recv not detected")
+	}
+}
+
+func TestFormatAndStrings(t *testing.T) {
+	l := NewLog(0)
+	l.Record(ev(KindSend, 1000, 2, 3, 9, 64, true))
+	out := l.Format()
+	for _, want := range []string{"send", "2->3", "64B", "intra", "tag=9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q: %s", want, out)
+		}
+	}
+	if KindSend.String() != "send" || KindRecv.String() != "recv" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

@@ -1,0 +1,45 @@
+package pipmcoll
+
+import (
+	"repro/internal/apps"
+	"repro/internal/libs"
+)
+
+// The mini-applications (integration workloads over the full stack),
+// re-exported for downstream experimentation. Each verifies its numerics
+// against a serial reference in the repository's tests.
+
+// CGResult reports a distributed conjugate-gradient run.
+type CGResult = apps.CGResult
+
+// KMeansResult reports a distributed k-means run.
+type KMeansResult = apps.KMeansResult
+
+// SampleSortResult reports a distributed sample-sort run.
+type SampleSortResult = apps.SampleSortResult
+
+// JacobiResult reports a distributed 2D Jacobi run.
+type JacobiResult = apps.JacobiResult
+
+// CG solves the tridiag(-1,4,-1) system with distributed conjugate
+// gradient (halo p2p + dot-product allreduces through lib).
+func CG(r *Rank, lib *libs.Library, n, iters int) CGResult {
+	return apps.CG(r, lib, n, iters)
+}
+
+// KMeans clusters synthetic points with Lloyd's algorithm (centroid
+// allreduce per iteration).
+func KMeans(r *Rank, lib *libs.Library, pointsPerRank, dim, k, iters int) KMeansResult {
+	return apps.KMeans(r, lib, pointsPerRank, dim, k, iters)
+}
+
+// SampleSort globally sorts synthetic keys (alltoallv redistribution).
+func SampleSort(r *Rank, keysPerRank int) SampleSortResult {
+	return apps.SampleSort(r, keysPerRank)
+}
+
+// Jacobi2D relaxes the Laplace equation on a G x G grid (halo p2p +
+// Max-allreduce per sweep).
+func Jacobi2D(r *Rank, lib *libs.Library, g, iters int) JacobiResult {
+	return apps.Jacobi2D(r, lib, g, iters)
+}

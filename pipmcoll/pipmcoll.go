@@ -1,0 +1,129 @@
+// Package pipmcoll is the public face of the PiP-MColl reproduction: a
+// simulated MPI environment with the paper's multi-object collectives, the
+// baseline algorithm library, and the comparator MPI profiles, re-exported
+// from the internal packages as one importable surface.
+//
+// A minimal program:
+//
+//	cluster := pipmcoll.NewCluster(8, 6) // 8 nodes x 6 processes
+//	world, _ := pipmcoll.NewWorld(cluster, pipmcoll.DefaultConfig())
+//	err := world.Run(func(r *pipmcoll.Rank) {
+//	    var mc pipmcoll.Collectives
+//	    send := make([]byte, 1024)
+//	    recv := make([]byte, 1024)
+//	    mc.Allreduce(r, send, recv, pipmcoll.Sum)
+//	})
+//
+// Everything runs in virtual time on a deterministic discrete-event
+// simulator; see the repository README for the architecture and DESIGN.md
+// for the reproduction methodology.
+package pipmcoll
+
+import (
+	"repro/internal/core"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// Core simulation types, re-exported by alias so their full method sets are
+// available here.
+type (
+	// Config selects the transport models (fabric + shared memory) of a
+	// simulated world.
+	Config = mpi.Config
+	// World is one simulated MPI job.
+	World = mpi.World
+	// Rank is one simulated MPI process; collective and point-to-point
+	// operations hang off it.
+	Rank = mpi.Rank
+	// Comm is a communicator (ordered rank subset with a private tag
+	// space), created via WorldComm and Comm.Split.
+	Comm = mpi.Comm
+	// Request is a pending nonblocking point-to-point operation.
+	Request = mpi.Request
+	// AsyncOp is a pending nonblocking collective.
+	AsyncOp = mpi.AsyncOp
+	// Status describes a probed message.
+	Status = mpi.Status
+	// Cluster describes the simulated machine's shape.
+	Cluster = topology.Cluster
+	// Op is a reduction operator over float64 vectors encoded in bytes.
+	Op = nums.Op
+	// Tunables are PiP-MColl's algorithm switch points.
+	Tunables = core.Tunables
+	// Collectives runs PiP-MColl's collectives; the zero value uses the
+	// paper's switch points. Its methods are the paper's three primary
+	// collectives (Scatter, Allgather, Allreduce), the extensions
+	// (Bcast, Gather, Reduce, Alltoall), their nonblocking I-variants,
+	// and the auxiliary intranode collectives.
+	Collectives = core.Coll
+	// Library is a comparator MPI profile (PiP-MPICH, Open MPI,
+	// MVAPICH2, Intel MPI, or PiP-MColl itself).
+	Library = libs.Library
+)
+
+// Wildcards and sentinels.
+const (
+	// AnySource matches receives and probes against any sender.
+	AnySource = mpi.AnySource
+	// Undefined opts a rank out of Comm.Split.
+	Undefined = mpi.Undefined
+)
+
+// The standard reduction operators.
+var (
+	Sum  = nums.Sum
+	Prod = nums.Prod
+	Min  = nums.Min
+	Max  = nums.Max
+)
+
+// NewCluster describes a machine of nodes x processesPerNode ranks in the
+// block layout the paper's algorithms assume.
+func NewCluster(nodes, processesPerNode int) *Cluster {
+	return topology.New(nodes, processesPerNode, topology.Block)
+}
+
+// DefaultConfig returns the calibrated transport configuration used by the
+// paper experiments (OPA-like fabric, Broadwell-like nodes, PiP intranode
+// mechanism).
+func DefaultConfig() Config { return mpi.DefaultConfig() }
+
+// NewWorld builds a simulated MPI job on the cluster.
+func NewWorld(cluster *Cluster, cfg Config) (*World, error) {
+	return mpi.NewWorld(cluster, cfg)
+}
+
+// WorldComm returns the communicator spanning every rank.
+func WorldComm(r *Rank) *Comm { return mpi.WorldComm(r) }
+
+// DefaultTunables returns the paper's algorithm switch points.
+func DefaultTunables() Tunables { return core.DefaultTunables() }
+
+// Fill writes a deterministic rank-dependent float64 pattern into buf
+// (length a multiple of 8), for building verifiable workloads.
+func Fill(buf []byte, seed int) { nums.Fill(buf, seed) }
+
+// Float64At reads element i of the float64 vector encoded in b.
+func Float64At(b []byte, i int) float64 { return nums.F64At(b, i) }
+
+// SetFloat64At writes element i of the float64 vector encoded in b.
+func SetFloat64At(b []byte, i int, x float64) { nums.SetF64At(b, i, x) }
+
+// Comparator library profiles, for benchmarking against PiP-MColl.
+func Libraries() []*Library { return libs.All() }
+
+// LibraryByName resolves a profile by display name ("PiP-MColl",
+// "PiP-MPICH", "OpenMPI", "MVAPICH2", "IntelMPI", "PiP-MColl-small").
+func LibraryByName(name string) (*Library, error) { return libs.ByName(name) }
+
+// Grid is a 2D Cartesian process grid helper for stencil codes.
+type Grid = topology.Grid
+
+// NewGrid shapes size ranks into rows x cols (row-major).
+func NewGrid(size, rows, cols int) Grid { return topology.NewGrid(size, rows, cols) }
+
+// SquarestGrid returns the most-square factorization of size.
+func SquarestGrid(size int) Grid { return topology.SquarestGrid(size) }

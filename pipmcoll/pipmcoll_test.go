@@ -1,0 +1,164 @@
+package pipmcoll_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/pipmcoll"
+)
+
+// The facade test exercises an end-to-end workflow exclusively through the
+// public surface: world construction, PiP-MColl collectives (blocking and
+// nonblocking), communicators, probes, and the comparator profiles.
+func TestFacadeEndToEnd(t *testing.T) {
+	cluster := pipmcoll.NewCluster(4, 3)
+	world, err := pipmcoll.NewWorld(cluster, pipmcoll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := cluster.Size()
+	if err := world.Run(func(r *pipmcoll.Rank) {
+		var mc pipmcoll.Collectives
+
+		// Allreduce of [rank] vectors.
+		send := make([]byte, 64)
+		pipmcoll.Fill(send, r.Rank())
+		recv := make([]byte, 64)
+		mc.Allreduce(r, send, recv, pipmcoll.Sum)
+		want := 0.0
+		for i := 0; i < size; i++ {
+			tmp := make([]byte, 8)
+			pipmcoll.Fill(tmp, i)
+			want += pipmcoll.Float64At(tmp, 0)
+		}
+		if got := pipmcoll.Float64At(recv, 0); got != want {
+			t.Errorf("rank %d allreduce = %v, want %v", r.Rank(), got, want)
+		}
+
+		// Nonblocking broadcast overlapping compute.
+		buf := make([]byte, 32)
+		if r.Rank() == 2 {
+			pipmcoll.SetFloat64At(buf, 0, 7.5)
+		}
+		op := mc.IBcast(r, 2, buf)
+		op.Wait(r)
+		if pipmcoll.Float64At(buf, 0) != 7.5 {
+			t.Errorf("rank %d ibcast wrong", r.Rank())
+		}
+
+		// Communicators and probes.
+		c := pipmcoll.WorldComm(r).Split(r.Rank()%2, r.Rank())
+		if c.Size() != size/2 {
+			t.Errorf("split size %d", c.Size())
+		}
+		if c.Rank() == 0 && c.Size() > 1 {
+			c.Send(1, 11, []byte{9})
+		}
+		if c.Rank() == 1 {
+			st := r.Probe(pipmcoll.AnySource, 11)
+			if st.Bytes != 1 {
+				t.Errorf("probe bytes %d", st.Bytes)
+			}
+			b := make([]byte, 1)
+			c.Recv(0, 11, b)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLibraries(t *testing.T) {
+	ls := pipmcoll.Libraries()
+	if len(ls) != 5 {
+		t.Fatalf("got %d libraries", len(ls))
+	}
+	for _, l := range ls {
+		got, err := pipmcoll.LibraryByName(l.Name())
+		if err != nil || got.Name() != l.Name() {
+			t.Fatalf("LibraryByName(%q): %v", l.Name(), err)
+		}
+	}
+	if _, err := pipmcoll.LibraryByName("bogus"); err == nil {
+		t.Fatal("unknown library resolved")
+	}
+}
+
+func TestFacadeTunables(t *testing.T) {
+	tun := pipmcoll.DefaultTunables()
+	if tun.AllgatherLargeMin != 64<<10 {
+		t.Fatalf("default switch = %d", tun.AllgatherLargeMin)
+	}
+	// Custom switch points flow through.
+	cluster := pipmcoll.NewCluster(2, 2)
+	world, err := pipmcoll.NewWorld(cluster, pipmcoll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.Run(func(r *pipmcoll.Rank) {
+		mc := pipmcoll.Collectives{Tun: pipmcoll.Tunables{AllgatherLargeMin: 1}}
+		send := make([]byte, 16)
+		pipmcoll.Fill(send, r.Rank())
+		recv := make([]byte, 4*16)
+		mc.Allgather(r, send, recv) // forced onto the large path
+		for i := 0; i < 4; i++ {
+			tmp := make([]byte, 16)
+			pipmcoll.Fill(tmp, i)
+			if pipmcoll.Float64At(recv[i*16:], 0) != pipmcoll.Float64At(tmp, 0) {
+				t.Errorf("rank %d block %d wrong", r.Rank(), i)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExampleNewWorld shows the smallest complete program: an allreduce over a
+// simulated cluster, with the virtual runtime printed.
+func ExampleNewWorld() {
+	cluster := pipmcoll.NewCluster(2, 2)
+	world, _ := pipmcoll.NewWorld(cluster, pipmcoll.DefaultConfig())
+	_ = world.Run(func(r *pipmcoll.Rank) {
+		var mc pipmcoll.Collectives
+		send := make([]byte, 8)
+		pipmcoll.SetFloat64At(send, 0, float64(r.Rank()))
+		recv := make([]byte, 8)
+		mc.Allreduce(r, send, recv, pipmcoll.Sum)
+		if r.Rank() == 0 {
+			fmt.Printf("sum over ranks: %v\n", pipmcoll.Float64At(recv, 0))
+		}
+	})
+	// Output:
+	// sum over ranks: 6
+}
+
+func TestFacadeApps(t *testing.T) {
+	cluster := pipmcoll.NewCluster(2, 2)
+	world, err := pipmcoll.NewWorld(cluster, pipmcoll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := pipmcoll.LibraryByName("PiP-MColl")
+	if err := world.Run(func(r *pipmcoll.Rank) {
+		res := pipmcoll.CG(r, lib, 80, 20)
+		if res.Residual > 1e-3 {
+			t.Errorf("CG residual %v", res.Residual)
+		}
+		js := pipmcoll.Jacobi2D(r, lib, 16, 5)
+		if js.Checksum <= 0 {
+			t.Errorf("jacobi checksum %v", js.Checksum)
+		}
+		ss := pipmcoll.SampleSort(r, 32)
+		if ss.Global != 4*32 {
+			t.Errorf("sample sort count %d", ss.Global)
+		}
+		km := pipmcoll.KMeans(r, lib, 20, 2, 3, 3)
+		if km.Inertia <= 0 {
+			t.Errorf("kmeans inertia %v", km.Inertia)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pipmcoll.SquarestGrid(12).Rows() != 3 {
+		t.Error("grid helper wrong")
+	}
+}
