@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all vet build test race ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel runner and the simulated clock are the only concurrent code;
+# run them under the race detector.
+race:
+	$(GO) test -race ./internal/bench ./internal/simtime
+
+ci: vet build test race

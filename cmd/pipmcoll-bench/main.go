@@ -1,15 +1,19 @@
 // Command pipmcoll-bench regenerates the paper's evaluation figures on the
 // simulated cluster and prints them as aligned tables (and optionally CSV
-// files). Each figure corresponds to one driver in internal/bench; see
+// files). Each figure is registered in internal/bench and decomposed into
+// independent cells that are scheduled over a worker pool and cached on
+// disk, so re-runs with unchanged inputs skip the simulation entirely; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded runs.
 //
 // Usage:
 //
 //	pipmcoll-bench [-fig 1,6,9] [-full] [-iters 3] [-warmup 2] [-csv DIR]
+//	               [-parallel N] [-nocache] [-cache-dir DIR]
 //
-// Without -fig, every figure runs in order. Quick mode (default) uses small
-// cluster shapes that finish in seconds; -full uses the largest shapes that
-// fit in memory (see the bench package comment).
+// Without -fig, every paper figure runs in order; -ext, -ablation and
+// -sensitivity add the other registry kinds. Quick mode (default) uses
+// small cluster shapes that finish in seconds; -full uses the largest
+// shapes that fit in memory (see the bench package comment).
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,49 +29,54 @@ import (
 )
 
 func main() {
-	figList := flag.String("fig", "", "comma-separated figure ids (default: all)")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipmcoll-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	figList := flag.String("fig", "", "comma-separated figure ids (default: all paper figures)")
 	full := flag.Bool("full", false, "use paper-scale cluster shapes where memory allows")
 	iters := flag.Int("iters", 3, "measured iterations per point")
 	warmup := flag.Int("warmup", 2, "warm-up iterations per point")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
-	ext := flag.Bool("ext", false, "also run the extension experiments E1-E4 (bcast/gather/reduce/alltoall)")
-	abl := flag.Bool("ablation", false, "also run the ablation experiments A1-A3")
+	ext := flag.Bool("ext", false, "also run the extension experiments (E1-E5)")
+	abl := flag.Bool("ablation", false, "also run the ablation experiments (A1-A3)")
+	sens := flag.Bool("sensitivity", false, "also run the sensitivity experiments (S1-S2)")
 	list := flag.Bool("list", false, "list available figures and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cells simulating concurrently (1 = serial)")
+	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
+	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("paper figures:")
-		for _, f := range bench.Figures() {
-			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
+		for _, k := range []bench.Kind{bench.KindPaper, bench.KindExtension, bench.KindAblation, bench.KindSensitivity} {
+			fmt.Printf("%s:\n", k)
+			for _, f := range bench.ByKind(k) {
+				fmt.Printf("  %-3s %s\n", f.ID, f.Title)
+			}
 		}
-		fmt.Println("extensions:")
-		for _, f := range bench.ExtFigures() {
-			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
-		}
-		fmt.Println("ablations and sensitivity:")
-		for _, f := range append(bench.AblationFigures(), bench.SensitivityFigures()...) {
-			fmt.Printf("  %-3s %s\n", f.ID, f.Title)
-		}
-		return
+		return nil
 	}
-
-	opts := bench.Opts{Full: *full, Warmup: *warmup, Iters: *iters}
 
 	var figs []bench.Figure
 	if *figList == "" {
-		figs = bench.Figures()
+		figs = bench.ByKind(bench.KindPaper)
 		if *ext {
-			figs = append(figs, bench.ExtFigures()...)
+			figs = append(figs, bench.ByKind(bench.KindExtension)...)
 		}
 		if *abl {
-			figs = append(figs, bench.AblationFigures()...)
+			figs = append(figs, bench.ByKind(bench.KindAblation)...)
+		}
+		if *sens {
+			figs = append(figs, bench.ByKind(bench.KindSensitivity)...)
 		}
 	} else {
 		for _, id := range strings.Split(*figList, ",") {
-			f, err := bench.FigureByID(strings.TrimSpace(id))
+			f, err := bench.Lookup(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return err
 			}
 			figs = append(figs, f)
 		}
@@ -74,31 +84,67 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	}
 
+	var cache *bench.Cache
+	if !*nocache {
+		c, err := bench.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipmcoll-bench: %v; continuing without cache\n", err)
+		} else {
+			cache = c
+		}
+	}
+
+	opts := bench.Opts{Full: *full, Warmup: *warmup, Iters: *iters}
 	mode := "quick"
 	if *full {
 		mode = "full"
 	}
-	fmt.Printf("PiP-MColl benchmark harness (%s mode, %d warm-up + %d measured iterations)\n\n",
-		mode, *warmup, *iters)
+	if *parallel < 1 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("PiP-MColl benchmark harness (%s mode, %d warm-up + %d measured iterations, %d workers)\n\n",
+		mode, *warmup, *iters, *parallel)
+
+	var (
+		curID    string
+		figStart time.Time
+	)
+	runner := bench.NewRunner(bench.RunnerConfig{
+		Parallel: *parallel,
+		Cache:    cache,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfig %-3s %d/%d cells  %5.1fs", curID, done, total,
+				time.Since(figStart).Seconds())
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		},
+	})
 
 	for _, f := range figs {
-		start := time.Now()
-		tables := f.Run(opts)
-		fmt.Printf("=== Figure %s: %s  [%.1fs]\n\n", f.ID, f.Title, time.Since(start).Seconds())
+		curID, figStart = f.ID, time.Now()
+		tables, err := runner.RunFigure(f, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== Figure %s: %s  [%.1fs]\n\n", f.ID, f.Title, time.Since(figStart).Seconds())
 		for i, t := range tables {
 			fmt.Println(t.Format())
 			if *csvDir != "" {
 				name := fmt.Sprintf("fig%s_%d.csv", f.ID, i)
 				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					return fmt.Errorf("writing CSV: %w", err)
 				}
 			}
 		}
 	}
+	if cache != nil {
+		hits, misses := cache.Stats()
+		fmt.Printf("cache: %d hits, %d misses (%s)\n", hits, misses, cache.Dir())
+	}
+	return nil
 }

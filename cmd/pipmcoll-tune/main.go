@@ -1,19 +1,25 @@
 // Command pipmcoll-tune measures PiP-MColl's small- and large-message
 // algorithm variants across a size ladder on a chosen cluster shape and
 // recommends the switch points (core.Tunables) for that configuration —
-// the offline tuning stage a production MPI library ships with. The paper's
-// 64 kB / 8k-count switches are Bebop's values; other fabrics move the
-// crossovers (see EXPERIMENTS.md ablation A2).
+// the offline tuning stage a production MPI library ships with. The
+// ladder's measurement points are independent cells scheduled over the
+// parallel cached experiment runner. The paper's 64 kB / 8k-count switches
+// are Bebop's values; other fabrics move the crossovers (see
+// EXPERIMENTS.md ablation A2).
 //
 // Usage:
 //
 //	pipmcoll-tune [-nodes 8] [-ppn 6] [-queue-bw GB/s] [-link-bw GB/s]
+//	              [-parallel N] [-nocache] [-cache-dir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/mpi"
@@ -24,6 +30,9 @@ func main() {
 	ppn := flag.Int("ppn", 6, "processes per node")
 	queueBW := flag.Float64("queue-bw", 0, "override per-queue DMA bandwidth (GB/s)")
 	linkBW := flag.Float64("link-bw", 0, "override node link bandwidth (GB/s)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cells simulating concurrently (1 = serial)")
+	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
+	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
 	flag.Parse()
 
 	cfg := mpi.DefaultConfig()
@@ -34,10 +43,36 @@ func main() {
 		cfg.Fabric.LinkBandwidth = *linkBW * 1e9
 	}
 
+	var cache *bench.Cache
+	if !*nocache {
+		c, err := bench.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipmcoll-tune: %v; continuing without cache\n", err)
+		} else {
+			cache = c
+		}
+	}
+	start := time.Now()
+	runner := bench.NewRunner(bench.RunnerConfig{
+		Parallel: *parallel,
+		Cache:    cache,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rtuning %d/%d cells  %5.1fs", done, total,
+				time.Since(start).Seconds())
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		},
+	})
+
 	fmt.Printf("tuning PiP-MColl switch points on %dx%d\n\n", *nodes, *ppn)
-	res, err := bench.Tune(cfg, *nodes, *ppn, bench.Opts{Warmup: 1, Iters: 2})
+	res, err := bench.TuneWith(runner, cfg, *nodes, *ppn, bench.Opts{Warmup: 1, Iters: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Format())
+	if cache != nil {
+		hits, misses := cache.Stats()
+		fmt.Printf("\ncache: %d hits, %d misses (%s)\n", hits, misses, cache.Dir())
+	}
 }

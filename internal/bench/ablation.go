@@ -20,20 +20,22 @@ import (
 // sweeps the allgather algorithm switch point around the paper's 64 kB. A3
 // compares intranode mechanisms under one fixed algorithm stack.
 
-// AblationFigures returns the ablation drivers.
-func AblationFigures() []Figure {
-	return []Figure{
-		{"A1", "PiP size-synchronization cost sweep (ablation)", AblA1},
-		{"A2", "Allgather algorithm switch-point sweep (ablation)", AblA2},
-		{"A3", "Intranode mechanism under a fixed algorithm stack (ablation)", AblA3},
-	}
+func init() {
+	Register(Figure{ID: "A1", Kind: KindAblation, Cells: ablA1Cells,
+		Title: "PiP size-synchronization cost sweep (ablation)"})
+	Register(Figure{ID: "A2", Kind: KindAblation, Cells: ablA2Cells,
+		Title: "Allgather algorithm switch-point sweep (ablation)"})
+	Register(Figure{ID: "A3", Kind: KindAblation, Cells: ablA3Cells,
+		Title: "Intranode mechanism under a fixed algorithm stack (ablation)"})
 }
 
 // AblA1 sweeps the per-message PiP size-sync cost and reports the
 // small-message allgather time of the PiP-MPICH baseline (which pays it on
 // every intranode message) against PiP-MColl (which posts addresses once
 // per collective and is insensitive to it).
-func AblA1(o Opts) []*stats.Table {
+func AblA1(o Opts) []*stats.Table { return runSerial("A1", ablA1Cells, o) }
+
+func ablA1Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 8, 32), pick(o, 4, 12)
 	syncs := []simtime.Duration{0, simtime.Nanos(250), simtime.Nanos(500),
@@ -45,19 +47,27 @@ func AblA1(o Opts) []*stats.Table {
 	}
 	t := stats.NewTable(fmt.Sprintf("A1: 256B allgather vs PiP size-sync cost (%dx%d)", nodes, ppn),
 		"size-sync", "us", cols, rows)
+	var cells []Cell
 	for i, sync := range syncs {
 		for _, name := range cols {
+			sync, name, row := sync, name, rows[i]
 			lib, err := libs.ByName(name)
 			if err != nil {
 				panic(err)
 			}
 			cfg := lib.Config()
 			cfg.Shm.PiPSizeSync = sync
-			us := measureAllgatherWithConfig(lib, cfg, nodes, ppn, 256, o)
-			t.Set(rows[i], name, us)
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("a1 lib=%s nodes=%d ppn=%d bytes=256 warmup=%d iters=%d cfg=%s",
+					name, nodes, ppn, o.Warmup, o.Iters, cfgKey(cfg)),
+				Run: func() ([]Value, error) {
+					us := measureAllgatherWithConfig(lib, cfg, nodes, ppn, 256, o)
+					return []Value{{Table: 0, Row: row, Col: name, V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
 }
 
 // measureAllgatherWithConfig measures a verified allgather under an
@@ -89,7 +99,9 @@ func measureAllgatherWithConfig(lib *libs.Library, cfg mpi.Config, nodes, ppn, c
 // AblA2 sweeps the PiP-MColl allgather switch point across candidate values
 // and reports the runtime at sizes bracketing the paper's 64 kB choice: the
 // sweep shows where the Bruck/ring crossover falls in this fabric.
-func AblA2(o Opts) []*stats.Table {
+func AblA2(o Opts) []*stats.Table { return runSerial("A2", ablA2Cells, o) }
+
+func ablA2Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 8, 8), pick(o, 4, 6)
 	switches := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 1 << 30}
@@ -108,13 +120,21 @@ func AblA2(o Opts) []*stats.Table {
 	}
 	t := stats.NewTable(fmt.Sprintf("A2: PiP-MColl allgather runtime vs switch point (%dx%d)", nodes, ppn),
 		"msg size", "us", cols, rows)
+	var cells []Cell
 	for i, size := range sizes {
 		for j, sw := range switches {
-			us := measureCoreAllgather(core.Tunables{AllgatherLargeMin: sw}, nodes, ppn, size, o)
-			t.Set(rows[i], cols[j], us)
+			size, sw, row, col := size, sw, rows[i], cols[j]
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("a2 switch=%d nodes=%d ppn=%d bytes=%d warmup=%d iters=%d",
+					sw, nodes, ppn, size, o.Warmup, o.Iters),
+				Run: func() ([]Value, error) {
+					us := measureCoreAllgather(core.Tunables{AllgatherLargeMin: sw}, nodes, ppn, size, o)
+					return []Value{{Table: 0, Row: row, Col: col, V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
 }
 
 func measureCoreAllgather(tun core.Tunables, nodes, ppn, chunk int, o Opts) float64 {
@@ -145,7 +165,9 @@ func measureCoreAllgather(tun core.Tunables, nodes, ppn, chunk int, o Opts) floa
 // AblA3 runs one fixed algorithm stack (the flat MPICH selection) over
 // every intranode mechanism, isolating the transport axis of the paper's
 // Section II comparison.
-func AblA3(o Opts) []*stats.Table {
+func AblA3(o Opts) []*stats.Table { return runSerial("A3", ablA3Cells, o) }
+
+func ablA3Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 4, 8), pick(o, 4, 8)
 	mechs := []shm.Mechanism{shm.PiP, shm.POSIX, shm.CMA, shm.XPMEM, shm.KNEM}
@@ -161,15 +183,23 @@ func AblA3(o Opts) []*stats.Table {
 	t := stats.NewTable(fmt.Sprintf("A3: flat allreduce vs intranode mechanism (%dx%d)", nodes, ppn),
 		"vector", "us", cols, rows)
 	base := libs.PiPMPICH() // flat algorithm stack; mechanism overridden below
+	var cells []Cell
 	for i, size := range sizes {
 		for j, mech := range mechs {
+			size, mech, row, col := size, mech, rows[i], cols[j]
 			cfg := mpi.DefaultConfig()
 			cfg.Mechanism = mech
-			us := measureAllreduceWithConfig(base, cfg, nodes, ppn, size, o)
-			t.Set(rows[i], cols[j], us)
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("a3 mech=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d",
+					mech, nodes, ppn, size, o.Warmup, o.Iters),
+				Run: func() ([]Value, error) {
+					us := measureAllreduceWithConfig(base, cfg, nodes, ppn, size, o)
+					return []Value{{Table: 0, Row: row, Col: col, V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
 }
 
 func measureAllreduceWithConfig(lib *libs.Library, cfg mpi.Config, nodes, ppn, vec int, o Opts) float64 {

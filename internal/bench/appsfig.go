@@ -11,43 +11,76 @@ import (
 	"repro/internal/topology"
 )
 
+func init() {
+	Register(Figure{ID: "E5", Kind: KindExtension, Cells: extE5Cells,
+		Title: "Mini-application end-to-end comparison (extension)"})
+}
+
 // ExtE5 measures the four mini-applications (internal/apps) across the
 // library profiles — application-level end-to-end times rather than
 // isolated collectives.
-func ExtE5(o Opts) []*stats.Table {
+func ExtE5(o Opts) []*stats.Table { return runSerial("E5", extE5Cells, o) }
+
+// extE5Cells decomposes E5 into one cell per (application, library) pair;
+// each cell builds its own cluster and world, so app runs are independent.
+func extE5Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 4, 8), pick(o, 4, 8)
-	cluster := topology.New(nodes, ppn, topology.Block)
 	ls := libs.All()
-	cols := make([]string, len(ls))
-	for i, l := range ls {
-		cols[i] = l.Name()
-	}
 	rows := []string{"cg", "kmeans", "samplesort", "jacobi"}
 	t := stats.NewTable(fmt.Sprintf("E5: mini-application end-to-end times (%dx%d)", nodes, ppn),
-		"app", "us", cols, rows)
+		"app", "us", libNames(ls), rows)
+	var cells []Cell
 	for _, l := range ls {
-		runs := map[string]func(*mpi.Rank){
-			"cg": func(r *mpi.Rank) {
-				if res := apps.CG(r, l, 1600, 40); res.Residual > 1 {
-					panic(fmt.Sprintf("bench: CG diverged under %s: %v", l.Name(), res.Residual))
-				}
-			},
-			"kmeans": func(r *mpi.Rank) { apps.KMeans(r, l, 300, 8, 6, 8) },
-			"samplesort": func(r *mpi.Rank) {
-				if res := apps.SampleSort(r, 1024); res.Global != cluster.Size()*1024 {
-					panic(fmt.Sprintf("bench: sample sort lost elements under %s", l.Name()))
-				}
-			},
-			"jacobi": func(r *mpi.Rank) { apps.Jacobi2D(r, l, 128, 20) },
-		}
 		for _, app := range rows {
-			world := mpi.MustNewWorld(cluster, l.Config())
-			if err := world.Run(runs[app]); err != nil {
-				panic(err)
-			}
-			t.Set(app, l.Name(), simtime.Duration(world.Horizon()).Microseconds())
+			l, app := l, app
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("app=%s lib=%s nodes=%d ppn=%d", app, l.Name(), nodes, ppn),
+				Run: func() ([]Value, error) {
+					us, err := runApp(l, app, nodes, ppn)
+					if err != nil {
+						return nil, err
+					}
+					return []Value{{Table: 0, Row: app, Col: l.Name(), V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t, t.Normalized("PiP-MColl")}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells, Finish: normalizeFinish("PiP-MColl")}
+}
+
+// runApp runs one mini-application under one library profile and returns
+// the virtual makespan in microseconds, verifying the app's own invariants.
+func runApp(l *libs.Library, app string, nodes, ppn int) (float64, error) {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	var appErr error
+	runs := map[string]func(*mpi.Rank){
+		"cg": func(r *mpi.Rank) {
+			if res := apps.CG(r, l, 1600, 40); res.Residual > 1 && appErr == nil {
+				appErr = fmt.Errorf("bench: CG diverged under %s: %v", l.Name(), res.Residual)
+			}
+		},
+		"kmeans": func(r *mpi.Rank) { apps.KMeans(r, l, 300, 8, 6, 8) },
+		"samplesort": func(r *mpi.Rank) {
+			if res := apps.SampleSort(r, 1024); res.Global != cluster.Size()*1024 && appErr == nil {
+				appErr = fmt.Errorf("bench: sample sort lost elements under %s", l.Name())
+			}
+		},
+		"jacobi": func(r *mpi.Rank) { apps.Jacobi2D(r, l, 128, 20) },
+	}
+	run, ok := runs[app]
+	if !ok {
+		return 0, fmt.Errorf("bench: unknown app %q", app)
+	}
+	world, err := mpi.NewWorld(cluster, l.Config())
+	if err != nil {
+		return 0, err
+	}
+	if err := world.Run(run); err != nil {
+		return 0, err
+	}
+	if appErr != nil {
+		return 0, appErr
+	}
+	return simtime.Duration(world.Horizon()).Microseconds(), nil
 }

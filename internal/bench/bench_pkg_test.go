@@ -89,25 +89,25 @@ func TestWarmupExcluded(t *testing.T) {
 }
 
 func TestFigureRegistry(t *testing.T) {
-	figs := Figures()
+	figs := ByKind(KindPaper)
 	if len(figs) != 10 {
-		t.Fatalf("got %d figures", len(figs))
+		t.Fatalf("got %d paper figures", len(figs))
 	}
 	seen := map[string]bool{}
-	for _, f := range figs {
-		if f.Run == nil || f.Title == "" {
+	for _, f := range All() {
+		if f.Cells == nil || f.Title == "" {
 			t.Fatalf("figure %q incomplete", f.ID)
 		}
 		if seen[f.ID] {
 			t.Fatalf("duplicate figure id %q", f.ID)
 		}
 		seen[f.ID] = true
-		got, err := FigureByID(f.ID)
+		got, err := Lookup(f.ID)
 		if err != nil || got.ID != f.ID {
-			t.Fatalf("FigureByID(%q) failed: %v", f.ID, err)
+			t.Fatalf("Lookup(%q) failed: %v", f.ID, err)
 		}
 	}
-	if _, err := FigureByID("99"); err == nil {
+	if _, err := Lookup("99"); err == nil {
 		t.Fatal("unknown figure resolved")
 	}
 }

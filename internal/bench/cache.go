@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+)
+
+// cacheVersion invalidates every cached result when the harness's
+// measurement semantics change in a way the keys cannot see (an algorithm
+// fix, a new verification step). Bump it in the same commit as such a
+// change.
+const cacheVersion = "v1"
+
+// Cache is the on-disk, content-addressed result store of the experiment
+// runner. A cell's address hashes everything that determines its outcome —
+// figure ID, the cell's own key (library, shape, payload, any config
+// override), the Opts, and the simulator's calibration constants — so a
+// re-run with identical inputs skips the simulation entirely, while any
+// calibration or parameter change misses cleanly. Entries are JSON files
+// named by the hash; writes go through a rename so concurrent workers never
+// observe torn entries.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns the hit and miss counts accumulated since OpenCache.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// address derives the on-disk name for one cell's result.
+func (c *Cache) address(figID, cellKey string, o Opts) string {
+	h := sha256.Sum256([]byte(strings.Join([]string{
+		cacheVersion,
+		figID,
+		cellKey,
+		fmt.Sprintf("full=%v warmup=%d iters=%d", o.Full, o.Warmup, o.Iters),
+		calibrationKey(),
+	}, "\x00")))
+	return hex.EncodeToString(h[:])
+}
+
+// calibrationKey fingerprints the default fabric/memory calibration every
+// library profile is derived from. Cells that override the configuration
+// embed their own cfgKey in the cell key on top of this.
+func calibrationKey() string { return cfgKey(mpi.DefaultConfig()) }
+
+// load returns the cached values for a cell, if present and readable.
+func (c *Cache) load(figID, cellKey string, o Opts) ([]Value, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, c.address(figID, cellKey, o)+".json"))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var vals []Value
+	if err := json.Unmarshal(data, &vals); err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return vals, true
+}
+
+// store persists a cell's values atomically.
+func (c *Cache) store(figID, cellKey string, o Opts, vals []Value) error {
+	data, err := json.Marshal(vals)
+	if err != nil {
+		return fmt.Errorf("bench: encoding cache entry: %w", err)
+	}
+	name := filepath.Join(c.dir, c.address(figID, cellKey, o)+".json")
+	tmp, err := os.CreateTemp(c.dir, "cell-*.tmp")
+	if err != nil {
+		return fmt.Errorf("bench: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bench: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bench: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bench: writing cache entry: %w", err)
+	}
+	return nil
+}
+
+// DefaultCacheDir returns the per-user cache directory the CLI tools use
+// when no -cache-dir is given.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "pipmcoll")
+}

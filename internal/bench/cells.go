@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// A Cell is one independent measurement unit of a figure: typically a
+// single (library, shape, payload) point. Each cell builds its own
+// simulation world when run, so cells share no mutable state and can be
+// scheduled concurrently without changing any result.
+type Cell struct {
+	// Key identifies the cell's inputs within its figure — every parameter
+	// that influences the measurement must appear in it, because it is
+	// hashed (together with the figure ID, the Opts and the calibration
+	// constants) into the result-cache address.
+	Key string
+	// Run performs the measurement and returns the table cells it fills.
+	Run func() ([]Value, error)
+}
+
+// Value is one table cell produced by a Cell: a measurement routed to
+// (table index, row, column) of the figure's skeleton tables. Values are
+// the unit of result caching, so they carry JSON tags.
+type Value struct {
+	Table int     `json:"t"`
+	Row   string  `json:"r"`
+	Col   string  `json:"c"`
+	V     float64 `json:"v"`
+}
+
+// Plan is a figure's decomposition: skeleton tables with NaN cells, the
+// independent Cells that fill them, and an optional Finish hook for
+// derived tables (normalized views) computed after every cell landed.
+// Tables are assembled in declaration order regardless of cell completion
+// order, so parallel output is byte-identical to the serial path.
+type Plan struct {
+	Tables []*stats.Table
+	Cells  []Cell
+	Finish func([]*stats.Table) []*stats.Table
+}
+
+// specKey renders a Spec into a cache-key fragment.
+func specKey(s Spec) string {
+	return fmt.Sprintf("run lib=%s op=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d",
+		s.Lib.Name(), s.Op, s.Nodes, s.PPN, s.Bytes, s.Warmup, s.Iters)
+}
+
+// cfgKey fingerprints a transport configuration for cells that override the
+// library defaults (ablations, sensitivity sweeps, the tuner).
+func cfgKey(cfg mpi.Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// libNames returns the display names of a library set — the sweep tables'
+// column headers.
+func libNames(ls []*libs.Library) []string {
+	cols := make([]string, len(ls))
+	for i, l := range ls {
+		cols[i] = l.Name()
+	}
+	return cols
+}
+
+// sweepCells builds one cell per (point, library) pair, each running the
+// standard measurement harness and filling row labels[i] of the given
+// table.
+func sweepCells(table int, ls []*libs.Library, points []Spec, labels []string) []Cell {
+	cells := make([]Cell, 0, len(points)*len(ls))
+	for i, base := range points {
+		for _, l := range ls {
+			spec := base
+			spec.Lib = l
+			row := labels[i]
+			cells = append(cells, Cell{
+				Key: specKey(spec),
+				Run: func() ([]Value, error) {
+					m, err := Run(spec)
+					if err != nil {
+						return nil, err
+					}
+					return []Value{{Table: table, Row: row, Col: spec.Lib.Name(), V: m.MeanMicros()}}, nil
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// normalizeFinish returns a Finish hook appending the normalized-to-refCol
+// view of the first table — the paper's bar-chart style.
+func normalizeFinish(refCol string) func([]*stats.Table) []*stats.Table {
+	return func(ts []*stats.Table) []*stats.Table {
+		return append(ts, ts[0].Normalized(refCol))
+	}
+}

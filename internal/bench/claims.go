@@ -180,20 +180,29 @@ func fastestEverywhere(ts []*stats.Table) (bool, string) {
 	return true, "PiP-MColl fastest at every size"
 }
 
-// EvaluateClaims regenerates the needed figures (each once) and returns the
-// verdicts in claim order.
+// EvaluateClaims regenerates the needed figures (each once, serially) and
+// returns the verdicts in claim order.
 func EvaluateClaims(o Opts) ([]ClaimResult, error) {
-	cache := map[string][]*stats.Table{}
+	return EvaluateClaimsWith(NewRunner(RunnerConfig{Parallel: 1}), o)
+}
+
+// EvaluateClaimsWith is EvaluateClaims under a caller-provided runner, so
+// the report tool can evaluate claims in parallel with result caching.
+func EvaluateClaimsWith(r *Runner, o Opts) ([]ClaimResult, error) {
+	regenerated := map[string][]*stats.Table{}
 	var out []ClaimResult
 	for _, c := range Claims() {
-		tables, ok := cache[c.FigID]
+		tables, ok := regenerated[c.FigID]
 		if !ok {
-			fig, err := FigureByID(c.FigID)
+			fig, err := Lookup(c.FigID)
 			if err != nil {
 				return nil, err
 			}
-			tables = fig.Run(o)
-			cache[c.FigID] = tables
+			tables, err = r.RunFigure(fig, o)
+			if err != nil {
+				return nil, err
+			}
+			regenerated[c.FigID] = tables
 		}
 		pass, detail := c.Check(tables)
 		out = append(out, ClaimResult{Claim: c, Pass: pass, Detail: detail})

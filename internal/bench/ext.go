@@ -28,30 +28,40 @@ const (
 	extAlltoall extOp = "alltoall"
 )
 
-// ExtFigures returns the extension experiment drivers.
-func ExtFigures() []Figure {
-	return []Figure{
-		{"E1", "MPI_Bcast across message sizes (extension)", ExtE1},
-		{"E2", "MPI_Gather across message sizes (extension)", ExtE2},
-		{"E3", "MPI_Reduce across message sizes (extension)", ExtE3},
-		{"E4", "MPI_Alltoall across message sizes (extension)", ExtE4},
-		{"E5", "Mini-application end-to-end comparison (extension)", ExtE5},
-	}
+func init() {
+	Register(Figure{ID: "E1", Kind: KindExtension, Cells: extE1Cells,
+		Title: "MPI_Bcast across message sizes (extension)"})
+	Register(Figure{ID: "E2", Kind: KindExtension, Cells: extE2Cells,
+		Title: "MPI_Gather across message sizes (extension)"})
+	Register(Figure{ID: "E3", Kind: KindExtension, Cells: extE3Cells,
+		Title: "MPI_Reduce across message sizes (extension)"})
+	Register(Figure{ID: "E4", Kind: KindExtension, Cells: extE4Cells,
+		Title: "MPI_Alltoall across message sizes (extension)"})
 }
 
 // ExtE1 sweeps broadcast sizes.
-func ExtE1(o Opts) []*stats.Table { return extSweep(o, extBcast, "E1: MPI_Bcast") }
+func ExtE1(o Opts) []*stats.Table { return runSerial("E1", extE1Cells, o) }
+
+func extE1Cells(o Opts) *Plan { return extSweepCells(o, extBcast, "E1: MPI_Bcast") }
 
 // ExtE2 sweeps gather sizes.
-func ExtE2(o Opts) []*stats.Table { return extSweep(o, extGather, "E2: MPI_Gather") }
+func ExtE2(o Opts) []*stats.Table { return runSerial("E2", extE2Cells, o) }
+
+func extE2Cells(o Opts) *Plan { return extSweepCells(o, extGather, "E2: MPI_Gather") }
 
 // ExtE3 sweeps reduce sizes.
-func ExtE3(o Opts) []*stats.Table { return extSweep(o, extReduce, "E3: MPI_Reduce") }
+func ExtE3(o Opts) []*stats.Table { return runSerial("E3", extE3Cells, o) }
+
+func extE3Cells(o Opts) *Plan { return extSweepCells(o, extReduce, "E3: MPI_Reduce") }
 
 // ExtE4 sweeps alltoall chunk sizes.
-func ExtE4(o Opts) []*stats.Table { return extSweep(o, extAlltoall, "E4: MPI_Alltoall") }
+func ExtE4(o Opts) []*stats.Table { return runSerial("E4", extE4Cells, o) }
 
-func extSweep(o Opts, op extOp, title string) []*stats.Table {
+func extE4Cells(o Opts) *Plan { return extSweepCells(o, extAlltoall, "E4: MPI_Alltoall") }
+
+// extSweepCells decomposes one extension sweep into one cell per
+// (size, library) point.
+func extSweepCells(o Opts, op extOp, title string) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 8, 16), pick(o, 4, 12)
 	sizes := []int{64, 1 << 10, 16 << 10, 128 << 10}
@@ -60,25 +70,29 @@ func extSweep(o Opts, op extOp, title string) []*stats.Table {
 		sizes = []int{16, 256, 4 << 10, 32 << 10}
 	}
 	ls := libs.All()
-	cols := make([]string, len(ls))
-	for i, l := range ls {
-		cols[i] = l.Name()
-	}
 	rows := make([]string, len(sizes))
 	for i, s := range sizes {
 		rows[i] = sizeLabel(s)
 	}
-	t := stats.NewTable(fmt.Sprintf("%s (%dx%d)", title, nodes, ppn), "size", "us", cols, rows)
+	t := stats.NewTable(fmt.Sprintf("%s (%dx%d)", title, nodes, ppn), "size", "us", libNames(ls), rows)
+	var cells []Cell
 	for i, size := range sizes {
 		for _, l := range ls {
-			us, err := runExt(l, op, nodes, ppn, size, o)
-			if err != nil {
-				panic(err)
-			}
-			t.Set(rows[i], l.Name(), us)
+			l, size, row := l, size, rows[i]
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("ext op=%s lib=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d",
+					op, l.Name(), nodes, ppn, size, o.Warmup, o.Iters),
+				Run: func() ([]Value, error) {
+					us, err := runExt(l, op, nodes, ppn, size, o)
+					if err != nil {
+						return nil, err
+					}
+					return []Value{{Table: 0, Row: row, Col: l.Name(), V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t, t.Normalized("PiP-MColl")}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells, Finish: normalizeFinish("PiP-MColl")}
 }
 
 // runExt measures one extension point with verification.

@@ -42,48 +42,40 @@ func pick[T any](o Opts, quick, full T) T {
 	return quick
 }
 
-// Figure is a named driver regenerating one paper figure.
-type Figure struct {
-	ID    string
-	Title string
-	Run   func(Opts) []*stats.Table
-}
-
-// Figures returns every paper-figure driver in paper order.
-func Figures() []Figure {
-	return []Figure{
-		{"1", "Inter-node message rate and throughput vs sender/receiver count", Fig1},
-		{"6", "MPI_Scatter vs node count (16 B, 1 kB)", Fig6},
-		{"7", "MPI_Allgather vs node count (16 B, 1 kB)", Fig7},
-		{"8", "MPI_Allreduce vs node count (16, 1k doubles)", Fig8},
-		{"9", "MPI_Scatter small message sizes", Fig9},
-		{"10", "MPI_Allgather small message sizes", Fig10},
-		{"11", "MPI_Allreduce small message counts", Fig11},
-		{"12", "MPI_Scatter medium/large message sizes", Fig12},
-		{"13", "MPI_Allgather medium/large message sizes (with small-alg ablation)", Fig13},
-		{"14", "MPI_Allreduce medium/large message counts (with small-alg ablation)", Fig14},
-	}
-}
-
-// FigureByID resolves one driver, searching paper figures first, then the
-// extension experiments (E1-E4).
-func FigureByID(id string) (Figure, error) {
-	all := append(Figures(), ExtFigures()...)
-	all = append(all, AblationFigures()...)
-	all = append(all, SensitivityFigures()...)
-	for _, f := range all {
-		if f.ID == id {
-			return f, nil
-		}
-	}
-	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+// The paper figures register themselves; -list groups them under the
+// paper kind. Adding a figure means writing a Cells decomposition and one
+// Register call — every tool (bench, report, tune) picks it up from the
+// registry.
+func init() {
+	Register(Figure{ID: "1", Kind: KindPaper, Cells: fig1Cells,
+		Title: "Inter-node message rate and throughput vs sender/receiver count"})
+	Register(Figure{ID: "6", Kind: KindPaper, Cells: fig6Cells,
+		Title: "MPI_Scatter vs node count (16 B, 1 kB)"})
+	Register(Figure{ID: "7", Kind: KindPaper, Cells: fig7Cells,
+		Title: "MPI_Allgather vs node count (16 B, 1 kB)"})
+	Register(Figure{ID: "8", Kind: KindPaper, Cells: fig8Cells,
+		Title: "MPI_Allreduce vs node count (16, 1k doubles)"})
+	Register(Figure{ID: "9", Kind: KindPaper, Cells: fig9Cells,
+		Title: "MPI_Scatter small message sizes"})
+	Register(Figure{ID: "10", Kind: KindPaper, Cells: fig10Cells,
+		Title: "MPI_Allgather small message sizes"})
+	Register(Figure{ID: "11", Kind: KindPaper, Cells: fig11Cells,
+		Title: "MPI_Allreduce small message counts"})
+	Register(Figure{ID: "12", Kind: KindPaper, Cells: fig12Cells,
+		Title: "MPI_Scatter medium/large message sizes"})
+	Register(Figure{ID: "13", Kind: KindPaper, Cells: fig13Cells,
+		Title: "MPI_Allgather medium/large message sizes (with small-alg ablation)"})
+	Register(Figure{ID: "14", Kind: KindPaper, Cells: fig14Cells,
+		Title: "MPI_Allreduce medium/large message counts (with small-alg ablation)"})
 }
 
 // Fig1 reproduces the motivation microbenchmark: k sender/receiver pairs
 // flooding between two nodes, reporting message rate at 4 kB and throughput
 // at 128 kB. It drives the fabric directly, like the paper's raw
 // point-to-point test.
-func Fig1(o Opts) []*stats.Table {
+func Fig1(o Opts) []*stats.Table { return runSerial("1", fig1Cells, o) }
+
+func fig1Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	ks := []int{1, 2, 4, 8, 12, 18}
 	cols := []string{"msgrate-4kB (Mmsg/s)", "throughput-128kB (GB/s)"}
@@ -93,13 +85,23 @@ func Fig1(o Opts) []*stats.Table {
 	}
 	t := stats.NewTable("Fig 1: p2p scaling with sender/receiver pairs", "pairs", "", cols, rows)
 	count := pick(o, 200, 1000)
-	for _, k := range ks {
-		rate := floodRate(k, count, 4<<10)
-		_, bw := floodRateBW(k, pick(o, 50, 200), 128<<10)
-		t.Set(fmt.Sprintf("%d", k), cols[0], rate/1e6)
-		t.Set(fmt.Sprintf("%d", k), cols[1], bw/1e9)
+	bwCount := pick(o, 50, 200)
+	cells := make([]Cell, 0, len(ks))
+	for i, k := range ks {
+		row := rows[i]
+		cells = append(cells, Cell{
+			Key: fmt.Sprintf("flood k=%d count=%d bwcount=%d", k, count, bwCount),
+			Run: func() ([]Value, error) {
+				rate := floodRate(k, count, 4<<10)
+				_, bw := floodRateBW(k, bwCount, 128<<10)
+				return []Value{
+					{Table: 0, Row: row, Col: cols[0], V: rate / 1e6},
+					{Table: 0, Row: row, Col: cols[1], V: bw / 1e9},
+				}, nil
+			},
+		})
 	}
-	return []*stats.Table{t}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
 }
 
 // floodRate measures achieved messages/second for k pairs.
@@ -126,28 +128,10 @@ func FloodRates(k, count, bytes int, params fabric.Params) (msgsPerSec, bytesPer
 	return total / elapsed, total * float64(bytes) / elapsed
 }
 
-// sweepTable runs a library x x-axis sweep and fills a table of mean
-// microseconds.
-func sweepTable(title, xlabel string, ls []*libs.Library, points []Spec, labels []string) *stats.Table {
-	cols := make([]string, len(ls))
-	for i, l := range ls {
-		cols[i] = l.Name()
-	}
-	t := stats.NewTable(title, xlabel, "us", cols, labels)
-	for i, base := range points {
-		for _, l := range ls {
-			spec := base
-			spec.Lib = l
-			m := MustRun(spec)
-			t.Set(labels[i], l.Name(), m.MeanMicros())
-		}
-	}
-	return t
-}
-
-// scalePair is the node-sweep driver shared by Figures 6-8: baseline vs
-// PiP-MColl across node counts at two payload sizes.
-func scalePair(o Opts, op Op, figTitle string, small, medium int, maxNodes int) []*stats.Table {
+// scalePairCells is the node-sweep decomposition shared by Figures 6-8:
+// baseline vs PiP-MColl across node counts at two payload sizes, one cell
+// per (size, nodes, library).
+func scalePairCells(o Opts, op Op, figTitle string, small, medium int, maxNodes int) *Plan {
 	o = o.withDefaults()
 	nodes := []int{2, 4, 8}
 	if o.Full {
@@ -157,8 +141,8 @@ func scalePair(o Opts, op Op, figTitle string, small, medium int, maxNodes int) 
 	}
 	ppn := pick(o, 6, 18)
 	ls := []*libs.Library{libs.PiPMPICH(), libs.PiPMColl()}
-	var tables []*stats.Table
-	for _, size := range []int{small, medium} {
+	p := &Plan{}
+	for ti, size := range []int{small, medium} {
 		labels := make([]string, len(nodes))
 		points := make([]Spec, len(nodes))
 		for i, n := range nodes {
@@ -167,32 +151,39 @@ func scalePair(o Opts, op Op, figTitle string, small, medium int, maxNodes int) 
 				Warmup: o.Warmup, Iters: o.Iters}
 		}
 		title := fmt.Sprintf("%s, %s per process, %d ppn", figTitle, sizeLabel(size), ppn)
-		tables = append(tables, sweepTable(title, "nodes", ls, points, labels))
+		p.Tables = append(p.Tables, stats.NewTable(title, "nodes", "us", libNames(ls), labels))
+		p.Cells = append(p.Cells, sweepCells(ti, ls, points, labels)...)
 	}
-	return tables
+	return p
 }
 
 // Fig6 is the scatter scalability test (paper: 16 B and 1 kB, 2..128 nodes).
-func Fig6(o Opts) []*stats.Table {
-	return scalePair(o, OpScatter, "Fig 6: MPI_Scatter scalability", 16, 1<<10, 128)
+func Fig6(o Opts) []*stats.Table { return runSerial("6", fig6Cells, o) }
+
+func fig6Cells(o Opts) *Plan {
+	return scalePairCells(o, OpScatter, "Fig 6: MPI_Scatter scalability", 16, 1<<10, 128)
 }
 
 // Fig7 is the allgather scalability test. Full mode stops at 64 nodes: at
 // 128x18 the 1 kB allgather result alone needs >5 GB across simulated
 // ranks.
-func Fig7(o Opts) []*stats.Table {
-	return scalePair(o, OpAllgather, "Fig 7: MPI_Allgather scalability", 16, 1<<10, 64)
+func Fig7(o Opts) []*stats.Table { return runSerial("7", fig7Cells, o) }
+
+func fig7Cells(o Opts) *Plan {
+	return scalePairCells(o, OpAllgather, "Fig 7: MPI_Allgather scalability", 16, 1<<10, 64)
 }
 
 // Fig8 is the allreduce scalability test (16 doubles and 1k doubles).
-func Fig8(o Opts) []*stats.Table {
-	return scalePair(o, OpAllreduce, "Fig 8: MPI_Allreduce scalability", 16*8, 1024*8, 128)
+func Fig8(o Opts) []*stats.Table { return runSerial("8", fig8Cells, o) }
+
+func fig8Cells(o Opts) *Plan {
+	return scalePairCells(o, OpAllreduce, "Fig 8: MPI_Allreduce scalability", 16*8, 1024*8, 128)
 }
 
-// sizeSweep drives Figures 9-14: all five libraries across a payload sweep
-// on a fixed cluster, reporting both raw microseconds and the
-// normalized-to-PiP-MColl view the paper plots.
-func sizeSweep(o Opts, op Op, title string, sizes []int, ls []*libs.Library, nodes, ppn int, countLabels bool) []*stats.Table {
+// sizeSweepCells drives Figures 9-14: all five libraries across a payload
+// sweep on a fixed cluster (one cell per size x library), reporting both
+// raw microseconds and the normalized-to-PiP-MColl view the paper plots.
+func sizeSweepCells(o Opts, op Op, title string, sizes []int, ls []*libs.Library, nodes, ppn int, countLabels bool) *Plan {
 	labels := make([]string, len(sizes))
 	points := make([]Spec, len(sizes))
 	for i, s := range sizes {
@@ -205,8 +196,12 @@ func sizeSweep(o Opts, op Op, title string, sizes []int, ls []*libs.Library, nod
 			Warmup: o.Warmup, Iters: o.Iters}
 	}
 	full := fmt.Sprintf("%s (%dx%d)", title, nodes, ppn)
-	t := sweepTable(full, xlabelFor(countLabels), ls, points, labels)
-	return []*stats.Table{t, t.Normalized("PiP-MColl")}
+	t := stats.NewTable(full, xlabelFor(countLabels), "us", libNames(ls), labels)
+	return &Plan{
+		Tables: []*stats.Table{t},
+		Cells:  sweepCells(0, ls, points, labels),
+		Finish: normalizeFinish("PiP-MColl"),
+	}
 }
 
 func xlabelFor(countLabels bool) string {
@@ -217,67 +212,79 @@ func xlabelFor(countLabels bool) string {
 }
 
 // Fig9: scatter, small sizes, all libraries.
-func Fig9(o Opts) []*stats.Table {
+func Fig9(o Opts) []*stats.Table { return runSerial("9", fig9Cells, o) }
+
+func fig9Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
-	return sizeSweep(o, OpScatter, "Fig 9: MPI_Scatter small messages",
+	return sizeSweepCells(o, OpScatter, "Fig 9: MPI_Scatter small messages",
 		sizes, libs.All(), pick(o, 16, 128), pick(o, 6, 18), false)
 }
 
 // Fig10: allgather, small sizes, all libraries. Full mode uses 64 nodes
 // (memory; see package comment).
-func Fig10(o Opts) []*stats.Table {
+func Fig10(o Opts) []*stats.Table { return runSerial("10", fig10Cells, o) }
+
+func fig10Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	sizes := []int{16, 32, 64, 128, 256, 512}
-	return sizeSweep(o, OpAllgather, "Fig 10: MPI_Allgather small messages",
+	return sizeSweepCells(o, OpAllgather, "Fig 10: MPI_Allgather small messages",
 		sizes, libs.All(), pick(o, 16, 64), pick(o, 6, 18), false)
 }
 
 // Fig11: allreduce, small double counts, all libraries.
-func Fig11(o Opts) []*stats.Table {
+func Fig11(o Opts) []*stats.Table { return runSerial("11", fig11Cells, o) }
+
+func fig11Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	sizes := []int{2 * 8, 4 * 8, 8 * 8, 16 * 8, 32 * 8, 64 * 8}
-	return sizeSweep(o, OpAllreduce, "Fig 11: MPI_Allreduce small double counts",
+	return sizeSweepCells(o, OpAllreduce, "Fig 11: MPI_Allreduce small double counts",
 		sizes, libs.All(), pick(o, 16, 128), pick(o, 6, 18), true)
 }
 
 // Fig12: scatter, medium/large sizes, all libraries. Full mode uses 32
 // nodes: at 64x18 the root buffer plus per-subtree staging of the flat
 // binomial baseline exceeds this machine's memory at 512 kB chunks.
-func Fig12(o Opts) []*stats.Table {
+func Fig12(o Opts) []*stats.Table { return runSerial("12", fig12Cells, o) }
+
+func fig12Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	var sizes []int
 	for s := 1 << 10; s <= 512<<10; s *= 2 {
 		sizes = append(sizes, s)
 	}
-	return sizeSweep(o, OpScatter, "Fig 12: MPI_Scatter medium/large messages",
+	return sizeSweepCells(o, OpScatter, "Fig 12: MPI_Scatter medium/large messages",
 		sizes, libs.All(), pick(o, 8, 32), pick(o, 4, 18), false)
 }
 
 // Fig13: allgather, medium/large sizes, all libraries plus the
 // small-algorithm ablation. The cluster is small (memory: the allgather
 // result is ranks x size per rank).
-func Fig13(o Opts) []*stats.Table {
+func Fig13(o Opts) []*stats.Table { return runSerial("13", fig13Cells, o) }
+
+func fig13Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	var sizes []int
 	for s := 1 << 10; s <= 512<<10; s *= 2 {
 		sizes = append(sizes, s)
 	}
 	ls := append(libs.All(), libs.PiPMCollSmall())
-	return sizeSweep(o, OpAllgather, "Fig 13: MPI_Allgather medium/large messages",
+	return sizeSweepCells(o, OpAllgather, "Fig 13: MPI_Allgather medium/large messages",
 		sizes, ls, pick(o, 8, 8), pick(o, 4, 6), false)
 }
 
 // Fig14: allreduce, medium/large double counts, all libraries plus the
 // small-algorithm ablation.
-func Fig14(o Opts) []*stats.Table {
+func Fig14(o Opts) []*stats.Table { return runSerial("14", fig14Cells, o) }
+
+func fig14Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	var sizes []int
 	for c := 1 << 10; c <= 512<<10; c *= 4 {
 		sizes = append(sizes, c*8)
 	}
 	ls := append(libs.All(), libs.PiPMCollSmall())
-	return sizeSweep(o, OpAllreduce, "Fig 14: MPI_Allreduce medium/large double counts",
+	return sizeSweepCells(o, OpAllreduce, "Fig 14: MPI_Allreduce medium/large double counts",
 		sizes, ls, pick(o, 8, 16), pick(o, 6, 9), true)
 }
 

@@ -31,7 +31,7 @@ func TestGoldenFigures(t *testing.T) {
 	for _, fc := range figs {
 		fc := fc
 		t.Run(fc.name, func(t *testing.T) {
-			fig, err := FigureByID(fc.id)
+			fig, err := Lookup(fc.id)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// RunnerConfig configures the parallel cached experiment runner.
+type RunnerConfig struct {
+	// Parallel bounds the number of cells simulating concurrently;
+	// values below 1 mean GOMAXPROCS. Parallel: 1 reproduces the serial
+	// path exactly (and every setting produces byte-identical tables,
+	// since cells are independent and assembled in declaration order).
+	Parallel int
+	// Cache, when non-nil, short-circuits cells whose inputs are
+	// unchanged since a previous run and stores fresh results.
+	Cache *Cache
+	// Progress, when non-nil, is called after each cell completes with
+	// the figure-wide completion count. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Runner schedules a figure's independent cells over a bounded worker
+// pool. Determinism is preserved by construction — each cell owns a
+// private simulation engine, and results are routed to fixed (table, row,
+// column) addresses — so parallel output is byte-identical to serial.
+type Runner struct {
+	cfg RunnerConfig
+}
+
+// NewRunner returns a runner with the given configuration.
+func NewRunner(cfg RunnerConfig) *Runner {
+	if cfg.Parallel < 1 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{cfg: cfg}
+}
+
+// RunFigure regenerates one figure: decompose, schedule, reassemble.
+func (r *Runner) RunFigure(f Figure, o Opts) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	return r.runPlan(f.ID, f.Cells(o), o)
+}
+
+// runPlan executes a decomposed experiment under the runner's worker pool
+// and fills the plan's tables in declaration order.
+func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) {
+	n := len(p.Cells)
+	results := make([][]Value, n)
+	errs := make([]error, n)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	sem := make(chan struct{}, r.cfg.Parallel)
+	for i := range p.Cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = r.runCell(figID, p.Cells[i], o)
+			if r.cfg.Progress != nil {
+				mu.Lock()
+				done++
+				r.cfg.Progress(done, n)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure %s cell %q: %w", figID, p.Cells[i].Key, err)
+		}
+	}
+	for _, vals := range results {
+		for _, v := range vals {
+			p.Tables[v.Table].Set(v.Row, v.Col, v.V)
+		}
+	}
+	tables := p.Tables
+	if p.Finish != nil {
+		tables = p.Finish(tables)
+	}
+	return tables, nil
+}
+
+// runCell measures one cell, consulting and feeding the cache. Panics from
+// driver code (world construction, verification) are converted to errors so
+// one bad cell fails the figure instead of the process.
+func (r *Runner) runCell(figID string, c Cell, o Opts) (vals []Value, err error) {
+	if r.cfg.Cache != nil {
+		if cached, ok := r.cfg.Cache.load(figID, c.Key, o); ok {
+			return cached, nil
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	vals, err = c.Run()
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Cache != nil {
+		if err := r.cfg.Cache.store(figID, c.Key, o, vals); err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}
+
+// runSerial is the compatibility path behind the exported per-figure
+// driver functions (Fig1..Fig14, ExtE1.., AblA1.., SensS1..): build the
+// plan and execute it serially, panicking on error as the old monolithic
+// drivers did.
+func runSerial(figID string, cells func(Opts) *Plan, o Opts) []*stats.Table {
+	o = o.withDefaults()
+	tables, err := NewRunner(RunnerConfig{Parallel: 1}).runPlan(figID, cells(o), o)
+	if err != nil {
+		panic(err)
+	}
+	return tables
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// csvConcat renders a figure result the way the CLI's -csv flag and the
+// golden tests do, so byte comparison covers exactly the persisted format.
+func csvConcat(tables []*stats.Table) string {
+	var out string
+	for _, t := range tables {
+		out += t.CSV() + "\n"
+	}
+	return out
+}
+
+// TestParallelMatchesSerial: the runner's defining property — a parallel
+// run of a representative figure is byte-identical to the serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	fig, err := Lookup("9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Opts{Warmup: 1, Iters: 1}
+	serial, err := NewRunner(RunnerConfig{Parallel: 1}).RunFigure(fig, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(RunnerConfig{Parallel: 8}).RunFigure(fig, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csvConcat(parallel), csvConcat(serial); got != want {
+		t.Errorf("parallel output diverged from serial.\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+	for i := range serial {
+		if !serial[i].Equal(parallel[i]) {
+			t.Errorf("table %d not equal between serial and parallel runs", i)
+		}
+	}
+}
+
+// TestCacheRoundTrip: a second run of the same figure under the same cache
+// must hit on every cell and reproduce the same tables.
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Lookup("6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Opts{Warmup: 1, Iters: 1}
+	r := NewRunner(RunnerConfig{Parallel: 4, Cache: cache})
+
+	first, err := r.RunFigure(fig, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses == 0 {
+		t.Fatalf("cold run: %d hits, %d misses", hits, misses)
+	}
+	cells := misses
+
+	second, err := r.RunFigure(fig, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = cache.Stats()
+	if hits != cells || misses != cells {
+		t.Fatalf("warm run not 100%% hits: %d hits, %d misses, %d cells", hits, misses, cells)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("table counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if !first[i].Equal(second[i]) {
+			t.Errorf("cached table %d differs from fresh table", i)
+		}
+	}
+	if csvConcat(first) != csvConcat(second) {
+		t.Error("cached CSV output differs from fresh output")
+	}
+}
+
+// TestCacheDistinguishesOpts: changing the iteration counts must miss.
+func TestCacheDistinguishesOpts(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Lookup("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(RunnerConfig{Parallel: 2, Cache: cache})
+	if _, err := r.RunFigure(fig, Opts{Warmup: 1, Iters: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunFigure(fig, Opts{Warmup: 1, Iters: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != 0 {
+		t.Errorf("different Opts produced %d cache hits", hits)
+	}
+}
+
+// TestRunnerProgress: the progress callback must count every cell exactly
+// once up to the total.
+func TestRunnerProgress(t *testing.T) {
+	fig, err := Lookup("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []int
+	var lastTotal int
+	r := NewRunner(RunnerConfig{Parallel: 4, Progress: func(done, total int) {
+		calls = append(calls, done)
+		lastTotal = total
+	}})
+	if _, err := r.RunFigure(fig, Opts{Warmup: 1, Iters: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 || len(calls) != lastTotal {
+		t.Fatalf("progress called %d times for %d cells", len(calls), lastTotal)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress counts not monotone: %v", calls)
+		}
+	}
+}
+
+// TestRunnerPropagatesCellErrors: a failing cell must fail the figure with
+// context, and a panicking cell must be converted to an error rather than
+// killing the process.
+func TestRunnerPropagatesCellErrors(t *testing.T) {
+	boom := errors.New("boom")
+	plan := &Plan{
+		Tables: []*stats.Table{stats.NewTable("t", "x", "", []string{"c"}, []string{"r"})},
+		Cells: []Cell{
+			{Key: "ok", Run: func() ([]Value, error) {
+				return []Value{{Table: 0, Row: "r", Col: "c", V: 1}}, nil
+			}},
+			{Key: "bad", Run: func() ([]Value, error) { return nil, boom }},
+		},
+	}
+	_, err := NewRunner(RunnerConfig{Parallel: 2}).runPlan("test", plan, Opts{Warmup: 1, Iters: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("cell error not propagated: %v", err)
+	}
+
+	panicPlan := &Plan{
+		Tables: plan.Tables,
+		Cells: []Cell{
+			{Key: "panic", Run: func() ([]Value, error) { panic("kaboom") }},
+		},
+	}
+	_, err = NewRunner(RunnerConfig{Parallel: 1}).runPlan("test", panicPlan, Opts{Warmup: 1, Iters: 1})
+	if err == nil {
+		t.Fatal("panicking cell did not fail the figure")
+	}
+}
+
+// TestRegistryOrderAndKinds: All() presents paper figures first in paper
+// order, then extensions, ablations, sensitivity.
+func TestRegistryOrderAndKinds(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("registry holds %d figures, want 20", len(all))
+	}
+	var ids []string
+	for _, f := range all {
+		ids = append(ids, f.ID)
+	}
+	want := []string{"1", "6", "7", "8", "9", "10", "11", "12", "13", "14",
+		"E1", "E2", "E3", "E4", "E5", "A1", "A2", "A3", "S1", "S2"}
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Fatalf("registry order %v, want %v", ids, want)
+	}
+	counts := map[Kind]int{}
+	for _, f := range all {
+		counts[f.Kind]++
+	}
+	if counts[KindPaper] != 10 || counts[KindExtension] != 5 ||
+		counts[KindAblation] != 3 || counts[KindSensitivity] != 2 {
+		t.Fatalf("kind counts: %v", counts)
+	}
+}
+
+// TestRegisterValidation: incomplete and duplicate registrations panic.
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f Figure) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		Register(f)
+	}
+	cells := func(Opts) *Plan { return &Plan{} }
+	mustPanic("empty id", Figure{Title: "x", Cells: cells})
+	mustPanic("no cells", Figure{ID: "Z1", Title: "x"})
+	mustPanic("duplicate", Figure{ID: "1", Title: "x", Cells: cells})
+}

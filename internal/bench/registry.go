@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Kind classifies a figure within the evaluation: the paper's own figures,
+// the extension experiments (E1-E5), the ablations (A1-A3), and the
+// sensitivity studies (S1-S2). The CLI's -ext/-ablation/-sensitivity flags
+// and -list groups are kind filters over the registry.
+type Kind int
+
+// Figure kinds in presentation order.
+const (
+	KindPaper Kind = iota
+	KindExtension
+	KindAblation
+	KindSensitivity
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case KindPaper:
+		return "paper"
+	case KindExtension:
+		return "extension"
+	case KindAblation:
+		return "ablation"
+	case KindSensitivity:
+		return "sensitivity"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Figure is one named experiment. Cells decomposes it into independent
+// measurement units (each owning its private simulation world), which is
+// what lets the Runner schedule a figure across cores and cache unchanged
+// cells between invocations.
+type Figure struct {
+	ID    string
+	Title string
+	Kind  Kind
+	Cells func(Opts) *Plan
+}
+
+// Run regenerates the figure serially without caching — the convenience
+// path for tests and library callers; it panics on measurement errors,
+// which are harness bugs. Tools wanting parallelism, caching, or error
+// returns use Runner.RunFigure.
+func (f Figure) Run(o Opts) []*stats.Table {
+	tables, err := NewRunner(RunnerConfig{Parallel: 1}).RunFigure(f, o)
+	if err != nil {
+		panic(err)
+	}
+	return tables
+}
+
+var (
+	regMu    sync.RWMutex
+	registry []Figure
+)
+
+// Register adds a figure to the global registry. Figures register
+// themselves from init functions; an incomplete figure or a duplicate ID is
+// a programming error and panics.
+func Register(f Figure) {
+	if f.ID == "" || f.Title == "" || f.Cells == nil {
+		panic(fmt.Sprintf("bench: incomplete figure %+v", f))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, g := range registry {
+		if g.ID == f.ID {
+			panic(fmt.Sprintf("bench: duplicate figure id %q", f.ID))
+		}
+	}
+	registry = append(registry, f)
+}
+
+// All returns every registered figure sorted by kind (paper, extension,
+// ablation, sensitivity) and then by numeric ID within the kind.
+func All() []Figure {
+	regMu.RLock()
+	out := append([]Figure(nil), registry...)
+	regMu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return idOrdinal(out[i].ID) < idOrdinal(out[j].ID)
+	})
+	return out
+}
+
+// ByKind returns the registered figures of one kind, in All's order.
+func ByKind(k Kind) []Figure {
+	var out []Figure
+	for _, f := range All() {
+		if f.Kind == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Lookup resolves a figure by ID.
+func Lookup(id string) (Figure, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, f := range registry {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// idOrdinal extracts the numeric part of an ID like "10", "E4" or "A2" so
+// figures sort in paper order rather than lexically ("10" after "6").
+func idOrdinal(id string) int {
+	digits := strings.TrimLeftFunc(id, func(r rune) bool { return r < '0' || r > '9' })
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}

@@ -17,16 +17,18 @@ import (
 // traffic). The paper's testbed is full-bisection OPA; production fat
 // trees often are not, and the multi-object design's extra concurrent
 // flows could in principle congest a thin uplink — S1 quantifies that.
-func SensitivityFigures() []Figure {
-	return []Figure{
-		{"S1", "Allgather under fat-tree oversubscription (sensitivity)", SensS1},
-		{"S2", "Allgather under node memory contention (sensitivity)", SensS2},
-	}
+func init() {
+	Register(Figure{ID: "S1", Kind: KindSensitivity, Cells: sensS1Cells,
+		Title: "Allgather under fat-tree oversubscription (sensitivity)"})
+	Register(Figure{ID: "S2", Kind: KindSensitivity, Cells: sensS2Cells,
+		Title: "Allgather under node memory contention (sensitivity)"})
 }
 
 // SensS1 sweeps the per-group uplink bandwidth from full bisection down to
 // 8x oversubscribed for PiP-MColl and the PiP-MPICH baseline.
-func SensS1(o Opts) []*stats.Table {
+func SensS1(o Opts) []*stats.Table { return runSerial("S1", sensS1Cells, o) }
+
+func sensS1Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 8, 16), pick(o, 4, 8)
 	const chunk = 4 << 10
@@ -35,10 +37,6 @@ func SensS1(o Opts) []*stats.Table {
 	full := float64(groupSize) * mpi.DefaultConfig().Fabric.LinkBandwidth
 	overs := []float64{1, 2, 4, 8} // oversubscription ratios
 	ls := []*libs.Library{libs.PiPMPICH(), libs.PiPMColl()}
-	cols := make([]string, len(ls))
-	for i, l := range ls {
-		cols[i] = l.Name()
-	}
 	rows := make([]string, len(overs))
 	for i, ov := range overs {
 		rows[i] = fmt.Sprintf("%gx", ov)
@@ -46,18 +44,26 @@ func SensS1(o Opts) []*stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("S1: %s allgather vs uplink oversubscription (%dx%d, groups of %d)",
 			sizeLabel(chunk), nodes, ppn, groupSize),
-		"oversub", "us", cols, rows)
+		"oversub", "us", libNames(ls), rows)
+	var cells []Cell
 	for i, ov := range overs {
 		for _, l := range ls {
+			l, row := l, rows[i]
 			cfg := l.Config()
 			cfg.Fabric.GroupSize = groupSize
 			cfg.Fabric.GroupLatency = simtime.Nanos(400)
 			cfg.Fabric.GroupBandwidth = full / ov
-			us := measureGroupedAllgather(l, cfg, nodes, ppn, chunk, o)
-			t.Set(rows[i], l.Name(), us)
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("s1 lib=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d cfg=%s",
+					l.Name(), nodes, ppn, chunk, o.Warmup, o.Iters, cfgKey(cfg)),
+				Run: func() ([]Value, error) {
+					us := measureGroupedAllgather(l, cfg, nodes, ppn, chunk, o)
+					return []Value{{Table: 0, Row: row, Col: l.Name(), V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
 }
 
 func measureGroupedAllgather(lib *libs.Library, cfg mpi.Config, nodes, ppn, chunk int, o Opts) float64 {
@@ -89,7 +95,9 @@ func measureGroupedAllgather(lib *libs.Library, cfg mpi.Config, nodes, ppn, chun
 // broadcast copies, POSIX double copies) stretch when many cores stream
 // concurrently. The paper's analysis uses uncontended per-core beta_r;
 // S2 quantifies how the comparison shifts when that assumption is relaxed.
-func SensS2(o Opts) []*stats.Table {
+func SensS2(o Opts) []*stats.Table { return runSerial("S2", sensS2Cells, o) }
+
+func sensS2Cells(o Opts) *Plan {
 	o = o.withDefaults()
 	nodes, ppn := pick(o, 8, 16), pick(o, 4, 8)
 	const chunk = 16 << 10
@@ -99,20 +107,24 @@ func SensS2(o Opts) []*stats.Table {
 	levels := []float64{0, 8 * perCore, 4 * perCore, 2 * perCore}
 	labels := []string{"off", "8x core", "4x core", "2x core"}
 	ls := []*libs.Library{libs.IntelMPI(), libs.PiPMPICH(), libs.PiPMColl()}
-	cols := make([]string, len(ls))
-	for i, l := range ls {
-		cols[i] = l.Name()
-	}
 	t := stats.NewTable(
 		fmt.Sprintf("S2: %s allgather vs node memory contention (%dx%d)", sizeLabel(chunk), nodes, ppn),
-		"mem port", "us", cols, labels)
+		"mem port", "us", libNames(ls), labels)
+	var cells []Cell
 	for i, bw := range levels {
 		for _, l := range ls {
+			l, row := l, labels[i]
 			cfg := l.Config()
 			cfg.Shm.NodeMemBandwidth = bw
-			us := measureGroupedAllgather(l, cfg, nodes, ppn, chunk, o)
-			t.Set(labels[i], l.Name(), us)
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("s2 lib=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d cfg=%s",
+					l.Name(), nodes, ppn, chunk, o.Warmup, o.Iters, cfgKey(cfg)),
+				Run: func() ([]Value, error) {
+					us := measureGroupedAllgather(l, cfg, nodes, ppn, chunk, o)
+					return []Value{{Table: 0, Row: row, Col: l.Name(), V: us}}, nil
+				},
+			})
 		}
 	}
-	return []*stats.Table{t}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
 }

@@ -17,7 +17,7 @@ func TestDriversSmoke(t *testing.T) {
 	for _, id := range []string{"7", "8", "9", "10", "E1", "E2", "E3", "A1", "S1"} {
 		id := id
 		t.Run("fig"+id, func(t *testing.T) {
-			fig, err := FigureByID(id)
+			fig, err := Lookup(id)
 			if err != nil {
 				t.Fatal(err)
 			}

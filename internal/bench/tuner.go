@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nums"
 	"repro/internal/simtime"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -33,42 +34,69 @@ type TuneResult struct {
 // allgather and allreduce across a size ladder on the given cluster shape
 // and configuration, and recommends switch points.
 func Tune(cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, error) {
+	return TuneWith(NewRunner(RunnerConfig{Parallel: 1}), cfg, nodes, ppn, o)
+}
+
+// TuneWith is Tune under a caller-provided runner: the ladder's
+// (collective, variant, size) points are independent cells, so the tuning
+// stage parallelizes and caches like any figure.
+func TuneWith(r *Runner, cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, error) {
 	o = o.withDefaults()
 	var res TuneResult
 	for s := 1 << 10; s <= 256<<10; s *= 2 {
 		res.Sizes = append(res.Sizes, s)
 	}
 	huge := 1 << 40
-	smallAG := core.Tunables{AllgatherLargeMin: huge}
-	largeAG := core.Tunables{AllgatherLargeMin: 1}
-	smallAR := core.Tunables{AllreduceLargeMin: huge}
-	largeAR := core.Tunables{AllreduceLargeMin: 8} // any vector: large path
-
-	for _, size := range res.Sizes {
-		ag1, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
-			cl.Allgather(r, in, out)
-		}, smallAG, false)
-		if err != nil {
-			return res, err
+	variants := []struct {
+		col    string
+		tun    core.Tunables
+		reduce bool
+	}{
+		{"AG-small", core.Tunables{AllgatherLargeMin: huge}, false},
+		{"AG-large", core.Tunables{AllgatherLargeMin: 1}, false},
+		{"AR-small", core.Tunables{AllreduceLargeMin: huge}, true},
+		{"AR-large", core.Tunables{AllreduceLargeMin: 8}, true}, // any vector: large path
+	}
+	cols := make([]string, len(variants))
+	for i, v := range variants {
+		cols[i] = v.col
+	}
+	rows := make([]string, len(res.Sizes))
+	for i, s := range res.Sizes {
+		rows[i] = sizeLabel(s)
+	}
+	t := stats.NewTable(fmt.Sprintf("tune ladder (%dx%d)", nodes, ppn), "size", "us", cols, rows)
+	var cells []Cell
+	for i, size := range res.Sizes {
+		for _, v := range variants {
+			size, v, row := size, v, rows[i]
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("tune variant=%s tun=%+v nodes=%d ppn=%d bytes=%d warmup=%d iters=%d cfg=%s",
+					v.col, v.tun, nodes, ppn, size, o.Warmup, o.Iters, cfgKey(cfg)),
+				Run: func() ([]Value, error) {
+					run := func(cl core.Coll, rk *mpi.Rank, in, out []byte) { cl.Allgather(rk, in, out) }
+					if v.reduce {
+						run = func(cl core.Coll, rk *mpi.Rank, in, out []byte) { cl.Allreduce(rk, in, out, nums.Sum) }
+					}
+					us, err := tunePoint(cfg, nodes, ppn, size, o, run, v.tun, v.reduce)
+					if err != nil {
+						return nil, err
+					}
+					return []Value{{Table: 0, Row: row, Col: v.col, V: us}}, nil
+				},
+			})
 		}
-		ag2, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
-			cl.Allgather(r, in, out)
-		}, largeAG, false)
-		if err != nil {
-			return res, err
-		}
-		ar1, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
-			cl.Allreduce(r, in, out, nums.Sum)
-		}, smallAR, true)
-		if err != nil {
-			return res, err
-		}
-		ar2, err := tunePoint(cfg, nodes, ppn, size, o, func(cl core.Coll, r *mpi.Rank, in, out []byte) {
-			cl.Allreduce(r, in, out, nums.Sum)
-		}, largeAR, true)
-		if err != nil {
-			return res, err
-		}
+	}
+	tables, err := r.runPlan("tune", &Plan{Tables: []*stats.Table{t}, Cells: cells}, o)
+	if err != nil {
+		return res, err
+	}
+	ladder := tables[0]
+	for i, size := range res.Sizes {
+		ag1 := ladder.Get(rows[i], "AG-small")
+		ag2 := ladder.Get(rows[i], "AG-large")
+		ar1 := ladder.Get(rows[i], "AR-small")
+		ar2 := ladder.Get(rows[i], "AR-large")
 		res.AGSmall = append(res.AGSmall, ag1)
 		res.AGLarge = append(res.AGLarge, ag2)
 		res.ARSml = append(res.ARSml, ar1)

@@ -119,6 +119,35 @@ func (t *Table) Normalized(refCol string) *Table {
 	return out
 }
 
+// Equal reports whether two tables have identical structure and identical
+// cells (NaN cells compare equal) — the invariant the cached and parallel
+// benchmark paths must preserve against the serial path.
+func (t *Table) Equal(u *Table) bool {
+	if t.Title != u.Title || t.XLabel != u.XLabel || t.Unit != u.Unit ||
+		len(t.Columns) != len(u.Columns) || len(t.RowNames) != len(u.RowNames) {
+		return false
+	}
+	for i, c := range t.Columns {
+		if u.Columns[i] != c {
+			return false
+		}
+	}
+	for i, r := range t.RowNames {
+		if u.RowNames[i] != r {
+			return false
+		}
+	}
+	for i, row := range t.Cells {
+		for j, v := range row {
+			w := u.Cells[i][j]
+			if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Format renders the table as aligned ASCII.
 func (t *Table) Format() string {
 	var b strings.Builder
