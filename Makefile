@@ -13,9 +13,9 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel runner and the simulated clock are the only concurrent code;
-# run them under the race detector.
+# The parallel runner, the simulated clock and the shared observability
+# recorders are the only concurrent code; run them under the race detector.
 race:
-	$(GO) test -race ./internal/bench ./internal/simtime
+	$(GO) test -race ./internal/bench ./internal/simtime ./internal/obs ./internal/trace
 
 ci: vet build test race

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func run() error {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cells simulating concurrently (1 = serial)")
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
+	statsDump := flag.Bool("stats", false, "dump harness metrics (cells, cache hits/misses, wall time, queue wait) after the run")
 	flag.Parse()
 
 	if *list {
@@ -113,9 +115,11 @@ func run() error {
 		curID    string
 		figStart time.Time
 	)
+	reg := obs.NewRegistry()
 	runner := bench.NewRunner(bench.RunnerConfig{
 		Parallel: *parallel,
 		Cache:    cache,
+		Metrics:  reg,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rfig %-3s %d/%d cells  %5.1fs", curID, done, total,
 				time.Since(figStart).Seconds())
@@ -145,6 +149,10 @@ func run() error {
 	if cache != nil {
 		hits, misses := cache.Stats()
 		fmt.Printf("cache: %d hits, %d misses (%s)\n", hits, misses, cache.Dir())
+	}
+	if *statsDump {
+		fmt.Println()
+		reg.Dump(os.Stdout)
 	}
 	return nil
 }

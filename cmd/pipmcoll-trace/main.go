@@ -1,84 +1,124 @@
 // Command pipmcoll-trace runs one collective under a chosen library with
-// the event tracer attached and reports the communication structure: intra-
-// vs internode message counts and volumes, a causality check (every receive
-// at or after its matching send), and optionally the raw event timeline.
-// It makes the algorithmic differences between the profiles inspectable —
-// e.g. PiP-MColl's allgather moving node slabs once versus the flat
-// baseline's per-rank duplication.
+// the observability recorder attached and reports the communication
+// structure: intra- vs internode message counts and volumes, a causality
+// check (every receive at or after its matching send), and optionally the
+// raw event timeline, a metrics dump, a critical-path breakdown, or a
+// Perfetto trace. It makes the algorithmic differences between the
+// profiles inspectable — e.g. PiP-MColl's allgather moving node slabs once
+// versus the flat baseline's per-rank duplication.
 //
 // Usage:
 //
 //	pipmcoll-trace [-lib PiP-MColl] [-op allgather] [-nodes 4] [-ppn 4]
-//	               [-bytes 1024] [-events]
+//	               [-bytes 1024] [-events] [-metrics] [-critical-path]
+//	               [-perfetto out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"sort"
 
 	"repro/internal/libs"
 	"repro/internal/mpi"
 	"repro/internal/nums"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
+// ops maps each -op value to the body that runs it on a rank. Keeping the
+// table explicit lets the flag be validated (with the list of valid names)
+// before any simulation state is built.
+var ops = map[string]func(lib *libs.Library, r *mpi.Rank, size, bytesN int){
+	"scatter": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		var send []byte
+		if r.Rank() == 0 {
+			send = make([]byte, size*bytesN)
+		}
+		lib.Scatter(r, 0, send, make([]byte, bytesN))
+	},
+	"allgather": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		lib.Allgather(r, make([]byte, bytesN), make([]byte, size*bytesN))
+	},
+	"allreduce": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		lib.Allreduce(r, make([]byte, bytesN), make([]byte, bytesN), nums.Sum)
+	},
+	"bcast": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		lib.Bcast(r, 0, make([]byte, bytesN))
+	},
+	"gather": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		var recv []byte
+		if r.Rank() == 0 {
+			recv = make([]byte, size*bytesN)
+		}
+		lib.Gather(r, 0, make([]byte, bytesN), recv)
+	},
+	"reduce": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		var recv []byte
+		if r.Rank() == 0 {
+			recv = make([]byte, bytesN)
+		}
+		lib.Reduce(r, 0, make([]byte, bytesN), recv, nums.Sum)
+	},
+	"alltoall": func(lib *libs.Library, r *mpi.Rank, size, bytesN int) {
+		lib.Alltoall(r, make([]byte, size*bytesN), make([]byte, size*bytesN))
+	},
+}
+
+func opNames() []string {
+	names := make([]string, 0, len(ops))
+	for n := range ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipmcoll-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	libName := flag.String("lib", "PiP-MColl", "library profile (see pipmcoll-validate)")
-	op := flag.String("op", "allgather", "collective: scatter|allgather|allreduce|bcast|gather|reduce|alltoall")
+	op := flag.String("op", "allgather", "collective to run (one of the names below)")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	ppn := flag.Int("ppn", 4, "processes per node")
 	bytesN := flag.Int("bytes", 1024, "per-process payload (float64-aligned for reductions)")
 	events := flag.Bool("events", false, "dump the raw event timeline")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry (counters, gauges, histograms)")
+	critPath := flag.Bool("critical-path", false, "report the longest dependency chain with per-component virtual-time attribution")
+	perfetto := flag.String("perfetto", "", "write a Chrome trace_event / Perfetto JSON trace to this file (load at ui.perfetto.dev)")
 	flag.Parse()
 
+	body, ok := ops[*op]
+	if !ok {
+		return fmt.Errorf("unknown -op %q; valid ops: %v", *op, opNames())
+	}
 	lib, err := libs.ByName(*libName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+
 	cluster := topology.New(*nodes, *ppn, topology.Block)
 	world, err := mpi.NewWorld(cluster, lib.Config())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	rec := obs.NewRecorder()
+	world.Observe(rec)
 	lg := trace.NewLog(0)
 	world.SetTracer(lg)
 
 	size := cluster.Size()
 	if err := world.Run(func(r *mpi.Rank) {
-		switch *op {
-		case "scatter":
-			var send []byte
-			if r.Rank() == 0 {
-				send = make([]byte, size**bytesN)
-			}
-			lib.Scatter(r, 0, send, make([]byte, *bytesN))
-		case "allgather":
-			lib.Allgather(r, make([]byte, *bytesN), make([]byte, size**bytesN))
-		case "allreduce":
-			lib.Allreduce(r, make([]byte, *bytesN), make([]byte, *bytesN), nums.Sum)
-		case "bcast":
-			lib.Bcast(r, 0, make([]byte, *bytesN))
-		case "gather":
-			var recv []byte
-			if r.Rank() == 0 {
-				recv = make([]byte, size**bytesN)
-			}
-			lib.Gather(r, 0, make([]byte, *bytesN), recv)
-		case "reduce":
-			var recv []byte
-			if r.Rank() == 0 {
-				recv = make([]byte, *bytesN)
-			}
-			lib.Reduce(r, 0, make([]byte, *bytesN), recv, nums.Sum)
-		case "alltoall":
-			lib.Alltoall(r, make([]byte, size**bytesN), make([]byte, size**bytesN))
-		default:
-			log.Fatalf("unknown op %q", *op)
-		}
+		body(lib, r, size, *bytesN)
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	v := lg.Volume()
@@ -88,11 +128,35 @@ func main() {
 	fmt.Printf("           board copies are direct loads/stores and never appear here)\n")
 	fmt.Printf("makespan:  %v\n", world.Horizon())
 	if msg := lg.CheckCausality(); msg != "" {
-		log.Fatalf("causality violation: %s", msg)
+		return fmt.Errorf("causality violation: %s", msg)
 	}
 	fmt.Println("causality: ok (every receive at or after its matching send)")
+
+	if *critPath {
+		fmt.Println()
+		fmt.Print(rec.CriticalPath().Format())
+	}
+	if *metrics {
+		fmt.Println()
+		rec.Metrics().Dump(os.Stdout)
+	}
 	if *events {
 		fmt.Println()
 		fmt.Print(lg.Format())
 	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := rec.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("perfetto:  wrote %s (load at ui.perfetto.dev)\n", *perfetto)
+	}
+	return nil
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -21,6 +23,11 @@ type RunnerConfig struct {
 	// Progress, when non-nil, is called after each cell completes with
 	// the figure-wide completion count. Calls are serialized.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives harness counters and histograms:
+	// bench.cells / bench.cache.hits / bench.cache.misses, plus per-cell
+	// wall time and worker-pool queue wait (both in wall milliseconds —
+	// the harness measures its own real cost, not virtual time).
+	Metrics *obs.Registry
 }
 
 // Runner schedules a figure's independent cells over a bounded worker
@@ -61,9 +68,16 @@ func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			enq := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			start := time.Now()
 			results[i], errs[i] = r.runCell(figID, p.Cells[i], o)
+			if m := r.cfg.Metrics; m != nil {
+				m.Counter("bench.cells").Add(1)
+				m.Histogram("bench.cell.queue_wait_ms", obs.DefaultBuckets).Observe(start.Sub(enq).Seconds() * 1e3)
+				m.Histogram("bench.cell.wall_ms", obs.DefaultBuckets).Observe(time.Since(start).Seconds() * 1e3)
+			}
 			if r.cfg.Progress != nil {
 				mu.Lock()
 				done++
@@ -96,7 +110,13 @@ func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) 
 func (r *Runner) runCell(figID string, c Cell, o Opts) (vals []Value, err error) {
 	if r.cfg.Cache != nil {
 		if cached, ok := r.cfg.Cache.load(figID, c.Key, o); ok {
+			if m := r.cfg.Metrics; m != nil {
+				m.Counter("bench.cache.hits").Add(1)
+			}
 			return cached, nil
+		}
+		if m := r.cfg.Metrics; m != nil {
+			m.Counter("bench.cache.misses").Add(1)
 		}
 	}
 	defer func() {

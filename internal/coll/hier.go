@@ -58,14 +58,18 @@ func ScatterHier(r View, root int, send, recv []byte) {
 	}
 
 	// Internode: leaders scatter per-node slabs (ppn chunks each).
+	ph := r.r.PhaseStart("leader-scatter")
 	nodeSlab := make([]byte, ppn*chunk)
 	if isLeader(r) {
 		lv := LeaderView(r.r)
 		scatterTree(lv, rootNode, full, nodeSlab, tag+phaseStride)
 	}
+	ph.End()
 	// Intranode: each leader scatters its slab.
+	ph = r.r.PhaseStart("intra-scatter")
 	nv := NodeView(r.r)
 	scatterTree(nv, 0, nodeSlab, recv, tag+2*phaseStride)
+	ph.End()
 }
 
 // GatherHier is the mirror: intranode gather to leaders, internode gather
@@ -85,18 +89,22 @@ func GatherHier(r View, root int, send, recv []byte) {
 	leaderOfRoot := c.Rank(rootNode, 0)
 	ppn := c.PPN()
 
+	ph := r.r.PhaseStart("intra-gather")
 	nodeSlab := make([]byte, ppn*chunk)
 	nv := NodeView(r.r)
 	gatherTree(nv, 0, send, nodeSlab, tag)
+	ph.End()
 
 	full := recv
 	if r.r.Rank() == leaderOfRoot && root != leaderOfRoot {
 		full = make([]byte, size*chunk)
 	}
+	ph = r.r.PhaseStart("leader-gather")
 	if isLeader(r) {
 		lv := LeaderView(r.r)
 		gatherTree(lv, rootNode, nodeSlab, full, tag+phaseStride)
 	}
+	ph.End()
 	if root != leaderOfRoot {
 		if r.r.Rank() == leaderOfRoot {
 			r.r.Send(root, tag+2*phaseStride, full)
@@ -124,10 +132,14 @@ func BcastHier(r View, root int, buf []byte) {
 			r.r.Recv(root, tag, buf)
 		}
 	}
+	ph := r.r.PhaseStart("leader-bcast")
 	if isLeader(r) {
 		bcastTree(LeaderView(r.r), rootNode, buf, tag+phaseStride)
 	}
+	ph.End()
+	ph = r.r.PhaseStart("intra-bcast")
 	bcastTree(NodeView(r.r), 0, buf, tag+2*phaseStride)
+	ph.End()
 }
 
 // AllgatherHier gathers chunks within each node, allgathers node slabs
@@ -141,8 +153,11 @@ func AllgatherHier(r View, send, recv []byte, ringThreshold int) {
 	checkChunk("allgather", c.Size(), chunk, len(recv))
 	ppn := c.PPN()
 
+	ph := r.r.PhaseStart("intra-gather")
 	nodeSlab := make([]byte, ppn*chunk)
 	gatherTree(NodeView(r.r), 0, send, nodeSlab, tag)
+	ph.End()
+	ph = r.r.PhaseStart("leader-allgather")
 	if isLeader(r) {
 		lv := LeaderView(r.r)
 		if len(recv) > ringThreshold {
@@ -153,7 +168,10 @@ func AllgatherHier(r View, send, recv []byte, ringThreshold int) {
 			allgatherBruck(lv, nodeSlab, recv, tag+phaseStride)
 		}
 	}
+	ph.End()
+	ph = r.r.PhaseStart("intra-bcast")
 	bcastTree(NodeView(r.r), 0, recv, tag+2*phaseStride)
+	ph.End()
 }
 
 // AllreduceHier reduces within each node to the leader, allreduces among
@@ -164,8 +182,11 @@ func AllreduceHier(r View, send, recv []byte, op nums.Op, ringThreshold int) {
 	tag := newTagWindow(r.r)
 	checkReduceBufs(send, recv)
 
+	ph := r.r.PhaseStart("intra-reduce")
 	partial := make([]byte, len(send))
 	reduceTree(NodeView(r.r), 0, send, partial, op, tag)
+	ph.End()
+	ph = r.r.PhaseStart("leader-allreduce")
 	if isLeader(r) {
 		lv := LeaderView(r.r)
 		if len(send) > ringThreshold {
@@ -174,5 +195,8 @@ func AllreduceHier(r View, send, recv []byte, op nums.Op, ringThreshold int) {
 			allreduceRecDoubling(lv, partial, recv, op, tag+phaseStride)
 		}
 	}
+	ph.End()
+	ph = r.r.PhaseStart("intra-bcast")
 	bcastTree(NodeView(r.r), 0, recv, tag+3*phaseStride)
+	ph.End()
 }

@@ -47,6 +47,7 @@ func AllgatherSmall(r *mpi.Rank, send, recv []byte) {
 	// Step 1: intranode gather into the local root's staging buffer B,
 	// which accumulates node slabs in *relative* node order: segment s
 	// holds the slab of node (me+s) mod N.
+	ph := r.PhaseStart("intra-gather")
 	var B []byte
 	var ownSlab []byte
 	if r.Local() == 0 {
@@ -60,12 +61,14 @@ func AllgatherSmall(r *mpi.Rank, send, recv []byte) {
 		B = env.Read(p, epoch, 0, slotMain).([]byte)
 	}
 	nb.wait() // gather complete before anyone ships segment 0
+	ph.End()
 
 	// Steps 2-4: multi-object Bruck over node slabs, base Bk = P+1.
 	// After a full stage with span Sp, B holds segments [0, Sp*(P+1)).
 	Bk := P + 1
 	Sp := 1
 	stage := 0
+	ph = r.PhaseStart("internode-bruck")
 	for Sp*Bk <= N {
 		// Process l exchanges with node offset (l+1)*Sp: sends the
 		// currently held Sp segments, receives the peer's Sp segments
@@ -110,14 +113,17 @@ func AllgatherSmall(r *mpi.Rank, send, recv []byte) {
 		}
 		nb.wait()
 	}
+	ph.End()
 
 	// Step 6: shift into absolute rank order and broadcast. The shift is
 	// folded into the broadcast copy-out: every process (root included)
 	// copies the staged slabs from B into its own result buffer with the
 	// rotation applied — two contiguous copies, all P processes in
 	// parallel, no serial root pass.
+	ph = r.PhaseStart("intra-bcast")
 	sh.Memcpy(p, recv[me*blk:], B[:(N-me)*blk])
 	sh.Memcpy(p, recv[:me*blk], B[(N-me)*blk:])
+	ph.End()
 	finish(r, epoch, nb)
 }
 
@@ -153,6 +159,7 @@ func AllgatherLarge(r *mpi.Rank, send, recv []byte) {
 
 	// Step 1: intranode gather into the local root's recv at this node's
 	// own slab position; post the shared result buffer.
+	ph := r.PhaseStart("intra-gather")
 	var shared []byte
 	if l == 0 {
 		shared = recv
@@ -163,6 +170,7 @@ func AllgatherLarge(r *mpi.Rank, send, recv []byte) {
 		shared = env.Read(p, epoch, 0, slotMain).([]byte)
 	}
 	nb.wait()
+	ph.End()
 
 	// Steps 2-5: ring over nodes; process l carries sub-chunk l of each
 	// slab. Overlap: while step s's messages are in flight, copy the slab
@@ -170,6 +178,7 @@ func AllgatherLarge(r *mpi.Rank, send, recv []byte) {
 	// recv buffer.
 	left := (me - 1 + N) % N
 	right := (me + 1) % N
+	ph = r.PhaseStart("internode-ring")
 	for s := 0; s < N-1; s++ {
 		sendSlab := (me - s + 2*N) % N
 		recvSlab := (me - s - 1 + 2*N) % N
@@ -196,6 +205,7 @@ func AllgatherLarge(r *mpi.Rank, send, recv []byte) {
 		cp := (me + 1) % N
 		sh.Memcpy(p, recv[cp*blk:(cp+1)*blk], shared[cp*blk:(cp+1)*blk])
 	}
+	ph.End()
 	finish(r, epoch, nb)
 }
 

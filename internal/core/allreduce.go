@@ -63,6 +63,7 @@ func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
 
 	// Step 1: intranode reduce into the local root's accumulator acc,
 	// shared on the board.
+	ph := r.PhaseStart("intra-reduce")
 	var acc []byte
 	if l == 0 {
 		acc = make([]byte, V)
@@ -74,6 +75,7 @@ func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
 		acc = env.Read(p, epoch, 0, slotMain).([]byte)
 	}
 	nb.wait()
+	ph.End()
 
 	// Full multi-object Bruck stages. Invariant: entering a stage with
 	// span Sp, acc holds the partial sum over nodes [me, me+Sp). The
@@ -96,6 +98,7 @@ func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	}
 	snaps := []([]byte){snapshot()} // span-1 snapshot (stage 0)
 
+	ph = r.PhaseStart("internode-bruck")
 	for Sp*Bk <= N {
 		off := (l + 1) * Sp
 		srcNode := (me + off) % N
@@ -118,6 +121,7 @@ func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
 		stage++
 		snaps = append(snaps, snapshot())
 	}
+	ph.End()
 
 	// Remainder phase: cover nodes [me+Sp, me+N) with snapshot partials.
 	// Decompose rem = N-Sp in base Bk and schedule one fetch per digit
@@ -170,10 +174,12 @@ func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	}
 
 	// Step 7: broadcast the full result intranode.
+	ph = r.PhaseStart("intra-bcast")
 	if l == 0 {
 		sh.Memcpy(p, recv, acc)
 	}
 	intraBcast(r, epoch, slotSpan, 0, recv, 1<<62) // small-message temp-buffer path
+	ph.End()
 	finish(r, epoch, nb)
 }
 
@@ -204,6 +210,7 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 
 	// Step 1: chunked intranode reduce into the local root's shared
 	// accumulator.
+	ph := r.PhaseStart("intra-reduce")
 	var acc []byte
 	if l == 0 {
 		acc = make([]byte, V)
@@ -215,6 +222,7 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 		acc = env.Read(p, epoch, 0, slotMain).([]byte)
 	}
 	nb.wait()
+	ph.End()
 
 	// Steps 3-4: internode reduce-scatter. The vector splits into N node
 	// chunks; node q owns chunk q. Process l serves nodes
@@ -228,6 +236,7 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	rangeCnts, rangeDisps := blockCounts(N, P)
 	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
 
+	ph = r.PhaseStart("internode-reduce-scatter")
 	var sendReqs []*mpi.Request
 	for q := loQ; q < hiQ; q++ {
 		if q == me || cnts[q] == 0 {
@@ -250,6 +259,7 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 		r.Wait(q)
 	}
 	nb.wait()
+	ph.End()
 
 	// Step 5: multi-object ring allgather of the node chunks with
 	// overlapped intranode broadcast, mirroring AllgatherLarge but over
@@ -270,6 +280,7 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 			sh.Memcpy(p, chunkOf(recv, q), chunkOf(acc, q))
 		}
 	}
+	ph = r.PhaseStart("internode-ring")
 	for s := 0; s < N-1; s++ {
 		sendQ := (me - s + 2*N) % N
 		recvQ := (me - s - 1 + 2*N) % N
@@ -294,5 +305,6 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	if l == 0 {
 		sh.Memcpy(p, recv, acc)
 	}
+	ph.End()
 	finish(r, epoch, nb)
 }

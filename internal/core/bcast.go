@@ -69,6 +69,7 @@ func bcastSmall(r *mpi.Rank, root int, buf []byte, intraLarge int) {
 	if vnode == 0 {
 		owner = rootLocalOnNode
 	}
+	ph := r.PhaseStart("internode-tree")
 	for round := 0; hi-lo > 1; round++ {
 		sizes, starts := splitParts(hi-lo, P+1)
 		if vnode == lo {
@@ -93,7 +94,10 @@ func bcastSmall(r *mpi.Rank, root int, buf []byte, intraLarge int) {
 		lo, hi = recvV, recvV+sizes[part]
 	}
 
+	ph.End()
+
 	// Intranode broadcast out of the posted slab.
+	ph = r.PhaseStart("intra-bcast")
 	src := read(owner)
 	if r.Rank() != root {
 		r.Env().Shm().Memcpy(p, buf, src)
@@ -101,6 +105,7 @@ func bcastSmall(r *mpi.Rank, root int, buf []byte, intraLarge int) {
 	for _, q := range sendReqs {
 		r.Wait(q)
 	}
+	ph.End()
 	finish(r, epoch, nb)
 }
 

@@ -75,6 +75,7 @@ func Scatter(r *mpi.Rank, root int, send, recv []byte) {
 	}
 	rootOwner := c.Local(root) // board owner on the root's node
 
+	ph := r.PhaseStart("internode-tree")
 	lo, hi := 0, N
 	for round := 0; hi-lo > 1; round++ {
 		sizes, starts := splitParts(hi-lo, P+1)
@@ -108,8 +109,11 @@ func Scatter(r *mpi.Rank, root int, send, recv []byte) {
 		lo, hi = recvV, recvV+sizes[part]
 	}
 
+	ph.End()
+
 	// Leaf: make sure the slab is visible and the own chunk copied (this
 	// is where non-root processes of every node land).
+	ph = r.PhaseStart("intra-scatter")
 	if vnode == 0 {
 		readD(rootOwner)
 	} else {
@@ -120,6 +124,7 @@ func Scatter(r *mpi.Rank, root int, send, recv []byte) {
 	for _, q := range sendReqs {
 		r.Wait(q)
 	}
+	ph.End()
 	finish(r, epoch, nb)
 }
 

@@ -24,6 +24,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -140,8 +141,18 @@ type Packet struct {
 // Stats aggregates per-fabric traffic counters, used by tests and by the
 // Figure 1 harness to compute achieved rates.
 type Stats struct {
-	Messages int64
-	Bytes    int64
+	Messages   int64
+	Bytes      int64
+	Eager      int64 // messages at or below the eager limit
+	Rendezvous int64 // messages that paid the RTS/CTS handshake
+}
+
+// NodeStats aggregates traffic injected by one node (source-side).
+type NodeStats struct {
+	Messages   int64
+	Bytes      int64
+	Eager      int64
+	Rendezvous int64
 }
 
 // Fabric is the cluster-wide interconnect. It is not safe for concurrent use
@@ -160,7 +171,11 @@ type Fabric struct {
 	upTx    []simtime.Station  // [group] uplink toward the spine
 	upRx    []simtime.Station  // [group] downlink from the spine
 
-	stats Stats
+	stats     Stats
+	nodeStats []NodeStats // [node], source-side
+	rate      []rateRing  // [node], tx-link start times in the rate window
+
+	rec *obs.Recorder
 }
 
 // New builds a fabric for nodes × queuesPerNode endpoints.
@@ -177,9 +192,11 @@ func New(nodes, queuesPerNode int, params Params) (*Fabric, error) {
 		queues:  queuesPerNode,
 		txQueue: make([]simtime.Station, nodes*queuesPerNode),
 		rxQueue: make([]simtime.Station, nodes*queuesPerNode),
-		txLink:  make([]simtime.Station, nodes),
-		rxLink:  make([]simtime.Station, nodes),
-		inbox:   make([]*simtime.Mailbox, nodes*queuesPerNode),
+		txLink:    make([]simtime.Station, nodes),
+		rxLink:    make([]simtime.Station, nodes),
+		inbox:     make([]*simtime.Mailbox, nodes*queuesPerNode),
+		nodeStats: make([]NodeStats, nodes),
+		rate:      make([]rateRing, nodes),
 	}
 	for i := range f.inbox {
 		f.inbox[i] = &simtime.Mailbox{}
@@ -272,6 +289,14 @@ func (f *Fabric) Inbox(ep Endpoint) *simtime.Mailbox { return f.inbox[f.index(ep
 // Sending to an endpoint on the same node is a programming error in the
 // layers above (intranode traffic goes through shared memory) and panics.
 func (f *Fabric) Send(p *simtime.Proc, src, dst Endpoint, n int, payload any) simtime.Time {
+	done, _ := f.SendTraced(p, src, dst, n, payload)
+	return done
+}
+
+// SendTraced is Send returning, additionally, the full stage-by-stage timing
+// of the message's fabric traversal, for observability and critical-path
+// attribution.
+func (f *Fabric) SendTraced(p *simtime.Proc, src, dst Endpoint, n int, payload any) (simtime.Time, SendTrace) {
 	if src.Node == dst.Node {
 		panic(fmt.Sprintf("fabric: intranode send %+v -> %+v (use shm)", src, dst))
 	}
@@ -279,32 +304,39 @@ func (f *Fabric) Send(p *simtime.Proc, src, dst Endpoint, n int, payload any) si
 		panic(fmt.Sprintf("fabric: negative payload size %d", n))
 	}
 	pr := f.params
-	issued := p.Now()
+	tr := SendTrace{Src: src, Dst: dst, Bytes: n}
+	tr.Issue = p.Now()
 	p.Advance(pr.SendCPU)
+	tr.CPUDone = p.Now()
 
 	if f.window != nil {
 		// Injection flow control: block until the oldest outstanding
 		// send on this endpoint has cleared the injection queue.
 		if wait := f.window[f.index(src)].oldest(); wait > p.Now() {
-			p.Sleep(wait.Sub(p.Now()))
+			p.SleepLabeled(wait.Sub(p.Now()), "inject-window")
 		}
 	}
+	tr.WindowFree = p.Now()
 
 	start := p.Now()
-	rendezvous := n > pr.EagerLimit
-	if rendezvous {
+	tr.Rendezvous = n > pr.EagerLimit
+	if tr.Rendezvous {
 		// RTS/CTS handshake: one round trip before any payload moves.
 		// The handshake itself rides the message-rate machinery as two
 		// tiny control messages; we charge their latency but not their
 		// (negligible) serialization.
 		start = start.Add(2*pr.WireLatency + 2*pr.LinkOverhead)
 	}
+	tr.HandshakeDone = start
 
 	qService := pr.QueueOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
-	_, qDone := f.txQueue[f.index(src)].Use(start, qService)
+	qStart, qDone := f.txQueue[f.index(src)].Use(start, qService)
+	tr.QueueStart, tr.QueueDone = qStart, qDone
+	tr.QueueProcDone = qStart.Add(pr.QueueOverhead)
 
 	lService := maxDuration(pr.LinkOverhead, simtime.TransferTime(n, pr.LinkBandwidth))
-	_, lDone := f.txLink[src.Node].Use(qDone, lService)
+	lStart, lDone := f.txLink[src.Node].Use(qDone, lService)
+	tr.LinkStart, tr.LinkDone = lStart, lDone
 
 	arrive := lDone.Add(pr.WireLatency)
 	if pr.GroupSize > 0 {
@@ -314,36 +346,44 @@ func (f *Fabric) Send(p *simtime.Proc, src, dst Endpoint, n int, payload any) si
 			// Inter-group: serialize through both groups' uplinks and
 			// pay the spine hop.
 			gService := simtime.TransferTime(n, pr.GroupBandwidth)
-			_, upDone := f.upTx[srcGroup].Use(lDone, gService)
+			upStart, upDone := f.upTx[srcGroup].Use(lDone, gService)
 			spine := upDone.Add(pr.GroupLatency)
-			_, downDone := f.upRx[dstGroup].Use(spine, gService)
+			downStart, downDone := f.upRx[dstGroup].Use(spine, gService)
 			arrive = downDone.Add(pr.WireLatency)
+			tr.Grouped = true
+			tr.UpStart, tr.UpDone = upStart, upDone
+			tr.DownStart, tr.DownDone = downStart, downDone
 		}
 	}
-	_, rlDone := f.rxLink[dst.Node].Use(arrive, lService)
+	tr.Arrive = arrive
+	rlStart, rlDone := f.rxLink[dst.Node].Use(arrive, lService)
+	tr.RxLinkStart, tr.RxLinkDone = rlStart, rlDone
 
 	rService := pr.RecvOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
-	_, rqDone := f.rxQueue[f.index(dst)].Use(rlDone, rService)
+	rqStart, rqDone := f.rxQueue[f.index(dst)].Use(rlDone, rService)
+	tr.RxQueueStart, tr.RxQueueDone = rqStart, rqDone
+	tr.RxProcDone = rqStart.Add(pr.RecvOverhead)
 
 	if f.window != nil {
 		f.window[f.index(src)].push(qDone)
 	}
 
-	f.stats.Messages++
-	f.stats.Bytes += int64(n)
+	f.account(&tr)
 
 	f.inbox[f.index(dst)].PutAt(p, rqDone, Packet{
-		Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: issued,
+		Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: tr.Issue,
 	})
 
-	if rendezvous {
+	if tr.Rendezvous {
 		// Large sends complete only when the payload has cleared the
 		// node link: the source buffer is pinned until then.
-		return lDone
+		tr.Complete = lDone
+	} else {
+		// Eager sends complete when the local queue stage has consumed
+		// the buffer (the NIC has its own copy in flight).
+		tr.Complete = qDone
 	}
-	// Eager sends complete when the local queue stage has consumed the
-	// buffer (the NIC has its own copy in flight).
-	return qDone
+	return tr.Complete, tr
 }
 
 // windowRing tracks the injection-queue completion times of the most recent

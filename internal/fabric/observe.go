@@ -1,0 +1,189 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// SendTrace is the stage-by-stage timing of one internode message, captured
+// by SendTraced. All times are absolute virtual timestamps; group-uplink
+// fields are meaningful only when Grouped is true.
+type SendTrace struct {
+	Src, Dst   Endpoint
+	Bytes      int
+	Rendezvous bool
+	Grouped    bool
+
+	Issue         simtime.Time // sender's clock at the Send call
+	CPUDone       simtime.Time // after the send-CPU charge
+	WindowFree    simtime.Time // after any injection-window stall
+	HandshakeDone simtime.Time // after the RTS/CTS round trip (== WindowFree when eager)
+	QueueStart    simtime.Time // injection-queue service start
+	QueueProcDone simtime.Time // QueueStart + per-message queue overhead
+	QueueDone     simtime.Time // injection DMA complete
+	LinkStart     simtime.Time // node tx-link service start
+	LinkDone      simtime.Time
+	UpStart       simtime.Time // group uplink (Grouped only)
+	UpDone        simtime.Time
+	DownStart     simtime.Time // group downlink (Grouped only)
+	DownDone      simtime.Time
+	Arrive        simtime.Time // at the destination node, before its rx link
+	RxLinkStart   simtime.Time
+	RxLinkDone    simtime.Time
+	RxQueueStart  simtime.Time // drain-queue service start
+	RxProcDone    simtime.Time // RxQueueStart + per-message receive overhead
+	RxQueueDone   simtime.Time // payload visible to the receiving process
+	Complete      simtime.Time // sender-local completion (buffer reusable)
+}
+
+// Stages decomposes the traversal [Issue, RxQueueDone] into contiguous
+// cost-component intervals for the critical-path analyzer: send-cpu,
+// injection (window stalls, queue waits, per-message queue overhead),
+// rendezvous, dma, link-queue (waiting for a busy serial link), link, wire,
+// recv-cpu.
+func (t SendTrace) Stages() []obs.Stage {
+	var out []obs.Stage
+	cur := t.Issue
+	add := func(cat string, to simtime.Time) {
+		if to > cur {
+			out = append(out, obs.Stage{Cat: cat, Start: cur, End: to})
+			cur = to
+		}
+	}
+	add("send-cpu", t.CPUDone)
+	add("injection", t.WindowFree)
+	add("rendezvous", t.HandshakeDone)
+	add("injection", t.QueueStart) // waiting behind the queue's earlier jobs
+	add("injection", t.QueueProcDone)
+	add("dma", t.QueueDone)
+	add("link-queue", t.LinkStart)
+	add("link", t.LinkDone)
+	if t.Grouped {
+		add("link-queue", t.UpStart)
+		add("link", t.UpDone)
+		add("wire", t.DownStart)
+		add("link", t.DownDone)
+	}
+	add("wire", t.Arrive)
+	add("link-queue", t.RxLinkStart)
+	add("link", t.RxLinkDone)
+	add("link-queue", t.RxQueueStart)
+	add("recv-cpu", t.RxProcDone)
+	add("dma", t.RxQueueDone)
+	return out
+}
+
+// RateWindow is the sliding window over which per-node message rates are
+// reported (MessageRateWindow, and the "n<i> msg-rate" counter track).
+const RateWindow = simtime.Duration(10_000_000) // 10 µs in picoseconds
+
+// rateRing tracks one node's tx-link service starts inside the rate window.
+// Starts arrive mostly-but-not-strictly increasing (the earliest-fit Station
+// can backfill gaps), so the ring keeps everything newer than max-window and
+// counts against the newest start.
+type rateRing struct {
+	starts []simtime.Time
+	max    simtime.Time
+}
+
+func (r *rateRing) add(t simtime.Time) {
+	if t > r.max {
+		r.max = t
+	}
+	horizon := r.max.Add(-RateWindow)
+	kept := r.starts[:0]
+	for _, s := range r.starts {
+		if s > horizon {
+			kept = append(kept, s)
+		}
+	}
+	r.starts = kept
+	if t > horizon {
+		r.starts = append(r.starts, t)
+	}
+}
+
+func (r *rateRing) count() int { return len(r.starts) }
+
+// Observe attaches a recorder: fabric resource tracks are pre-registered in
+// topology order (so track layout is independent of traffic), and every
+// subsequent send records per-resource display spans, per-node message-rate
+// counter samples, and protocol metrics.
+func (f *Fabric) Observe(rec *obs.Recorder) {
+	f.rec = rec
+	if rec == nil || rec.Lite() {
+		return
+	}
+	for nd := 0; nd < f.nodes; nd++ {
+		for q := 0; q < f.queues; q++ {
+			rec.RegisterResource(fmt.Sprintf("n%d q%d tx", nd, q))
+		}
+		rec.RegisterResource(fmt.Sprintf("n%d link-tx", nd))
+		rec.RegisterResource(fmt.Sprintf("n%d link-rx", nd))
+		for q := 0; q < f.queues; q++ {
+			rec.RegisterResource(fmt.Sprintf("n%d q%d rx", nd, q))
+		}
+	}
+}
+
+// NodeStats returns the source-side traffic counters of one node.
+func (f *Fabric) NodeStats(node int) NodeStats {
+	if node < 0 || node >= f.nodes {
+		panic(fmt.Sprintf("fabric: node %d outside %d-node fabric", node, f.nodes))
+	}
+	return f.nodeStats[node]
+}
+
+// MessageRateWindow returns how many messages started tx-link service on the
+// node within RateWindow of the node's most recent service start.
+func (f *Fabric) MessageRateWindow(node int) int {
+	if node < 0 || node >= f.nodes {
+		panic(fmt.Sprintf("fabric: node %d outside %d-node fabric", node, f.nodes))
+	}
+	return f.rate[node].count()
+}
+
+// account updates global/per-node stats and, when a recorder is attached,
+// emits the message's resource spans, rate samples and protocol metrics.
+func (f *Fabric) account(tr *SendTrace) {
+	f.stats.Messages++
+	f.stats.Bytes += int64(tr.Bytes)
+	ns := &f.nodeStats[tr.Src.Node]
+	ns.Messages++
+	ns.Bytes += int64(tr.Bytes)
+	proto := "eager"
+	if tr.Rendezvous {
+		f.stats.Rendezvous++
+		ns.Rendezvous++
+		proto = "rendezvous"
+	} else {
+		f.stats.Eager++
+		ns.Eager++
+	}
+	f.rate[tr.Src.Node].add(tr.LinkStart)
+
+	rec := f.rec
+	if rec == nil {
+		return
+	}
+	reg := rec.Metrics()
+	reg.Counter("fabric." + proto).Add(1)
+	reg.Counter("fabric.messages").Add(1)
+	reg.Counter("fabric.bytes").Add(int64(tr.Bytes))
+	if rec.Lite() {
+		return
+	}
+	name := fmt.Sprintf("%dB n%d→n%d", tr.Bytes, tr.Src.Node, tr.Dst.Node)
+	rec.ResourceSpan(fmt.Sprintf("n%d q%d tx", tr.Src.Node, tr.Src.Queue),
+		name, proto, tr.QueueStart, tr.QueueDone)
+	rec.ResourceSpan(fmt.Sprintf("n%d link-tx", tr.Src.Node),
+		name, proto, tr.LinkStart, tr.LinkDone)
+	rec.ResourceSpan(fmt.Sprintf("n%d link-rx", tr.Dst.Node),
+		name, proto, tr.RxLinkStart, tr.RxLinkDone)
+	rec.ResourceSpan(fmt.Sprintf("n%d q%d rx", tr.Dst.Node, tr.Dst.Queue),
+		name, proto, tr.RxQueueStart, tr.RxQueueDone)
+	rec.CounterSample(fmt.Sprintf("n%d msg-rate", tr.Src.Node),
+		tr.LinkStart, float64(f.rate[tr.Src.Node].count()))
+}

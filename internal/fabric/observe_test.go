@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// contentionParams gives round numbers so every station booking below can
+// be computed by hand: 1 B/ns queue DMA, 2 B/ns link, 100 ns wire.
+func contentionParams() Params {
+	return Params{
+		WireLatency:    100 * simtime.Nanosecond,
+		QueueOverhead:  50 * simtime.Nanosecond,
+		QueueBandwidth: 1.0e9, // 1 B/ns
+		LinkOverhead:   10 * simtime.Nanosecond,
+		LinkBandwidth:  2.0e9, // 2 B/ns
+		RecvOverhead:   20 * simtime.Nanosecond,
+		SendCPU:        5 * simtime.Nanosecond,
+		EagerLimit:     1 << 20,
+	}
+}
+
+// TestLinkReportMultiQueueContention runs the canonical 2-node 2-queue
+// scenario — both of node 0's queues inject a 1000 B eager message to node 1
+// at t=0 — and checks Stats, NodeStats, LinkReport and MessageRateWindow
+// against hand-computed values.
+//
+// Per-sender timeline (independent queues, shared link):
+//
+//	CPUDone   = 5 ns
+//	qService  = 50 + 1000/1 = 1050 ns  → both qDone = 1055 ns
+//	lService  = max(10, 1000/2) = 500 ns
+//	txLink    = [1055,1555] and [1555,2055] (earliest-fit, serial)
+//	arrive    = lDone + 100 → 1655 / 2155
+//	rxLink    = [1655,2155] and [2155,2655]
+//	rService  = 20 + 1000 = 1020 ns → rxQueue [2155,3175] / [2655,3675]
+func TestLinkReportMultiQueueContention(t *testing.T) {
+	pr := contentionParams()
+	f := MustNew(2, 2, pr)
+	e := simtime.NewEngine()
+	const n = 1000
+
+	sendDone := make([]simtime.Time, 2)
+	recvAt := make([]simtime.Time, 2)
+	for q := 0; q < 2; q++ {
+		q := q
+		e.Spawn("sender", func(p *simtime.Proc) {
+			sendDone[q] = f.Send(p, Endpoint{0, q}, Endpoint{1, q}, n, nil)
+		})
+		e.Spawn("recver", func(p *simtime.Proc) {
+			f.Inbox(Endpoint{1, q}).Get(p, nil)
+			recvAt[q] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ns := func(x int64) simtime.Duration { return simtime.Duration(x) * simtime.Nanosecond }
+	at := func(x int64) simtime.Time { return simtime.Time(0).Add(ns(x)) }
+
+	// Eager sends complete at their (uncontended) queue stage.
+	for q, d := range sendDone {
+		if d != at(1055) {
+			t.Errorf("sender %d done at %v, want %v", q, d, at(1055))
+		}
+	}
+	// Receives land at the serialized rx-queue completions, one per slot.
+	gotRecv := []simtime.Time{recvAt[0], recvAt[1]}
+	if gotRecv[0] > gotRecv[1] {
+		gotRecv[0], gotRecv[1] = gotRecv[1], gotRecv[0]
+	}
+	if gotRecv[0] != at(3175) || gotRecv[1] != at(3675) {
+		t.Errorf("recv times %v, want [%v %v]", gotRecv, at(3175), at(3675))
+	}
+
+	s := f.Stats()
+	if s.Messages != 2 || s.Bytes != 2*n || s.Eager != 2 || s.Rendezvous != 0 {
+		t.Errorf("Stats = %+v, want 2 eager messages, %d bytes", s, 2*n)
+	}
+	n0, n1 := f.NodeStats(0), f.NodeStats(1)
+	if n0.Messages != 2 || n0.Bytes != 2*n || n0.Eager != 2 || n0.Rendezvous != 0 {
+		t.Errorf("NodeStats(0) = %+v, want all traffic source-side", n0)
+	}
+	if n1.Messages != 0 {
+		t.Errorf("NodeStats(1) = %+v, want zero (source-side accounting)", n1)
+	}
+
+	// Node 0: tx side only. Link busy 2×500 ns; the two injection queues
+	// each busy 1050 ns; second link booking drains at 2055 ns.
+	l0 := f.Link(0)
+	if l0.TxBusy != ns(1000) {
+		t.Errorf("node0 TxBusy = %v, want %v", l0.TxBusy, ns(1000))
+	}
+	if l0.TxLast != at(2055) {
+		t.Errorf("node0 TxLast = %v, want %v", l0.TxLast, at(2055))
+	}
+	if l0.TxQueueBusy != ns(2100) {
+		t.Errorf("node0 TxQueueBusy = %v, want %v", l0.TxQueueBusy, ns(2100))
+	}
+	if l0.TxQueueLast != at(1055) {
+		t.Errorf("node0 TxQueueLast = %v, want %v", l0.TxQueueLast, at(1055))
+	}
+	if l0.RxBusy != 0 || l0.RxQueueBusy != 0 {
+		t.Errorf("node0 rx side busy (%v, %v), want idle", l0.RxBusy, l0.RxQueueBusy)
+	}
+
+	// Node 1: rx side only. Link busy 2×500 ns ending at 2655 ns; drain
+	// queues each busy 1020 ns, the later one ending at 3675 ns.
+	l1 := f.Link(1)
+	if l1.RxBusy != ns(1000) {
+		t.Errorf("node1 RxBusy = %v, want %v", l1.RxBusy, ns(1000))
+	}
+	if l1.RxLast != at(2655) {
+		t.Errorf("node1 RxLast = %v, want %v", l1.RxLast, at(2655))
+	}
+	if l1.RxQueueBusy != ns(2040) {
+		t.Errorf("node1 RxQueueBusy = %v, want %v", l1.RxQueueBusy, ns(2040))
+	}
+	if l1.RxQueueLast != at(3675) {
+		t.Errorf("node1 RxQueueLast = %v, want %v", l1.RxQueueLast, at(3675))
+	}
+	if l1.TxBusy != 0 || l1.TxQueueBusy != 0 {
+		t.Errorf("node1 tx side busy (%v, %v), want idle", l1.TxBusy, l1.TxQueueBusy)
+	}
+
+	// Both tx-link starts (1055 ns, 1555 ns) fall inside the 10 µs rate
+	// window, attributed to the source node.
+	if got := f.MessageRateWindow(0); got != 2 {
+		t.Errorf("MessageRateWindow(0) = %d, want 2", got)
+	}
+	if got := f.MessageRateWindow(1); got != 0 {
+		t.Errorf("MessageRateWindow(1) = %d, want 0", got)
+	}
+}
+
+// TestRendezvousTraceTimeline pins the full stage timeline of one
+// rendezvous send: the RTS/CTS handshake (2×wire + 2×link overhead =
+// 220 ns) delays the queue stage, and completion is at link drain.
+func TestRendezvousTraceTimeline(t *testing.T) {
+	pr := contentionParams()
+	pr.EagerLimit = 100 // force rendezvous for the 1000 B payload
+	f := MustNew(2, 1, pr)
+	e := simtime.NewEngine()
+	const n = 1000
+	var tr SendTrace
+	var done simtime.Time
+	e.Spawn("sender", func(p *simtime.Proc) {
+		done, tr = f.SendTraced(p, Endpoint{0, 0}, Endpoint{1, 0}, n, nil)
+	})
+	e.Spawn("recver", func(p *simtime.Proc) {
+		f.Inbox(Endpoint{1, 0}).Get(p, nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	at := func(x int64) simtime.Time {
+		return simtime.Time(0).Add(simtime.Duration(x) * simtime.Nanosecond)
+	}
+	want := []struct {
+		name string
+		got  simtime.Time
+		at   simtime.Time
+	}{
+		{"Issue", tr.Issue, at(0)},
+		{"CPUDone", tr.CPUDone, at(5)},
+		{"HandshakeDone", tr.HandshakeDone, at(225)}, // 5 + 2*100 + 2*10
+		{"QueueDone", tr.QueueDone, at(1275)},        // 225 + 1050
+		{"LinkDone", tr.LinkDone, at(1775)},          // 1275 + 500
+		{"Arrive", tr.Arrive, at(1875)},              // + wire
+		{"RxLinkDone", tr.RxLinkDone, at(2375)},      // + 500
+		{"RxQueueDone", tr.RxQueueDone, at(3395)},    // + 1020
+	}
+	for _, w := range want {
+		if w.got != w.at {
+			t.Errorf("%s = %v, want %v", w.name, w.got, w.at)
+		}
+	}
+	if !tr.Rendezvous {
+		t.Error("trace not marked rendezvous")
+	}
+	if done != tr.LinkDone {
+		t.Errorf("rendezvous completed at %v, want link drain %v", done, tr.LinkDone)
+	}
+	s := f.Stats()
+	if s.Rendezvous != 1 || s.Eager != 0 {
+		t.Errorf("Stats = %+v, want 1 rendezvous, 0 eager", s)
+	}
+	// The stage decomposition must tile [Issue, RxQueueDone] contiguously.
+	stages := tr.Stages()
+	if len(stages) == 0 {
+		t.Fatal("no stages")
+	}
+	cursor := tr.Issue
+	for _, st := range stages {
+		if st.Start != cursor {
+			t.Errorf("stage %q starts at %v, want %v (gap)", st.Cat, st.Start, cursor)
+		}
+		if st.End < st.Start {
+			t.Errorf("stage %q ends before it starts: %+v", st.Cat, st)
+		}
+		cursor = st.End
+	}
+	if cursor != tr.RxQueueDone {
+		t.Errorf("stages end at %v, want %v", cursor, tr.RxQueueDone)
+	}
+}

@@ -53,34 +53,53 @@ func (l *Library) Name() string { return l.name }
 // Config returns the transport configuration the profile's world must use.
 func (l *Library) Config() mpi.Config { return l.cfg }
 
+// span opens a collective-level display span, the root of the span
+// hierarchy (collective → phase → per-rank op) in trace exports.
+func span(r *mpi.Rank, op string, bytes int) mpi.Phase {
+	return r.SpanStart(fmt.Sprintf("%s %dB", op, bytes), "collective")
+}
+
 // Scatter runs the profile's MPI_Scatter.
 func (l *Library) Scatter(r *mpi.Rank, root int, send, recv []byte) {
+	defer span(r, "scatter", len(recv)).End()
 	l.scatter(r, root, send, recv)
 }
 
 // Allgather runs the profile's MPI_Allgather.
-func (l *Library) Allgather(r *mpi.Rank, send, recv []byte) { l.allgather(r, send, recv) }
+func (l *Library) Allgather(r *mpi.Rank, send, recv []byte) {
+	defer span(r, "allgather", len(send)).End()
+	l.allgather(r, send, recv)
+}
 
 // Allreduce runs the profile's MPI_Allreduce.
 func (l *Library) Allreduce(r *mpi.Rank, send, recv []byte, op nums.Op) {
+	defer span(r, "allreduce", len(send)).End()
 	l.allreduce(r, send, recv, op)
 }
 
 // Bcast runs the profile's MPI_Bcast.
-func (l *Library) Bcast(r *mpi.Rank, root int, buf []byte) { l.bcast(r, root, buf) }
+func (l *Library) Bcast(r *mpi.Rank, root int, buf []byte) {
+	defer span(r, "bcast", len(buf)).End()
+	l.bcast(r, root, buf)
+}
 
 // Gather runs the profile's MPI_Gather (recv significant only at root).
 func (l *Library) Gather(r *mpi.Rank, root int, send, recv []byte) {
+	defer span(r, "gather", len(send)).End()
 	l.gather(r, root, send, recv)
 }
 
 // Reduce runs the profile's MPI_Reduce (recv significant only at root).
 func (l *Library) Reduce(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
+	defer span(r, "reduce", len(send)).End()
 	l.reduce(r, root, send, recv, op)
 }
 
 // Alltoall runs the profile's MPI_Alltoall.
-func (l *Library) Alltoall(r *mpi.Rank, send, recv []byte) { l.alltoall(r, send, recv) }
+func (l *Library) Alltoall(r *mpi.Rank, send, recv []byte) {
+	defer span(r, "alltoall", len(send)).End()
+	l.alltoall(r, send, recv)
+}
 
 // Switch points for the baseline profiles, mirroring the documented MPICH /
 // Open MPI tuning: ring allgather beyond 256 kB total, Rabenseifner

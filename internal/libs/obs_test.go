@@ -1,0 +1,132 @@
+package libs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+var updatePerfetto = flag.Bool("update", false, "rewrite the golden Perfetto trace")
+
+// runObserved runs one PiP-MColl bcast on a tiny fixed shape (2 nodes × 2
+// ppn = 4 ranks, 256 B) with a full recorder attached.
+func runObserved(t *testing.T) *obs.Recorder {
+	t.Helper()
+	lib, err := ByName("PiP-MColl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := topology.New(2, 2, topology.Block)
+	world, err := mpi.NewWorld(cluster, lib.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	world.Observe(rec)
+	if err := world.Run(func(r *mpi.Rank) {
+		lib.Bcast(r, 0, make([]byte, 256))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestPerfettoGolden pins the exact Perfetto JSON of the tiny fixed run.
+// Any change to span names, track layout, event ordering or the exporter's
+// number formatting shows up as a diff here. Regenerate with -update.
+func TestPerfettoGolden(t *testing.T) {
+	rec := runObserved(t)
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "bcast_2x2.perfetto.golden.json")
+	if *updatePerfetto {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Perfetto trace drifted from golden %s (run with -update to regenerate after intentional changes)\ngot %d bytes, want %d",
+			path, buf.Len(), len(want))
+	}
+}
+
+// TestPerfettoByteIdenticalAcrossRuns is the determinism acceptance check:
+// two independent simulations of the same spec export identical bytes.
+func TestPerfettoByteIdenticalAcrossRuns(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := runObserved(t).WritePerfetto(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Error("perfetto export differs across identical runs")
+	}
+}
+
+// TestCriticalPathAttribution is the acceptance check on the analyzer: over
+// every library and the paper's three collectives, the critical path must
+// attribute at least 95% of the makespan to named cost components, and the
+// report must be deterministic across runs.
+func TestCriticalPathAttribution(t *testing.T) {
+	cluster := topology.New(3, 2, topology.Block)
+	for _, lib := range All() {
+		lib := lib
+		for _, op := range []string{"scatter", "allgather", "allreduce"} {
+			t.Run(lib.Name()+"/"+op, func(t *testing.T) {
+				run := func() string {
+					world, err := mpi.NewWorld(cluster, lib.Config())
+					if err != nil {
+						t.Fatal(err)
+					}
+					rec := obs.NewRecorder()
+					world.Observe(rec)
+					size := cluster.Size()
+					if err := world.Run(func(r *mpi.Rank) {
+						switch op {
+						case "scatter":
+							var send []byte
+							if r.Rank() == 0 {
+								send = make([]byte, size*512)
+							}
+							lib.Scatter(r, 0, send, make([]byte, 512))
+						case "allgather":
+							lib.Allgather(r, make([]byte, 512), make([]byte, size*512))
+						case "allreduce":
+							lib.Allreduce(r, make([]byte, 512), make([]byte, 512), nums.Sum)
+						}
+					}); err != nil {
+						t.Fatal(err)
+					}
+					rep := rec.CriticalPathTo(world.Horizon())
+					if got := rep.AttributedFrac(); got < 0.95 {
+						t.Errorf("attributed %.1f%% of makespan, want >= 95%%\n%s",
+							100*got, rep.Format())
+					}
+					return rep.Format()
+				}
+				if a, b := run(), run(); a != b {
+					t.Errorf("critical-path report differs across identical runs:\n--- a\n%s--- b\n%s", a, b)
+				}
+			})
+		}
+	}
+}

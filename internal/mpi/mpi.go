@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/pip"
 	"repro/internal/shm"
 	"repro/internal/simtime"
@@ -82,6 +83,7 @@ type World struct {
 	ranks   []*Rank
 	harness *simtime.Barrier
 	tracer  *trace.Log
+	rec     *obs.Recorder
 	commIDs uint64
 }
 
@@ -164,7 +166,66 @@ func (w *World) Horizon() simtime.Time { return w.engine.Horizon() }
 
 // SetTracer attaches an event log; every point-to-point send and receive is
 // recorded. Pass nil to disable. Must be called before Run.
-func (w *World) SetTracer(l *trace.Log) { w.tracer = l }
+//
+// The legacy log rides the observability layer: events flow through an
+// obs.Recorder (a cheap lite one is created on demand) which forwards them
+// to the log, so old callers see identical events while instrumented worlds
+// get spans and metrics from the same stream.
+func (w *World) SetTracer(l *trace.Log) {
+	w.tracer = l
+	if l == nil {
+		return
+	}
+	if w.rec == nil {
+		w.rec = obs.NewLiteRecorder()
+	}
+	w.rec.AttachLog(l)
+}
 
 // Tracer returns the attached event log, or nil.
 func (w *World) Tracer() *trace.Log { return w.tracer }
+
+// Observe attaches a full recorder before Run: the engine reports scheduling
+// (wait spans, run-queue depth), the fabric reports per-resource occupancy
+// and message rates, each node's shared-memory domain reports copy/reduce/
+// size-sync costs, and the MPI layer itself records per-rank operation spans
+// and internode message stage timings. Any tracer attached via SetTracer
+// (before or after) keeps receiving its events through the recorder.
+func (w *World) Observe(rec *obs.Recorder) {
+	w.rec = rec
+	if rec == nil {
+		w.engine.SetObserver(nil)
+		w.fab.Observe(nil)
+		for _, env := range w.envs {
+			env.Shm().Observe(nil)
+		}
+		return
+	}
+	w.engine.SetObserver(rec)
+	w.fab.Observe(rec)
+	for _, env := range w.envs {
+		env.Shm().Observe(rec)
+	}
+	if w.tracer != nil && rec != nil {
+		rec.AttachLog(w.tracer)
+	}
+}
+
+// Recorder returns the attached recorder, or nil.
+func (w *World) Recorder() *obs.Recorder { return w.rec }
+
+// p2p routes one point-to-point event to the observability layer (which
+// forwards to any attached legacy logs) or, with no recorder, straight to
+// the tracer.
+func (w *World) p2p(e trace.Event) {
+	if w.rec != nil {
+		w.rec.P2P(e)
+		return
+	}
+	if w.tracer != nil {
+		w.tracer.Record(e)
+	}
+}
+
+// full reports whether a full (non-lite) recorder is attached.
+func (w *World) full() bool { return w.rec != nil && !w.rec.Lite() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/pip"
 	"repro/internal/shm"
 	"repro/internal/simtime"
@@ -96,6 +97,7 @@ type envelope struct {
 	zeroCopy bool          // intranode rendezvous: data points into sender's buffer
 	srcLocal int           // sender's local rank, for mechanism cost accounting
 	done     *simtime.Flag // set by the receiver when a zeroCopy transfer finishes
+	msg      int           // recorder message id for internode sends, else -1
 }
 
 // envOf extracts the envelope from a mailbox item, which is either a fabric
@@ -131,6 +133,7 @@ type Request struct {
 	buf    []byte
 	n      int
 	done   bool
+	str    *fabric.SendTrace // stage timings of an internode send, when recorded
 }
 
 // N returns the number of bytes transferred, valid after completion (for
@@ -152,14 +155,20 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 		panic(fmt.Sprintf("mpi: Isend to rank %d in world of %d", dst, r.Size()))
 	}
 	intranode := r.world.cluster.SameNode(r.rank, dst)
-	if tr := r.world.tracer; tr != nil {
-		tr.Record(trace.Event{Kind: trace.KindSend, At: r.proc.Now(),
-			Src: r.rank, Dst: dst, Tag: tag, Bytes: len(data), Intranode: intranode})
-	}
+	r.world.p2p(trace.Event{Kind: trace.KindSend, At: r.proc.Now(),
+		Src: r.rank, Dst: dst, Tag: tag, Bytes: len(data), Intranode: intranode})
+	t0 := r.proc.Now()
+	var q *Request
 	if intranode {
-		return r.isendIntranode(dst, tag, data)
+		q = r.isendIntranode(dst, tag, data)
+	} else {
+		q = r.isendInternode(dst, tag, data)
 	}
-	return r.isendInternode(dst, tag, data)
+	if r.world.full() {
+		r.world.rec.ProcSpan(r.proc, fmt.Sprintf("send→%d %dB", dst, len(data)),
+			"p2p", t0, r.proc.Now())
+	}
+	return q
 }
 
 // isendInternode snapshots the payload (the eager protocol buffers it; the
@@ -167,11 +176,24 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 // it into the fabric.
 func (r *Rank) isendInternode(dst, tag int, data []byte) *Request {
 	snapshot := append([]byte(nil), data...)
-	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data), data: snapshot}
+	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data), data: snapshot, msg: -1}
 	dstNode, dstLocal := r.world.cluster.Place(dst)
-	doneAt := r.world.fab.Send(r.proc, r.ep,
+	doneAt, str := r.world.fab.SendTraced(r.proc, r.ep,
 		fabric.Endpoint{Node: dstNode, Queue: dstLocal}, len(data), env)
-	return &Request{kind: reqSendAt, doneAt: doneAt}
+	q := &Request{kind: reqSendAt, doneAt: doneAt}
+	if r.world.full() {
+		rec := r.world.rec
+		// The synchronous CPU cost lands on the sender's own timeline; the
+		// full stage decomposition rides the message for the receive side
+		// and the drain charged at Wait.
+		rec.PathSegFor(r.proc, "send-cpu", str.Issue, str.CPUDone)
+		env.msg = rec.AddMessage(obs.Message{
+			SrcProc: r.proc.ID(), DstProc: dst, Bytes: len(data), Tag: tag,
+			Issue: str.Issue, Ready: str.RxQueueDone, Stages: str.Stages(),
+		})
+		q.str = &str
+	}
+	return q
 }
 
 // isendIntranode moves data through the node's shared memory. Small payloads
@@ -192,14 +214,14 @@ func (r *Rank) isendIntranode(dst, tag int, data []byte) *Request {
 		bounce := make([]byte, len(data))
 		shmNode.Memcpy(r.proc, bounce, data)
 		env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data),
-			data: bounce, srcLocal: r.local}
+			data: bounce, srcLocal: r.local, msg: -1}
 		r.world.fab.Inbox(fabric.Endpoint{Node: r.node, Queue: dstLocal}).Put(r.proc, env)
 		return &Request{kind: reqSendAt, doneAt: r.proc.Now()}
 	}
 	// Rendezvous: expose the live buffer; the receiver performs the
 	// single-copy transfer and signals completion.
 	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data),
-		data: data, zeroCopy: true, srcLocal: r.local, done: &simtime.Flag{}}
+		data: data, zeroCopy: true, srcLocal: r.local, done: &simtime.Flag{}, msg: -1}
 	r.world.fab.Inbox(fabric.Endpoint{Node: r.node, Queue: dstLocal}).Put(r.proc, env)
 	return &Request{kind: reqSendFlag, flag: env.done}
 }
@@ -228,7 +250,24 @@ func (r *Rank) Wait(q *Request) int {
 	}
 	switch q.kind {
 	case reqSendAt:
+		t0 := r.proc.Now()
 		r.proc.AdvanceTo(q.doneAt)
+		if q.str != nil && q.doneAt > t0 && r.world.full() {
+			// The sender's clock jumped over the message's in-flight
+			// stages; attribute the drained interval stage by stage.
+			for _, st := range q.str.Stages() {
+				lo, hi := st.Start, st.End
+				if lo < t0 {
+					lo = t0
+				}
+				if hi > q.doneAt {
+					hi = q.doneAt
+				}
+				if hi > lo {
+					r.world.rec.PathSegFor(r.proc, st.Cat, lo, hi)
+				}
+			}
+		}
 	case reqSendFlag:
 		q.flag.Wait(r.proc)
 	case reqRecv:
@@ -256,12 +295,18 @@ func (r *Rank) Waitall(reqs ...*Request) {
 // copy-out costs for eager paths, the mechanism's single-copy cost for
 // intranode rendezvous, and truncation checking throughout.
 func (r *Rank) completeRecv(q *Request) {
+	t0 := r.proc.Now()
 	item := r.world.fab.Inbox(r.ep).Get(r.proc, func(it any) bool {
 		env := envOf(it)
 		return (q.src == AnySource || env.src == q.src) &&
 			(q.tag == AnyTag || env.tag == q.tag)
 	})
 	env := envOf(item)
+	if r.world.full() && env.msg >= 0 {
+		// Tie the wait (blocked or clock-jumped) to the matched message so
+		// the critical path can route through the fabric to the sender.
+		r.world.rec.RecvWait(r.proc, t0, r.proc.Now(), env.msg)
+	}
 	if env.n > len(q.buf) {
 		panic(fmt.Sprintf("mpi: truncation on recv: %dB message from rank %d (tag %d) into %dB buffer",
 			env.n, env.src, env.tag, len(q.buf)))
@@ -294,9 +339,11 @@ func (r *Rank) completeRecv(q *Request) {
 	q.n = env.n
 	q.src = env.src
 	q.tag = env.tag
-	if tr := r.world.tracer; tr != nil {
-		tr.Record(trace.Event{Kind: trace.KindRecv, At: r.proc.Now(),
-			Src: env.src, Dst: r.rank, Tag: env.tag, Bytes: env.n, Intranode: intranode})
+	r.world.p2p(trace.Event{Kind: trace.KindRecv, At: r.proc.Now(),
+		Src: env.src, Dst: r.rank, Tag: env.tag, Bytes: env.n, Intranode: intranode})
+	if r.world.full() {
+		r.world.rec.ProcSpan(r.proc, fmt.Sprintf("recv←%d %dB", env.src, env.n),
+			"p2p", t0, r.proc.Now())
 	}
 }
 
@@ -359,4 +406,35 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, rec
 	sq := r.Isend(dst, sendTag, sendData)
 	r.Waitall(rq, sq)
 	return rq.n
+}
+
+// Phase is an open display span on the rank's track, closed with End. The
+// zero value (returned when no full recorder is attached) is a no-op, so
+// instrumented algorithms cost nothing un-observed.
+type Phase struct {
+	r     *Rank
+	name  string
+	cat   string
+	start simtime.Time
+	on    bool
+}
+
+// SpanStart opens a display span on the rank's track, e.g. a collective
+// ("allgather 1KiB") or an algorithm phase. Nesting is by interval: close the
+// inner phase before the outer and the viewer renders the hierarchy.
+func (r *Rank) SpanStart(name, cat string) Phase {
+	if r.world.full() {
+		return Phase{r: r, name: name, cat: cat, start: r.proc.Now(), on: true}
+	}
+	return Phase{}
+}
+
+// PhaseStart opens an algorithm-phase span (category "phase").
+func (r *Rank) PhaseStart(name string) Phase { return r.SpanStart(name, "phase") }
+
+// End closes the span at the rank's current time.
+func (ph Phase) End() {
+	if ph.on {
+		ph.r.world.rec.ProcSpan(ph.r.proc, ph.name, ph.cat, ph.start, ph.r.proc.Now())
+	}
 }

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Critical-path analysis. The recorder's path segments tile each process's
+// virtual time with named cost components; wait segments carry wake edges
+// (the releasing process, or the internode message a receive matched, whose
+// stages name the fabric resources it crossed). Walking backwards from the
+// last-finishing process along those edges yields the longest dependency
+// chain — the set of operations that actually determined the makespan — and
+// an attribution of the makespan to cost components: the decomposition the
+// paper's Figures 1 and 6-14 argue from (injection overhead vs. DMA vs.
+// wire vs. link queueing vs. PiP size synchronization).
+
+// PathStep is one segment of the critical path, in forward time order.
+type PathStep struct {
+	Proc  int    // process track the time was spent on, or -1 for fabric stages
+	Cat   string // cost component
+	Start simtime.Time
+	End   simtime.Time
+}
+
+// Dur returns the step's duration.
+func (s PathStep) Dur() simtime.Duration { return s.End.Sub(s.Start) }
+
+// Component is one cost component's share of the critical path.
+type Component struct {
+	Name string
+	Dur  simtime.Duration
+	Frac float64 // of the walked makespan
+}
+
+// PathReport is the result of a critical-path analysis.
+type PathReport struct {
+	Makespan   simtime.Duration // total virtual time walked ([0, horizon])
+	Attributed simtime.Duration // portion covered by named components
+	EndProc    string           // display name of the last-finishing process
+	Steps      []PathStep       // forward order; contiguous over [0, horizon]
+	Components []Component      // sorted by duration desc, then name
+}
+
+// AttributedFrac returns the attributed fraction of the makespan.
+func (r *PathReport) AttributedFrac() float64 {
+	if r.Makespan <= 0 {
+		return 1
+	}
+	return float64(r.Attributed) / float64(r.Makespan)
+}
+
+// CriticalPath analyzes the span DAG back from the recorder's horizon.
+func (r *Recorder) CriticalPath() *PathReport {
+	return r.CriticalPathTo(r.Horizon())
+}
+
+// CriticalPathTo analyzes the span DAG back from an explicit end time
+// (typically the world's horizon). The walk is deterministic: ties between
+// processes break toward the lowest process id.
+func (r *Recorder) CriticalPathTo(end simtime.Time) *PathReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	rep := &PathReport{Makespan: simtime.Duration(end)}
+
+	// Start at the process whose timeline reaches the end time; ties and
+	// "nobody reaches it" fall back to the latest-ending, lowest-id track.
+	ids := append([]int(nil), r.procOrder...)
+	sort.Ints(ids)
+	cur, best := -1, simtime.Time(-1)
+	for _, id := range ids {
+		segs := r.procs[id].segs
+		if len(segs) == 0 {
+			continue
+		}
+		if last := segs[len(segs)-1].End; last > best {
+			cur, best = id, last
+		}
+	}
+	if cur < 0 || end <= 0 {
+		return rep
+	}
+	rep.EndProc = r.procName(cur)
+
+	emit := func(proc int, cat string, start, t simtime.Time) {
+		if t > start {
+			rep.Steps = append(rep.Steps, PathStep{Proc: proc, Cat: cat, Start: start, End: t})
+		}
+	}
+
+	t := end
+	// visited guards against wake cycles at a single instant; it resets
+	// whenever the walk makes backward progress.
+	visited := map[int]bool{}
+	maxSteps := 16 * (r.totalSegs() + 8)
+	for steps := 0; t > 0; steps++ {
+		if steps > maxSteps {
+			emit(cur, "untracked", 0, t)
+			break
+		}
+		s := lastSegBefore(r.procs[cur].segs, t)
+		if s == nil {
+			emit(cur, "compute", 0, t)
+			break
+		}
+		if s.End < t {
+			// Gap: local clock advance not claimed by any instrument.
+			emit(cur, "compute", s.End, t)
+			t = s.End
+			visited = map[int]bool{cur: true}
+			continue
+		}
+		// s contains t (s.Start < t <= s.End).
+		switch {
+		case s.Msg >= 0 && s.Msg < len(r.msgs):
+			m := r.msgs[s.Msg]
+			// Follow the message's fabric stages back to its issue
+			// point on the sender.
+			for i := len(m.Stages) - 1; i >= 0; i-- {
+				st := m.Stages[i]
+				hi := st.End
+				if hi > t {
+					hi = t
+				}
+				if hi > st.Start {
+					emit(-1, st.Cat, st.Start, hi)
+				}
+			}
+			if _, ok := r.procs[m.SrcProc]; ok && m.Issue < t {
+				cur = m.SrcProc
+				t = m.Issue
+				visited = map[int]bool{cur: true}
+				continue
+			}
+			// No sender timeline: attribute the remainder locally.
+			if m.Issue < t {
+				t = m.Issue
+				visited = map[int]bool{cur: true}
+				continue
+			}
+			// Degenerate message; consume the wait segment instead.
+			emit(cur, s.Cat, s.Start, t)
+			t = s.Start
+			visited = map[int]bool{cur: true}
+		case s.Waker >= 0 && !visited[s.Waker]:
+			// The wait ended when the waker acted at time t; continue
+			// on the waker's timeline.
+			if _, ok := r.procs[s.Waker]; ok {
+				cur = s.Waker
+				visited[cur] = true
+				continue
+			}
+			emit(cur, s.Cat, s.Start, t)
+			t = s.Start
+			visited = map[int]bool{cur: true}
+		default:
+			emit(cur, s.Cat, s.Start, t)
+			t = s.Start
+			visited = map[int]bool{cur: true}
+		}
+	}
+
+	// Forward order, component rollup.
+	sort.SliceStable(rep.Steps, func(i, j int) bool {
+		if rep.Steps[i].Start != rep.Steps[j].Start {
+			return rep.Steps[i].Start < rep.Steps[j].Start
+		}
+		return rep.Steps[i].End < rep.Steps[j].End
+	})
+	byCat := map[string]simtime.Duration{}
+	for _, st := range rep.Steps {
+		byCat[st.Cat] += st.Dur()
+		if st.Cat != "untracked" {
+			rep.Attributed += st.Dur()
+		}
+	}
+	names := make([]string, 0, len(byCat))
+	for n := range byCat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		frac := 0.0
+		if rep.Makespan > 0 {
+			frac = float64(byCat[n]) / float64(rep.Makespan)
+		}
+		rep.Components = append(rep.Components, Component{Name: n, Dur: byCat[n], Frac: frac})
+	}
+	sort.SliceStable(rep.Components, func(i, j int) bool {
+		if rep.Components[i].Dur != rep.Components[j].Dur {
+			return rep.Components[i].Dur > rep.Components[j].Dur
+		}
+		return rep.Components[i].Name < rep.Components[j].Name
+	})
+	return rep
+}
+
+func (r *Recorder) totalSegs() int {
+	n := 0
+	for _, pt := range r.procs {
+		n += len(pt.segs)
+	}
+	return n
+}
+
+// lastSegBefore returns the last segment with Start < t, or nil.
+func lastSegBefore(segs []PathSeg, t simtime.Time) *PathSeg {
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].Start < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return &segs[lo-1]
+}
+
+// Format renders the report as the text block pipmcoll-trace prints.
+func (r *PathReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %v makespan, %d segments, ends at %s\n",
+		r.Makespan, len(r.Steps), r.EndProc)
+	for _, c := range r.Components {
+		fmt.Fprintf(&b, "  %-12s %12v  %5.1f%%\n", c.Name, c.Dur, 100*c.Frac)
+	}
+	fmt.Fprintf(&b, "  attributed: %.1f%% of makespan\n", 100*r.AttributedFrac())
+	return b.String()
+}

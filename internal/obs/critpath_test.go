@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// buildMessageScenario constructs the canonical two-process DAG by hand:
+//
+//	sender:  send-cpu [0,10]  (then idle)
+//	message: stages send-cpu [0,10] + wire [10,100], ready at 100
+//	recver:  recv-wait [0,100] matching the message, copy [100,150]
+//
+// The critical path of [0,150] is copy 50 + wire 90 + send-cpu 10.
+func buildMessageScenario(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	e := simtime.NewEngine()
+	sender := e.Spawn("sender", func(p *simtime.Proc) {})
+	recver := e.Spawn("recver", func(p *simtime.Proc) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.PathSegFor(sender, "send-cpu", at(0), at(10))
+	msg := rec.AddMessage(Message{
+		SrcProc: sender.ID(), DstProc: recver.ID(), Bytes: 64,
+		Issue: at(0), Ready: at(100),
+		Stages: []Stage{
+			{Cat: "send-cpu", Start: at(0), End: at(10)},
+			{Cat: "wire", Start: at(10), End: at(100)},
+		},
+	})
+	rec.RecvWait(recver, at(0), at(100), msg)
+	rec.PathSegFor(recver, "copy", at(100), at(150))
+	return rec
+}
+
+func TestCriticalPathFollowsMessage(t *testing.T) {
+	rec := buildMessageScenario(t)
+	rep := rec.CriticalPathTo(at(150))
+
+	if rep.Makespan != 150*ns {
+		t.Errorf("makespan = %v, want 150ns", rep.Makespan)
+	}
+	if rep.EndProc != "recver" {
+		t.Errorf("end proc = %q, want recver", rep.EndProc)
+	}
+	want := map[string]simtime.Duration{
+		"copy":     50 * ns,
+		"wire":     90 * ns,
+		"send-cpu": 10 * ns,
+	}
+	got := map[string]simtime.Duration{}
+	for _, c := range rep.Components {
+		got[c.Name] = c.Dur
+	}
+	for name, d := range want {
+		if got[name] != d {
+			t.Errorf("component %s = %v, want %v (all: %+v)", name, got[name], d, rep.Components)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("components = %+v, want exactly %v", rep.Components, want)
+	}
+	if rep.AttributedFrac() != 1.0 {
+		t.Errorf("attributed %.3f, want 1.0", rep.AttributedFrac())
+	}
+	// Components are sorted by duration descending.
+	for i := 1; i < len(rep.Components); i++ {
+		if rep.Components[i].Dur > rep.Components[i-1].Dur {
+			t.Errorf("components not sorted by duration: %+v", rep.Components)
+		}
+	}
+	// Steps cover [0,150] contiguously in forward order.
+	cursor := at(0)
+	for _, s := range rep.Steps {
+		if s.Start != cursor {
+			t.Errorf("step %+v starts at %v, want %v", s, s.Start, cursor)
+		}
+		cursor = s.End
+	}
+	if cursor != at(150) {
+		t.Errorf("steps end at %v, want 150ns", cursor)
+	}
+}
+
+func TestCriticalPathFollowsWaker(t *testing.T) {
+	rec := NewRecorder()
+	worker, waiter := runWaiters(t, rec)
+	rep := rec.CriticalPathTo(at(150))
+
+	// The walk starts at the latest-ending instrumented track and
+	// attributes the uninstrumented tail to compute. Everything is
+	// accounted: no "untracked" component.
+	if rep.AttributedFrac() < 1.0 {
+		t.Errorf("attributed %.3f, want 1.0:\n%s", rep.AttributedFrac(), rep.Format())
+	}
+	for _, c := range rep.Components {
+		if c.Name == "untracked" {
+			t.Errorf("untracked time on the path:\n%s", rep.Format())
+		}
+	}
+	_ = worker
+	_ = waiter
+}
+
+func TestCriticalPathDeterministic(t *testing.T) {
+	render := func() string {
+		return buildMessageScenario(t).CriticalPathTo(at(150)).Format()
+	}
+	a := render()
+	for i := 0; i < 3; i++ {
+		if b := render(); b != a {
+			t.Fatalf("critical path differs across identical runs:\n--- a\n%s\n--- b\n%s", a, b)
+		}
+	}
+	if !strings.Contains(a, "attributed: 100.0% of makespan") {
+		t.Errorf("format output:\n%s", a)
+	}
+}
+
+func TestCriticalPathEmptyRecorder(t *testing.T) {
+	rec := NewRecorder()
+	rep := rec.CriticalPath()
+	if len(rep.Steps) != 0 || rep.Makespan != 0 {
+		t.Errorf("empty recorder path = %+v", rep)
+	}
+	if rep.AttributedFrac() != 1.0 {
+		t.Errorf("empty attribution = %v, want vacuous 1.0", rep.AttributedFrac())
+	}
+}
+
+// TestCriticalPathWakeCycle guards the equal-time wake cycle: two processes
+// each carrying a wait segment ending at the same instant, each naming the
+// other as waker. The visited set must break the cycle instead of looping.
+func TestCriticalPathWakeCycle(t *testing.T) {
+	rec := NewRecorder()
+	e := simtime.NewEngine()
+	a := e.Spawn("a", func(p *simtime.Proc) {})
+	b := e.Spawn("b", func(p *simtime.Proc) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.pathSeg(a, "sync-wait", at(0), at(100), -1, b.ID())
+	rec.pathSeg(b, "sync-wait", at(0), at(100), -1, a.ID())
+	rep := rec.CriticalPathTo(at(100))
+	if rep.Makespan != 100*ns {
+		t.Errorf("makespan = %v", rep.Makespan)
+	}
+	// Terminates and accounts the full interval one way or another.
+	var total simtime.Duration
+	for _, c := range rep.Components {
+		total += c.Dur
+	}
+	if total != 100*ns {
+		t.Errorf("components cover %v of 100ns: %+v", total, rep.Components)
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a metrics namespace: counters, gauges and histograms looked up
+// by name. Lookup takes a short lock; the instruments themselves update with
+// atomics (histograms use a small per-instrument lock), so hot paths in the
+// simulation and the parallel bench runner stay cheap.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotone event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations into fixed buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // bucket upper bounds; one overflow bucket follows
+	counts []int64
+	sum    float64
+	min    float64
+	max    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// DefaultBuckets are the histogram bounds used when none are given:
+// exponential from 1µs-scale to 10s-scale units.
+var DefaultBuckets = []float64{
+	0.001, 0.01, 0.1, 1, 10, 100, 1_000, 10_000,
+}
+
+// Histogram returns (creating if needed) the named histogram. Bounds are
+// fixed at creation; pass nil for DefaultBuckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump writes every instrument, sorted by kind then name, one per line.
+// The format is stable so tests and the -stats / -metrics CLI flags can pin
+// it.
+func (r *Registry) Dump(w io.Writer) {
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	counters, gauges, hists := r.counters, r.gauges, r.hists
+	r.mu.Unlock()
+
+	for _, n := range cnames {
+		fmt.Fprintf(w, "counter %-32s %d\n", n, counters[n].Value())
+	}
+	for _, n := range gnames {
+		fmt.Fprintf(w, "gauge   %-32s %d\n", n, gauges[n].Value())
+	}
+	for _, n := range hnames {
+		h := hists[n]
+		h.mu.Lock()
+		if h.n == 0 {
+			fmt.Fprintf(w, "hist    %-32s count=0\n", n)
+		} else {
+			fmt.Fprintf(w, "hist    %-32s count=%d sum=%.6g min=%.6g max=%.6g mean=%.6g\n",
+				n, h.n, h.sum, h.min, h.max, h.sum/float64(h.n))
+		}
+		h.mu.Unlock()
+	}
+}
+
+// String renders Dump into a string.
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.Dump(&b)
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryInstrumentsAndDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fabric.messages").Add(3)
+	r.Counter("fabric.messages").Add(2) // same instrument, by name
+	r.Gauge("engine.runq.max").Set(7)
+	h := r.Histogram("cell.wall_ms", DefaultBuckets)
+	h.Observe(0.5)
+	h.Observe(2.0)
+	h.Observe(3.5)
+
+	if got := r.Counter("fabric.messages").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := r.Gauge("engine.runq.max").Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	if h.Count() != 3 || h.Sum() != 6.0 {
+		t.Errorf("hist count=%d sum=%g, want 3/6", h.Count(), h.Sum())
+	}
+
+	out := r.String()
+	for _, want := range []string{
+		"counter fabric.messages",
+		"gauge   engine.runq.max",
+		"hist    cell.wall_ms",
+		"count=3",
+		"min=0.5",
+		"max=3.5",
+		"mean=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDumpSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz").Add(1)
+	r.Counter("aa").Add(1)
+	r.Counter("mm").Add(1)
+	out := r.String()
+	ia, im, iz := strings.Index(out, "aa"), strings.Index(out, "mm"), strings.Index(out, "zz")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Errorf("dump not name-sorted:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h", DefaultBuckets).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", DefaultBuckets).Count(); got != 8000 {
+		t.Errorf("hist count = %d, want 8000", got)
+	}
+}

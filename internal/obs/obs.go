@@ -1,0 +1,449 @@
+// Package obs is the simulation observability layer: hierarchical spans
+// stamped in virtual time, a metrics registry, a Chrome trace_event /
+// Perfetto exporter, and a critical-path analyzer over the span DAG.
+//
+// A Recorder is attached to one simulated world (mpi.World.Observe wires it
+// into the engine, the fabric and each node's shared-memory domain). The
+// instrumented layers then record three kinds of data:
+//
+//   - display spans — what a human opens in ui.perfetto.dev: one track per
+//     simulated process (rank), one track per fabric resource (injection
+//     queues, node links), counter tracks for run-queue depth and message
+//     rates;
+//   - path segments — a disjoint, per-process tiling of virtual time into
+//     named cost components (copy, reduce, injection, dma, wire, …) plus
+//     the wake edges (who released a blocked process, which message a
+//     receive matched) that let the critical-path analyzer walk the
+//     dependency DAG backwards;
+//   - metrics — counters/gauges/histograms in the attached Registry.
+//
+// All recording goes through one mutex. Inside a simulation the engine
+// serializes processes anyway; the lock makes a Recorder safe to inspect
+// from the test goroutine and keeps the package honest under -race.
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// KV is one span annotation, shown under "args" in the trace viewer.
+type KV struct {
+	K, V string
+}
+
+// Span is one completed display interval on a process or resource track.
+type Span struct {
+	Proc     int    // process track id, or -1 for resource spans
+	Resource string // resource track name when Proc < 0
+	Name     string
+	Cat      string
+	Start    simtime.Time
+	End      simtime.Time
+	Args     []KV
+}
+
+// Stage is one hop of an internode message's fabric traversal, labelled
+// with the cost component it occupies.
+type Stage struct {
+	Cat   string
+	Start simtime.Time
+	End   simtime.Time
+}
+
+// Message is the fabric-level record of one internode point-to-point
+// message: when the sender issued it, when it became deliverable at the
+// receiver, and the component-labelled stages in between. The critical-path
+// analyzer follows a blocked receive through its message's stages back onto
+// the sender's timeline.
+type Message struct {
+	SrcProc int // sender's process track (world rank)
+	DstProc int
+	Bytes   int
+	Tag     int
+	Issue   simtime.Time // sender's clock when the send was issued
+	Ready   simtime.Time // earliest time the receiver can observe the payload
+	Stages  []Stage      // contiguous, covering [Issue, Ready]
+}
+
+// PathSeg is one leaf interval of a process's cost timeline. Segments of one
+// process are disjoint and recorded in nondecreasing time order. Wait
+// segments carry the wake edge: Msg >= 0 names the matched internode
+// message, Waker >= 0 the process whose action released the waiter.
+type PathSeg struct {
+	Cat   string
+	Start simtime.Time
+	End   simtime.Time
+	Msg   int // index into the recorder's messages, or -1
+	Waker int // releasing process id, or -1
+}
+
+// procTrack is the per-process recording state.
+type procTrack struct {
+	id         int
+	name       string
+	segs       []PathSeg
+	blockStart simtime.Time
+	blockCat   string
+	blockName  string
+	blocked    bool
+}
+
+// counterTrack is a time series rendered as a Perfetto counter track.
+type counterTrack struct {
+	name    string
+	samples []sample
+	last    float64
+	haveOne bool
+}
+
+type sample struct {
+	at simtime.Time
+	v  float64
+}
+
+// Recorder collects spans, path segments, messages and counter samples for
+// one simulated world. The zero value is not usable; call NewRecorder (full
+// recording) or NewLiteRecorder (point-to-point events and metrics only —
+// the legacy trace.Log adapter mode).
+type Recorder struct {
+	mu   sync.Mutex
+	lite bool
+
+	reg  *Registry
+	logs []*trace.Log
+
+	spans []Span
+	msgs  []Message
+
+	procs     map[int]*procTrack
+	procOrder []int
+
+	resources []string
+	resSeen   map[string]bool
+
+	counters map[string]*counterTrack
+	ctrOrder []string
+
+	horizon  simtime.Time
+	runq     int
+	maxRunq  int64
+	dispatch int64
+}
+
+// NewRecorder returns a full recorder: spans, path segments, messages,
+// counter tracks and metrics.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		reg:      NewRegistry(),
+		procs:    make(map[int]*procTrack),
+		resSeen:  make(map[string]bool),
+		counters: make(map[string]*counterTrack),
+	}
+}
+
+// NewLiteRecorder returns a recorder that only forwards point-to-point
+// events to attached trace.Logs and counts metrics — the cheap mode behind
+// the legacy World.SetTracer API. Span, segment, message and counter calls
+// are no-ops.
+func NewLiteRecorder() *Recorder {
+	r := NewRecorder()
+	r.lite = true
+	return r
+}
+
+// Lite reports whether the recorder is in point-to-point-only mode.
+func (r *Recorder) Lite() bool { return r.lite }
+
+// Metrics returns the recorder's metrics registry.
+func (r *Recorder) Metrics() *Registry { return r.reg }
+
+// AttachLog subscribes a legacy event log: every point-to-point event
+// recorded through P2P is forwarded to it. This is how trace.Log remains
+// usable as a thin adapter over the span layer.
+func (r *Recorder) AttachLog(l *trace.Log) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.logs {
+		if have == l {
+			return
+		}
+	}
+	r.logs = append(r.logs, l)
+}
+
+// P2P records one point-to-point event: forwarded to attached logs and
+// counted in the metrics registry. Called by the MPI layer on every send
+// issue and receive completion.
+func (r *Recorder) P2P(e trace.Event) {
+	r.mu.Lock()
+	logs := r.logs
+	r.mu.Unlock()
+	for _, l := range logs {
+		l.Record(e)
+	}
+	where := "inter"
+	if e.Intranode {
+		where = "intra"
+	}
+	switch e.Kind {
+	case trace.KindSend:
+		r.reg.Counter("mpi.sends." + where).Add(1)
+		r.reg.Counter("mpi.bytes." + where).Add(int64(e.Bytes))
+	case trace.KindRecv:
+		r.reg.Counter("mpi.recvs." + where).Add(1)
+	}
+}
+
+// proc returns (creating if needed) the track of process id. Callers hold mu.
+func (r *Recorder) proc(id int, name string) *procTrack {
+	pt, ok := r.procs[id]
+	if !ok {
+		pt = &procTrack{id: id, name: name}
+		r.procs[id] = pt
+		r.procOrder = append(r.procOrder, id)
+	}
+	if pt.name == "" {
+		pt.name = name
+	}
+	return pt
+}
+
+func (r *Recorder) note(t simtime.Time) {
+	if t > r.horizon {
+		r.horizon = t
+	}
+}
+
+// ProcSpan records a display span on a process track.
+func (r *Recorder) ProcSpan(p *simtime.Proc, name, cat string, start, end simtime.Time, args ...KV) {
+	if r.lite || end < start {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.proc(p.ID(), p.Name())
+	r.spans = append(r.spans, Span{Proc: p.ID(), Name: name, Cat: cat, Start: start, End: end, Args: args})
+	r.note(end)
+}
+
+// PathSegFor records a leaf cost interval on a process's analysis timeline.
+// Zero-length segments are dropped.
+func (r *Recorder) PathSegFor(p *simtime.Proc, cat string, start, end simtime.Time) {
+	r.pathSeg(p, cat, start, end, -1, -1)
+}
+
+func (r *Recorder) pathSeg(p *simtime.Proc, cat string, start, end simtime.Time, msg, waker int) {
+	if r.lite || end <= start {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt := r.proc(p.ID(), p.Name())
+	pt.segs = append(pt.segs, PathSeg{Cat: cat, Start: start, End: end, Msg: msg, Waker: waker})
+	r.note(end)
+}
+
+// RegisterResource declares a resource track so tracks appear in a stable,
+// topology-derived order regardless of traffic. Safe to call repeatedly.
+func (r *Recorder) RegisterResource(name string) {
+	if r.lite {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.resSeen[name] {
+		r.resSeen[name] = true
+		r.resources = append(r.resources, name)
+	}
+}
+
+// ResourceSpan records a display span on a resource track (e.g. one message
+// occupying one node's tx link).
+func (r *Recorder) ResourceSpan(resource, name, cat string, start, end simtime.Time, args ...KV) {
+	if r.lite || end < start {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.resSeen[resource] {
+		r.resSeen[resource] = true
+		r.resources = append(r.resources, resource)
+	}
+	r.spans = append(r.spans, Span{Proc: -1, Resource: resource, Name: name, Cat: cat, Start: start, End: end, Args: args})
+	r.note(end)
+}
+
+// CounterSample appends one point of a counter track. Consecutive samples
+// with the same value are collapsed.
+func (r *Recorder) CounterSample(track string, at simtime.Time, v float64) {
+	if r.lite {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ct, ok := r.counters[track]
+	if !ok {
+		ct = &counterTrack{name: track}
+		r.counters[track] = ct
+		r.ctrOrder = append(r.ctrOrder, track)
+	}
+	if ct.haveOne && ct.last == v {
+		return
+	}
+	ct.samples = append(ct.samples, sample{at: at, v: v})
+	ct.last, ct.haveOne = v, true
+	r.note(at)
+}
+
+// AddMessage records an internode message and returns its id for receive
+// annotation. Lite recorders return -1.
+func (r *Recorder) AddMessage(m Message) int {
+	if r.lite {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, m)
+	r.note(m.Ready)
+	return len(r.msgs) - 1
+}
+
+// RecvWait ties a completed receive to the message it matched. If the
+// receiver blocked (the engine observer closed a recv-wait segment ending at
+// end), that segment is annotated; if the receive completed by a pure clock
+// jump (the message was queued with a future delivery time), a synthetic
+// wait segment is appended. Zero-duration receives record nothing: the
+// message was not the receiver's constraint.
+func (r *Recorder) RecvWait(p *simtime.Proc, start, end simtime.Time, msg int) {
+	if r.lite || msg < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt := r.proc(p.ID(), p.Name())
+	if n := len(pt.segs); n > 0 {
+		last := &pt.segs[n-1]
+		if last.End == end && last.Cat == "recv-wait" {
+			last.Msg = msg
+			return
+		}
+	}
+	if end > start {
+		pt.segs = append(pt.segs, PathSeg{Cat: "recv-wait", Start: start, End: end, Msg: msg, Waker: -1})
+		r.note(end)
+	}
+}
+
+// waitCat maps an engine blocking reason to a path component.
+func waitCat(reason string) string {
+	switch {
+	case reason == "inject-window":
+		return "injection"
+	case reason == "sleep":
+		return "sleep"
+	case len(reason) >= 7 && reason[:7] == "mailbox":
+		return "recv-wait"
+	default: // barrier, counter, flag
+		return "sync-wait"
+	}
+}
+
+// --- simtime.Observer implementation -----------------------------------
+
+// ProcBlocked implements simtime.Observer: opens the process's wait.
+func (r *Recorder) ProcBlocked(p *simtime.Proc, reason string, at simtime.Time) {
+	if r.lite {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt := r.proc(p.ID(), p.Name())
+	pt.blocked = true
+	pt.blockStart = at
+	pt.blockCat = waitCat(reason)
+	pt.blockName = reason
+}
+
+// ProcResumed implements simtime.Observer: closes the wait as a display span
+// and a path segment carrying the waker edge.
+func (r *Recorder) ProcResumed(p *simtime.Proc, at simtime.Time, waker *simtime.Proc) {
+	if r.lite {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt := r.proc(p.ID(), p.Name())
+	if !pt.blocked {
+		return
+	}
+	pt.blocked = false
+	wid := -1
+	if waker != nil && waker != p {
+		wid = waker.ID()
+	}
+	if at > pt.blockStart {
+		r.spans = append(r.spans, Span{
+			Proc: p.ID(), Name: "wait: " + pt.blockName, Cat: pt.blockCat,
+			Start: pt.blockStart, End: at,
+		})
+		pt.segs = append(pt.segs, PathSeg{Cat: pt.blockCat, Start: pt.blockStart, End: at, Msg: -1, Waker: wid})
+		r.note(at)
+	}
+}
+
+// Dispatched implements simtime.Observer: samples the engine's run-queue
+// depth as a counter track and tracks the high-water mark.
+func (r *Recorder) Dispatched(p *simtime.Proc, at simtime.Time, pending int) {
+	if r.lite {
+		return
+	}
+	r.reg.Counter("engine.dispatches").Add(1)
+	if int64(pending) > r.reg.Gauge("engine.runq.max").Value() {
+		r.reg.Gauge("engine.runq.max").Set(int64(pending))
+	}
+	r.CounterSample("engine runq", at, float64(pending))
+}
+
+// Horizon returns the latest virtual time observed by any recording.
+func (r *Recorder) Horizon() simtime.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.horizon
+}
+
+// Spans returns a copy of the recorded display spans.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Messages returns a copy of the recorded internode messages.
+func (r *Recorder) Messages() []Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Message(nil), r.msgs...)
+}
+
+// SegsOf returns a copy of one process's path segments, for tests.
+func (r *Recorder) SegsOf(proc int) []PathSeg {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt, ok := r.procs[proc]
+	if !ok {
+		return nil
+	}
+	return append([]PathSeg(nil), pt.segs...)
+}
+
+// procName returns a display name for a process track id.
+func (r *Recorder) procName(id int) string {
+	if pt, ok := r.procs[id]; ok && pt.name != "" {
+		return pt.name
+	}
+	return fmt.Sprintf("proc%d", id)
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+const ns = simtime.Nanosecond
+
+func at(x int64) simtime.Time { return simtime.Time(0).Add(simtime.Duration(x) * ns) }
+
+// runWaiters executes the canonical two-process engine scenario: "worker"
+// sleeps 100 ns then releases "waiter", which parked on a counter at t=0
+// (the sleep yields first, so the waiter genuinely blocks).
+func runWaiters(t *testing.T, rec *Recorder) (worker, waiter *simtime.Proc) {
+	t.Helper()
+	e := simtime.NewEngine()
+	e.SetObserver(rec)
+	var c simtime.Counter
+	worker = e.Spawn("worker", func(p *simtime.Proc) {
+		p.Sleep(100 * ns)
+		c.Add(p, 1)
+	})
+	waiter = e.Spawn("waiter", func(p *simtime.Proc) {
+		c.WaitGE(p, 1)
+		p.Advance(50 * ns)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return worker, waiter
+}
+
+func TestObserverWaitSegments(t *testing.T) {
+	rec := NewRecorder()
+	worker, waiter := runWaiters(t, rec)
+
+	// The waiter blocked at t=0 and was released by the worker at t=100:
+	// one sync-wait segment carrying the waker edge.
+	segs := rec.SegsOf(waiter.ID())
+	if len(segs) != 1 {
+		t.Fatalf("waiter segs = %+v, want one wait", segs)
+	}
+	w := segs[0]
+	if w.Cat != "sync-wait" || w.Start != at(0) || w.End != at(100) {
+		t.Errorf("wait seg = %+v, want sync-wait [0,100ns]", w)
+	}
+	if w.Waker != worker.ID() {
+		t.Errorf("wait waker = %d, want worker %d", w.Waker, worker.ID())
+	}
+
+	// The worker's self-wakeup (sleep) must NOT carry a waker edge.
+	wsegs := rec.SegsOf(worker.ID())
+	if len(wsegs) != 1 || wsegs[0].Cat != "sleep" || wsegs[0].Waker != -1 {
+		t.Errorf("worker segs = %+v, want one self-woken sleep", wsegs)
+	}
+
+	// The wait also shows up as a display span named after the reason.
+	var found bool
+	for _, s := range rec.Spans() {
+		if s.Proc == waiter.ID() && s.Cat == "sync-wait" && strings.HasPrefix(s.Name, "wait: ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no wait display span for the waiter in %+v", rec.Spans())
+	}
+
+	// Engine dispatch metrics were counted.
+	if rec.Metrics().Counter("engine.dispatches").Value() == 0 {
+		t.Error("no dispatches counted")
+	}
+	if rec.Horizon() != at(100) {
+		t.Errorf("horizon = %v, want %v", rec.Horizon(), at(100))
+	}
+}
+
+func TestLiteRecorderNoOps(t *testing.T) {
+	rec := NewLiteRecorder()
+	lg := trace.NewLog(0)
+	rec.AttachLog(lg)
+	worker, waiter := runWaiters(t, rec)
+
+	if got := rec.SegsOf(waiter.ID()); got != nil {
+		t.Errorf("lite recorder kept segs %+v", got)
+	}
+	if got := rec.Spans(); len(got) != 0 {
+		t.Errorf("lite recorder kept spans %+v", got)
+	}
+	if got := rec.AddMessage(Message{}); got != -1 {
+		t.Errorf("lite AddMessage = %d, want -1", got)
+	}
+	_ = worker
+
+	// P2P forwarding still works in lite mode.
+	rec.P2P(trace.Event{Kind: trace.KindSend, Src: 0, Dst: 1, Bytes: 8})
+	if lg.Len() != 1 {
+		t.Errorf("lite recorder did not forward P2P events: log has %d", lg.Len())
+	}
+	if rec.Metrics().Counter("mpi.sends.inter").Value() != 1 {
+		t.Error("lite recorder did not count P2P metrics")
+	}
+}
+
+func TestRecvWaitAnnotation(t *testing.T) {
+	rec := NewRecorder()
+	// Use real procs purely as track identities.
+	e := simtime.NewEngine()
+	var sender, recver *simtime.Proc
+	sender = e.Spawn("sender", func(p *simtime.Proc) {})
+	recver = e.Spawn("recver", func(p *simtime.Proc) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	msg := rec.AddMessage(Message{
+		SrcProc: sender.ID(), DstProc: recver.ID(), Bytes: 64,
+		Issue: at(0), Ready: at(100),
+		Stages: []Stage{{Cat: "send-cpu", Start: at(0), End: at(10)}, {Cat: "wire", Start: at(10), End: at(100)}},
+	})
+
+	// Case 1: the engine already closed a recv-wait segment ending at the
+	// completion time — RecvWait annotates it in place.
+	rec.pathSeg(recver, "recv-wait", at(0), at(100), -1, -1)
+	rec.RecvWait(recver, at(0), at(100), msg)
+	segs := rec.SegsOf(recver.ID())
+	if len(segs) != 1 || segs[0].Msg != msg {
+		t.Fatalf("segs = %+v, want the existing wait annotated with msg %d", segs, msg)
+	}
+
+	// Case 2: pure clock jump (no blocking occurred) — RecvWait appends a
+	// synthetic segment.
+	rec.RecvWait(recver, at(100), at(150), msg)
+	segs = rec.SegsOf(recver.ID())
+	if len(segs) != 2 || segs[1].Cat != "recv-wait" || segs[1].Msg != msg {
+		t.Fatalf("segs = %+v, want a synthetic recv-wait appended", segs)
+	}
+
+	// Case 3: zero-duration receive records nothing.
+	rec.RecvWait(recver, at(150), at(150), msg)
+	if got := rec.SegsOf(recver.ID()); len(got) != 2 {
+		t.Fatalf("zero-duration receive grew segs: %+v", got)
+	}
+}
+
+func TestWaitCatMapping(t *testing.T) {
+	for reason, want := range map[string]string{
+		"inject-window":      "injection",
+		"sleep":              "sleep",
+		"mailbox get":        "recv-wait",
+		"mailbox peek":       "recv-wait",
+		"barrier 1/4":        "sync-wait",
+		"counter>=3 (now 1)": "sync-wait",
+	} {
+		if got := waitCat(reason); got != want {
+			t.Errorf("waitCat(%q) = %q, want %q", reason, got, want)
+		}
+	}
+}
+
+func TestCounterSampleCollapse(t *testing.T) {
+	rec := NewRecorder()
+	rec.CounterSample("x", at(1), 1)
+	rec.CounterSample("x", at(2), 1) // collapsed
+	rec.CounterSample("x", at(3), 2)
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, `"ph":"C"`); got != 2 {
+		t.Errorf("%d counter events, want 2 (same-value sample collapsed):\n%s", got, out)
+	}
+}
+
+func TestPerfettoDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		rec := NewRecorder()
+		runWaiters(t, rec)
+		rec.RegisterResource("n0 link-tx")
+		rec.ResourceSpan("n0 link-tx", "64B n0→n1", "link", at(5), at(25))
+		var buf bytes.Buffer
+		if err := rec.WritePerfetto(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("perfetto output differs across identical runs:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+	for _, want := range []string{
+		`"displayTimeUnit":"ns"`,
+		`"name":"worker"`,      // rank-track thread name
+		`"name":"n0 link-tx"`,  // fabric resource track
+		`"name":"engine runq"`, // counter track
+		`"ph":"X"`, `"ph":"C"`, `"ph":"M"`,
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("perfetto output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Perfetto / Chrome trace_event export. The output is plain trace-event JSON
+// (the "JSON trace format" ui.perfetto.dev and chrome://tracing both load):
+// one process group per domain — pid 1 "ranks" with one thread per simulated
+// process, pid 2 "fabric" with one thread per interconnect resource, pid 3
+// "engine" for scheduler counter tracks — complete ("X") events for spans
+// and counter ("C") events for time series.
+//
+// The writer is deliberately hand-rolled: field order, float formatting and
+// event ordering are all fixed, so the same simulation produces byte-
+// identical output on every run and platform (pinned by a golden test).
+
+// Perfetto pid assignments.
+const (
+	pidRanks  = 1
+	pidFabric = 2
+	pidEngine = 3
+)
+
+// jsonEscape escapes a string for embedding in a JSON string literal.
+func jsonEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// usec renders a picosecond timestamp or duration as a microsecond decimal
+// with exact integer arithmetic (six fractional digits), avoiding any
+// platform-dependent float formatting.
+func usec(ps int64) string {
+	neg := ""
+	if ps < 0 {
+		neg, ps = "-", -ps
+	}
+	return fmt.Sprintf("%s%d.%06d", neg, ps/1_000_000, ps%1_000_000)
+}
+
+// pfEvent is one pre-rendered trace event with its sort keys.
+type pfEvent struct {
+	ts   int64 // picoseconds
+	pid  int
+	tid  int
+	dur  int64 // picoseconds; spans sort longer-first at equal ts for nesting
+	kind int   // 0 = span, 1 = counter
+	name string
+	body string
+}
+
+// WritePerfetto renders everything the recorder holds as trace-event JSON.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var events []pfEvent
+
+	// Process (rank) spans: tid = process id.
+	for _, s := range r.spans {
+		pid, tid := pidRanks, s.Proc
+		if s.Proc < 0 {
+			pid, tid = pidFabric, r.resourceTid(s.Resource)
+		}
+		args := ""
+		if len(s.Args) > 0 {
+			parts := make([]string, len(s.Args))
+			for i, kv := range s.Args {
+				parts[i] = fmt.Sprintf(`"%s":"%s"`, jsonEscape(kv.K), jsonEscape(kv.V))
+			}
+			args = `,"args":{` + strings.Join(parts, ",") + `}`
+		}
+		ts, dur := int64(s.Start), int64(s.End.Sub(s.Start))
+		events = append(events, pfEvent{
+			ts: ts, pid: pid, tid: tid, dur: dur, name: s.Name,
+			body: fmt.Sprintf(`{"name":"%s","cat":"%s","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s%s}`,
+				jsonEscape(s.Name), jsonEscape(s.Cat), pid, tid, usec(ts), usec(dur), args),
+		})
+	}
+
+	// Counter tracks. Engine-owned tracks go to pidEngine, everything else
+	// (fabric rates, protocol counts) to pidFabric.
+	for _, name := range r.ctrOrder {
+		ct := r.counters[name]
+		pid := pidFabric
+		if strings.HasPrefix(name, "engine") {
+			pid = pidEngine
+		}
+		for _, s := range ct.samples {
+			events = append(events, pfEvent{
+				ts: int64(s.at), pid: pid, tid: 0, kind: 1, name: name,
+				body: fmt.Sprintf(`{"name":"%s","ph":"C","pid":%d,"ts":%s,"args":{"value":%s}}`,
+					jsonEscape(name), pid, usec(int64(s.at)), formatCounterValue(s.v)),
+			})
+		}
+	}
+
+	// Total order: time, then process/thread, longer spans first (so
+	// nesting parents precede children at equal timestamps), spans before
+	// counters, then name.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.dur != b.dur {
+			return a.dur > b.dur
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.name < b.name
+	})
+
+	var out []string
+	out = append(out, r.metadataEvents()...)
+	for _, e := range events {
+		out = append(out, e.body)
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, line := range out {
+		sep := ",\n"
+		if i == len(out)-1 {
+			sep = "\n"
+		}
+		if _, err := io.WriteString(w, line+sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// resourceTid returns the stable thread id of a resource track: its
+// registration order.
+func (r *Recorder) resourceTid(name string) int {
+	for i, n := range r.resources {
+		if n == name {
+			return i
+		}
+	}
+	return len(r.resources)
+}
+
+// metadataEvents names the processes and threads. Callers hold mu.
+func (r *Recorder) metadataEvents() []string {
+	var out []string
+	meta := func(pid, tid int, kind, name string) {
+		out = append(out, fmt.Sprintf(`{"name":"%s","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+			kind, pid, tid, jsonEscape(name)))
+	}
+	sortIdx := func(pid int) {
+		out = append(out, fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			pid, pid))
+	}
+	meta(pidRanks, 0, "process_name", "ranks")
+	sortIdx(pidRanks)
+	procIDs := append([]int(nil), r.procOrder...)
+	sort.Ints(procIDs)
+	for _, id := range procIDs {
+		meta(pidRanks, id, "thread_name", r.procName(id))
+		out = append(out, fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+			pidRanks, id, id))
+	}
+	if len(r.resources) > 0 {
+		meta(pidFabric, 0, "process_name", "fabric")
+		sortIdx(pidFabric)
+		for i, name := range r.resources {
+			meta(pidFabric, i, "thread_name", name)
+			out = append(out, fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+				pidFabric, i, i))
+		}
+	}
+	for _, name := range r.ctrOrder {
+		if strings.HasPrefix(name, "engine") {
+			meta(pidEngine, 0, "process_name", "engine")
+			sortIdx(pidEngine)
+			break
+		}
+	}
+	return out
+}
+
+// formatCounterValue renders a counter sample; integral values print without
+// a fractional part so output is compact and platform-stable.
+func formatCounterValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

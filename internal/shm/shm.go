@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/nums"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -150,6 +151,7 @@ type Node struct {
 	attached map[[2]int]bool // XPMEM (src local, dst local) attach cache
 	memPort  simtime.Station // aggregate memory port (NodeMemBandwidth > 0)
 	stats    Stats
+	rec      *obs.Recorder
 }
 
 // Stats counts intranode traffic for tests and utilization reports.
@@ -183,6 +185,19 @@ func MustNewNode(params Params) *Node {
 // Params returns the node's calibration.
 func (nd *Node) Params() Params { return nd.params }
 
+// Observe attaches a recorder: every charged intranode operation is recorded
+// as a cost-component path segment on the calling process (copy, reduce,
+// size-sync, handoff, post), making PiP's per-message size-synchronization
+// overhead explicitly attributable in critical-path reports.
+func (nd *Node) Observe(rec *obs.Recorder) { nd.rec = rec }
+
+// seg records [start, now) on p's cost timeline when a recorder is attached.
+func (nd *Node) seg(p *simtime.Proc, cat string, start simtime.Time) {
+	if nd.rec != nil {
+		nd.rec.PathSegFor(p, cat, start, p.Now())
+	}
+}
+
 // Stats returns cumulative counters.
 func (nd *Node) Stats() Stats { return nd.stats }
 
@@ -200,7 +215,9 @@ func (nd *Node) Memcpy(p *simtime.Proc, dst, src []byte) {
 		panic(fmt.Sprintf("shm: memcpy length mismatch %d != %d", len(dst), len(src)))
 	}
 	copy(dst, src)
+	t0 := p.Now()
 	nd.chargeStreaming(p, nd.copyCost(len(src)), len(src))
+	nd.seg(p, "copy", t0)
 	nd.stats.Copies++
 	nd.stats.Bytes += int64(len(src))
 }
@@ -221,10 +238,18 @@ func (nd *Node) chargeStreaming(p *simtime.Proc, perCore simtime.Duration, bytes
 }
 
 // Post charges the cost of publishing an address or flag to node peers.
-func (nd *Node) Post(p *simtime.Proc) { p.Advance(nd.params.PostCost) }
+func (nd *Node) Post(p *simtime.Proc) {
+	t0 := p.Now()
+	p.Advance(nd.params.PostCost)
+	nd.seg(p, "post", t0)
+}
 
 // Handoff charges one intranode notification latency α_r.
-func (nd *Node) Handoff(p *simtime.Proc) { p.Advance(nd.params.Latency) }
+func (nd *Node) Handoff(p *simtime.Proc) {
+	t0 := p.Now()
+	p.Advance(nd.params.Latency)
+	nd.seg(p, "handoff", t0)
+}
 
 // TransferCost returns the time the mechanism needs to move n bytes between
 // two local ranks, charged to whichever side performs the copy under that
@@ -265,8 +290,14 @@ func (nd *Node) TransferCost(mech Mechanism, srcLocal, dstLocal, n int) simtime.
 // process. PiP-MPICH pays this on every point-to-point message; PiP-MColl
 // pays it never (its algorithms exchange addresses once per collective).
 func (nd *Node) SizeSync(p *simtime.Proc) {
+	t0 := p.Now()
 	p.Advance(nd.params.PiPSizeSync)
 	nd.stats.SizeSyncs++
+	if nd.rec != nil {
+		nd.rec.PathSegFor(p, "size-sync", t0, p.Now())
+		nd.rec.ProcSpan(p, "size-sync", "size-sync", t0, p.Now())
+		nd.rec.Metrics().Counter("shm.size-syncs").Add(1)
+	}
 }
 
 // ReduceFloat64 combines src into acc element-wise with op, charging the
@@ -278,7 +309,9 @@ func (nd *Node) ReduceFloat64(p *simtime.Proc, acc, src []float64, op func(a, b 
 	for i, v := range src {
 		acc[i] = op(acc[i], v)
 	}
+	t0 := p.Now()
 	nd.chargeStreaming(p, simtime.TransferTime(8*len(src), nd.params.ReduceBandwidth), 8*len(src))
+	nd.seg(p, "reduce", t0)
 	nd.stats.Reduces++
 	nd.stats.RedBytes += int64(8 * len(src))
 }
@@ -288,7 +321,9 @@ func (nd *Node) ReduceFloat64(p *simtime.Proc, acc, src []float64, op func(a, b 
 // byte-buffer twin of ReduceFloat64 used by the MPI collectives.
 func (nd *Node) Combine(p *simtime.Proc, acc, src []byte, op nums.Op) {
 	op.Combine(acc, src)
+	t0 := p.Now()
 	nd.chargeStreaming(p, simtime.TransferTime(len(src), nd.params.ReduceBandwidth), len(src))
+	nd.seg(p, "reduce", t0)
 	nd.stats.Reduces++
 	nd.stats.RedBytes += int64(len(src))
 }
@@ -296,7 +331,9 @@ func (nd *Node) Combine(p *simtime.Proc, acc, src []byte, op nums.Op) {
 // ChargeTransfer performs the cost side of a mechanism transfer (see
 // TransferCost) with aggregate memory contention applied when enabled.
 func (nd *Node) ChargeTransfer(p *simtime.Proc, mech Mechanism, srcLocal, dstLocal, n int) {
+	t0 := p.Now()
 	nd.chargeStreaming(p, nd.TransferCost(mech, srcLocal, dstLocal, n), n)
+	nd.seg(p, "copy", t0)
 }
 
 // ResetAttachCache forgets XPMEM attachments, as after a job restart.

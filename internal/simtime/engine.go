@@ -24,7 +24,30 @@ type Engine struct {
 	failure error
 	horizon Time // latest event time popped so far
 	running bool
+	obs     Observer
 }
+
+// Observer receives scheduling notifications from the engine. All callbacks
+// fire while the engine and its processes are serialized, so implementations
+// need no locking against the engine itself. The package defines the
+// interface (rather than importing an observability package) so that
+// instrumentation stays an optional, dependency-free hook.
+type Observer interface {
+	// ProcBlocked fires when a process parks, with the human-readable
+	// blocking reason ("sleep", "mailbox get", "barrier 1/4", ...).
+	ProcBlocked(p *Proc, reason string, at Time)
+	// ProcResumed fires when a parked process resumes, after its clock has
+	// advanced to the wakeup time. waker is the process whose action posted
+	// the wakeup (nil when unknown; p itself for self-scheduled sleeps).
+	ProcResumed(p *Proc, at Time, waker *Proc)
+	// Dispatched fires each time the engine pops an event and hands control
+	// to a process; pending is the number of events still queued.
+	Dispatched(p *Proc, at Time, pending int)
+}
+
+// SetObserver installs (or, with nil, removes) the engine's observer. Call it
+// before Run.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // NewEngine returns an empty engine ready for Spawn and Run.
 func NewEngine() *Engine {
@@ -63,6 +86,7 @@ type Proc struct {
 	fn      func(*Proc)
 	started bool
 	waiting string // human-readable blocking reason, for deadlock reports
+	wokenBy *Proc  // process whose action posted the pending wakeup
 }
 
 // ID returns the process's engine-unique identifier, assigned in spawn order.
@@ -98,12 +122,17 @@ func (p *Proc) AdvanceTo(t Time) {
 // earlier event run first. Use it when the waiting interval should interleave
 // with other processes' activity (e.g. polling loops); use Advance for pure
 // local compute.
-func (p *Proc) Sleep(d Duration) {
+func (p *Proc) Sleep(d Duration) { p.SleepLabeled(d, "sleep") }
+
+// SleepLabeled is Sleep with an explicit blocking reason reported to the
+// engine observer, so instrumented layers can attribute the wait to a cost
+// component (e.g. the fabric labels injection-window stalls "inject-window").
+func (p *Proc) SleepLabeled(d Duration, reason string) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.post(p, p.now.Add(d))
-	p.park("sleep")
+	p.e.postFrom(p, p, p.now.Add(d))
+	p.park(reason)
 }
 
 // Yield gives every process with an event at or before the current instant a
@@ -123,6 +152,9 @@ func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
 func (p *Proc) park(reason string) {
 	p.state = stParked
 	p.waiting = reason
+	if p.e.obs != nil {
+		p.e.obs.ProcBlocked(p, reason, p.now)
+	}
 	p.e.ctl <- struct{}{}
 	t := <-p.resume
 	if p.poison {
@@ -131,6 +163,11 @@ func (p *Proc) park(reason string) {
 	p.state = stRunning
 	p.waiting = ""
 	p.AdvanceTo(t)
+	if p.e.obs != nil {
+		waker := p.wokenBy
+		p.wokenBy = nil
+		p.e.obs.ProcResumed(p, p.now, waker)
+	}
 }
 
 // Spawn registers a top-level process that starts at virtual time 0. It may
@@ -159,9 +196,18 @@ func (e *Engine) spawnAt(name string, at Time, fn func(*Proc)) *Proc {
 // maintain that invariant by removing a process from their waiter lists when
 // they post its wakeup.
 func (e *Engine) post(p *Proc, t Time) {
+	p.wokenBy = nil
 	p.state = stScheduled
 	e.seq++
 	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// postFrom is post with attribution: waker is the process whose action made
+// p runnable (p itself for self-scheduled wakeups). Since each parked process
+// has at most one pending wakeup, the attribution can live on the Proc.
+func (e *Engine) postFrom(waker, p *Proc, t Time) {
+	e.post(p, t)
+	p.wokenBy = waker
 }
 
 // Horizon returns the virtual makespan observed so far: the latest event
@@ -220,6 +266,9 @@ func (e *Engine) Run() error {
 		p := ev.p
 		if ev.t > e.horizon {
 			e.horizon = ev.t
+		}
+		if e.obs != nil {
+			e.obs.Dispatched(p, ev.t, e.events.Len())
 		}
 		p.state = stRunning
 		if !p.started {

@@ -33,7 +33,7 @@ func (c *Counter) Add(p *Proc, n uint64) {
 	rest := c.waiters[:0]
 	for _, w := range c.waiters {
 		if c.val >= w.target {
-			p.e.post(w.p, p.now)
+			p.e.postFrom(p, w.p, p.now)
 		} else {
 			rest = append(rest, w)
 		}
@@ -116,7 +116,7 @@ func (b *Barrier) Wait(p *Proc) {
 	if b.count == b.parties {
 		release := b.latest
 		for _, w := range b.waiters {
-			p.e.post(w, release)
+			p.e.postFrom(p, w, release)
 		}
 		b.waiters = b.waiters[:0]
 		b.count = 0
@@ -172,12 +172,12 @@ func (m *Mailbox) PutAt(p *Proc, t Time, item any) {
 		case matches && r.peek:
 			r.result = item
 			r.filled = true
-			p.e.post(r.p, t)
+			p.e.postFrom(p, r.p, t)
 		case matches && !consumed:
 			r.result = item
 			r.filled = true
 			consumed = true
-			p.e.post(r.p, t)
+			p.e.postFrom(p, r.p, t)
 		default:
 			rest = append(rest, r)
 		}

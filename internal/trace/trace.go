@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/simtime"
 )
@@ -52,18 +53,30 @@ func (e Event) String() string {
 	return fmt.Sprintf("%v %s %d->%d tag=%d %dB (%s)", e.At, e.Kind, e.Src, e.Dst, e.Tag, e.Bytes, where)
 }
 
-// Log is an append-only event recorder. It is driven from simulation
-// processes, which the engine serializes, so no locking is needed.
+// Log is an append-only event recorder with ring-buffer retention. Within
+// one simulation the engine serializes recording processes, but logs are
+// also read from test goroutines and shared across concurrently-run worlds
+// (the bench runner runs cells in parallel), so all methods lock.
 type Log struct {
+	mu     sync.Mutex
 	events []Event
 	limit  int
 }
 
 // NewLog returns a recorder keeping at most limit events (0 = unbounded).
+//
+// The limit is a ring-buffer bound on *retention*, not on recording: every
+// Record succeeds, and once limit events are held each new event evicts the
+// oldest one. Aggregations over a saturated log (Volume, CheckCausality)
+// therefore describe only the trailing window — in particular CheckCausality
+// can report a false "recv without send" when the matching send was evicted.
+// Use limit 0 when completeness matters more than memory.
 func NewLog(limit int) *Log { return &Log{limit: limit} }
 
 // Record appends an event, dropping the oldest beyond the limit.
 func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.limit > 0 && len(l.events) == l.limit {
 		copy(l.events, l.events[1:])
 		l.events[len(l.events)-1] = e
@@ -72,14 +85,33 @@ func (l *Log) Record(e Event) {
 	l.events = append(l.events, e)
 }
 
-// Events returns the recorded events in order.
-func (l *Log) Events() []Event { return l.events }
+// Events returns a copy of the recorded events in order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
 
 // Len returns the number of retained events.
-func (l *Log) Len() int { return len(l.events) }
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
 
-// Reset discards all events.
-func (l *Log) Reset() { l.events = l.events[:0] }
+// Reset discards all events; the limit is retained.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = l.events[:0]
+}
+
+// snapshot returns the events under the lock, for the aggregation helpers.
+func (l *Log) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
 
 // Volume sums payload bytes by event kind and locality.
 type Volume struct {
@@ -90,7 +122,7 @@ type Volume struct {
 // Volume aggregates the send events.
 func (l *Log) Volume() Volume {
 	var v Volume
-	for _, e := range l.events {
+	for _, e := range l.snapshot() {
 		if e.Kind != KindSend {
 			continue
 		}
@@ -113,7 +145,7 @@ func (l *Log) CheckCausality() string {
 		src, dst, tag, bytes int
 	}
 	pending := map[key][]simtime.Time{}
-	for _, e := range l.events {
+	for _, e := range l.snapshot() {
 		k := key{e.Src, e.Dst, e.Tag, e.Bytes}
 		switch e.Kind {
 		case KindSend:
@@ -135,7 +167,7 @@ func (l *Log) CheckCausality() string {
 // Format renders the log, one event per line.
 func (l *Log) Format() string {
 	var b strings.Builder
-	for _, e := range l.events {
+	for _, e := range l.snapshot() {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}

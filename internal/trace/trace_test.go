@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/simtime"
@@ -79,5 +80,58 @@ func TestFormatAndStrings(t *testing.T) {
 	}
 	if Kind(9).String() == "" {
 		t.Fatal("unknown kind empty")
+	}
+}
+
+// TestConcurrentRecord hammers one log from many goroutines — the bench
+// runner shares logs across concurrently-run worlds — and checks nothing is
+// lost (unbounded log) and the ring bound holds (limited log). Run with
+// -race to make the locking claim meaningful.
+func TestConcurrentRecord(t *testing.T) {
+	const workers, per = 8, 500
+	unbounded := NewLog(0)
+	ring := NewLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e := ev(KindSend, int64(i), w, 0, 0, 1, false)
+				unbounded.Record(e)
+				ring.Record(e)
+				if i%64 == 0 {
+					_ = unbounded.Volume()
+					_ = ring.Events()
+					_ = unbounded.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := unbounded.Len(); got != workers*per {
+		t.Errorf("unbounded log kept %d events, want %d", got, workers*per)
+	}
+	if v := unbounded.Volume(); v.SendsInter != workers*per || v.BytesInter != workers*per {
+		t.Errorf("volume = %+v, want %d sends", v, workers*per)
+	}
+	if got := ring.Len(); got != 64 {
+		t.Errorf("ring log kept %d events, want its 64-event bound", got)
+	}
+}
+
+// TestEventsReturnsCopy verifies the accessor hands back a snapshot that
+// later records cannot mutate.
+func TestEventsReturnsCopy(t *testing.T) {
+	l := NewLog(0)
+	l.Record(ev(KindSend, 1, 0, 1, 0, 8, false))
+	snap := l.Events()
+	l.Record(ev(KindRecv, 2, 0, 1, 0, 8, false))
+	if len(snap) != 1 {
+		t.Fatalf("snapshot grew: %v", snap)
+	}
+	snap[0].Src = 99
+	if l.Events()[0].Src == 99 {
+		t.Fatal("mutating the snapshot reached the log")
 	}
 }
