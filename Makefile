@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci
+.PHONY: all vet build test race chaos-race chaos-smoke ci
 
 all: build
 
@@ -18,4 +18,17 @@ test:
 race:
 	$(GO) test -race ./internal/bench ./internal/simtime ./internal/obs ./internal/trace
 
-ci: vet build test race
+# Fault-injection and watchdog paths under the race detector: the fault
+# plan is shared read-only across ranks and the watchdog fires from the
+# engine while ranks block.
+chaos-race:
+	$(GO) test -race ./internal/fault ./internal/fabric ./internal/mpi -run 'Fault|Watchdog|Deadlock|Timeout|Noise|Stall|Loss|Degrade'
+
+# End-to-end resilience smoke: fixed-seed scenarios must survive with
+# verified results (exit 0) and an unknown scenario must be refused.
+chaos-smoke:
+	$(GO) run ./cmd/pipmcoll-chaos -scenario flaky-fabric -op allgather
+	$(GO) run ./cmd/pipmcoll-chaos -scenario mixed -op allreduce
+	! $(GO) run ./cmd/pipmcoll-chaos -scenario no-such-scenario 2>/dev/null
+
+ci: vet build test race chaos-race chaos-smoke

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func run() error {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	ext := flag.Bool("ext", false, "also run the extension experiments (E1-E5)")
 	abl := flag.Bool("ablation", false, "also run the ablation experiments (A1-A3)")
-	sens := flag.Bool("sensitivity", false, "also run the sensitivity experiments (S1-S2)")
+	sens := flag.Bool("sensitivity", false, "also run the sensitivity experiments (S1-S4)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cells simulating concurrently (1 = serial)")
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
@@ -129,11 +130,26 @@ func run() error {
 		},
 	})
 
+	var failed []string
 	for _, f := range figs {
 		curID, figStart = f.ID, time.Now()
 		tables, err := runner.RunFigure(f, opts)
 		if err != nil {
-			return err
+			// A failing figure doesn't abort the run: report every failing
+			// cell key, remember the figure, and keep regenerating the rest
+			// so one bad cell can't hide other results (or other failures).
+			failed = append(failed, f.ID)
+			var ce *bench.CellErrors
+			if errors.As(err, &ce) {
+				fmt.Fprintf(os.Stderr, "pipmcoll-bench: figure %s: %d of %d cells failed:\n",
+					ce.Figure, len(ce.Cells), ce.Total)
+				for _, c := range ce.Cells {
+					fmt.Fprintf(os.Stderr, "  cell %q: %v\n", c.Key, c.Err)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "pipmcoll-bench: figure %s: %v\n", f.ID, err)
+			}
+			continue
 		}
 		fmt.Printf("=== Figure %s: %s  [%.1fs]\n\n", f.ID, f.Title, time.Since(figStart).Seconds())
 		for i, t := range tables {
@@ -153,6 +169,9 @@ func run() error {
 	if *statsDump {
 		fmt.Println()
 		reg.Dump(os.Stdout)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d figure(s) had failing cells: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }

@@ -1,0 +1,346 @@
+// Command pipmcoll-chaos runs one collective under a named fault scenario
+// and prints a resilience report: the fault-free baseline horizon, the
+// faulted horizon, the fault counters (drops, corruptions, retransmits,
+// stalls, noise detours), and the outcome of two audits — the collective's
+// result must still be correct on every rank, and the fabric's loss
+// accounting must balance (every injected drop or corruption matched by a
+// retransmit).
+//
+// Usage:
+//
+//	pipmcoll-chaos [-scenario flaky-fabric] [-lib PiP-MColl] [-op allreduce]
+//	               [-nodes 4] [-ppn 4] [-bytes 4096] [-rounds 4] [-seed 42]
+//	               [-timeout 0] [-trace FILE] [-list]
+//
+// Exit status: 0 on a clean resilient run, 1 on a simulation failure (a
+// deadlock, a timeout, a wrong result), 2 on a broken resilience invariant
+// (unbalanced loss accounting). The watchdog and per-op timeouts stay armed,
+// so a scenario that wedges the collective terminates with a diagnosis
+// instead of hanging.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// scenario is a named, parameter-free chaos plan builder: given a seed it
+// produces the fault spec the run injects.
+type scenario struct {
+	name  string
+	about string
+	spec  func(seed uint64) fault.Spec
+}
+
+// scenarios is the named chaos catalogue. Every spec uses open-ended
+// windows where possible so the scenario applies at any shape or payload.
+var scenarios = []scenario{
+	{
+		name:  "flaky-fabric",
+		about: "10% eager drops + 2% corruption, 5us RTO",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, Loss: fault.Loss{
+				DropRate: 0.10, CorruptRate: 0.02, RTO: 5 * simtime.Microsecond,
+			}}
+		},
+	},
+	{
+		name:  "degraded-link",
+		about: "node 0 link at half bandwidth, 4x overhead",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, Degrade: []fault.LinkDegrade{{
+				Node: 0, BandwidthScale: 0.5, OverheadScale: 4,
+			}}}
+		},
+	},
+	{
+		name:  "noisy-os",
+		about: "1us detours every ~5us on every rank (20% noise)",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, Noise: []fault.Noise{{
+				Amplitude: simtime.Microsecond, Period: 5 * simtime.Microsecond, Jitter: 0.3,
+			}}}
+		},
+	},
+	{
+		name:  "straggler",
+		about: "rank 0 loses 10us every ~20us (a 50% straggler)",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, Noise: []fault.Noise{{
+				Ranks: []int{0}, Amplitude: 10 * simtime.Microsecond, Period: 20 * simtime.Microsecond, Jitter: 0.2,
+			}}}
+		},
+	},
+	{
+		name:  "nic-stall",
+		about: "node 0 queue 0 frozen for 25us at t=5us",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, Stalls: []fault.QueueStall{{
+				Node: 0, Queue: 0, From: simtime.Time(5 * simtime.Microsecond), Duration: 25 * simtime.Microsecond,
+			}}}
+		},
+	},
+	{
+		name:  "mixed",
+		about: "flaky fabric + OS noise + a degraded node at once",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{
+				Seed: seed,
+				Loss: fault.Loss{DropRate: 0.05, RTO: 5 * simtime.Microsecond},
+				Noise: []fault.Noise{{
+					Amplitude: 500 * simtime.Nanosecond, Period: 5 * simtime.Microsecond, Jitter: 0.3,
+				}},
+				Degrade: []fault.LinkDegrade{{Node: 0, BandwidthScale: 0.7, OverheadScale: 2}},
+			}
+		},
+	},
+}
+
+func findScenario(name string) (scenario, bool) {
+	for _, s := range scenarios {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return scenario{}, false
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scen := flag.String("scenario", "flaky-fabric", "named fault scenario (see -list)")
+	libName := flag.String("lib", "PiP-MColl", "library under test")
+	op := flag.String("op", "allreduce", "collective: bcast, scatter, allgather or allreduce")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	ppn := flag.Int("ppn", 4, "processes per node")
+	bytes := flag.Int("bytes", 4096, "per-process payload")
+	rounds := flag.Int("rounds", 4, "collective invocations per run")
+	seed := flag.Uint64("seed", 42, "fault plan seed")
+	timeoutFlag := flag.Duration("timeout", 0, "per-op virtual-time timeout (0 = watchdog only)")
+	traceFile := flag.String("trace", "", "write the faulted run's Perfetto trace to this file")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenarios {
+			fmt.Printf("  %-14s %s\n", s.name, s.about)
+		}
+		return 0
+	}
+	s, ok := findScenario(*scen)
+	if !ok {
+		var names []string
+		for _, sc := range scenarios {
+			names = append(names, sc.name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "pipmcoll-chaos: unknown scenario %q (have %v)\n", *scen, names)
+		return 1
+	}
+	lib, err := libs.ByName(*libName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipmcoll-chaos:", err)
+		return 1
+	}
+	plan, err := fault.New(s.spec(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipmcoll-chaos:", err)
+		return 1
+	}
+	// The -timeout flag is wall-clock syntax ("100us") for a virtual-time
+	// bound; convert nanoseconds to simulation picoseconds.
+	timeout := simtime.Nanos(float64(timeoutFlag.Nanoseconds()))
+
+	fmt.Printf("scenario %s (%s), seed %d\n", s.name, s.about, *seed)
+	fmt.Printf("%s %s on %dx%d ranks, %d B x %d rounds\n\n", lib.Name(), *op, *nodes, *ppn, *bytes, *rounds)
+
+	baseline, err := simulate(lib, *op, *nodes, *ppn, *bytes, *rounds, nil, timeout, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipmcoll-chaos: fault-free baseline failed: %v\n", diagnose(err))
+		return 1
+	}
+	faulted, err := simulate(lib, *op, *nodes, *ppn, *bytes, *rounds, plan, timeout, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipmcoll-chaos: faulted run failed: %v\n", diagnose(err))
+		return 1
+	}
+
+	fmt.Printf("  baseline horizon  %12.3f us\n", baseline.horizon.Microseconds())
+	slow := 0.0
+	if baseline.horizon > 0 {
+		slow = 100 * (faulted.horizon.Microseconds() - baseline.horizon.Microseconds()) / baseline.horizon.Microseconds()
+	}
+	fmt.Printf("  faulted horizon   %12.3f us  (%+.1f%%)\n\n", faulted.horizon.Microseconds(), slow)
+	fmt.Printf("  drops=%d corruptions=%d retransmits=%d stalls=%d\n",
+		faulted.drops, faulted.corruptions, faulted.retransmits, faulted.stalls)
+	fmt.Printf("  noise: %d detours, %d ns billed\n", faulted.detours, faulted.noiseNs)
+	fmt.Println("  results verified correct on every rank")
+
+	if faulted.drops+faulted.corruptions != faulted.retransmits {
+		fmt.Printf("\nFAIL: loss accounting broken: %d drops + %d corruptions != %d retransmits\n",
+			faulted.drops, faulted.corruptions, faulted.retransmits)
+		return 2
+	}
+	fmt.Println("  loss accounting balanced: drops + corruptions == retransmits")
+	fmt.Println("\nresilient: collective completed correctly under", s.name)
+	return 0
+}
+
+// outcome summarizes one simulated run.
+type outcome struct {
+	horizon                         simtime.Duration
+	drops, corruptions, retransmits int64
+	stalls, detours, noiseNs        int64
+}
+
+// simulate runs `rounds` back-to-back collectives under an optional fault
+// plan, verifying every rank's result, and returns the horizon plus the
+// fault counters.
+func simulate(lib *libs.Library, op string, nodes, ppn, bytes, rounds int, plan *fault.Plan, timeout simtime.Duration, traceFile string) (outcome, error) {
+	cfg := lib.Config()
+	cfg.Faults = plan
+	cfg.OpTimeout = timeout
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world, err := mpi.NewWorld(cluster, cfg)
+	if err != nil {
+		return outcome{}, err
+	}
+	var rec *obs.Recorder
+	if traceFile != "" {
+		rec = obs.NewRecorder()
+	} else {
+		rec = obs.NewLiteRecorder()
+	}
+	world.Observe(rec)
+	size := cluster.Size()
+	var verifyErr error
+	runErr := world.Run(func(r *mpi.Rank) {
+		for round := 0; round < rounds; round++ {
+			if err := runVerified(lib, op, r, size, bytes, round); err != nil && verifyErr == nil {
+				verifyErr = err
+			}
+			r.HarnessBarrier()
+		}
+	})
+	if runErr != nil {
+		return outcome{}, runErr
+	}
+	if verifyErr != nil {
+		return outcome{}, verifyErr
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return outcome{}, err
+		}
+		if err := rec.WritePerfetto(f); err != nil {
+			f.Close()
+			return outcome{}, err
+		}
+		if err := f.Close(); err != nil {
+			return outcome{}, err
+		}
+	}
+	fs := world.Fabric().FaultStats()
+	m := rec.Metrics()
+	return outcome{
+		horizon:     world.Horizon().Sub(simtime.Time(0)),
+		drops:       fs.Drops,
+		corruptions: fs.Corruptions,
+		retransmits: fs.Retransmits,
+		stalls:      fs.Stalls,
+		detours:     m.Counter("fault.detours").Value(),
+		noiseNs:     m.Counter("fault.noise_ns").Value(),
+	}, nil
+}
+
+// runVerified executes one collective round and checks the result on the
+// calling rank — under chaos the payloads must still arrive intact, since
+// dropped and corrupted attempts are retransmitted, never delivered.
+func runVerified(lib *libs.Library, op string, r *mpi.Rank, size, bytes, round int) error {
+	switch op {
+	case "bcast":
+		buf := make([]byte, bytes)
+		if r.Rank() == 0 {
+			nums.FillBytes(buf, round)
+		}
+		lib.Bcast(r, 0, buf)
+		want := make([]byte, bytes)
+		nums.FillBytes(want, round)
+		return check(op, r, buf, want)
+	case "scatter":
+		var in []byte
+		if r.Rank() == 0 {
+			in = make([]byte, size*bytes)
+			for i := 0; i < size; i++ {
+				nums.FillBytes(in[i*bytes:(i+1)*bytes], i+round)
+			}
+		}
+		out := make([]byte, bytes)
+		lib.Scatter(r, 0, in, out)
+		want := make([]byte, bytes)
+		nums.FillBytes(want, r.Rank()+round)
+		return check(op, r, out, want)
+	case "allgather":
+		in := make([]byte, bytes)
+		nums.FillBytes(in, r.Rank()+round)
+		out := make([]byte, size*bytes)
+		lib.Allgather(r, in, out)
+		want := make([]byte, size*bytes)
+		for i := 0; i < size; i++ {
+			nums.FillBytes(want[i*bytes:(i+1)*bytes], i+round)
+		}
+		return check(op, r, out, want)
+	case "allreduce":
+		in := make([]byte, bytes)
+		nums.Fill(in, r.Rank())
+		out := make([]byte, bytes)
+		lib.Allreduce(r, in, out, nums.Sum)
+		want := make([]byte, bytes)
+		nums.Fill(want, 0)
+		tmp := make([]byte, bytes)
+		for i := 1; i < size; i++ {
+			nums.Fill(tmp, i)
+			nums.Sum.Combine(want, tmp)
+		}
+		return check(op, r, out, want)
+	default:
+		return fmt.Errorf("unknown op %q (have bcast, scatter, allgather, allreduce)", op)
+	}
+}
+
+func check(op string, r *mpi.Rank, got, want []byte) error {
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s rank %d: byte %d corrupted after recovery", op, r.Rank(), i)
+		}
+	}
+	return nil
+}
+
+// diagnose renders the structured failure types with their full context —
+// the watchdog's per-rank blocked-state diagnosis or the typed timeout.
+func diagnose(err error) string {
+	var de *mpi.DeadlockError
+	if errors.As(err, &de) {
+		return de.Error()
+	}
+	var te *mpi.TimeoutError
+	if errors.As(err, &te) {
+		return te.Error()
+	}
+	return err.Error()
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// S3 and S4 are resilience-sensitivity experiments beyond the paper: the
+// paper's testbed is a quiet, lossless OPA fabric, but production clusters
+// see OS noise, stragglers and (on lossy transports) retransmissions. S3
+// sweeps OS-noise amplitude and frequency under allreduce; S4 sweeps the
+// eager drop rate under allgather and additionally audits the fabric's
+// loss accounting: every injected drop must be matched by a retransmit.
+func init() {
+	Register(Figure{ID: "S3", Kind: KindSensitivity, Cells: sensS3Cells,
+		Title: "Allreduce under OS noise and stragglers (sensitivity)"})
+	Register(Figure{ID: "S4", Kind: KindSensitivity, Cells: sensS4Cells,
+		Title: "Allgather under eager message loss (sensitivity)"})
+}
+
+// SensS3 sweeps the OS-noise detour amplitude (at fixed frequency) and then
+// the detour frequency (at fixed amplitude) for PiP-MColl against two
+// baselines. Multi-object collectives synchronize more often across
+// objects, so noise that delays one rank can propagate differently than in
+// the single-leader designs — S3 quantifies that.
+func SensS3(o Opts) []*stats.Table { return runSerial("S3", sensS3Cells, o) }
+
+func sensS3Cells(o Opts) *Plan {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 4, 8), pick(o, 4, 8)
+	const chunk = 1 << 10
+	const seed = 1303
+	ls := []*libs.Library{libs.IntelMPI(), libs.PiPMPICH(), libs.PiPMColl()}
+
+	// The collectives under test complete in single-digit microseconds, so
+	// the noise periods are picked at that scale — long periods relative to
+	// the run would mean no detour ever lands inside a timed region.
+	//
+	// Table 0: amplitude sweep at a fixed 5 µs mean detour period.
+	amps := []simtime.Duration{0, 500 * simtime.Nanosecond, simtime.Microsecond, 2 * simtime.Microsecond}
+	ampRows := []string{"off", "0.5us", "1us", "2us"}
+	ampTable := stats.NewTable(
+		fmt.Sprintf("S3: %s allreduce vs OS-noise amplitude (%dx%d, period 5us)",
+			sizeLabel(chunk), nodes, ppn),
+		"amplitude", "us", libNames(ls), ampRows)
+
+	// Table 1: period sweep at a fixed 1 µs detour amplitude (shorter
+	// period = higher noise frequency).
+	periods := []simtime.Duration{20 * simtime.Microsecond, 5 * simtime.Microsecond, 2 * simtime.Microsecond}
+	perRows := []string{"20us", "5us", "2us"}
+	perTable := stats.NewTable(
+		fmt.Sprintf("S3: %s allreduce vs OS-noise period (%dx%d, amplitude 1us)",
+			sizeLabel(chunk), nodes, ppn),
+		"period", "us", libNames(ls), perRows)
+
+	noise := func(amp, period simtime.Duration) *fault.Plan {
+		if amp == 0 {
+			return nil
+		}
+		return fault.MustNew(fault.Spec{Seed: seed, Noise: []fault.Noise{{
+			Amplitude: amp,
+			Period:    period,
+			Jitter:    0.3,
+		}}})
+	}
+
+	var cells []Cell
+	add := func(table int, row string, l *libs.Library, plan *fault.Plan) {
+		cfg := l.Config()
+		cfg.Faults = plan
+		cells = append(cells, Cell{
+			Key: fmt.Sprintf("s3 t=%d row=%s lib=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d cfg=%s",
+				table, row, l.Name(), nodes, ppn, chunk, o.Warmup, o.Iters, cfgKey(cfg)),
+			Run: func() ([]Value, error) {
+				us, _, _, err := measureFaulted(l, cfg, OpAllreduce, nodes, ppn, chunk, o)
+				if err != nil {
+					return nil, err
+				}
+				return []Value{{Table: table, Row: row, Col: l.Name(), V: us}}, nil
+			},
+		})
+	}
+	for i, amp := range amps {
+		for _, l := range ls {
+			add(0, ampRows[i], l, noise(amp, 5*simtime.Microsecond))
+		}
+	}
+	for i, period := range periods {
+		for _, l := range ls {
+			add(1, perRows[i], l, noise(simtime.Microsecond, period))
+		}
+	}
+	return &Plan{Tables: []*stats.Table{ampTable, perTable}, Cells: cells}
+}
+
+// SensS4 sweeps the per-attempt eager drop rate for PiP-MColl against two
+// baselines. Beyond the latency series itself, every cell audits the
+// fabric's loss bookkeeping — drops + corruptions must equal retransmits,
+// and a lossy cell that never retransmitted is a harness bug — so the
+// figure doubles as an end-to-end check of the recovery path.
+func SensS4(o Opts) []*stats.Table { return runSerial("S4", sensS4Cells, o) }
+
+func sensS4Cells(o Opts) *Plan {
+	o = o.withDefaults()
+	nodes, ppn := pick(o, 4, 8), pick(o, 4, 8)
+	const chunk = 4 << 10
+	const seed = 1404
+	rates := []float64{0, 0.02, 0.1, 0.3}
+	rows := []string{"0%", "2%", "10%", "30%"}
+	ls := []*libs.Library{libs.IntelMPI(), libs.PiPMPICH(), libs.PiPMColl()}
+	t := stats.NewTable(
+		fmt.Sprintf("S4: %s allgather vs eager drop rate (%dx%d, RTO 5us)",
+			sizeLabel(chunk), nodes, ppn),
+		"drop rate", "us", libNames(ls), rows)
+	var cells []Cell
+	for i, rate := range rates {
+		for _, l := range ls {
+			l, row, rate := l, rows[i], rate
+			cfg := l.Config()
+			if rate > 0 {
+				cfg.Faults = fault.MustNew(fault.Spec{Seed: seed, Loss: fault.Loss{
+					DropRate: rate,
+					RTO:      5 * simtime.Microsecond,
+				}})
+			}
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("s4 rate=%g lib=%s nodes=%d ppn=%d bytes=%d warmup=%d iters=%d cfg=%s",
+					rate, l.Name(), nodes, ppn, chunk, o.Warmup, o.Iters, cfgKey(cfg)),
+				Run: func() ([]Value, error) {
+					us, fs, eager, err := measureFaulted(l, cfg, OpAllgather, nodes, ppn, chunk, o)
+					if err != nil {
+						return nil, err
+					}
+					if fs.Drops+fs.Corruptions != fs.Retransmits {
+						return nil, fmt.Errorf("loss accounting broken: %d drops + %d corruptions != %d retransmits",
+							fs.Drops, fs.Corruptions, fs.Retransmits)
+					}
+					if rate == 0 && fs != (fabric.FaultStats{}) {
+						return nil, fmt.Errorf("fault-free cell accumulated fault stats %+v", fs)
+					}
+					// With enough expected drops, a run that never
+					// retransmitted means the recovery path is broken, not
+					// that the dice came up lucky.
+					if expected := rate * float64(eager); expected >= 5 && fs.Retransmits == 0 {
+						return nil, fmt.Errorf("drop rate %g over %d eager messages injected no retransmits", rate, eager)
+					}
+					return []Value{{Table: 0, Row: row, Col: l.Name(), V: us}}, nil
+				},
+			})
+		}
+	}
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
+}
+
+// measureFaulted times a collective under a (possibly faulted) transport
+// configuration with the standard two-stage methodology and returns the
+// mean measured latency in microseconds together with the fabric's fault
+// counters and eager-message count (the population the loss plan samples
+// from). Unlike the fault-free sensitivity harness it returns errors —
+// chaos cells can legitimately fail (a timeout, a broken invariant) and
+// the runner aggregates those per cell.
+func measureFaulted(lib *libs.Library, cfg mpi.Config, op Op, nodes, ppn, chunk int, o Opts) (float64, fabric.FaultStats, int64, error) {
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world, err := mpi.NewWorld(cluster, cfg)
+	if err != nil {
+		return 0, fabric.FaultStats{}, 0, err
+	}
+	size := cluster.Size()
+	var sum simtime.Duration
+	runErr := world.Run(func(r *mpi.Rank) {
+		var in, out []byte
+		switch op {
+		case OpAllreduce:
+			in = make([]byte, chunk)
+			nums.Fill(in, r.Rank())
+			out = make([]byte, chunk)
+		case OpAllgather:
+			in = make([]byte, chunk)
+			nums.FillBytes(in, r.Rank())
+			out = make([]byte, size*chunk)
+		default:
+			panic(fmt.Sprintf("bench: measureFaulted does not support %q", op))
+		}
+		for it := 0; it < o.Warmup+o.Iters; it++ {
+			r.HarnessBarrier()
+			start := r.Now()
+			switch op {
+			case OpAllreduce:
+				lib.Allreduce(r, in, out, nums.Sum)
+			case OpAllgather:
+				lib.Allgather(r, in, out)
+			}
+			r.HarnessBarrier()
+			if it >= o.Warmup && r.Rank() == 0 {
+				sum += r.Now().Sub(start)
+			}
+		}
+	})
+	if runErr != nil {
+		return 0, fabric.FaultStats{}, 0, runErr
+	}
+	return (sum / simtime.Duration(o.Iters)).Microseconds(), world.Fabric().FaultStats(), world.Fabric().Stats().Eager, nil
+}

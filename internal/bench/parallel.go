@@ -46,6 +46,52 @@ func NewRunner(cfg RunnerConfig) *Runner {
 	return &Runner{cfg: cfg}
 }
 
+// CellError records one failed measurement cell with its figure and cell
+// key, so callers can report exactly which inputs failed.
+type CellError struct {
+	Figure string
+	Key    string
+	Err    error
+}
+
+// Error renders the failure with its figure and cell-key context.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("bench: figure %s cell %q: %v", e.Figure, e.Key, e.Err)
+}
+
+// Unwrap exposes the underlying measurement error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellErrors aggregates every failed cell of one figure run. The runner
+// always finishes the whole figure before reporting, so a single bad cell
+// cannot mask others — tools print all failing keys at once.
+type CellErrors struct {
+	Figure string
+	Total  int // cells attempted
+	Cells  []*CellError
+}
+
+// Error lists every failing cell key.
+func (e *CellErrors) Error() string {
+	if len(e.Cells) == 1 {
+		return e.Cells[0].Error()
+	}
+	msg := fmt.Sprintf("bench: figure %s: %d of %d cells failed:", e.Figure, len(e.Cells), e.Total)
+	for _, c := range e.Cells {
+		msg += fmt.Sprintf("\n  cell %q: %v", c.Key, c.Err)
+	}
+	return msg
+}
+
+// Unwrap exposes the per-cell errors to errors.Is/As.
+func (e *CellErrors) Unwrap() []error {
+	errs := make([]error, len(e.Cells))
+	for i, c := range e.Cells {
+		errs[i] = c
+	}
+	return errs
+}
+
 // RunFigure regenerates one figure: decompose, schedule, reassemble.
 func (r *Runner) RunFigure(f Figure, o Opts) ([]*stats.Table, error) {
 	o = o.withDefaults()
@@ -87,10 +133,14 @@ func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) 
 		}(i)
 	}
 	wg.Wait()
+	var failed []*CellError
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("bench: figure %s cell %q: %w", figID, p.Cells[i].Key, err)
+			failed = append(failed, &CellError{Figure: figID, Key: p.Cells[i].Key, Err: err})
 		}
+	}
+	if len(failed) > 0 {
+		return nil, &CellErrors{Figure: figID, Total: n, Cells: failed}
 	}
 	for _, vals := range results {
 		for _, v := range vals {

@@ -3,6 +3,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/stats"
@@ -168,19 +169,52 @@ func TestRunnerPropagatesCellErrors(t *testing.T) {
 	}
 }
 
+// TestRunnerCollectsAllFailingCells: every failing cell of a figure is
+// reported at once in declaration order, each with its key, instead of the
+// first failure masking the rest.
+func TestRunnerCollectsAllFailingCells(t *testing.T) {
+	plan := &Plan{
+		Tables: []*stats.Table{stats.NewTable("t", "x", "", []string{"c"}, []string{"r"})},
+		Cells: []Cell{
+			{Key: "bad1", Run: func() ([]Value, error) { return nil, errors.New("one") }},
+			{Key: "ok", Run: func() ([]Value, error) {
+				return []Value{{Table: 0, Row: "r", Col: "c", V: 1}}, nil
+			}},
+			{Key: "bad2", Run: func() ([]Value, error) { return nil, errors.New("two") }},
+		},
+	}
+	_, err := NewRunner(RunnerConfig{Parallel: 3}).runPlan("test", plan, Opts{Warmup: 1, Iters: 1})
+	var ce *CellErrors
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *CellErrors", err, err)
+	}
+	if ce.Total != 3 || len(ce.Cells) != 2 {
+		t.Fatalf("aggregate reports %d/%d failures, want 2/3", len(ce.Cells), ce.Total)
+	}
+	if ce.Cells[0].Key != "bad1" || ce.Cells[1].Key != "bad2" {
+		t.Fatalf("failing keys [%s %s], want declaration order [bad1 bad2]", ce.Cells[0].Key, ce.Cells[1].Key)
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad1", "one", "bad2", "two"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
 // TestRegistryOrderAndKinds: All() presents paper figures first in paper
 // order, then extensions, ablations, sensitivity.
 func TestRegistryOrderAndKinds(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registry holds %d figures, want 20", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry holds %d figures, want 22", len(all))
 	}
 	var ids []string
 	for _, f := range all {
 		ids = append(ids, f.ID)
 	}
 	want := []string{"1", "6", "7", "8", "9", "10", "11", "12", "13", "14",
-		"E1", "E2", "E3", "E4", "E5", "A1", "A2", "A3", "S1", "S2"}
+		"E1", "E2", "E3", "E4", "E5", "A1", "A2", "A3", "S1", "S2", "S3", "S4"}
 	if fmt.Sprint(ids) != fmt.Sprint(want) {
 		t.Fatalf("registry order %v, want %v", ids, want)
 	}
@@ -189,7 +223,7 @@ func TestRegistryOrderAndKinds(t *testing.T) {
 		counts[f.Kind]++
 	}
 	if counts[KindPaper] != 10 || counts[KindExtension] != 5 ||
-		counts[KindAblation] != 3 || counts[KindSensitivity] != 2 {
+		counts[KindAblation] != 3 || counts[KindSensitivity] != 4 {
 		t.Fatalf("kind counts: %v", counts)
 	}
 }

@@ -12,7 +12,7 @@ import (
 
 // Kind classifies a figure within the evaluation: the paper's own figures,
 // the extension experiments (E1-E5), the ablations (A1-A3), and the
-// sensitivity studies (S1-S2). The CLI's -ext/-ablation/-sensitivity flags
+// sensitivity studies (S1-S4). The CLI's -ext/-ablation/-sensitivity flags
 // and -list groups are kind filters over the registry.
 type Kind int
 

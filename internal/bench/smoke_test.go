@@ -14,7 +14,7 @@ func TestDriversSmoke(t *testing.T) {
 		t.Skip("driver smoke regenerates several figures")
 	}
 	o := Opts{Warmup: 1, Iters: 1}
-	for _, id := range []string{"7", "8", "9", "10", "E1", "E2", "E3", "A1", "S1"} {
+	for _, id := range []string{"7", "8", "9", "10", "E1", "E2", "E3", "A1", "S1", "S3", "S4"} {
 		id := id
 		t.Run("fig"+id, func(t *testing.T) {
 			fig, err := Lookup(id)
@@ -36,6 +36,28 @@ func TestDriversSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestChaosShape: injected faults must cost latency — the noisiest and
+// lossiest rows of the chaos sensitivity figures cannot beat the clean
+// rows for any library.
+func TestChaosShape(t *testing.T) {
+	libs := []string{"IntelMPI", "PiP-MPICH", "PiP-MColl"}
+	s3 := SensS3(Opts{Warmup: 1, Iters: 2})
+	for _, lib := range libs {
+		if noisy, clean := s3[0].Get("2us", lib), s3[0].Get("off", lib); noisy <= clean {
+			t.Errorf("%s: 2us noise amplitude (%v us) not slower than quiet (%v us)", lib, noisy, clean)
+		}
+		if fast, slow := s3[1].Get("2us", lib), s3[1].Get("20us", lib); fast <= slow {
+			t.Errorf("%s: 2us noise period (%v us) not slower than 20us period (%v us)", lib, fast, slow)
+		}
+	}
+	s4 := SensS4(Opts{Warmup: 1, Iters: 2})
+	for _, lib := range libs {
+		if lossy, clean := s4[0].Get("30%", lib), s4[0].Get("0%", lib); lossy <= clean {
+			t.Errorf("%s: 30%% drop rate (%v us) not slower than lossless (%v us)", lib, lossy, clean)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -260,9 +261,6 @@ func TestMismatchedCollectiveOrderDeadlocksDetectably(t *testing.T) {
 }
 
 func errorsAs(err error, dl **simtime.DeadlockError) bool {
-	d, ok := err.(*simtime.DeadlockError)
-	if ok {
-		*dl = d
-	}
-	return ok
+	// World.Run wraps the engine diagnosis in *mpi.DeadlockError.
+	return errors.As(err, dl)
 }

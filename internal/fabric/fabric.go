@@ -23,7 +23,9 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 )
@@ -103,6 +105,13 @@ func DefaultParams() Params {
 
 // Validate reports an error if any parameter is nonsensical.
 func (p Params) Validate() error {
+	// NaN slips through ordered comparisons (every one is false), so the
+	// float fields are checked for finiteness explicitly.
+	for _, bw := range []float64{p.QueueBandwidth, p.LinkBandwidth, p.GroupBandwidth} {
+		if math.IsNaN(bw) || math.IsInf(bw, 0) {
+			return fmt.Errorf("fabric: non-finite bandwidth: %+v", p)
+		}
+	}
 	switch {
 	case p.WireLatency < 0, p.QueueOverhead < 0, p.LinkOverhead < 0,
 		p.RecvOverhead < 0, p.SendCPU < 0:
@@ -175,6 +184,10 @@ type Fabric struct {
 	nodeStats []NodeStats // [node], source-side
 	rate      []rateRing  // [node], tx-link start times in the rate window
 
+	faults  *fault.Plan // nil = fault-free (the common case)
+	sendSeq []uint64    // [node*queues + queue] eager send ordinal, loss plans only
+	fstats  FaultStats
+
 	rec *obs.Recorder
 }
 
@@ -187,11 +200,11 @@ func New(nodes, queuesPerNode int, params Params) (*Fabric, error) {
 		return nil, err
 	}
 	f := &Fabric{
-		params:  params,
-		nodes:   nodes,
-		queues:  queuesPerNode,
-		txQueue: make([]simtime.Station, nodes*queuesPerNode),
-		rxQueue: make([]simtime.Station, nodes*queuesPerNode),
+		params:    params,
+		nodes:     nodes,
+		queues:    queuesPerNode,
+		txQueue:   make([]simtime.Station, nodes*queuesPerNode),
+		rxQueue:   make([]simtime.Station, nodes*queuesPerNode),
 		txLink:    make([]simtime.Station, nodes),
 		rxLink:    make([]simtime.Station, nodes),
 		inbox:     make([]*simtime.Mailbox, nodes*queuesPerNode),
@@ -329,13 +342,46 @@ func (f *Fabric) SendTraced(p *simtime.Proc, src, dst Endpoint, n int, payload a
 	}
 	tr.HandshakeDone = start
 
+	tr.StallDone = start
+	tr.RetransmitDone = start
+	tr.Attempts = 1
+	ackRequired := false
+	if f.faults != nil {
+		// Transient NIC stall: the injection queue is frozen; the send
+		// waits at its mouth until the window clears.
+		if clear := f.faults.StallClear(src.Node, src.Queue, start); clear > start {
+			f.recordStall(src, start, clear)
+			start = clear
+			tr.StallDone = clear
+		}
+		// Eager loss/recovery: decide each attempt's fate up front (the
+		// decision hashes (seed, endpoint, seq, attempt), so this is
+		// order-independent), book the resources failed attempts waste,
+		// and back off exponentially between attempts. Rendezvous
+		// payloads already handshake and are treated as reliable.
+		if !tr.Rendezvous && f.faults.LossEnabled() {
+			ackRequired = true
+			seq := f.sendSeq[f.index(src)]
+			f.sendSeq[f.index(src)]++
+			for attempt := 0; ; attempt++ {
+				outcome := f.faults.EagerOutcome(f.index(src), seq, attempt, tr.Issue)
+				if outcome == fault.Delivered {
+					tr.Attempts = attempt + 1
+					break
+				}
+				sent := f.bookFailedAttempt(src, dst, n, start, outcome)
+				start = sent.Add(f.faults.Backoff(attempt))
+			}
+			tr.RetransmitDone = start
+		}
+	}
+
 	qService := pr.QueueOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
 	qStart, qDone := f.txQueue[f.index(src)].Use(start, qService)
 	tr.QueueStart, tr.QueueDone = qStart, qDone
 	tr.QueueProcDone = qStart.Add(pr.QueueOverhead)
 
-	lService := maxDuration(pr.LinkOverhead, simtime.TransferTime(n, pr.LinkBandwidth))
-	lStart, lDone := f.txLink[src.Node].Use(qDone, lService)
+	lStart, lDone := f.txLink[src.Node].Use(qDone, f.linkService(src.Node, qDone, n))
 	tr.LinkStart, tr.LinkDone = lStart, lDone
 
 	arrive := lDone.Add(pr.WireLatency)
@@ -356,7 +402,7 @@ func (f *Fabric) SendTraced(p *simtime.Proc, src, dst Endpoint, n int, payload a
 		}
 	}
 	tr.Arrive = arrive
-	rlStart, rlDone := f.rxLink[dst.Node].Use(arrive, lService)
+	rlStart, rlDone := f.rxLink[dst.Node].Use(arrive, f.linkService(dst.Node, arrive, n))
 	tr.RxLinkStart, tr.RxLinkDone = rlStart, rlDone
 
 	rService := pr.RecvOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
@@ -374,11 +420,17 @@ func (f *Fabric) SendTraced(p *simtime.Proc, src, dst Endpoint, n int, payload a
 		Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: tr.Issue,
 	})
 
-	if tr.Rendezvous {
+	switch {
+	case ackRequired:
+		// Under a loss plan eager sends carry a modeled ack: the source
+		// buffer may be reused only once the receiver has the payload
+		// and the (latency-only) ack control message returns.
+		tr.Complete = rqDone.Add(pr.WireLatency)
+	case tr.Rendezvous:
 		// Large sends complete only when the payload has cleared the
 		// node link: the source buffer is pinned until then.
 		tr.Complete = lDone
-	} else {
+	default:
 		// Eager sends complete when the local queue stage has consumed
 		// the buffer (the NIC has its own copy in flight).
 		tr.Complete = qDone

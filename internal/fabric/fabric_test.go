@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/simtime"
@@ -31,6 +32,20 @@ func TestValidate(t *testing.T) {
 	bad.EagerLimit = -1
 	if bad.Validate() == nil {
 		t.Fatal("negative eager limit accepted")
+	}
+	// NaN/Inf sail through ordered comparisons, so Validate must reject
+	// them explicitly.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bad = DefaultParams()
+		bad.LinkBandwidth = v
+		if bad.Validate() == nil {
+			t.Errorf("link bandwidth %v accepted", v)
+		}
+		bad = DefaultParams()
+		bad.GroupBandwidth = v
+		if bad.Validate() == nil {
+			t.Errorf("group bandwidth %v accepted", v)
+		}
 	}
 }
 

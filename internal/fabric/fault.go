@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
+)
+
+// FaultStats aggregates the fabric-level fault counters. Under a loss plan,
+// Retransmits == Drops + Corruptions by construction: every failed attempt
+// is followed by exactly one retransmission (the final permitted attempt
+// always delivers), which is the accounting invariant the resilience
+// acceptance tests pin.
+type FaultStats struct {
+	Drops       int64 // eager attempts lost in the fabric
+	Corruptions int64 // eager attempts discarded by the receiver's checksum
+	Retransmits int64 // retransmissions issued (one per failed attempt)
+	Stalls      int64 // sends delayed by a frozen injection queue
+}
+
+// InjectFaults attaches a fault plan to the fabric. Must be called before
+// any traffic; a nil plan (or never calling this) leaves every send on the
+// exact fault-free code path. The plan is immutable and may be shared; all
+// mutable state (per-endpoint send sequence numbers, counters) lives here.
+func (f *Fabric) InjectFaults(p *fault.Plan) {
+	f.faults = p
+	if p != nil && p.LossEnabled() {
+		f.sendSeq = make([]uint64, f.nodes*f.queues)
+	}
+}
+
+// Faults returns the attached fault plan (nil when fault-free).
+func (f *Fabric) Faults() *fault.Plan { return f.faults }
+
+// FaultStats returns cumulative fault counters (zero when fault-free).
+func (f *Fabric) FaultStats() FaultStats { return f.fstats }
+
+// linkService returns the service time of n bytes at a node link at virtual
+// time at, applying any active degradation window. Fault-free (and outside
+// any window) this is exactly the base max(o_l, M/B_l) expression, so
+// timings are bit-identical with no plan attached.
+func (f *Fabric) linkService(node int, at simtime.Time, n int) simtime.Duration {
+	pr := f.params
+	if f.faults != nil && f.faults.Degraded(node, at) {
+		bw, ov := f.faults.LinkScale(node, at)
+		return maxDuration(simtime.Duration(float64(pr.LinkOverhead)*ov),
+			simtime.TransferTime(n, pr.LinkBandwidth*bw))
+	}
+	return maxDuration(pr.LinkOverhead, simtime.TransferTime(n, pr.LinkBandwidth))
+}
+
+// bookFailedAttempt charges the resources one lost or corrupted eager
+// attempt genuinely consumed: the injection queue and tx link always (the
+// message left the node before vanishing); for a corrupted attempt also the
+// wire, rx link and drain queue (the receiver processed it before the
+// checksum failed). Returns the time the attempt cleared the injection
+// queue — the sender's retransmission timer runs from there.
+//
+// Wasted attempts occupy the same serial stations as real traffic, which is
+// the mechanism behind the measurable multi-object difference: designs with
+// more in-flight messages pay retransmission contention differently.
+func (f *Fabric) bookFailedAttempt(src, dst Endpoint, n int, start simtime.Time, outcome fault.Outcome) simtime.Time {
+	pr := f.params
+	qService := pr.QueueOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
+	qStart, qDone := f.txQueue[f.index(src)].Use(start, qService)
+	lStart, lDone := f.txLink[src.Node].Use(qDone, f.linkService(src.Node, qDone, n))
+	f.rate[src.Node].add(lStart)
+
+	var rlStart, rlDone, rqStart, rqDone simtime.Time
+	if outcome == fault.Corrupted {
+		arrive := lDone.Add(pr.WireLatency)
+		rlStart, rlDone = f.rxLink[dst.Node].Use(arrive, f.linkService(dst.Node, arrive, n))
+		rService := pr.RecvOverhead + simtime.TransferTime(n, pr.QueueBandwidth)
+		rqStart, rqDone = f.rxQueue[f.index(dst)].Use(rlDone, rService)
+	}
+
+	if outcome == fault.Corrupted {
+		f.fstats.Corruptions++
+	} else {
+		f.fstats.Drops++
+	}
+	f.fstats.Retransmits++
+
+	rec := f.rec
+	if rec == nil {
+		return qDone
+	}
+	reg := rec.Metrics()
+	if outcome == fault.Corrupted {
+		reg.Counter("fault.corruptions").Add(1)
+	} else {
+		reg.Counter("fault.drops").Add(1)
+	}
+	reg.Counter("fault.retransmits").Add(1)
+	if rec.Lite() {
+		return qDone
+	}
+	name := fmt.Sprintf("%dB n%d→n%d %s", n, src.Node, dst.Node, outcome)
+	cat := "fault-" + outcome.String()
+	rec.ResourceSpan(fmt.Sprintf("n%d q%d tx", src.Node, src.Queue), name, cat, qStart, qDone)
+	rec.ResourceSpan(fmt.Sprintf("n%d link-tx", src.Node), name, cat, lStart, lDone)
+	if outcome == fault.Corrupted {
+		rec.ResourceSpan(fmt.Sprintf("n%d link-rx", dst.Node), name, cat, rlStart, rlDone)
+		rec.ResourceSpan(fmt.Sprintf("n%d q%d rx", dst.Node, dst.Queue), name, cat, rqStart, rqDone)
+	}
+	return qDone
+}
+
+// recordStall notes a send delayed by a frozen injection queue.
+func (f *Fabric) recordStall(src Endpoint, from, until simtime.Time) {
+	f.fstats.Stalls++
+	rec := f.rec
+	if rec == nil {
+		return
+	}
+	rec.Metrics().Counter("fault.stalls").Add(1)
+	if !rec.Lite() {
+		rec.ResourceSpan(fmt.Sprintf("n%d q%d tx", src.Node, src.Queue),
+			"nic stall", "fault-stall", from, until)
+	}
+}

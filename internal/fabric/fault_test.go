@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
+)
+
+// sendRecv runs one eager send across a fresh 2-node fabric carrying the
+// given plan and returns (send completion, receive time, fault stats).
+func sendRecv(t *testing.T, plan *fault.Plan, n int) (simtime.Time, simtime.Time, FaultStats, *Fabric) {
+	t.Helper()
+	f := MustNew(2, 1, testParams())
+	f.InjectFaults(plan)
+	e := simtime.NewEngine()
+	var sendDone, recvAt simtime.Time
+	e.Spawn("sender", func(p *simtime.Proc) {
+		sendDone = f.Send(p, Endpoint{0, 0}, Endpoint{1, 0}, n, "payload")
+	})
+	e.Spawn("recver", func(p *simtime.Proc) {
+		pkt := f.Inbox(Endpoint{1, 0}).Get(p, nil).(Packet)
+		recvAt = p.Now()
+		if pkt.Payload != "payload" {
+			t.Errorf("payload corrupted in delivery: %v", pkt.Payload)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sendDone, recvAt, f.FaultStats(), f
+}
+
+// TestEmptyPlanIdentical is the zero-cost guarantee at fabric level: an
+// attached-but-empty plan leaves every timing bit-identical to nil.
+func TestEmptyPlanIdentical(t *testing.T) {
+	for _, n := range []int{64, 4 << 10, 32 << 10} {
+		s0, r0, _, _ := sendRecv(t, nil, n)
+		s1, r1, fs, _ := sendRecv(t, fault.MustNew(fault.Spec{Seed: 1}), n)
+		if s0 != s1 || r0 != r1 {
+			t.Errorf("n=%d: empty plan changed timings: send %v vs %v, recv %v vs %v", n, s0, s1, r0, r1)
+		}
+		if fs != (FaultStats{}) {
+			t.Errorf("n=%d: empty plan accumulated stats %+v", n, fs)
+		}
+	}
+}
+
+// TestRetransmitAccounting pins the drops==retransmits invariant and that
+// recovery delays both sender completion and delivery.
+func TestRetransmitAccounting(t *testing.T) {
+	plan := fault.MustNew(fault.Spec{
+		Seed: 3,
+		Loss: fault.Loss{DropRate: 1, MaxAttempts: 3, RTO: 10 * simtime.Microsecond},
+	})
+	s0, r0, _, _ := sendRecv(t, nil, 256)
+	s1, r1, fs, _ := sendRecv(t, plan, 256)
+	if fs.Drops != 2 || fs.Retransmits != 2 || fs.Corruptions != 0 {
+		t.Fatalf("stats = %+v, want 2 drops / 2 retransmits (MaxAttempts 3, DropRate 1)", fs)
+	}
+	if r1 <= r0 {
+		t.Errorf("faulted delivery %v not later than clean %v", r1, r0)
+	}
+	// Two failed attempts back off 10µs then 20µs before the final one.
+	if minDelay := simtime.Duration(30 * simtime.Microsecond); r1.Sub(r0) < minDelay {
+		t.Errorf("recovery added only %v, want >= %v of backoff", r1.Sub(r0), minDelay)
+	}
+	// Ack semantics: under a loss plan the sender completes only after
+	// delivery plus the ack's wire latency.
+	if s1 <= r1 {
+		t.Errorf("acked send completed at %v, before delivery %v + ack", s1, r1)
+	}
+	_ = s0
+}
+
+func TestCorruptionBooksReceiveSide(t *testing.T) {
+	plan := fault.MustNew(fault.Spec{
+		Seed: 3,
+		Loss: fault.Loss{CorruptRate: 1, MaxAttempts: 2, RTO: simtime.Microsecond},
+	})
+	_, _, fs, f := sendRecv(t, plan, 256)
+	if fs.Corruptions != 1 || fs.Retransmits != 1 || fs.Drops != 0 {
+		t.Fatalf("stats = %+v, want 1 corruption / 1 retransmit", fs)
+	}
+	// The corrupted attempt wasted the destination's rx stations: busy time
+	// exceeds the single clean delivery's service.
+	pr := f.Params()
+	oneMsg := pr.RecvOverhead + simtime.TransferTime(256, pr.QueueBandwidth)
+	if busy := f.Link(1).RxQueueBusy; busy < 2*oneMsg {
+		t.Errorf("rx queue busy %v, want >= %v (clean + corrupted attempt)", busy, 2*oneMsg)
+	}
+}
+
+// TestRetransmitDeterministic pins byte-identical fault behaviour across
+// runs of the same seed, and different behaviour across seeds.
+func TestRetransmitDeterministic(t *testing.T) {
+	spec := fault.Spec{Seed: 11, Loss: fault.Loss{DropRate: 0.4, RTO: simtime.Microsecond}}
+	run := func(seed uint64) (simtime.Time, FaultStats) {
+		s := spec
+		s.Seed = seed
+		f := MustNew(2, 1, testParams())
+		f.InjectFaults(fault.MustNew(s))
+		e := simtime.NewEngine()
+		var last simtime.Time
+		e.Spawn("sender", func(p *simtime.Proc) {
+			for i := 0; i < 40; i++ {
+				f.Send(p, Endpoint{0, 0}, Endpoint{1, 0}, 128, i)
+			}
+		})
+		e.Spawn("recver", func(p *simtime.Proc) {
+			for i := 0; i < 40; i++ {
+				f.Inbox(Endpoint{1, 0}).Get(p, nil)
+				last = p.Now()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last, f.FaultStats()
+	}
+	a1, fs1 := run(11)
+	a2, fs2 := run(11)
+	if a1 != a2 || fs1 != fs2 {
+		t.Fatalf("same seed diverged: %v/%+v vs %v/%+v", a1, fs1, a2, fs2)
+	}
+	if fs1.Drops == 0 {
+		t.Fatal("DropRate 0.4 over 40 messages produced no drops")
+	}
+	if fs1.Drops != fs1.Retransmits {
+		t.Fatalf("drops %d != retransmits %d", fs1.Drops, fs1.Retransmits)
+	}
+	b, fsB := run(12)
+	if a1 == b && fs1 == fsB {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestLinkDegradeSlowsTransfer(t *testing.T) {
+	plan := fault.MustNew(fault.Spec{Degrade: []fault.LinkDegrade{{
+		Node: 0, BandwidthScale: 0.1, OverheadScale: 4,
+	}}})
+	// Large-but-eager payload so bandwidth dominates.
+	_, r0, _, _ := sendRecv(t, nil, 8<<10)
+	_, r1, _, _ := sendRecv(t, plan, 8<<10)
+	if r1 <= r0 {
+		t.Errorf("degraded link delivered at %v, clean at %v; want slower", r1, r0)
+	}
+}
+
+func TestRendezvousUnaffectedByLoss(t *testing.T) {
+	plan := fault.MustNew(fault.Spec{Loss: fault.Loss{DropRate: 1, MaxAttempts: 3}})
+	pr := testParams()
+	n := pr.EagerLimit + 1
+	s0, r0, _, _ := sendRecv(t, nil, n)
+	s1, r1, fs, _ := sendRecv(t, plan, n)
+	if s0 != s1 || r0 != r1 {
+		t.Errorf("rendezvous timings changed under eager-loss plan: %v/%v vs %v/%v", s0, r0, s1, r1)
+	}
+	if fs != (FaultStats{}) {
+		t.Errorf("rendezvous accumulated fault stats %+v", fs)
+	}
+}
+
+func TestQueueStallDelaysSend(t *testing.T) {
+	stallEnd := simtime.Time(0).Add(200 * simtime.Microsecond)
+	plan := fault.MustNew(fault.Spec{Stalls: []fault.QueueStall{{
+		Node: 0, Queue: 0, From: 0, Duration: 200 * simtime.Microsecond,
+	}}})
+	_, r1, fs, _ := sendRecv(t, plan, 64)
+	if fs.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", fs.Stalls)
+	}
+	if r1 < stallEnd {
+		t.Errorf("delivery at %v, before the stall window ends at %v", r1, stallEnd)
+	}
+	// Other queue on the same node is unaffected.
+	f := MustNew(2, 2, testParams())
+	f.InjectFaults(plan)
+	e := simtime.NewEngine()
+	var recvAt simtime.Time
+	e.Spawn("sender", func(p *simtime.Proc) {
+		f.Send(p, Endpoint{0, 1}, Endpoint{1, 0}, 64, nil)
+	})
+	e.Spawn("recver", func(p *simtime.Proc) {
+		f.Inbox(Endpoint{1, 0}).Get(p, nil)
+		recvAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt >= stallEnd {
+		t.Errorf("unstalled queue delivered at %v, inside the other queue's stall", recvAt)
+	}
+	if f.FaultStats().Stalls != 0 {
+		t.Errorf("unstalled queue counted a stall")
+	}
+}

@@ -15,27 +15,32 @@ type SendTrace struct {
 	Bytes      int
 	Rendezvous bool
 	Grouped    bool
+	// Attempts is how many times the message was injected before it got
+	// through: 1 fault-free, more under a loss plan.
+	Attempts int
 
-	Issue         simtime.Time // sender's clock at the Send call
-	CPUDone       simtime.Time // after the send-CPU charge
-	WindowFree    simtime.Time // after any injection-window stall
-	HandshakeDone simtime.Time // after the RTS/CTS round trip (== WindowFree when eager)
-	QueueStart    simtime.Time // injection-queue service start
-	QueueProcDone simtime.Time // QueueStart + per-message queue overhead
-	QueueDone     simtime.Time // injection DMA complete
-	LinkStart     simtime.Time // node tx-link service start
-	LinkDone      simtime.Time
-	UpStart       simtime.Time // group uplink (Grouped only)
-	UpDone        simtime.Time
-	DownStart     simtime.Time // group downlink (Grouped only)
-	DownDone      simtime.Time
-	Arrive        simtime.Time // at the destination node, before its rx link
-	RxLinkStart   simtime.Time
-	RxLinkDone    simtime.Time
-	RxQueueStart  simtime.Time // drain-queue service start
-	RxProcDone    simtime.Time // RxQueueStart + per-message receive overhead
-	RxQueueDone   simtime.Time // payload visible to the receiving process
-	Complete      simtime.Time // sender-local completion (buffer reusable)
+	Issue          simtime.Time // sender's clock at the Send call
+	CPUDone        simtime.Time // after the send-CPU charge
+	WindowFree     simtime.Time // after any injection-window stall
+	HandshakeDone  simtime.Time // after the RTS/CTS round trip (== WindowFree when eager)
+	StallDone      simtime.Time // after any NIC-stall freeze (== HandshakeDone fault-free)
+	RetransmitDone simtime.Time // start of the delivered attempt (== StallDone fault-free)
+	QueueStart     simtime.Time // injection-queue service start
+	QueueProcDone  simtime.Time // QueueStart + per-message queue overhead
+	QueueDone      simtime.Time // injection DMA complete
+	LinkStart      simtime.Time // node tx-link service start
+	LinkDone       simtime.Time
+	UpStart        simtime.Time // group uplink (Grouped only)
+	UpDone         simtime.Time
+	DownStart      simtime.Time // group downlink (Grouped only)
+	DownDone       simtime.Time
+	Arrive         simtime.Time // at the destination node, before its rx link
+	RxLinkStart    simtime.Time
+	RxLinkDone     simtime.Time
+	RxQueueStart   simtime.Time // drain-queue service start
+	RxProcDone     simtime.Time // RxQueueStart + per-message receive overhead
+	RxQueueDone    simtime.Time // payload visible to the receiving process
+	Complete       simtime.Time // sender-local completion (buffer reusable)
 }
 
 // Stages decomposes the traversal [Issue, RxQueueDone] into contiguous
@@ -55,6 +60,8 @@ func (t SendTrace) Stages() []obs.Stage {
 	add("send-cpu", t.CPUDone)
 	add("injection", t.WindowFree)
 	add("rendezvous", t.HandshakeDone)
+	add("nic-stall", t.StallDone)
+	add("retransmit", t.RetransmitDone)
 	add("injection", t.QueueStart) // waiting behind the queue's earlier jobs
 	add("injection", t.QueueProcDone)
 	add("dma", t.QueueDone)

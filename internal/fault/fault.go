@@ -1,0 +1,424 @@
+// Package fault is the deterministic chaos layer of the simulated cluster:
+// a seeded, declarative description of adverse conditions — degraded links,
+// lost or corrupted eager messages, OS noise and straggler detours, NIC
+// injection-queue stalls — compiled into a Plan the transport layers consult
+// on their hot paths.
+//
+// Determinism is the design constraint everything else bends around. Every
+// probabilistic decision is a pure function of (seed, structured identifiers,
+// attempt number) through a splitmix64-style hash: no wall clock, no shared
+// global PRNG whose draw order could couple unrelated subsystems. Two runs
+// with the same seed and spec therefore make byte-identical decisions, which
+// is what lets chaos experiments ride the bench registry's result cache and
+// lets a failure found at drop-rate 0.01/seed 7 be replayed exactly.
+//
+// The package deliberately depends only on simtime. The fabric, mpi and obs
+// layers import fault — never the reverse — so a nil *Plan keeps every
+// fault-free run byte-identical to a build without the fault layer at all.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Spec declares a chaos scenario. The zero value is a no-op plan (every
+// mechanism disabled); mechanisms are enabled independently by filling their
+// fields. Compile it with New.
+type Spec struct {
+	// Seed keys every probabilistic decision in the plan. Two plans with
+	// equal specs (including the seed) behave identically.
+	Seed uint64
+	// Degrade lists link-degradation windows.
+	Degrade []LinkDegrade
+	// Loss configures eager message loss and corruption.
+	Loss Loss
+	// Noise lists OS-noise / straggler detour generators; multiple entries
+	// compose (a global noise floor plus a per-rank straggler, say).
+	Noise []Noise
+	// Stalls lists transient NIC injection-queue freezes.
+	Stalls []QueueStall
+}
+
+// LinkDegrade scales one node's link parameters inside a virtual-time
+// window, modelling a flapping cable, a misbehaving switch port, or thermal
+// throttling: bandwidth multiplies by BandwidthScale (0 < s <= 1) and the
+// per-message link overhead by OverheadScale (>= 1).
+type LinkDegrade struct {
+	Node           int          // -1 applies to every node
+	From           simtime.Time // window start (inclusive)
+	Until          simtime.Time // window end (exclusive); 0 = open-ended
+	BandwidthScale float64
+	OverheadScale  float64
+}
+
+func (d LinkDegrade) contains(node int, at simtime.Time) bool {
+	if d.Node != -1 && d.Node != node {
+		return false
+	}
+	return at >= d.From && (d.Until == 0 || at < d.Until)
+}
+
+// Loss configures probabilistic loss and corruption of eager fabric
+// messages (rendezvous payloads already handshake and are treated as
+// reliable). A lost message vanishes after clearing the sender's link; a
+// corrupted one additionally wastes the receive-side resources before its
+// checksum fails. Both are recovered by the fabric's ack/timeout/retransmit
+// path (see fabric.SendTraced): the sender retransmits after an
+// exponentially backed-off timeout until an attempt survives.
+type Loss struct {
+	// DropRate is the per-attempt probability a message is lost in the
+	// fabric (0..1).
+	DropRate float64
+	// CorruptRate is the per-attempt probability a message arrives
+	// corrupted and is discarded by the receiver's checksum (0..1).
+	CorruptRate float64
+	// RTO is the base retransmission timeout; attempt k waits RTO<<k
+	// (capped at MaxBackoffShift doublings). Zero defaults to 50 µs.
+	RTO simtime.Duration
+	// MaxAttempts bounds the retransmission loop; the final attempt is
+	// forced through so a plan can never wedge a send forever. Zero
+	// defaults to 8.
+	MaxAttempts int
+	// From/Until bound the window in which loss applies (Until 0 =
+	// open-ended).
+	From, Until simtime.Time
+}
+
+// Default loss-recovery constants.
+const (
+	DefaultRTO         = 50 * simtime.Microsecond
+	DefaultMaxAttempts = 8
+	MaxBackoffShift    = 6
+)
+
+func (l Loss) enabled() bool { return l.DropRate > 0 || l.CorruptRate > 0 }
+
+func (l Loss) active(at simtime.Time) bool {
+	return at >= l.From && (l.Until == 0 || at < l.Until)
+}
+
+// Noise generates OS-noise detours: at roughly every Period of virtual
+// time, an affected rank loses Amplitude of CPU to the operating system
+// (daemon wakeups, page reclaim, interrupts). Jitter (0..1) perturbs both
+// the interval and the amplitude multiplicatively, so detours neither
+// align across ranks nor resonate with collective phases. A Noise entry
+// with a small Ranks list and a large Amplitude models a straggler.
+type Noise struct {
+	// Ranks selects the affected world ranks; nil means every rank.
+	Ranks []int
+	// Amplitude is the mean CPU time stolen per detour.
+	Amplitude simtime.Duration
+	// Period is the mean virtual-time interval between detours.
+	Period simtime.Duration
+	// Jitter is the fractional (0..1) perturbation of interval and
+	// amplitude.
+	Jitter float64
+	// From/Until bound the window in which this generator fires (Until 0
+	// = open-ended).
+	From, Until simtime.Time
+}
+
+func (n Noise) affects(rank int) bool {
+	if n.Ranks == nil {
+		return true
+	}
+	for _, r := range n.Ranks {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueStall freezes one NIC injection queue for a window: sends arriving
+// at (Node, Queue) during [From, From+Duration) wait until the window ends
+// before entering the queue, modelling a transient NIC/firmware hiccup or a
+// PCIe credit stall.
+type QueueStall struct {
+	Node, Queue int
+	From        simtime.Time
+	Duration    simtime.Duration
+}
+
+// Validate reports an error for a nonsensical spec.
+func (s Spec) Validate() error {
+	for i, d := range s.Degrade {
+		switch {
+		case d.Node < -1:
+			return fmt.Errorf("fault: degrade[%d] bad node %d", i, d.Node)
+		case !finite(d.BandwidthScale) || !finite(d.OverheadScale):
+			return fmt.Errorf("fault: degrade[%d] non-finite scale: %+v", i, d)
+		case d.BandwidthScale <= 0 || d.BandwidthScale > 1:
+			return fmt.Errorf("fault: degrade[%d] bandwidth scale %g outside (0,1]", i, d.BandwidthScale)
+		case d.OverheadScale < 1:
+			return fmt.Errorf("fault: degrade[%d] overhead scale %g < 1", i, d.OverheadScale)
+		case d.Until != 0 && d.Until <= d.From:
+			return fmt.Errorf("fault: degrade[%d] empty window [%v,%v)", i, d.From, d.Until)
+		}
+	}
+	l := s.Loss
+	switch {
+	case !finite(l.DropRate) || !finite(l.CorruptRate):
+		return fmt.Errorf("fault: non-finite loss rate: %+v", l)
+	case l.DropRate < 0 || l.DropRate > 1:
+		return fmt.Errorf("fault: drop rate %g outside [0,1]", l.DropRate)
+	case l.CorruptRate < 0 || l.CorruptRate > 1:
+		return fmt.Errorf("fault: corrupt rate %g outside [0,1]", l.CorruptRate)
+	case l.DropRate+l.CorruptRate > 1:
+		return fmt.Errorf("fault: drop+corrupt rate %g exceeds 1", l.DropRate+l.CorruptRate)
+	case l.RTO < 0:
+		return fmt.Errorf("fault: negative RTO %v", l.RTO)
+	case l.MaxAttempts < 0:
+		return fmt.Errorf("fault: negative max attempts %d", l.MaxAttempts)
+	case l.Until != 0 && l.Until <= l.From:
+		return fmt.Errorf("fault: loss empty window [%v,%v)", l.From, l.Until)
+	}
+	for i, n := range s.Noise {
+		switch {
+		case n.Amplitude <= 0:
+			return fmt.Errorf("fault: noise[%d] non-positive amplitude %v", i, n.Amplitude)
+		case n.Period <= 0:
+			return fmt.Errorf("fault: noise[%d] non-positive period %v", i, n.Period)
+		case !finite(n.Jitter):
+			return fmt.Errorf("fault: noise[%d] non-finite jitter: %+v", i, n)
+		case n.Jitter < 0 || n.Jitter > 1:
+			return fmt.Errorf("fault: noise[%d] jitter %g outside [0,1]", i, n.Jitter)
+		case n.Until != 0 && n.Until <= n.From:
+			return fmt.Errorf("fault: noise[%d] empty window [%v,%v)", i, n.From, n.Until)
+		}
+	}
+	for i, st := range s.Stalls {
+		switch {
+		case st.Node < 0 || st.Queue < 0:
+			return fmt.Errorf("fault: stall[%d] bad endpoint (%d,%d)", i, st.Node, st.Queue)
+		case st.Duration <= 0:
+			return fmt.Errorf("fault: stall[%d] non-positive duration %v", i, st.Duration)
+		}
+	}
+	return nil
+}
+
+// Plan is a compiled, immutable fault spec. It is stateless — all mutable
+// fault bookkeeping (send sequence numbers, per-rank noise cursors) lives in
+// the consuming layers — so one Plan may be shared by many worlds, and a
+// world re-run from the same Plan behaves identically.
+type Plan struct {
+	spec Spec
+	loss Loss // defaults applied
+}
+
+// New compiles and validates a spec.
+func New(spec Spec) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{spec: spec, loss: spec.Loss}
+	if p.loss.RTO == 0 {
+		p.loss.RTO = DefaultRTO
+	}
+	if p.loss.MaxAttempts == 0 {
+		p.loss.MaxAttempts = DefaultMaxAttempts
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error, for scenarios that are program
+// constants.
+func MustNew(spec Spec) *Plan {
+	p, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Spec returns the plan's (defaults-applied loss) specification.
+func (p *Plan) Spec() Spec {
+	s := p.spec
+	s.Loss = p.loss
+	return s
+}
+
+// Seed returns the plan's PRNG seed.
+func (p *Plan) Seed() uint64 { return p.spec.Seed }
+
+// String renders a deterministic fingerprint of the plan — stable across
+// processes, so it can serve as a cache-key fragment (the bench harness
+// formats mpi.Config with %+v, which routes through this method).
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault{seed=%d", p.spec.Seed)
+	for _, d := range p.spec.Degrade {
+		fmt.Fprintf(&b, " degrade(n%d %v..%v bw*%g ov*%g)", d.Node, d.From, d.Until, d.BandwidthScale, d.OverheadScale)
+	}
+	if p.loss.enabled() {
+		fmt.Fprintf(&b, " loss(drop=%g corrupt=%g rto=%v max=%d %v..%v)",
+			p.loss.DropRate, p.loss.CorruptRate, p.loss.RTO, p.loss.MaxAttempts, p.loss.From, p.loss.Until)
+	}
+	for _, n := range p.spec.Noise {
+		fmt.Fprintf(&b, " noise(ranks=%v amp=%v period=%v jitter=%g %v..%v)",
+			n.Ranks, n.Amplitude, n.Period, n.Jitter, n.From, n.Until)
+	}
+	for _, st := range p.spec.Stalls {
+		fmt.Fprintf(&b, " stall(n%dq%d %v+%v)", st.Node, st.Queue, st.From, st.Duration)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// LossEnabled reports whether the plan can drop or corrupt eager messages
+// (and therefore whether the fabric must run its ack/retransmit machinery).
+func (p *Plan) LossEnabled() bool { return p.loss.enabled() }
+
+// RTO returns the base retransmission timeout.
+func (p *Plan) RTO() simtime.Duration { return p.loss.RTO }
+
+// MaxAttempts returns the send-attempt bound (>= 1).
+func (p *Plan) MaxAttempts() int { return p.loss.MaxAttempts }
+
+// Backoff returns the retransmission delay after failed attempt number
+// attempt (0-based): RTO doubled per attempt, capped at MaxBackoffShift
+// doublings.
+func (p *Plan) Backoff(attempt int) simtime.Duration {
+	if attempt > MaxBackoffShift {
+		attempt = MaxBackoffShift
+	}
+	return p.loss.RTO << attempt
+}
+
+// Outcome is the fate of one eager send attempt.
+type Outcome int
+
+// Attempt fates.
+const (
+	Delivered Outcome = iota
+	Dropped           // lost in the fabric: no receive-side work
+	Corrupted         // delivered but fails the receiver's checksum
+)
+
+// String returns the outcome's name.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Corrupted:
+		return "corrupted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// EagerOutcome decides the fate of attempt number attempt (0-based) of the
+// seq-th eager send from source endpoint index src, issued at virtual time
+// at. The decision hashes (seed, src, seq, attempt) — not the clock — so it
+// is independent of simulation execution order; at only gates the loss
+// window. The final permitted attempt is always delivered.
+func (p *Plan) EagerOutcome(src int, seq uint64, attempt int, at simtime.Time) Outcome {
+	if !p.loss.enabled() || !p.loss.active(at) {
+		return Delivered
+	}
+	if attempt >= p.loss.MaxAttempts-1 {
+		return Delivered
+	}
+	u := p.u01(1, uint64(src), seq, uint64(attempt))
+	switch {
+	case u < p.loss.DropRate:
+		return Dropped
+	case u < p.loss.DropRate+p.loss.CorruptRate:
+		return Corrupted
+	default:
+		return Delivered
+	}
+}
+
+// LinkScale returns the (bandwidth, overhead) multipliers in effect for a
+// node's link at virtual time at. With no active degradation window both
+// are exactly 1, and multiplying by them is a float64 no-op — fault-free
+// timings stay bit-identical.
+func (p *Plan) LinkScale(node int, at simtime.Time) (bw, overhead float64) {
+	bw, overhead = 1, 1
+	for _, d := range p.spec.Degrade {
+		if d.contains(node, at) {
+			bw *= d.BandwidthScale
+			overhead *= d.OverheadScale
+		}
+	}
+	return bw, overhead
+}
+
+// Degraded reports whether any degradation window covers the node at time
+// at, letting the fabric skip the scaling arithmetic entirely on the common
+// path.
+func (p *Plan) Degraded(node int, at simtime.Time) bool {
+	for _, d := range p.spec.Degrade {
+		if d.contains(node, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// StallClear returns the earliest time at or after at when the (node,
+// queue) injection queue is unfrozen. With no covering stall window it
+// returns at unchanged.
+func (p *Plan) StallClear(node, queue int, at simtime.Time) simtime.Time {
+	t := at
+	// Windows may abut or nest; iterate to a fixed point so a send that
+	// clears one stall into the mouth of another waits both out.
+	for changed := true; changed; {
+		changed = false
+		for _, st := range p.spec.Stalls {
+			end := st.From.Add(st.Duration)
+			if st.Node == node && st.Queue == queue && t >= st.From && t < end {
+				t = end
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// HasNoise reports whether any noise generator could affect rank.
+func (p *Plan) HasNoise(rank int) bool {
+	for _, n := range p.spec.Noise {
+		if n.affects(rank) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- seeded decision hashing --------------------------------------------
+
+// mix is the splitmix64 finalizer: a fast, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const golden = 0x9e3779b97f4a7c15
+
+// u01 hashes the seed and a decision's structured identifiers into a
+// uniform float64 in [0, 1). The leading stream id separates decision
+// families (loss vs noise) so they never correlate.
+func (p *Plan) u01(stream uint64, ids ...uint64) float64 {
+	h := mix(p.spec.Seed ^ stream*golden)
+	for _, id := range ids {
+		h = mix(h ^ (id+1)*golden)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// finite reports whether f is a usable probability-ish float (not NaN/Inf);
+// jitter and degrade scales are also funneled through it by Validate.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

@@ -1,0 +1,245 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Degrade: []LinkDegrade{{Node: -2, BandwidthScale: 1, OverheadScale: 1}}},
+		{Degrade: []LinkDegrade{{BandwidthScale: 0, OverheadScale: 1}}},
+		{Degrade: []LinkDegrade{{BandwidthScale: 1.5, OverheadScale: 1}}},
+		{Degrade: []LinkDegrade{{BandwidthScale: 1, OverheadScale: 0.5}}},
+		{Degrade: []LinkDegrade{{BandwidthScale: 1, OverheadScale: 1, From: 10, Until: 10}}},
+		{Loss: Loss{DropRate: -0.1}},
+		{Loss: Loss{DropRate: 1.1}},
+		{Loss: Loss{CorruptRate: 2}},
+		{Loss: Loss{DropRate: 0.6, CorruptRate: 0.6}},
+		{Loss: Loss{DropRate: 0.1, RTO: -1}},
+		{Loss: Loss{DropRate: 0.1, MaxAttempts: -1}},
+		{Noise: []Noise{{Amplitude: 0, Period: simtime.Microsecond}}},
+		{Noise: []Noise{{Amplitude: simtime.Microsecond, Period: 0}}},
+		{Noise: []Noise{{Amplitude: simtime.Microsecond, Period: simtime.Microsecond, Jitter: 2}}},
+		{Stalls: []QueueStall{{Node: -1, Duration: simtime.Microsecond}}},
+		{Stalls: []QueueStall{{Duration: 0}}},
+		// NaN sails through ordered comparisons, so finiteness must be
+		// checked explicitly.
+		{Loss: Loss{DropRate: math.NaN()}},
+		{Loss: Loss{CorruptRate: math.Inf(1)}},
+		{Degrade: []LinkDegrade{{BandwidthScale: math.NaN(), OverheadScale: 1}}},
+		{Noise: []Noise{{Amplitude: simtime.Microsecond, Period: simtime.Microsecond, Jitter: math.NaN()}}},
+	}
+	for i, s := range bad {
+		if _, err := New(s); err == nil {
+			t.Errorf("spec %d: expected validation error, got nil", i)
+		}
+	}
+	good := Spec{
+		Seed:    7,
+		Degrade: []LinkDegrade{{Node: -1, BandwidthScale: 0.25, OverheadScale: 2, From: 0, Until: simtime.Time(simtime.Millisecond)}},
+		Loss:    Loss{DropRate: 0.05, CorruptRate: 0.01},
+		Noise:   []Noise{{Amplitude: 5 * simtime.Microsecond, Period: 100 * simtime.Microsecond, Jitter: 0.5}},
+		Stalls:  []QueueStall{{Node: 1, Queue: 0, From: simtime.Time(10 * simtime.Microsecond), Duration: 20 * simtime.Microsecond}},
+	}
+	if _, err := New(good); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestLossDefaults(t *testing.T) {
+	p := MustNew(Spec{Loss: Loss{DropRate: 0.1}})
+	if p.RTO() != DefaultRTO {
+		t.Errorf("RTO = %v, want default %v", p.RTO(), DefaultRTO)
+	}
+	if p.MaxAttempts() != DefaultMaxAttempts {
+		t.Errorf("MaxAttempts = %d, want default %d", p.MaxAttempts(), DefaultMaxAttempts)
+	}
+	if !p.LossEnabled() {
+		t.Error("LossEnabled = false with DropRate 0.1")
+	}
+	if MustNew(Spec{}).LossEnabled() {
+		t.Error("empty plan reports loss enabled")
+	}
+}
+
+// TestEagerOutcomeDeterministic pins that decisions depend only on (seed,
+// src, seq, attempt) — not on call order or the clock inside the window.
+func TestEagerOutcomeDeterministic(t *testing.T) {
+	p := MustNew(Spec{Seed: 42, Loss: Loss{DropRate: 0.3, CorruptRate: 0.1}})
+	q := MustNew(Spec{Seed: 42, Loss: Loss{DropRate: 0.3, CorruptRate: 0.1}})
+	for src := 0; src < 4; src++ {
+		for seq := uint64(0); seq < 50; seq++ {
+			a := p.EagerOutcome(src, seq, 0, 0)
+			b := q.EagerOutcome(src, seq, 0, simtime.Time(simtime.Microsecond))
+			if a != b {
+				t.Fatalf("outcome differs across identical plans: src=%d seq=%d: %v vs %v", src, seq, a, b)
+			}
+		}
+	}
+}
+
+// TestEagerOutcomeRates checks the hash actually realizes the configured
+// probabilities (law of large numbers; generous tolerance).
+func TestEagerOutcomeRates(t *testing.T) {
+	p := MustNew(Spec{Seed: 1, Loss: Loss{DropRate: 0.2, CorruptRate: 0.1, MaxAttempts: 1000}})
+	const n = 20000
+	var drops, corrupts int
+	for seq := uint64(0); seq < n; seq++ {
+		switch p.EagerOutcome(3, seq, 0, 0) {
+		case Dropped:
+			drops++
+		case Corrupted:
+			corrupts++
+		}
+	}
+	if f := float64(drops) / n; f < 0.18 || f > 0.22 {
+		t.Errorf("drop frequency %.3f, want ~0.20", f)
+	}
+	if f := float64(corrupts) / n; f < 0.08 || f > 0.12 {
+		t.Errorf("corrupt frequency %.3f, want ~0.10", f)
+	}
+}
+
+// TestFinalAttemptDelivered pins the no-wedge guarantee: the last permitted
+// attempt is always delivered regardless of rates.
+func TestFinalAttemptDelivered(t *testing.T) {
+	p := MustNew(Spec{Loss: Loss{DropRate: 1, MaxAttempts: 4}})
+	for seq := uint64(0); seq < 100; seq++ {
+		if got := p.EagerOutcome(0, seq, 3, 0); got != Delivered {
+			t.Fatalf("attempt 3 (last of 4) = %v, want delivered", got)
+		}
+		if got := p.EagerOutcome(0, seq, 0, 0); got != Dropped {
+			t.Fatalf("attempt 0 with DropRate 1 = %v, want dropped", got)
+		}
+	}
+}
+
+func TestLossWindow(t *testing.T) {
+	p := MustNew(Spec{Loss: Loss{DropRate: 1, MaxAttempts: 10, From: 100, Until: 200}})
+	if got := p.EagerOutcome(0, 0, 0, 50); got != Delivered {
+		t.Errorf("before window: %v, want delivered", got)
+	}
+	if got := p.EagerOutcome(0, 0, 0, 150); got != Dropped {
+		t.Errorf("inside window: %v, want dropped", got)
+	}
+	if got := p.EagerOutcome(0, 0, 0, 200); got != Delivered {
+		t.Errorf("after window: %v, want delivered", got)
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	p := MustNew(Spec{Loss: Loss{DropRate: 0.5, RTO: simtime.Microsecond}})
+	if got := p.Backoff(0); got != simtime.Microsecond {
+		t.Errorf("Backoff(0) = %v, want %v", got, simtime.Microsecond)
+	}
+	if got := p.Backoff(3); got != 8*simtime.Microsecond {
+		t.Errorf("Backoff(3) = %v, want %v", got, 8*simtime.Microsecond)
+	}
+	if got, cap := p.Backoff(40), p.Backoff(MaxBackoffShift); got != cap {
+		t.Errorf("Backoff(40) = %v, want capped %v", got, cap)
+	}
+}
+
+func TestLinkScale(t *testing.T) {
+	p := MustNew(Spec{Degrade: []LinkDegrade{
+		{Node: 1, From: 100, Until: 200, BandwidthScale: 0.5, OverheadScale: 2},
+		{Node: -1, From: 150, Until: 0, BandwidthScale: 0.8, OverheadScale: 1.5},
+	}})
+	if bw, ov := p.LinkScale(0, 50); bw != 1 || ov != 1 {
+		t.Errorf("unaffected: got %g,%g want 1,1", bw, ov)
+	}
+	if p.Degraded(0, 50) {
+		t.Error("Degraded true outside any window")
+	}
+	if bw, ov := p.LinkScale(1, 120); bw != 0.5 || ov != 2 {
+		t.Errorf("node window: got %g,%g want 0.5,2", bw, ov)
+	}
+	if bw, ov := p.LinkScale(1, 160); bw != 0.5*0.8 || ov != 2*1.5 {
+		t.Errorf("overlap composes: got %g,%g want %g,%g", bw, ov, 0.5*0.8, 2*1.5)
+	}
+	// Open-ended all-node window applies everywhere after From.
+	if bw, _ := p.LinkScale(3, simtime.Time(simtime.Millisecond)); bw != 0.8 {
+		t.Errorf("open-ended window: bw %g, want 0.8", bw)
+	}
+	if !p.Degraded(3, simtime.Time(simtime.Millisecond)) {
+		t.Error("Degraded false inside open-ended window")
+	}
+}
+
+func TestStallClear(t *testing.T) {
+	p := MustNew(Spec{Stalls: []QueueStall{
+		{Node: 0, Queue: 1, From: 100, Duration: 50},
+		{Node: 0, Queue: 1, From: 150, Duration: 25}, // abuts the first
+		{Node: 2, Queue: 0, From: 0, Duration: 10},
+	}})
+	if got := p.StallClear(0, 1, 90); got != 90 {
+		t.Errorf("before stall: %v, want 90", got)
+	}
+	if got := p.StallClear(0, 1, 120); got != 175 {
+		t.Errorf("chained stalls: %v, want 175", got)
+	}
+	if got := p.StallClear(0, 0, 120); got != 120 {
+		t.Errorf("other queue: %v, want 120", got)
+	}
+	if got := p.StallClear(2, 0, 5); got != 10 {
+		t.Errorf("node 2: %v, want 10", got)
+	}
+}
+
+func TestHasNoise(t *testing.T) {
+	p := MustNew(Spec{Noise: []Noise{{Ranks: []int{1, 3}, Amplitude: simtime.Microsecond, Period: simtime.Microsecond}}})
+	if p.HasNoise(0) || !p.HasNoise(1) || p.HasNoise(2) || !p.HasNoise(3) {
+		t.Error("HasNoise rank selection wrong")
+	}
+	all := MustNew(Spec{Noise: []Noise{{Amplitude: simtime.Microsecond, Period: simtime.Microsecond}}})
+	if !all.HasNoise(17) {
+		t.Error("nil Ranks should affect every rank")
+	}
+	if MustNew(Spec{}).HasNoise(0) {
+		t.Error("empty plan has noise")
+	}
+}
+
+// TestStringStable pins that the fingerprint is deterministic and mentions
+// every mechanism (it doubles as the bench cache-key fragment).
+func TestStringStable(t *testing.T) {
+	spec := Spec{
+		Seed:    9,
+		Degrade: []LinkDegrade{{Node: 0, BandwidthScale: 0.5, OverheadScale: 1}},
+		Loss:    Loss{DropRate: 0.01},
+		Noise:   []Noise{{Amplitude: simtime.Microsecond, Period: simtime.Millisecond}},
+		Stalls:  []QueueStall{{Node: 0, Queue: 0, From: 1, Duration: 2}},
+	}
+	a, b := MustNew(spec).String(), MustNew(spec).String()
+	if a != b {
+		t.Fatalf("String not deterministic:\n%s\n%s", a, b)
+	}
+	for _, want := range []string{"seed=9", "degrade(", "loss(", "noise(", "stall("} {
+		if !strings.Contains(a, want) {
+			t.Errorf("fingerprint %q missing %q", a, want)
+		}
+	}
+	if MustNew(Spec{}).String() == a {
+		t.Error("distinct specs share a fingerprint")
+	}
+}
+
+func TestU01Distribution(t *testing.T) {
+	p := MustNew(Spec{Seed: 123})
+	var sum float64
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		u := p.u01(2, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("u01 out of range: %g", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("u01 mean %.3f, want ~0.5", mean)
+	}
+}

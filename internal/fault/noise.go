@@ -1,0 +1,105 @@
+package fault
+
+import "repro/internal/simtime"
+
+// RankNoise is one rank's mutable cursor over the plan's noise generators.
+// The plan itself is immutable and shared; each simulated rank owns a
+// RankNoise and bills due detours against its virtual clock (lazy billing:
+// the rank charges accumulated noise when it next enters an MPI operation,
+// which is when stolen CPU time becomes visible to the collective).
+//
+// Detours land on the rank's *compute* timeline — virtual time minus the
+// noise already billed — matching how a real OS interrupts a process per
+// unit of scheduled time. This is also what keeps billing stable: stolen
+// time cannot itself breed new detours, so amplitudes at or above the
+// period (stragglers losing most of their CPU) stay well-defined instead
+// of feeding back into runaway clocks.
+//
+// The detour sequence of a generator is a pure function of (seed,
+// generator index, rank, detour ordinal), so how often Due is polled
+// changes nothing about when detours land or how much they cost.
+type RankNoise struct {
+	plan   *Plan
+	rank   int
+	billed simtime.Duration // total noise charged so far
+	cur    []noiseCursor
+}
+
+type noiseCursor struct {
+	gen  int          // index into plan.spec.Noise
+	n    uint64       // ordinal of the next detour
+	next simtime.Time // compute-timeline instant of the next detour
+}
+
+// NewRankNoise builds the cursor for a rank, or returns nil if no generator
+// affects it — callers treat a nil cursor as "no noise" at zero cost.
+func (p *Plan) NewRankNoise(rank int) *RankNoise {
+	if p == nil || !p.HasNoise(rank) {
+		return nil
+	}
+	rn := &RankNoise{plan: p, rank: rank}
+	for g, n := range p.spec.Noise {
+		if !n.affects(rank) {
+			continue
+		}
+		c := noiseCursor{gen: g}
+		c.next = n.From + simtime.Time(p.interval(g, rank, 0, n))
+		rn.cur = append(rn.cur, c)
+	}
+	return rn
+}
+
+// Due drains every detour that came due by virtual time now and returns the
+// total CPU time stolen plus the number of detours. The caller is expected
+// to advance the rank's clock by the returned extra, which is what keeps
+// repeated polling consistent: detours are compared against the compute
+// timeline (now minus everything already billed), so a detour is billed
+// exactly once no matter the polling cadence. A nil receiver is a free
+// no-op. The From/Until windows of a generator are likewise on the compute
+// timeline.
+func (rn *RankNoise) Due(now simtime.Time) (extra simtime.Duration, detours int) {
+	if rn == nil {
+		return 0, 0
+	}
+	progress := now.Add(-rn.billed)
+	for i := range rn.cur {
+		c := &rn.cur[i]
+		n := rn.plan.spec.Noise[c.gen]
+		for c.next <= progress {
+			if n.Until != 0 && c.next >= n.Until {
+				// Generator expired; park the cursor far in the future.
+				c.next = simtime.Time(int64(1) << 62)
+				break
+			}
+			extra += rn.plan.amplitude(c.gen, rn.rank, c.n, n)
+			detours++
+			c.n++
+			c.next += simtime.Time(rn.plan.interval(c.gen, rn.rank, c.n, n))
+		}
+	}
+	rn.billed += extra
+	return extra, detours
+}
+
+// interval returns the jittered gap before detour ordinal n.
+func (p *Plan) interval(gen, rank int, n uint64, spec Noise) simtime.Duration {
+	return jitter(spec.Period, spec.Jitter, p.u01(2, uint64(gen), uint64(rank), n))
+}
+
+// amplitude returns the jittered CPU cost of detour ordinal n.
+func (p *Plan) amplitude(gen, rank int, n uint64, spec Noise) simtime.Duration {
+	return jitter(spec.Amplitude, spec.Jitter, p.u01(3, uint64(gen), uint64(rank), n))
+}
+
+// jitter scales base by 1 + j*(2u-1), i.e. uniformly within ±j, clamped to
+// stay positive.
+func jitter(base simtime.Duration, j float64, u float64) simtime.Duration {
+	if j == 0 {
+		return base
+	}
+	d := simtime.Duration(float64(base) * (1 + j*(2*u-1)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func noisyPlan() *Plan {
+	return MustNew(Spec{Seed: 5, Noise: []Noise{{
+		Amplitude: 2 * simtime.Microsecond,
+		Period:    10 * simtime.Microsecond,
+		Jitter:    0.5,
+	}}})
+}
+
+func TestRankNoiseNil(t *testing.T) {
+	var p *Plan
+	if rn := p.NewRankNoise(0); rn != nil {
+		t.Fatal("nil plan produced a cursor")
+	}
+	var rn *RankNoise
+	if d, n := rn.Due(simtime.Time(simtime.Millisecond)); d != 0 || n != 0 {
+		t.Fatalf("nil cursor billed %v/%d", d, n)
+	}
+	unaffected := MustNew(Spec{Noise: []Noise{{Ranks: []int{1}, Amplitude: 1, Period: 1}}})
+	if rn := unaffected.NewRankNoise(0); rn != nil {
+		t.Fatal("unaffected rank got a cursor")
+	}
+}
+
+// TestRankNoisePollIndependent pins lazy billing: a rank that performs a
+// fixed amount of compute bills the identical noise whether it polls once
+// at the end or after every small step — provided it advances its clock by
+// what Due returns, as the runtime does.
+func TestRankNoisePollIndependent(t *testing.T) {
+	p := noisyPlan()
+	work := simtime.Duration(simtime.Millisecond)
+	simulate := func(steps int) (simtime.Duration, int) {
+		rn := p.NewRankNoise(2)
+		var clock simtime.Time
+		var billed simtime.Duration
+		var detours int
+		step := work / simtime.Duration(steps)
+		for i := 0; i < steps; i++ {
+			clock = clock.Add(step)
+			d, n := rn.Due(clock)
+			clock = clock.Add(d)
+			billed += d
+			detours += n
+		}
+		return billed, detours
+	}
+	cd, cn := simulate(1)
+	fd, fn := simulate(137)
+	if cd != fd || cn != fn {
+		t.Fatalf("billing depends on poll cadence: coarse %v/%d, fine %v/%d", cd, cn, fd, fn)
+	}
+	if cn == 0 {
+		t.Fatal("no detours over 1ms of compute with 10µs period")
+	}
+	// Roughly work/period detours, each roughly Amplitude.
+	if cn < 50 || cn > 200 {
+		t.Errorf("detour count %d implausible for 10µs period over 1ms", cn)
+	}
+	mean := cd / simtime.Duration(cn)
+	if mean < simtime.Microsecond || mean > 3*simtime.Microsecond {
+		t.Errorf("mean detour %v, want ~2µs", mean)
+	}
+}
+
+// TestRankNoiseStableAboveUnityFraction pins the straggler regime: a plan
+// stealing more time per period than the period itself (noise fraction > 1)
+// bills a finite, proportional amount instead of feeding back into a
+// runaway clock — detours land on the compute timeline, so billed noise
+// cannot breed further detours.
+func TestRankNoiseStableAboveUnityFraction(t *testing.T) {
+	p := MustNew(Spec{Noise: []Noise{{
+		Amplitude: 20 * simtime.Microsecond,
+		Period:    5 * simtime.Microsecond,
+	}}})
+	rn := p.NewRankNoise(0)
+	work := simtime.Time(100 * simtime.Microsecond)
+	extra, detours := rn.Due(work)
+	if detours != 20 {
+		t.Errorf("detours = %d, want 20 (100µs of compute / 5µs period)", detours)
+	}
+	if want := simtime.Duration(20 * 20 * simtime.Microsecond); extra != want {
+		t.Errorf("billed %v, want %v", extra, want)
+	}
+	// After billing, the clock sits at work+extra; no further compute means
+	// no further detours.
+	if d, n := rn.Due(work.Add(extra)); d != 0 || n != 0 {
+		t.Errorf("billed noise bred %v/%d of new detours", d, n)
+	}
+}
+
+// TestRankNoiseDeterministic pins that two cursors for the same (plan,
+// rank) replay identically while distinct ranks decorrelate.
+func TestRankNoiseDeterministic(t *testing.T) {
+	p := noisyPlan()
+	a, _ := p.NewRankNoise(1).Due(simtime.Time(simtime.Millisecond))
+	b, _ := p.NewRankNoise(1).Due(simtime.Time(simtime.Millisecond))
+	if a != b {
+		t.Fatalf("same rank differs: %v vs %v", a, b)
+	}
+	c, _ := p.NewRankNoise(3).Due(simtime.Time(simtime.Millisecond))
+	if a == c {
+		t.Error("distinct ranks billed identical noise (suspicious correlation)")
+	}
+}
+
+func TestRankNoiseWindow(t *testing.T) {
+	p := MustNew(Spec{Noise: []Noise{{
+		Amplitude: simtime.Microsecond,
+		Period:    10 * simtime.Microsecond,
+		From:      simtime.Time(100 * simtime.Microsecond),
+		Until:     simtime.Time(200 * simtime.Microsecond),
+	}}})
+	rn := p.NewRankNoise(0)
+	if d, _ := rn.Due(simtime.Time(99 * simtime.Microsecond)); d != 0 {
+		t.Errorf("billed %v before window", d)
+	}
+	mid, midN := rn.Due(simtime.Time(200 * simtime.Microsecond))
+	if midN == 0 {
+		t.Fatal("no detours inside window")
+	}
+	if d, n := rn.Due(simtime.Time(simtime.Second)); d != 0 || n != 0 {
+		t.Errorf("billed %v/%d after window expired", d, n)
+	}
+	_ = mid
+}

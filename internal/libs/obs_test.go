@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/nums"
 	"repro/internal/obs"
@@ -64,6 +66,45 @@ func TestPerfettoGolden(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("Perfetto trace drifted from golden %s (run with -update to regenerate after intentional changes)\ngot %d bytes, want %d",
 			path, buf.Len(), len(want))
+	}
+}
+
+// TestFaultLayerZeroCost is the chaos layer's zero-cost acceptance check:
+// a world with an attached-but-empty fault.Plan (every mechanism disabled)
+// exports a Perfetto trace byte-identical to the fault-free golden — the
+// fault hooks on the hot paths must be provably free when nothing is
+// injected.
+func TestFaultLayerZeroCost(t *testing.T) {
+	lib, err := ByName("PiP-MColl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lib.Config()
+	cfg.Faults = fault.MustNew(fault.Spec{Seed: 42})
+	world, err := mpi.NewWorld(topology.New(2, 2, topology.Block), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	world.Observe(rec)
+	if err := world.Run(func(r *mpi.Rank) {
+		lib.Bcast(r, 0, make([]byte, 256))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "bcast_2x2.perfetto.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("empty fault plan perturbed the trace: got %d bytes, golden %d", buf.Len(), len(want))
+	}
+	if fs := world.Fabric().FaultStats(); fs != (fabric.FaultStats{}) {
+		t.Errorf("empty plan accumulated fault stats %+v", fs)
 	}
 }
 

@@ -1,0 +1,72 @@
+package libs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/topology"
+)
+
+// requireBothBlocked asserts a deadlock diagnosis naming both ranks of a
+// 2-rank world with their pending (source, tag) receives.
+func requireBothBlocked(t *testing.T, err error) {
+	t.Helper()
+	var de *mpi.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *mpi.DeadlockError", err)
+	}
+	seen := map[int]bool{}
+	for _, b := range de.Blocked {
+		if b.Rank == 0 || b.Rank == 1 {
+			seen[b.Rank] = true
+			if b.Op != "recv" {
+				t.Errorf("rank %d blocked in %q, want recv", b.Rank, b.Op)
+			}
+			if b.Source == -1 || b.Tag == -1 {
+				t.Errorf("rank %d diagnosis lacks (source, tag): %+v", b.Rank, b)
+			}
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("diagnosis %v does not name both ranks", de)
+	}
+}
+
+// TestWatchdogDiagnosesBcastDeadlock wedges a 2-rank bcast the classic way
+// — the ranks disagree about the root, so both wait for the other to send —
+// and pins that the watchdog terminates the run naming both blocked ranks
+// and their pending (source, tag) receives.
+func TestWatchdogDiagnosesBcastDeadlock(t *testing.T) {
+	for _, lib := range All() {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) {
+			world := mpi.MustNewWorld(topology.New(2, 1, topology.Block), lib.Config())
+			err := world.Run(func(r *mpi.Rank) {
+				lib.Bcast(r, 1-r.Rank(), make([]byte, 256)) // each thinks the peer is root
+			})
+			requireBothBlocked(t, err)
+		})
+	}
+}
+
+// TestWatchdogDiagnosesAllreduceDeadlock wedges a 2-rank allreduce via an
+// epoch skew (rank 1 behaves as if it already ran one more collective, the
+// signature of a mismatched collective order across ranks): tags no longer
+// line up, so both ranks block in their exchange receives.
+func TestWatchdogDiagnosesAllreduceDeadlock(t *testing.T) {
+	for _, lib := range All() {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) {
+			world := mpi.MustNewWorld(topology.New(2, 1, topology.Block), lib.Config())
+			err := world.Run(func(r *mpi.Rank) {
+				if r.Rank() == 1 {
+					r.NextEpoch() // skipped-collective skew
+				}
+				lib.Allreduce(r, make([]byte, 64), make([]byte, 64), nums.Sum)
+			})
+			requireBothBlocked(t, err)
+		})
+	}
+}

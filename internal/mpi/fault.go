@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// TimeoutError reports an MPI operation that blocked past Config.OpTimeout
+// of virtual time. It escapes the rank body as a panic (MPI operations have
+// no error returns, matching the standard's collectives) and World.Run
+// converts it into this typed error for the caller.
+type TimeoutError struct {
+	Rank     int
+	Op       string // "recv", "probe"
+	Source   int    // AnySource for wildcard receives
+	Tag      int
+	Deadline simtime.Time // virtual time at which the operation gave up
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: rank %d %s (src=%d, tag=%d) timed out at %v",
+		e.Rank, e.Op, e.Source, e.Tag, e.Deadline)
+}
+
+// BlockedRank is one entry of a deadlock diagnosis: which rank is stuck,
+// in which operation, and what it is waiting for.
+type BlockedRank struct {
+	Rank    int    // world rank, or -1 for non-rank processes (async helpers)
+	Name    string // process name
+	Op      string // pending MPI op ("recv", "probe", ...) or the raw blocking primitive
+	Source  int    // peer the op waits for (AnySource/-1 when unknown)
+	Tag     int    // -1 when unknown
+	Since   simtime.Time
+	WaitsOn int // rank in the waker chain this one waits on, or -1
+}
+
+func (b BlockedRank) String() string {
+	s := fmt.Sprintf("%s blocked in %s", b.Name, b.Op)
+	if b.Tag != -1 || b.Source != -1 {
+		s += fmt.Sprintf(" (src=%d, tag=%d)", b.Source, b.Tag)
+	}
+	s += fmt.Sprintf(" since %v", b.Since)
+	if b.WaitsOn >= 0 {
+		s += fmt.Sprintf(", waits on rank %d", b.WaitsOn)
+	}
+	return s
+}
+
+// DeadlockError is the watchdog's report of a wedged MPI program: the event
+// queue drained while ranks were still blocked. It wraps the engine-level
+// *simtime.DeadlockError (errors.As reaches it) and adds the MPI-level
+// diagnosis: per-rank pending operation with (source, tag) and the waker
+// chain.
+type DeadlockError struct {
+	Blocked []BlockedRank
+	engine  *simtime.DeadlockError
+}
+
+func (e *DeadlockError) Error() string {
+	parts := make([]string, len(e.Blocked))
+	for i, b := range e.Blocked {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("mpi: deadlock, %d rank(s) blocked: %s",
+		len(e.Blocked), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the underlying engine diagnosis.
+func (e *DeadlockError) Unwrap() error { return e.engine }
+
+// pendingOp is the rank's currently-blocking operation, recorded before any
+// park so the watchdog can name it in a deadlock diagnosis.
+type pendingOp struct {
+	op       string
+	src, tag int
+	active   bool
+}
+
+// setPending annotates both the MPI-level bookkeeping and the engine-level
+// wait detail before a potentially-blocking operation; clearPending undoes
+// it on the fast path (park resumption clears the engine side itself).
+func (r *Rank) setPending(op string, src, tag int) {
+	r.pending = pendingOp{op: op, src: src, tag: tag, active: true}
+	waits := -1
+	if src >= 0 {
+		waits = src
+	}
+	r.proc.SetWaitDetail(fmt.Sprintf("%s src=%d tag=%d", op, src, tag), waits)
+}
+
+func (r *Rank) clearPending() {
+	r.pending.active = false
+	r.proc.SetWaitDetail("", -1)
+}
+
+// wrapRunError converts engine-level failures into the MPI layer's typed
+// errors: a rank-body panic carrying a *TimeoutError becomes that error,
+// and an engine deadlock becomes a *DeadlockError with the per-rank
+// diagnosis attached.
+func (w *World) wrapRunError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *simtime.PanicError
+	if errors.As(err, &pe) {
+		if te, ok := pe.Value.(*TimeoutError); ok {
+			return te
+		}
+	}
+	var de *simtime.DeadlockError
+	if errors.As(err, &de) {
+		return w.diagnoseDeadlock(de)
+	}
+	return err
+}
+
+func (w *World) diagnoseDeadlock(de *simtime.DeadlockError) *DeadlockError {
+	me := &DeadlockError{engine: de}
+	for _, pi := range de.Info {
+		b := BlockedRank{Rank: -1, Name: pi.Name, Op: pi.Reason,
+			Source: -1, Tag: -1, Since: pi.At, WaitsOn: pi.WaitsOn}
+		// World ranks are spawned first, in rank order, so proc id ==
+		// rank for them; later procs are async helpers.
+		if pi.ID < len(w.ranks) {
+			b.Rank = pi.ID
+			if p := w.ranks[pi.ID].pending; p.active {
+				b.Op, b.Source, b.Tag = p.op, p.src, p.tag
+			}
+		}
+		me.Blocked = append(me.Blocked, b)
+	}
+	return me
+}
+
+// chargeNoise bills any OS-noise detours that came due on this rank's
+// virtual clock: the stolen CPU time advances the clock before the next
+// operation proceeds (lazy billing — noise becomes visible exactly when the
+// rank next interacts with the runtime, like a preempted process discovers
+// lost time at its next syscall). Callers guard on r.noise != nil, so
+// fault-free runs pay only a nil check.
+func (r *Rank) chargeNoise() {
+	extra, detours := r.noise.Due(r.proc.Now())
+	if extra == 0 {
+		return
+	}
+	t0 := r.proc.Now()
+	r.proc.Advance(extra)
+	if rec := r.world.rec; rec != nil {
+		reg := rec.Metrics()
+		reg.Counter("fault.noise_ns").Add(int64(extra / simtime.Nanosecond))
+		reg.Counter("fault.detours").Add(int64(detours))
+		if !rec.Lite() {
+			rec.ProcSpan(r.proc, "os noise", "os-noise", t0, r.proc.Now())
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// TestOpTimeoutTypedError pins the per-op virtual-time timeout: a receive
+// that can never match aborts the run with a *TimeoutError naming the rank,
+// operation and (source, tag), instead of wedging until the watchdog fires.
+func TestOpTimeoutTypedError(t *testing.T) {
+	w := newWorld(t, 2, 1, func(c *Config) {
+		c.OpTimeout = simtime.Duration(simtime.Millisecond)
+	})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Recv(0, 9, make([]byte, 8))
+		}
+	})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Rank != 1 || te.Op != "recv" || te.Source != 0 || te.Tag != 9 {
+		t.Errorf("timeout diagnosis = %+v, want rank 1 recv src=0 tag=9", te)
+	}
+	if want := simtime.Time(0).Add(simtime.Duration(simtime.Millisecond)); te.Deadline != want {
+		t.Errorf("deadline = %v, want %v", te.Deadline, want)
+	}
+}
+
+// TestOpTimeoutDoesNotFireOnMatch pins that a satisfied receive under a
+// timeout behaves identically to one without.
+func TestOpTimeoutDoesNotFireOnMatch(t *testing.T) {
+	run := func(timeout simtime.Duration) simtime.Time {
+		w := newWorld(t, 2, 1, func(c *Config) { c.OpTimeout = timeout })
+		if err := w.Run(func(r *Rank) {
+			if r.Rank() == 0 {
+				r.Send(1, 5, make([]byte, 256))
+			} else {
+				r.Recv(0, 5, make([]byte, 256))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Horizon()
+	}
+	if a, b := run(0), run(simtime.Duration(simtime.Second)); a != b {
+		t.Errorf("horizon with timeout %v != without %v", b, a)
+	}
+}
+
+// TestDeadlockDiagnosisNamesBothRanks pins the watchdog output for the
+// classic crossed-receive deadlock: both ranks blocked, each entry carrying
+// the pending (source, tag) and the waker chain.
+func TestDeadlockDiagnosisNamesBothRanks(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(1, 7, make([]byte, 8))
+		} else {
+			r.Recv(0, 8, make([]byte, 8))
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Fatalf("blocked = %+v, want both ranks", de.Blocked)
+	}
+	for i, want := range []BlockedRank{
+		{Rank: 0, Op: "recv", Source: 1, Tag: 7, WaitsOn: 1},
+		{Rank: 1, Op: "recv", Source: 0, Tag: 8, WaitsOn: 0},
+	} {
+		got := de.Blocked[i]
+		if got.Rank != want.Rank || got.Op != want.Op || got.Source != want.Source ||
+			got.Tag != want.Tag || got.WaitsOn != want.WaitsOn {
+			t.Errorf("blocked[%d] = %+v, want %+v", i, got, want)
+		}
+	}
+	// The engine-level diagnosis stays reachable for callers that want the
+	// raw parked-process view.
+	var se *simtime.DeadlockError
+	if !errors.As(err, &se) || len(se.Info) != 2 {
+		t.Errorf("engine diagnosis not reachable through Unwrap: %v", err)
+	}
+}
+
+// TestDeadlockReportedThroughObs pins the watchdog → observability wiring:
+// an instrumented wedged run records the deadlock counter and a terminal
+// span per stuck rank.
+func TestDeadlockReportedThroughObs(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	rec := obs.NewRecorder()
+	w.Observe(rec)
+	err := w.Run(func(r *Rank) {
+		peer := 1 - r.Rank()
+		r.Recv(peer, 3, make([]byte, 8))
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if got := rec.Metrics().Counter("watchdog.deadlocks").Value(); got != 1 {
+		t.Errorf("watchdog.deadlocks = %d, want 1", got)
+	}
+}
+
+// TestNoisePlanChargesRanks pins OS-noise billing: a noisy run is slower,
+// deterministic per seed, and accounts its stolen time in fault.noise_ns.
+func TestNoisePlanChargesRanks(t *testing.T) {
+	body := func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			peer := 1 - r.Rank()
+			r.Sendrecv(peer, 100+i, make([]byte, 512), peer, 100+i, make([]byte, 512))
+		}
+	}
+	run := func(seed uint64, amp simtime.Duration) (simtime.Time, int64) {
+		cfg := DefaultConfig()
+		if amp > 0 {
+			cfg.Faults = fault.MustNew(fault.Spec{Seed: seed, Noise: []fault.Noise{{
+				Amplitude: amp,
+				Period:    2 * simtime.Microsecond,
+				Jitter:    0.3,
+			}}})
+		}
+		w, err := NewWorld(topology.New(2, 1, topology.Block), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.NewLiteRecorder()
+		w.Observe(rec)
+		if err := w.Run(body); err != nil {
+			t.Fatal(err)
+		}
+		return w.Horizon(), rec.Metrics().Counter("fault.noise_ns").Value()
+	}
+	clean, cleanNoise := run(1, 0)
+	if cleanNoise != 0 {
+		t.Fatalf("fault-free run billed %dns of noise", cleanNoise)
+	}
+	noisy1, billed1 := run(1, 5*simtime.Microsecond)
+	noisy2, billed2 := run(1, 5*simtime.Microsecond)
+	if noisy1 != noisy2 || billed1 != billed2 {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", noisy1, billed1, noisy2, billed2)
+	}
+	if noisy1 <= clean {
+		t.Errorf("noisy horizon %v not later than clean %v", noisy1, clean)
+	}
+	if billed1 <= 0 {
+		t.Errorf("fault.noise_ns = %d, want > 0", billed1)
+	}
+}
+
+// TestStragglerSkewsOneRank pins that a single-rank noise plan (a
+// straggler) affects only the chosen rank's operations yet still delays the
+// collective's completion (the healthy rank waits for the straggler).
+func TestStragglerSkewsOneRank(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.MustNew(fault.Spec{Seed: 2, Noise: []fault.Noise{{
+		Ranks:     []int{1},
+		Amplitude: 20 * simtime.Microsecond,
+		Period:    500 * simtime.Nanosecond,
+	}}})
+	body := func(r *Rank) {
+		peer := 1 - r.Rank()
+		for i := 0; i < 10; i++ {
+			r.Sendrecv(peer, 1+i, make([]byte, 64), peer, 1+i, make([]byte, 64))
+		}
+	}
+	w, err := NewWorld(topology.New(2, 1, topology.Block), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	straggled := w.Horizon()
+
+	clean := MustNewWorld(topology.New(2, 1, topology.Block), DefaultConfig())
+	if err := clean.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if straggled <= clean.Horizon() {
+		t.Errorf("straggler horizon %v not later than clean %v", straggled, clean.Horizon())
+	}
+}
+
+func TestConfigRejectsNegativeOpTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OpTimeout = -1
+	if _, err := NewWorld(topology.New(1, 2, topology.Block), cfg); err == nil {
+		t.Fatal("negative OpTimeout accepted")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pip"
 	"repro/internal/shm"
@@ -45,6 +46,15 @@ type Config struct {
 	// libraries do); larger payloads use the mechanism's single-copy
 	// rendezvous path. Must be positive.
 	IntranodeEager int
+	// Faults optionally attaches a deterministic chaos plan: link
+	// degradation, eager message loss with ack/retransmit recovery, OS
+	// noise, and NIC queue stalls (see package fault). Nil — the default —
+	// keeps every code path bit-identical to a fault-free build.
+	Faults *fault.Plan
+	// OpTimeout, when positive, bounds the virtual time any single
+	// receive or probe may block; exceeding it aborts the run with a
+	// *TimeoutError from World.Run. Zero disables timeouts.
+	OpTimeout simtime.Duration
 }
 
 // DefaultConfig returns the calibration used by the paper experiments, with
@@ -68,6 +78,9 @@ func (c Config) Validate() error {
 	}
 	if c.IntranodeEager <= 0 {
 		return fmt.Errorf("mpi: intranode eager limit must be positive, got %d", c.IntranodeEager)
+	}
+	if c.OpTimeout < 0 {
+		return fmt.Errorf("mpi: negative op timeout %v", c.OpTimeout)
 	}
 	return nil
 }
@@ -96,6 +109,7 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	fab.InjectFaults(cfg.Faults)
 	w := &World{
 		cluster: cluster,
 		cfg:     cfg,
@@ -155,10 +169,16 @@ func (w *World) Run(body func(r *Rank)) error {
 		r := r
 		w.engine.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *simtime.Proc) {
 			r.proc = p
+			r.noise = w.cfg.Faults.NewRankNoise(r.rank)
+			if r.noise != nil {
+				// Bill noise accrued across blocking waits too, not
+				// only at operation entries.
+				p.SetResumeHook(func(*simtime.Proc) { r.chargeNoise() })
+			}
 			body(r)
 		})
 	}
-	return w.engine.Run()
+	return w.wrapRunError(w.engine.Run())
 }
 
 // Horizon returns the virtual makespan after Run completes.

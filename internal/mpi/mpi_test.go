@@ -2,7 +2,9 @@ package mpi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/nums"
@@ -42,6 +44,18 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if _, err := NewWorld(topology.New(1, 1, topology.Block), bad); err == nil {
 		t.Fatal("NewWorld accepted bad config")
+	}
+	// Shared-memory calibration flows through Config.Validate too, so a
+	// poisoned (NaN) bandwidth must be refused at world construction.
+	bad = DefaultConfig()
+	bad.Shm.CopyBandwidth = math.NaN()
+	if _, err := NewWorld(topology.New(1, 2, topology.Block), bad); err == nil {
+		t.Fatal("NewWorld accepted NaN shm bandwidth")
+	}
+	bad = DefaultConfig()
+	bad.Fabric.LinkBandwidth = math.Inf(1)
+	if _, err := NewWorld(topology.New(2, 1, topology.Block), bad); err == nil {
+		t.Fatal("NewWorld accepted infinite fabric bandwidth")
 	}
 }
 
@@ -247,11 +261,8 @@ func TestUnmatchedRecvDeadlocks(t *testing.T) {
 }
 
 func asDeadlock(err error, dl **simtime.DeadlockError) bool {
-	d, ok := err.(*simtime.DeadlockError)
-	if ok {
-		*dl = d
-	}
-	return ok
+	// World.Run wraps the engine diagnosis in *mpi.DeadlockError.
+	return errors.As(err, dl)
 }
 
 func TestPiPMechanismChargesSizeSync(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pip"
 	"repro/internal/shm"
@@ -28,6 +29,10 @@ type Rank struct {
 	// async operations.
 	epochLimit uint64
 	asyncSeq   int
+	// noise is the rank's OS-noise cursor (nil fault-free); pending is
+	// the blocking op the watchdog names in a deadlock diagnosis.
+	noise   *fault.RankNoise
+	pending pendingOp
 }
 
 // Rank returns the process's global rank.
@@ -154,6 +159,9 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: Isend to rank %d in world of %d", dst, r.Size()))
 	}
+	if r.noise != nil {
+		r.chargeNoise()
+	}
 	intranode := r.world.cluster.SameNode(r.rank, dst)
 	r.world.p2p(trace.Event{Kind: trace.KindSend, At: r.proc.Now(),
 		Src: r.rank, Dst: dst, Tag: tag, Bytes: len(data), Intranode: intranode})
@@ -269,7 +277,9 @@ func (r *Rank) Wait(q *Request) int {
 			}
 		}
 	case reqSendFlag:
+		r.setPending("send-rendezvous", -1, -1)
 		q.flag.Wait(r.proc)
+		r.clearPending()
 	case reqRecv:
 		r.completeRecv(q)
 	}
@@ -295,12 +305,29 @@ func (r *Rank) Waitall(reqs ...*Request) {
 // copy-out costs for eager paths, the mechanism's single-copy cost for
 // intranode rendezvous, and truncation checking throughout.
 func (r *Rank) completeRecv(q *Request) {
+	if r.noise != nil {
+		r.chargeNoise()
+	}
 	t0 := r.proc.Now()
-	item := r.world.fab.Inbox(r.ep).Get(r.proc, func(it any) bool {
+	match := func(it any) bool {
 		env := envOf(it)
 		return (q.src == AnySource || env.src == q.src) &&
 			(q.tag == AnyTag || env.tag == q.tag)
-	})
+	}
+	r.setPending("recv", q.src, q.tag)
+	var item any
+	if d := r.world.cfg.OpTimeout; d > 0 {
+		deadline := t0.Add(d)
+		got, ok := r.world.fab.Inbox(r.ep).GetDeadline(r.proc, match, deadline)
+		if !ok {
+			panic(&TimeoutError{Rank: r.rank, Op: "recv",
+				Source: q.src, Tag: q.tag, Deadline: deadline})
+		}
+		item = got
+	} else {
+		item = r.world.fab.Inbox(r.ep).Get(r.proc, match)
+	}
+	r.clearPending()
 	env := envOf(item)
 	if r.world.full() && env.msg >= 0 {
 		// Tie the wait (blocked or clock-jumped) to the matched message so
@@ -361,10 +388,15 @@ func (r *Rank) Probe(src, tag int) Status {
 	if src != AnySource && (src < 0 || src >= r.Size()) {
 		panic(fmt.Sprintf("mpi: Probe from rank %d in world of %d", src, r.Size()))
 	}
+	if r.noise != nil {
+		r.chargeNoise()
+	}
+	r.setPending("probe", src, tag)
 	item := r.world.fab.Inbox(r.ep).Peek(r.proc, func(it any) bool {
 		env := envOf(it)
 		return (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag)
 	})
+	r.clearPending()
 	env := envOf(item)
 	return Status{Source: env.src, Tag: env.tag, Bytes: env.n}
 }

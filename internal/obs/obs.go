@@ -395,6 +395,37 @@ func (r *Recorder) ProcResumed(p *simtime.Proc, at simtime.Time, waker *simtime.
 	}
 }
 
+// DeadlockDetected implements simtime.DeadlockObserver: the watchdog hands
+// over the blocked-state diagnosis before the engine returns its error, so
+// the trace that shows how the program wedged also names who is stuck on
+// what. Each stuck process gets a terminal "DEADLOCK" span carrying its
+// pending-op detail, and the "watchdog.deadlocks" counter marks the event
+// for metrics-only (lite) consumers.
+func (r *Recorder) DeadlockDetected(parked []simtime.ParkedInfo, at simtime.Time) {
+	r.reg.Counter("watchdog.deadlocks").Add(1)
+	if r.lite {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, pi := range parked {
+		r.proc(pi.ID, pi.Name)
+		name := "DEADLOCK: " + pi.Reason
+		if pi.Detail != "" {
+			name += " [" + pi.Detail + "]"
+		}
+		end := at
+		if end <= pi.At {
+			end = pi.At + 1 // keep the marker visible even at zero extent
+		}
+		r.spans = append(r.spans, Span{
+			Proc: pi.ID, Name: name, Cat: "watchdog",
+			Start: pi.At, End: end,
+		})
+		r.note(end)
+	}
+}
+
 // Dispatched implements simtime.Observer: samples the engine's run-queue
 // depth as a counter track and tracks the high-water mark.
 func (r *Recorder) Dispatched(p *simtime.Proc, at simtime.Time, pending int) {

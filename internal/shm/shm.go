@@ -25,6 +25,7 @@ package shm
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/nums"
 	"repro/internal/obs"
@@ -126,6 +127,13 @@ func DefaultParams() Params {
 
 // Validate reports an error for nonsensical parameters.
 func (p Params) Validate() error {
+	// NaN slips through ordered comparisons (every one is false), so the
+	// float fields are checked for finiteness explicitly.
+	for _, bw := range []float64{p.CopyBandwidth, p.ReduceBandwidth, p.NodeMemBandwidth} {
+		if math.IsNaN(bw) || math.IsInf(bw, 0) {
+			return fmt.Errorf("shm: non-finite bandwidth: %+v", p)
+		}
+	}
 	if p.CopyBandwidth <= 0 || p.ReduceBandwidth <= 0 {
 		return fmt.Errorf("shm: bandwidths must be positive: %+v", p)
 	}

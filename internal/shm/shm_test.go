@@ -3,6 +3,7 @@ package shm
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -40,6 +41,20 @@ func TestValidate(t *testing.T) {
 	}
 	if _, err := NewNode(bad); err == nil {
 		t.Fatal("NewNode accepted bad params")
+	}
+	// NaN/Inf sail through ordered comparisons, so Validate must reject
+	// them explicitly.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bad = DefaultParams()
+		bad.CopyBandwidth = v
+		if bad.Validate() == nil {
+			t.Errorf("copy bandwidth %v accepted", v)
+		}
+		bad = DefaultParams()
+		bad.NodeMemBandwidth = v
+		if bad.Validate() == nil {
+			t.Errorf("node memory bandwidth %v accepted", v)
+		}
 	}
 }
 

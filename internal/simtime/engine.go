@@ -86,7 +86,10 @@ type Proc struct {
 	fn      func(*Proc)
 	started bool
 	waiting string // human-readable blocking reason, for deadlock reports
+	detail  string // structured detail set by the layer above (e.g. "recv src=1 tag=9")
+	waitsOn int    // proc id this process is known to wait on, or -1
 	wokenBy *Proc  // process whose action posted the pending wakeup
+	hook    func(*Proc)
 }
 
 // ID returns the process's engine-unique identifier, assigned in spawn order.
@@ -144,6 +147,24 @@ func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
 	return p.e.spawnAt(name, p.now, fn)
 }
 
+// SetWaitDetail annotates the process's next blocking wait with a
+// structured description of the pending operation (e.g. "recv src=1 tag=9")
+// and, when known, the id of the process whose action must arrive to
+// release it (waitsOn, or -1 when unknown). The annotation feeds the
+// engine's deadlock diagnosis; it is cleared automatically when the process
+// resumes.
+func (p *Proc) SetWaitDetail(detail string, waitsOn int) {
+	p.detail = detail
+	p.waitsOn = waitsOn
+}
+
+// SetResumeHook installs (or, with nil, removes) a callback invoked on the
+// process's own goroutine each time it resumes from a blocking wait, after
+// its clock has advanced to the wakeup time. The fault layer uses it to
+// charge OS-noise detours lazily: noise accrued while the process was off
+// the CPU is billed the moment it runs again.
+func (p *Proc) SetResumeHook(h func(*Proc)) { p.hook = h }
+
 // park blocks the calling process goroutine and hands control back to the
 // engine. The process must already have a wakeup arranged: either an event in
 // the engine heap (posted via Engine.post) or a slot in some primitive's
@@ -162,11 +183,16 @@ func (p *Proc) park(reason string) {
 	}
 	p.state = stRunning
 	p.waiting = ""
+	p.detail = ""
+	p.waitsOn = -1
 	p.AdvanceTo(t)
 	if p.e.obs != nil {
 		waker := p.wokenBy
 		p.wokenBy = nil
 		p.e.obs.ProcResumed(p, p.now, waker)
+	}
+	if p.hook != nil {
+		p.hook(p)
 	}
 }
 
@@ -179,12 +205,13 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 
 func (e *Engine) spawnAt(name string, at Time, fn func(*Proc)) *Proc {
 	p := &Proc{
-		e:      e,
-		id:     len(e.procs),
-		name:   name,
-		now:    at,
-		resume: make(chan Time),
-		fn:     fn,
+		e:       e,
+		id:      len(e.procs),
+		name:    name,
+		now:     at,
+		resume:  make(chan Time),
+		fn:      fn,
+		waitsOn: -1,
 	}
 	e.procs = append(e.procs, p)
 	e.post(p, at)
@@ -196,10 +223,14 @@ func (e *Engine) spawnAt(name string, at Time, fn func(*Proc)) *Proc {
 // maintain that invariant by removing a process from their waiter lists when
 // they post its wakeup.
 func (e *Engine) post(p *Proc, t Time) {
+	e.postEvent(p, t, nil)
+}
+
+func (e *Engine) postEvent(p *Proc, t Time, cancel *bool) {
 	p.wokenBy = nil
 	p.state = stScheduled
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p, cancel: cancel})
 }
 
 // postFrom is post with attribution: waker is the process whose action made
@@ -210,16 +241,60 @@ func (e *Engine) postFrom(waker, p *Proc, t Time) {
 	p.wokenBy = waker
 }
 
+// postTimer schedules a cancellable wakeup for p at time t and returns the
+// cancel flag. Timers back deadline-bounded waits (Mailbox.GetDeadline): if
+// the real wakeup arrives first, the waker sets the flag and the engine
+// discards the timer event when it surfaces, preserving the one-pending-
+// wakeup-per-process invariant.
+func (e *Engine) postTimer(p *Proc, t Time) *bool {
+	cancel := new(bool)
+	e.postEvent(p, t, cancel)
+	return cancel
+}
+
 // Horizon returns the virtual makespan observed so far: the latest event
 // time dispatched or final process clock recorded. After a successful Run it
 // is the simulation's total virtual runtime.
 func (e *Engine) Horizon() Time { return e.horizon }
+
+// ParkedInfo is the watchdog's structured description of one stuck process:
+// who it is, when it parked, the primitive it blocks on, the pending
+// operation the layer above annotated via SetWaitDetail, and — when known —
+// the process whose action it waits for (the waker chain's next hop).
+type ParkedInfo struct {
+	ID      int
+	Name    string
+	At      Time
+	Reason  string // blocking primitive ("mailbox get", "barrier 1/4", ...)
+	Detail  string // pending op detail ("recv src=1 tag=9"), or ""
+	WaitsOn int    // proc id this process waits on, or -1 when unknown
+}
+
+// String renders the entry as it appears in DeadlockError.Parked.
+func (pi ParkedInfo) String() string {
+	s := fmt.Sprintf("%s@%v: %s", pi.Name, pi.At, pi.Reason)
+	if pi.Detail != "" {
+		s += " [" + pi.Detail + "]"
+	}
+	return s
+}
+
+// DeadlockObserver is the optional extension of Observer the watchdog
+// reports through: when the event queue drains with processes still parked,
+// the engine hands the full blocked-state diagnosis to the observer before
+// returning the DeadlockError, so instrumented runs record the deadlock in
+// the same trace that shows how the program got there.
+type DeadlockObserver interface {
+	DeadlockDetected(parked []ParkedInfo, at Time)
+}
 
 // DeadlockError reports that the event queue drained while processes were
 // still parked, i.e. the simulated program can make no further progress.
 type DeadlockError struct {
 	// Parked lists the stuck processes as "name@time: reason" strings.
 	Parked []string
+	// Info carries the structured diagnosis, ordered by process id.
+	Info []ParkedInfo
 }
 
 func (d *DeadlockError) Error() string {
@@ -263,6 +338,9 @@ func (e *Engine) Run() error {
 			return err
 		}
 		ev := heap.Pop(&e.events).(event)
+		if ev.cancel != nil && *ev.cancel {
+			continue // withdrawn timer: its process was woken another way
+		}
 		p := ev.p
 		if ev.t > e.horizon {
 			e.horizon = ev.t
@@ -303,16 +381,29 @@ func (p *Proc) run(start Time) {
 	p.fn(p)
 }
 
-// deadlock builds the error describing all parked processes.
+// deadlock builds the error describing all parked processes and reports the
+// diagnosis through the observer (when it implements DeadlockObserver), so
+// the watchdog's findings land in the run's trace rather than only in the
+// returned error.
 func (e *Engine) deadlock() error {
-	var parked []string
+	var info []ParkedInfo
 	for _, p := range e.procs {
 		if p.state != stDone {
-			parked = append(parked, fmt.Sprintf("%s@%v: %s", p.name, p.now, p.waiting))
+			info = append(info, ParkedInfo{
+				ID: p.id, Name: p.name, At: p.now,
+				Reason: p.waiting, Detail: p.detail, WaitsOn: p.waitsOn,
+			})
 		}
 	}
-	sort.Strings(parked)
-	return &DeadlockError{Parked: parked}
+	sort.Slice(info, func(i, j int) bool { return info[i].ID < info[j].ID })
+	parked := make([]string, len(info))
+	for i, pi := range info {
+		parked[i] = pi.String()
+	}
+	if o, ok := e.obs.(DeadlockObserver); ok {
+		o.DeadlockDetected(info, e.horizon)
+	}
+	return &DeadlockError{Parked: parked, Info: info}
 }
 
 // teardown force-exits every live process goroutine so that Run never leaks
@@ -328,9 +419,10 @@ func (e *Engine) teardown() {
 
 // event is one pending wakeup in the engine's priority queue.
 type event struct {
-	t   Time
-	seq uint64 // FIFO tie-break for equal timestamps: lower seq first
-	p   *Proc
+	t      Time
+	seq    uint64 // FIFO tie-break for equal timestamps: lower seq first
+	p      *Proc
+	cancel *bool // non-nil for timers; true means the event is withdrawn
 }
 
 type eventHeap []event

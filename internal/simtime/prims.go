@@ -148,7 +148,9 @@ type mailRecv struct {
 	match  func(any) bool
 	result any
 	filled bool
-	peek   bool // observe without consuming (for Probe-style waiting)
+	peek   bool  // observe without consuming (for Probe-style waiting)
+	timer  *bool // pending deadline timer's cancel flag (GetDeadline)
+	dead   bool  // timed out: skip and drop this receiver
 }
 
 // Put deposits item at p's current time. If a parked receiver matches, it is
@@ -167,16 +169,21 @@ func (m *Mailbox) PutAt(p *Proc, t Time, item any) {
 	rest := m.receivers[:0]
 	consumed := false
 	for _, r := range m.receivers {
+		if r.dead {
+			continue // timed out earlier; drop lazily
+		}
 		matches := r.match == nil || r.match(item)
 		switch {
 		case matches && r.peek:
 			r.result = item
 			r.filled = true
+			r.stopTimer()
 			p.e.postFrom(p, r.p, t)
 		case matches && !consumed:
 			r.result = item
 			r.filled = true
 			consumed = true
+			r.stopTimer()
 			p.e.postFrom(p, r.p, t)
 		default:
 			rest = append(rest, r)
@@ -185,6 +192,15 @@ func (m *Mailbox) PutAt(p *Proc, t Time, item any) {
 	m.receivers = rest
 	if !consumed {
 		m.items = append(m.items, mailItem{t: t, item: item})
+	}
+}
+
+// stopTimer withdraws the receiver's pending deadline timer, if any, so the
+// wake about to be posted is the process's only live event.
+func (r *mailRecv) stopTimer() {
+	if r.timer != nil {
+		*r.timer = true
+		r.timer = nil
 	}
 }
 
@@ -206,6 +222,35 @@ func (m *Mailbox) Get(p *Proc, match func(any) bool) any {
 		panic("simtime: mailbox receiver woken without item")
 	}
 	return r.result
+}
+
+// GetDeadline is Get bounded by an absolute virtual deadline: it returns
+// (item, true) when a matching item arrives at or before the deadline, and
+// (nil, false) once the deadline passes with no match — the primitive behind
+// the MPI layer's per-operation watchdog timeouts. A deadline at or before
+// p's current time with no queued match fails immediately without yielding.
+func (m *Mailbox) GetDeadline(p *Proc, match func(any) bool, deadline Time) (any, bool) {
+	for i, it := range m.items {
+		if match == nil || match(it.item) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			p.AdvanceTo(it.t)
+			return it.item, true
+		}
+	}
+	if deadline <= p.now {
+		return nil, false
+	}
+	r := &mailRecv{p: p, match: match}
+	r.timer = p.e.postTimer(p, deadline)
+	m.receivers = append(m.receivers, r)
+	p.park("mailbox get")
+	if r.filled {
+		return r.result, true
+	}
+	// The timer fired first: withdraw from the waiter list (lazily — PutAt
+	// skips dead receivers) and report the timeout.
+	r.dead = true
+	return nil, false
 }
 
 // Peek blocks p until an item matching the predicate is available and
