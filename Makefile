@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-race chaos-smoke ci
+.PHONY: all vet build test race chaos-race chaos-smoke bench-smoke ci
 
 all: build
 
@@ -24,6 +24,16 @@ race:
 chaos-race:
 	$(GO) test -race ./internal/fault ./internal/fabric ./internal/mpi -run 'Fault|Watchdog|Deadlock|Timeout|Noise|Stall|Loss|Degrade'
 
+# Hot-path smoke: one pass of the simulator-throughput benchmark, the
+# allocation ceilings (allocs/event on the medium world, per-op send/recv
+# and park pins), and the same guard files under the race detector (the
+# exact ceilings skip there; the correctness assertions still run).
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkSimThroughput -benchtime 1x .
+	$(GO) test ./internal/bench -run 'Throughput' -count=1
+	$(GO) test ./internal/simtime ./internal/mpi -run 'Alloc|UntracedP2P|RendezvousSendBufferReuse|DispatchCounter' -count=1
+	$(GO) test -race ./internal/simtime ./internal/mpi -run 'Alloc|UntracedP2P|RendezvousSendBufferReuse|DispatchCounter' -count=1
+
 # End-to-end resilience smoke: fixed-seed scenarios must survive with
 # verified results (exit 0) and an unknown scenario must be refused.
 chaos-smoke:
@@ -31,4 +41,4 @@ chaos-smoke:
 	$(GO) run ./cmd/pipmcoll-chaos -scenario mixed -op allreduce
 	! $(GO) run ./cmd/pipmcoll-chaos -scenario no-such-scenario 2>/dev/null
 
-ci: vet build test race chaos-race chaos-smoke
+ci: vet build test race chaos-race chaos-smoke bench-smoke

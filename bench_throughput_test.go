@@ -1,0 +1,34 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkSimThroughput measures the discrete-event engine itself on the
+// standard throughput worlds: wall ns per dispatched event, events per
+// second, and heap allocations per event. One b.N iteration is one full
+// world run (build + workload), so -benchtime=1x gives the smoke-test
+// numbers and larger -benchtime averages out scheduler noise. The recorded
+// trajectory lives in BENCH_throughput.json (regenerate with
+// `pipmcoll-bench -throughput`).
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, tw := range bench.ThroughputWorlds() {
+		tw := tw
+		b.Run(tw.Name, func(b *testing.B) {
+			var res bench.ThroughputResult
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunThroughput(tw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.NsPerEvent, "ns/event")
+			b.ReportMetric(res.EventsPerSec, "events/s")
+			b.ReportMetric(res.AllocsPerEvent, "allocs/event")
+			b.ReportMetric(res.VirtualUs, "virtual-us")
+		})
+	}
+}

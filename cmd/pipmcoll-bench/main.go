@@ -37,6 +37,30 @@ func main() {
 	}
 }
 
+// runThroughput measures the discrete-event engine itself (ns/event,
+// events/s, allocs/event) on the standard world shapes and records the
+// results for cross-PR tracking.
+func runThroughput(out string) error {
+	fmt.Printf("%-8s %8s %8s %12s %12s %14s %12s\n",
+		"world", "ranks", "rounds", "events", "ns/event", "events/s", "allocs/event")
+	var results []bench.ThroughputResult
+	for _, tw := range bench.ThroughputWorlds() {
+		res, err := bench.RunThroughput(tw)
+		if err != nil {
+			return fmt.Errorf("throughput world %s: %w", tw.Name, err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-8s %8d %8d %12d %12.0f %14.0f %12.3f\n",
+			res.World, res.Ranks, res.Rounds, res.Events,
+			res.NsPerEvent, res.EventsPerSec, res.AllocsPerEvent)
+	}
+	if err := bench.WriteThroughputJSON(out, results); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
+}
+
 func run() error {
 	figList := flag.String("fig", "", "comma-separated figure ids (default: all paper figures)")
 	full := flag.Bool("full", false, "use paper-scale cluster shapes where memory allows")
@@ -51,7 +75,13 @@ func run() error {
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
 	statsDump := flag.Bool("stats", false, "dump harness metrics (cells, cache hits/misses, wall time, queue wait) after the run")
+	throughput := flag.Bool("throughput", false, "run the simulator-throughput suite instead of figures")
+	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where -throughput writes its JSON report")
 	flag.Parse()
+
+	if *throughput {
+		return runThroughput(*throughputOut)
+	}
 
 	if *list {
 		for _, k := range []bench.Kind{bench.KindPaper, bench.KindExtension, bench.KindAblation, bench.KindSensitivity} {

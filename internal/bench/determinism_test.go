@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/libs"
+	"repro/internal/stats"
+)
+
+// TestFig9CellGolden pins the byte-exact CSV of full figure-9 cells (every
+// library at a representative small-scatter size on the quick 16x6 shape,
+// with the harness's standard warm-up/iteration counts). The golden was
+// recorded before the engine's allocation-free rewrite; any virtual-time
+// drift — a single tick anywhere in the event ordering — shows up here as a
+// CSV diff. Regenerate after an intentional calibration or algorithm change
+// with:
+//
+//	go test ./internal/bench -run Fig9CellGolden -update
+func TestFig9CellGolden(t *testing.T) {
+	const bytes = 1024 // the largest fig-9 point: intranode + internode mix
+	ls := libs.All()
+	table := stats.NewTable("Fig 9 cell: MPI_Scatter 1 kB (16x6, quick)",
+		"size", "us", libNames(ls), []string{"1024B"})
+	for _, l := range ls {
+		m, err := Run(Spec{Lib: l, Op: OpScatter, Nodes: 16, PPN: 6,
+			Bytes: bytes, Warmup: 2, Iters: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		table.Set("1024B", l.Name(), m.MeanMicros())
+	}
+	got := table.CSV()
+	path := filepath.Join("testdata", "fig9_cell.golden.csv")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig9 cell diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// The simulator-throughput suite measures the discrete-event engine itself:
+// wall-clock ns per dispatched event, events per second, and heap
+// allocations per event, on three standard world shapes. Virtual time is the
+// paper's metric; these numbers bound how many figure cells the harness can
+// simulate per wall-clock second, so they are tracked across PRs in
+// BENCH_throughput.json.
+
+// ThroughputWorld is one standard shape of the throughput suite. The
+// workload per round is a fixed mix of the paper's three collectives at an
+// eager and a rendezvous payload size, so every hot path (intranode
+// eager/rendezvous, internode eager/rendezvous, barrier and counter parks)
+// is exercised in realistic proportion.
+type ThroughputWorld struct {
+	Name   string
+	Nodes  int
+	PPN    int
+	Rounds int
+}
+
+// ThroughputWorlds returns the standard suite: small (fits in cache,
+// scheduler-dominated), medium (the figure-sweep shape the acceptance
+// ceiling is pinned on), large (paper-scale rank count).
+func ThroughputWorlds() []ThroughputWorld {
+	return []ThroughputWorld{
+		{Name: "small", Nodes: 2, PPN: 2, Rounds: 40},
+		{Name: "medium", Nodes: 8, PPN: 6, Rounds: 10},
+		{Name: "large", Nodes: 16, PPN: 8, Rounds: 4},
+	}
+}
+
+// ThroughputResult is one world's measurement. Wall-clock figures vary with
+// the host; Events and VirtualUs are deterministic and double as a
+// regression check on the engine's virtual-time behaviour.
+type ThroughputResult struct {
+	World          string  `json:"world"`
+	Ranks          int     `json:"ranks"`
+	Rounds         int     `json:"rounds"`
+	Events         int64   `json:"events"`
+	WallNs         int64   `json:"wall_ns"`
+	Allocs         uint64  `json:"allocs"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	VirtualUs      float64 `json:"virtual_us"`
+}
+
+// throughput payload sizes: one eager point (both transports) and one
+// rendezvous point (above the intranode 4 KiB and internode 16 KiB limits).
+const (
+	tpEager      = 256
+	tpRendezvous = 64 << 10
+)
+
+// RunThroughput builds the world, runs the workload with no tracer or
+// recorder attached (the bare configuration the hot path is optimized for),
+// and reports per-event wall and allocation costs. All workload buffers are
+// allocated before the measured region so the numbers reflect the
+// simulator's own per-event work, not benchmark setup.
+func RunThroughput(tw ThroughputWorld) (ThroughputResult, error) {
+	l := libs.PiPMColl()
+	cluster := topology.New(tw.Nodes, tw.PPN, topology.Block)
+	world, err := mpi.NewWorld(cluster, l.Config())
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	size := cluster.Size()
+
+	// Pre-allocate every rank's buffers outside the measured region.
+	type rankBufs struct {
+		scatterIn  []byte // root only
+		scatterOut []byte
+		gatherIn   []byte
+		gatherOut  []byte
+		redIn      []byte
+		redOut     []byte
+		bigIn      []byte
+		bigOut     []byte
+	}
+	bufs := make([]rankBufs, size)
+	for i := range bufs {
+		b := &bufs[i]
+		if i == 0 {
+			b.scatterIn = make([]byte, size*tpEager)
+			for j := 0; j < size; j++ {
+				nums.FillBytes(b.scatterIn[j*tpEager:(j+1)*tpEager], j)
+			}
+		}
+		b.scatterOut = make([]byte, tpEager)
+		b.gatherIn = make([]byte, tpEager)
+		nums.FillBytes(b.gatherIn, i)
+		b.gatherOut = make([]byte, size*tpEager)
+		b.redIn = make([]byte, tpEager)
+		nums.Fill(b.redIn, i)
+		b.redOut = make([]byte, tpEager)
+		b.bigIn = make([]byte, tpRendezvous)
+		nums.Fill(b.bigIn, i)
+		b.bigOut = make([]byte, tpRendezvous)
+	}
+
+	body := func(r *mpi.Rank) {
+		b := &bufs[r.Rank()]
+		for round := 0; round < tw.Rounds; round++ {
+			r.HarnessBarrier()
+			l.Scatter(r, 0, b.scatterIn, b.scatterOut)
+			l.Allgather(r, b.gatherIn, b.gatherOut)
+			l.Allreduce(r, b.redIn, b.redOut, nums.Sum)
+			l.Allreduce(r, b.bigIn, b.bigOut, nums.Sum)
+		}
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	runErr := world.Run(body)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if runErr != nil {
+		return ThroughputResult{}, runErr
+	}
+	if err := verifyThroughput(size, bufs[size-1].scatterOut, bufs[0].gatherOut, bufs[0].redOut); err != nil {
+		return ThroughputResult{}, err
+	}
+
+	res := ThroughputResult{
+		World:      tw.Name,
+		Ranks:      size,
+		Rounds:     tw.Rounds,
+		Events:     world.Events(),
+		WallNs:     wall.Nanoseconds(),
+		Allocs:     m1.Mallocs - m0.Mallocs,
+		AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+		VirtualUs:  simtime.Duration(world.Horizon()).Microseconds(),
+	}
+	if res.Events > 0 {
+		res.NsPerEvent = float64(res.WallNs) / float64(res.Events)
+		res.AllocsPerEvent = float64(res.Allocs) / float64(res.Events)
+	}
+	if res.WallNs > 0 {
+		res.EventsPerSec = float64(res.Events) / (float64(res.WallNs) / 1e9)
+	}
+	return res, nil
+}
+
+// verifyThroughput spot-checks the last round's collective outputs so the
+// suite cannot silently measure a broken simulation.
+func verifyThroughput(size int, scatterLast, gather0, red0 []byte) error {
+	want := make([]byte, tpEager)
+	nums.FillBytes(want, size-1)
+	if !bytes.Equal(scatterLast, want) {
+		return fmt.Errorf("bench: throughput scatter verification failed on rank %d", size-1)
+	}
+	for j := 0; j < size; j++ {
+		nums.FillBytes(want, j)
+		if !bytes.Equal(gather0[j*tpEager:(j+1)*tpEager], want) {
+			return fmt.Errorf("bench: throughput allgather verification failed at chunk %d", j)
+		}
+	}
+	wantRed := make([]byte, tpEager)
+	nums.Fill(wantRed, 0)
+	tmp := make([]byte, tpEager)
+	for i := 1; i < size; i++ {
+		nums.Fill(tmp, i)
+		nums.Sum.Combine(wantRed, tmp)
+	}
+	if !bytes.Equal(red0, wantRed) {
+		return fmt.Errorf("bench: throughput allreduce verification failed on rank 0")
+	}
+	return nil
+}
+
+// ThroughputReport is the JSON envelope written to BENCH_throughput.json;
+// Schema versions the layout for later tooling.
+type ThroughputReport struct {
+	Schema string             `json:"schema"`
+	Worlds []ThroughputResult `json:"worlds"`
+}
+
+// WriteThroughputJSON writes the suite's results to path, creating or
+// truncating the file.
+func WriteThroughputJSON(path string, results []ThroughputResult) error {
+	rep := ThroughputReport{Schema: "pipmcoll/throughput/v1", Worlds: results}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// mediumAllocCeiling is the acceptance bar for the hot-path work: the
+// medium throughput world (8×6 ranks, the figure-sweep shape) ran at 9.642
+// allocs/event before the typed event heap, envelope/request pooling and
+// observability gating; the optimized engine must stay at or below an 80%
+// reduction. CI fails if a change pushes the engine back above this.
+const mediumAllocCeiling = 1.93
+
+// TestThroughputAllocCeiling enforces the allocs/event budget on the
+// medium world. Wall-clock metrics vary with the host, but allocations per
+// dispatched event are deterministic on a given Go release, so the ceiling
+// is safe to pin in CI.
+func TestThroughputAllocCeiling(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation changes heap behaviour; ceiling holds for plain builds")
+	}
+	if testing.Short() {
+		t.Skip("medium throughput world is not short-mode material")
+	}
+	var medium ThroughputWorld
+	for _, tw := range ThroughputWorlds() {
+		if tw.Name == "medium" {
+			medium = tw
+		}
+	}
+	res, err := RunThroughput(medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("medium world: %d events, %.3f allocs/event, %.0f ns/event",
+		res.Events, res.AllocsPerEvent, res.NsPerEvent)
+	if res.AllocsPerEvent > mediumAllocCeiling {
+		t.Fatalf("medium world allocates %.3f objects/event, ceiling %.2f",
+			res.AllocsPerEvent, mediumAllocCeiling)
+	}
+}
+
+// TestThroughputVirtualTimePinned pins each world's virtual completion
+// time: the engine-performance work must never change simulated time by a
+// single tick, so the values measured before the optimization are golden.
+func TestThroughputVirtualTimePinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is not short-mode material")
+	}
+	want := map[string]float64{"small": 2980.177160, "medium": 1075.493022, "large": 548.045689}
+	for _, tw := range ThroughputWorlds() {
+		res, err := RunThroughput(tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := want[tw.Name]; ok && res.VirtualUs != w {
+			t.Errorf("%s world virtual time = %.6fus, want %.6fus", tw.Name, res.VirtualUs, w)
+		}
+	}
+}
+
+// TestWriteThroughputJSON round-trips the report envelope.
+func TestWriteThroughputJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tp.json")
+	res := []ThroughputResult{{World: "small", Events: 10, NsPerEvent: 1.5}}
+	if err := WriteThroughputJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ThroughputReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "pipmcoll/throughput/v1" || len(rep.Worlds) != 1 || rep.Worlds[0].Events != 10 {
+		t.Fatalf("round-trip = %+v", rep)
+	}
+}

@@ -124,7 +124,7 @@ func AllgatherSmall(r *mpi.Rank, send, recv []byte) {
 	sh.Memcpy(p, recv[me*blk:], B[:(N-me)*blk])
 	sh.Memcpy(p, recv[:me*blk], B[(N-me)*blk:])
 	ph.End()
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // phaseGap spaces the internode tags of successive stages.
@@ -206,7 +206,7 @@ func AllgatherLarge(r *mpi.Rank, send, recv []byte) {
 		sh.Memcpy(p, recv[cp*blk:(cp+1)*blk], shared[cp*blk:(cp+1)*blk])
 	}
 	ph.End()
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 func min(a, b int) int {

@@ -180,7 +180,7 @@ func AllreduceSmall(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	}
 	intraBcast(r, epoch, slotSpan, 0, recv, 1<<62) // small-message temp-buffer path
 	ph.End()
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // AllreduceLarge is the medium/large-message PiP-MColl allreduce (III-B2):
@@ -229,24 +229,24 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	// [ranges[l], ranges[l+1]): it sends chunk q to (q, l) for each
 	// foreign q in its range, and if the home node's chunk falls in its
 	// range it receives and folds the N-1 partials.
-	cnts, disps := blockCounts(elems, N)
 	chunkOf := func(b []byte, q int) []byte {
-		return b[disps[q]*nums.F64Size : (disps[q]+cnts[q])*nums.F64Size]
+		lo := blockDisp(elems, N, q) * nums.F64Size
+		return b[lo : lo+blockCnt(elems, N, q)*nums.F64Size]
 	}
-	rangeCnts, rangeDisps := blockCounts(N, P)
-	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
+	loQ := blockDisp(N, P, l)
+	hiQ := loQ + blockCnt(N, P, l)
 
 	ph = r.PhaseStart("internode-reduce-scatter")
 	var sendReqs []*mpi.Request
 	for q := loQ; q < hiQ; q++ {
-		if q == me || cnts[q] == 0 {
+		if q == me || blockCnt(elems, N, q) == 0 {
 			continue
 		}
 		sendReqs = append(sendReqs, r.Isend(c.Rank(q, l), tag+q, chunkOf(acc, q)))
 	}
-	if me >= loQ && me < hiQ && cnts[me] > 0 {
+	if me >= loQ && me < hiQ && blockCnt(elems, N, me) > 0 {
 		// Home-chunk owner: fold in every other node's partial.
-		tmp := make([]byte, cnts[me]*nums.F64Size)
+		tmp := make([]byte, blockCnt(elems, N, me)*nums.F64Size)
 		for s := 0; s < N; s++ {
 			if s == me {
 				continue
@@ -264,19 +264,15 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 	// Step 5: multi-object ring allgather of the node chunks with
 	// overlapped intranode broadcast, mirroring AllgatherLarge but over
 	// the (uneven) node chunks of the accumulator.
-	subCnts := make([][]int, N)
-	subDisps := make([][]int, N)
-	for q := 0; q < N; q++ {
-		subCnts[q], subDisps[q] = blockCounts(cnts[q], P)
-	}
+	subCnt := func(q int) int { return blockCnt(blockCnt(elems, N, q), P, l) }
 	sub := func(b []byte, q int) []byte {
-		base := (disps[q] + subDisps[q][l]) * nums.F64Size
-		return b[base : base+subCnts[q][l]*nums.F64Size]
+		base := (blockDisp(elems, N, q) + blockDisp(blockCnt(elems, N, q), P, l)) * nums.F64Size
+		return b[base : base+subCnt(q)*nums.F64Size]
 	}
 	left := (me - 1 + N) % N
 	right := (me + 1) % N
 	copySlab := func(q int) {
-		if l != 0 && cnts[q] > 0 {
+		if l != 0 && blockCnt(elems, N, q) > 0 {
 			sh.Memcpy(p, chunkOf(recv, q), chunkOf(acc, q))
 		}
 	}
@@ -286,10 +282,10 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 		recvQ := (me - s - 1 + 2*N) % N
 		stageTag := tag + N + s*phaseGap
 		var rq, sq *mpi.Request
-		if subCnts[recvQ][l] > 0 {
+		if subCnt(recvQ) > 0 {
 			rq = r.Irecv(c.Rank(left, l), stageTag, sub(acc, recvQ))
 		}
-		if subCnts[sendQ][l] > 0 {
+		if subCnt(sendQ) > 0 {
 			sq = r.Isend(c.Rank(right, l), stageTag, sub(acc, sendQ))
 		}
 		copySlab((me - s + 2*N) % N) // overlap: chunk already present
@@ -306,5 +302,5 @@ func AllreduceLarge(r *mpi.Rank, send, recv []byte, op nums.Op) {
 		sh.Memcpy(p, recv, acc)
 	}
 	ph.End()
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }

@@ -63,16 +63,9 @@ func (cl Coll) Alltoall(r *mpi.Rank, send, recv []byte) {
 		return env.Read(p, epoch, peer, slotA2ASend+peer).([]byte)
 	}
 
-	rangeCnts, rangeDisps := blockCounts(N, P)
-	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
-	owner := func(q int) int {
-		for ll := 0; ll < P; ll++ {
-			if q >= rangeDisps[ll] && q < rangeDisps[ll]+rangeCnts[ll] {
-				return ll
-			}
-		}
-		panic("core: node owner not found")
-	}
+	loQ := blockDisp(N, P, l)
+	hiQ := loQ + blockCnt(N, P, l)
+	owner := func(q int) int { return blockOwner(N, P, q) }
 
 	// The node's own bundle never touches the network: copy it straight
 	// into staging (each sender's diagonal rows, done by the local root's
@@ -122,5 +115,5 @@ func (cl Coll) Alltoall(r *mpi.Rank, send, recv []byte) {
 			sh.Memcpy(p, recv[at:at+chunk], from[:chunk])
 		}
 	}
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }

@@ -25,7 +25,7 @@ func (cl Coll) IntraBcast(r *mpi.Rank, rootLocal int, buf []byte) {
 	epoch := r.NextEpoch()
 	nb := newNodeBarrier(r, epoch)
 	intraBcast(r, epoch, 0, rootLocal, buf, cl.Tun.withDefaults().IntraLargeMin)
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // IntraGather collects each local rank's send chunk into full (significant
@@ -34,7 +34,7 @@ func (cl Coll) IntraGather(r *mpi.Rank, rootLocal int, send, full []byte) {
 	epoch := r.NextEpoch()
 	nb := newNodeBarrier(r, epoch)
 	intraGather(r, epoch, 0, rootLocal, send, full)
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // IntraReduce combines each local rank's send vector into dst at rootLocal
@@ -44,5 +44,5 @@ func (cl Coll) IntraReduce(r *mpi.Rank, rootLocal int, send, dst []byte, op nums
 	epoch := r.NextEpoch()
 	nb := newNodeBarrier(r, epoch)
 	intraReduce(r, epoch, 0, rootLocal, send, dst, op, cl.Tun.withDefaults().IntraLargeMin)
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }

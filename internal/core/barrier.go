@@ -46,5 +46,5 @@ func (cl Coll) Barrier(r *mpi.Rank) {
 		nb.wait()
 		round++
 	}
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }

@@ -106,7 +106,7 @@ func bcastSmall(r *mpi.Rank, root int, buf []byte, intraLarge int) {
 		r.Wait(q)
 	}
 	ph.End()
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // bcastLarge composes the paper's own primitives (van de Geijn): scatter

@@ -139,9 +139,12 @@ type nodeBar struct {
 	crossings int
 }
 
-// newNodeBarrier binds a counting barrier to the collective's epoch.
-func newNodeBarrier(r *mpi.Rank, epoch uint64) *nodeBar {
-	return &nodeBar{r: r, c: r.Env().Counter(epoch, 0, slotNodeBar), ppn: r.Env().PPN()}
+// newNodeBarrier binds a counting barrier to the collective's epoch. It
+// returns a value (not a pointer) so the barrier lives on the caller's
+// stack — collectives construct one per invocation, and a heap allocation
+// here shows up directly in the simulator's allocs/event budget.
+func newNodeBarrier(r *mpi.Rank, epoch uint64) nodeBar {
+	return nodeBar{r: r, c: r.Env().Counter(epoch, 0, slotNodeBar), ppn: r.Env().PPN()}
 }
 
 // wait blocks until every local rank has crossed this barrier as many times

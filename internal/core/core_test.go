@@ -382,6 +382,30 @@ func TestTunablesDefaults(t *testing.T) {
 	}
 }
 
+func TestBlockArithmetic(t *testing.T) {
+	// blockCnt/blockDisp/blockOwner must agree with the slice-building
+	// reference blockCounts for every (elems, blocks) shape the
+	// collectives use, including blocks > elems and zero-count blocks.
+	for _, elems := range []int{0, 1, 2, 7, 16, 128, 1000} {
+		for _, blocks := range []int{1, 2, 3, 4, 6, 8, 19} {
+			cnts, disps := blockCounts(elems, blocks)
+			for i := 0; i < blocks; i++ {
+				if got := blockCnt(elems, blocks, i); got != cnts[i] {
+					t.Fatalf("blockCnt(%d,%d,%d) = %d, want %d", elems, blocks, i, got, cnts[i])
+				}
+				if got := blockDisp(elems, blocks, i); got != disps[i] {
+					t.Fatalf("blockDisp(%d,%d,%d) = %d, want %d", elems, blocks, i, got, disps[i])
+				}
+				for q := disps[i]; q < disps[i]+cnts[i]; q++ {
+					if got := blockOwner(elems, blocks, q); got != i {
+						t.Fatalf("blockOwner(%d,%d,%d) = %d, want %d", elems, blocks, q, got, i)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestSplitParts(t *testing.T) {
 	sizes, starts := splitParts(10, 4)
 	wantS := []int{3, 3, 2, 2}

@@ -131,5 +131,5 @@ func (cl Coll) Gather(r *mpi.Rank, root int, send, recv []byte) {
 		sh.Memcpy(p, recv[rootNode*nodeBytes:], D[:(N-rootNode)*nodeBytes])
 		sh.Memcpy(p, recv[:rootNode*nodeBytes], D[(N-rootNode)*nodeBytes:])
 	}
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }

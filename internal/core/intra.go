@@ -140,9 +140,8 @@ func intraReduceChunked(r *mpi.Rank, epoch uint64, slotBase, rootLocal int, send
 
 	// Process i owns chunk i: seed it from local rank 0's source, then
 	// fold the other P-1 sources in.
-	cnts, disps := blockCounts(elems, ppn)
-	lo := disps[r.Local()] * nums.F64Size
-	hi := lo + cnts[r.Local()]*nums.F64Size
+	lo := blockDisp(elems, ppn, r.Local()) * nums.F64Size
+	hi := lo + blockCnt(elems, ppn, r.Local())*nums.F64Size
 	if lo < hi {
 		first := env.Read(p, epoch, 0, slotBase+slotReduceSrc+0).([]byte)
 		sh.Memcpy(p, root[lo:hi], first[lo:hi])
@@ -155,6 +154,39 @@ func intraReduceChunked(r *mpi.Rank, epoch uint64, slotBase, rootLocal int, send
 	if r.Local() == rootLocal {
 		env.Counter(epoch, rootLocal, slotBase+slotReduceDone).WaitGE(p, uint64(ppn))
 	}
+}
+
+// blockCnt and blockDisp are the allocation-free pointwise forms of
+// blockCounts: the count and displacement (in elements) of block i when
+// elems elements split into blocks pieces. Hot collective paths use these
+// instead of materialising the slices.
+func blockCnt(elems, blocks, i int) int {
+	base, extra := elems/blocks, elems%blocks
+	if i < extra {
+		return base + 1
+	}
+	return base
+}
+
+func blockDisp(elems, blocks, i int) int {
+	base, extra := elems/blocks, elems%blocks
+	if i < extra {
+		return i*base + i
+	}
+	return i*base + extra
+}
+
+// blockOwner inverts blockDisp/blockCnt: which of blocks pieces contains
+// element q. q must lie in [0, elems).
+func blockOwner(elems, blocks, q int) int {
+	base, extra := elems/blocks, elems%blocks
+	if base == 0 {
+		return q // blocks > elems: piece i holds exactly element i
+	}
+	if q < extra*(base+1) {
+		return q / (base + 1)
+	}
+	return extra + (q-extra*(base+1))/base
 }
 
 // blockCounts splits elems elements into blocks pieces as evenly as

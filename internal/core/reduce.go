@@ -89,7 +89,7 @@ func reduceSmall(r *mpi.Rank, root int, send, recv []byte, op nums.Op, intraLarg
 	if r.Rank() == root {
 		sh.Memcpy(p, recv, acc)
 	}
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // reduceLarge is the multi-object reduce-scatter of III-B2 followed by a
@@ -126,22 +126,22 @@ func reduceLarge(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
 	}
 	nb.wait()
 
-	cnts, disps := blockCounts(elems, N)
 	chunkOf := func(b []byte, q int) []byte {
-		return b[disps[q]*nums.F64Size : (disps[q]+cnts[q])*nums.F64Size]
+		lo := blockDisp(elems, N, q) * nums.F64Size
+		return b[lo : lo+blockCnt(elems, N, q)*nums.F64Size]
 	}
-	rangeCnts, rangeDisps := blockCounts(N, P)
-	loQ, hiQ := rangeDisps[l], rangeDisps[l]+rangeCnts[l]
+	loQ := blockDisp(N, P, l)
+	hiQ := loQ + blockCnt(N, P, l)
 
 	var sendReqs []*mpi.Request
 	for q := loQ; q < hiQ; q++ {
-		if q == me || cnts[q] == 0 {
+		if q == me || blockCnt(elems, N, q) == 0 {
 			continue
 		}
 		sendReqs = append(sendReqs, r.Isend(c.Rank(q, l), tag+q, chunkOf(acc, q)))
 	}
-	if me >= loQ && me < hiQ && cnts[me] > 0 {
-		tmp := make([]byte, cnts[me]*nums.F64Size)
+	if me >= loQ && me < hiQ && blockCnt(elems, N, me) > 0 {
+		tmp := make([]byte, blockCnt(elems, N, me)*nums.F64Size)
 		for s := 0; s < N; s++ {
 			if s == me {
 				continue
@@ -161,24 +161,17 @@ func reduceLarge(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
 	if r.Rank() == root {
 		env.Post(p, epoch, c.Local(root), slotMain+1, recv)
 	}
-	owner := func(q int) int {
-		for ll := 0; ll < P; ll++ {
-			if q >= rangeDisps[ll] && q < rangeDisps[ll]+rangeCnts[ll] {
-				return ll
-			}
-		}
-		panic("core: chunk owner not found")
-	}
+	owner := func(q int) int { return blockOwner(N, P, q) }
 	gatherTag := tag + N + 1
 	switch {
-	case me != rootNode && me >= loQ && me < hiQ && cnts[me] > 0:
+	case me != rootNode && me >= loQ && me < hiQ && blockCnt(elems, N, me) > 0:
 		// This node's reduced chunk travels to the root node.
 		r.Send(c.Rank(rootNode, l), gatherTag+me, chunkOf(acc, me))
 	case me == rootNode:
 		dst := env.Read(p, epoch, c.Local(root), slotMain+1).([]byte)
 		// Local rank l receives the chunks of the nodes it owns.
 		for q := loQ; q < hiQ; q++ {
-			if cnts[q] == 0 {
+			if blockCnt(elems, N, q) == 0 {
 				continue
 			}
 			if q == rootNode {
@@ -192,5 +185,5 @@ func reduceLarge(r *mpi.Rank, root int, send, recv []byte, op nums.Op) {
 			r.Recv(c.Rank(q, l), gatherTag+q, chunkOf(dst, q))
 		}
 	}
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }

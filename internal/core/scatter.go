@@ -125,7 +125,7 @@ func Scatter(r *mpi.Rank, root int, send, recv []byte) {
 		r.Wait(q)
 	}
 	ph.End()
-	finish(r, epoch, nb)
+	finish(r, epoch, &nb)
 }
 
 // splitParts divides n consecutive items into parts contiguous groups,

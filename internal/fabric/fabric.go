@@ -188,8 +188,19 @@ type Fabric struct {
 	sendSeq []uint64    // [node*queues + queue] eager send ordinal, loss plans only
 	fstats  FaultStats
 
+	// deliverPayload, when set, hands the payload value itself to the
+	// destination inbox instead of wrapping it in a Packet — one interface
+	// boxing allocation saved per message for layers (like mpi) whose
+	// payloads already carry the metadata. Default off: raw fabric users
+	// and tests receive Packets.
+	deliverPayload bool
+
 	rec *obs.Recorder
 }
+
+// DeliverPayloads switches the fabric between Packet delivery (off, the
+// default) and direct payload delivery (on). Call before any traffic flows.
+func (f *Fabric) DeliverPayloads(on bool) { f.deliverPayload = on }
 
 // New builds a fabric for nodes × queuesPerNode endpoints.
 func New(nodes, queuesPerNode int, params Params) (*Fabric, error) {
@@ -416,9 +427,13 @@ func (f *Fabric) SendTraced(p *simtime.Proc, src, dst Endpoint, n int, payload a
 
 	f.account(&tr)
 
-	f.inbox[f.index(dst)].PutAt(p, rqDone, Packet{
-		Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: tr.Issue,
-	})
+	if f.deliverPayload {
+		f.inbox[f.index(dst)].PutAt(p, rqDone, payload)
+	} else {
+		f.inbox[f.index(dst)].PutAt(p, rqDone, Packet{
+			Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: tr.Issue,
+		})
+	}
 
 	switch {
 	case ackRequired:

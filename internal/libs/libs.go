@@ -54,8 +54,12 @@ func (l *Library) Name() string { return l.name }
 func (l *Library) Config() mpi.Config { return l.cfg }
 
 // span opens a collective-level display span, the root of the span
-// hierarchy (collective → phase → per-rank op) in trace exports.
+// hierarchy (collective → phase → per-rank op) in trace exports. The
+// Traced check keeps the name formatting off untraced hot paths.
 func span(r *mpi.Rank, op string, bytes int) mpi.Phase {
+	if !r.Traced() {
+		return mpi.Phase{}
+	}
 	return r.SpanStart(fmt.Sprintf("%s %dB", op, bytes), "collective")
 }
 

@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// mallocsDuring runs fn and returns the heap-object delta. World execution
+// is sequential (the engine runs one goroutine at a time), so the global
+// counter attributes cleanly to the simulated work between the reads.
+func mallocsDuring(fn func()) uint64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// measureSendRecv runs iters matched send/recv pairs between two ranks
+// (after a warm-up block that grows the envelope/request pools and mailbox
+// slices) and returns allocations per send+recv pair.
+func measureSendRecv(t *testing.T, nodes, ppn, size, iters int) float64 {
+	t.Helper()
+	w := newWorld(t, nodes, ppn, nil)
+	msg := make([]byte, size)
+	buf := make([]byte, size)
+	var allocs uint64
+	run(t, w, func(r *Rank) {
+		peer := 1 - r.Rank()
+		pump := func(n int) {
+			for i := 0; i < n; i++ {
+				if r.Rank() == 0 {
+					r.Send(peer, 7, msg)
+					r.Recv(peer, 8, buf)
+				} else {
+					r.Recv(peer, 7, buf)
+					r.Send(peer, 8, msg)
+				}
+			}
+		}
+		pump(iters) // warm-up: pools and slices reach steady state
+		if r.Rank() == 0 {
+			allocs = mallocsDuring(func() { pump(iters) })
+		} else {
+			pump(iters)
+		}
+	})
+	return float64(allocs) / float64(iters)
+}
+
+// TestSendRecvAllocCeilings pins the steady-state allocation cost of the
+// point-to-point hot paths with no tracer or recorder attached: pooled
+// envelopes and requests, the cached matcher, payload-carrying fabric
+// delivery and lazy park reasons together make the per-message cost a
+// small constant. The ceilings are deliberately a little above the
+// measured values; they exist to catch a reintroduced per-message
+// allocation (a fresh envelope, request, closure or trace event), which
+// costs 2+ objects per pair and clears the ceiling by a wide margin.
+func TestSendRecvAllocCeilings(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation ceilings are pinned for non-race builds only")
+	}
+	cases := []struct {
+		name       string
+		nodes, ppn int
+		size       int
+		ceiling    float64
+	}{
+		// Intranode eager: bounce-buffer copy through the pooled scratch.
+		{"intranode-eager", 1, 2, 256, 1.0},
+		// Intranode rendezvous keeps one fresh completion flag per message
+		// (the receiver may outlive the envelope's recycle), plus that
+		// flag's waiter list: 2 objects per message, 4 per pair.
+		{"intranode-rendezvous", 1, 2, 16 << 10, 5.0},
+		// Internode eager: pooled envelope through the fabric, payload
+		// delivered without boxing a Packet.
+		{"internode-eager", 2, 1, 256, 3.0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			per := measureSendRecv(t, c.nodes, c.ppn, c.size, 400)
+			t.Logf("%s: %.3f allocs per send+recv pair", c.name, per)
+			if per > c.ceiling {
+				t.Fatalf("%s allocates %.3f objects per send+recv pair, ceiling %.1f",
+					c.name, per, c.ceiling)
+			}
+		})
+	}
+}
+
+// TestUntracedP2PSkipsEventConstruction proves the tracer gate: the same
+// eager exchange is allocation-measured with and without a tracer, and the
+// traced run must cost strictly more — the per-message trace events exist
+// only when someone is listening. (The untraced side is already pinned
+// near zero by TestSendRecvAllocCeilings.)
+func TestUntracedP2PSkipsEventConstruction(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation comparison is meaningful on non-race builds only")
+	}
+	// Ping-pong so sender and receiver stay in lockstep: the envelope pool
+	// reaches steady state and any measured allocation is per-message work,
+	// not pool growth.
+	exchange := func(w *World) uint64 {
+		msg := make([]byte, 128)
+		buf := make([]byte, 128)
+		var allocs uint64
+		run(t, w, func(r *Rank) {
+			peer := 1 - r.Rank()
+			pump := func(n int) {
+				for i := 0; i < n; i++ {
+					if r.Rank() == 0 {
+						r.Send(peer, 7, msg)
+						r.Recv(peer, 8, buf)
+					} else {
+						r.Recv(peer, 7, buf)
+						r.Send(peer, 8, msg)
+					}
+				}
+			}
+			pump(200)
+			if r.Rank() == 0 {
+				allocs = mallocsDuring(func() { pump(200) })
+			} else {
+				pump(200)
+			}
+		})
+		return allocs
+	}
+
+	bare := newWorld(t, 1, 2, nil)
+	plain := exchange(bare)
+
+	traced := newWorld(t, 1, 2, nil)
+	log := trace.NewLog(0)
+	traced.SetTracer(log)
+	withTracer := exchange(traced)
+
+	t.Logf("200 exchange pairs: %d allocs untraced, %d traced (%d trace events)", plain, withTracer, log.Len())
+	if log.Len() == 0 {
+		t.Fatal("tracer saw no events; comparison is vacuous")
+	}
+	if withTracer <= plain {
+		t.Fatalf("traced run allocated %d <= untraced %d; p2p gate is not the live path", withTracer, plain)
+	}
+	if plain > 20 {
+		t.Fatalf("untraced run allocated %d objects over 200 exchange pairs; trace construction leaking past the gate", plain)
+	}
+}
+
+// TestRendezvousSendBufferReuseAfterWait pins the deferred-snapshot
+// contract for internode rendezvous sends: once Wait(sendReq) returns, the
+// sender may immediately reuse (mutate) its buffer, whether the receiver
+// has already consumed the message or has not yet posted its receive. The
+// receiver must observe the original bytes in both orders.
+func TestRendezvousSendBufferReuseAfterWait(t *testing.T) {
+	const size = 64 << 10 // over the 16 KiB internode eager limit
+	for _, tc := range []struct {
+		name      string
+		recvDelay simtime.Duration
+	}{
+		// Receiver posts first: the transfer copies straight from the live
+		// buffer and marks the envelope consumed before the sender's Wait.
+		{"receiver-first", 0},
+		// Receiver arrives long after the sender's Wait returned and the
+		// buffer was scribbled over: Wait must have snapshotted.
+		{"sender-wait-first", simtime.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newWorld(t, 2, 1, nil)
+			want := make([]byte, size)
+			for i := range want {
+				want[i] = byte(i * 7)
+			}
+			run(t, w, func(r *Rank) {
+				switch r.Rank() {
+				case 0:
+					buf := make([]byte, size)
+					copy(buf, want)
+					q := r.Isend(1, 5, buf)
+					r.Wait(q)
+					// Contract point: after Wait the buffer is the
+					// sender's again. Scribble over every byte.
+					for i := range buf {
+						buf[i] = 0xEE
+					}
+					// Second message proves the recycled envelope does
+					// not alias the first transfer's bytes.
+					r.Send(1, 6, []byte("second"))
+				case 1:
+					if tc.recvDelay > 0 {
+						r.Proc().Sleep(tc.recvDelay)
+					}
+					got := make([]byte, size)
+					r.Recv(0, 5, got)
+					if !bytes.Equal(got, want) {
+						t.Error("rendezvous payload corrupted by sender's post-Wait buffer reuse")
+					}
+					small := make([]byte, 6)
+					r.Recv(0, 6, small)
+					if string(small) != "second" {
+						t.Errorf("follow-up message = %q", small)
+					}
+				}
+			})
+		})
+	}
+}

@@ -58,6 +58,11 @@ func (r *Rank) Async(body func(ar *Rank)) *AsyncOp {
 	helper := *r // shares world, rank id, env, endpoint
 	helper.epoch = asyncEpochBase | uint64(r.asyncSeq)<<16
 	helper.epochLimit = helper.epoch + asyncEpochSpan
+	// The copied matchFn closes over the parent's match fields; rebuild it
+	// so the helper's receives cannot clobber a parked parent receive. The
+	// request freelist likewise must not be shared with the parent.
+	helper.initMatch()
+	helper.reqFree = nil
 	r.proc.Spawn(fmt.Sprintf("rank%d/async%d", r.rank, r.asyncSeq), func(p *simtime.Proc) {
 		helper.proc = p
 		defer func() {

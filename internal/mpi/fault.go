@@ -88,12 +88,12 @@ func (r *Rank) setPending(op string, src, tag int) {
 	if src >= 0 {
 		waits = src
 	}
-	r.proc.SetWaitDetail(fmt.Sprintf("%s src=%d tag=%d", op, src, tag), waits)
+	r.proc.SetWaitDetail(op, src, tag, waits)
 }
 
 func (r *Rank) clearPending() {
 	r.pending.active = false
-	r.proc.SetWaitDetail("", -1)
+	r.proc.SetWaitDetail("", 0, 0, -1)
 }
 
 // wrapRunError converts engine-level failures into the MPI layer's typed

@@ -98,6 +98,30 @@ type World struct {
 	tracer  *trace.Log
 	rec     *obs.Recorder
 	commIDs uint64
+	envFree []*envelope // recycled message envelopes (see getEnv/putEnv)
+}
+
+// getEnv takes an envelope from the world's freelist, or allocates one. The
+// engine serializes all rank execution, so the freelist needs no locking.
+func (w *World) getEnv() *envelope {
+	if n := len(w.envFree); n > 0 {
+		env := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		return env
+	}
+	return &envelope{}
+}
+
+// putEnv drops one handle on env and recycles it when no handles remain. The
+// scratch buffer stays attached so later sends reuse its capacity.
+func (w *World) putEnv(env *envelope) {
+	if env.refs--; env.refs > 0 {
+		return
+	}
+	own := env.own
+	*env = envelope{own: own}
+	w.envFree = append(w.envFree, env)
 }
 
 // NewWorld builds a world on the given cluster.
@@ -110,6 +134,9 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 		return nil, err
 	}
 	fab.InjectFaults(cfg.Faults)
+	// The MPI layer's envelopes carry their own metadata, so the fabric can
+	// hand them to inboxes directly instead of boxing a Packet per message.
+	fab.DeliverPayloads(true)
 	w := &World{
 		cluster: cluster,
 		cfg:     cfg,
@@ -136,6 +163,7 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 			env:   w.envs[node],
 			ep:    fabric.Endpoint{Node: node, Queue: local},
 		}
+		w.ranks[r].initMatch()
 	}
 	return w, nil
 }
@@ -183,6 +211,10 @@ func (w *World) Run(body func(r *Rank)) error {
 
 // Horizon returns the virtual makespan after Run completes.
 func (w *World) Horizon() simtime.Time { return w.engine.Horizon() }
+
+// Events returns the number of discrete events the engine has dispatched —
+// the denominator of the throughput suite's ns/event and allocs/event.
+func (w *World) Events() int64 { return w.engine.Dispatches() }
 
 // SetTracer attaches an event log; every point-to-point send and receive is
 // recorded. Pass nil to disable. Must be called before Run.
@@ -249,3 +281,7 @@ func (w *World) p2p(e trace.Event) {
 
 // full reports whether a full (non-lite) recorder is attached.
 func (w *World) full() bool { return w.rec != nil && !w.rec.Lite() }
+
+// traceP2P reports whether anything consumes point-to-point events; when it
+// is false the send/recv paths skip building trace events entirely.
+func (w *World) traceP2P() bool { return w.rec != nil || w.tracer != nil }

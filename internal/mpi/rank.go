@@ -33,6 +33,53 @@ type Rank struct {
 	// the blocking op the watchdog names in a deadlock diagnosis.
 	noise   *fault.RankNoise
 	pending pendingOp
+	// matchSrc/matchTag parameterize matchFn, the rank's reusable receive
+	// predicate (see match) — one closure per rank instead of one per
+	// blocking receive or probe.
+	matchSrc int
+	matchTag int
+	matchFn  func(any) bool
+	// reqFree recycles completed Requests (see getReq/putReq).
+	reqFree []*Request
+}
+
+// getReq returns a zeroed request, reusing one recycled by Wait when
+// available.
+func (r *Rank) getReq() *Request {
+	if n := len(r.reqFree); n > 0 {
+		q := r.reqFree[n-1]
+		r.reqFree[n-1] = nil
+		r.reqFree = r.reqFree[:n-1]
+		*q = Request{}
+		return q
+	}
+	return &Request{}
+}
+
+// putReq recycles a completed request. The request's fields are preserved
+// until getReq hands it out again, so the MPI idiom of reading N/Source/Tag
+// right after Wait keeps working; a request must not be read after the rank
+// issues another operation.
+func (r *Rank) putReq(q *Request) { r.reqFree = append(r.reqFree, q) }
+
+// initMatch builds the rank's cached receive predicate. It must close over
+// this specific Rank struct, so async helpers (which copy the parent by
+// value) rebuild it for themselves.
+func (r *Rank) initMatch() {
+	r.matchFn = func(it any) bool {
+		env := envOf(it)
+		return (r.matchSrc == AnySource || env.src == r.matchSrc) &&
+			(r.matchTag == AnyTag || env.tag == r.matchTag)
+	}
+}
+
+// match arms the cached predicate for a (source, tag) pair and returns it.
+// The predicate may be held by a mailbox only while this rank is parked on
+// that mailbox, which the blocking structure of Get/Peek guarantees; a rank
+// has at most one blocking receive or probe in flight.
+func (r *Rank) match(src, tag int) func(any) bool {
+	r.matchSrc, r.matchTag = src, tag
+	return r.matchFn
 }
 
 // Rank returns the process's global rank.
@@ -93,16 +140,34 @@ func (r *Rank) HarnessBarrier() {
 	r.world.harness.Wait(r.proc)
 }
 
-// envelope is one in-flight point-to-point message.
+// envelope is one in-flight point-to-point message. Envelopes are pooled on
+// the World (getEnv/putEnv): refs counts outstanding handles — the in-flight
+// delivery plus, for internode rendezvous, the sender's request — and the
+// envelope returns to the freelist when the count reaches zero. own is the
+// envelope's scratch buffer for snapshot/bounce payloads; it stays attached
+// across recycles so steady-state sends stop allocating payload copies.
 type envelope struct {
 	src, dst int
 	tag      int
 	n        int
-	data     []byte        // snapshot, or live reference when zeroCopy
+	data     []byte        // snapshot, scratch, or live reference when zeroCopy
+	own      []byte        // pooled scratch backing data on buffered paths
 	zeroCopy bool          // intranode rendezvous: data points into sender's buffer
+	consumed bool          // receiver has finished its copy out of data
+	refs     int8          // outstanding handles; World.putEnv frees at zero
 	srcLocal int           // sender's local rank, for mechanism cost accounting
 	done     *simtime.Flag // set by the receiver when a zeroCopy transfer finishes
 	msg      int           // recorder message id for internode sends, else -1
+}
+
+// scratch returns the envelope's own buffer resized to n bytes, reusing
+// pooled capacity when possible.
+func (env *envelope) scratch(n int) []byte {
+	if cap(env.own) < n {
+		env.own = make([]byte, n)
+	}
+	env.own = env.own[:n]
+	return env.own
 }
 
 // envOf extracts the envelope from a mailbox item, which is either a fabric
@@ -139,6 +204,7 @@ type Request struct {
 	n      int
 	done   bool
 	str    *fabric.SendTrace // stage timings of an internode send, when recorded
+	env    *envelope         // sender handle on an internode rendezvous envelope
 }
 
 // N returns the number of bytes transferred, valid after completion (for
@@ -163,8 +229,10 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 		r.chargeNoise()
 	}
 	intranode := r.world.cluster.SameNode(r.rank, dst)
-	r.world.p2p(trace.Event{Kind: trace.KindSend, At: r.proc.Now(),
-		Src: r.rank, Dst: dst, Tag: tag, Bytes: len(data), Intranode: intranode})
+	if r.world.traceP2P() {
+		r.world.p2p(trace.Event{Kind: trace.KindSend, At: r.proc.Now(),
+			Src: r.rank, Dst: dst, Tag: tag, Bytes: len(data), Intranode: intranode})
+	}
 	t0 := r.proc.Now()
 	var q *Request
 	if intranode {
@@ -179,16 +247,34 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	return q
 }
 
-// isendInternode snapshots the payload (the eager protocol buffers it; the
-// rendezvous completion time already covers the pinned interval) and injects
-// it into the fabric.
+// isendInternode injects the payload into the fabric. Eager payloads are
+// snapshotted into the envelope's pooled scratch (the NIC buffers them, and
+// the sender may reuse its buffer the moment the local queue stage is done).
+// Rendezvous payloads stay a live reference — the O(bytes) copy is skipped —
+// because the source buffer is pinned until the send completes; if the
+// receiver has not copied the data by the time the sender's Wait releases
+// the buffer, Wait snapshots it then (see Rank.Wait).
 func (r *Rank) isendInternode(dst, tag int, data []byte) *Request {
-	snapshot := append([]byte(nil), data...)
-	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data), data: snapshot, msg: -1}
+	env := r.world.getEnv()
+	env.src, env.dst, env.tag, env.n, env.msg = r.rank, dst, tag, len(data), -1
+	rendezvous := len(data) > r.world.cfg.Fabric.EagerLimit
+	if rendezvous {
+		env.data = data
+		env.refs = 2 // in-flight delivery + the sender's request handle
+	} else {
+		snap := env.scratch(len(data))
+		copy(snap, data)
+		env.data = snap
+		env.refs = 1
+	}
 	dstNode, dstLocal := r.world.cluster.Place(dst)
 	doneAt, str := r.world.fab.SendTraced(r.proc, r.ep,
 		fabric.Endpoint{Node: dstNode, Queue: dstLocal}, len(data), env)
-	q := &Request{kind: reqSendAt, doneAt: doneAt}
+	q := r.getReq()
+	q.kind, q.doneAt = reqSendAt, doneAt
+	if rendezvous {
+		q.env = env
+	}
 	if r.world.full() {
 		rec := r.world.rec
 		// The synchronous CPU cost lands on the sender's own timeline; the
@@ -217,21 +303,27 @@ func (r *Rank) isendIntranode(dst, tag int, data []byte) *Request {
 	}
 	shmNode.Handoff(r.proc) // notify the peer: cacheline ping
 	_, dstLocal := r.world.cluster.Place(dst)
+	env := r.world.getEnv()
+	env.src, env.dst, env.tag, env.n = r.rank, dst, tag, len(data)
+	env.srcLocal, env.msg, env.refs = r.local, -1, 1
 	if len(data) <= cfg.IntranodeEager {
-		// Eager: copy into the bounce buffer now; receiver copies out.
-		bounce := make([]byte, len(data))
+		// Eager: copy into the pooled bounce buffer now; receiver copies out.
+		bounce := env.scratch(len(data))
 		shmNode.Memcpy(r.proc, bounce, data)
-		env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data),
-			data: bounce, srcLocal: r.local, msg: -1}
+		env.data = bounce
 		r.world.fab.Inbox(fabric.Endpoint{Node: r.node, Queue: dstLocal}).Put(r.proc, env)
-		return &Request{kind: reqSendAt, doneAt: r.proc.Now()}
+		q := r.getReq()
+		q.kind, q.doneAt = reqSendAt, r.proc.Now()
+		return q
 	}
 	// Rendezvous: expose the live buffer; the receiver performs the
-	// single-copy transfer and signals completion.
-	env := &envelope{src: r.rank, dst: dst, tag: tag, n: len(data),
-		data: data, zeroCopy: true, srcLocal: r.local, done: &simtime.Flag{}, msg: -1}
+	// single-copy transfer and signals completion. The flag must be a fresh
+	// allocation — the request holds it past the envelope's recycle.
+	env.data, env.zeroCopy, env.done = data, true, &simtime.Flag{}
 	r.world.fab.Inbox(fabric.Endpoint{Node: r.node, Queue: dstLocal}).Put(r.proc, env)
-	return &Request{kind: reqSendFlag, flag: env.done}
+	q := r.getReq()
+	q.kind, q.flag = reqSendFlag, env.done
+	return q
 }
 
 // AnySource matches a receive against any sender (MPI_ANY_SOURCE).
@@ -247,7 +339,9 @@ func (r *Rank) Irecv(src, tag int, buf []byte) *Request {
 	if src != AnySource && (src < 0 || src >= r.Size()) {
 		panic(fmt.Sprintf("mpi: Irecv from rank %d in world of %d", src, r.Size()))
 	}
-	return &Request{kind: reqRecv, src: src, tag: tag, buf: buf}
+	q := r.getReq()
+	q.kind, q.src, q.tag, q.buf = reqRecv, src, tag, buf
+	return q
 }
 
 // Wait blocks until the request completes and returns the transferred byte
@@ -260,6 +354,21 @@ func (r *Rank) Wait(q *Request) int {
 	case reqSendAt:
 		t0 := r.proc.Now()
 		r.proc.AdvanceTo(q.doneAt)
+		if env := q.env; env != nil {
+			// Internode rendezvous: the source buffer becomes reusable when
+			// Wait returns. If the receiver's copy has not executed yet (the
+			// engine may run it later in real order even though its virtual
+			// time is covered by doneAt), preserve the bytes by snapshotting
+			// into the envelope's pooled scratch now; if it has, the data is
+			// already out and no copy is ever made.
+			q.env = nil
+			if !env.consumed {
+				snap := env.scratch(env.n)
+				copy(snap, env.data)
+				env.data = snap
+			}
+			r.world.putEnv(env)
+		}
 		if q.str != nil && q.doneAt > t0 && r.world.full() {
 			// The sender's clock jumped over the message's in-flight
 			// stages; attribute the drained interval stage by stage.
@@ -284,6 +393,7 @@ func (r *Rank) Wait(q *Request) int {
 		r.completeRecv(q)
 	}
 	q.done = true
+	r.putReq(q)
 	return q.n
 }
 
@@ -309,11 +419,7 @@ func (r *Rank) completeRecv(q *Request) {
 		r.chargeNoise()
 	}
 	t0 := r.proc.Now()
-	match := func(it any) bool {
-		env := envOf(it)
-		return (q.src == AnySource || env.src == q.src) &&
-			(q.tag == AnyTag || env.tag == q.tag)
-	}
+	match := r.match(q.src, q.tag)
 	r.setPending("recv", q.src, q.tag)
 	var item any
 	if d := r.world.cfg.OpTimeout; d > 0 {
@@ -361,17 +467,21 @@ func (r *Rank) completeRecv(q *Request) {
 			shmNode.Memcpy(r.proc, q.buf[:env.n], env.data)
 		} else {
 			copy(q.buf, env.data)
+			env.consumed = true // sender's Wait may skip its snapshot
 		}
 	}
 	q.n = env.n
 	q.src = env.src
 	q.tag = env.tag
-	r.world.p2p(trace.Event{Kind: trace.KindRecv, At: r.proc.Now(),
-		Src: env.src, Dst: r.rank, Tag: env.tag, Bytes: env.n, Intranode: intranode})
+	if r.world.traceP2P() {
+		r.world.p2p(trace.Event{Kind: trace.KindRecv, At: r.proc.Now(),
+			Src: env.src, Dst: r.rank, Tag: env.tag, Bytes: env.n, Intranode: intranode})
+	}
 	if r.world.full() {
 		r.world.rec.ProcSpan(r.proc, fmt.Sprintf("recv←%d %dB", env.src, env.n),
 			"p2p", t0, r.proc.Now())
 	}
+	r.world.putEnv(env) // the receive owns the last (or only) delivery handle
 }
 
 // Status describes a pending message observed by Probe/Iprobe.
@@ -392,10 +502,7 @@ func (r *Rank) Probe(src, tag int) Status {
 		r.chargeNoise()
 	}
 	r.setPending("probe", src, tag)
-	item := r.world.fab.Inbox(r.ep).Peek(r.proc, func(it any) bool {
-		env := envOf(it)
-		return (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag)
-	})
+	item := r.world.fab.Inbox(r.ep).Peek(r.proc, r.match(src, tag))
 	r.clearPending()
 	env := envOf(item)
 	return Status{Source: env.src, Tag: env.tag, Bytes: env.n}
@@ -410,10 +517,7 @@ func (r *Rank) Iprobe(src, tag int) (Status, bool) {
 	if src != AnySource && (src < 0 || src >= r.Size()) {
 		panic(fmt.Sprintf("mpi: Iprobe from rank %d in world of %d", src, r.Size()))
 	}
-	item, ok := r.world.fab.Inbox(r.ep).TryPeek(r.proc, func(it any) bool {
-		env := envOf(it)
-		return (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag)
-	})
+	item, ok := r.world.fab.Inbox(r.ep).TryPeek(r.proc, r.match(src, tag))
 	if !ok {
 		return Status{}, false
 	}
@@ -450,6 +554,11 @@ type Phase struct {
 	start simtime.Time
 	on    bool
 }
+
+// Traced reports whether full-fidelity span recording is active. Callers
+// that build span names dynamically (fmt.Sprintf etc.) should check it
+// first so untraced runs skip the formatting allocation entirely.
+func (r *Rank) Traced() bool { return r.world.full() }
 
 // SpanStart opens a display span on the rank's track, e.g. a collective
 // ("allgather 1KiB") or an algorithm phase. Nesting is by interval: close the

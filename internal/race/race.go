@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race exposes whether the race detector instruments this build.
+// Allocation-ceiling tests consult it: the detector's shadow bookkeeping
+// changes heap behaviour, so exact allocs/op pins only hold on plain builds.
+package race
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = true

@@ -199,9 +199,20 @@ func (nd *Node) Params() Params { return nd.params }
 // overhead explicitly attributable in critical-path reports.
 func (nd *Node) Observe(rec *obs.Recorder) { nd.rec = rec }
 
-// seg records [start, now) on p's cost timeline when a recorder is attached.
+// segStart returns the timestamp opening a cost segment, or -1 when no
+// recorder is attached — untraced runs skip even the clock read, so the
+// charge paths do zero observability work.
+func (nd *Node) segStart(p *simtime.Proc) simtime.Time {
+	if nd.rec == nil {
+		return -1
+	}
+	return p.Now()
+}
+
+// seg records [start, now) on p's cost timeline; a -1 start (untraced run,
+// see segStart) records nothing.
 func (nd *Node) seg(p *simtime.Proc, cat string, start simtime.Time) {
-	if nd.rec != nil {
+	if start >= 0 && nd.rec != nil {
 		nd.rec.PathSegFor(p, cat, start, p.Now())
 	}
 }
@@ -223,7 +234,7 @@ func (nd *Node) Memcpy(p *simtime.Proc, dst, src []byte) {
 		panic(fmt.Sprintf("shm: memcpy length mismatch %d != %d", len(dst), len(src)))
 	}
 	copy(dst, src)
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	nd.chargeStreaming(p, nd.copyCost(len(src)), len(src))
 	nd.seg(p, "copy", t0)
 	nd.stats.Copies++
@@ -247,14 +258,14 @@ func (nd *Node) chargeStreaming(p *simtime.Proc, perCore simtime.Duration, bytes
 
 // Post charges the cost of publishing an address or flag to node peers.
 func (nd *Node) Post(p *simtime.Proc) {
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	p.Advance(nd.params.PostCost)
 	nd.seg(p, "post", t0)
 }
 
 // Handoff charges one intranode notification latency α_r.
 func (nd *Node) Handoff(p *simtime.Proc) {
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	p.Advance(nd.params.Latency)
 	nd.seg(p, "handoff", t0)
 }
@@ -298,7 +309,7 @@ func (nd *Node) TransferCost(mech Mechanism, srcLocal, dstLocal, n int) simtime.
 // process. PiP-MPICH pays this on every point-to-point message; PiP-MColl
 // pays it never (its algorithms exchange addresses once per collective).
 func (nd *Node) SizeSync(p *simtime.Proc) {
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	p.Advance(nd.params.PiPSizeSync)
 	nd.stats.SizeSyncs++
 	if nd.rec != nil {
@@ -317,7 +328,7 @@ func (nd *Node) ReduceFloat64(p *simtime.Proc, acc, src []float64, op func(a, b 
 	for i, v := range src {
 		acc[i] = op(acc[i], v)
 	}
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	nd.chargeStreaming(p, simtime.TransferTime(8*len(src), nd.params.ReduceBandwidth), 8*len(src))
 	nd.seg(p, "reduce", t0)
 	nd.stats.Reduces++
@@ -329,7 +340,7 @@ func (nd *Node) ReduceFloat64(p *simtime.Proc, acc, src []float64, op func(a, b 
 // byte-buffer twin of ReduceFloat64 used by the MPI collectives.
 func (nd *Node) Combine(p *simtime.Proc, acc, src []byte, op nums.Op) {
 	op.Combine(acc, src)
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	nd.chargeStreaming(p, simtime.TransferTime(len(src), nd.params.ReduceBandwidth), len(src))
 	nd.seg(p, "reduce", t0)
 	nd.stats.Reduces++
@@ -339,7 +350,7 @@ func (nd *Node) Combine(p *simtime.Proc, acc, src []byte, op nums.Op) {
 // ChargeTransfer performs the cost side of a mechanism transfer (see
 // TransferCost) with aggregate memory contention applied when enabled.
 func (nd *Node) ChargeTransfer(p *simtime.Proc, mech Mechanism, srcLocal, dstLocal, n int) {
-	t0 := p.Now()
+	t0 := nd.segStart(p)
 	nd.chargeStreaming(p, nd.TransferCost(mech, srcLocal, dstLocal, n), n)
 	nd.seg(p, "copy", t0)
 }

@@ -1,0 +1,83 @@
+package simtime
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// mallocsDuring runs fn and returns the heap-object allocation delta. The
+// engine is sequential (one goroutine runs at a time), so the global
+// Mallocs counter attributes cleanly to the simulated work.
+func mallocsDuring(fn func()) uint64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestParkAllocCeiling pins the steady-state allocation cost of the
+// park/resume cycle: two processes ping-pong on a counter, so every
+// iteration is one WaitGE park, one resume, and one event dispatch per
+// side. The lazy parkReason and the typed event heap make this path
+// allocation-free once the heap and waiter slices have grown; the ceiling
+// catches any reintroduced fmt.Sprintf or interface boxing.
+func TestParkAllocCeiling(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation ceilings are pinned for non-race builds only")
+	}
+	const iters = 2000
+	e := NewEngine()
+	a := &Counter{}
+	b := &Counter{}
+	e.Spawn("ping", func(p *Proc) {
+		for i := 1; i <= iters; i++ {
+			a.Add(p, 1)
+			b.WaitGE(p, uint64(i))
+		}
+	})
+	e.Spawn("pong", func(p *Proc) {
+		for i := 1; i <= iters; i++ {
+			a.WaitGE(p, uint64(i))
+			b.Add(p, 1)
+		}
+	})
+
+	var allocs uint64
+	e.Spawn("meter", func(p *Proc) {
+		// Warm up: let slices (event heap, waiter lists) reach steady
+		// state before the measured region starts.
+		a.WaitGE(p, iters/2)
+		allocs = mallocsDuring(func() {
+			a.WaitGE(p, iters)
+		})
+	})
+	mustRun(t, e)
+
+	perPark := float64(allocs) / float64(iters) // ~iters parks in the window
+	const ceiling = 0.10
+	t.Logf("park/resume cycle: %d allocs over ~%d parks = %.3f allocs/park", allocs, iters, perPark)
+	if perPark > ceiling {
+		t.Fatalf("park/resume allocates %.3f objects per cycle, ceiling %.2f", perPark, ceiling)
+	}
+}
+
+// TestDispatchCounter checks Engine.Dispatches counts every dispatched
+// event exactly once — it is the denominator of every throughput metric.
+func TestDispatchCounter(t *testing.T) {
+	e := NewEngine()
+	const sleeps = 7
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < sleeps; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	mustRun(t, e)
+	// One dispatch for the spawn wake-up plus one per sleep wake-up.
+	if got := e.Dispatches(); got != sleeps+1 {
+		t.Fatalf("Dispatches() = %d, want %d", got, sleeps+1)
+	}
+}

@@ -1,7 +1,5 @@
 package simtime
 
-import "fmt"
-
 // Counter is a monotone event counter: processes add to it and other
 // processes wait for it to reach a threshold. It is the building block for
 // flags (threshold 1), arrival counts, and epoch-based reusable
@@ -49,7 +47,7 @@ func (c *Counter) WaitGE(p *Proc, target uint64) {
 		return
 	}
 	c.waiters = append(c.waiters, counterWaiter{target: target, p: p})
-	p.park(fmt.Sprintf("counter>=%d (now %d)", target, c.val))
+	p.park(parkReason{kind: parkCounter, a: target, b: c.val})
 }
 
 // Flag is a one-shot boolean with an associated timestamp and optional
@@ -125,7 +123,7 @@ func (b *Barrier) Wait(p *Proc) {
 		return
 	}
 	b.waiters = append(b.waiters, p)
-	p.park(fmt.Sprintf("barrier %d/%d", b.count, b.parties))
+	p.park(parkReason{kind: parkBarrier, a: uint64(b.count), b: uint64(b.parties)})
 }
 
 // Mailbox is a timestamped, predicate-matched message queue: the meeting
@@ -215,13 +213,22 @@ func (m *Mailbox) Get(p *Proc, match func(any) bool) any {
 			return it.item
 		}
 	}
-	r := &mailRecv{p: p, match: match}
+	// Reuse the process's pooled receiver slot: Put removes a matched
+	// receiver from the list before waking it, and a process has at most one
+	// blocking mailbox wait in flight, so the cell is free again by the time
+	// the process can park on another Get/Peek. (GetDeadline must NOT use the
+	// pool: its timed-out receivers linger dead in the list, where a recycled
+	// cell could be spuriously revived.)
+	r := &p.mcell
+	*r = mailRecv{p: p, match: match}
 	m.receivers = append(m.receivers, r)
-	p.park("mailbox get")
+	p.park(labeled("mailbox get"))
 	if !r.filled {
 		panic("simtime: mailbox receiver woken without item")
 	}
-	return r.result
+	res := r.result
+	r.result = nil // don't retain the item beyond the call
+	return res
 }
 
 // GetDeadline is Get bounded by an absolute virtual deadline: it returns
@@ -243,7 +250,7 @@ func (m *Mailbox) GetDeadline(p *Proc, match func(any) bool, deadline Time) (any
 	r := &mailRecv{p: p, match: match}
 	r.timer = p.e.postTimer(p, deadline)
 	m.receivers = append(m.receivers, r)
-	p.park("mailbox get")
+	p.park(labeled("mailbox get"))
 	if r.filled {
 		return r.result, true
 	}
@@ -263,13 +270,16 @@ func (m *Mailbox) Peek(p *Proc, match func(any) bool) any {
 			return it.item
 		}
 	}
-	r := &mailRecv{p: p, match: match, peek: true}
+	r := &p.mcell // see Get for why the pooled slot is safe here
+	*r = mailRecv{p: p, match: match, peek: true}
 	m.receivers = append(m.receivers, r)
-	p.park("mailbox peek")
+	p.park(labeled("mailbox peek"))
 	if !r.filled {
 		panic("simtime: mailbox peeker woken without item")
 	}
-	return r.result
+	res := r.result
+	r.result = nil
+	return res
 }
 
 // TryPeek returns the first queued matching item without removing or
