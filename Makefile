@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-race chaos-smoke bench-smoke ci
+.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke ci
 
 all: build
 
@@ -41,4 +41,15 @@ chaos-smoke:
 	$(GO) run ./cmd/pipmcoll-chaos -scenario mixed -op allreduce
 	! $(GO) run ./cmd/pipmcoll-chaos -scenario no-such-scenario 2>/dev/null
 
-ci: vet build test race chaos-race chaos-smoke bench-smoke
+# Rank/node-death recovery: the ULFM layer and the self-healing loop under
+# the race detector, plus the three death scenarios at fixed seeds — each
+# must detect, shrink, re-run, and verify on the survivors (exit 0).
+chaos-recovery:
+	$(GO) test -race ./internal/mpi -run 'Kill|Shrink|Agree|Revoke|NodeLeaders|DeadlockErrorFormat'
+	$(GO) test -race ./internal/recover ./internal/simtime -run 'Recover|MailboxStale|MailboxDeadline'
+	$(GO) test -race ./cmd/pipmcoll-chaos
+	$(GO) run ./cmd/pipmcoll-chaos -scenario rank-death
+	$(GO) run ./cmd/pipmcoll-chaos -scenario node-death
+	$(GO) run ./cmd/pipmcoll-chaos -scenario cascading-failures
+
+ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke

@@ -26,11 +26,13 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/coll"
 	"repro/internal/fault"
 	"repro/internal/libs"
 	"repro/internal/mpi"
 	"repro/internal/nums"
 	"repro/internal/obs"
+	screcover "repro/internal/recover"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
@@ -105,6 +107,35 @@ var scenarios = []scenario{
 			}
 		},
 	},
+	{
+		name:  "rank-death",
+		about: "rank 1 dies permanently at t=3us, mid-collective",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, KillRanks: []fault.KillRank{
+				{Rank: 1, At: simtime.Time(3 * simtime.Microsecond)},
+			}}
+		},
+	},
+	{
+		name:  "node-death",
+		about: "node 1 dies at t=3us, taking all its ranks",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, KillNodes: []fault.KillNode{
+				{Node: 1, At: simtime.Time(3 * simtime.Microsecond)},
+			}}
+		},
+	},
+	{
+		name:  "cascading-failures",
+		about: "three staggered rank deaths across successive recoveries",
+		spec: func(seed uint64) fault.Spec {
+			return fault.Spec{Seed: seed, KillRanks: []fault.KillRank{
+				{Rank: 1, At: simtime.Time(2 * simtime.Microsecond)},
+				{Rank: 5, At: simtime.Time(60 * simtime.Microsecond)},
+				{Rank: 2, At: simtime.Time(120 * simtime.Microsecond)},
+			}}
+		},
+	},
 }
 
 func findScenario(name string) (scenario, bool) {
@@ -167,6 +198,10 @@ func run() int {
 	fmt.Printf("scenario %s (%s), seed %d\n", s.name, s.about, *seed)
 	fmt.Printf("%s %s on %dx%d ranks, %d B x %d rounds\n\n", lib.Name(), *op, *nodes, *ppn, *bytes, *rounds)
 
+	if plan.HasKills() {
+		return runDeathScenario(s, lib, *op, *nodes, *ppn, *bytes, *rounds, plan, *traceFile)
+	}
+
 	baseline, err := simulate(lib, *op, *nodes, *ppn, *bytes, *rounds, nil, timeout, "")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pipmcoll-chaos: fault-free baseline failed: %v\n", diagnose(err))
@@ -197,6 +232,262 @@ func run() int {
 	fmt.Println("  loss accounting balanced: drops + corruptions == retransmits")
 	fmt.Println("\nresilient: collective completed correctly under", s.name)
 	return 0
+}
+
+// runDeathScenario drives a permanent-failure scenario: every rank runs the
+// collective through the self-healing loop (internal/recover), so a death
+// mid-collective surfaces as a typed detection, a communicator shrink, and a
+// re-execution on the survivors instead of a wedge. Exit codes match the
+// loss scenarios: 0 resilient, 1 simulation failure, 2 broken invariant.
+func runDeathScenario(s scenario, lib *libs.Library, op string, nodes, ppn, bytes, rounds int, plan *fault.Plan, traceFile string) int {
+	baseline, err := simulateRecovery(lib, op, nodes, ppn, bytes, rounds, nil, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipmcoll-chaos: fault-free baseline failed: %v\n", diagnose(err))
+		return 1
+	}
+	faulted, err := simulateRecovery(lib, op, nodes, ppn, bytes, rounds, plan, traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipmcoll-chaos: faulted run failed: %v\n", diagnose(err))
+		return 1
+	}
+
+	fmt.Printf("  baseline horizon  %12.3f us\n", baseline.horizon.Microseconds())
+	slow := 0.0
+	if baseline.horizon > 0 {
+		slow = 100 * (faulted.horizon.Microseconds() - baseline.horizon.Microseconds()) / baseline.horizon.Microseconds()
+	}
+	fmt.Printf("  faulted horizon   %12.3f us  (%+.1f%%)\n\n", faulted.horizon.Microseconds(), slow)
+	fmt.Printf("  deaths: ranks %v (fault.proc_killed=%d, detections=%d)\n",
+		faulted.dead, faulted.killed, faulted.detected)
+	fmt.Printf("  recovery: shrinks=%d retries=%d across %d rounds\n",
+		faulted.shrinks, faulted.retries, rounds)
+	fmt.Printf("  final communicator: %d rank(s) %v\n", len(faulted.final), faulted.final)
+	fmt.Println("  survivor results verified bit-exact against the serial reference on the shrunk communicator")
+
+	if int64(len(faulted.dead)) != faulted.killed {
+		fmt.Printf("\nFAIL: death accounting broken: %d dead ranks but proc_killed=%d\n",
+			len(faulted.dead), faulted.killed)
+		return 2
+	}
+	if len(faulted.dead) > 0 && faulted.shrinks == 0 {
+		fmt.Println("\nFAIL: ranks died but the recovery loop never shrank")
+		return 2
+	}
+	for _, d := range faulted.dead {
+		for _, m := range faulted.final {
+			if d == m {
+				fmt.Printf("\nFAIL: dead rank %d still a member of the final communicator\n", d)
+				return 2
+			}
+		}
+	}
+	fmt.Println("\nresilient: collective self-healed under", s.name)
+	return 0
+}
+
+// recoveryOutcome summarizes one self-healing run.
+type recoveryOutcome struct {
+	horizon           simtime.Duration
+	dead              []int // world ranks that died
+	final             []int // final communicator membership, agreed by survivors
+	killed, detected  int64 // fault.proc_killed, fault.failures_detected
+	shrinks, retries  int64 // recover.shrinks, recover.retries
+}
+
+// simulateRecovery runs `rounds` collectives through RunWithRecovery on a
+// communicator that is carried — and healed — across rounds. The recovery
+// rounds use the comm-scope baseline algorithms (coll.CommView): the paper's
+// world-scope multi-object algorithms assume whole nodes and cannot run on a
+// shrunk membership, which is exactly the distinction internal/mpi documents.
+func simulateRecovery(lib *libs.Library, op string, nodes, ppn, bytes, rounds int, plan *fault.Plan, traceFile string) (recoveryOutcome, error) {
+	const maxRetries = 8
+	cfg := lib.Config()
+	cfg.Faults = plan
+	cluster := topology.New(nodes, ppn, topology.Block)
+	world, err := mpi.NewWorld(cluster, cfg)
+	if err != nil {
+		return recoveryOutcome{}, err
+	}
+	var rec *obs.Recorder
+	if traceFile != "" {
+		rec = obs.NewRecorder()
+	} else {
+		rec = obs.NewLiteRecorder()
+	}
+	world.Observe(rec)
+
+	size := cluster.Size()
+	type rankReport struct {
+		survived bool
+		final    []int
+		err      error
+	}
+	reports := make([]rankReport, size)
+	runErr := world.Run(func(r *mpi.Rank) {
+		comm := mpi.WorldComm(r)
+		for round := 0; round < rounds; round++ {
+			opFn, verify := recoveryRound(op, r, bytes, round)
+			if opFn == nil {
+				reports[r.Rank()].err = fmt.Errorf("op %q not supported under death scenarios (have bcast, scatter, allgather, allreduce)", op)
+				return
+			}
+			fc, _, rerr := screcover.RunWithRecovery(comm, opFn, maxRetries)
+			if rerr != nil {
+				reports[r.Rank()].err = fmt.Errorf("rank %d round %d: %w", r.Rank(), round, rerr)
+				return
+			}
+			if verr := verify(fc); verr != nil {
+				reports[r.Rank()].err = fmt.Errorf("rank %d round %d: %w", r.Rank(), round, verr)
+				return
+			}
+			comm = fc // carry the healed communicator into the next round
+		}
+		reports[r.Rank()] = rankReport{survived: true, final: comm.WorldRanks()}
+	})
+	if runErr != nil {
+		return recoveryOutcome{}, runErr
+	}
+	out := recoveryOutcome{
+		horizon: world.Horizon().Sub(simtime.Time(0)),
+		dead:    world.DeadRanks(),
+	}
+	for rank, rep := range reports {
+		if rep.err != nil {
+			return recoveryOutcome{}, rep.err
+		}
+		if world.Dead(rank) {
+			continue
+		}
+		if !rep.survived {
+			return recoveryOutcome{}, fmt.Errorf("rank %d neither died nor finished", rank)
+		}
+		if out.final == nil {
+			out.final = rep.final
+		} else if !equalInts(out.final, rep.final) {
+			return recoveryOutcome{}, fmt.Errorf("survivors disagree on the final communicator: %v vs %v", out.final, rep.final)
+		}
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return recoveryOutcome{}, err
+		}
+		if err := rec.WritePerfetto(f); err != nil {
+			f.Close()
+			return recoveryOutcome{}, err
+		}
+		if err := f.Close(); err != nil {
+			return recoveryOutcome{}, err
+		}
+	}
+	m := rec.Metrics()
+	out.killed = m.Counter(obs.MetricProcKilled).Value()
+	out.detected = m.Counter(obs.MetricFailuresDetected).Value()
+	out.shrinks = m.Counter(obs.MetricRecoverShrinks).Value()
+	out.retries = m.Counter(obs.MetricRecoverRetries).Value()
+	return out, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recoveryRound builds one round's recoverable operation and its verifier.
+// The operation rebuilds its outputs from the original inputs on every
+// attempt (the buffer-state contract: a failed attempt leaves receive buffers
+// undefined) and sizes them to whatever communicator the loop passes; the
+// verifier checks the last attempt's result against a serial reference over
+// the final communicator's membership.
+func recoveryRound(op string, r *mpi.Rank, bytes, round int) (func(*mpi.Comm) error, func(*mpi.Comm) error) {
+	switch op {
+	case "allreduce":
+		in := make([]byte, bytes)
+		nums.Fill(in, r.Rank())
+		out := make([]byte, bytes)
+		opFn := func(c *mpi.Comm) error {
+			for i := range out {
+				out[i] = 0
+			}
+			return mpi.Try(func() { coll.AllreduceRecDoubling(coll.CommView(c), in, out, nums.Sum) })
+		}
+		verify := func(fc *mpi.Comm) error {
+			members := fc.WorldRanks()
+			want := make([]byte, bytes)
+			nums.Fill(want, members[0])
+			tmp := make([]byte, bytes)
+			for _, m := range members[1:] {
+				nums.Fill(tmp, m)
+				nums.Sum.Combine(want, tmp)
+			}
+			return check(op, r, out, want)
+		}
+		return opFn, verify
+	case "bcast":
+		buf := make([]byte, bytes)
+		opFn := func(c *mpi.Comm) error {
+			for i := range buf {
+				buf[i] = 0
+			}
+			if c.Rank() == 0 {
+				nums.FillBytes(buf, round)
+			}
+			return mpi.Try(func() { coll.Bcast(coll.CommView(c), 0, buf) })
+		}
+		verify := func(*mpi.Comm) error {
+			want := make([]byte, bytes)
+			nums.FillBytes(want, round)
+			return check(op, r, buf, want)
+		}
+		return opFn, verify
+	case "scatter":
+		out := make([]byte, bytes)
+		opFn := func(c *mpi.Comm) error {
+			for i := range out {
+				out[i] = 0
+			}
+			var in []byte
+			if c.Rank() == 0 {
+				members := c.WorldRanks()
+				in = make([]byte, len(members)*bytes)
+				for i, m := range members {
+					nums.FillBytes(in[i*bytes:(i+1)*bytes], m+round)
+				}
+			}
+			return mpi.Try(func() { coll.Scatter(coll.CommView(c), 0, in, out) })
+		}
+		verify := func(*mpi.Comm) error {
+			want := make([]byte, bytes)
+			nums.FillBytes(want, r.Rank()+round)
+			return check(op, r, out, want)
+		}
+		return opFn, verify
+	case "allgather":
+		in := make([]byte, bytes)
+		nums.FillBytes(in, r.Rank()+round)
+		var out []byte
+		opFn := func(c *mpi.Comm) error {
+			out = make([]byte, c.Size()*bytes)
+			return mpi.Try(func() { coll.Allgather(coll.CommView(c), in, out, 256<<10) })
+		}
+		verify := func(fc *mpi.Comm) error {
+			members := fc.WorldRanks()
+			want := make([]byte, len(members)*bytes)
+			for i, m := range members {
+				nums.FillBytes(want[i*bytes:(i+1)*bytes], m+round)
+			}
+			return check(op, r, out, want)
+		}
+		return opFn, verify
+	}
+	return nil, nil
 }
 
 // outcome summarizes one simulated run.

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/libs"
+)
+
+// scenarioListRe matches one catalogue entry in README.md's scenario list:
+//
+//	- `name` — one-line description
+var scenarioListRe = regexp.MustCompile("^- `([a-z-]+)` — (.+)$")
+
+// readmeScenarios parses the scenario catalogue out of README.md.
+func readmeScenarios(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := scenarioListRe.FindStringSubmatch(sc.Text()); m != nil {
+			if _, dup := got[m[1]]; dup {
+				t.Fatalf("README lists scenario %q twice", m[1])
+			}
+			got[m[1]] = m[2]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestReadmeScenarioCatalogue pins the README's scenario list to the code:
+// same names, same one-line descriptions, nothing missing, nothing extra.
+// If this fails, update the list under "Chaos & resilience" in README.md to
+// match the `scenarios` catalogue (or vice versa).
+func TestReadmeScenarioCatalogue(t *testing.T) {
+	documented := readmeScenarios(t)
+	if len(documented) == 0 {
+		t.Fatal("README.md has no scenario list entries (format: \"- `name` — description\")")
+	}
+	inCode := map[string]string{}
+	for _, s := range scenarios {
+		inCode[s.name] = s.about
+	}
+	for name, about := range inCode {
+		doc, ok := documented[name]
+		if !ok {
+			t.Errorf("scenario %q is in the catalogue but not in README.md", name)
+			continue
+		}
+		if doc != about {
+			t.Errorf("scenario %q drifted:\n  code:   %s\n  README: %s", name, about, doc)
+		}
+	}
+	for name := range documented {
+		if _, ok := inCode[name]; !ok {
+			t.Errorf("README.md documents scenario %q, which the catalogue does not have", name)
+		}
+	}
+}
+
+// TestDeathScenariosDeterministic runs every kill-armed scenario twice at a
+// fixed seed and requires identical recovery outcomes: horizon, dead set,
+// final membership, and every fault/recovery counter.
+func TestDeathScenariosDeterministic(t *testing.T) {
+	lib, err := libs.ByName("PiP-MColl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, s := range scenarios {
+		plan := mustPlan(t, s, 42)
+		if !plan.HasKills() {
+			continue
+		}
+		ran++
+		t.Run(s.name, func(t *testing.T) {
+			a, err := simulateRecovery(lib, "allreduce", 4, 4, 4096, 4, plan, "")
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := simulateRecovery(lib, "allreduce", 4, 4, 4096, 4, mustPlan(t, s, 42), "")
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("nondeterministic outcome:\n  %+v\n  %+v", a, b)
+			}
+			if len(a.dead) == 0 {
+				t.Fatal("death scenario killed nobody")
+			}
+			if a.shrinks == 0 {
+				t.Fatal("death scenario never shrank")
+			}
+		})
+	}
+	if ran != 3 {
+		t.Fatalf("expected 3 kill-armed scenarios, found %d", ran)
+	}
+}
+
+// TestDeathScenarioEveryOp drives each supported collective through the
+// rank-death scenario: all must terminate, shrink, and verify on survivors.
+func TestDeathScenarioEveryOp(t *testing.T) {
+	lib, err := libs.ByName("PiP-MColl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := findScenario("rank-death")
+	if !ok {
+		t.Fatal("rank-death scenario missing")
+	}
+	for _, op := range []string{"bcast", "scatter", "allgather", "allreduce"} {
+		t.Run(op, func(t *testing.T) {
+			out, err := simulateRecovery(lib, op, 2, 4, 1024, 3, mustPlan(t, s, 7), "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(out.dead, []int{1}) {
+				t.Fatalf("dead = %v, want [1]", out.dead)
+			}
+			if out.shrinks == 0 || out.killed != 1 {
+				t.Fatalf("outcome %+v: want 1 kill and at least one shrink", out)
+			}
+			for _, m := range out.final {
+				if m == 1 {
+					t.Fatalf("dead rank 1 still in final membership %v", out.final)
+				}
+			}
+		})
+	}
+}
+
+func mustPlan(t *testing.T, s scenario, seed uint64) *fault.Plan {
+	t.Helper()
+	plan, err := fault.New(s.spec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}

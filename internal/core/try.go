@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/nums"
+)
+
+// Try* wrappers: each runs the collective and returns nil on success, or the
+// typed failure the ULFM layer detected — *mpi.ProcFailedError when a member
+// of the world died before or during the operation, *mpi.RevokedError when
+// the operation raced a revocation. Panics that are not ULFM failures
+// (programming errors, the caller's own death) propagate unchanged.
+//
+// Buffer-state contract on failure: when a Try* call returns a non-nil
+// error, the operation did not complete and the caller's buffers are in an
+// undefined intermediate state — recv/buf may hold any mixture of old bytes,
+// partial results, and data from completed phases, and send buffers may or
+// may not have been read. Survivors must not interpret the buffers; the
+// defined recovery is to shrink the communicator and re-run the collective
+// from the original send data on the survivors (see internal/recover), which
+// is exactly what ULFM specifies for collectives that raise
+// MPI_ERR_PROC_FAILED.
+
+// TryScatter is Scatter returning the ULFM failure instead of unwinding.
+func (cl Coll) TryScatter(r *mpi.Rank, root int, send, recv []byte) error {
+	return mpi.Try(func() { cl.Scatter(r, root, send, recv) })
+}
+
+// TryAllgather is Allgather returning the ULFM failure instead of unwinding.
+func (cl Coll) TryAllgather(r *mpi.Rank, send, recv []byte) error {
+	return mpi.Try(func() { cl.Allgather(r, send, recv) })
+}
+
+// TryAllreduce is Allreduce returning the ULFM failure instead of unwinding.
+func (cl Coll) TryAllreduce(r *mpi.Rank, send, recv []byte, op nums.Op) error {
+	return mpi.Try(func() { cl.Allreduce(r, send, recv, op) })
+}
+
+// TryAlltoall is Alltoall returning the ULFM failure instead of unwinding.
+func (cl Coll) TryAlltoall(r *mpi.Rank, send, recv []byte) error {
+	return mpi.Try(func() { cl.Alltoall(r, send, recv) })
+}
+
+// TryGather is Gather returning the ULFM failure instead of unwinding.
+func (cl Coll) TryGather(r *mpi.Rank, root int, send, recv []byte) error {
+	return mpi.Try(func() { cl.Gather(r, root, send, recv) })
+}
+
+// TryReduce is Reduce returning the ULFM failure instead of unwinding.
+func (cl Coll) TryReduce(r *mpi.Rank, root int, send, recv []byte, op nums.Op) error {
+	return mpi.Try(func() { cl.Reduce(r, root, send, recv, op) })
+}
+
+// TryBcast is Bcast returning the ULFM failure instead of unwinding.
+func (cl Coll) TryBcast(r *mpi.Rank, root int, buf []byte) error {
+	return mpi.Try(func() { cl.Bcast(r, root, buf) })
+}
+
+// TryBarrier is Barrier returning the ULFM failure instead of unwinding.
+func (cl Coll) TryBarrier(r *mpi.Rank) error {
+	return mpi.Try(func() { cl.Barrier(r) })
+}

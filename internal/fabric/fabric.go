@@ -187,6 +187,7 @@ type Fabric struct {
 	faults  *fault.Plan // nil = fault-free (the common case)
 	sendSeq []uint64    // [node*queues + queue] eager send ordinal, loss plans only
 	fstats  FaultStats
+	dead    []bool // [node*queues + queue] fail-stop endpoints; nil when nobody died
 
 	// deliverPayload, when set, hands the payload value itself to the
 	// destination inbox instead of wrapping it in a Packet — one interface
@@ -427,9 +428,15 @@ func (f *Fabric) SendTraced(p *simtime.Proc, src, dst Endpoint, n int, payload a
 
 	f.account(&tr)
 
-	if f.deliverPayload {
+	switch {
+	case f.dead != nil && f.dead[f.index(dst)]:
+		// Fail-stop destination: the message traversed the network and is
+		// discarded at the dead NIC. The sender has already paid the full
+		// traversal; nothing reaches the inbox.
+		f.recordDeadDrop(dst)
+	case f.deliverPayload:
 		f.inbox[f.index(dst)].PutAt(p, rqDone, payload)
-	} else {
+	default:
 		f.inbox[f.index(dst)].PutAt(p, rqDone, Packet{
 			Src: src, Dst: dst, Bytes: n, Payload: payload, SentAt: tr.Issue,
 		})

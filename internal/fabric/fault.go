@@ -17,6 +17,7 @@ type FaultStats struct {
 	Corruptions int64 // eager attempts discarded by the receiver's checksum
 	Retransmits int64 // retransmissions issued (one per failed attempt)
 	Stalls      int64 // sends delayed by a frozen injection queue
+	DeadDrops   int64 // deliveries discarded because the destination endpoint is dead
 }
 
 // InjectFaults attaches a fault plan to the fabric. Must be called before
@@ -105,6 +106,31 @@ func (f *Fabric) bookFailedAttempt(src, dst Endpoint, n int, start simtime.Time,
 		rec.ResourceSpan(fmt.Sprintf("n%d q%d rx", dst.Node, dst.Queue), name, cat, rqStart, rqDone)
 	}
 	return qDone
+}
+
+// KillEndpoint marks an endpoint permanently dead (fail-stop): from now on
+// every delivery destined to it is silently discarded instead of entering its
+// inbox, modelling a NIC whose host process has died. The sender still pays
+// the full network traversal — fail-stop silence is indistinguishable from a
+// slow receiver at the fabric level; detection is the MPI layer's job.
+func (f *Fabric) KillEndpoint(ep Endpoint) {
+	if f.dead == nil {
+		f.dead = make([]bool, f.nodes*f.queues)
+	}
+	f.dead[f.index(ep)] = true
+}
+
+// EndpointDead reports whether KillEndpoint has been called on ep.
+func (f *Fabric) EndpointDead(ep Endpoint) bool {
+	return f.dead != nil && f.dead[f.index(ep)]
+}
+
+// recordDeadDrop notes a delivery discarded at a dead destination endpoint.
+func (f *Fabric) recordDeadDrop(dst Endpoint) {
+	f.fstats.DeadDrops++
+	if f.rec != nil {
+		f.rec.Metrics().Counter("fault.dead_drops").Add(1)
+	}
 }
 
 // recordStall notes a send delayed by a frozen injection queue.

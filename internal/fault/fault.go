@@ -41,6 +41,30 @@ type Spec struct {
 	Noise []Noise
 	// Stalls lists transient NIC injection-queue freezes.
 	Stalls []QueueStall
+	// KillRanks lists permanent fail-stop rank deaths (ULFM-style failures
+	// the MPI layer detects and reports as typed errors).
+	KillRanks []KillRank
+	// KillNodes lists permanent whole-node deaths: every rank on the node
+	// dies at the same instant, modelling a node crash or power loss.
+	KillNodes []KillNode
+}
+
+// KillRank declares the permanent fail-stop death of one world rank at a
+// virtual time: from At on, the simulated process stops dispatching at its
+// next operation boundary and its fabric/shared-memory endpoints drop all
+// traffic. Unlike every other fault in this package, a kill is not ridden
+// out transparently — it surfaces as a typed mpi.ProcFailedError that the
+// application recovers from (see internal/recover).
+type KillRank struct {
+	Rank int
+	At   simtime.Time
+}
+
+// KillNode declares the simultaneous permanent death of every rank on one
+// node at a virtual time.
+type KillNode struct {
+	Node int
+	At   simtime.Time
 }
 
 // LinkDegrade scales one node's link parameters inside a virtual-time
@@ -199,6 +223,22 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("fault: stall[%d] non-positive duration %v", i, st.Duration)
 		}
 	}
+	for i, k := range s.KillRanks {
+		switch {
+		case k.Rank < 0:
+			return fmt.Errorf("fault: kill-rank[%d] bad rank %d", i, k.Rank)
+		case k.At < 0:
+			return fmt.Errorf("fault: kill-rank[%d] negative time %v", i, k.At)
+		}
+	}
+	for i, k := range s.KillNodes {
+		switch {
+		case k.Node < 0:
+			return fmt.Errorf("fault: kill-node[%d] bad node %d", i, k.Node)
+		case k.At < 0:
+			return fmt.Errorf("fault: kill-node[%d] negative time %v", i, k.At)
+		}
+	}
 	return nil
 }
 
@@ -265,6 +305,12 @@ func (p *Plan) String() string {
 	}
 	for _, st := range p.spec.Stalls {
 		fmt.Fprintf(&b, " stall(n%dq%d %v+%v)", st.Node, st.Queue, st.From, st.Duration)
+	}
+	for _, k := range p.spec.KillRanks {
+		fmt.Fprintf(&b, " kill(r%d@%v)", k.Rank, k.At)
+	}
+	for _, k := range p.spec.KillNodes {
+		fmt.Fprintf(&b, " kill(n%d@%v)", k.Node, k.At)
 	}
 	b.WriteString("}")
 	return b.String()
@@ -382,6 +428,39 @@ func (p *Plan) StallClear(node, queue int, at simtime.Time) simtime.Time {
 		}
 	}
 	return t
+}
+
+// HasKills reports whether the plan declares any permanent rank or node
+// deaths. Nil-safe: a nil plan kills nobody.
+func (p *Plan) HasKills() bool {
+	return p != nil && (len(p.spec.KillRanks) > 0 || len(p.spec.KillNodes) > 0)
+}
+
+// KillTime returns the earliest virtual time at which the given (world rank,
+// node) pair dies, considering both rank-level and node-level kills, and
+// whether any kill applies at all. Nil-safe: a nil plan kills nobody.
+func (p *Plan) KillTime(rank, node int) (simtime.Time, bool) {
+	if p == nil {
+		return 0, false
+	}
+	var at simtime.Time
+	found := false
+	take := func(t simtime.Time) {
+		if !found || t < at {
+			at, found = t, true
+		}
+	}
+	for _, k := range p.spec.KillRanks {
+		if k.Rank == rank {
+			take(k.At)
+		}
+	}
+	for _, k := range p.spec.KillNodes {
+		if k.Node == node {
+			take(k.At)
+		}
+	}
+	return at, found
 }
 
 // HasNoise reports whether any noise generator could affect rank.

@@ -105,6 +105,26 @@ func (l *Library) Alltoall(r *mpi.Rank, send, recv []byte) {
 	l.alltoall(r, send, recv)
 }
 
+// TryAllreduce runs the profile's MPI_Allreduce and returns the typed ULFM
+// failure (*mpi.ProcFailedError, *mpi.RevokedError) instead of unwinding
+// when a member of the world dies mid-collective. On error the recv buffer
+// is in an undefined intermediate state (see the buffer-state contract on
+// internal/core's Try wrappers); the recovery loop in internal/recover
+// re-runs the operation on the survivors.
+func (l *Library) TryAllreduce(r *mpi.Rank, send, recv []byte, op nums.Op) error {
+	return mpi.Try(func() { l.Allreduce(r, send, recv, op) })
+}
+
+// TryAllgather is Allgather with the TryAllreduce error contract.
+func (l *Library) TryAllgather(r *mpi.Rank, send, recv []byte) error {
+	return mpi.Try(func() { l.Allgather(r, send, recv) })
+}
+
+// TryScatter is Scatter with the TryAllreduce error contract.
+func (l *Library) TryScatter(r *mpi.Rank, root int, send, recv []byte) error {
+	return mpi.Try(func() { l.Scatter(r, root, send, recv) })
+}
+
 // Switch points for the baseline profiles, mirroring the documented MPICH /
 // Open MPI tuning: ring allgather beyond 256 kB total, Rabenseifner
 // allreduce beyond 16 kB vectors, hierarchical leader phases use the same.

@@ -20,6 +20,11 @@ type Comm struct {
 	me    int   // this process's comm rank
 	id    uint64
 	seq   uint64
+	// shrinks/agrees number this handle's Shrink/Agree calls; members call
+	// the collectives in the same order, so the counters agree across
+	// handles of one communicator and key the shared rounds (see ulfm.go).
+	shrinks uint64
+	agrees  uint64
 }
 
 // maxCommID and maxCommSeq bound the tag-window packing below.
@@ -78,6 +83,9 @@ func (c *Comm) WorldRank(commRank int) int {
 // communicators it packs (comm id, sequence) above the world windows so the
 // spaces cannot collide.
 func (c *Comm) NextWindow() int {
+	if c.r.world.revoked != nil {
+		c.checkRevoked()
+	}
 	if c.ranks == nil {
 		return int(c.r.NextEpoch()) << 24
 	}

@@ -35,6 +35,11 @@ type BlockedRank struct {
 	Tag     int    // -1 when unknown
 	Since   simtime.Time
 	WaitsOn int // rank in the waker chain this one waits on, or -1
+	// PeerDead/PeerExited annotate WaitsOn: the awaited rank died (so this
+	// block could never be satisfied) or returned from its body without
+	// sending (an application-level mismatch).
+	PeerDead   bool
+	PeerExited bool
 }
 
 func (b BlockedRank) String() string {
@@ -45,6 +50,12 @@ func (b BlockedRank) String() string {
 	s += fmt.Sprintf(" since %v", b.Since)
 	if b.WaitsOn >= 0 {
 		s += fmt.Sprintf(", waits on rank %d", b.WaitsOn)
+		switch {
+		case b.PeerDead:
+			s += " (dead)"
+		case b.PeerExited:
+			s += " (exited)"
+		}
 	}
 	return s
 }
@@ -56,7 +67,10 @@ func (b BlockedRank) String() string {
 // chain.
 type DeadlockError struct {
 	Blocked []BlockedRank
-	engine  *simtime.DeadlockError
+	// At is the virtual time of the wedge (the engine horizon when the
+	// event queue drained).
+	At     simtime.Time
+	engine *simtime.DeadlockError
 }
 
 func (e *DeadlockError) Error() string {
@@ -64,8 +78,8 @@ func (e *DeadlockError) Error() string {
 	for i, b := range e.Blocked {
 		parts[i] = b.String()
 	}
-	return fmt.Sprintf("mpi: deadlock, %d rank(s) blocked: %s",
-		len(e.Blocked), strings.Join(parts, "; "))
+	return fmt.Sprintf("mpi: deadlock at %v, %d rank(s) blocked: %s",
+		e.At, len(e.Blocked), strings.Join(parts, "; "))
 }
 
 // Unwrap exposes the underlying engine diagnosis.
@@ -106,8 +120,13 @@ func (w *World) wrapRunError(err error) error {
 	}
 	var pe *simtime.PanicError
 	if errors.As(err, &pe) {
-		if te, ok := pe.Value.(*TimeoutError); ok {
-			return te
+		switch v := pe.Value.(type) {
+		case *TimeoutError:
+			return v
+		case *ProcFailedError:
+			return v
+		case *RevokedError:
+			return v
 		}
 	}
 	var de *simtime.DeadlockError
@@ -118,7 +137,7 @@ func (w *World) wrapRunError(err error) error {
 }
 
 func (w *World) diagnoseDeadlock(de *simtime.DeadlockError) *DeadlockError {
-	me := &DeadlockError{engine: de}
+	me := &DeadlockError{engine: de, At: de.At}
 	for _, pi := range de.Info {
 		b := BlockedRank{Rank: -1, Name: pi.Name, Op: pi.Reason,
 			Source: -1, Tag: -1, Since: pi.At, WaitsOn: pi.WaitsOn}
@@ -129,6 +148,10 @@ func (w *World) diagnoseDeadlock(de *simtime.DeadlockError) *DeadlockError {
 			if p := w.ranks[pi.ID].pending; p.active {
 				b.Op, b.Source, b.Tag = p.op, p.src, p.tag
 			}
+		}
+		if on := b.WaitsOn; on >= 0 && on < len(w.ranks) {
+			b.PeerDead = w.dead[on]
+			b.PeerExited = w.exited[on]
 		}
 		me.Blocked = append(me.Blocked, b)
 	}

@@ -1,7 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
 )
 
 // FuzzMatching drives the (source, tag) matching machinery with fuzzed
@@ -16,10 +20,25 @@ import (
 // The checked property is MPI's non-overtaking rule: among messages with the
 // same (source, tag), the j-th posted receive must complete with the j-th
 // posted send, and the payload must arrive intact.
+//
+// Half the input space additionally arms a fuzzed (rank, kill-time) pair: the
+// chosen rank dies permanently at the chosen virtual time, which — depending
+// on where the time lands — cuts it down inside a send, a receive, a park in
+// Waitall, or after it already finished. The checked property then weakens
+// exactly as ULFM specifies and no further: the run still terminates (never
+// wedges into a deadlock report), every surviving rank's operations either
+// complete or fail with a typed *ProcFailedError naming a genuinely dead
+// rank, and every receive slot that did complete still satisfies
+// non-overtaking with an intact payload — never a wrong answer.
 func FuzzMatching(f *testing.F) {
 	f.Add([]byte{3, 4, 0, 1, 2})
 	f.Add([]byte{11, 2, 1, 1, 1, 1, 2, 2, 3, 0, 0, 9, 9, 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte{7, 12, 2, 3, 2, 3, 2, 3, 0, 0, 0, 255, 128, 64, 32, 16})
+	// Seeds with the kill triple armed: sender killed at t=0, receiver killed
+	// mid-schedule, late kill that may land after completion.
+	f.Add([]byte{5, 6, 1, 2, 0, 1, 1, 0})
+	f.Add([]byte{9, 8, 2, 2, 1, 3, 1, 0, 50, 200, 7, 7})
+	f.Add([]byte{4, 10, 3, 1, 2, 0, 1, 3, 255, 9})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			t.Skip()
@@ -82,33 +101,95 @@ func FuzzMatching(f *testing.F) {
 			}
 		}
 
+		// The fuzzed kill triple: whether a rank dies, which one, and when
+		// (0 .. ~51µs in 200ns steps, straddling typical schedule makespans
+		// so kills land before, inside, and after the message exchange).
+		killArmed := next()%2 == 1
+		killRank := next() % 4
+		killAt := simtime.Time(next()) * simtime.Time(200*simtime.Nanosecond)
+
 		// Ranks 0,1 share node 0 and ranks 2,3 share node 1 under block
 		// mapping, so sender 1 exercises the shared-memory path and senders
 		// 2,3 the fabric path in the same schedule.
-		w := newWorld(t, 2, 2, nil)
-		run(t, w, func(r *Rank) {
-			var reqs []*Request
-			if r.Rank() == 0 {
-				for p := range slots {
-					reqs = append(reqs, r.Irecv(slots[p].src, slots[p].tag, slots[p].buf))
-				}
-			} else {
-				for _, s := range specs {
-					if s.src != r.Rank() {
-						continue
-					}
-					payload := make([]byte, size)
-					fill(payload, s)
-					reqs = append(reqs, r.Isend(0, s.tag, payload))
-				}
+		var mut func(*Config)
+		if killArmed {
+			mut = func(cfg *Config) {
+				cfg.Faults = fault.MustNew(fault.Spec{
+					KillRanks: []fault.KillRank{{Rank: killRank, At: killAt}},
+				})
 			}
-			r.Waitall(reqs...)
+		}
+		w := newWorld(t, 2, 2, mut)
+		errs := make([]error, 4)
+		run(t, w, func(r *Rank) {
+			errs[r.Rank()] = Try(func() {
+				var reqs []*Request
+				if r.Rank() == 0 {
+					for p := range slots {
+						reqs = append(reqs, r.Irecv(slots[p].src, slots[p].tag, slots[p].buf))
+					}
+				} else {
+					for _, s := range specs {
+						if s.src != r.Rank() {
+							continue
+						}
+						payload := make([]byte, size)
+						fill(payload, s)
+						reqs = append(reqs, r.Isend(0, s.tag, payload))
+					}
+				}
+				r.Waitall(reqs...)
+			})
 		})
 
+		if len(w.DeadRanks()) == 0 {
+			// Fault-free (or the kill never came due): full verification.
+			for rank, e := range errs {
+				if e != nil {
+					t.Fatalf("rank %d failed without any death: %v", rank, e)
+				}
+			}
+			for p, sl := range slots {
+				got := spec{src: int(sl.buf[0]), tag: int(sl.buf[1]), seq: int(sl.buf[2])}
+				if got.src != sl.src || got.tag != sl.tag || got.seq != sl.wantSeq {
+					t.Fatalf("recv slot %d (src=%d tag=%d): got header %+v, want seq %d (non-overtaking violated)",
+						p, sl.src, sl.tag, got, sl.wantSeq)
+				}
+				pat := byte(sl.src*31 + sl.tag*7 + sl.wantSeq + 1)
+				for k := 3; k < len(sl.buf); k++ {
+					if sl.buf[k] != pat {
+						t.Fatalf("recv slot %d: payload byte %d = %#x, want %#x", p, k, sl.buf[k], pat)
+					}
+				}
+			}
+			return
+		}
+
+		// Somebody died. The run already terminated (run() would have failed
+		// on a deadlock); check every surviving failure is the typed error
+		// naming a real dead rank.
+		for rank, e := range errs {
+			if e == nil || rank == killRank {
+				continue
+			}
+			var pf *ProcFailedError
+			if !errors.As(e, &pf) {
+				t.Fatalf("rank %d: want ProcFailedError, got %v", rank, e)
+			}
+			if !w.Dead(pf.Rank) {
+				t.Fatalf("rank %d blames rank %d, which is alive: %v", rank, pf.Rank, e)
+			}
+		}
+		// Completed receives must still be right: a filled slot (senders are
+		// ranks 1-3, so a filled header byte is nonzero) satisfies the same
+		// non-overtaking and payload-integrity checks as a fault-free run.
 		for p, sl := range slots {
+			if sl.buf[0] == 0 {
+				continue // never completed; buffer undefined by contract
+			}
 			got := spec{src: int(sl.buf[0]), tag: int(sl.buf[1]), seq: int(sl.buf[2])}
 			if got.src != sl.src || got.tag != sl.tag || got.seq != sl.wantSeq {
-				t.Fatalf("recv slot %d (src=%d tag=%d): got header %+v, want seq %d (non-overtaking violated)",
+				t.Fatalf("recv slot %d (src=%d tag=%d): completed with header %+v, want seq %d (wrong answer under failure)",
 					p, sl.src, sl.tag, got, sl.wantSeq)
 			}
 			pat := byte(sl.src*31 + sl.tag*7 + sl.wantSeq + 1)

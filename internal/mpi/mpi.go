@@ -99,6 +99,20 @@ type World struct {
 	rec     *obs.Recorder
 	commIDs uint64
 	envFree []*envelope // recycled message envelopes (see getEnv/putEnv)
+
+	// ULFM failure-model state (see ulfm.go). hasKills gates every check so
+	// fault-free runs stay bit-identical; the slices are allocated regardless
+	// (the deadlock diagnosis reads dead/exited unconditionally).
+	hasKills  bool
+	killAt    []simtime.Time  // [rank] kill time, killNever when unkilled
+	dead      []bool          // [rank] rank has died
+	deadAt    []simtime.Time  // [rank] death time, valid when dead
+	deadCount int             // number of dead ranks
+	exited    []bool          // [rank] body returned normally
+	procs     []*simtime.Proc // [rank] world-rank processes, set at spawn
+	fdBudget  int             // quiescence-handler firing budget (livelock cap)
+	revoked   map[uint64]bool // revoked communicator ids
+	rounds    map[roundKey]*ftRound
 }
 
 // getEnv takes an envelope from the world's freelist, or allocates one. The
@@ -153,6 +167,13 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 		w.envs[n] = pip.NewNodeEnv(n, cluster.PPN(), shmNode)
 	}
 	w.ranks = make([]*Rank, cluster.Size())
+	w.killAt = make([]simtime.Time, cluster.Size())
+	w.dead = make([]bool, cluster.Size())
+	w.deadAt = make([]simtime.Time, cluster.Size())
+	w.exited = make([]bool, cluster.Size())
+	w.procs = make([]*simtime.Proc, cluster.Size())
+	w.hasKills = cfg.Faults.HasKills()
+	w.fdBudget = 64*cluster.Size() + 64
 	for r := range w.ranks {
 		node, local := cluster.Place(r)
 		w.ranks[r] = &Rank{
@@ -164,6 +185,13 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 			ep:    fabric.Endpoint{Node: node, Queue: local},
 		}
 		w.ranks[r].initMatch()
+		w.killAt[r] = killNever
+		if at, ok := cfg.Faults.KillTime(r, node); ok {
+			w.killAt[r] = at
+		}
+	}
+	if w.hasKills {
+		w.engine.SetQuiesceHandler(w.onQuiesce)
 	}
 	return w, nil
 }
@@ -197,13 +225,39 @@ func (w *World) Run(body func(r *Rank)) error {
 		r := r
 		w.engine.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *simtime.Proc) {
 			r.proc = p
+			w.procs[r.rank] = p
 			r.noise = w.cfg.Faults.NewRankNoise(r.rank)
-			if r.noise != nil {
+			switch {
+			case w.hasKills && r.noise != nil:
+				p.SetResumeHook(func(*simtime.Proc) { r.checkSelfKill(); r.chargeNoise() })
+			case w.hasKills:
+				// Die at resumption from any blocking wait past the kill
+				// time (op entries check separately).
+				p.SetResumeHook(func(*simtime.Proc) { r.checkSelfKill() })
+			case r.noise != nil:
 				// Bill noise accrued across blocking waits too, not
 				// only at operation entries.
 				p.SetResumeHook(func(*simtime.Proc) { r.chargeNoise() })
 			}
+			if w.hasKills {
+				// Swallow this rank's own death unwind: the dead process
+				// exits normally as far as the engine is concerned. Kills
+				// delivered by the quiescence detector (Engine.Fail) unwind
+				// without passing an op boundary, so the death bookkeeping
+				// runs here — killRank is idempotent for the paths that
+				// already executed it in place.
+				defer func() {
+					if v := recover(); v != nil {
+						if _, died := v.(rankKilled); died {
+							w.killRank(r, r.proc.Now())
+							return
+						}
+						panic(v)
+					}
+				}()
+			}
 			body(r)
+			w.exited[r.rank] = true
 		})
 	}
 	return w.wrapRunError(w.engine.Run())

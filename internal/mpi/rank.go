@@ -33,6 +33,9 @@ type Rank struct {
 	// the blocking op the watchdog names in a deadlock diagnosis.
 	noise   *fault.RankNoise
 	pending pendingOp
+	// agreeing marks a park inside a Shrink/Agree round, which the
+	// quiescence failure detector must not fail (see World.onQuiesce).
+	agreeing bool
 	// matchSrc/matchTag parameterize matchFn, the rank's reusable receive
 	// predicate (see match) — one closure per rank instead of one per
 	// blocking receive or probe.
@@ -225,6 +228,10 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: Isend to rank %d in world of %d", dst, r.Size()))
 	}
+	if r.world.hasKills {
+		r.checkSelfKill()
+		r.checkPeerDead("send", dst)
+	}
 	if r.noise != nil {
 		r.chargeNoise()
 	}
@@ -415,6 +422,10 @@ func (r *Rank) Waitall(reqs ...*Request) {
 // copy-out costs for eager paths, the mechanism's single-copy cost for
 // intranode rendezvous, and truncation checking throughout.
 func (r *Rank) completeRecv(q *Request) {
+	if r.world.hasKills {
+		r.checkSelfKill()
+		r.checkPeerDead("recv", q.src) // AnySource (-1) never fails fast
+	}
 	if r.noise != nil {
 		r.chargeNoise()
 	}
@@ -497,6 +508,10 @@ type Status struct {
 func (r *Rank) Probe(src, tag int) Status {
 	if src != AnySource && (src < 0 || src >= r.Size()) {
 		panic(fmt.Sprintf("mpi: Probe from rank %d in world of %d", src, r.Size()))
+	}
+	if r.world.hasKills {
+		r.checkSelfKill()
+		r.checkPeerDead("probe", src)
 	}
 	if r.noise != nil {
 		r.chargeNoise()

@@ -1,0 +1,488 @@
+package mpi
+
+// ULFM-style fault tolerance: permanent fail-stop rank death, failure
+// detection, and the recovery primitives (Comm.Revoke, Comm.Shrink,
+// Comm.Agree) modeled on MPI's User-Level Failure Mitigation proposal.
+//
+// Failure model. A fault.KillRank/KillNode spec declares that a rank dies
+// permanently at a virtual time. Death is cooperative fail-stop: the rank
+// stops at its next operation boundary (op entry or resumption from a
+// blocking wait) at or after its kill time — a rank mid-computation finishes
+// the computation first, exactly like a real process that only observes
+// signals at cancellation points. A dead rank's fabric endpoint drops all
+// traffic and its process unwinds and exits; it sends nothing ever again.
+//
+// Detection. Two paths, both yielding *ProcFailedError:
+//
+//   - Fail-fast at op entry: an operation naming a peer already known dead
+//     (send, receive or probe with a concrete source) fails immediately.
+//   - Quiescence backstop: an operation blocked on traffic that a death made
+//     unsatisfiable is failed by the world's quiescence handler — when the
+//     event queue drains with processes parked, pending kills are delivered
+//     first, then every blocked rank is failed with a typed error naming the
+//     dead peer. Detection latency on this path is "until global
+//     quiescence": the error's DetectedAt is the virtual time the simulation
+//     wedged, which is when a real runtime's failure detector would be the
+//     only source of progress too.
+//
+// Both paths unwind the blocked operation as a panic; Try converts the
+// unwind into an error return, and World.Run converts an unhandled unwind
+// into the same typed error. Buffer-state contract: when an operation
+// returns ProcFailedError, the caller's receive buffers are in an undefined
+// intermediate state; survivor ranks must re-run the operation on a shrunk
+// communicator to obtain defined results (see internal/recover).
+//
+// Recovery. Comm.Shrink and Comm.Agree are built on monotone shared state
+// (the PiP shared address space the simulated runtime already assumes):
+// each round keeps per-member arrival flags, completes when every member
+// has either arrived or died, and is re-checked on every death — so late
+// deaths can complete a round, retries are idempotent, and the primitives
+// themselves survive failures, as ULFM requires of MPI_Comm_agree.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// killNever is the kill-time sentinel for ranks the plan never kills.
+const killNever = simtime.Time(math.MaxInt64)
+
+// ProcFailedError reports that an MPI operation could not complete because a
+// participating rank died (MPI_ERR_PROC_FAILED). Rank is the dead peer;
+// DetectedAt is the virtual time the failure was detected — at op entry for
+// a peer already known dead, or at global quiescence for an operation the
+// death left blocked.
+type ProcFailedError struct {
+	Rank       int
+	DetectedAt simtime.Time
+}
+
+func (e *ProcFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed (detected at %v)", e.Rank, e.DetectedAt)
+}
+
+// RevokedError reports an operation on a communicator that a member revoked
+// (MPI_ERR_REVOKED).
+type RevokedError struct {
+	CommID uint64
+}
+
+func (e *RevokedError) Error() string {
+	return fmt.Sprintf("mpi: communicator %d revoked", e.CommID)
+}
+
+// rankKilled is the unwind token of the rank's own death. It propagates as a
+// panic through every frame of the dying rank (including async-helper
+// round trips) and is swallowed by the rank body wrapper in World.Run; it is
+// deliberately not an error — the dead rank has no caller to report to.
+type rankKilled struct{ rank int }
+
+// Try runs op and converts a ULFM failure unwind — *ProcFailedError or
+// *RevokedError — into an error return, leaving every other panic (including
+// the caller's own death) untouched. It is the boundary between the MPI
+// layer's panic-based error propagation (collectives have no error returns,
+// as in the standard) and recovery code that handles failures:
+//
+//	err := mpi.Try(func() { lib.Allreduce(r, buf, n) })
+//	var pf *mpi.ProcFailedError
+//	if errors.As(err, &pf) { ... shrink and retry ... }
+func Try(op func()) (err error) {
+	defer func() {
+		switch v := recover().(type) {
+		case nil:
+		case *ProcFailedError:
+			err = v
+		case *RevokedError:
+			err = v
+		default:
+			panic(v)
+		}
+	}()
+	op()
+	return nil
+}
+
+// --- death bookkeeping ---------------------------------------------------
+
+// checkSelfKill dies if this rank's kill time has arrived (or the rank is
+// already marked dead — an async helper sharing the rank's identity may have
+// died first). Callers gate on w.hasKills so fault-free runs pay nothing.
+func (r *Rank) checkSelfKill() {
+	w := r.world
+	if w.dead[r.rank] {
+		panic(rankKilled{r.rank})
+	}
+	if w.killAt[r.rank] <= r.proc.Now() {
+		w.killRank(r, r.proc.Now())
+		panic(rankKilled{r.rank})
+	}
+}
+
+// checkPeerDead fails fast when an operation names a peer already known
+// dead. Callers gate on w.hasKills.
+func (r *Rank) checkPeerDead(op string, peer int) {
+	w := r.world
+	if peer < 0 || !w.dead[peer] {
+		return
+	}
+	now := r.proc.Now()
+	if w.rec != nil {
+		w.rec.FailureDetected(r.proc, op, peer, now, now)
+	}
+	panic(&ProcFailedError{Rank: peer, DetectedAt: now})
+}
+
+// killRank executes a rank's death in the dying process's own context:
+// membership state, the fabric endpoint, metrics, and any agreement rounds
+// the death completes. Idempotent — async helper copies of a dead rank
+// re-enter with the rank already marked.
+func (w *World) killRank(r *Rank, at simtime.Time) {
+	if w.dead[r.rank] {
+		return
+	}
+	w.dead[r.rank] = true
+	w.deadAt[r.rank] = at
+	w.deadCount++
+	w.fab.KillEndpoint(r.ep)
+	if p := w.procs[r.rank]; p != nil {
+		p.MarkDead()
+	}
+	if w.rec != nil {
+		w.rec.ProcKilled(r.proc, r.rank, at)
+	}
+	// A death can complete pending Shrink/Agree rounds: the dead member
+	// will never arrive, so rounds waiting only on it publish now, from
+	// this (still-running) process's context.
+	for _, rd := range w.rounds {
+		w.tryPublish(rd, r.proc)
+	}
+}
+
+// Dead reports whether a world rank has died.
+func (w *World) Dead(rank int) bool { return w.dead[rank] }
+
+// DeadRanks returns the world ranks that have died, ascending.
+func (w *World) DeadRanks() []int {
+	var out []int
+	for rank, d := range w.dead {
+		if d {
+			out = append(out, rank)
+		}
+	}
+	return out
+}
+
+// --- quiescence failure detector -----------------------------------------
+
+// onQuiesce is the engine's quiescence handler (installed only when the
+// fault plan kills somebody): the event queue has drained with processes
+// still parked, so nothing can progress without intervention. In priority
+// order it (1) delivers kills already due to parked ranks — a rank blocked
+// past its kill time dies in place; (2) once deaths exist, fails every
+// parked process not waiting inside a Shrink/Agree round with a typed
+// ProcFailedError naming a dead peer; (3) if only agreement waiters remain,
+// fails those too — their round is missing a member that exited without
+// calling, and can never complete; (4) with nothing due and nobody
+// detectable, jumps the clock to the earliest future kill — only that one,
+// so staggered kill plans produce staggered recoveries rather than one
+// collapsed mass failure. A firing budget bounds the handler against
+// livelock; exhausting it falls through to the deadlock report.
+func (w *World) onQuiesce(at simtime.Time) bool {
+	if w.fdBudget <= 0 {
+		return false
+	}
+	acted := false
+
+	// (1) Kills already due: a parked rank whose kill time is at or before
+	// the wedge dies now. The death executes in the rank's own context when
+	// its unwind reaches the body wrapper.
+	w.engine.ForEachParked(func(p *simtime.Proc) {
+		rank := p.ID()
+		if rank >= len(w.ranks) || w.dead[rank] || w.killAt[rank] == killNever {
+			return
+		}
+		if w.killAt[rank] > at {
+			return // future kill: last resort only, phase (4)
+		}
+		w.engine.Fail(p, rankKilled{rank}, at)
+		acted = true
+	})
+	if acted {
+		w.fdBudget--
+		return true
+	}
+
+	if w.deadCount > 0 {
+		// (2) Fail blocked processes outside agreement rounds.
+		fail := func(p *simtime.Proc) {
+			peer := w.blockedOnDead(p)
+			if w.rec != nil {
+				w.rec.FailureDetected(p, "blocked", peer, p.Now(), at)
+			}
+			w.engine.Fail(p, &ProcFailedError{Rank: peer, DetectedAt: at}, at)
+			acted = true
+		}
+		w.engine.ForEachParked(func(p *simtime.Proc) {
+			if rank := p.ID(); rank < len(w.ranks) && w.ranks[rank].agreeing {
+				return
+			}
+			fail(p)
+		})
+		if acted {
+			w.fdBudget--
+			return true
+		}
+
+		// (3) Only agreement waiters remain, and no death or arrival is
+		// coming: their rounds can never complete (a member exited without
+		// calling).
+		w.engine.ForEachParked(fail)
+		if acted {
+			w.fdBudget--
+			return true
+		}
+	}
+
+	// (4) Nothing is due and nobody is detectably stuck: the wedge can only
+	// be broken by a kill still in the future. Advance to the earliest one.
+	next := killNever
+	w.engine.ForEachParked(func(p *simtime.Proc) {
+		rank := p.ID()
+		if rank >= len(w.ranks) || w.dead[rank] || w.killAt[rank] == killNever {
+			return
+		}
+		if w.killAt[rank] < next {
+			next = w.killAt[rank]
+		}
+	})
+	if next == killNever {
+		return false // wedged for reasons other than death: plain deadlock
+	}
+	w.engine.ForEachParked(func(p *simtime.Proc) {
+		rank := p.ID()
+		if rank >= len(w.ranks) || w.dead[rank] || w.killAt[rank] != next {
+			return
+		}
+		w.engine.Fail(p, rankKilled{rank}, simtime.MaxTime(at, next))
+		acted = true
+	})
+	if acted {
+		w.fdBudget--
+	}
+	return acted
+}
+
+// blockedOnDead picks the dead rank to blame in a detection error: the peer
+// the process is known to wait on when that peer is dead, else the lowest
+// dead rank.
+func (w *World) blockedOnDead(p *simtime.Proc) int {
+	if on := p.WaitsOn(); on >= 0 && on < len(w.dead) && w.dead[on] {
+		return on
+	}
+	for rank, d := range w.dead {
+		if d {
+			return rank
+		}
+	}
+	return -1 // unreachable: callers check deadCount > 0
+}
+
+// --- fault-tolerant agreement and shrink ---------------------------------
+
+// Round kinds.
+const (
+	roundShrink = byte('S')
+	roundAgree  = byte('A')
+)
+
+// roundKey identifies one agreement round: all members of a communicator
+// call Shrink/Agree in the same order (MPI collective semantics), so the
+// per-rank call counters stay in lockstep and the key names the same round
+// everywhere, across retries included.
+type roundKey struct {
+	comm uint64
+	kind byte
+	seq  uint64
+}
+
+// ftRound is the world-shared state of one Shrink/Agree round. Monotone by
+// construction: arrivals and deaths only add information, and the round
+// publishes exactly once, when every member has either arrived or died.
+type ftRound struct {
+	kind      byte
+	members   []int  // world ranks, comm order
+	arrived   []bool // by member index
+	value     uint64 // AND over arrived contributions (Agree rounds)
+	flag      simtime.Flag
+	complete  bool
+	anyDead   bool
+	survivors []int  // members alive at publish time, comm order
+	newID     uint64 // fresh communicator id (Shrink rounds)
+}
+
+// round returns (creating on first arrival) the shared round state for key.
+func (w *World) round(key roundKey, members []int) *ftRound {
+	if w.rounds == nil {
+		w.rounds = make(map[roundKey]*ftRound)
+	}
+	rd := w.rounds[key]
+	if rd == nil {
+		rd = &ftRound{
+			kind:    key.kind,
+			members: members,
+			arrived: make([]bool, len(members)),
+			value:   ^uint64(0),
+		}
+		w.rounds[key] = rd
+	}
+	return rd
+}
+
+// tryPublish completes a round whose every member has arrived or died: it
+// fixes the survivor list and agreed value, draws the shrunk communicator's
+// id, and wakes the waiters. p provides the publishing context's clock —
+// the last arriver, or a dying rank whose death completed the round.
+func (w *World) tryPublish(rd *ftRound, p *simtime.Proc) {
+	if rd.complete {
+		return
+	}
+	for i, m := range rd.members {
+		if !rd.arrived[i] && !w.dead[m] {
+			return
+		}
+	}
+	rd.complete = true
+	for _, m := range rd.members {
+		if w.dead[m] {
+			rd.anyDead = true
+		} else {
+			rd.survivors = append(rd.survivors, m)
+		}
+	}
+	if rd.kind == roundShrink {
+		rd.newID = w.nextCommID()
+	}
+	rd.flag.Set(p, nil)
+}
+
+// arrive records this rank's contribution to a round and blocks until the
+// round publishes. The wait is marked so the quiescence detector leaves it
+// alone: it completes through other members' arrivals or deaths, never
+// through traffic.
+func (c *Comm) arrive(name string, rd *ftRound, contrib uint64) {
+	r := c.r
+	w := r.world
+	if w.hasKills {
+		r.checkSelfKill()
+	}
+	if !rd.arrived[c.me] {
+		rd.arrived[c.me] = true
+		rd.value &= contrib
+		// Charge the agreement protocol's shared-state cost: one flag post
+		// plus a visibility latency per member.
+		r.env.Shm().Agreement(r.proc, len(rd.members))
+		w.tryPublish(rd, r.proc)
+	}
+	r.agreeing = true
+	r.setPending(name, -1, -1)
+	rd.flag.Wait(r.proc)
+	r.clearPending()
+	r.agreeing = false
+}
+
+// Agree is fault-tolerant agreement (MPI_Comm_agree): every living member
+// contributes a value; the call returns the bitwise AND of the contributions
+// that arrived, with ok false when any member died before contributing (its
+// contribution is simply absent, as in ULFM). Agree itself survives
+// failures: a member dying mid-round completes the round rather than
+// wedging it. Members must call Agree (and Shrink) in the same order.
+func (c *Comm) Agree(contrib uint64) (value uint64, ok bool) {
+	c.agrees++
+	rd := c.r.world.round(roundKey{comm: c.id, kind: roundAgree, seq: c.agrees}, c.WorldRanks())
+	c.arrive("agree", rd, contrib)
+	return rd.value, !rd.anyDead
+}
+
+// Shrink builds a dense communicator of this communicator's survivors
+// (MPI_Comm_shrink): members are the ranks alive when the round published,
+// in the original comm order, with fresh contiguous comm ranks and a fresh
+// communicator id agreed by all callers. Node-leader structure is re-derived
+// from the result via NodeLeaders. A member that dies after the round
+// publishes is still in the result — callers detecting a failure on the
+// shrunk communicator shrink again (the recovery loop in internal/recover
+// does exactly this).
+func (c *Comm) Shrink() *Comm {
+	c.shrinks++
+	w := c.r.world
+	rd := w.round(roundKey{comm: c.id, kind: roundShrink, seq: c.shrinks}, c.WorldRanks())
+	c.arrive("shrink", rd, 0)
+	me := -1
+	for i, m := range rd.survivors {
+		if m == c.r.rank {
+			me = i
+		}
+	}
+	if me < 0 {
+		// Declared dead but still running: impossible for world ranks (a
+		// dead rank unwinds before returning from arrive).
+		panic(rankKilled{c.r.rank})
+	}
+	if w.rec != nil {
+		w.rec.Metrics().Counter("mpi.shrinks").Add(1)
+	}
+	return &Comm{r: c.r, ranks: append([]int(nil), rd.survivors...), me: me, id: rd.newID}
+}
+
+// Revoke marks the communicator revoked: every subsequent collective on it
+// (any caller drawing a tag window) fails with *RevokedError. Revocation
+// here is advisory and fail-fast rather than interrupting — operations
+// already blocked are completed or failed by the failure detector, not by
+// the revocation. Revoking the world communicator revokes every
+// world-scoped communicator handle (they share id 0).
+func (c *Comm) Revoke() {
+	w := c.r.world
+	if w.revoked == nil {
+		w.revoked = make(map[uint64]bool)
+	}
+	w.revoked[c.id] = true
+}
+
+// Revoked reports whether Revoke has been called on this communicator.
+func (c *Comm) Revoked() bool {
+	w := c.r.world
+	return w.revoked != nil && w.revoked[c.id]
+}
+
+// checkRevoked panics with *RevokedError when the communicator is revoked;
+// NextWindow calls it so every collective fails fast.
+func (c *Comm) checkRevoked() {
+	if c.Revoked() {
+		panic(&RevokedError{CommID: c.id})
+	}
+}
+
+// NodeLeaders re-derives the node-leader topology of the communicator:
+// for each node hosting at least one member, the node's leader is its
+// lowest comm rank. The result is ordered by node id — the structure the
+// hierarchical (leader-based) algorithms rebuild after a Shrink changes
+// membership.
+func (c *Comm) NodeLeaders() []int {
+	leaders := make(map[int]int)
+	var nodes []int
+	for cr, wr := range c.WorldRanks() {
+		node, _ := c.r.world.cluster.Place(wr)
+		if _, ok := leaders[node]; !ok {
+			leaders[node] = cr
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Ints(nodes)
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = leaders[n]
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
+)
+
+// killWorld builds a world whose fault plan kills the given ranks at the
+// given virtual times.
+func killWorld(t *testing.T, nodes, ppn int, kills ...fault.KillRank) *World {
+	t.Helper()
+	return newWorld(t, nodes, ppn, func(cfg *Config) {
+		cfg.Faults = fault.MustNew(fault.Spec{KillRanks: kills})
+	})
+}
+
+// TestKillRankSendFailsFast: sending to a rank already dead fails at op
+// entry with the typed error, not a deadlock.
+func TestKillRankSendFailsFast(t *testing.T) {
+	w := killWorld(t, 2, 1, fault.KillRank{Rank: 1, At: 0})
+	var got error
+	err := w.Run(func(r *Rank) {
+		if r.Rank() != 0 {
+			// Rank 1 dies at its first op boundary; give it one.
+			r.Proc().Sleep(simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8)) // never executes: dies at entry
+			return
+		}
+		r.Proc().Sleep(10 * simtime.Microsecond) // let rank 1 die first
+		got = Try(func() { r.Send(1, 1, make([]byte, 8)) })
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	var pf *ProcFailedError
+	if !errors.As(got, &pf) || pf.Rank != 1 {
+		t.Fatalf("want ProcFailedError{Rank:1}, got %v", got)
+	}
+	if !w.Dead(1) || w.Dead(0) {
+		t.Fatalf("dead set wrong: %v", w.DeadRanks())
+	}
+}
+
+// TestKillRankRecvDetectedAtQuiescence: a receive blocked on a rank that
+// dies later is failed by the quiescence detector with the typed error —
+// the case that used to be a watchdog deadlock.
+func TestKillRankRecvDetectedAtQuiescence(t *testing.T) {
+	kill := simtime.Time(5 * simtime.Microsecond)
+	w := killWorld(t, 2, 1, fault.KillRank{Rank: 1, At: kill})
+	var got error
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Proc().Sleep(10 * simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8)) // dies at entry instead
+			return
+		}
+		buf := make([]byte, 8)
+		got = Try(func() { r.Recv(1, 1, buf) })
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	var pf *ProcFailedError
+	if !errors.As(got, &pf) {
+		t.Fatalf("want ProcFailedError, got %v", got)
+	}
+	if pf.Rank != 1 {
+		t.Fatalf("wrong dead peer %d", pf.Rank)
+	}
+	if pf.DetectedAt < kill {
+		t.Fatalf("detected at %v, before the kill at %v", pf.DetectedAt, kill)
+	}
+}
+
+// TestKillDeliveredWhileBlocked: the rank is parked inside an operation when
+// its kill time passes — the quiescence detector delivers the death into the
+// blocked wait (no op boundary is ever reached) and the peer still gets the
+// typed error, not a deadlock.
+func TestKillDeliveredWhileBlocked(t *testing.T) {
+	kill := simtime.Time(5 * simtime.Microsecond)
+	w := killWorld(t, 2, 1, fault.KillRank{Rank: 1, At: kill})
+	var got error
+	err := w.Run(func(r *Rank) {
+		buf := make([]byte, 8)
+		if r.Rank() == 1 {
+			r.Recv(0, 1, buf) // blocks forever; dies in place at 5us
+			return
+		}
+		got = Try(func() { r.Recv(1, 1, buf) })
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	var pf *ProcFailedError
+	if !errors.As(got, &pf) || pf.Rank != 1 {
+		t.Fatalf("want ProcFailedError{Rank:1}, got %v", got)
+	}
+	if pf.DetectedAt < kill {
+		t.Fatalf("detected at %v, before the kill at %v", pf.DetectedAt, kill)
+	}
+	if !w.Dead(1) {
+		t.Fatal("blocked-kill path did not execute death bookkeeping")
+	}
+	if len(w.DeadRanks()) != 1 {
+		t.Fatalf("dead ranks %v", w.DeadRanks())
+	}
+}
+
+// TestKillUnhandledEscapesAsTypedError: without a Try, the detection unwinds
+// the rank body and World.Run returns the typed error itself.
+func TestKillUnhandledEscapesAsTypedError(t *testing.T) {
+	w := killWorld(t, 2, 1, fault.KillRank{Rank: 1, At: 0})
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Proc().Sleep(simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8))
+			return
+		}
+		r.Recv(1, 1, make([]byte, 8))
+	})
+	var pf *ProcFailedError
+	if !errors.As(err, &pf) || pf.Rank != 1 {
+		t.Fatalf("want ProcFailedError{Rank:1} from Run, got %v", err)
+	}
+}
+
+// TestKillNodeKillsAllItsRanks: a node death kills every rank placed on it.
+func TestKillNodeKillsAllItsRanks(t *testing.T) {
+	w := newWorld(t, 2, 2, func(cfg *Config) {
+		cfg.Faults = fault.MustNew(fault.Spec{KillNodes: []fault.KillNode{{Node: 1, At: 0}}})
+	})
+	var got error
+	err := w.Run(func(r *Rank) {
+		if r.Node() == 1 {
+			r.Proc().Sleep(simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8))
+			return
+		}
+		if r.Rank() == 0 {
+			r.Proc().Sleep(10 * simtime.Microsecond)
+			got = Try(func() { r.Recv(2, 1, make([]byte, 8)) })
+		}
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	var pf *ProcFailedError
+	if !errors.As(got, &pf) || pf.Rank != 2 {
+		t.Fatalf("want ProcFailedError{Rank:2}, got %v", got)
+	}
+	if !reflect.DeepEqual(w.DeadRanks(), []int{2, 3}) {
+		t.Fatalf("dead ranks %v, want [2 3] (node 1)", w.DeadRanks())
+	}
+}
+
+// TestShrinkRebuildsDenseComm: after a death, Shrink yields a dense
+// communicator of the survivors with re-derived node leaders, agreed across
+// all callers.
+func TestShrinkRebuildsDenseComm(t *testing.T) {
+	w := newWorld(t, 2, 2, nil) // ranks 0,1 on node 0; 2,3 on node 1
+	// No fault plan: mark rank 1 dead by hand through the kill path to test
+	// Shrink in isolation from detection.
+	w.hasKills = true
+	var mu []string
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			w.killRank(r, r.Now())
+			return // dead: never calls Shrink
+		}
+		nc := WorldComm(r).Shrink()
+		mu = append(mu, fmt.Sprintf("r%d:me=%d size=%d members=%v leaders=%v",
+			r.Rank(), nc.Rank(), nc.Size(), nc.WorldRanks(), nc.NodeLeaders()))
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	want := []string{
+		"r0:me=0 size=3 members=[0 2 3] leaders=[0 1]",
+		"r2:me=1 size=3 members=[0 2 3] leaders=[0 1]",
+		"r3:me=2 size=3 members=[0 2 3] leaders=[0 1]",
+	}
+	sort.Strings(mu)
+	if !reflect.DeepEqual(mu, want) {
+		t.Fatalf("shrink results:\n got %v\nwant %v", mu, want)
+	}
+}
+
+// TestAgreeSurvivesFailure: a member dying mid-round completes the round for
+// the survivors instead of wedging it; the agreed value ANDs only the
+// arrived contributions and ok reports the death.
+func TestAgreeSurvivesFailure(t *testing.T) {
+	w := killWorld(t, 2, 2, fault.KillRank{Rank: 3, At: 0})
+	type res struct {
+		val uint64
+		ok  bool
+	}
+	got := map[int]res{}
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 3 {
+			r.Proc().Sleep(simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8)) // dies here, before agreeing
+			return
+		}
+		v, ok := WorldComm(r).Agree(1)
+		got[r.Rank()] = res{v, ok}
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	for _, rank := range []int{0, 1, 2} {
+		if got[rank] != (res{1, false}) {
+			t.Fatalf("rank %d agreed %+v, want {1 false}", rank, got[rank])
+		}
+	}
+}
+
+// TestAgreeAllAlive: with nobody dead, Agree is a plain AND with ok=true.
+func TestAgreeAllAlive(t *testing.T) {
+	w := newWorld(t, 2, 2, nil)
+	run(t, w, func(r *Rank) {
+		contrib := uint64(1)
+		if r.Rank() == 2 {
+			contrib = 0 // one dissenter
+		}
+		v, ok := WorldComm(r).Agree(contrib)
+		if v != 0 || !ok {
+			panic(fmt.Sprintf("rank %d: agree = (%d, %v), want (0, true)", r.Rank(), v, ok))
+		}
+	})
+}
+
+// TestRevokeFailsFast: collectives on a revoked communicator fail with
+// RevokedError at the next tag-window draw.
+func TestRevokeFailsFast(t *testing.T) {
+	w := newWorld(t, 2, 1, nil)
+	run(t, w, func(r *Rank) {
+		c := WorldComm(r)
+		c.Revoke()
+		if !c.Revoked() {
+			panic("comm not revoked")
+		}
+		err := Try(func() { c.NextWindow() })
+		var re *RevokedError
+		if !errors.As(err, &re) {
+			panic(fmt.Sprintf("want RevokedError, got %v", err))
+		}
+	})
+}
+
+// TestDeadlockErrorFormat pins the diagnosis format: virtual wedge time and
+// the dead-peer annotation (satellite: DeadlockError bugfix).
+func TestDeadlockErrorFormat(t *testing.T) {
+	// A plain deadlock first: rank 0 waits forever on rank 1, which exited.
+	w := newWorld(t, 2, 1, nil)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(1, 7, make([]byte, 8))
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	msg := de.Error()
+	want := fmt.Sprintf("mpi: deadlock at %v, 1 rank(s) blocked: rank0 blocked in recv (src=1, tag=7) since %v, waits on rank 1 (exited)",
+		de.At, de.Blocked[0].Since)
+	if msg != want {
+		t.Fatalf("deadlock message:\n got %q\nwant %q", msg, want)
+	}
+	if !de.Blocked[0].PeerExited || de.Blocked[0].PeerDead {
+		t.Fatalf("peer annotation wrong: %+v", de.Blocked[0])
+	}
+
+	// Dead-peer annotation: rank 0 is already blocked (its entry check saw a
+	// live peer) when rank 1 dies at its sleep-resume op boundary; with the
+	// detector budget forced to zero the wedge surfaces as the raw diagnosed
+	// deadlock, annotated with the peer's death.
+	w = killWorld(t, 2, 1, fault.KillRank{Rank: 1, At: 0})
+	w.fdBudget = 0
+	err = w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Proc().Sleep(simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8)) // unreached: dies at sleep resume
+			return
+		}
+		r.Recv(1, 9, make([]byte, 8))
+	})
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError with detector disabled, got %v", err)
+	}
+	if !strings.HasPrefix(de.Error(), fmt.Sprintf("mpi: deadlock at %v, ", de.At)) {
+		t.Fatalf("missing wedge time: %q", de.Error())
+	}
+	if !strings.Contains(de.Error(), "waits on rank 1 (dead)") {
+		t.Fatalf("missing dead-peer annotation: %q", de.Error())
+	}
+}
+
+// TestShrinkAgainAfterSecondDeath: the recovery idiom — a member dying after
+// a shrink publishes leaves it in the shrunk comm; shrinking again drops it.
+func TestShrinkAgainAfterSecondDeath(t *testing.T) {
+	w := killWorld(t, 2, 2,
+		fault.KillRank{Rank: 1, At: 0},
+		fault.KillRank{Rank: 2, At: simtime.Time(40 * simtime.Microsecond)})
+	sizes := map[int][]int{}
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Proc().Sleep(simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8))
+			return
+		}
+		c := WorldComm(r).Shrink() // drops rank 1 (needs its death first —
+		// rank 1 dies at its op entry at 1µs; callers arriving earlier wait)
+		sizes[r.Rank()] = append(sizes[r.Rank()], c.Size())
+		if r.Rank() == 2 {
+			r.Proc().Sleep(50 * simtime.Microsecond)
+			r.Send(0, 1, make([]byte, 8)) // dies here (kill at 40µs)
+			return
+		}
+		c2 := c.Shrink() // rank 2 never arrives; its death completes the round
+		sizes[r.Rank()] = append(sizes[r.Rank()], c2.Size())
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	if !reflect.DeepEqual(sizes[0], []int{3, 2}) || !reflect.DeepEqual(sizes[3], []int{3, 2}) {
+		t.Fatalf("shrink sizes: %v", sizes)
+	}
+}
+
+// TestKillPlanDeterminism: two runs from the same spec produce identical
+// horizons, dead sets and detection errors.
+func TestKillPlanDeterminism(t *testing.T) {
+	runOnce := func() (simtime.Time, []int, string) {
+		w := killWorld(t, 2, 2, fault.KillRank{Rank: 2, At: simtime.Time(3 * simtime.Microsecond)})
+		errs := map[int]string{}
+		if err := w.Run(func(r *Rank) {
+			if r.Rank() == 2 {
+				r.Proc().Sleep(5 * simtime.Microsecond)
+				r.Send(0, 1, make([]byte, 8))
+				return
+			}
+			if e := Try(func() { r.Recv(2, 1, make([]byte, 64)) }); e != nil {
+				errs[r.Rank()] = e.Error()
+			}
+		}); err != nil {
+			t.Fatalf("world run: %v", err)
+		}
+		return w.Horizon(), w.DeadRanks(), fmt.Sprint(errs)
+	}
+	h1, d1, e1 := runOnce()
+	h2, d2, e2 := runOnce()
+	if h1 != h2 || !reflect.DeepEqual(d1, d2) || e1 != e2 {
+		t.Fatalf("nondeterministic: (%v %v %q) vs (%v %v %q)", h1, d1, e1, h2, d2, e2)
+	}
+}
+
+// TestNodeLeadersWorld: leader derivation on the intact world communicator.
+func TestNodeLeadersWorld(t *testing.T) {
+	w := newWorld(t, 3, 2, nil)
+	run(t, w, func(r *Rank) {
+		got := WorldComm(r).NodeLeaders()
+		if !reflect.DeepEqual(got, []int{0, 2, 4}) {
+			panic(fmt.Sprintf("leaders %v", got))
+		}
+	})
+}
+
+// TestKillSpecValidate: nonsense kill specs are refused.
+func TestKillSpecValidate(t *testing.T) {
+	if err := (fault.Spec{KillRanks: []fault.KillRank{{Rank: -1}}}).Validate(); err == nil {
+		t.Fatal("negative kill rank accepted")
+	}
+	if err := (fault.Spec{KillNodes: []fault.KillNode{{Node: 0, At: -1}}}).Validate(); err == nil {
+		t.Fatal("negative kill time accepted")
+	}
+	// Kill sections append to the plan fingerprint (cache-key fragment).
+	p := fault.MustNew(fault.Spec{KillRanks: []fault.KillRank{{Rank: 3, At: simtime.Time(simtime.Microsecond)}}})
+	if s := p.String(); !strings.Contains(s, "kill(r3@1us)") {
+		t.Fatalf("fingerprint misses kill: %q", s)
+	}
+	if p2 := fault.MustNew(fault.Spec{}); strings.Contains(p2.String(), "kill") {
+		t.Fatalf("kill-free fingerprint mentions kill: %q", p2.String())
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Failure-model metric names, shared by the MPI layer and the recovery
+// loop so dashboards and tests agree on spelling.
+const (
+	// MetricProcKilled counts permanent fail-stop rank deaths executed by
+	// the fault plan.
+	MetricProcKilled = "fault.proc_killed"
+	// MetricFailuresDetected counts blocking operations completed with a
+	// ProcFailedError instead of their normal result.
+	MetricFailuresDetected = "fault.failures_detected"
+	// MetricRecoverShrinks counts communicator shrinks performed by the
+	// recovery loop.
+	MetricRecoverShrinks = "recover.shrinks"
+	// MetricRecoverRetries counts collective re-executions performed by the
+	// recovery loop (successful first attempts count zero).
+	MetricRecoverRetries = "recover.retries"
+)
+
+// ProcKilled records one permanent rank death: the counter always, plus an
+// instantaneous span on the process's track in full-recorder runs so the
+// death is visible in the trace next to the operations it cuts short.
+func (r *Recorder) ProcKilled(p *simtime.Proc, rank int, at simtime.Time) {
+	r.Metrics().Counter(MetricProcKilled).Add(1)
+	if !r.Lite() {
+		r.ProcSpan(p, fmt.Sprintf("rank %d killed", rank), "fault-kill", at, at)
+	}
+}
+
+// FailureDetected records one failure detection on the detecting process's
+// track: op is the blocked operation ("recv", "allreduce", ...), peer the
+// dead rank it was waiting on, and [start, end] the interval between the op's
+// start and the detection.
+func (r *Recorder) FailureDetected(p *simtime.Proc, op string, peer int, start, end simtime.Time) {
+	r.Metrics().Counter(MetricFailuresDetected).Add(1)
+	if !r.Lite() {
+		r.ProcSpan(p, fmt.Sprintf("%s: rank %d failed", op, peer), "fault-detect", start, end,
+			KV{K: "peer", V: fmt.Sprint(peer)})
+	}
+}

@@ -1,0 +1,106 @@
+// Package recover is the self-healing layer over the ULFM primitives: it
+// turns a collective that may fail with *mpi.ProcFailedError (a member died)
+// or *mpi.RevokedError (the communicator was revoked) into a loop that
+// shrinks the communicator to the survivors and re-executes until the
+// operation succeeds everywhere or a retry budget runs out — the standard
+// ULFM recovery idiom (detect → agree → shrink → redo).
+//
+// The loop is itself a collective: every living member of the communicator
+// must call RunWithRecovery with the same operation and the same budget, and
+// the operation must be re-runnable from its original inputs (the buffer-state
+// contract in internal/core leaves receive buffers undefined after a failure,
+// so each attempt must rebuild its outputs from the original send data).
+package recover
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// Stats counts the work one caller's recovery loop performed.
+type Stats struct {
+	// Attempts is the number of times op ran (>= 1).
+	Attempts int
+	// Shrinks is the number of communicator shrinks (== Attempts-1 unless the
+	// budget ran out after a shrink).
+	Shrinks int
+}
+
+// ExhaustedError reports a recovery loop that ran out of retries with the
+// operation still failing somewhere.
+type ExhaustedError struct {
+	// Attempts is how many times the operation ran.
+	Attempts int
+	// Last is this caller's error from the final attempt; nil when the local
+	// attempt succeeded but the agreement reported a failure elsewhere.
+	Last error
+}
+
+func (e *ExhaustedError) Error() string {
+	if e.Last == nil {
+		return fmt.Sprintf("recover: %d attempt(s) exhausted, last failure on another rank", e.Attempts)
+	}
+	return fmt.Sprintf("recover: %d attempt(s) exhausted, last failure: %v", e.Attempts, e.Last)
+}
+
+// RunWithRecovery runs op over comm, and on failure shrinks the communicator
+// and re-runs op on the survivors until one attempt succeeds on every living
+// member or maxRetries re-executions have been spent. It returns the
+// communicator of the last attempt — the one op succeeded on, which callers
+// use for any follow-up work (its membership is the surviving world ranks).
+//
+// Success is global, decided with fault-tolerant agreement: after each
+// attempt every member contributes 1 if its local op returned nil, and the
+// attempt stands only when the agreed AND is 1 with every member alive —
+// a member succeeding locally while another died or failed re-runs too, so
+// all survivors stay in lockstep (same attempt count, same final comm).
+//
+// op may report failure either by returning the error (the Try* wrappers in
+// internal/core and internal/libs) or by letting the typed failure panic
+// escape (raw collectives); both are treated identically. A caller's own
+// death is not handled here — it unwinds through RunWithRecovery like any
+// other frame of the dying rank.
+func RunWithRecovery(comm *mpi.Comm, op func(*mpi.Comm) error, maxRetries int) (*mpi.Comm, Stats, error) {
+	if comm == nil {
+		panic("recover: nil communicator")
+	}
+	if maxRetries < 0 {
+		panic(fmt.Sprintf("recover: negative retry budget %d", maxRetries))
+	}
+	w := comm.World().World()
+	var stats Stats
+	cur := comm
+	for {
+		var localErr error
+		tryErr := mpi.Try(func() { localErr = op(cur) })
+		if localErr == nil {
+			localErr = tryErr
+		}
+		stats.Attempts++
+
+		contrib := uint64(1)
+		if localErr != nil {
+			contrib = 0
+		}
+		value, allAlive := cur.Agree(contrib)
+		if value == 1 && allAlive {
+			return cur, stats, nil
+		}
+		if stats.Attempts > maxRetries {
+			return cur, stats, &ExhaustedError{Attempts: stats.Attempts, Last: localErr}
+		}
+
+		// Shrink to the survivors and redo. When the failure was a revocation
+		// (nobody dead), the membership is unchanged but the fresh
+		// communicator id sheds the revoked state, so the retry can succeed.
+		cur = cur.Shrink()
+		stats.Shrinks++
+		if rec := w.Recorder(); rec != nil {
+			m := rec.Metrics()
+			m.Counter(obs.MetricRecoverShrinks).Add(1)
+			m.Counter(obs.MetricRecoverRetries).Add(1)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package recover_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	screcover "repro/internal/recover"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// allreduceOp returns a recovery-friendly operation: each attempt rebuilds
+// its output from the original send data (the buffer-state contract) and
+// runs a comm-scoped allreduce over whatever communicator the loop passes.
+func allreduceOp(send, recv []byte) func(*mpi.Comm) error {
+	return func(c *mpi.Comm) error {
+		for i := range recv {
+			recv[i] = 0
+		}
+		return mpi.Try(func() {
+			coll.AllreduceRecDoubling(coll.CommView(c), send, recv, nums.Sum)
+		})
+	}
+}
+
+// serialSum builds the bit-exact serial reference over the given world ranks.
+func serialSum(payload int, ranks []int) []byte {
+	want := make([]byte, payload)
+	nums.Fill(want, ranks[0])
+	tmp := make([]byte, payload)
+	for _, wr := range ranks[1:] {
+		nums.Fill(tmp, wr)
+		nums.Sum.Combine(want, tmp)
+	}
+	return want
+}
+
+// TestRecoverAllreduceAfterRankDeath: a rank dies inside the first attempt;
+// the loop shrinks once and the survivors' re-run verifies bit-exact against
+// the serial reference over the final communicator's membership.
+func TestRecoverAllreduceAfterRankDeath(t *testing.T) {
+	const payload = 1 << 10
+	cfg := mpi.DefaultConfig()
+	cfg.Faults = fault.MustNew(fault.Spec{KillRanks: []fault.KillRank{{Rank: 1, At: 0}}})
+	w, err := mpi.NewWorld(topology.New(2, 2, topology.Block), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		stats   screcover.Stats
+		members []int
+		data    []byte
+	}
+	got := map[int]result{}
+	err = w.Run(func(r *mpi.Rank) {
+		send := make([]byte, payload)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, payload)
+		fc, stats, rerr := screcover.RunWithRecovery(mpi.WorldComm(r), allreduceOp(send, recv), 3)
+		if r.Rank() == 1 {
+			t.Errorf("rank 1 should have died inside the loop, got %v", rerr)
+			return
+		}
+		if rerr != nil {
+			t.Errorf("rank %d: recovery failed: %v", r.Rank(), rerr)
+			return
+		}
+		got[r.Rank()] = result{stats: stats, members: fc.WorldRanks(), data: append([]byte(nil), recv...)}
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("survivors reporting: %d, want 3", len(got))
+	}
+	want := serialSum(payload, []int{0, 2, 3})
+	for rank, res := range got {
+		if !reflect.DeepEqual(res.members, []int{0, 2, 3}) {
+			t.Fatalf("rank %d final comm %v, want [0 2 3]", rank, res.members)
+		}
+		if res.stats.Shrinks != 1 || res.stats.Attempts != 2 {
+			t.Fatalf("rank %d stats %+v, want 2 attempts / 1 shrink", rank, res.stats)
+		}
+		if !bytes.Equal(res.data, want) {
+			t.Fatalf("rank %d result differs from serial reference on survivors", rank)
+		}
+	}
+}
+
+// TestRecoverExhaustsBudget: with a zero retry budget the first failed
+// attempt surfaces as ExhaustedError on every survivor, in lockstep.
+func TestRecoverExhaustsBudget(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.Faults = fault.MustNew(fault.Spec{KillRanks: []fault.KillRank{{Rank: 3, At: 0}}})
+	w, err := mpi.NewWorld(topology.New(2, 2, topology.Block), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted := 0
+	err = w.Run(func(r *mpi.Rank) {
+		if r.Rank() == 3 {
+			send, recv := make([]byte, 64), make([]byte, 64)
+			screcover.RunWithRecovery(mpi.WorldComm(r), allreduceOp(send, recv), 0)
+			return // unreachable: dies inside
+		}
+		send, recv := make([]byte, 64), make([]byte, 64)
+		nums.Fill(send, r.Rank())
+		_, stats, rerr := screcover.RunWithRecovery(mpi.WorldComm(r), allreduceOp(send, recv), 0)
+		var ex *screcover.ExhaustedError
+		if !errors.As(rerr, &ex) {
+			panic(fmt.Sprintf("rank %d: want ExhaustedError, got %v", r.Rank(), rerr))
+		}
+		if ex.Attempts != 1 || stats.Attempts != 1 || stats.Shrinks != 0 {
+			panic(fmt.Sprintf("rank %d: stats %+v err %+v, want one attempt, no shrink", r.Rank(), stats, ex))
+		}
+		exhausted++
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	if exhausted != 3 {
+		t.Fatalf("%d survivors exhausted, want 3", exhausted)
+	}
+}
+
+// TestRecoverFromRevocation: a revoked communicator fails the first attempt
+// with RevokedError; the shrink (same members, fresh id) sheds the revoked
+// state and the retry succeeds with everyone still aboard.
+func TestRecoverFromRevocation(t *testing.T) {
+	const payload = 256
+	w, err := mpi.NewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialSum(payload, []int{0, 1, 2, 3})
+	err = w.Run(func(r *mpi.Rank) {
+		c := mpi.WorldComm(r)
+		c.Revoke()
+		send := make([]byte, payload)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, payload)
+		fc, stats, rerr := screcover.RunWithRecovery(c, allreduceOp(send, recv), 2)
+		if rerr != nil {
+			panic(fmt.Sprintf("rank %d: %v", r.Rank(), rerr))
+		}
+		if stats.Attempts != 2 || stats.Shrinks != 1 {
+			panic(fmt.Sprintf("rank %d: stats %+v, want 2 attempts / 1 shrink", r.Rank(), stats))
+		}
+		if fc.Size() != 4 {
+			panic(fmt.Sprintf("rank %d: shrunk to %d members, want all 4", r.Rank(), fc.Size()))
+		}
+		if !bytes.Equal(recv, want) {
+			panic(fmt.Sprintf("rank %d: result differs from serial reference", r.Rank()))
+		}
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+}
+
+// TestRecoverFaultFreeFastPath: with nothing failing the loop is one attempt,
+// no agreement surprises, no shrink.
+func TestRecoverFaultFreeFastPath(t *testing.T) {
+	const payload = 128
+	w, err := mpi.NewWorld(topology.New(2, 2, topology.Block), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialSum(payload, []int{0, 1, 2, 3})
+	err = w.Run(func(r *mpi.Rank) {
+		send := make([]byte, payload)
+		nums.Fill(send, r.Rank())
+		recv := make([]byte, payload)
+		fc, stats, rerr := screcover.RunWithRecovery(mpi.WorldComm(r), allreduceOp(send, recv), 3)
+		if rerr != nil || stats.Attempts != 1 || stats.Shrinks != 0 || fc.Size() != 4 {
+			panic(fmt.Sprintf("rank %d: stats %+v err %v", r.Rank(), stats, rerr))
+		}
+		if !bytes.Equal(recv, want) {
+			panic(fmt.Sprintf("rank %d: wrong result", r.Rank()))
+		}
+	})
+	if err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+}
+
+// TestRecoverDeterminism: the same kill spec produces the same horizon and
+// stats run over run.
+func TestRecoverDeterminism(t *testing.T) {
+	runOnce := func() (simtime.Time, screcover.Stats) {
+		cfg := mpi.DefaultConfig()
+		cfg.Faults = fault.MustNew(fault.Spec{KillRanks: []fault.KillRank{{Rank: 2, At: simtime.Time(2 * simtime.Microsecond)}}})
+		w, err := mpi.NewWorld(topology.New(2, 2, topology.Block), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s0 screcover.Stats
+		if err := w.Run(func(r *mpi.Rank) {
+			send, recv := make([]byte, 4096), make([]byte, 4096)
+			nums.Fill(send, r.Rank())
+			_, stats, rerr := screcover.RunWithRecovery(mpi.WorldComm(r), allreduceOp(send, recv), 4)
+			if r.Rank() == 0 {
+				if rerr != nil {
+					panic(rerr)
+				}
+				s0 = stats
+			}
+		}); err != nil {
+			t.Fatalf("world run: %v", err)
+		}
+		return w.Horizon(), s0
+	}
+	h1, s1 := runOnce()
+	h2, s2 := runOnce()
+	if h1 != h2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%v %+v) vs (%v %+v)", h1, s1, h2, s2)
+	}
+}

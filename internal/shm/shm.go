@@ -168,9 +168,10 @@ type Stats struct {
 	Bytes     int64
 	Reduces   int64
 	RedBytes  int64
-	Syscalls  int64
-	Attaches  int64
-	SizeSyncs int64
+	Syscalls   int64
+	Attaches   int64
+	SizeSyncs  int64
+	Agreements int64
 }
 
 // NewNode returns a node-local shared-memory domain.
@@ -268,6 +269,24 @@ func (nd *Node) Handoff(p *simtime.Proc) {
 	t0 := nd.segStart(p)
 	p.Advance(nd.params.Latency)
 	nd.seg(p, "handoff", t0)
+}
+
+// Agreement charges the cost of one fault-tolerant agreement round over the
+// shared address space: a flag post plus one notification latency per
+// participating party (each survivor's arrival must become visible to the
+// decider). The recovery layer (Comm.Shrink / Comm.Agree) calls this per
+// round so membership changes have an honest shared-memory price.
+func (nd *Node) Agreement(p *simtime.Proc, parties int) {
+	if parties < 1 {
+		parties = 1
+	}
+	t0 := nd.segStart(p)
+	p.Advance(nd.params.PostCost + simtime.Duration(parties)*nd.params.Latency)
+	nd.stats.Agreements++
+	nd.seg(p, "agreement", t0)
+	if nd.rec != nil {
+		nd.rec.Metrics().Counter("shm.agreements").Add(1)
+	}
 }
 
 // TransferCost returns the time the mechanism needs to move n bytes between

@@ -25,6 +25,11 @@ type Engine struct {
 	running    bool
 	obs        Observer
 	dispatched int64 // events popped and handed to a process
+	// quiesce, when set, is consulted at quiescence (event queue drained with
+	// processes still parked) before the deadlock report: a failure-aware
+	// layer may fail parked processes (posting them wakeups) and return true
+	// to keep the run going. See SetQuiesceHandler.
+	quiesce func(at Time) bool
 }
 
 // Dispatches returns the number of events the engine has dispatched so far —
@@ -97,6 +102,25 @@ type Proc struct {
 	wokenBy *Proc      // process whose action posted the pending wakeup
 	hook    func(*Proc)
 	mcell   mailRecv // reusable mailbox-receiver slot (see Mailbox.Get)
+	// dead marks a fail-stop process death declared by the layer above
+	// (MarkDead); the process goroutine still unwinds and exits normally.
+	dead bool
+	// failCause, when non-nil, is delivered as a panic the next time the
+	// process resumes from a park — the mechanism Engine.Fail uses to unwind
+	// a process blocked on a wait that a peer's death made unsatisfiable.
+	failCause any
+	// waitList is the primitive whose waiter list currently holds this
+	// parked process (nil for event-scheduled parks like Sleep). Engine.Fail
+	// uses it to withdraw the process before posting the failure wakeup, so
+	// no primitive can post a second wakeup for an already-failed process.
+	waitList waiterList
+}
+
+// waiterList is implemented by the synchronization primitives that keep
+// parked processes in waiter lists (Mailbox, Counter, Barrier). dropWaiter
+// removes every entry belonging to p, leaving other waiters untouched.
+type waiterList interface {
+	dropWaiter(p *Proc)
 }
 
 // waitDetail is the pending-operation annotation set via SetWaitDetail,
@@ -244,16 +268,42 @@ func (p *Proc) park(reason parkReason) {
 	p.waiting = parkReason{}
 	p.detail = waitDetail{}
 	p.waitsOn = -1
+	p.waitList = nil
 	p.AdvanceTo(t)
 	if p.e.obs != nil {
 		waker := p.wokenBy
 		p.wokenBy = nil
 		p.e.obs.ProcResumed(p, p.now, waker)
 	}
+	if cause := p.failCause; cause != nil {
+		// A failure was delivered while this process was parked (see
+		// Engine.Fail): unwind the blocked operation as a panic. The resume
+		// hook is skipped — the process is aborting, not progressing.
+		p.failCause = nil
+		panic(cause)
+	}
 	if p.hook != nil {
 		p.hook(p)
 	}
 }
+
+// MarkDead declares this process dead in the fail-stop sense: the layer
+// above has decided it stops executing. The engine keeps no death behaviour
+// of its own — the process goroutine is expected to unwind and exit — but
+// the flag lets watchdog diagnoses distinguish "waiting on a wedged peer"
+// from "waiting on a dead one".
+func (p *Proc) MarkDead() { p.dead = true }
+
+// Dead reports whether MarkDead has been called on this process.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Parked reports whether the process is blocked in a park (the state
+// Engine.Fail may act on at quiescence).
+func (p *Proc) Parked() bool { return p.state == stParked }
+
+// WaitsOn returns the proc id this parked process is known to wait on (set
+// via SetWaitDetail), or -1 when unknown.
+func (p *Proc) WaitsOn() int { return p.waitsOn }
 
 // Spawn registers a top-level process that starts at virtual time 0. It may
 // be called before Run, or by a running process (which starts the child at
@@ -316,6 +366,49 @@ func (e *Engine) postTimer(p *Proc, t Time) *bool {
 // is the simulation's total virtual runtime.
 func (e *Engine) Horizon() Time { return e.horizon }
 
+// SetQuiesceHandler installs (or, with nil, removes) the failure detector
+// consulted at quiescence: when the event queue drains with processes still
+// parked, the handler runs before the deadlock report. It may fail parked
+// processes via Fail (which posts wakeups) and must return true if it acted;
+// returning false — or leaving the event queue empty — falls through to the
+// usual DeadlockError. Install it before Run.
+func (e *Engine) SetQuiesceHandler(h func(at Time) bool) { e.quiesce = h }
+
+// Fail delivers cause to a parked process as a panic raised from inside its
+// blocked operation: the process is withdrawn from whatever waiter list
+// holds it, and a wakeup is posted at time at; on resume the process panics
+// cause instead of returning from the wait. It is the engine-level primitive
+// behind MPI-style failure detection ("this wait can never be satisfied, a
+// peer died"). Fail may only be applied to a parked process with no pending
+// wakeup of its own — guaranteed inside a quiescence handler, where the event
+// queue is empty (a sleeping process holds a pending event, so quiescence
+// cannot observe one).
+func (e *Engine) Fail(p *Proc, cause any, at Time) {
+	if p.state != stParked {
+		panic(fmt.Sprintf("simtime: Fail on non-parked process %q", p.name))
+	}
+	if cause == nil {
+		panic("simtime: Fail with nil cause")
+	}
+	if p.waitList != nil {
+		p.waitList.dropWaiter(p)
+		p.waitList = nil
+	}
+	p.failCause = cause
+	e.post(p, at)
+}
+
+// ForEachParked calls f for every currently-parked process, in spawn (id)
+// order. A process failed by f during the walk moves to the scheduled state
+// and is not revisited.
+func (e *Engine) ForEachParked(f func(p *Proc)) {
+	for _, p := range e.procs {
+		if p.state == stParked {
+			f(p)
+		}
+	}
+}
+
 // ParkedInfo is the watchdog's structured description of one stuck process:
 // who it is, when it parked, the primitive it blocks on, the pending
 // operation the layer above annotated via SetWaitDetail, and — when known —
@@ -354,11 +447,14 @@ type DeadlockError struct {
 	Parked []string
 	// Info carries the structured diagnosis, ordered by process id.
 	Info []ParkedInfo
+	// At is the virtual time of the wedge: the horizon when the event queue
+	// drained with processes still parked.
+	At Time
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("simtime: deadlock, %d process(es) parked: %s",
-		len(d.Parked), strings.Join(d.Parked, "; "))
+	return fmt.Sprintf("simtime: deadlock at %v, %d process(es) parked: %s",
+		d.At, len(d.Parked), strings.Join(d.Parked, "; "))
 }
 
 // PanicError wraps a panic raised inside a simulated process.
@@ -391,6 +487,12 @@ func (e *Engine) Run() error {
 		if len(e.events) == 0 {
 			if e.done == len(e.procs) {
 				return nil
+			}
+			// Quiescence with parked processes: give the failure detector a
+			// chance to fail waits a peer's death made unsatisfiable before
+			// declaring the run wedged.
+			if e.quiesce != nil && e.quiesce(e.horizon) && len(e.events) > 0 {
+				continue
 			}
 			err := e.deadlock()
 			e.teardown()
@@ -463,7 +565,7 @@ func (e *Engine) deadlock() error {
 	if o, ok := e.obs.(DeadlockObserver); ok {
 		o.DeadlockDetected(info, e.horizon)
 	}
-	return &DeadlockError{Parked: parked, Info: info}
+	return &DeadlockError{Parked: parked, Info: info, At: e.horizon}
 }
 
 // teardown force-exits every live process goroutine so that Run never leaks

@@ -1,0 +1,101 @@
+package simtime
+
+import "testing"
+
+// Timed-out GetDeadline receivers are dropped lazily: the dead cell lingers
+// in the mailbox's receiver list until a later Put walks past it. These tests
+// pin the safety property of that laziness — a stale cell can never satisfy
+// (or consume) a later match, even though it names the same process that may
+// meanwhile be parked on an unrelated wait.
+
+// TestMailboxStaleDeadlineCellDoesNotConsume: an item matching a timed-out
+// receiver's predicate is queued, not handed to the stale cell, and the
+// process's live wait on a different predicate is untouched by it.
+func TestMailboxStaleDeadlineCellDoesNotConsume(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	e.Spawn("consumer", func(p *Proc) {
+		// Wait for "a" with a deadline nothing will beat.
+		if v, ok := m.GetDeadline(p, func(x any) bool { return x == "a" }, Time(10*Nanosecond)); ok {
+			t.Errorf("deadline get returned %v, want timeout", v)
+		}
+		// The dead "a" cell now lingers. Park on an unrelated match: if a
+		// later Put of "a" revived the stale cell, it would wake this process
+		// with the wrong cell filled (Get panics "woken without item").
+		if v := m.Get(p, func(x any) bool { return x == "b" }); v != "b" {
+			t.Errorf("live get returned %v, want b", v)
+		}
+		// The "a" put must have been queued for a live taker, not consumed.
+		if v, ok := m.TryGet(p, nil); !ok || v != "a" {
+			t.Errorf("queued item = %v, %v; want a, true", v, ok)
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(20 * Nanosecond) // past the consumer's deadline
+		m.Put(p, "a")            // matches only the stale cell → must queue
+		m.Put(p, "b")            // matches the live wait
+	})
+	mustRun(t, e)
+}
+
+// TestMailboxStaleCellsAccumulateHarmlessly: several expired cells from
+// different processes linger at once; a later live receiver still gets every
+// item, in order, and the stale cells consume none of them.
+func TestMailboxStaleCellsAccumulateHarmlessly(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	for i := 0; i < 3; i++ {
+		e.Spawn("expired", func(p *Proc) {
+			if _, ok := m.GetDeadline(p, nil, Time(Nanosecond)); ok {
+				t.Error("expired waiter got an item")
+			}
+		})
+	}
+	var got []int
+	e.Spawn("late-consumer", func(p *Proc) {
+		p.Sleep(10 * Nanosecond) // let every deadline expire first
+		for i := 0; i < 3; i++ {
+			got = append(got, m.Get(p, nil).(int))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(20 * Nanosecond)
+		for i := 0; i < 3; i++ {
+			m.Put(p, i)
+		}
+	})
+	mustRun(t, e)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want [0 1 2]", got)
+		}
+	}
+}
+
+// TestMailboxDeadlineRace: a put arriving exactly at the deadline boundary
+// either completes the receive or times out, but never both — and a timed-out
+// cell left behind by the race can't steal the item from the queue.
+func TestMailboxDeadlineRace(t *testing.T) {
+	e := NewEngine()
+	var m Mailbox
+	var gotItem, timedOut bool
+	e.Spawn("consumer", func(p *Proc) {
+		v, ok := m.GetDeadline(p, nil, Time(10*Nanosecond))
+		gotItem = ok && v == "x"
+		timedOut = !ok
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(10 * Nanosecond) // lands exactly on the deadline
+		m.Put(p, "x")
+		if timedOut {
+			// The timer won the tie: the item must still be takeable.
+			if v, ok := m.TryGet(p, nil); !ok || v != "x" {
+				t.Errorf("after timeout, queued item = %v, %v", v, ok)
+			}
+		}
+	})
+	mustRun(t, e)
+	if gotItem == timedOut {
+		t.Fatalf("gotItem=%v timedOut=%v, want exactly one", gotItem, timedOut)
+	}
+}

@@ -47,7 +47,21 @@ func (c *Counter) WaitGE(p *Proc, target uint64) {
 		return
 	}
 	c.waiters = append(c.waiters, counterWaiter{target: target, p: p})
+	p.waitList = c
 	p.park(parkReason{kind: parkCounter, a: target, b: c.val})
+}
+
+// dropWaiter withdraws every wait p has registered on this counter, for
+// Engine.Fail: the failed process must not receive a second wakeup from a
+// later Add.
+func (c *Counter) dropWaiter(p *Proc) {
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.p != p {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
 }
 
 // Flag is a one-shot boolean with an associated timestamp and optional
@@ -123,7 +137,22 @@ func (b *Barrier) Wait(p *Proc) {
 		return
 	}
 	b.waiters = append(b.waiters, p)
+	p.waitList = b
 	p.park(parkReason{kind: parkBarrier, a: uint64(b.count), b: uint64(b.parties)})
+}
+
+// dropWaiter withdraws p's pending arrival, for Engine.Fail: the epoch's
+// arrival count is rolled back so the surviving parties' barrier state stays
+// consistent (it still cannot complete unless the layer above also fails or
+// releases them — that is the failure detector's job, not the barrier's).
+func (b *Barrier) dropWaiter(p *Proc) {
+	for i, w := range b.waiters {
+		if w == p {
+			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+			b.count--
+			return
+		}
+	}
 }
 
 // Mailbox is a timestamped, predicate-matched message queue: the meeting
@@ -202,6 +231,23 @@ func (r *mailRecv) stopTimer() {
 	}
 }
 
+// dropWaiter removes every receive cell p has parked on this mailbox, for
+// Engine.Fail: the cell must leave the list immediately (not lazily) because
+// pooled Get/Peek cells are recycled by the process's unwind path, and a
+// pending deadline timer must be withdrawn so the failure wakeup is the
+// process's only live event.
+func (m *Mailbox) dropWaiter(p *Proc) {
+	rest := m.receivers[:0]
+	for _, r := range m.receivers {
+		if r.p == p {
+			r.stopTimer()
+			continue
+		}
+		rest = append(rest, r)
+	}
+	m.receivers = rest
+}
+
 // Get blocks p until an item matching the predicate (nil matches anything)
 // is available, removes it, and returns it. p's clock advances to at least
 // the item's availability time.
@@ -222,6 +268,7 @@ func (m *Mailbox) Get(p *Proc, match func(any) bool) any {
 	r := &p.mcell
 	*r = mailRecv{p: p, match: match}
 	m.receivers = append(m.receivers, r)
+	p.waitList = m
 	p.park(labeled("mailbox get"))
 	if !r.filled {
 		panic("simtime: mailbox receiver woken without item")
@@ -250,6 +297,7 @@ func (m *Mailbox) GetDeadline(p *Proc, match func(any) bool, deadline Time) (any
 	r := &mailRecv{p: p, match: match}
 	r.timer = p.e.postTimer(p, deadline)
 	m.receivers = append(m.receivers, r)
+	p.waitList = m
 	p.park(labeled("mailbox get"))
 	if r.filled {
 		return r.result, true
@@ -273,6 +321,7 @@ func (m *Mailbox) Peek(p *Proc, match func(any) bool) any {
 	r := &p.mcell // see Get for why the pooled slot is safe here
 	*r = mailRecv{p: p, match: match, peek: true}
 	m.receivers = append(m.receivers, r)
+	p.waitList = m
 	p.park(labeled("mailbox peek"))
 	if !r.filled {
 		panic("simtime: mailbox peeker woken without item")
