@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke ci
+.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke serve-test ci
 
 all: build
 
@@ -34,6 +34,15 @@ bench-smoke:
 	$(GO) test ./internal/simtime ./internal/mpi -run 'Alloc|UntracedP2P|RendezvousSendBufferReuse|DispatchCounter' -count=1
 	$(GO) test -race ./internal/simtime ./internal/mpi -run 'Alloc|UntracedP2P|RendezvousSendBufferReuse|DispatchCounter' -count=1
 
+# Query API + simulation server: the scheduler (singleflight, per-client
+# fairness, admission control, mid-cell abandonment) and the HTTP layer
+# under the race detector, then the fixed-seed warm-cache latency smoke
+# (best-of-100 warm query round trip must be sub-millisecond; gated behind
+# PIPMCOLL_SMOKE so plain `go test ./...` carries no timing flake risk).
+serve-test:
+	$(GO) test -race ./internal/query ./internal/serve
+	PIPMCOLL_SMOKE=1 $(GO) test -run TestWarmQuerySubMillisecond -count=1 ./internal/serve
+
 # End-to-end resilience smoke: fixed-seed scenarios must survive with
 # verified results (exit 0) and an unknown scenario must be refused.
 chaos-smoke:
@@ -52,4 +61,4 @@ chaos-recovery:
 	$(GO) run ./cmd/pipmcoll-chaos -scenario node-death
 	$(GO) run ./cmd/pipmcoll-chaos -scenario cascading-failures
 
-ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke
+ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke serve-test

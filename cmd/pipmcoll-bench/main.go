@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 func main() {
@@ -163,7 +165,13 @@ func run() error {
 	var failed []string
 	for _, f := range figs {
 		curID, figStart = f.ID, time.Now()
-		tables, err := runner.RunFigure(f, opts)
+		// Each figure is one request through the shared query API — the
+		// same compilation path pipmcoll-serve uses, so the cache entries
+		// written here are warm on the server and vice versa.
+		resp, err := query.Execute(context.Background(), runner, query.Request{
+			Figure: f.ID,
+			Opts:   query.Opts{Full: opts.Full, Warmup: opts.Warmup, Iters: opts.Iters},
+		})
 		if err != nil {
 			// A failing figure doesn't abort the run: report every failing
 			// cell key, remember the figure, and keep regenerating the rest
@@ -182,11 +190,11 @@ func run() error {
 			continue
 		}
 		fmt.Printf("=== Figure %s: %s  [%.1fs]\n\n", f.ID, f.Title, time.Since(figStart).Seconds())
-		for i, t := range tables {
-			fmt.Println(t.Format())
+		for i, t := range resp.Tables {
+			fmt.Println(t.Text)
 			if *csvDir != "" {
 				name := fmt.Sprintf("fig%s_%d.csv", f.ID, i)
-				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV), 0o644); err != nil {
 					return fmt.Errorf("writing CSV: %w", err)
 				}
 			}

@@ -1,0 +1,105 @@
+// Command pipmcoll-serve exposes the deterministic benchmark harness as a
+// simulation-as-a-service HTTP API. Clients POST what-if queries — a
+// registered figure, an ad-hoc cell (library x collective x cluster shape
+// x payload, optionally under a fault plan), or a tuning ladder — and get
+// cached results in microseconds or scheduled execution over a bounded,
+// client-fair worker pool. Results share the same content-addressed cache
+// the CLIs use, so anything a CLI has computed is already warm here and
+// vice versa.
+//
+// Usage:
+//
+//	pipmcoll-serve [-addr :8090] [-workers N] [-queue 256] [-per-client 64]
+//	               [-nocache] [-cache-dir DIR]
+//	pipmcoll-serve -loadtest [-clients 8] [-requests 50]
+//
+// Endpoints: POST /query (add ?stream=1 for NDJSON progress), GET
+// /figures, GET /traces/{addr}, GET /metrics, GET /healthz. See the
+// README's Serving section for the request schema and curl examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulating concurrently")
+	queue := flag.Int("queue", 256, "max cells queued globally")
+	perClient := flag.Int("per-client", 64, "max cells queued per client")
+	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
+	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
+	loadtest := flag.Bool("loadtest", false, "run the bundled load generator against an in-process server and exit")
+	clients := flag.Int("clients", 8, "loadtest: concurrent clients")
+	requests := flag.Int("requests", 50, "loadtest: requests per client")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *perClient, *nocache, *cacheDir,
+		*loadtest, *clients, *requests); err != nil {
+		fmt.Fprintln(os.Stderr, "pipmcoll-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, perClient int, nocache bool, cacheDir string,
+	loadtest bool, clients, requests int) error {
+	var cache *bench.Cache
+	if !nocache {
+		c, err := bench.OpenCache(cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipmcoll-serve: %v; continuing without cache\n", err)
+		} else {
+			cache = c
+		}
+	}
+	srv := serve.New(serve.Config{
+		Workers:      workers,
+		MaxQueue:     queue,
+		MaxPerClient: perClient,
+		Cache:        cache,
+	})
+	defer srv.Close()
+
+	if loadtest {
+		return runLoadtest(srv, clients, requests)
+	}
+	fmt.Printf("pipmcoll-serve listening on %s (%d workers, queue %d, %d per client", addr, workers, queue, perClient)
+	if cache != nil {
+		fmt.Printf(", cache %s", cache.Dir())
+	}
+	fmt.Println(")")
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// runLoadtest stands the server up in-process, warms one cell query, and
+// measures the serving path under concurrent clients.
+func runLoadtest(srv *serve.Server, clients, requests int) error {
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req := query.Request{Cell: &query.Cell{Library: "PiP-MColl", Collective: "allgather",
+		Nodes: 2, PPN: 2, Bytes: 1024}, Opts: query.Opts{Warmup: 1, Iters: 1}}
+	fmt.Println("warming one cell query...")
+	warm, err := serve.LoadTest(ts.URL, serve.LoadOpts{Clients: 1, PerClient: 1, Request: req})
+	if err != nil {
+		return err
+	}
+	if warm.Errors > 0 {
+		return fmt.Errorf("warming query failed")
+	}
+	fmt.Printf("load-testing /query with %d clients x %d requests (warm cache)\n\n", clients, requests)
+	res, err := serve.LoadTest(ts.URL, serve.LoadOpts{Clients: clients, PerClient: requests, Request: req})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}

@@ -1,11 +1,12 @@
 // Command pipmcoll-tune measures PiP-MColl's small- and large-message
 // algorithm variants across a size ladder on a chosen cluster shape and
 // recommends the switch points (core.Tunables) for that configuration —
-// the offline tuning stage a production MPI library ships with. The
-// ladder's measurement points are independent cells scheduled over the
-// parallel cached experiment runner. The paper's 64 kB / 8k-count switches
-// are Bebop's values; other fabrics move the crossovers (see
-// EXPERIMENTS.md ablation A2).
+// the offline tuning stage a production MPI library ships with. The CLI is
+// a thin front end over the shared query API (internal/query): it builds
+// the same tune request pipmcoll-serve accepts, so ladder cells computed
+// here are warm on the server and vice versa. The paper's 64 kB /
+// 8k-count switches are Bebop's values; other fabrics move the crossovers
+// (see EXPERIMENTS.md ablation A2).
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,7 +24,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/mpi"
+	"repro/internal/query"
 )
 
 func main() {
@@ -34,14 +36,6 @@ func main() {
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
 	flag.Parse()
-
-	cfg := mpi.DefaultConfig()
-	if *queueBW > 0 {
-		cfg.Fabric.QueueBandwidth = *queueBW * 1e9
-	}
-	if *linkBW > 0 {
-		cfg.Fabric.LinkBandwidth = *linkBW * 1e9
-	}
 
 	var cache *bench.Cache
 	if !*nocache {
@@ -66,11 +60,15 @@ func main() {
 	})
 
 	fmt.Printf("tuning PiP-MColl switch points on %dx%d\n\n", *nodes, *ppn)
-	res, err := bench.TuneWith(runner, cfg, *nodes, *ppn, bench.Opts{Warmup: 1, Iters: 2})
+	req := query.Request{
+		Tune: &query.Tune{Nodes: *nodes, PPN: *ppn, QueueBWGBs: *queueBW, LinkBWGBs: *linkBW},
+		Opts: query.Opts{Warmup: 1, Iters: 2},
+	}
+	resp, err := query.Execute(context.Background(), runner, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res.Format())
+	fmt.Print(resp.Analysis)
 	if cache != nil {
 		hits, misses := cache.Stats()
 		fmt.Printf("\ncache: %d hits, %d misses (%s)\n", hits, misses, cache.Dir())

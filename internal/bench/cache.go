@@ -4,7 +4,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,8 +31,12 @@ const cacheVersion = "v1"
 // named by the hash; writes go through a rename so concurrent workers never
 // observe torn entries.
 type Cache struct {
-	dir          string
-	hits, misses atomic.Int64
+	dir string
+	// Logf, when non-nil, receives diagnostics about damaged entries
+	// (default: the standard logger). Set it before the cache is shared
+	// across goroutines.
+	Logf                  func(format string, args ...any)
+	hits, misses, corrupt atomic.Int64
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
@@ -37,19 +44,31 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("bench: opening cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, Logf: log.Printf}, nil
 }
 
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
 // Stats returns the hit and miss counts accumulated since OpenCache.
+// Corrupt entries count as misses (they are recomputed); Corruptions
+// reports them separately.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-// address derives the on-disk name for one cell's result.
-func (c *Cache) address(figID, cellKey string, o Opts) string {
+// Corruptions returns how many cache reads found a damaged (truncated,
+// torn, or otherwise unparseable) entry since OpenCache. Each one was
+// logged and treated as a miss, so the cell was recomputed and the entry
+// overwritten — a corrupt file never fails a cell.
+func (c *Cache) Corruptions() int64 { return c.corrupt.Load() }
+
+// CellAddress derives the content address of one cell's result: the hash
+// of everything that determines its outcome. It is a pure function of its
+// inputs plus the build's calibration constants, so any process — a CLI
+// run or the query server — derives the same address for the same
+// experiment and shares one cache entry.
+func CellAddress(figID, cellKey string, o Opts) string {
 	h := sha256.Sum256([]byte(strings.Join([]string{
 		cacheVersion,
 		figID,
@@ -65,15 +84,24 @@ func (c *Cache) address(figID, cellKey string, o Opts) string {
 // embed their own cfgKey in the cell key on top of this.
 func calibrationKey() string { return cfgKey(mpi.DefaultConfig()) }
 
-// load returns the cached values for a cell, if present and readable.
-func (c *Cache) load(figID, cellKey string, o Opts) ([]Value, bool) {
-	data, err := os.ReadFile(filepath.Join(c.dir, c.address(figID, cellKey, o)+".json"))
+// Load returns the cached values for a cell, if present and readable. A
+// missing entry is a plain miss; a damaged entry (truncated write, torn
+// file, bad JSON) is logged, counted via Corruptions, and reported as a
+// miss so the runner recomputes and overwrites it instead of failing the
+// cell.
+func (c *Cache) Load(figID, cellKey string, o Opts) ([]Value, bool) {
+	addr := CellAddress(figID, cellKey, o)
+	data, err := os.ReadFile(filepath.Join(c.dir, addr+".json"))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.damaged(addr, err)
+		}
 		c.misses.Add(1)
 		return nil, false
 	}
 	var vals []Value
 	if err := json.Unmarshal(data, &vals); err != nil {
+		c.damaged(addr, err)
 		c.misses.Add(1)
 		return nil, false
 	}
@@ -81,13 +109,21 @@ func (c *Cache) load(figID, cellKey string, o Opts) ([]Value, bool) {
 	return vals, true
 }
 
-// store persists a cell's values atomically.
-func (c *Cache) store(figID, cellKey string, o Opts, vals []Value) error {
+// damaged records and reports one unreadable entry.
+func (c *Cache) damaged(addr string, err error) {
+	c.corrupt.Add(1)
+	if c.Logf != nil {
+		c.Logf("bench: cache entry %s corrupt (%v); recomputing", addr, err)
+	}
+}
+
+// Store persists a cell's values atomically.
+func (c *Cache) Store(figID, cellKey string, o Opts, vals []Value) error {
 	data, err := json.Marshal(vals)
 	if err != nil {
 		return fmt.Errorf("bench: encoding cache entry: %w", err)
 	}
-	name := filepath.Join(c.dir, c.address(figID, cellKey, o)+".json")
+	name := filepath.Join(c.dir, CellAddress(figID, cellKey, o)+".json")
 	tmp, err := os.CreateTemp(c.dir, "cell-*.tmp")
 	if err != nil {
 		return fmt.Errorf("bench: writing cache entry: %w", err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -183,12 +184,12 @@ func fastestEverywhere(ts []*stats.Table) (bool, string) {
 // EvaluateClaims regenerates the needed figures (each once, serially) and
 // returns the verdicts in claim order.
 func EvaluateClaims(o Opts) ([]ClaimResult, error) {
-	return EvaluateClaimsWith(NewRunner(RunnerConfig{Parallel: 1}), o)
+	return EvaluateClaimsWith(context.Background(), NewRunner(RunnerConfig{Parallel: 1}), o)
 }
 
 // EvaluateClaimsWith is EvaluateClaims under a caller-provided runner, so
 // the report tool can evaluate claims in parallel with result caching.
-func EvaluateClaimsWith(r *Runner, o Opts) ([]ClaimResult, error) {
+func EvaluateClaimsWith(ctx context.Context, r *Runner, o Opts) ([]ClaimResult, error) {
 	regenerated := map[string][]*stats.Table{}
 	var out []ClaimResult
 	for _, c := range Claims() {
@@ -198,7 +199,7 @@ func EvaluateClaimsWith(r *Runner, o Opts) ([]ClaimResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			tables, err = r.RunFigure(fig, o)
+			tables, err = r.RunFigure(ctx, fig, o)
 			if err != nil {
 				return nil, err
 			}

@@ -24,7 +24,11 @@ type Opts struct {
 // iterations pins the mean; warm-up still matters for attach caches).
 func DefaultOpts() Opts { return Opts{Warmup: 2, Iters: 3} }
 
-func (o Opts) withDefaults() Opts {
+// WithDefaults returns o with the harness's standard repetition counts
+// filled in — the normalization every execution path (figure drivers, the
+// runner, the query API) applies before measuring or deriving cache
+// addresses, so equivalent requests always key identically.
+func (o Opts) WithDefaults() Opts {
 	if o.Warmup == 0 && o.Iters == 0 {
 		o.Warmup, o.Iters = 2, 3
 	}
@@ -33,6 +37,8 @@ func (o Opts) withDefaults() Opts {
 	}
 	return o
 }
+
+func (o Opts) withDefaults() Opts { return o.WithDefaults() }
 
 // pick returns quick in quick mode, full in full mode.
 func pick[T any](o Opts, quick, full T) T {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,11 @@ type RunnerConfig struct {
 	// Progress, when non-nil, is called after each cell completes with
 	// the figure-wide completion count. Calls are serialized.
 	Progress func(done, total int)
+	// CellDone, when non-nil, is called after each cell completes with
+	// its figure, key, whether the result came from the cache, and its
+	// error (nil on success). Calls are serialized with Progress, so a
+	// server can stream per-cell completion events without extra locking.
+	CellDone func(figID, key string, cached bool, err error)
 	// Metrics, when non-nil, receives harness counters and histograms:
 	// bench.cells / bench.cache.hits / bench.cache.misses, plus per-cell
 	// wall time and worker-pool queue wait (both in wall milliseconds —
@@ -93,14 +99,27 @@ func (e *CellErrors) Unwrap() []error {
 }
 
 // RunFigure regenerates one figure: decompose, schedule, reassemble.
-func (r *Runner) RunFigure(f Figure, o Opts) ([]*stats.Table, error) {
+// Cancelling ctx abandons cells that have not finished (see RunPlan);
+// callers that never cancel pass context.Background() and get behavior
+// identical to the pre-context runner.
+func (r *Runner) RunFigure(ctx context.Context, f Figure, o Opts) ([]*stats.Table, error) {
 	o = o.withDefaults()
-	return r.runPlan(f.ID, f.Cells(o), o)
+	return r.RunPlan(ctx, f.ID, f.Cells(o), o)
 }
 
-// runPlan executes a decomposed experiment under the runner's worker pool
-// and fills the plan's tables in declaration order.
-func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) {
+// RunPlan executes a decomposed experiment under the runner's worker pool
+// and fills the plan's tables in declaration order. figID namespaces the
+// plan's cells in the result cache, so any caller that derives the same
+// (figID, cell key, opts) triple — a CLI or the query server — shares the
+// same cache entries.
+//
+// If ctx is cancelled, cells that have not started are skipped and cells
+// in flight are abandoned: their worker slots are released immediately
+// while the orphaned simulation finishes in the background with its
+// result discarded. The returned error is then ctx.Err() (wrapped in
+// CellErrors alongside any real failures).
+func (r *Runner) RunPlan(ctx context.Context, figID string, p *Plan, o Opts) ([]*stats.Table, error) {
+	o = o.withDefaults()
 	n := len(p.Cells)
 	results := make([][]Value, n)
 	errs := make([]error, n)
@@ -115,19 +134,30 @@ func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) 
 		go func(i int) {
 			defer wg.Done()
 			enq := time.Now()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
 			start := time.Now()
-			results[i], errs[i] = r.runCell(figID, p.Cells[i], o)
+			var cached bool
+			results[i], cached, errs[i] = r.runCell(ctx, figID, p.Cells[i], o)
 			if m := r.cfg.Metrics; m != nil {
 				m.Counter("bench.cells").Add(1)
 				m.Histogram("bench.cell.queue_wait_ms", obs.DefaultBuckets).Observe(start.Sub(enq).Seconds() * 1e3)
 				m.Histogram("bench.cell.wall_ms", obs.DefaultBuckets).Observe(time.Since(start).Seconds() * 1e3)
 			}
-			if r.cfg.Progress != nil {
+			if r.cfg.Progress != nil || r.cfg.CellDone != nil {
 				mu.Lock()
 				done++
-				r.cfg.Progress(done, n)
+				if r.cfg.CellDone != nil {
+					r.cfg.CellDone(figID, p.Cells[i].Key, cached, errs[i])
+				}
+				if r.cfg.Progress != nil {
+					r.cfg.Progress(done, n)
+				}
 				mu.Unlock()
 			}
 		}(i)
@@ -154,36 +184,60 @@ func (r *Runner) runPlan(figID string, p *Plan, o Opts) ([]*stats.Table, error) 
 	return tables, nil
 }
 
-// runCell measures one cell, consulting and feeding the cache. Panics from
-// driver code (world construction, verification) are converted to errors so
-// one bad cell fails the figure instead of the process.
-func (r *Runner) runCell(figID string, c Cell, o Opts) (vals []Value, err error) {
+// cellOutcome carries a cell body's result across the goroutine boundary
+// that makes cells abandonable.
+type cellOutcome struct {
+	vals []Value
+	err  error
+}
+
+// runCell measures one cell, consulting and feeding the cache. The cell
+// body runs in its own goroutine so a cancelled context releases the
+// worker slot immediately even mid-simulation; the orphaned body runs to
+// completion in the background and its result is dropped (never cached —
+// an abandoned measurement must not race a re-submission's store). Panics
+// from driver code (world construction, verification) are converted to
+// errors so one bad cell fails the figure instead of the process.
+func (r *Runner) runCell(ctx context.Context, figID string, c Cell, o Opts) (vals []Value, cached bool, err error) {
 	if r.cfg.Cache != nil {
-		if cached, ok := r.cfg.Cache.load(figID, c.Key, o); ok {
+		if cached, ok := r.cfg.Cache.Load(figID, c.Key, o); ok {
 			if m := r.cfg.Metrics; m != nil {
 				m.Counter("bench.cache.hits").Add(1)
 			}
-			return cached, nil
+			return cached, true, nil
 		}
 		if m := r.cfg.Metrics; m != nil {
 			m.Counter("bench.cache.misses").Add(1)
 		}
 	}
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	out := make(chan cellOutcome, 1)
+	go func() {
+		var res cellOutcome
+		defer func() {
+			if p := recover(); p != nil {
+				res = cellOutcome{err: fmt.Errorf("panic: %v", p)}
+			}
+			out <- res
+		}()
+		res.vals, res.err = c.Run()
 	}()
-	vals, err = c.Run()
-	if err != nil {
-		return nil, err
-	}
-	if r.cfg.Cache != nil {
-		if err := r.cfg.Cache.store(figID, c.Key, o, vals); err != nil {
-			return nil, err
+	select {
+	case res := <-out:
+		if res.err != nil {
+			return nil, false, res.err
 		}
+		if r.cfg.Cache != nil {
+			if err := r.cfg.Cache.Store(figID, c.Key, o, res.vals); err != nil {
+				return nil, false, err
+			}
+		}
+		return res.vals, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
 	}
-	return vals, nil
 }
 
 // runSerial is the compatibility path behind the exported per-figure
@@ -192,7 +246,7 @@ func (r *Runner) runCell(figID string, c Cell, o Opts) (vals []Value, err error)
 // drivers did.
 func runSerial(figID string, cells func(Opts) *Plan, o Opts) []*stats.Table {
 	o = o.withDefaults()
-	tables, err := NewRunner(RunnerConfig{Parallel: 1}).runPlan(figID, cells(o), o)
+	tables, err := NewRunner(RunnerConfig{Parallel: 1}).RunPlan(context.Background(), figID, cells(o), o)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -27,11 +28,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := Opts{Warmup: 1, Iters: 1}
-	serial, err := NewRunner(RunnerConfig{Parallel: 1}).RunFigure(fig, o)
+	serial, err := NewRunner(RunnerConfig{Parallel: 1}).RunFigure(context.Background(), fig, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := NewRunner(RunnerConfig{Parallel: 8}).RunFigure(fig, o)
+	parallel, err := NewRunner(RunnerConfig{Parallel: 8}).RunFigure(context.Background(), fig, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	o := Opts{Warmup: 1, Iters: 1}
 	r := NewRunner(RunnerConfig{Parallel: 4, Cache: cache})
 
-	first, err := r.RunFigure(fig, o)
+	first, err := r.RunFigure(context.Background(), fig, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 	cells := misses
 
-	second, err := r.RunFigure(fig, o)
+	second, err := r.RunFigure(context.Background(), fig, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +102,10 @@ func TestCacheDistinguishesOpts(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := NewRunner(RunnerConfig{Parallel: 2, Cache: cache})
-	if _, err := r.RunFigure(fig, Opts{Warmup: 1, Iters: 1}); err != nil {
+	if _, err := r.RunFigure(context.Background(), fig, Opts{Warmup: 1, Iters: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RunFigure(fig, Opts{Warmup: 1, Iters: 2}); err != nil {
+	if _, err := r.RunFigure(context.Background(), fig, Opts{Warmup: 1, Iters: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if hits, _ := cache.Stats(); hits != 0 {
@@ -125,7 +126,7 @@ func TestRunnerProgress(t *testing.T) {
 		calls = append(calls, done)
 		lastTotal = total
 	}})
-	if _, err := r.RunFigure(fig, Opts{Warmup: 1, Iters: 1}); err != nil {
+	if _, err := r.RunFigure(context.Background(), fig, Opts{Warmup: 1, Iters: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if len(calls) == 0 || len(calls) != lastTotal {
@@ -152,7 +153,7 @@ func TestRunnerPropagatesCellErrors(t *testing.T) {
 			{Key: "bad", Run: func() ([]Value, error) { return nil, boom }},
 		},
 	}
-	_, err := NewRunner(RunnerConfig{Parallel: 2}).runPlan("test", plan, Opts{Warmup: 1, Iters: 1})
+	_, err := NewRunner(RunnerConfig{Parallel: 2}).RunPlan(context.Background(), "test", plan, Opts{Warmup: 1, Iters: 1})
 	if !errors.Is(err, boom) {
 		t.Fatalf("cell error not propagated: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestRunnerPropagatesCellErrors(t *testing.T) {
 			{Key: "panic", Run: func() ([]Value, error) { panic("kaboom") }},
 		},
 	}
-	_, err = NewRunner(RunnerConfig{Parallel: 1}).runPlan("test", panicPlan, Opts{Warmup: 1, Iters: 1})
+	_, err = NewRunner(RunnerConfig{Parallel: 1}).RunPlan(context.Background(), "test", panicPlan, Opts{Warmup: 1, Iters: 1})
 	if err == nil {
 		t.Fatal("panicking cell did not fail the figure")
 	}
@@ -183,7 +184,7 @@ func TestRunnerCollectsAllFailingCells(t *testing.T) {
 			{Key: "bad2", Run: func() ([]Value, error) { return nil, errors.New("two") }},
 		},
 	}
-	_, err := NewRunner(RunnerConfig{Parallel: 3}).runPlan("test", plan, Opts{Warmup: 1, Iters: 1})
+	_, err := NewRunner(RunnerConfig{Parallel: 3}).RunPlan(context.Background(), "test", plan, Opts{Warmup: 1, Iters: 1})
 	var ce *CellErrors
 	if !errors.As(err, &ce) {
 		t.Fatalf("err = %T %v, want *CellErrors", err, err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -56,7 +57,7 @@ type Figure struct {
 // which are harness bugs. Tools wanting parallelism, caching, or error
 // returns use Runner.RunFigure.
 func (f Figure) Run(o Opts) []*stats.Table {
-	tables, err := NewRunner(RunnerConfig{Parallel: 1}).RunFigure(f, o)
+	tables, err := NewRunner(RunnerConfig{Parallel: 1}).RunFigure(context.Background(), f, o)
 	if err != nil {
 		panic(err)
 	}

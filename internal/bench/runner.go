@@ -70,8 +70,19 @@ func Run(spec Spec) (Measurement, error) {
 	if err := validate(spec); err != nil {
 		return Measurement{}, err
 	}
+	return RunConfig(spec, spec.Lib.Config())
+}
+
+// RunConfig is Run under an explicit transport configuration overriding
+// the library's default — the hook for what-if cells that attach fault
+// plans or calibration tweaks to a standard measurement point. Callers
+// must fold the configuration into their cache keys (see cfgKey).
+func RunConfig(spec Spec, cfg mpi.Config) (Measurement, error) {
+	if err := validate(spec); err != nil {
+		return Measurement{}, err
+	}
 	cluster := topology.New(spec.Nodes, spec.PPN, topology.Block)
-	world, err := mpi.NewWorld(cluster, spec.Lib.Config())
+	world, err := mpi.NewWorld(cluster, cfg)
 	if err != nil {
 		return Measurement{}, err
 	}

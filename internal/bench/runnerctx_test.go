@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// onePointPlan builds a single-cell plan around the given body.
+func onePointPlan(key string, run func() ([]Value, error)) *Plan {
+	return &Plan{
+		Tables: []*stats.Table{stats.NewTable("t", "x", "", []string{"c"}, []string{"r"})},
+		Cells:  []Cell{{Key: key, Run: run}},
+	}
+}
+
+// TestRunPlanCancelledBeforeStart: a context cancelled up front skips every
+// cell and reports context.Canceled.
+func TestRunPlanCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	plan := onePointPlan("cell", func() ([]Value, error) {
+		ran.Add(1)
+		return []Value{{Table: 0, Row: "r", Col: "c", V: 1}}, nil
+	})
+	_, err := NewRunner(RunnerConfig{Parallel: 1}).RunPlan(ctx, "test", plan, Opts{Warmup: 1, Iters: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("cell ran %d times despite cancelled context", ran.Load())
+	}
+}
+
+// TestRunPlanCancelMidCellReleasesSlot: cancelling while a cell simulates
+// must return promptly — releasing the worker slot — even though the
+// orphaned cell body is still blocked, and the abandoned result must not be
+// cached.
+func TestRunPlanCancelMidCellReleasesSlot(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	plan := onePointPlan("stuck", func() ([]Value, error) {
+		close(started)
+		<-release
+		return []Value{{Table: 0, Row: "r", Col: "c", V: 1}}, nil
+	})
+	r := NewRunner(RunnerConfig{Parallel: 1, Cache: cache})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunPlan(ctx, "test", plan, Opts{Warmup: 1, Iters: 1})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunPlan did not return after cancellation; worker slot held by abandoned cell")
+	}
+	// Let the orphan finish, then verify it did not write the cache.
+	close(release)
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := cache.Load("test", "stuck", Opts{Warmup: 1, Iters: 1}); ok {
+		t.Fatal("abandoned cell stored its result in the cache")
+	}
+}
+
+// TestRunnerCellDoneHook: the per-cell completion hook fires once per cell
+// with the cache-hit flag and error, serialized with Progress.
+func TestRunnerCellDoneHook(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		key    string
+		cached bool
+		failed bool
+	}
+	var events []ev
+	mk := func() *Runner {
+		return NewRunner(RunnerConfig{Parallel: 2, Cache: cache,
+			CellDone: func(figID, key string, cached bool, err error) {
+				events = append(events, ev{key, cached, err != nil})
+			}})
+	}
+	plan := func() *Plan {
+		return &Plan{
+			Tables: []*stats.Table{stats.NewTable("t", "x", "", []string{"c"}, []string{"r", "s"})},
+			Cells: []Cell{
+				{Key: "a", Run: func() ([]Value, error) {
+					return []Value{{Table: 0, Row: "r", Col: "c", V: 1}}, nil
+				}},
+				{Key: "b", Run: func() ([]Value, error) {
+					return []Value{{Table: 0, Row: "s", Col: "c", V: 2}}, nil
+				}},
+			},
+		}
+	}
+	if _, err := mk().RunPlan(context.Background(), "test", plan(), Opts{Warmup: 1, Iters: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("CellDone fired %d times, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.cached || e.failed {
+			t.Fatalf("cold run event %+v, want uncached success", e)
+		}
+	}
+	events = nil
+	if _, err := mk().RunPlan(context.Background(), "test", plan(), Opts{Warmup: 1, Iters: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || !events[0].cached || !events[1].cached {
+		t.Fatalf("warm run events %+v, want two cached completions", events)
+	}
+}
+
+// TestCacheCorruptEntryRecomputes: a truncated cache file must be reported
+// as a logged miss and recomputed — never fail the cell — and the recompute
+// must heal the entry.
+func TestCacheCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	cache.Logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	o := Opts{Warmup: 1, Iters: 1}
+	var runs atomic.Int64
+	plan := func() *Plan {
+		return onePointPlan("cell", func() ([]Value, error) {
+			runs.Add(1)
+			return []Value{{Table: 0, Row: "r", Col: "c", V: 42}}, nil
+		})
+	}
+	r := NewRunner(RunnerConfig{Parallel: 1, Cache: cache})
+	if _, err := r.RunPlan(context.Background(), "test", plan(), o); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("cold run executed %d times", runs.Load())
+	}
+
+	// Plant a truncated entry at the cell's content address.
+	path := filepath.Join(dir, CellAddress("test", "cell", o)+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tables, err := r.RunPlan(context.Background(), "test", plan(), o)
+	if err != nil {
+		t.Fatalf("corrupt cache entry failed the cell: %v", err)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("corrupt entry not recomputed: %d runs", runs.Load())
+	}
+	if got := tables[0].Get("r", "c"); got != 42 {
+		t.Fatalf("recomputed value %g, want 42", got)
+	}
+	if cache.Corruptions() != 1 {
+		t.Fatalf("Corruptions() = %d, want 1", cache.Corruptions())
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "corrupt") {
+		t.Fatalf("corruption not logged: %q", logged)
+	}
+
+	// The recompute overwrote the damaged file: a third run is a clean hit.
+	if _, err := r.RunPlan(context.Background(), "test", plan(), o); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("healed entry missed: %d runs", runs.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -30,22 +31,47 @@ type TuneResult struct {
 	AGSmall, AGLarge, ARSml, ARLrg []float64
 }
 
+// TuneFigureID is the cache namespace of the tuning ladder's cells. Any
+// path that builds the ladder — Tune, TuneWith, or a query-server tune
+// request — runs its plan under this ID, so they all share cache entries.
+const TuneFigureID = "tune"
+
 // Tune measures PiP-MColl's small and large algorithm variants for
 // allgather and allreduce across a size ladder on the given cluster shape
 // and configuration, and recommends switch points.
 func Tune(cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, error) {
-	return TuneWith(NewRunner(RunnerConfig{Parallel: 1}), cfg, nodes, ppn, o)
+	return TuneWith(context.Background(), NewRunner(RunnerConfig{Parallel: 1}), cfg, nodes, ppn, o)
 }
 
 // TuneWith is Tune under a caller-provided runner: the ladder's
 // (collective, variant, size) points are independent cells, so the tuning
 // stage parallelizes and caches like any figure.
-func TuneWith(r *Runner, cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, error) {
-	o = o.withDefaults()
-	var res TuneResult
-	for s := 1 << 10; s <= 256<<10; s *= 2 {
-		res.Sizes = append(res.Sizes, s)
+func TuneWith(ctx context.Context, r *Runner, cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, error) {
+	plan := TunePlan(cfg, nodes, ppn, o)
+	tables, err := r.RunPlan(ctx, TuneFigureID, plan, o)
+	if err != nil {
+		return TuneResult{}, err
 	}
+	return AnalyzeTune(tables[0])
+}
+
+// tuneSizes returns the ladder's fixed payload sizes.
+func tuneSizes() []int {
+	var sizes []int
+	for s := 1 << 10; s <= 256<<10; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// TunePlan decomposes the tuning ladder into independent cells — one per
+// (collective, variant, size) — with the same keys TuneWith has always
+// used, so plans built here (by the CLI or the query server) hit the same
+// cache entries. Run it under TuneFigureID and feed the ladder table to
+// AnalyzeTune.
+func TunePlan(cfg mpi.Config, nodes, ppn int, o Opts) *Plan {
+	o = o.withDefaults()
+	sizes := tuneSizes()
 	huge := 1 << 40
 	variants := []struct {
 		col    string
@@ -61,13 +87,13 @@ func TuneWith(r *Runner, cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, er
 	for i, v := range variants {
 		cols[i] = v.col
 	}
-	rows := make([]string, len(res.Sizes))
-	for i, s := range res.Sizes {
+	rows := make([]string, len(sizes))
+	for i, s := range sizes {
 		rows[i] = sizeLabel(s)
 	}
 	t := stats.NewTable(fmt.Sprintf("tune ladder (%dx%d)", nodes, ppn), "size", "us", cols, rows)
 	var cells []Cell
-	for i, size := range res.Sizes {
+	for i, size := range sizes {
 		for _, v := range variants {
 			size, v, row := size, v, rows[i]
 			cells = append(cells, Cell{
@@ -87,16 +113,24 @@ func TuneWith(r *Runner, cfg mpi.Config, nodes, ppn int, o Opts) (TuneResult, er
 			})
 		}
 	}
-	tables, err := r.runPlan("tune", &Plan{Tables: []*stats.Table{t}, Cells: cells}, o)
-	if err != nil {
-		return res, err
+	return &Plan{Tables: []*stats.Table{t}, Cells: cells}
+}
+
+// AnalyzeTune derives switch-point recommendations from a completed
+// ladder table (TunePlan's table 0): per-collective, the first size at
+// which the large-message algorithm won.
+func AnalyzeTune(ladder *stats.Table) (TuneResult, error) {
+	var res TuneResult
+	res.Sizes = tuneSizes()
+	if len(ladder.RowNames) != len(res.Sizes) {
+		return res, fmt.Errorf("bench: tune ladder has %d rows, want %d", len(ladder.RowNames), len(res.Sizes))
 	}
-	ladder := tables[0]
-	for i, size := range res.Sizes {
-		ag1 := ladder.Get(rows[i], "AG-small")
-		ag2 := ladder.Get(rows[i], "AG-large")
-		ar1 := ladder.Get(rows[i], "AR-small")
-		ar2 := ladder.Get(rows[i], "AR-large")
+	for _, size := range res.Sizes {
+		row := sizeLabel(size)
+		ag1 := ladder.Get(row, "AG-small")
+		ag2 := ladder.Get(row, "AG-large")
+		ar1 := ladder.Get(row, "AR-small")
+		ar2 := ladder.Get(row, "AR-large")
 		res.AGSmall = append(res.AGSmall, ag1)
 		res.AGLarge = append(res.AGLarge, ag2)
 		res.ARSml = append(res.ARSml, ar1)

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/stats"
+)
+
+// WhatIfFigureID is the cache namespace for ad-hoc single-point queries:
+// measurements that belong to no registered figure, such as the query
+// server's what-if requests. Two what-if runs of the same (library,
+// collective, shape, payload, fault plan, opts) share one cache entry
+// regardless of which process asked.
+const WhatIfFigureID = "whatif"
+
+// WhatIf is one ad-hoc measurement point: a standard Spec optionally run
+// under a fault plan. It compiles to a single-cell Plan whose key folds in
+// the full transport configuration whenever the plan deviates from the
+// library default, following the same convention as the sensitivity and
+// tuning cells.
+type WhatIf struct {
+	Spec  Spec
+	Fault *fault.Spec
+}
+
+// Key returns the what-if cell's cache key.
+func (w WhatIf) Key() (string, error) {
+	key := specKey(w.Spec)
+	if w.Fault != nil {
+		plan, err := fault.New(*w.Fault)
+		if err != nil {
+			return "", err
+		}
+		cfg := w.Spec.Lib.Config()
+		cfg.Faults = plan
+		key += " cfg=" + cfgKey(cfg)
+	}
+	return key, nil
+}
+
+// Plan compiles the what-if point into a one-cell plan: a 1x1 table (row =
+// the payload label, column = the library) receiving the mean runtime in
+// microseconds.
+func (w WhatIf) Plan() (*Plan, error) {
+	if err := validate(w.Spec); err != nil {
+		return nil, err
+	}
+	cfg := w.Spec.Lib.Config()
+	if w.Fault != nil {
+		plan, err := fault.New(*w.Fault)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = plan
+	}
+	key, err := w.Key()
+	if err != nil {
+		return nil, err
+	}
+	spec := w.Spec
+	row := fmt.Sprintf("%s %s %dx%d", spec.Op, sizeLabel(spec.Bytes), spec.Nodes, spec.PPN)
+	col := spec.Lib.Name()
+	title := fmt.Sprintf("what-if: %s %s (%dx%d, %s per process)",
+		col, spec.Op, spec.Nodes, spec.PPN, sizeLabel(spec.Bytes))
+	if w.Fault != nil {
+		title += " under faults"
+	}
+	t := stats.NewTable(title, "point", "us", []string{col}, []string{row})
+	cell := Cell{
+		Key: key,
+		Run: func() ([]Value, error) {
+			m, err := RunConfig(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []Value{{Table: 0, Row: row, Col: col, V: m.MeanMicros()}}, nil
+		},
+	}
+	return &Plan{Tables: []*stats.Table{t}, Cells: []Cell{cell}}, nil
+}

@@ -1,0 +1,276 @@
+// Package query is the unified experiment-request API shared by every
+// front end: the one-shot CLIs (pipmcoll-bench, pipmcoll-tune,
+// pipmcoll-report) and the pipmcoll-serve HTTP service. A Request names an
+// experiment — a registered figure, an ad-hoc what-if cell (topology x
+// library x collective x payload x optional fault plan), or a tuning
+// ladder — plus the measurement options, in one typed struct with a
+// canonical JSON encoding.
+//
+// The defining property is cache convergence: a Request compiles (Build)
+// to exactly the (figure ID, cell key, Opts) triples the bench runner has
+// always hashed into its content-addressed result cache, so the same
+// experiment requested from any front end shares one cache entry and
+// produces byte-identical tables. Canonical encodings round-trip:
+// decode(encode(r)) derives the same cell addresses as r.
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/libs"
+	"repro/internal/nums"
+	"repro/internal/stats"
+)
+
+// Request kinds. An empty Kind is inferred from which payload field is set.
+const (
+	KindFigure = "figure" // run one registered figure
+	KindCell   = "cell"   // run one ad-hoc what-if measurement point
+	KindTune   = "tune"   // run the switch-point tuning ladder
+)
+
+// Request describes one experiment. Exactly one of Figure, Cell, or Tune
+// is set, matching Kind. The struct's JSON field order is the canonical
+// encoding (see Canonical).
+type Request struct {
+	Kind   string `json:"kind"`
+	Figure string `json:"figure,omitempty"`
+	Cell   *Cell  `json:"cell,omitempty"`
+	Tune   *Tune  `json:"tune,omitempty"`
+	Opts   Opts   `json:"opts"`
+}
+
+// Opts mirrors bench.Opts: measurement scale and repetition counts.
+type Opts struct {
+	Full   bool `json:"full,omitempty"`
+	Warmup int  `json:"warmup"`
+	Iters  int  `json:"iters"`
+}
+
+// Bench converts to the bench harness's option struct (no normalization;
+// Build applies bench's defaulting rules).
+func (o Opts) Bench() bench.Opts { return bench.Opts{Full: o.Full, Warmup: o.Warmup, Iters: o.Iters} }
+
+// Cell is one what-if measurement point: which library runs which
+// collective on which cluster shape with what payload, optionally under a
+// deterministic fault plan.
+type Cell struct {
+	Library    string      `json:"library"`
+	Collective string      `json:"collective"`
+	Nodes      int         `json:"nodes"`
+	PPN        int         `json:"ppn"`
+	Bytes      int         `json:"bytes"`
+	Fault      *fault.Spec `json:"fault,omitempty"`
+}
+
+// Tune asks for the PiP-MColl switch-point ladder on a cluster shape,
+// optionally overriding the fabric calibration the way pipmcoll-tune's
+// flags always have.
+type Tune struct {
+	Nodes int `json:"nodes"`
+	PPN   int `json:"ppn"`
+	// QueueBWGBs / LinkBWGBs override the per-queue DMA and node link
+	// bandwidths in GB/s (0 = library default).
+	QueueBWGBs float64 `json:"queue_bw_gbs,omitempty"`
+	LinkBWGBs  float64 `json:"link_bw_gbs,omitempty"`
+}
+
+// Normalize validates the request and returns it with Kind inferred and
+// Opts defaulted — the form Canonical encodes and Build compiles. Two
+// requests meaning the same experiment normalize identically.
+func (r Request) Normalize() (Request, error) {
+	set := 0
+	if r.Figure != "" {
+		set++
+		if r.Kind == "" {
+			r.Kind = KindFigure
+		}
+	}
+	if r.Cell != nil {
+		set++
+		if r.Kind == "" {
+			r.Kind = KindCell
+		}
+	}
+	if r.Tune != nil {
+		set++
+		if r.Kind == "" {
+			r.Kind = KindTune
+		}
+	}
+	if set != 1 {
+		return r, fmt.Errorf("query: exactly one of figure, cell, tune must be set (got %d)", set)
+	}
+	o := r.Opts.Bench().WithDefaults()
+	r.Opts = Opts{Full: o.Full, Warmup: o.Warmup, Iters: o.Iters}
+	switch r.Kind {
+	case KindFigure:
+		if _, err := bench.Lookup(r.Figure); err != nil {
+			return r, err
+		}
+	case KindCell:
+		if r.Cell == nil {
+			return r, fmt.Errorf("query: kind %q without cell payload", r.Kind)
+		}
+		if _, err := r.Cell.spec(r.Opts); err != nil {
+			return r, err
+		}
+		if r.Cell.Fault != nil {
+			if _, err := fault.New(*r.Cell.Fault); err != nil {
+				return r, err
+			}
+		}
+	case KindTune:
+		if r.Tune == nil {
+			return r, fmt.Errorf("query: kind %q without tune payload", r.Kind)
+		}
+		if r.Tune.Nodes < 1 || r.Tune.PPN < 1 {
+			return r, fmt.Errorf("query: bad tune shape %dx%d", r.Tune.Nodes, r.Tune.PPN)
+		}
+		if r.Tune.QueueBWGBs < 0 || r.Tune.LinkBWGBs < 0 {
+			return r, fmt.Errorf("query: negative bandwidth override")
+		}
+	default:
+		return r, fmt.Errorf("query: unknown kind %q", r.Kind)
+	}
+	return r, nil
+}
+
+// spec compiles the cell payload into a bench.Spec (validated by bench).
+func (c *Cell) spec(o Opts) (bench.Spec, error) {
+	lib, err := libs.ByName(c.Library)
+	if err != nil {
+		return bench.Spec{}, err
+	}
+	op := bench.Op(c.Collective)
+	switch op {
+	case bench.OpScatter, bench.OpAllgather, bench.OpAllreduce:
+	default:
+		return bench.Spec{}, fmt.Errorf("query: unknown collective %q (scatter, allgather, allreduce)", c.Collective)
+	}
+	if op == bench.OpAllreduce && c.Bytes%nums.F64Size != 0 {
+		return bench.Spec{}, fmt.Errorf("query: allreduce payload %dB not a float64 vector", c.Bytes)
+	}
+	if c.Nodes < 1 || c.PPN < 1 {
+		return bench.Spec{}, fmt.Errorf("query: bad shape %dx%d", c.Nodes, c.PPN)
+	}
+	if c.Bytes <= 0 {
+		return bench.Spec{}, fmt.Errorf("query: bad payload %dB", c.Bytes)
+	}
+	return bench.Spec{Lib: lib, Op: op, Nodes: c.Nodes, PPN: c.PPN, Bytes: c.Bytes,
+		Warmup: o.Warmup, Iters: o.Iters}, nil
+}
+
+// Canonical returns the request's canonical JSON encoding: the normalized
+// request marshalled with fixed field order. Equal experiments produce
+// equal bytes, so the encoding is a stable wire format and a valid
+// dedupe/cache key.
+func (r Request) Canonical() ([]byte, error) {
+	n, err := r.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Key returns the hex SHA-256 of the canonical encoding — the
+// request-level content address used for logging and request dedupe.
+func (r Request) Key() (string, error) {
+	c, err := r.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(c)
+	return hex.EncodeToString(h[:]), nil
+}
+
+// Job is a compiled request: the cache namespace, the decomposed cell
+// plan, and the normalized options — everything an executor (the bench
+// Runner or the serve scheduler) needs. A Job's plan is single-use: its
+// tables are filled by exactly one execution, so build a fresh Job per
+// run.
+type Job struct {
+	Req   Request // normalized
+	FigID string
+	Plan  *bench.Plan
+	opts  bench.Opts
+}
+
+// Build compiles a request into a runnable Job.
+func Build(req Request) (*Job, error) {
+	n, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{Req: n, opts: n.Opts.Bench()}
+	switch n.Kind {
+	case KindFigure:
+		fig, err := bench.Lookup(n.Figure)
+		if err != nil {
+			return nil, err
+		}
+		j.FigID = fig.ID
+		j.Plan = fig.Cells(j.opts)
+	case KindCell:
+		spec, err := n.Cell.spec(n.Opts)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := bench.WhatIf{Spec: spec, Fault: n.Cell.Fault}.Plan()
+		if err != nil {
+			return nil, err
+		}
+		j.FigID = bench.WhatIfFigureID
+		j.Plan = plan
+	case KindTune:
+		j.FigID = bench.TuneFigureID
+		j.Plan = bench.TunePlan(tuneConfig(n.Tune), n.Tune.Nodes, n.Tune.PPN, j.opts)
+	default:
+		return nil, fmt.Errorf("query: unknown kind %q", n.Kind)
+	}
+	return j, nil
+}
+
+// Opts returns the job's normalized bench options.
+func (j *Job) Opts() bench.Opts { return j.opts }
+
+// CellKeys lists the plan's cell keys in declaration order.
+func (j *Job) CellKeys() []string {
+	keys := make([]string, len(j.Plan.Cells))
+	for i, c := range j.Plan.Cells {
+		keys[i] = c.Key
+	}
+	return keys
+}
+
+// Addresses lists the content address of every cell in declaration order —
+// the exact on-disk names the bench cache uses, shared across front ends.
+func (j *Job) Addresses() []string {
+	addrs := make([]string, len(j.Plan.Cells))
+	for i, c := range j.Plan.Cells {
+		addrs[i] = bench.CellAddress(j.FigID, c.Key, j.opts)
+	}
+	return addrs
+}
+
+// Assemble routes collected per-cell values into the job's tables in
+// declaration order and applies the plan's Finish hook — the same
+// reassembly Runner.RunPlan performs, exposed for executors that schedule
+// cells themselves (the serve worker pool).
+func (j *Job) Assemble(results [][]bench.Value) []*stats.Table {
+	for _, vals := range results {
+		for _, v := range vals {
+			j.Plan.Tables[v.Table].Set(v.Row, v.Col, v.V)
+		}
+	}
+	tables := j.Plan.Tables
+	if j.Plan.Finish != nil {
+		tables = j.Plan.Finish(tables)
+	}
+	return tables
+}

@@ -1,0 +1,286 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/simtime"
+)
+
+// TestCanonicalRoundTrip: decode(encode(r)) is byte-identical to encode(r)
+// and derives the same cell addresses — the property that makes the wire
+// encoding a valid cache key across processes.
+func TestCanonicalRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Figure: "9", Opts: Opts{Warmup: 1, Iters: 1}},
+		{Cell: &Cell{Library: "PiP-MColl", Collective: "allgather", Nodes: 2, PPN: 2, Bytes: 512}},
+		{Cell: &Cell{Library: "PiP-MPICH", Collective: "allreduce", Nodes: 2, PPN: 2, Bytes: 256,
+			Fault: &fault.Spec{Seed: 7, Noise: []fault.Noise{{Amplitude: 5 * simtime.Microsecond,
+				Period: 100 * simtime.Microsecond}}}}},
+		{Tune: &Tune{Nodes: 2, PPN: 2}, Opts: Opts{Warmup: 1, Iters: 1}},
+	}
+	for _, req := range reqs {
+		enc, err := req.Canonical()
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		var back Request
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatal(err)
+		}
+		enc2, err := back.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Errorf("canonical encoding not a fixed point:\n%s\n%s", enc, enc2)
+		}
+		j1, err := Build(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := Build(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, a2 := j1.Addresses(), j2.Addresses()
+		if len(a1) == 0 {
+			t.Fatalf("%+v: no cells", req)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Errorf("cell %d address diverged after round trip: %s vs %s", i, a1[i], a2[i])
+			}
+		}
+		k1, _ := req.Key()
+		k2, _ := back.Key()
+		if k1 != k2 || k1 == "" {
+			t.Errorf("request keys diverged: %q vs %q", k1, k2)
+		}
+	}
+}
+
+// TestNormalizeInfersKindAndDefaults: Kind is inferred from the payload
+// and Opts pick up the harness defaults, so sparse client requests and
+// fully-specified ones normalize to the same canonical form.
+func TestNormalizeInfersKindAndDefaults(t *testing.T) {
+	n, err := Request{Figure: "6"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != KindFigure || n.Opts.Warmup != 2 || n.Opts.Iters != 3 {
+		t.Fatalf("normalized: %+v", n)
+	}
+	sparse, _ := Request{Figure: "6"}.Canonical()
+	explicit, _ := Request{Kind: KindFigure, Figure: "6", Opts: Opts{Warmup: 2, Iters: 3}}.Canonical()
+	if !bytes.Equal(sparse, explicit) {
+		t.Fatalf("equivalent requests encode differently:\n%s\n%s", sparse, explicit)
+	}
+}
+
+// TestNormalizeRejects: malformed requests fail loudly with the reason.
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"empty", Request{}, "exactly one"},
+		{"both", Request{Figure: "6", Cell: &Cell{}}, "exactly one"},
+		{"unknown figure", Request{Figure: "999"}, "unknown figure"},
+		{"unknown lib", Request{Cell: &Cell{Library: "nope", Collective: "scatter", Nodes: 1, PPN: 1, Bytes: 8}}, "unknown library"},
+		{"unknown op", Request{Cell: &Cell{Library: "PiP-MColl", Collective: "barrier", Nodes: 1, PPN: 1, Bytes: 8}}, "unknown collective"},
+		{"bad shape", Request{Cell: &Cell{Library: "PiP-MColl", Collective: "scatter", Nodes: 0, PPN: 1, Bytes: 8}}, "bad shape"},
+		{"bad payload", Request{Cell: &Cell{Library: "PiP-MColl", Collective: "scatter", Nodes: 1, PPN: 1}}, "bad payload"},
+		{"odd allreduce", Request{Cell: &Cell{Library: "PiP-MColl", Collective: "allreduce", Nodes: 1, PPN: 1, Bytes: 7}}, "float64"},
+		{"bad fault", Request{Cell: &Cell{Library: "PiP-MColl", Collective: "scatter", Nodes: 1, PPN: 1, Bytes: 8,
+			Fault: &fault.Spec{Loss: fault.Loss{DropRate: 2}}}}, "drop rate"},
+		{"bad tune", Request{Tune: &Tune{Nodes: 0, PPN: 1}}, "bad tune shape"},
+		{"bad kind", Request{Kind: "nope", Figure: "6"}, "unknown kind"},
+	}
+	for _, c := range cases {
+		if _, err := c.req.Normalize(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestFigureAddressesMatchRunnerCache: a figure request's addresses are
+// exactly the entries a Runner populates for the same figure — the shared
+// cache contract between CLIs and the server.
+func TestFigureAddressesMatchRunnerCache(t *testing.T) {
+	cache, err := bench.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Figure: "1", Opts: Opts{Warmup: 1, Iters: 1}}
+	j, err := Build(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := bench.Lookup("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.NewRunner(bench.RunnerConfig{Parallel: 2, Cache: cache})
+	if _, err := r.RunFigure(context.Background(), fig, req.Opts.Bench()); err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range j.CellKeys() {
+		if _, ok := cache.Load(j.FigID, key, j.Opts()); !ok {
+			t.Errorf("cell %d (%s) not found in runner-populated cache", i, key)
+		}
+	}
+	if hits, _ := cache.Stats(); int(hits) != len(j.CellKeys()) {
+		t.Errorf("address probe hit %d of %d cells", hits, len(j.CellKeys()))
+	}
+}
+
+// TestExecuteMatchesRunnerOutput: Execute (the CLI path through query)
+// reproduces byte-identical tables to driving the Runner directly, and a
+// second Execute against the same cache is all hits.
+func TestExecuteMatchesRunnerOutput(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := bench.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.NewRunner(bench.RunnerConfig{Parallel: 2, Cache: cache})
+	req := Request{Figure: "1", Opts: Opts{Warmup: 1, Iters: 1}}
+	resp, err := Execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fig, err := bench.Lookup("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := bench.NewRunner(bench.RunnerConfig{Parallel: 1}).
+		RunFigure(context.Background(), fig, req.Opts.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != len(tables) {
+		t.Fatalf("table counts differ: %d vs %d", len(resp.Tables), len(tables))
+	}
+	for i := range tables {
+		if resp.Tables[i].CSV != tables[i].CSV() {
+			t.Errorf("table %d CSV diverged between query path and direct runner", i)
+		}
+	}
+
+	_, misses := cache.Stats()
+	resp2, err := Execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses2 := cache.Stats()
+	if misses2 != misses || hits == 0 {
+		t.Fatalf("second Execute not fully cached: %d hits, %d->%d misses", hits, misses, misses2)
+	}
+	for i := range resp.Tables {
+		if resp.Tables[i].CSV != resp2.Tables[i].CSV {
+			t.Errorf("cached Execute table %d diverged", i)
+		}
+	}
+}
+
+// TestTuneExecute: a tune request produces the ladder table and a
+// recommendation, sharing cache entries with bench.TuneWith.
+func TestTuneExecute(t *testing.T) {
+	cache, err := bench.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.NewRunner(bench.RunnerConfig{Parallel: 2, Cache: cache})
+	req := Request{Tune: &Tune{Nodes: 2, PPN: 2}, Opts: Opts{Warmup: 1, Iters: 1}}
+	resp, err := Execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Analysis == "" || !strings.Contains(resp.Analysis, "recommended:") {
+		t.Fatalf("tune analysis missing: %q", resp.Analysis)
+	}
+	_, misses := cache.Stats()
+	if misses == 0 {
+		t.Fatal("tune run did not populate the cache")
+	}
+	if _, err := Execute(context.Background(), r, req); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses2 := cache.Stats()
+	if misses2 != misses || hits != misses {
+		t.Fatalf("second tune not fully cached: %d hits, %d->%d misses", hits, misses, misses2)
+	}
+}
+
+// TestWhatIfCellExecutesAndCaches: a cell request runs, returns one value,
+// and re-running hits the cache; attaching a fault plan changes the
+// address (different experiment, different entry).
+func TestWhatIfCellExecutesAndCaches(t *testing.T) {
+	cache, err := bench.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.NewRunner(bench.RunnerConfig{Parallel: 1, Cache: cache})
+	base := Request{Cell: &Cell{Library: "PiP-MColl", Collective: "allgather", Nodes: 2, PPN: 2, Bytes: 256},
+		Opts: Opts{Warmup: 1, Iters: 1}}
+	resp, err := Execute(context.Background(), r, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != 1 || resp.Cells != 1 {
+		t.Fatalf("cell response: %d tables, %d cells", len(resp.Tables), resp.Cells)
+	}
+	if _, err := Execute(context.Background(), r, base); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != 1 {
+		t.Fatalf("what-if re-run not cached: %d hits", hits)
+	}
+
+	faulty := base
+	faulty.Cell = &Cell{Library: "PiP-MColl", Collective: "allgather", Nodes: 2, PPN: 2, Bytes: 256,
+		Fault: &fault.Spec{Seed: 1, Noise: []fault.Noise{{Amplitude: 5 * simtime.Microsecond,
+			Period: 50 * simtime.Microsecond}}}}
+	jb, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := Build(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Addresses()[0] == jf.Addresses()[0] {
+		t.Fatal("fault plan did not change the cell's content address")
+	}
+}
+
+// TestWriteCellTraceDeterministic: the on-demand Perfetto export is
+// byte-identical across invocations and refuses non-cell requests.
+func TestWriteCellTraceDeterministic(t *testing.T) {
+	req := Request{Cell: &Cell{Library: "PiP-MColl", Collective: "allgather", Nodes: 2, PPN: 2, Bytes: 256},
+		Opts: Opts{Warmup: 1, Iters: 1}}
+	var a, b bytes.Buffer
+	if err := WriteCellTrace(req, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCellTrace(req, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("trace not deterministic (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatal("trace is not valid JSON")
+	}
+	if err := WriteCellTrace(Request{Figure: "1"}, &a); err == nil {
+		t.Fatal("figure request produced a trace")
+	}
+}

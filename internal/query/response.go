@@ -1,0 +1,99 @@
+package query
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// Table is one result table in wire form: the aligned text rendering the
+// CLIs print and the CSV rendering they persist. Comparing the CSV bytes of
+// two responses is the byte-identity check the goldens use, so equality
+// here means equality everywhere.
+type Table struct {
+	Title string `json:"title"`
+	Text  string `json:"text"`
+	CSV   string `json:"csv"`
+}
+
+// Response is the outcome of executing a Request, shared verbatim between
+// query.Execute (the CLI path) and the pipmcoll-serve /query endpoint.
+type Response struct {
+	// Request echoes the normalized request and Key its content address.
+	Request Request `json:"request"`
+	Key     string  `json:"key"`
+	// Cells is the number of measurement cells the request decomposed
+	// into; CacheHits of them were served without simulating (filled only
+	// by executors that track per-cell hits — the server always does).
+	Cells     int `json:"cells"`
+	CacheHits int `json:"cache_hits"`
+	// Tables are the result tables in declaration order.
+	Tables []Table `json:"tables"`
+	// Analysis carries kind-specific derived output (the tune
+	// recommendation text); empty otherwise.
+	Analysis string `json:"analysis,omitempty"`
+	// ElapsedMS is the executor-measured wall time of the run.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// NewResponse assembles the wire response for a completed job.
+func NewResponse(j *Job, tables []*stats.Table, cacheHits int, elapsedMS float64) (*Response, error) {
+	key, err := j.Req.Key()
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Request:   j.Req,
+		Key:       key,
+		Cells:     len(j.Plan.Cells),
+		CacheHits: cacheHits,
+		ElapsedMS: elapsedMS,
+	}
+	for _, t := range tables {
+		resp.Tables = append(resp.Tables, Table{Title: t.Title, Text: t.Format(), CSV: t.CSV()})
+	}
+	if j.Req.Kind == KindTune {
+		res, err := bench.AnalyzeTune(tables[0])
+		if err != nil {
+			return nil, err
+		}
+		resp.Analysis = res.Format()
+	}
+	return resp, nil
+}
+
+// Execute compiles and runs a request on a bench Runner — the CLI path.
+// The server schedules cells itself (with singleflight and fairness) but
+// produces the same Response from the same Job, which is what makes a CLI
+// run and a server query for one experiment byte-identical.
+func Execute(ctx context.Context, r *bench.Runner, req Request) (*Response, error) {
+	j, err := Build(req)
+	if err != nil {
+		return nil, err
+	}
+	start := nowMS()
+	tables, err := r.RunPlan(ctx, j.FigID, j.Plan, j.opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewResponse(j, tables, 0, nowMS()-start)
+}
+
+// tuneConfig builds the tune request's transport configuration exactly as
+// pipmcoll-tune's flags always have.
+func tuneConfig(t *Tune) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	if t.QueueBWGBs > 0 {
+		cfg.Fabric.QueueBandwidth = t.QueueBWGBs * 1e9
+	}
+	if t.LinkBWGBs > 0 {
+		cfg.Fabric.LinkBandwidth = t.LinkBWGBs * 1e9
+	}
+	return cfg
+}
+
+// nowMS is wall time in float milliseconds since an arbitrary origin.
+func nowMS() float64 { return float64(time.Now().UnixNano()) / 1e6 }

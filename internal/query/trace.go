@@ -1,0 +1,74 @@
+package query
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/libs"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// WriteCellTrace re-executes a cell request's collective once with the
+// observability recorder attached and writes the deterministic
+// Perfetto/Chrome trace_event JSON to w. The simulation is deterministic,
+// so the trace of a completed cell can be regenerated on demand instead of
+// being persisted alongside every cached result; two calls for the same
+// request produce byte-identical traces. Only cell-kind requests are
+// traceable — a figure is many cells, each individually addressable.
+func WriteCellTrace(req Request, w io.Writer) error {
+	n, err := req.Normalize()
+	if err != nil {
+		return err
+	}
+	if n.Kind != KindCell {
+		return fmt.Errorf("query: traces are available for cell requests only, not %q", n.Kind)
+	}
+	spec, err := n.Cell.spec(n.Opts)
+	if err != nil {
+		return err
+	}
+	cfg := spec.Lib.Config()
+	if n.Cell.Fault != nil {
+		plan, err := fault.New(*n.Cell.Fault)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+	}
+	cluster := topology.New(spec.Nodes, spec.PPN, topology.Block)
+	world, err := mpi.NewWorld(cluster, cfg)
+	if err != nil {
+		return err
+	}
+	rec := obs.NewRecorder()
+	world.Observe(rec)
+	size := cluster.Size()
+	if err := world.Run(func(r *mpi.Rank) {
+		runCollective(spec.Lib, spec.Op, r, size, spec.Bytes)
+	}); err != nil {
+		return err
+	}
+	return rec.WritePerfetto(w)
+}
+
+// runCollective invokes one collective with freshly allocated buffers —
+// the single-iteration body behind traces.
+func runCollective(lib *libs.Library, op bench.Op, r *mpi.Rank, size, bytes int) {
+	switch op {
+	case bench.OpScatter:
+		var send []byte
+		if r.Rank() == 0 {
+			send = make([]byte, size*bytes)
+		}
+		lib.Scatter(r, 0, send, make([]byte, bytes))
+	case bench.OpAllgather:
+		lib.Allgather(r, make([]byte, bytes), make([]byte, size*bytes))
+	case bench.OpAllreduce:
+		lib.Allreduce(r, make([]byte, bytes), make([]byte, bytes), nums.Sum)
+	}
+}

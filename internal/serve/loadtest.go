@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/query"
+)
+
+// LoadOpts configures a load-test run against a /query endpoint.
+type LoadOpts struct {
+	// Clients is the number of concurrent generators, each with its own
+	// X-Client identity; PerClient is how many requests each one sends.
+	Clients   int
+	PerClient int
+	// Request is the query every generator POSTs (typically a warm one,
+	// so the run measures the serving path, not the simulator).
+	Request query.Request
+}
+
+// LoadResult summarizes a load-test run.
+type LoadResult struct {
+	Requests  int           // completed 200s
+	Rejected  int           // 429s (admission control shed them)
+	Errors    int           // transport failures and non-200/429 statuses
+	Elapsed   time.Duration // wall time for the whole run
+	QPS       float64       // successful requests per second
+	P50, P95  time.Duration // latency percentiles over successful requests
+	Max       time.Duration
+	CacheHits int // cache_hits summed over successful responses
+}
+
+// Format renders the result as aligned text.
+func (r LoadResult) Format() string {
+	return fmt.Sprintf(
+		"requests   %d ok, %d rejected (429), %d errors\n"+
+			"elapsed    %.2fs  (%.0f qps)\n"+
+			"latency    p50 %s  p95 %s  max %s\n"+
+			"cache      %d hits across responses\n",
+		r.Requests, r.Rejected, r.Errors,
+		r.Elapsed.Seconds(), r.QPS, r.P50, r.P95, r.Max, r.CacheHits)
+}
+
+// LoadTest hammers baseURL's /query endpoint with Clients concurrent
+// generators and reports throughput and latency. 429 responses count as
+// shed load, not errors — a correctly overloaded server rejects crisply
+// instead of wedging.
+func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
+	if o.Clients < 1 {
+		o.Clients = 4
+	}
+	if o.PerClient < 1 {
+		o.PerClient = 25
+	}
+	body, err := o.Request.Canonical()
+	if err != nil {
+		return LoadResult{}, err
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		res       LoadResult
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			for i := 0; i < o.PerClient; i++ {
+				req, err := http.NewRequest(http.MethodPost, baseURL+"/query", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					res.Errors++
+					mu.Unlock()
+					continue
+				}
+				req.Header.Set("X-Client", fmt.Sprintf("load-%d", c))
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					res.Errors++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.Rejected++
+				case resp.StatusCode != http.StatusOK:
+					res.Errors++
+				default:
+					var qr query.Response
+					if decodeErr := json.NewDecoder(resp.Body).Decode(&qr); decodeErr != nil {
+						res.Errors++
+					} else {
+						res.Requests++
+						res.CacheHits += qr.CacheHits
+						latencies = append(latencies, lat)
+					}
+				}
+				mu.Unlock()
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.QPS = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50 = latencies[len(latencies)/2]
+		res.P95 = latencies[len(latencies)*95/100]
+		res.Max = latencies[len(latencies)-1]
+	}
+	return res, nil
+}

@@ -1,0 +1,438 @@
+// Package serve turns the deterministic benchmark harness into a
+// simulation-as-a-service: an HTTP front end (Server) over a fair,
+// deduplicating cell scheduler (Scheduler). Clients POST query.Requests;
+// cells already in the content-addressed result cache are answered on the
+// fast path without simulating, identical in-flight cells are merged
+// (singleflight), and fresh work is admitted into bounded per-client FIFO
+// queues drained round-robin by a fixed worker pool — so one greedy client
+// cannot starve the rest, and overload degrades into explicit 429s instead
+// of unbounded queueing.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// ErrOverloaded reports that admission control rejected a job because the
+// global or per-client queue bound would be exceeded. RetryAfter is the
+// scheduler's backoff hint, surfaced as the HTTP Retry-After header.
+type ErrOverloaded struct {
+	RetryAfter time.Duration
+}
+
+// Error describes the rejection.
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("serve: queue full, retry after %s", e.RetryAfter)
+}
+
+// SchedulerConfig configures the cell scheduler.
+type SchedulerConfig struct {
+	// Workers is the number of cells simulating concurrently (min 1).
+	Workers int
+	// MaxQueue bounds cells queued globally, excluding those running;
+	// MaxPerClient bounds cells queued by one client. A job whose new
+	// cells would exceed either bound is rejected whole with
+	// ErrOverloaded (cache hits and singleflight joins are free — they
+	// consume no queue capacity).
+	MaxQueue     int
+	MaxPerClient int
+	// Cache, when non-nil, is the shared content-addressed result cache —
+	// the same store the CLIs use, which is what makes server and CLI
+	// runs of one experiment share entries.
+	Cache *bench.Cache
+	// Metrics, when non-nil, receives scheduler counters and gauges
+	// under the serve.* namespace.
+	Metrics *obs.Registry
+}
+
+// flight is one in-flight cell computation, shared by every job that needs
+// the same content address. Its context is detached from any single
+// requester: it is cancelled only when the last waiter abandons, which
+// releases the worker slot mid-simulation (the orphaned cell body finishes
+// in the background and is discarded).
+type flight struct {
+	addr   string
+	figID  string
+	cell   bench.Cell
+	opts   bench.Opts
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	waiters int // guarded by Scheduler.mu
+
+	done   chan struct{} // closed once vals/cached/err are set
+	vals   []bench.Value
+	cached bool
+	err    error
+}
+
+// task is one queued unit of work: a flight owed to a client's queue.
+type task struct {
+	client string
+	fl     *flight
+}
+
+// Scheduler schedules measurement cells over a bounded worker pool with
+// per-client fairness, cell-level singleflight, and cache fast-pathing.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu       sync.Mutex
+	queues   map[string][]*task // per-client FIFO of admitted tasks
+	order    []string           // round-robin rotation of clients with queued work
+	queued   int                // total queued tasks (not yet picked by a worker)
+	inflight map[string]*flight // content address -> live flight
+
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxQueue < 1 {
+		cfg.MaxQueue = 256
+	}
+	if cfg.MaxPerClient < 1 {
+		cfg.MaxPerClient = cfg.MaxQueue
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		queues:   make(map[string][]*task),
+		inflight: make(map[string]*flight),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers after their current cells finish. Queued tasks
+// are dropped; their waiters see ErrStopped.
+func (s *Scheduler) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// ErrStopped is reported to waiters whose queued cells were dropped by
+// Close.
+var ErrStopped = fmt.Errorf("serve: scheduler stopped")
+
+func (s *Scheduler) counter(name string) *obs.Counter {
+	if s.cfg.Metrics == nil {
+		return nil
+	}
+	return s.cfg.Metrics.Counter(name)
+}
+
+func (s *Scheduler) add(name string) {
+	if c := s.counter(name); c != nil {
+		c.Add(1)
+	}
+}
+
+func (s *Scheduler) setDepth() {
+	// callers hold s.mu
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge("serve.queue.depth").Set(int64(s.queued))
+	}
+}
+
+// RetryAfter estimates how long a rejected client should back off: one
+// scheduling round per queued cell ahead of it, floored at a second.
+func (s *Scheduler) retryAfter() time.Duration {
+	d := time.Duration(1+s.queued/s.cfg.Workers) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// RunJob executes every cell of a compiled query job on behalf of client,
+// returning per-cell values in declaration order and the number of cells
+// answered from the cache without simulating. onCell, when non-nil, fires
+// once per completed cell (serialized).
+//
+// Admission is all-or-nothing: cells served by the cache fast path or
+// merged into an existing flight are free, and the remaining new cells are
+// admitted only if they fit both queue bounds — otherwise ErrOverloaded
+// and nothing is enqueued. Cancelling ctx abandons this job's interest in
+// its flights; a flight whose last waiter left is cancelled, which
+// releases its worker slot even mid-simulation.
+func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onCell func(i int, key string, cached bool, err error)) ([][]bench.Value, int, error) {
+	n := len(j.Plan.Cells)
+	opts := j.Opts()
+	results := make([][]bench.Value, n)
+	errs := make([]error, n)
+	hits := 0
+
+	// Fast path: answer straight from the shared result cache. No queue
+	// capacity, no worker, no flight — a warm query never invokes a cell
+	// function.
+	pending := make([]int, 0, n)
+	for i, c := range j.Plan.Cells {
+		if s.cfg.Cache != nil {
+			if vals, ok := s.cfg.Cache.Load(j.FigID, c.Key, opts); ok {
+				results[i] = vals
+				hits++
+				s.add("serve.cells.fast_path")
+				if onCell != nil {
+					onCell(i, c.Key, true, nil)
+				}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return results, hits, nil
+	}
+
+	// Classify the rest under one lock: join live flights (free) or admit
+	// new ones (bounded), atomically so admission cannot be split.
+	flights := make([]*flight, n)
+	s.mu.Lock()
+	fresh := 0
+	for _, i := range pending {
+		addr := bench.CellAddress(j.FigID, j.Plan.Cells[i].Key, opts)
+		if _, ok := s.inflight[addr]; !ok {
+			fresh++
+		}
+	}
+	if s.queued+fresh > s.cfg.MaxQueue || len(s.queues[client])+fresh > s.cfg.MaxPerClient {
+		retry := s.retryAfter()
+		s.mu.Unlock()
+		s.add("serve.queue.rejected")
+		return nil, 0, &ErrOverloaded{RetryAfter: retry}
+	}
+	joined, enqueued := 0, 0
+	for _, i := range pending {
+		c := j.Plan.Cells[i]
+		addr := bench.CellAddress(j.FigID, c.Key, opts)
+		if fl, ok := s.inflight[addr]; ok {
+			fl.waiters++
+			flights[i] = fl
+			joined++
+			continue
+		}
+		fctx, cancel := context.WithCancel(context.Background())
+		fl := &flight{addr: addr, figID: j.FigID, cell: c, opts: opts,
+			ctx: fctx, cancel: cancel, waiters: 1, done: make(chan struct{})}
+		s.inflight[addr] = fl
+		flights[i] = fl
+		if _, ok := s.queues[client]; !ok {
+			s.order = append(s.order, client)
+		}
+		s.queues[client] = append(s.queues[client], &task{client: client, fl: fl})
+		s.queued++
+		enqueued++
+	}
+	s.setDepth()
+	s.mu.Unlock()
+	if joined > 0 {
+		if c := s.counter("serve.cells.joined"); c != nil {
+			c.Add(int64(joined))
+		}
+	}
+	for k := 0; k < enqueued; k++ {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+
+	// Wait for every flight, streaming completions as they land.
+	var (
+		wg     sync.WaitGroup
+		cellMu sync.Mutex
+	)
+	for _, i := range pending {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fl := flights[i]
+			select {
+			case <-fl.done:
+				results[i], errs[i] = fl.vals, fl.err
+				cellMu.Lock()
+				if fl.cached && fl.err == nil {
+					hits++
+				}
+				if onCell != nil {
+					onCell(i, j.Plan.Cells[i].Key, fl.cached, fl.err)
+				}
+				cellMu.Unlock()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+			case <-s.stop:
+				errs[i] = ErrStopped
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		// Abandon: drop this job's interest in every unfinished flight.
+		// The last waiter leaving cancels the flight, freeing its worker
+		// slot mid-cell and unregistering it so later submitters start
+		// fresh instead of joining a dying computation.
+		s.mu.Lock()
+		for _, i := range pending {
+			fl := flights[i]
+			select {
+			case <-fl.done:
+				continue
+			default:
+			}
+			fl.waiters--
+			if fl.waiters == 0 {
+				fl.cancel()
+				if s.inflight[fl.addr] == fl {
+					delete(s.inflight, fl.addr)
+				}
+				s.add("serve.cells.abandoned")
+			}
+		}
+		s.mu.Unlock()
+		return nil, hits, ctx.Err()
+	}
+
+	var failed []*bench.CellError
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, &bench.CellError{Figure: j.FigID, Key: j.Plan.Cells[i].Key, Err: err})
+		}
+	}
+	if len(failed) > 0 {
+		return nil, hits, &bench.CellErrors{Figure: j.FigID, Total: n, Cells: failed}
+	}
+	return results, hits, nil
+}
+
+// worker drains the fair queue until Close.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		t := s.next()
+		if t == nil {
+			return
+		}
+		s.execute(t.fl)
+	}
+}
+
+// next blocks until a task is available (round-robin across clients) or
+// the scheduler stops.
+func (s *Scheduler) next() *task {
+	for {
+		s.mu.Lock()
+		t := s.pop()
+		s.setDepth()
+		s.mu.Unlock()
+		if t != nil {
+			return t
+		}
+		select {
+		case <-s.wake:
+		case <-s.stop:
+			return nil
+		}
+	}
+}
+
+// pop takes the next task fairly: the client at the front of the rotation
+// yields one task and, if it still has work, goes to the back — so a
+// client that queued one cell waits behind at most one cell per other
+// active client, however deep anyone else's backlog is. Callers hold s.mu.
+func (s *Scheduler) pop() *task {
+	for len(s.order) > 0 {
+		c := s.order[0]
+		s.order = s.order[1:]
+		q := s.queues[c]
+		if len(q) == 0 {
+			delete(s.queues, c)
+			continue
+		}
+		t := q[0]
+		if len(q) == 1 {
+			delete(s.queues, c)
+		} else {
+			s.queues[c] = q[1:]
+			s.order = append(s.order, c)
+		}
+		s.queued--
+		return t
+	}
+	return nil
+}
+
+// execute runs one flight on the calling worker: re-probe the cache
+// (another front end may have stored the entry since submission), then run
+// the cell body in its own goroutine raced against the flight's context so
+// abandonment releases this worker immediately. Completed flights
+// unregister before signalling, and abandoned results are never cached.
+func (s *Scheduler) execute(fl *flight) {
+	defer fl.cancel()
+	if s.cfg.Cache != nil {
+		if vals, ok := s.cfg.Cache.Load(fl.figID, fl.cell.Key, fl.opts); ok {
+			s.add("serve.cells.cached")
+			s.finish(fl, vals, true, nil)
+			return
+		}
+	}
+	if err := fl.ctx.Err(); err != nil {
+		s.finish(fl, nil, false, err)
+		return
+	}
+	type outcome struct {
+		vals []bench.Value
+		err  error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		var res outcome
+		defer func() {
+			if p := recover(); p != nil {
+				res = outcome{err: fmt.Errorf("panic: %v", p)}
+			}
+			out <- res
+		}()
+		res.vals, res.err = fl.cell.Run()
+	}()
+	select {
+	case res := <-out:
+		if res.err == nil && s.cfg.Cache != nil {
+			if err := s.cfg.Cache.Store(fl.figID, fl.cell.Key, fl.opts, res.vals); err != nil {
+				res.err = err
+			}
+		}
+		s.add("serve.cells.executed")
+		s.finish(fl, res.vals, false, res.err)
+	case <-fl.ctx.Done():
+		s.finish(fl, nil, false, fl.ctx.Err())
+	}
+}
+
+// finish publishes a flight's outcome: unregister, then signal waiters.
+func (s *Scheduler) finish(fl *flight, vals []bench.Value, cached bool, err error) {
+	s.mu.Lock()
+	if s.inflight[fl.addr] == fl {
+		delete(s.inflight, fl.addr)
+	}
+	s.mu.Unlock()
+	fl.vals, fl.cached, fl.err = vals, cached, err
+	close(fl.done)
+}

@@ -1,0 +1,617 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// The suite drives the full HTTP path against synthetic figures whose cell
+// bodies are instrumented and gateable from the tests: zq-count counts
+// executions (cache/fast-path proofs), zq-gate records execution order and
+// blocks on a channel (scheduling proofs). Distinct Opts.Iters values give
+// distinct content addresses, so one figure yields as many independent
+// cells as a test needs.
+
+// gateState instruments the zq-gate figure for one test.
+type gateState struct {
+	mu      sync.Mutex
+	order   []int    // iters of each body, in execution order
+	started chan int // receives iters when a body begins
+	release chan struct{}
+	block   map[int]bool // which iters block on release; nil = all
+}
+
+func (g *gateState) record(iters int) {
+	g.mu.Lock()
+	g.order = append(g.order, iters)
+	g.mu.Unlock()
+	select {
+	case g.started <- iters:
+	default:
+	}
+	if g.block == nil || g.block[iters] {
+		<-g.release
+	}
+}
+
+func (g *gateState) orderSnapshot() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.order...)
+}
+
+var (
+	gate      atomic.Pointer[gateState]
+	countRuns atomic.Int64
+)
+
+// resetGate installs fresh instrumentation; block limits which iters
+// values wait for release tokens (nil blocks all).
+func resetGate(block map[int]bool) *gateState {
+	g := &gateState{started: make(chan int, 64), release: make(chan struct{}, 64), block: block}
+	gate.Store(g)
+	return g
+}
+
+// onePoint registers a single-cell synthetic figure.
+func onePoint(id string, body func(o bench.Opts) ([]bench.Value, error)) {
+	bench.Register(bench.Figure{
+		ID: id, Title: "serve test figure " + id, Kind: bench.KindExtension,
+		Cells: func(o bench.Opts) *bench.Plan {
+			return &bench.Plan{
+				Tables: []*stats.Table{stats.NewTable(id, "x", "us", []string{"c"}, []string{"r"})},
+				Cells: []bench.Cell{{Key: "pt", Run: func() ([]bench.Value, error) {
+					return body(o)
+				}}},
+			}
+		},
+	})
+}
+
+func init() {
+	resetGate(nil)
+	onePoint("zq-count", func(o bench.Opts) ([]bench.Value, error) {
+		countRuns.Add(1)
+		return []bench.Value{{Table: 0, Row: "r", Col: "c", V: 7}}, nil
+	})
+	onePoint("zq-gate", func(o bench.Opts) ([]bench.Value, error) {
+		gate.Load().record(o.Iters)
+		return []bench.Value{{Table: 0, Row: "r", Col: "c", V: float64(o.Iters)}}, nil
+	})
+}
+
+// newTestServer builds a server over a per-test cache and registry.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Cache == nil {
+		c, err := bench.OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = c
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, cfg.Metrics
+}
+
+func gateReq(iters int) query.Request {
+	return query.Request{Figure: "zq-gate", Opts: query.Opts{Warmup: 1, Iters: iters}}
+}
+
+// postQuery POSTs a request as the given client and decodes the response.
+func postQuery(t *testing.T, url, client string, req query.Request) (*query.Response, int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("X-Client", client)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, resp.StatusCode, resp.Header
+	}
+	var qr query.Response
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return &qr, resp.StatusCode, resp.Header
+}
+
+// waitFor polls cond until true or the deadline trips.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestHealthzAndFigures(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var figs []struct{ ID, Title, Kind string }
+	if err := json.NewDecoder(resp.Body).Decode(&figs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+	}
+	if !ids["1"] || !ids["zq-count"] {
+		t.Fatalf("figure listing missing entries: %v", ids)
+	}
+}
+
+// TestWarmCacheSharedWithCLI is the cache-convergence acceptance test: a
+// warm server query never invokes the cell function, and the same
+// experiment through the CLI path (query.Execute on a bench.Runner over
+// the same cache directory) is also served from the shared entry and
+// produces byte-identical tables.
+func TestWarmCacheSharedWithCLI(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := bench.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t, Config{Workers: 2, Cache: cache})
+	countRuns.Store(0)
+	req := query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 1}}
+
+	cold, code, _ := postQuery(t, ts.URL, "a", req)
+	if code != http.StatusOK {
+		t.Fatalf("cold query: %d", code)
+	}
+	if countRuns.Load() != 1 || cold.CacheHits != 0 {
+		t.Fatalf("cold query: %d runs, %d hits", countRuns.Load(), cold.CacheHits)
+	}
+
+	warm, code, _ := postQuery(t, ts.URL, "a", req)
+	if code != http.StatusOK {
+		t.Fatalf("warm query: %d", code)
+	}
+	if countRuns.Load() != 1 {
+		t.Fatalf("warm query invoked the cell function (%d runs)", countRuns.Load())
+	}
+	if warm.CacheHits != 1 || warm.Cells != 1 {
+		t.Fatalf("warm query: %d/%d cells from cache", warm.CacheHits, warm.Cells)
+	}
+	if warm.Tables[0].CSV != cold.Tables[0].CSV || warm.Tables[0].Text != cold.Tables[0].Text {
+		t.Fatal("warm tables diverged from cold tables")
+	}
+
+	// The CLI path over the same cache directory: shared entry, identical
+	// bytes, still no execution.
+	cliCache, err := bench.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.NewRunner(bench.RunnerConfig{Parallel: 1, Cache: cliCache})
+	cli, err := query.Execute(context.Background(), r, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countRuns.Load() != 1 {
+		t.Fatalf("CLI run re-executed the cell (%d runs): cache not shared", countRuns.Load())
+	}
+	if cli.Tables[0].CSV != cold.Tables[0].CSV {
+		t.Fatal("CLI tables diverged from server tables")
+	}
+	if cli.Key != cold.Key {
+		t.Fatalf("request keys diverged: %s vs %s", cli.Key, cold.Key)
+	}
+}
+
+// TestSingleflightMergesConcurrentQueries: at least 8 concurrent identical
+// queries cause exactly one cell execution; all get the same answer.
+func TestSingleflightMergesConcurrentQueries(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Workers: 2})
+	g := resetGate(nil)
+	req := gateReq(11)
+
+	const N = 8
+	var wg sync.WaitGroup
+	responses := make([]*query.Response, N)
+	codes := make([]int, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], codes[i], _ = postQuery(t, ts.URL, fmt.Sprintf("c%d", i), req)
+		}(i)
+	}
+	// One query runs the cell (blocked on the gate); the other 7 must have
+	// merged into its flight before we let it finish.
+	waitFor(t, "7 singleflight joins", func() bool {
+		return reg.Counter("serve.cells.joined").Value() == N-1
+	})
+	g.release <- struct{}{}
+	wg.Wait()
+
+	if got := len(g.orderSnapshot()); got != 1 {
+		t.Fatalf("%d executions for %d identical concurrent queries, want 1", got, N)
+	}
+	if v := reg.Counter("serve.cells.executed").Value(); v != 1 {
+		t.Fatalf("serve.cells.executed = %d, want 1", v)
+	}
+	for i := 0; i < N; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, codes[i])
+		}
+		if responses[i].Tables[0].CSV != responses[0].Tables[0].CSV {
+			t.Fatalf("query %d got a different table", i)
+		}
+	}
+}
+
+// TestFairnessGreedyClientCannotStarve: with one worker and a greedy
+// client's backlog queued, a polite client's single cell is scheduled
+// round-robin — after at most one greedy cell, not after the backlog.
+func TestFairnessGreedyClientCannotStarve(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Workers: 1})
+	g := resetGate(nil)
+
+	var wg sync.WaitGroup
+	post := func(client string, iters int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, code, _ := postQuery(t, ts.URL, client, gateReq(iters)); code != http.StatusOK {
+				t.Errorf("client %s iters %d: status %d", client, iters, code)
+			}
+		}()
+	}
+	post("greedy", 1) // occupies the worker, blocked on the gate
+	waitFor(t, "first cell to start", func() bool { return len(g.orderSnapshot()) == 1 })
+	for i := 2; i <= 4; i++ { // greedy backlog
+		iters := i
+		post("greedy", iters)
+		waitFor(t, "greedy backlog queued", func() bool {
+			return reg.Gauge("serve.queue.depth").Value() == int64(iters-1)
+		})
+	}
+	post("polite", 9)
+	waitFor(t, "polite cell queued", func() bool {
+		return reg.Gauge("serve.queue.depth").Value() == 4
+	})
+
+	for i := 0; i < 5; i++ {
+		g.release <- struct{}{}
+	}
+	wg.Wait()
+
+	order := g.orderSnapshot()
+	pos := -1
+	for i, v := range order {
+		if v == 9 {
+			pos = i
+		}
+	}
+	// Slot 0 was already running; fair rotation admits polite at slot 1
+	// or 2, never behind the whole greedy backlog.
+	if pos < 0 || pos > 2 {
+		t.Fatalf("polite client ran at position %d of %v; starved by greedy backlog", pos, order)
+	}
+}
+
+// TestOverloadSheds429: beyond the queue bounds, queries are rejected with
+// 429 + Retry-After instead of queueing without bound, and the server
+// keeps serving after the backlog drains.
+func TestOverloadSheds429(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Workers: 1, MaxQueue: 2, MaxPerClient: 2})
+	g := resetGate(nil)
+
+	var wg sync.WaitGroup
+	post := func(client string, iters int, wantOK bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, code, _ := postQuery(t, ts.URL, client, gateReq(iters)); wantOK && code != http.StatusOK {
+				t.Errorf("client %s iters %d: status %d", client, iters, code)
+			}
+		}()
+	}
+
+	post("a", 1, true) // running
+	waitFor(t, "first cell to start", func() bool { return len(g.orderSnapshot()) == 1 })
+	post("a", 2, true)
+	post("a", 3, true)
+	waitFor(t, "backlog queued", func() bool {
+		return reg.Gauge("serve.queue.depth").Value() == 2
+	})
+
+	// Per-client bound: a's third queued cell is rejected.
+	_, code, hdr := postQuery(t, ts.URL, "a", gateReq(4))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over per-client bound: status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// Global bound: a different client is rejected too (queue is full).
+	if _, code, _ = postQuery(t, ts.URL, "b", gateReq(5)); code != http.StatusTooManyRequests {
+		t.Fatalf("over global bound: status %d, want 429", code)
+	}
+	if reg.Counter("serve.queue.rejected").Value() != 2 {
+		t.Fatalf("serve.queue.rejected = %d, want 2", reg.Counter("serve.queue.rejected").Value())
+	}
+
+	// Not wedged: drain and serve a fresh query.
+	for i := 0; i < 3; i++ {
+		g.release <- struct{}{}
+	}
+	wg.Wait()
+	countRuns.Store(0)
+	if _, code, _ := postQuery(t, ts.URL, "a", query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 1}}); code != http.StatusOK {
+		t.Fatalf("query after overload: status %d", code)
+	}
+}
+
+// TestCancelReleasesWorkerMidCell: a client abandoning its query frees the
+// worker slot even though the simulated cell never finishes; the next
+// query proceeds without the gate ever releasing the orphan.
+func TestCancelReleasesWorkerMidCell(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Workers: 1})
+	g := resetGate(map[int]bool{1: true}) // only iters=1 blocks
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(gateReq(1))
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("X-Client", "quitter")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(hr)
+		errc <- err
+	}()
+	waitFor(t, "cell to start", func() bool { return len(g.orderSnapshot()) == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request returned without error")
+	}
+	waitFor(t, "flight abandonment", func() bool {
+		return reg.Counter("serve.cells.abandoned").Value() == 1
+	})
+
+	// The only worker was simulating the orphan; this completes only if
+	// abandonment released the slot.
+	done := make(chan int, 1)
+	go func() {
+		_, code, _ := postQuery(t, ts.URL, "patient", gateReq(2))
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("follow-up query: status %d", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker slot still held by abandoned cell")
+	}
+	g.release <- struct{}{} // let the orphan goroutine exit
+}
+
+// TestStreamingProgress: ?stream=1 yields per-cell NDJSON events and a
+// final result carrying the same tables as the plain path.
+func TestStreamingProgress(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	countRuns.Store(0)
+	body, _ := json.Marshal(query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 2}})
+	resp, err := http.Post(ts.URL+"/query?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []streamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want cell+result", len(events))
+	}
+	if events[0].Type != "cell" || events[0].Done != 1 || events[0].Total != 1 {
+		t.Fatalf("first event %+v", events[0])
+	}
+	if events[1].Type != "result" || events[1].Result == nil || len(events[1].Result.Tables) != 1 {
+		t.Fatalf("final event %+v", events[1])
+	}
+}
+
+// TestTraceEndpoint: a completed cell query's Perfetto trace is served at
+// its content address; unknown addresses 404.
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 2})
+	req := query.Request{Cell: &query.Cell{Library: "PiP-MColl", Collective: "allgather",
+		Nodes: 1, PPN: 2, Bytes: 64}, Opts: query.Opts{Warmup: 1, Iters: 1}}
+	if _, code, _ := postQuery(t, ts.URL, "t", req); code != http.StatusOK {
+		t.Fatalf("cell query: status %d", code)
+	}
+	j, err := query.Build(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/traces/" + j.Addresses()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := readAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d err %v", resp.StatusCode, err)
+	}
+	if !json.Valid(trace) || !bytes.Contains(trace, []byte("traceEvents")) {
+		t.Fatalf("trace is not Perfetto JSON (%d bytes)", len(trace))
+	}
+	if resp, err = http.Get(ts.URL + "/traces/doesnotexist"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	countRuns.Store(0)
+	if _, code, _ := postQuery(t, ts.URL, "m", query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 3}}); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := readAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serve.queries", "serve.cells.executed", "serve.query.latency_ms", "serve.cache.hits"} {
+		if !bytes.Contains(dump, []byte(want)) {
+			t.Errorf("metrics dump missing %s:\n%s", want, dump)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	if _, code, _ := postQuery(t, ts.URL, "x", query.Request{Figure: "no-such-figure"}); code != http.StatusBadRequest {
+		t.Fatalf("unknown figure: status %d", code)
+	}
+	if resp, err = http.Get(ts.URL + "/query"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d", resp.StatusCode)
+	}
+}
+
+// TestLoadHarness: the bundled load generator drives a warm server without
+// errors and reports sane latency percentiles.
+func TestLoadHarness(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 2})
+	countRuns.Store(0)
+	req := query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 4}}
+	if _, code, _ := postQuery(t, ts.URL, "warm", req); code != http.StatusOK {
+		t.Fatalf("warming query: status %d", code)
+	}
+	res, err := LoadTest(ts.URL, LoadOpts{Clients: 4, PerClient: 5, Request: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 20 || res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("load result %+v", res)
+	}
+	if countRuns.Load() != 1 {
+		t.Fatalf("load test executed cells %d times; warm path broken", countRuns.Load())
+	}
+	if res.P95 <= 0 || res.P50 > res.Max {
+		t.Fatalf("nonsense percentiles %+v", res)
+	}
+	if !strings.Contains(res.Format(), "qps") {
+		t.Fatal("Format() missing throughput")
+	}
+}
+
+// TestWarmQuerySubMillisecond is the fixed-seed warm-cache latency smoke:
+// the best observed round-trip for a warm single-cell query must be
+// sub-millisecond. Gated behind PIPMCOLL_SMOKE=1 (make serve-test) so
+// ordinary test runs carry no timing flake risk.
+func TestWarmQuerySubMillisecond(t *testing.T) {
+	if os.Getenv("PIPMCOLL_SMOKE") == "" {
+		t.Skip("set PIPMCOLL_SMOKE=1 to run the latency smoke")
+	}
+	ts, _ := newTestServer(t, Config{Workers: 2})
+	req := query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 5}}
+	if _, code, _ := postQuery(t, ts.URL, "smoke", req); code != http.StatusOK {
+		t.Fatalf("warming query: status %d", code)
+	}
+	body, _ := json.Marshal(req)
+	best := time.Hour
+	for i := 0; i < 100; i++ {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(resp.Body)
+		resp.Body.Close()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	t.Logf("best warm-query round trip: %s", best)
+	if best >= time.Millisecond {
+		t.Fatalf("best warm-query latency %s, want sub-millisecond", best)
+	}
+}
+
+// readAll drains a response body.
+func readAll(r io.Reader) ([]byte, error) { return io.ReadAll(r) }

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Config configures the HTTP service. Zero values pick sane defaults.
+type Config struct {
+	// Workers, MaxQueue, MaxPerClient configure the cell scheduler.
+	Workers      int
+	MaxQueue     int
+	MaxPerClient int
+	// Cache is the shared on-disk result cache (nil disables caching —
+	// every query simulates).
+	Cache *bench.Cache
+	// Metrics receives scheduler and server series; a fresh registry is
+	// created when nil.
+	Metrics *obs.Registry
+}
+
+// Server is the simulation-as-a-service front end. Routes:
+//
+//	POST /query            run a query.Request; ?stream=1 streams NDJSON
+//	                       per-cell progress before the final response
+//	GET  /figures          list the figure registry
+//	GET  /traces/{addr}    Perfetto trace of a completed cell query
+//	GET  /metrics          text dump of the metrics registry
+//	GET  /healthz          liveness
+type Server struct {
+	sched   *Scheduler
+	cache   *bench.Cache
+	metrics *obs.Registry
+
+	mu     sync.Mutex
+	traces map[string]query.Request // cell content address -> normalized request
+}
+
+// New builds a server and starts its scheduler.
+func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	return &Server{
+		sched: NewScheduler(SchedulerConfig{
+			Workers:      cfg.Workers,
+			MaxQueue:     cfg.MaxQueue,
+			MaxPerClient: cfg.MaxPerClient,
+			Cache:        cfg.Cache,
+			Metrics:      cfg.Metrics,
+		}),
+		cache:   cfg.Cache,
+		metrics: cfg.Metrics,
+		traces:  make(map[string]query.Request),
+	}
+}
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.sched.Close() }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/figures", s.handleFigures)
+	mux.HandleFunc("/traces/", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// clientID identifies the requester for fair scheduling: the X-Client
+// header when present (load generators and tests set it), else the remote
+// host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// streamEvent is one NDJSON progress line on a streamed query.
+type streamEvent struct {
+	Type   string          `json:"type"` // "cell", "result", "error"
+	Key    string          `json:"key,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Done   int             `json:"done,omitempty"`
+	Total  int             `json:"total,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result *query.Response `json:"result,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req query.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, err := query.Build(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.Counter("serve.queries").Add(1)
+	start := time.Now()
+
+	stream := r.URL.Query().Get("stream") == "1"
+	var enc *json.Encoder
+	var flusher http.Flusher
+	var onCell func(i int, key string, cached bool, err error)
+	total := len(j.Plan.Cells)
+	if stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc = json.NewEncoder(w)
+		flusher, _ = w.(http.Flusher)
+		done := 0
+		onCell = func(_ int, key string, cached bool, err error) {
+			done++
+			ev := streamEvent{Type: "cell", Key: key, Cached: cached, Done: done, Total: total}
+			if err != nil {
+				ev.Error = err.Error()
+			}
+			enc.Encode(ev)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+
+	results, hits, err := s.sched.RunJob(r.Context(), clientID(r), j, onCell)
+	s.metrics.Histogram("serve.query.latency_ms", obs.DefaultBuckets).
+		Observe(time.Since(start).Seconds() * 1e3)
+	if err != nil {
+		var over *ErrOverloaded
+		switch {
+		case errors.As(err, &over):
+			if !stream {
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(over.RetryAfter.Seconds())))
+				httpError(w, http.StatusTooManyRequests, err)
+				return
+			}
+		case r.Context().Err() != nil:
+			// Client is gone; nothing useful to write.
+			return
+		}
+		if stream {
+			enc.Encode(streamEvent{Type: "error", Error: err.Error()})
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	resp, err := query.NewResponse(j, j.Assemble(results), hits,
+		time.Since(start).Seconds()*1e3)
+	if err != nil {
+		if stream {
+			enc.Encode(streamEvent{Type: "error", Error: err.Error()})
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if j.Req.Kind == query.KindCell {
+		// Index the completed cell by content address so its Perfetto
+		// trace can be regenerated on demand at /traces/{addr}.
+		s.mu.Lock()
+		s.traces[j.Addresses()[0]] = j.Req
+		s.mu.Unlock()
+	}
+	if stream {
+		enc.Encode(streamEvent{Type: "result", Result: resp})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, _ *http.Request) {
+	type fig struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Kind  string `json:"kind"`
+	}
+	var out []fig
+	for _, f := range bench.All() {
+		out = append(out, fig{ID: f.ID, Title: f.Title, Kind: f.Kind.String()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	addr := strings.TrimPrefix(r.URL.Path, "/traces/")
+	s.mu.Lock()
+	req, ok := s.traces[addr]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("no completed cell query with address %q; POST its query first", addr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := query.WriteCellTrace(req, w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+	s.metrics.Counter("serve.traces").Add(1)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cache != nil {
+		hits, misses := s.cache.Stats()
+		s.metrics.Gauge("serve.cache.hits").Set(hits)
+		s.metrics.Gauge("serve.cache.misses").Set(misses)
+		s.metrics.Gauge("serve.cache.corruptions").Set(s.cache.Corruptions())
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.Dump(w)
+}
