@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke serve-test ci
+.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test ci
 
 all: build
 
@@ -34,6 +34,16 @@ bench-smoke:
 	$(GO) test ./internal/simtime ./internal/mpi -run 'Alloc|UntracedP2P|RendezvousSendBufferReuse|DispatchCounter' -count=1
 	$(GO) test -race ./internal/simtime ./internal/mpi -run 'Alloc|UntracedP2P|RendezvousSendBufferReuse|DispatchCounter' -count=1
 
+# Throughput regression gate: rerun the simulator-throughput suite
+# (best-of-3 per world to shed host noise) and fail if ns/event regresses
+# more than 15% against the recorded BENCH_throughput.json baseline, if
+# allocs/event exceeds the pinned per-world ceilings, or if virtual time
+# drifts (engine behaviour change). CI hosts aren't comparable to the one
+# that recorded the baseline, so CI sets GATE_FLAGS=-gate-skip-wallclock
+# (alloc ceilings and virtual-time pins still enforce there).
+bench-gate:
+	$(GO) run ./cmd/pipmcoll-bench -gate $(GATE_FLAGS)
+
 # Query API + simulation server: the scheduler (singleflight, per-client
 # fairness, admission control, mid-cell abandonment) and the HTTP layer
 # under the race detector, then the fixed-seed warm-cache latency smoke
@@ -61,4 +71,4 @@ chaos-recovery:
 	$(GO) run ./cmd/pipmcoll-chaos -scenario node-death
 	$(GO) run ./cmd/pipmcoll-chaos -scenario cascading-failures
 
-ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke serve-test
+ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test

@@ -9,6 +9,9 @@
 //
 //	pipmcoll-bench [-fig 1,6,9] [-full] [-iters 3] [-warmup 2] [-csv DIR]
 //	               [-parallel N] [-nocache] [-cache-dir DIR]
+//	pipmcoll-bench -throughput [-throughput-out BENCH_throughput.json]
+//	pipmcoll-bench -gate [-gate-baseline BENCH_throughput.json]
+//	               [-gate-tolerance 0.15] [-gate-runs 3] [-gate-skip-wallclock]
 //
 // Without -fig, every paper figure runs in order; -ext, -ablation and
 // -sensitivity add the other registry kinds. Quick mode (default) uses
@@ -21,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -63,6 +67,34 @@ func runThroughput(out string) error {
 	return nil
 }
 
+// runGate runs the throughput suite best-of-N and fails on regression
+// against the recorded baseline — the CI bench gate (`make bench-gate`).
+func runGate(baselinePath string, tol float64, runs int, skipWall bool) error {
+	baseline, err := bench.ReadThroughputJSON(baselinePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("throughput gate: baseline %s (%d worlds), best-of-%d, ns/event tolerance +%.0f%%\n",
+		baselinePath, len(baseline.Worlds), runs, tol*100)
+	fresh, err := bench.GateThroughput(baseline, bench.GateOpts{
+		NsTolerance:   tol,
+		Repeats:       runs,
+		SkipWallClock: skipWall,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	for _, res := range fresh {
+		fmt.Printf("gate %-8s fresh: %12.0f ns/event %14.0f events/s %8.3f allocs/event\n",
+			res.World, res.NsPerEvent, res.EventsPerSec, res.AllocsPerEvent)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("throughput gate: PASS")
+	return nil
+}
+
 func run() error {
 	figList := flag.String("fig", "", "comma-separated figure ids (default: all paper figures)")
 	full := flag.Bool("full", false, "use paper-scale cluster shapes where memory allows")
@@ -79,10 +111,22 @@ func run() error {
 	statsDump := flag.Bool("stats", false, "dump harness metrics (cells, cache hits/misses, wall time, queue wait) after the run")
 	throughput := flag.Bool("throughput", false, "run the simulator-throughput suite instead of figures")
 	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where -throughput writes its JSON report")
+	gateRun := flag.Bool("gate", false, "run the throughput gate against -gate-baseline; exit nonzero on regression")
+	gateBaseline := flag.String("gate-baseline", "BENCH_throughput.json", "baseline report the gate compares against")
+	gateTol := flag.Float64("gate-tolerance", 0.15, "gate: allowed fractional ns/event regression (0.15 = +15%)")
+	gateRuns := flag.Int("gate-runs", 3, "gate: repeats per world (best-of sheds host noise)")
+	gateSkipWall := flag.Bool("gate-skip-wallclock", false, "gate: skip the ns/event comparison (alloc ceilings and virtual time still enforced)")
 	flag.Parse()
+
+	// Diagnostics (cache problems, failing cells) go to stderr as
+	// structured lines; tables and results stay on stdout.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	if *throughput {
 		return runThroughput(*throughputOut)
+	}
+	if *gateRun {
+		return runGate(*gateBaseline, *gateTol, *gateRuns, *gateSkipWall)
 	}
 
 	if *list {
@@ -127,7 +171,7 @@ func run() error {
 	if !*nocache {
 		c, err := bench.OpenCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pipmcoll-bench: %v; continuing without cache\n", err)
+			logger.Warn("cache unavailable, continuing without", "dir", *cacheDir, "error", err)
 		} else {
 			cache = c
 		}
@@ -179,13 +223,13 @@ func run() error {
 			failed = append(failed, f.ID)
 			var ce *bench.CellErrors
 			if errors.As(err, &ce) {
-				fmt.Fprintf(os.Stderr, "pipmcoll-bench: figure %s: %d of %d cells failed:\n",
-					ce.Figure, len(ce.Cells), ce.Total)
+				logger.Error("figure cells failed", "figure", ce.Figure,
+					"failed", len(ce.Cells), "total", ce.Total)
 				for _, c := range ce.Cells {
-					fmt.Fprintf(os.Stderr, "  cell %q: %v\n", c.Key, c.Err)
+					logger.Error("cell failed", "figure", ce.Figure, "cell", c.Key, "error", c.Err)
 				}
 			} else {
-				fmt.Fprintf(os.Stderr, "pipmcoll-bench: figure %s: %v\n", f.ID, err)
+				logger.Error("figure failed", "figure", f.ID, "error", err)
 			}
 			continue
 		}

@@ -10,17 +10,20 @@
 // Usage:
 //
 //	pipmcoll-serve [-addr :8090] [-workers N] [-queue 256] [-per-client 64]
-//	               [-nocache] [-cache-dir DIR]
+//	               [-nocache] [-cache-dir DIR] [-pprof] [-log-level info]
 //	pipmcoll-serve -loadtest [-clients 8] [-requests 50]
 //
 // Endpoints: POST /query (add ?stream=1 for NDJSON progress), GET
-// /figures, GET /traces/{addr}, GET /metrics, GET /healthz. See the
-// README's Serving section for the request schema and curl examples.
+// /figures, GET /traces/{addr}, GET /metrics (Prometheus exposition;
+// ?format=text for the aligned dump), GET /debug/requests (flight
+// recorder), GET /debug/pprof/* (with -pprof), GET /healthz. See the
+// README's Observability section for the request schema and curl examples.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -38,45 +41,67 @@ func main() {
 	perClient := flag.Int("per-client", 64, "max cells queued per client")
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	recSize := flag.Int("flight-recorder", serve.DefaultFlightRecorderSize, "flight recorder capacity (recent requests kept for /debug/requests)")
 	loadtest := flag.Bool("loadtest", false, "run the bundled load generator against an in-process server and exit")
 	clients := flag.Int("clients", 8, "loadtest: concurrent clients")
 	requests := flag.Int("requests", 50, "loadtest: requests per client")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *perClient, *nocache, *cacheDir,
-		*loadtest, *clients, *requests); err != nil {
+	logger, err := newLogger(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipmcoll-serve:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *workers, *queue, *perClient, *nocache, *cacheDir,
+		*pprofOn, *recSize, logger, *loadtest, *clients, *requests); err != nil {
+		logger.Error("fatal", "error", err)
 		os.Exit(1)
 	}
 }
 
+// newLogger builds the process logger: structured key=value lines on
+// stderr, so stdout stays reserved for results.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
 func run(addr string, workers, queue, perClient int, nocache bool, cacheDir string,
-	loadtest bool, clients, requests int) error {
+	pprofOn bool, recSize int, logger *slog.Logger, loadtest bool, clients, requests int) error {
 	var cache *bench.Cache
 	if !nocache {
 		c, err := bench.OpenCache(cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pipmcoll-serve: %v; continuing without cache\n", err)
+			logger.Warn("cache unavailable, continuing without", "dir", cacheDir, "error", err)
 		} else {
 			cache = c
 		}
 	}
 	srv := serve.New(serve.Config{
-		Workers:      workers,
-		MaxQueue:     queue,
-		MaxPerClient: perClient,
-		Cache:        cache,
+		Workers:            workers,
+		MaxQueue:           queue,
+		MaxPerClient:       perClient,
+		Cache:              cache,
+		Logger:             logger,
+		EnablePprof:        pprofOn,
+		FlightRecorderSize: recSize,
 	})
 	defer srv.Close()
 
 	if loadtest {
 		return runLoadtest(srv, clients, requests)
 	}
-	fmt.Printf("pipmcoll-serve listening on %s (%d workers, queue %d, %d per client", addr, workers, queue, perClient)
+	attrs := []any{"addr", addr, "workers", workers, "queue", queue,
+		"per_client", perClient, "pprof", pprofOn, "flight_recorder", recSize}
 	if cache != nil {
-		fmt.Printf(", cache %s", cache.Dir())
+		attrs = append(attrs, "cache_dir", cache.Dir())
 	}
-	fmt.Println(")")
+	logger.Info("pipmcoll-serve listening", attrs...)
 	return http.ListenAndServe(addr, srv.Handler())
 }
 

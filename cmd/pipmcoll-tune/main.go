@@ -18,7 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -35,13 +35,22 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cells simulating concurrently (1 = serial)")
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
+	verbose := flag.Bool("v", false, "log run diagnostics (stage timings) to stderr")
 	flag.Parse()
+
+	// Diagnostics go to stderr as structured lines; stdout stays the
+	// recommendation text.
+	lvl := slog.LevelWarn
+	if *verbose {
+		lvl = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	var cache *bench.Cache
 	if !*nocache {
 		c, err := bench.OpenCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pipmcoll-tune: %v; continuing without cache\n", err)
+			logger.Warn("cache unavailable, continuing without", "dir", *cacheDir, "error", err)
 		} else {
 			cache = c
 		}
@@ -66,11 +75,24 @@ func main() {
 	}
 	resp, err := query.Execute(context.Background(), runner, req)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("tune failed", "error", err)
+		os.Exit(1)
 	}
+	logStages(logger, resp)
 	fmt.Print(resp.Analysis)
 	if cache != nil {
 		hits, misses := cache.Stats()
 		fmt.Printf("\ncache: %d hits, %d misses (%s)\n", hits, misses, cache.Dir())
 	}
+}
+
+// logStages emits the executor's wall-clock stage breakdown as one debug
+// line — the CLI-side view of the same spans pipmcoll-serve reports per
+// request.
+func logStages(logger *slog.Logger, resp *query.Response) {
+	attrs := []any{"key", resp.Key, "cells", resp.Cells, "elapsed_ms", resp.ElapsedMS}
+	for _, st := range resp.Stages {
+		attrs = append(attrs, "stage_"+st.Name+"_us", int64(st.US))
+	}
+	logger.Debug("query executed", attrs...)
 }

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // cacheVersion invalidates every cached result when the harness's
@@ -37,6 +38,10 @@ type Cache struct {
 	// across goroutines.
 	Logf                  func(format string, args ...any)
 	hits, misses, corrupt atomic.Int64
+
+	// Event-time counters (see Instrument). Loaded atomically so Load can
+	// increment them without a lock.
+	mHits, mMisses, mCorrupt atomic.Pointer[obs.Counter]
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
@@ -55,6 +60,27 @@ func (c *Cache) Dir() string { return c.dir }
 // reports them separately.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Instrument registers event-time counters for the cache under
+// prefix.hits / prefix.misses / prefix.corruptions: every Load increments
+// the matching counter at the moment the event happens, so a metrics
+// scrape between events always sees current values (scrape-time refresh
+// from Stats cannot offer that). Safe to call while the cache is in use;
+// the counters pick up from the next event.
+func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
+	c.mHits.Store(reg.Counter(prefix + ".hits"))
+	c.mMisses.Store(reg.Counter(prefix + ".misses"))
+	c.mCorrupt.Store(reg.Counter(prefix + ".corruptions"))
+	reg.Help(prefix+".hits", "result-cache reads answered from disk")
+	reg.Help(prefix+".misses", "result-cache reads that required simulation")
+	reg.Help(prefix+".corruptions", "damaged result-cache entries healed by recomputation")
+}
+
+func bump(p *atomic.Pointer[obs.Counter]) {
+	if ctr := p.Load(); ctr != nil {
+		ctr.Add(1)
+	}
 }
 
 // Corruptions returns how many cache reads found a damaged (truncated,
@@ -97,21 +123,25 @@ func (c *Cache) Load(figID, cellKey string, o Opts) ([]Value, bool) {
 			c.damaged(addr, err)
 		}
 		c.misses.Add(1)
+		bump(&c.mMisses)
 		return nil, false
 	}
 	var vals []Value
 	if err := json.Unmarshal(data, &vals); err != nil {
 		c.damaged(addr, err)
 		c.misses.Add(1)
+		bump(&c.mMisses)
 		return nil, false
 	}
 	c.hits.Add(1)
+	bump(&c.mHits)
 	return vals, true
 }
 
 // damaged records and reports one unreadable entry.
 func (c *Cache) damaged(addr string, err error) {
 	c.corrupt.Add(1)
+	bump(&c.mCorrupt)
 	if c.Logf != nil {
 		c.Logf("bench: cache entry %s corrupt (%v); recomputing", addr, err)
 	}

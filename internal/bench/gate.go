@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The throughput gate is the SLO check over BENCH_throughput.json: a fresh
+// run of the suite must not regress ns/event beyond a tolerance of the
+// recorded baseline, and allocs/event must stay under per-world ceilings
+// pinned here (allocations per dispatched event are deterministic on a
+// given Go release, so the ceilings are safe to enforce in CI; wall-clock
+// comparisons use best-of-N runs to shed scheduler noise).
+
+// mediumAllocCeiling is the acceptance bar for the hot-path work: the
+// medium throughput world (8×6 ranks, the figure-sweep shape) ran at 9.642
+// allocs/event before the typed event heap, envelope/request pooling and
+// observability gating; the optimized engine must stay at or below an 80%
+// reduction. CI fails (gate and TestThroughputAllocCeiling alike) if a
+// change pushes the engine back above this.
+const mediumAllocCeiling = 1.93
+
+// allocCeilings pins the allocs/event budget per world. The medium value
+// is the long-standing acceptance bar; small and large carry proportional
+// headroom over their recorded values.
+var allocCeilings = map[string]float64{
+	"small":  3.20,
+	"medium": mediumAllocCeiling,
+	"large":  1.90,
+}
+
+// GateOpts configures GateThroughput.
+type GateOpts struct {
+	// NsTolerance is the allowed fractional ns/event regression over the
+	// baseline (0.15 = +15%). Values <= 0 mean the default 0.15.
+	NsTolerance float64
+	// Repeats is how many times each world runs; the best (minimum)
+	// ns/event and allocs/event across repeats are compared, so transient
+	// host noise cannot fail the gate. Values < 1 mean 3.
+	Repeats int
+	// SkipWallClock disables the ns/event comparison (allocation ceilings
+	// and virtual-time checks still run) — for hosts that are not
+	// comparable to the one that recorded the baseline.
+	SkipWallClock bool
+	// Logf, when non-nil, receives per-world progress lines.
+	Logf func(format string, args ...any)
+}
+
+// GateViolation describes one failed gate check.
+type GateViolation struct {
+	World  string
+	Reason string
+}
+
+func (v GateViolation) String() string { return v.World + ": " + v.Reason }
+
+// GateError aggregates every violation of one gate run.
+type GateError struct{ Violations []GateViolation }
+
+// Error lists every violation.
+func (e *GateError) Error() string {
+	msgs := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Sprintf("bench: throughput gate failed (%d violations):\n  %s",
+		len(e.Violations), strings.Join(msgs, "\n  "))
+}
+
+// ReadThroughputJSON loads a baseline report written by WriteThroughputJSON.
+func ReadThroughputJSON(path string) (ThroughputReport, error) {
+	var rep ThroughputReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("bench: reading throughput baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing throughput baseline %s: %w", path, err)
+	}
+	if len(rep.Worlds) == 0 {
+		return rep, fmt.Errorf("bench: throughput baseline %s has no worlds", path)
+	}
+	return rep, nil
+}
+
+// GateThroughput runs the throughput suite and compares it against the
+// baseline report: per world, best-of-Repeats ns/event must stay within
+// NsTolerance of the baseline, allocs/event must stay under the pinned
+// ceiling, and virtual time must match the baseline exactly (a virtual-time
+// drift means the engine changed behaviour, not just speed). Returns the
+// fresh best-of results and, on failure, a *GateError naming every
+// violation.
+func GateThroughput(baseline ThroughputReport, o GateOpts) ([]ThroughputResult, error) {
+	if o.NsTolerance <= 0 {
+		o.NsTolerance = 0.15
+	}
+	if o.Repeats < 1 {
+		o.Repeats = 3
+	}
+	base := make(map[string]ThroughputResult, len(baseline.Worlds))
+	for _, w := range baseline.Worlds {
+		base[w.World] = w
+	}
+
+	var fresh []ThroughputResult
+	var violations []GateViolation
+	for _, tw := range ThroughputWorlds() {
+		var best ThroughputResult
+		for rep := 0; rep < o.Repeats; rep++ {
+			res, err := RunThroughput(tw)
+			if err != nil {
+				return nil, fmt.Errorf("bench: gate world %s: %w", tw.Name, err)
+			}
+			if rep == 0 || res.NsPerEvent < best.NsPerEvent {
+				// Allocations are deterministic across repeats; wall time is
+				// not, so "best" is decided by ns/event.
+				best = res
+			}
+		}
+		fresh = append(fresh, best)
+		if o.Logf != nil {
+			o.Logf("gate %-8s best-of-%d: %.0f ns/event, %.3f allocs/event",
+				tw.Name, o.Repeats, best.NsPerEvent, best.AllocsPerEvent)
+		}
+
+		violations = append(violations, gateWorld(base, best, o)...)
+	}
+	if len(violations) > 0 {
+		return fresh, &GateError{Violations: violations}
+	}
+	return fresh, nil
+}
+
+// gateWorld applies the gate's checks to one world's best-of result.
+func gateWorld(base map[string]ThroughputResult, best ThroughputResult, o GateOpts) []GateViolation {
+	b, ok := base[best.World]
+	if !ok {
+		return []GateViolation{{best.World, "missing from baseline"}}
+	}
+	var violations []GateViolation
+	if !o.SkipWallClock && b.NsPerEvent > 0 {
+		limit := b.NsPerEvent * (1 + o.NsTolerance)
+		if best.NsPerEvent > limit {
+			violations = append(violations, GateViolation{best.World, fmt.Sprintf(
+				"ns/event %.0f exceeds baseline %.0f by more than %.0f%% (limit %.0f)",
+				best.NsPerEvent, b.NsPerEvent, o.NsTolerance*100, limit)})
+		}
+	}
+	if ceil, ok := allocCeilings[best.World]; ok && best.AllocsPerEvent > ceil {
+		violations = append(violations, GateViolation{best.World, fmt.Sprintf(
+			"allocs/event %.3f exceeds pinned ceiling %.2f", best.AllocsPerEvent, ceil)})
+	}
+	if b.VirtualUs != 0 && best.VirtualUs != b.VirtualUs {
+		violations = append(violations, GateViolation{best.World, fmt.Sprintf(
+			"virtual time %.6fus != baseline %.6fus (engine behaviour changed)",
+			best.VirtualUs, b.VirtualUs)})
+	}
+	return violations
+}

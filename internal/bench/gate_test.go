@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateBase() map[string]ThroughputResult {
+	return map[string]ThroughputResult{
+		"medium": {World: "medium", NsPerEvent: 5000, AllocsPerEvent: 1.52, VirtualUs: 1075.493022},
+	}
+}
+
+func TestGateWorldPasses(t *testing.T) {
+	best := ThroughputResult{World: "medium", NsPerEvent: 5500, AllocsPerEvent: 1.52, VirtualUs: 1075.493022}
+	if v := gateWorld(gateBase(), best, GateOpts{NsTolerance: 0.15}); len(v) != 0 {
+		t.Fatalf("in-tolerance run violated the gate: %v", v)
+	}
+}
+
+func TestGateWorldNsRegression(t *testing.T) {
+	best := ThroughputResult{World: "medium", NsPerEvent: 6000, AllocsPerEvent: 1.52, VirtualUs: 1075.493022}
+	v := gateWorld(gateBase(), best, GateOpts{NsTolerance: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "ns/event") {
+		t.Fatalf("+20%% ns/event regression not caught: %v", v)
+	}
+	// SkipWallClock turns the same run green.
+	if v := gateWorld(gateBase(), best, GateOpts{NsTolerance: 0.15, SkipWallClock: true}); len(v) != 0 {
+		t.Fatalf("SkipWallClock still failed wall-clock gate: %v", v)
+	}
+}
+
+func TestGateWorldAllocCeiling(t *testing.T) {
+	best := ThroughputResult{World: "medium", NsPerEvent: 5000,
+		AllocsPerEvent: allocCeilings["medium"] + 0.01, VirtualUs: 1075.493022}
+	v := gateWorld(gateBase(), best, GateOpts{NsTolerance: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "allocs/event") {
+		t.Fatalf("alloc ceiling breach not caught: %v", v)
+	}
+}
+
+func TestGateWorldVirtualTimeDrift(t *testing.T) {
+	best := ThroughputResult{World: "medium", NsPerEvent: 5000, AllocsPerEvent: 1.52, VirtualUs: 1075.5}
+	v := gateWorld(gateBase(), best, GateOpts{NsTolerance: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "virtual time") {
+		t.Fatalf("virtual-time drift not caught: %v", v)
+	}
+}
+
+func TestGateWorldMissingBaseline(t *testing.T) {
+	best := ThroughputResult{World: "huge"}
+	v := gateWorld(gateBase(), best, GateOpts{})
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "missing") {
+		t.Fatalf("missing baseline world not caught: %v", v)
+	}
+}
+
+func TestGateErrorListsEveryViolation(t *testing.T) {
+	err := &GateError{Violations: []GateViolation{
+		{"small", "ns/event too slow"},
+		{"medium", "allocs/event too high"},
+	}}
+	msg := err.Error()
+	if !strings.Contains(msg, "2 violations") ||
+		!strings.Contains(msg, "small") || !strings.Contains(msg, "medium") {
+		t.Fatalf("GateError drops violations: %s", msg)
+	}
+	var ge *GateError
+	if !errors.As(error(err), &ge) {
+		t.Fatal("GateError not unwrappable via errors.As")
+	}
+}
+
+func TestReadThroughputJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	want := []ThroughputResult{{World: "medium", NsPerEvent: 5000, VirtualUs: 1}}
+	if err := WriteThroughputJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadThroughputJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Worlds) != 1 || rep.Worlds[0].World != "medium" {
+		t.Fatalf("round-trip = %+v", rep)
+	}
+	if _, err := ReadThroughputJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline read did not error")
+	}
+}

@@ -9,13 +9,6 @@ import (
 	"repro/internal/race"
 )
 
-// mediumAllocCeiling is the acceptance bar for the hot-path work: the
-// medium throughput world (8×6 ranks, the figure-sweep shape) ran at 9.642
-// allocs/event before the typed event heap, envelope/request pooling and
-// observability gating; the optimized engine must stay at or below an 80%
-// reduction. CI fails if a change pushes the engine back above this.
-const mediumAllocCeiling = 1.93
-
 // TestThroughputAllocCeiling enforces the allocs/event budget on the
 // medium world. Wall-clock metrics vary with the host, but allocations per
 // dispatched event are deterministic on a given Go release, so the ceiling

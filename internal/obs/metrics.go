@@ -18,6 +18,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string // exposition help text, see Help
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -88,6 +89,90 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// HistSnapshot is a consistent copy of a histogram's state: the bucket
+// upper bounds, the cumulative count at or below each bound, and the
+// count/sum/min/max aggregates. Cumulative[len(Bounds)-1] excludes the
+// overflow bucket; Count includes it (the +Inf bucket).
+type HistSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+	Min        float64
+	Max        float64
+}
+
+// Snapshot copies the histogram under its lock.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]int64, len(h.bounds)),
+		Count:      h.n,
+		Sum:        h.sum,
+		Min:        h.min,
+		Max:        h.max,
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket that holds the target rank — the standard
+// histogram_quantile estimate, bounded by the observed min and max so a
+// wide first or overflow bucket cannot invent values outside the data.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var prevCum int64
+	lower := s.Min
+	for i, bound := range s.Bounds {
+		cum := s.Cumulative[i]
+		if float64(cum) >= rank {
+			in := cum - prevCum
+			v := bound
+			if in > 0 {
+				lo := lower
+				if lo > bound {
+					lo = bound
+				}
+				v = lo + (bound-lo)*(rank-float64(prevCum))/float64(in)
+			}
+			return clamp(v, s.Min, s.Max)
+		}
+		prevCum = cum
+		lower = bound
+	}
+	// Target rank falls in the overflow bucket: the best bounded estimate
+	// is the observed maximum.
+	return s.Max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
@@ -116,6 +201,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 // exponential from 1µs-scale to 10s-scale units.
 var DefaultBuckets = []float64{
 	0.001, 0.01, 0.1, 1, 10, 100, 1_000, 10_000,
+}
+
+// LatencyBucketsUS are histogram bounds for wall-clock latencies measured
+// in microseconds, spanning the serving layer's range: a warm cache hit
+// (tens of µs) through a cold multi-cell simulation (tens of seconds).
+var LatencyBucketsUS = []float64{
+	1, 5, 10, 25, 50, 100, 250, 500,
+	1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000, 10_000_000,
 }
 
 // Histogram returns (creating if needed) the named histogram. Bounds are

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) for the metrics registry.
+// The simulator's own series stay in virtual time; this renderer exists for
+// the wall-clock serving layer, whose /metrics endpoint must be scrapeable
+// by standard tooling. Output is deterministic — families sorted by kind
+// then name, buckets in bound order — so a golden test can pin the format.
+
+// promName maps a registry instrument name to a legal Prometheus metric
+// name: dots (the registry's namespace separator) and any other character
+// outside [a-zA-Z0-9_:] become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with +Inf spelled out.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Help attaches exposition help text to an instrument name, emitted as the
+// family's # HELP line by WriteProm. Instruments without help text get a
+// generated placeholder, so registering help is optional.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
+}
+
+// helpFor returns the registered help text or a placeholder. Callers hold
+// r.mu or operate on a snapshot taken under it.
+func helpFor(help map[string]string, name, kind string) string {
+	if h, ok := help[name]; ok {
+		return h
+	}
+	return kind + " " + name
+}
+
+// WriteProm renders every instrument in Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// _bucket{le="..."} samples (including the mandatory +Inf bucket) plus
+// _sum and _count. Families are sorted by kind then name; the legacy
+// aligned dump remains available via Dump.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	counters, gauges, hists := r.counters, r.gauges, r.hists
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, n := range cnames {
+		pn := promName(n)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, helpFor(help, n, "counter"), pn, pn, counters[n].Value())
+	}
+	for _, n := range gnames {
+		pn := promName(n)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			pn, helpFor(help, n, "gauge"), pn, pn, gauges[n].Value())
+	}
+	for _, n := range hnames {
+		pn := promName(n)
+		s := hists[n].Snapshot()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			pn, helpFor(help, n, "histogram"), pn)
+		for i, bound := range s.Bounds {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), s.Cumulative[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(s.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, s.Count)
+	}
+}

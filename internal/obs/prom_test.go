@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromExpositionGolden pins the Prometheus text exposition format
+// byte-for-byte: family ordering (counters, gauges, histograms; each
+// name-sorted), name sanitization, HELP/TYPE lines, cumulative buckets
+// with the mandatory +Inf, and _sum/_count. Any format change must be
+// deliberate — scrapers parse this.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.queries").Add(5)
+	r.Counter("serve.cache.hits").Add(3)
+	r.Help("serve.queries", "total /query requests accepted for execution")
+	r.Gauge("serve.queue.depth").Set(2)
+	h := r.Histogram("serve.stage.cache_lookup_us", []float64{10, 100, 1000})
+	h.Observe(7)
+	h.Observe(42)
+	h.Observe(42)
+	h.Observe(5000)
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	want := `# HELP serve_cache_hits counter serve.cache.hits
+# TYPE serve_cache_hits counter
+serve_cache_hits 3
+# HELP serve_queries total /query requests accepted for execution
+# TYPE serve_queries counter
+serve_queries 5
+# HELP serve_queue_depth gauge serve.queue.depth
+# TYPE serve_queue_depth gauge
+serve_queue_depth 2
+# HELP serve_stage_cache_lookup_us histogram serve.stage.cache_lookup_us
+# TYPE serve_stage_cache_lookup_us histogram
+serve_stage_cache_lookup_us_bucket{le="10"} 1
+serve_stage_cache_lookup_us_bucket{le="100"} 3
+serve_stage_cache_lookup_us_bucket{le="1000"} 3
+serve_stage_cache_lookup_us_bucket{le="+Inf"} 4
+serve_stage_cache_lookup_us_sum 5091
+serve_stage_cache_lookup_us_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.query.latency_ms": "serve_query_latency_ms",
+		"bench.cells":            "bench_cells",
+		"9lives":                 "_lives",
+		"a-b c":                  "a_b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 100, 1000})
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", h.Quantile(0.5))
+	}
+	// 100 observations spread uniformly in (10, 100].
+	for i := 0; i < 100; i++ {
+		h.Observe(10 + float64(i+1)*0.9)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 > 100 {
+		t.Errorf("p50 = %g, want inside (10,100]", p50)
+	}
+	// Interpolated midpoint of the only populated bucket.
+	if math.Abs(p50-55) > 1 {
+		t.Errorf("p50 = %g, want ~55 (linear interpolation)", p50)
+	}
+	if got := h.Quantile(0); got != h.Snapshot().Min {
+		t.Errorf("q0 = %g, want min %g", got, h.Snapshot().Min)
+	}
+	if got := h.Quantile(1); got != h.Snapshot().Max {
+		t.Errorf("q1 = %g, want max %g", got, h.Snapshot().Max)
+	}
+
+	// Overflow bucket: quantiles landing beyond the last bound report the
+	// observed max, never infinity.
+	h2 := r.Histogram("q2", []float64{10})
+	h2.Observe(5)
+	h2.Observe(70000)
+	if got := h2.Quantile(0.99); got != 70000 {
+		t.Errorf("overflow quantile = %g, want observed max 70000", got)
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 2.5, 2.6, 99} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{1, 2, 4}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Count != 5 || s.Min != 0.5 || s.Max != 99 {
+		t.Errorf("snapshot aggregates = %+v", s)
+	}
+}

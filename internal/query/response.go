@@ -19,12 +19,24 @@ type Table struct {
 	CSV   string `json:"csv"`
 }
 
+// Stage is one wall-clock stage span of a request's lifecycle, in
+// microseconds. The serving layer fills the full breakdown (decode,
+// admission, cache_lookup, queue_wait, singleflight_wait, execute,
+// encode); the CLI path fills the subset it can observe.
+type Stage struct {
+	Name string  `json:"name"`
+	US   float64 `json:"us"`
+}
+
 // Response is the outcome of executing a Request, shared verbatim between
 // query.Execute (the CLI path) and the pipmcoll-serve /query endpoint.
 type Response struct {
 	// Request echoes the normalized request and Key its content address.
 	Request Request `json:"request"`
 	Key     string  `json:"key"`
+	// RequestID is the server-assigned (or client-provided) request ID
+	// threaded through logs and the flight recorder; empty on CLI runs.
+	RequestID string `json:"request_id,omitempty"`
 	// Cells is the number of measurement cells the request decomposed
 	// into; CacheHits of them were served without simulating (filled only
 	// by executors that track per-cell hits — the server always does).
@@ -37,6 +49,9 @@ type Response struct {
 	Analysis string `json:"analysis,omitempty"`
 	// ElapsedMS is the executor-measured wall time of the run.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Stages is the wall-clock stage breakdown of this request's
+	// lifecycle, when the executor traced it.
+	Stages []Stage `json:"stages,omitempty"`
 }
 
 // NewResponse assembles the wire response for a completed job.
@@ -70,6 +85,7 @@ func NewResponse(j *Job, tables []*stats.Table, cacheHits int, elapsedMS float64
 // produces the same Response from the same Job, which is what makes a CLI
 // run and a server query for one experiment byte-identical.
 func Execute(ctx context.Context, r *bench.Runner, req Request) (*Response, error) {
+	buildStart := nowMS()
 	j, err := Build(req)
 	if err != nil {
 		return nil, err
@@ -79,7 +95,20 @@ func Execute(ctx context.Context, r *bench.Runner, req Request) (*Response, erro
 	if err != nil {
 		return nil, err
 	}
-	return NewResponse(j, tables, 0, nowMS()-start)
+	execMS := nowMS() - start
+	encStart := nowMS()
+	resp, err := NewResponse(j, tables, 0, nowMS()-start)
+	if err != nil {
+		return nil, err
+	}
+	// The CLI path observes the stages it owns: request compilation, plan
+	// execution, and response encoding. Units match the server's (µs).
+	resp.Stages = []Stage{
+		{Name: "decode", US: (start - buildStart) * 1e3},
+		{Name: "execute", US: execMS * 1e3},
+		{Name: "encode", US: (nowMS() - encStart) * 1e3},
+	}
+	return resp, nil
 }
 
 // tuneConfig builds the tune request's transport configuration exactly as

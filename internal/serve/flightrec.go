@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/query"
+)
+
+// The flight recorder is the always-on "what was the server doing"
+// answer: a fixed-size ring of recent request records, cheap enough to
+// keep on the hot path (one short critical section per request, no
+// allocation beyond the record itself), served at /debug/requests and
+// auto-dumped to the log when a 5xx fires. When a query goes slow or gets
+// shed, the recorder replays the surrounding traffic — client mix, queue
+// depth, stage timings, outcomes — without any sampling having to be
+// enabled beforehand.
+
+// Request outcomes as recorded by the flight recorder and logged.
+const (
+	OutcomeHit        = "hit"         // every cell answered from cache
+	OutcomeMiss       = "miss"        // at least one cell simulated; success
+	OutcomeShed       = "shed"        // rejected by admission control (429)
+	OutcomeAbandoned  = "abandoned"   // client disconnected mid-flight
+	OutcomeError      = "error"       // execution/encode failure (5xx)
+	OutcomeBadRequest = "bad_request" // malformed or invalid request (4xx)
+)
+
+// RequestRecord is one request's flight-recorder entry.
+type RequestRecord struct {
+	ID      string    `json:"id"`
+	Client  string    `json:"client"`
+	Kind    string    `json:"kind,omitempty"` // figure | cell | tune
+	Key     string    `json:"key,omitempty"`  // request content key
+	Addr    string    `json:"addr,omitempty"` // first cell content address
+	Outcome string    `json:"outcome"`
+	Status  int       `json:"status"`
+	Start   time.Time `json:"start"`
+	TotalUS float64   `json:"total_us"`
+	Cells   int       `json:"cells,omitempty"`
+	Hits    int       `json:"cache_hits,omitempty"`
+	// QueueDepth is the scheduler's queue depth observed when the record
+	// was written — for shed requests, the depth that caused the 429.
+	QueueDepth int           `json:"queue_depth"`
+	RetryAfter int           `json:"retry_after_s,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Stages     []query.Stage `json:"stages,omitempty"`
+}
+
+// FlightRecorder is a bounded ring of RequestRecords. The zero value is
+// unusable; use NewFlightRecorder.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []RequestRecord
+	next  int
+	total uint64
+}
+
+// DefaultFlightRecorderSize is the ring capacity when the config leaves it
+// zero: enough to reconstruct a burst, small enough to dump.
+const DefaultFlightRecorderSize = 256
+
+// NewFlightRecorder returns a recorder retaining the last n requests
+// (n < 1 means DefaultFlightRecorderSize).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{ring: make([]RequestRecord, n)}
+}
+
+// Record appends one request record, evicting the oldest when full.
+func (f *FlightRecorder) Record(rec RequestRecord) {
+	f.mu.Lock()
+	f.ring[f.next] = rec
+	f.next = (f.next + 1) % len(f.ring)
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total is the number of requests recorded since start (including evicted
+// ones).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Last returns up to n records, newest first (n < 1 means everything
+// retained).
+func (f *FlightRecorder) Last(n int) []RequestRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	have := int(f.total)
+	if have > len(f.ring) {
+		have = len(f.ring)
+	}
+	if n < 1 || n > have {
+		n = have
+	}
+	out := make([]RequestRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, f.ring[(f.next-i+len(f.ring))%len(f.ring)])
+	}
+	return out
+}

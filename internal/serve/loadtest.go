@@ -24,27 +24,51 @@ type LoadOpts struct {
 	Request query.Request
 }
 
+// StagePercentiles summarizes one lifecycle stage across a run, from the
+// per-request breakdowns the server returns.
+type StagePercentiles struct {
+	Name          string
+	P50, P95, P99 float64 // µs
+}
+
 // LoadResult summarizes a load-test run.
 type LoadResult struct {
-	Requests  int           // completed 200s
-	Rejected  int           // 429s (admission control shed them)
-	Errors    int           // transport failures and non-200/429 statuses
-	Elapsed   time.Duration // wall time for the whole run
-	QPS       float64       // successful requests per second
-	P50, P95  time.Duration // latency percentiles over successful requests
-	Max       time.Duration
-	CacheHits int // cache_hits summed over successful responses
+	Requests      int           // completed 200s
+	Rejected      int           // 429s (admission control shed them)
+	Errors        int           // transport failures and non-200/429 statuses
+	Elapsed       time.Duration // wall time for the whole run
+	QPS           float64       // successful requests per second
+	P50, P95, P99 time.Duration // latency percentiles over successful requests
+	Max           time.Duration
+	CacheHits     int // cache_hits summed over successful responses
+	// Stages are server-side per-stage percentiles in canonical lifecycle
+	// order — where the wall time went, not just how much there was.
+	Stages []StagePercentiles
 }
 
 // Format renders the result as aligned text.
 func (r LoadResult) Format() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"requests   %d ok, %d rejected (429), %d errors\n"+
 			"elapsed    %.2fs  (%.0f qps)\n"+
-			"latency    p50 %s  p95 %s  max %s\n"+
+			"latency    p50 %s  p95 %s  p99 %s  max %s\n"+
 			"cache      %d hits across responses\n",
 		r.Requests, r.Rejected, r.Errors,
-		r.Elapsed.Seconds(), r.QPS, r.P50, r.P95, r.Max, r.CacheHits)
+		r.Elapsed.Seconds(), r.QPS, r.P50, r.P95, r.P99, r.Max, r.CacheHits)
+	for _, st := range r.Stages {
+		s += fmt.Sprintf("stage      %-18s p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs\n",
+			st.Name, st.P50, st.P95, st.P99)
+	}
+	return s
+}
+
+// pctUS picks the p-th percentile from sorted µs samples.
+func pctUS(sorted []float64, p int) float64 {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // LoadTest hammers baseURL's /query endpoint with Clients concurrent
@@ -65,6 +89,7 @@ func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		stageUS   = map[string][]float64{}
 		res       LoadResult
 		wg        sync.WaitGroup
 	)
@@ -103,6 +128,9 @@ func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 						res.Requests++
 						res.CacheHits += qr.CacheHits
 						latencies = append(latencies, lat)
+						for _, st := range qr.Stages {
+							stageUS[st.Name] = append(stageUS[st.Name], st.US)
+						}
 					}
 				}
 				mu.Unlock()
@@ -122,7 +150,19 @@ func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		res.P50 = latencies[len(latencies)/2]
 		res.P95 = latencies[len(latencies)*95/100]
+		res.P99 = latencies[len(latencies)*99/100]
 		res.Max = latencies[len(latencies)-1]
+	}
+	for _, name := range stageOrder {
+		samples, ok := stageUS[name]
+		if !ok {
+			continue
+		}
+		sort.Float64s(samples)
+		res.Stages = append(res.Stages, StagePercentiles{
+			Name: name,
+			P50:  pctUS(samples, 50), P95: pctUS(samples, 95), P99: pctUS(samples, 99),
+		})
 	}
 	return res, nil
 }

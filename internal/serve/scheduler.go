@@ -12,6 +12,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -22,9 +23,12 @@ import (
 
 // ErrOverloaded reports that admission control rejected a job because the
 // global or per-client queue bound would be exceeded. RetryAfter is the
-// scheduler's backoff hint, surfaced as the HTTP Retry-After header.
+// scheduler's backoff hint, surfaced as the HTTP Retry-After header;
+// Depth is the global queue depth observed at rejection, for the shed
+// log line and the flight recorder.
 type ErrOverloaded struct {
 	RetryAfter time.Duration
+	Depth      int
 }
 
 // Error describes the rejection.
@@ -50,6 +54,9 @@ type SchedulerConfig struct {
 	// Metrics, when non-nil, receives scheduler counters and gauges
 	// under the serve.* namespace.
 	Metrics *obs.Registry
+	// Logger receives structured scheduler events (cell failures,
+	// abandonments) with request IDs attached; nil discards them.
+	Logger *slog.Logger
 }
 
 // flight is one in-flight cell computation, shared by every job that needs
@@ -64,8 +71,20 @@ type flight struct {
 	opts   bench.Opts
 	ctx    context.Context
 	cancel context.CancelFunc
+	// reqID is the request that enqueued the flight (joiners keep their
+	// own IDs); threaded into worker logs so a slow cell can be traced
+	// back to the query that caused it.
+	reqID string
 
 	waiters int // guarded by Scheduler.mu
+
+	// Wall-clock stamps for stage accounting. enqueuedAt is written by the
+	// submitter before the flight is visible to workers; startedAt and
+	// finishedAt are written by the worker before done is closed, so
+	// waiters may read them after <-done (the close is the barrier).
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
 
 	done   chan struct{} // closed once vals/cached/err are set
 	vals   []bench.Value
@@ -105,6 +124,9 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	if cfg.MaxPerClient < 1 {
 		cfg.MaxPerClient = cfg.MaxQueue
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Scheduler{
 		cfg:      cfg,
@@ -151,6 +173,21 @@ func (s *Scheduler) setDepth() {
 	}
 }
 
+// QueueDepth reports how many admitted cells are queued (not yet picked by
+// a worker).
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// observeUS records one duration into a registry histogram in µs.
+func (s *Scheduler) observeUS(name string, d time.Duration) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Histogram(name, obs.LatencyBucketsUS).Observe(d.Seconds() * 1e6)
+	}
+}
+
 // RetryAfter estimates how long a rejected client should back off: one
 // scheduling round per queued cell ahead of it, floored at a second.
 func (s *Scheduler) retryAfter() time.Duration {
@@ -164,7 +201,9 @@ func (s *Scheduler) retryAfter() time.Duration {
 // RunJob executes every cell of a compiled query job on behalf of client,
 // returning per-cell values in declaration order and the number of cells
 // answered from the cache without simulating. onCell, when non-nil, fires
-// once per completed cell (serialized).
+// once per completed cell (serialized). tr, when non-nil, accumulates the
+// job's wall-clock stage spans (cache lookups, admission, queue wait,
+// singleflight wait, execution).
 //
 // Admission is all-or-nothing: cells served by the cache fast path or
 // merged into an existing flight are free, and the remaining new cells are
@@ -172,7 +211,7 @@ func (s *Scheduler) retryAfter() time.Duration {
 // and nothing is enqueued. Cancelling ctx abandons this job's interest in
 // its flights; a flight whose last waiter left is cancelled, which
 // releases its worker slot even mid-simulation.
-func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onCell func(i int, key string, cached bool, err error)) ([][]bench.Value, int, error) {
+func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr *Trace, onCell func(i int, key string, cached bool, err error)) ([][]bench.Value, int, error) {
 	n := len(j.Plan.Cells)
 	opts := j.Opts()
 	results := make([][]bench.Value, n)
@@ -185,7 +224,10 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 	pending := make([]int, 0, n)
 	for i, c := range j.Plan.Cells {
 		if s.cfg.Cache != nil {
-			if vals, ok := s.cfg.Cache.Load(j.FigID, c.Key, opts); ok {
+			stop := tr.Time(StageCacheLookup)
+			vals, ok := s.cfg.Cache.Load(j.FigID, c.Key, opts)
+			stop()
+			if ok {
 				results[i] = vals
 				hits++
 				s.add("serve.cells.fast_path")
@@ -204,6 +246,12 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 	// Classify the rest under one lock: join live flights (free) or admit
 	// new ones (bounded), atomically so admission cannot be split.
 	flights := make([]*flight, n)
+	joinedAt := make(map[int]time.Time, len(pending))
+	reqID := ""
+	if tr != nil {
+		reqID = tr.ID
+	}
+	stopAdmission := tr.Time(StageAdmission)
 	s.mu.Lock()
 	fresh := 0
 	for _, i := range pending {
@@ -214,23 +262,28 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 	}
 	if s.queued+fresh > s.cfg.MaxQueue || len(s.queues[client])+fresh > s.cfg.MaxPerClient {
 		retry := s.retryAfter()
+		depth := s.queued
 		s.mu.Unlock()
+		stopAdmission()
 		s.add("serve.queue.rejected")
-		return nil, 0, &ErrOverloaded{RetryAfter: retry}
+		return nil, 0, &ErrOverloaded{RetryAfter: retry, Depth: depth}
 	}
 	joined, enqueued := 0, 0
+	now := time.Now()
 	for _, i := range pending {
 		c := j.Plan.Cells[i]
 		addr := bench.CellAddress(j.FigID, c.Key, opts)
 		if fl, ok := s.inflight[addr]; ok {
 			fl.waiters++
 			flights[i] = fl
+			joinedAt[i] = now
 			joined++
 			continue
 		}
 		fctx, cancel := context.WithCancel(context.Background())
 		fl := &flight{addr: addr, figID: j.FigID, cell: c, opts: opts,
-			ctx: fctx, cancel: cancel, waiters: 1, done: make(chan struct{})}
+			ctx: fctx, cancel: cancel, reqID: reqID, waiters: 1,
+			enqueuedAt: now, done: make(chan struct{})}
 		s.inflight[addr] = fl
 		flights[i] = fl
 		if _, ok := s.queues[client]; !ok {
@@ -242,6 +295,12 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 	}
 	s.setDepth()
 	s.mu.Unlock()
+	stopAdmission()
+	// Stage spans derived from worker-side stamps are clamped to start no
+	// earlier than this instant: enqueuedAt/joinedAt were taken inside the
+	// admission lock, so anything before `admitted` is already attributed
+	// to the admission stage (keeps per-cell stage sums ≤ wall total).
+	admitted := time.Now()
 	if joined > 0 {
 		if c := s.counter("serve.cells.joined"); c != nil {
 			c.Add(int64(joined))
@@ -267,6 +326,29 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 			select {
 			case <-fl.done:
 				results[i], errs[i] = fl.vals, fl.err
+				// Stage accounting: a joiner waited on someone else's
+				// flight; an enqueuer owns the queue wait and the worker's
+				// execution time (the close of fl.done orders the stamp
+				// writes before these reads).
+				if _, ok := joinedAt[i]; ok {
+					tr.Add(StageFlightWait, time.Since(admitted))
+				} else if !fl.enqueuedAt.IsZero() && !fl.finishedAt.IsZero() {
+					started := fl.startedAt
+					if started.IsZero() {
+						// Dropped before any worker picked it up (Close).
+						started = fl.finishedAt
+					}
+					qstart := fl.enqueuedAt
+					if qstart.Before(admitted) {
+						qstart = admitted
+					}
+					estart := started
+					if estart.Before(admitted) {
+						estart = admitted
+					}
+					tr.Add(StageQueueWait, started.Sub(qstart))
+					tr.Add(StageExecute, fl.finishedAt.Sub(estart))
+				}
 				cellMu.Lock()
 				if fl.cached && fl.err == nil {
 					hits++
@@ -289,7 +371,9 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 		// The last waiter leaving cancels the flight, freeing its worker
 		// slot mid-cell and unregistering it so later submitters start
 		// fresh instead of joining a dying computation.
+		var abandoned []string
 		s.mu.Lock()
+		depth := s.queued
 		for _, i := range pending {
 			fl := flights[i]
 			select {
@@ -304,9 +388,17 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, onC
 					delete(s.inflight, fl.addr)
 				}
 				s.add("serve.cells.abandoned")
+				abandoned = append(abandoned, fl.addr)
 			}
 		}
 		s.mu.Unlock()
+		// A mid-cell abandonment must be visible in the logs: which client
+		// walked away from which cells, and how deep the queue was.
+		for _, addr := range abandoned {
+			s.cfg.Logger.Info("cell abandoned",
+				"request_id", reqID, "client", client,
+				"cell_addr", addr, "queue_depth", depth)
+		}
 		return nil, hits, ctx.Err()
 	}
 
@@ -386,6 +478,10 @@ func (s *Scheduler) pop() *task {
 // unregister before signalling, and abandoned results are never cached.
 func (s *Scheduler) execute(fl *flight) {
 	defer fl.cancel()
+	fl.startedAt = time.Now()
+	if !fl.enqueuedAt.IsZero() {
+		s.observeUS("serve.cell.queue_wait_us", fl.startedAt.Sub(fl.enqueuedAt))
+	}
 	if s.cfg.Cache != nil {
 		if vals, ok := s.cfg.Cache.Load(fl.figID, fl.cell.Key, fl.opts); ok {
 			s.add("serve.cells.cached")
@@ -420,13 +516,19 @@ func (s *Scheduler) execute(fl *flight) {
 			}
 		}
 		s.add("serve.cells.executed")
+		if res.err != nil {
+			s.cfg.Logger.Warn("cell failed",
+				"request_id", fl.reqID, "cell_addr", fl.addr,
+				"figure", fl.figID, "cell", fl.cell.Key, "error", res.err)
+		}
 		s.finish(fl, res.vals, false, res.err)
 	case <-fl.ctx.Done():
 		s.finish(fl, nil, false, fl.ctx.Err())
 	}
 }
 
-// finish publishes a flight's outcome: unregister, then signal waiters.
+// finish publishes a flight's outcome: unregister, stamp, then signal
+// waiters (the close of done orders the stamp for readers).
 func (s *Scheduler) finish(fl *flight, vals []bench.Value, cached bool, err error) {
 	s.mu.Lock()
 	if s.inflight[fl.addr] == fl {
@@ -434,5 +536,9 @@ func (s *Scheduler) finish(fl *flight, vals []bench.Value, cached bool, err erro
 	}
 	s.mu.Unlock()
 	fl.vals, fl.cached, fl.err = vals, cached, err
+	fl.finishedAt = time.Now()
+	if !fl.startedAt.IsZero() {
+		s.observeUS("serve.cell.exec_us", fl.finishedAt.Sub(fl.startedAt))
+	}
 	close(fl.done)
 }

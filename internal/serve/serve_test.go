@@ -515,7 +515,37 @@ func TestMetricsEndpoint(t *testing.T) {
 	if _, code, _ := postQuery(t, ts.URL, "m", query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 3}}); code != http.StatusOK {
 		t.Fatalf("query: status %d", code)
 	}
+	// Default view is Prometheus text exposition: sanitized names, typed
+	// series, histogram buckets.
 	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := readAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prom content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_queries counter",
+		"serve_queries 1",
+		"serve_cells_executed",
+		"# TYPE serve_query_latency_ms histogram",
+		"serve_query_latency_ms_bucket{le=\"+Inf\"} 1",
+		"serve_query_latency_ms_count 1",
+		"# TYPE serve_cache_hits counter",
+		"# TYPE serve_stage_execute_us histogram",
+		"# HELP serve_queries total /query requests accepted for execution",
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("prom exposition missing %q:\n%s", want, prom)
+		}
+	}
+	// The legacy aligned dump stays reachable behind ?format=text.
+	resp, err = http.Get(ts.URL + "/metrics?format=text")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -526,7 +556,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	for _, want := range []string{"serve.queries", "serve.cells.executed", "serve.query.latency_ms", "serve.cache.hits"} {
 		if !bytes.Contains(dump, []byte(want)) {
-			t.Errorf("metrics dump missing %s:\n%s", want, dump)
+			t.Errorf("legacy metrics dump missing %s:\n%s", want, dump)
 		}
 	}
 }

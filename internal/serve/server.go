@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -22,11 +24,23 @@ type Config struct {
 	MaxQueue     int
 	MaxPerClient int
 	// Cache is the shared on-disk result cache (nil disables caching —
-	// every query simulates).
+	// every query simulates). The server instruments it with event-time
+	// hit/miss/corruption counters under serve.cache.*.
 	Cache *bench.Cache
 	// Metrics receives scheduler and server series; a fresh registry is
 	// created when nil.
 	Metrics *obs.Registry
+	// Logger receives structured request logs (one line per request with
+	// its ID, outcome and stage breakdown, plus shed/abandonment events);
+	// nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts the stdlib /debug/pprof handlers on the server's
+	// mux. Off by default: profiling endpoints on a public port are a
+	// deliberate choice.
+	EnablePprof bool
+	// FlightRecorderSize is how many recent requests the always-on flight
+	// recorder retains (0 means DefaultFlightRecorderSize).
+	FlightRecorderSize int
 }
 
 // Server is the simulation-as-a-service front end. Routes:
@@ -35,12 +49,18 @@ type Config struct {
 //	                       per-cell progress before the final response
 //	GET  /figures          list the figure registry
 //	GET  /traces/{addr}    Perfetto trace of a completed cell query
-//	GET  /metrics          text dump of the metrics registry
+//	GET  /metrics          Prometheus text exposition of the metrics
+//	                       registry (?format=text for the legacy dump)
+//	GET  /debug/requests   flight recorder: recent requests, newest first
+//	GET  /debug/pprof/*    stdlib profiling (only with EnablePprof)
 //	GET  /healthz          liveness
 type Server struct {
 	sched   *Scheduler
 	cache   *bench.Cache
 	metrics *obs.Registry
+	logger  *slog.Logger
+	rec     *FlightRecorder
+	pprofOn bool
 
 	mu     sync.Mutex
 	traces map[string]query.Request // cell content address -> normalized request
@@ -51,6 +71,16 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Cache != nil {
+		// Event-time accounting: the counters advance when the cache event
+		// happens, not when /metrics is scraped, so values are correct
+		// between scrapes.
+		cfg.Cache.Instrument(cfg.Metrics, "serve.cache")
+	}
+	registerHelp(cfg.Metrics)
 	return &Server{
 		sched: NewScheduler(SchedulerConfig{
 			Workers:      cfg.Workers,
@@ -58,15 +88,42 @@ func New(cfg Config) *Server {
 			MaxPerClient: cfg.MaxPerClient,
 			Cache:        cfg.Cache,
 			Metrics:      cfg.Metrics,
+			Logger:       cfg.Logger,
 		}),
 		cache:   cfg.Cache,
 		metrics: cfg.Metrics,
+		logger:  cfg.Logger,
+		rec:     NewFlightRecorder(cfg.FlightRecorderSize),
+		pprofOn: cfg.EnablePprof,
 		traces:  make(map[string]query.Request),
 	}
 }
 
+// registerHelp attaches exposition help text to the server's series.
+func registerHelp(r *obs.Registry) {
+	r.Help("serve.queries", "total /query requests accepted for execution")
+	r.Help("serve.queue.depth", "cells admitted and waiting for a worker")
+	r.Help("serve.queue.rejected", "jobs shed with 429 by admission control")
+	r.Help("serve.cells.fast_path", "cells answered from cache without queueing")
+	r.Help("serve.cells.joined", "cells merged into an identical in-flight cell")
+	r.Help("serve.cells.executed", "cell bodies simulated by a worker")
+	r.Help("serve.cells.cached", "queued cells answered by the worker's cache re-probe")
+	r.Help("serve.cells.abandoned", "in-flight cells cancelled because every waiter left")
+	r.Help("serve.query.latency_ms", "end-to-end /query wall time in milliseconds")
+	for _, s := range stageOrder {
+		r.Help("serve.stage."+s+"_us", "per-request wall time in the "+s+" stage (µs)")
+	}
+	r.Help("serve.cell.queue_wait_us", "per-cell time from admission to worker pickup (µs)")
+	r.Help("serve.cell.exec_us", "per-cell worker execution time (µs)")
+}
+
 // Close stops the worker pool.
 func (s *Server) Close() { s.sched.Close() }
+
+// FlightRecorder exposes the server's request ring (the loadtest harness
+// and tests read it through /debug/requests; this accessor is for
+// in-process embedding).
+func (s *Server) FlightRecorder() *FlightRecorder { return s.rec }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -75,6 +132,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/figures", s.handleFigures)
 	mux.HandleFunc("/traces/", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -92,6 +157,14 @@ func clientID(r *http.Request) string {
 		return host
 	}
 	return r.RemoteAddr
+}
+
+// requestID returns the client-provided X-Request-ID or mints one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return newRequestID()
 }
 
 // httpError writes a JSON error body with the given status.
@@ -112,23 +185,117 @@ type streamEvent struct {
 	Result *query.Response `json:"result,omitempty"`
 }
 
+// observeStages aggregates a finished trace into the per-stage histograms
+// that turn individual breakdowns into p50/p99 series.
+func (s *Server) observeStages(tr *Trace) {
+	for _, st := range tr.Stages() {
+		s.metrics.Histogram("serve.stage."+st.Name+"_us", obs.LatencyBucketsUS).Observe(st.US)
+	}
+}
+
+// finishRequest is the single exit point of handleQuery's accounting: it
+// stamps the record with the trace's totals, appends it to the flight
+// recorder, logs one structured line, feeds the stage histograms, and —
+// on any 5xx — dumps the flight recorder so the log alone reconstructs
+// what the server was doing when it failed.
+func (s *Server) finishRequest(tr *Trace, rec RequestRecord) {
+	rec.ID = tr.ID
+	rec.Client = tr.Client
+	rec.Start = tr.Start
+	rec.TotalUS = tr.Total().Seconds() * 1e6
+	rec.Stages = tr.Stages()
+	if rec.QueueDepth == 0 {
+		rec.QueueDepth = s.sched.QueueDepth()
+	}
+	s.rec.Record(rec)
+	s.observeStages(tr)
+
+	attrs := []any{
+		"request_id", rec.ID, "client", rec.Client, "kind", rec.Kind,
+		"outcome", rec.Outcome, "status", rec.Status,
+		"total_us", int64(rec.TotalUS), "queue_depth", rec.QueueDepth,
+	}
+	if rec.Key != "" {
+		attrs = append(attrs, "key", rec.Key)
+	}
+	if rec.Addr != "" {
+		attrs = append(attrs, "cell_addr", rec.Addr)
+	}
+	if rec.Cells > 0 {
+		attrs = append(attrs, "cells", rec.Cells, "cache_hits", rec.Hits)
+	}
+	if rec.RetryAfter > 0 {
+		attrs = append(attrs, "retry_after_s", rec.RetryAfter)
+	}
+	if rec.Error != "" {
+		attrs = append(attrs, "error", rec.Error)
+	}
+	for _, st := range rec.Stages {
+		attrs = append(attrs, "stage_"+st.Name+"_us", int64(st.US))
+	}
+	switch {
+	case rec.Status >= 500:
+		s.logger.Error("query", attrs...)
+		s.dumpRecorder("5xx on request " + rec.ID)
+	case rec.Status >= 400:
+		s.logger.Warn("query", attrs...)
+	default:
+		s.logger.Info("query", attrs...)
+	}
+}
+
+// dumpRecorderMax bounds how many flight-recorder entries a 5xx dumps to
+// the log — enough context to reconstruct the surrounding traffic without
+// flooding.
+const dumpRecorderMax = 16
+
+// dumpRecorder writes the most recent flight-recorder entries to the log.
+func (s *Server) dumpRecorder(reason string) {
+	records := s.rec.Last(dumpRecorderMax)
+	s.logger.Error("flight recorder dump", "reason", reason,
+		"records", len(records), "recorded_total", s.rec.Total())
+	for i, r := range records {
+		s.logger.Error("flight recorder entry", "age", i,
+			"request_id", r.ID, "client", r.Client, "kind", r.Kind,
+			"outcome", r.Outcome, "status", r.Status,
+			"total_us", int64(r.TotalUS), "queue_depth", r.QueueDepth,
+			"error", r.Error)
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tr := NewTrace(requestID(r), clientID(r))
+	w.Header().Set("X-Request-ID", tr.ID)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		s.finishRequest(tr, RequestRecord{Outcome: OutcomeBadRequest,
+			Status: http.StatusMethodNotAllowed, Error: "method not allowed"})
 		return
 	}
+	stopDecode := tr.Time(StageDecode)
 	var req query.Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		stopDecode()
+		err = fmt.Errorf("decoding request: %w", err)
+		httpError(w, http.StatusBadRequest, err)
+		s.finishRequest(tr, RequestRecord{Outcome: OutcomeBadRequest,
+			Status: http.StatusBadRequest, Error: err.Error()})
 		return
 	}
 	j, err := query.Build(req)
+	stopDecode()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		s.finishRequest(tr, RequestRecord{Outcome: OutcomeBadRequest,
+			Status: http.StatusBadRequest, Error: err.Error()})
 		return
 	}
+	key, _ := j.Req.Key()
+	rec := RequestRecord{Kind: j.Req.Kind, Key: key, Cells: len(j.Plan.Cells)}
+	if j.Req.Kind == query.KindCell {
+		rec.Addr = j.Addresses()[0]
+	}
 	s.metrics.Counter("serve.queries").Add(1)
-	start := time.Now()
 
 	stream := r.URL.Query().Get("stream") == "1"
 	var enc *json.Encoder
@@ -153,40 +320,67 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	results, hits, err := s.sched.RunJob(r.Context(), clientID(r), j, onCell)
+	results, hits, err := s.sched.RunJob(r.Context(), tr.Client, j, tr, onCell)
 	s.metrics.Histogram("serve.query.latency_ms", obs.DefaultBuckets).
-		Observe(time.Since(start).Seconds() * 1e3)
+		Observe(tr.Total().Seconds() * 1e3)
 	if err != nil {
 		var over *ErrOverloaded
 		switch {
 		case errors.As(err, &over):
+			// Shed load must be visible: the 429 is logged with the client,
+			// the cells it asked for, the queue depth that caused the
+			// rejection, and the backoff hint it was given.
+			rec.Outcome, rec.Status = OutcomeShed, http.StatusTooManyRequests
+			rec.QueueDepth = over.Depth
+			rec.RetryAfter = int(over.RetryAfter.Seconds())
+			rec.Error = err.Error()
 			if !stream {
-				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(over.RetryAfter.Seconds())))
+				w.Header().Set("Retry-After", strconv.Itoa(rec.RetryAfter))
 				httpError(w, http.StatusTooManyRequests, err)
+				s.finishRequest(tr, rec)
 				return
 			}
 		case r.Context().Err() != nil:
 			// Client is gone; nothing useful to write.
+			rec.Outcome, rec.Status = OutcomeAbandoned, 499 // nginx's "client closed request"
+			rec.Hits = hits
+			rec.Error = r.Context().Err().Error()
+			s.finishRequest(tr, rec)
 			return
 		}
 		if stream {
 			enc.Encode(streamEvent{Type: "error", Error: err.Error()})
+			if rec.Outcome == "" {
+				rec.Outcome, rec.Status = OutcomeError, http.StatusInternalServerError
+				rec.Error = err.Error()
+			}
+			s.finishRequest(tr, rec)
 			return
 		}
 		httpError(w, http.StatusInternalServerError, err)
+		rec.Outcome, rec.Status = OutcomeError, http.StatusInternalServerError
+		rec.Error = err.Error()
+		s.finishRequest(tr, rec)
 		return
 	}
 
+	stopEncode := tr.Time(StageEncode)
 	resp, err := query.NewResponse(j, j.Assemble(results), hits,
-		time.Since(start).Seconds()*1e3)
+		tr.Total().Seconds()*1e3)
+	stopEncode()
 	if err != nil {
+		rec.Outcome, rec.Status = OutcomeError, http.StatusInternalServerError
+		rec.Error = err.Error()
 		if stream {
 			enc.Encode(streamEvent{Type: "error", Error: err.Error()})
-			return
+		} else {
+			httpError(w, http.StatusInternalServerError, err)
 		}
-		httpError(w, http.StatusInternalServerError, err)
+		s.finishRequest(tr, rec)
 		return
 	}
+	resp.RequestID = tr.ID
+	resp.Stages = tr.Stages()
 	if j.Req.Kind == query.KindCell {
 		// Index the completed cell by content address so its Perfetto
 		// trace can be regenerated on demand at /traces/{addr}.
@@ -194,12 +388,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.traces[j.Addresses()[0]] = j.Req
 		s.mu.Unlock()
 	}
+	rec.Status, rec.Hits = http.StatusOK, hits
+	rec.Outcome = OutcomeMiss
+	if hits == len(j.Plan.Cells) {
+		rec.Outcome = OutcomeHit
+	}
 	if stream {
 		enc.Encode(streamEvent{Type: "result", Result: resp})
+		s.finishRequest(tr, rec)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+	s.finishRequest(tr, rec)
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, _ *http.Request) {
@@ -233,13 +434,36 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("serve.traces").Add(1)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	if s.cache != nil {
-		hits, misses := s.cache.Stats()
-		s.metrics.Gauge("serve.cache.hits").Set(hits)
-		s.metrics.Gauge("serve.cache.misses").Set(misses)
-		s.metrics.Gauge("serve.cache.corruptions").Set(s.cache.Corruptions())
+// handleMetrics serves Prometheus text exposition by default; the legacy
+// aligned dump stays reachable at /metrics?format=text. Cache hit/miss/
+// corruption series are event-time counters (serve.cache.*), so no
+// scrape-time refresh happens here.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.metrics.Dump(w)
+		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.Dump(w)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w)
+}
+
+// handleDebugRequests serves the flight recorder, newest first. ?n= bounds
+// the count (default: everything retained).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	records := s.rec.Last(n)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Total   uint64          `json:"recorded_total"`
+		Records []RequestRecord `json:"requests"`
+	}{s.rec.Total(), records})
 }

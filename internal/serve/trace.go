@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+)
+
+// Request-scoped wall-clock stage tracing. Every query through the server
+// carries a request ID and a Trace that accumulates one duration per
+// lifecycle stage; the breakdown is returned in the JSON response, logged,
+// recorded in the flight recorder, and aggregated into per-stage
+// histograms (serve.stage.<name>_us) — so "a warm hit is fast" becomes
+// "cache lookup p99 is X µs and encode p99 is Y µs".
+
+// Stage names of the request lifecycle, in canonical display order.
+const (
+	// StageDecode covers reading the request body, JSON decoding, and
+	// compiling it to a Job (normalization + validation + plan build).
+	StageDecode = "decode"
+	// StageAdmission is the scheduler's classification pass: the locked
+	// section that joins live flights or admits new cells against the
+	// queue bounds (including the admission decision that sheds a 429).
+	StageAdmission = "admission"
+	// StageCacheLookup is the total time probing the shared result cache
+	// on the fast path (one probe per cell).
+	StageCacheLookup = "cache_lookup"
+	// StageQueueWait is time a request's fresh cells spent queued before
+	// a worker picked them up (summed over cells).
+	StageQueueWait = "queue_wait"
+	// StageFlightWait is time spent waiting on another request's
+	// in-flight cell after a singleflight join.
+	StageFlightWait = "singleflight_wait"
+	// StageExecute is worker time actually running cell bodies (summed
+	// over this request's fresh cells).
+	StageExecute = "execute"
+	// StageEncode is response assembly: rendering result tables to
+	// aligned text and CSV and building the wire response.
+	StageEncode = "encode"
+)
+
+// stageOrder fixes the rendering order of Stages() so responses, logs and
+// goldens agree.
+var stageOrder = []string{
+	StageDecode, StageAdmission, StageCacheLookup,
+	StageQueueWait, StageFlightWait, StageExecute, StageEncode,
+}
+
+// Request IDs: a per-process random nonce plus a sequence number — unique
+// across restarts, trivially greppable, and cheap (no per-request
+// randomness).
+var (
+	ridNonce = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Int64
+)
+
+// newRequestID mints the next request ID.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridNonce, ridSeq.Add(1))
+}
+
+// Trace accumulates the stage spans of one request. All methods are
+// nil-safe so instrumented paths need no guards, and Add is safe for
+// concurrent use (a multi-cell job's waiters complete in parallel).
+type Trace struct {
+	ID     string
+	Client string
+	Start  time.Time
+
+	mu     sync.Mutex
+	stages map[string]time.Duration
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(id, client string) *Trace {
+	return &Trace{ID: id, Client: client, Start: time.Now(),
+		stages: make(map[string]time.Duration, len(stageOrder))}
+}
+
+// Add accumulates d into the named stage.
+func (t *Trace) Add(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.stages[stage] += d
+	t.mu.Unlock()
+}
+
+// Time starts a span for the named stage; the returned stop function
+// accumulates the elapsed time. Usage: defer tr.Time(StageDecode)().
+func (t *Trace) Time(stage string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(stage, time.Since(start)) }
+}
+
+// Total is wall time since the trace started.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.Start)
+}
+
+// StageSum is the total time attributed to stages; Total minus StageSum is
+// the trace's unattributed slack (handler glue, socket writes, goroutine
+// wakeups).
+func (t *Trace) StageSum() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, d := range t.stages {
+		sum += d
+	}
+	return sum
+}
+
+// Stages renders the recorded spans in canonical order as wire stages
+// (microseconds). Stages never entered are omitted.
+func (t *Trace) Stages() []query.Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]query.Stage, 0, len(t.stages))
+	for _, name := range stageOrder {
+		if d, ok := t.stages[name]; ok {
+			out = append(out, query.Stage{Name: name, US: d.Seconds() * 1e6})
+		}
+	}
+	return out
+}

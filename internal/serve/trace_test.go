@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/race"
+)
+
+// stageMap indexes a response's stage breakdown by name.
+func stageMap(st []query.Stage) map[string]float64 {
+	m := make(map[string]float64, len(st))
+	for _, s := range st {
+		m[s.Name] = s.US
+	}
+	return m
+}
+
+// fetchRecords reads the flight recorder over /debug/requests.
+func fetchRecords(t *testing.T, url string, n int) (uint64, []RequestRecord) {
+	t.Helper()
+	u := url + "/debug/requests"
+	if n > 0 {
+		u += "?n=" + strconv.Itoa(n)
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total   uint64          `json:"recorded_total"`
+		Records []RequestRecord `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Total, body.Records
+}
+
+// findRecord locates a flight-recorder entry by request ID.
+func findRecord(t *testing.T, url, id string) RequestRecord {
+	t.Helper()
+	_, recs := fetchRecords(t, url, 0)
+	for _, r := range recs {
+		if r.ID == id {
+			return r
+		}
+	}
+	t.Fatalf("no flight-recorder entry for request %s (have %d records)", id, len(recs))
+	return RequestRecord{}
+}
+
+// checkAccounting asserts the invariant every traced request satisfies:
+// non-negative spans, and — because a single-cell request's stages are
+// strictly sequential — the attributed time never exceeds the recorder's
+// wall-clock total (the difference is measurable slack: handler glue,
+// socket writes, goroutine wakeups).
+func checkAccounting(t *testing.T, rec RequestRecord) {
+	t.Helper()
+	var sum float64
+	for _, s := range rec.Stages {
+		if s.US < 0 {
+			t.Errorf("request %s: stage %s negative (%v µs)", rec.ID, s.Name, s.US)
+		}
+		sum += s.US
+	}
+	if sum > rec.TotalUS {
+		t.Errorf("request %s: stage sum %.1fµs exceeds wall total %.1fµs", rec.ID, sum, rec.TotalUS)
+	}
+	if !race.Enabled && rec.TotalUS <= 0 {
+		t.Errorf("request %s: wall total %.1fµs not positive", rec.ID, rec.TotalUS)
+	}
+}
+
+// TestStageAccountingMissAndHit: a cold query attributes time to
+// decode/admission/execute/encode (no singleflight wait), a warm one to
+// cache_lookup (no execute, no queue wait), and both keep the attributed
+// sum within the wall-clock total.
+func TestStageAccountingMissAndHit(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 2})
+	req := query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 41}}
+
+	cold, code, hdr := postQuery(t, ts.URL, "a", req)
+	if code != http.StatusOK {
+		t.Fatalf("cold query: %d", code)
+	}
+	if cold.RequestID == "" {
+		t.Fatal("cold response missing request_id")
+	}
+	if got := hdr.Get("X-Request-ID"); got != cold.RequestID {
+		t.Fatalf("X-Request-ID header %q != response request_id %q", got, cold.RequestID)
+	}
+	cs := stageMap(cold.Stages)
+	for _, want := range []string{StageDecode, StageAdmission, StageExecute, StageEncode} {
+		if _, ok := cs[want]; !ok {
+			t.Errorf("cold (miss) breakdown missing %s: %v", want, cold.Stages)
+		}
+	}
+	if _, ok := cs[StageFlightWait]; ok {
+		t.Errorf("cold solo query reported a singleflight wait: %v", cold.Stages)
+	}
+	rec := findRecord(t, ts.URL, cold.RequestID)
+	if rec.Outcome != OutcomeMiss || rec.Status != http.StatusOK {
+		t.Fatalf("cold record: outcome %s status %d", rec.Outcome, rec.Status)
+	}
+	checkAccounting(t, rec)
+
+	warm, code, _ := postQuery(t, ts.URL, "a", req)
+	if code != http.StatusOK {
+		t.Fatalf("warm query: %d", code)
+	}
+	ws := stageMap(warm.Stages)
+	for _, want := range []string{StageDecode, StageCacheLookup, StageEncode} {
+		if _, ok := ws[want]; !ok {
+			t.Errorf("warm (hit) breakdown missing %s: %v", want, warm.Stages)
+		}
+	}
+	for _, absent := range []string{StageExecute, StageQueueWait, StageFlightWait} {
+		if _, ok := ws[absent]; ok {
+			t.Errorf("warm (hit) breakdown contains %s: %v", absent, warm.Stages)
+		}
+	}
+	wrec := findRecord(t, ts.URL, warm.RequestID)
+	if wrec.Outcome != OutcomeHit {
+		t.Fatalf("warm record outcome %s, want hit", wrec.Outcome)
+	}
+	checkAccounting(t, wrec)
+}
+
+// TestStageAccountingQueuedAndJoined: with one worker pinned by a blocking
+// cell, a second distinct query attributes queue wait, and a duplicate of
+// the blocked query attributes singleflight wait instead of executing.
+func TestStageAccountingQueuedAndJoined(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Workers: 1})
+	g := resetGate(map[int]bool{21: true})
+
+	type res struct {
+		resp *query.Response
+		code int
+	}
+	first := make(chan res, 1)
+	go func() {
+		r, c, _ := postQuery(t, ts.URL, "a", gateReq(21))
+		first <- res{r, c}
+	}()
+	<-g.started // worker is now inside the blocking cell
+
+	second := make(chan res, 1)
+	go func() {
+		r, c, _ := postQuery(t, ts.URL, "b", gateReq(22))
+		second <- res{r, c}
+	}()
+	joined := make(chan res, 1)
+	go func() {
+		r, c, _ := postQuery(t, ts.URL, "c", gateReq(21))
+		joined <- res{r, c}
+	}()
+	// Hold the gate until the distinct query is queued behind the pinned
+	// worker and the duplicate has joined the in-flight cell.
+	waitFor(t, "second queued and duplicate joined", func() bool {
+		return reg.Gauge("serve.queue.depth").Value() >= 1 &&
+			reg.Counter("serve.cells.joined").Value() >= 1
+	})
+	g.release <- struct{}{} // unblock iters=21; iters=22 then runs
+
+	fr := <-first
+	sr := <-second
+	jr := <-joined
+	for name, r := range map[string]res{"first": fr, "second": sr, "joined": jr} {
+		if r.code != http.StatusOK {
+			t.Fatalf("%s query: status %d", name, r.code)
+		}
+	}
+
+	ss := stageMap(sr.resp.Stages)
+	if _, ok := ss[StageQueueWait]; !ok {
+		t.Errorf("queued query reported no queue wait: %v", sr.resp.Stages)
+	}
+	if _, ok := ss[StageExecute]; !ok {
+		t.Errorf("queued query reported no execute span: %v", sr.resp.Stages)
+	}
+	if !race.Enabled && ss[StageQueueWait] <= 0 {
+		t.Errorf("queued query queue wait = %.1fµs, want > 0", ss[StageQueueWait])
+	}
+	checkAccounting(t, findRecord(t, ts.URL, sr.resp.RequestID))
+
+	// The joined request never executed anything itself: its time went to
+	// the singleflight wait on the first request's in-flight cell.
+	js := stageMap(jr.resp.Stages)
+	if _, ok := js[StageFlightWait]; !ok {
+		t.Errorf("joined query reported no singleflight wait: %v", jr.resp.Stages)
+	}
+	if _, ok := js[StageExecute]; ok {
+		t.Errorf("joined query claims execute time: %v", jr.resp.Stages)
+	}
+	if jr.resp.CacheHits != 0 {
+		t.Errorf("joined query reported %d cache hits", jr.resp.CacheHits)
+	}
+	checkAccounting(t, findRecord(t, ts.URL, jr.resp.RequestID))
+}
+
+// TestShedBurstFlightRecorder: admission control sheds a burst and the
+// flight recorder replays it — every shed request recorded with outcome
+// "shed", the queue depth that caused the 429, the Retry-After hint it was
+// given, and an admission span but no execute/encode.
+func TestShedBurstFlightRecorder(t *testing.T) {
+	ts, reg := newTestServer(t, Config{Workers: 1, MaxQueue: 1, MaxPerClient: 1})
+	g := resetGate(map[int]bool{31: true})
+
+	done := make(chan struct{}, 2)
+	go func() {
+		postQuery(t, ts.URL, "a", gateReq(31)) // pins the worker
+		done <- struct{}{}
+	}()
+	<-g.started
+	go func() {
+		postQuery(t, ts.URL, "b", gateReq(32)) // fills the one queue slot
+		done <- struct{}{}
+	}()
+	waitFor(t, "queue slot occupied", func() bool {
+		return reg.Gauge("serve.queue.depth").Value() == 1
+	})
+
+	// Burst: every one of these must shed with a 429 and a Retry-After.
+	const burst = 4
+	var shedIDs []string
+	for i := 0; i < burst; i++ {
+		_, code, hdr := postQuery(t, ts.URL, "c", gateReq(33))
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("burst request %d: status %d, want 429", i, code)
+		}
+		if ra := hdr.Get("Retry-After"); ra == "" || ra == "0" {
+			t.Fatalf("429 without a usable Retry-After (%q)", ra)
+		}
+		shedIDs = append(shedIDs, hdr.Get("X-Request-ID"))
+	}
+
+	total, recs := fetchRecords(t, ts.URL, 0)
+	if total < burst {
+		t.Fatalf("flight recorder total %d < burst %d", total, burst)
+	}
+	byID := map[string]RequestRecord{}
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	for _, id := range shedIDs {
+		rec, ok := byID[id]
+		if !ok {
+			t.Fatalf("shed request %s not in flight recorder", id)
+		}
+		if rec.Outcome != OutcomeShed || rec.Status != http.StatusTooManyRequests {
+			t.Errorf("shed record %s: outcome %s status %d", id, rec.Outcome, rec.Status)
+		}
+		if rec.RetryAfter < 1 {
+			t.Errorf("shed record %s: retry_after_s %d, want >= 1", id, rec.RetryAfter)
+		}
+		if rec.QueueDepth < 1 {
+			t.Errorf("shed record %s: queue_depth %d, want >= 1", id, rec.QueueDepth)
+		}
+		sm := stageMap(rec.Stages)
+		if _, ok := sm[StageAdmission]; !ok {
+			t.Errorf("shed record %s missing admission span: %v", id, rec.Stages)
+		}
+		for _, absent := range []string{StageExecute, StageEncode, StageQueueWait} {
+			if _, ok := sm[absent]; ok {
+				t.Errorf("shed record %s claims %s time: %v", id, absent, rec.Stages)
+			}
+		}
+		checkAccounting(t, rec)
+	}
+	if got := reg.Counter("serve.queue.rejected").Value(); got < burst {
+		t.Errorf("serve.queue.rejected = %d, want >= %d", got, burst)
+	}
+
+	// Drain: release the pinned cell so both in-flight queries finish and
+	// Close is clean (iters=32 does not block on the gate).
+	g.release <- struct{}{}
+	<-done
+	<-done
+}
+
+// TestFlightRecorderRing: the ring keeps only the most recent N records,
+// newest first, while the total keeps counting.
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		fr.Record(RequestRecord{ID: string(rune('0' + i))})
+	}
+	if fr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", fr.Total())
+	}
+	recs := fr.Last(0)
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	for i, want := range []string{"5", "4", "3"} {
+		if recs[i].ID != want {
+			t.Errorf("record %d = %s, want %s (newest first)", i, recs[i].ID, want)
+		}
+	}
+	if got := fr.Last(1); len(got) != 1 || got[0].ID != "5" {
+		t.Fatalf("Last(1) = %v", got)
+	}
+}
+
+// TestRequestIDPropagation: a client-supplied X-Request-ID is used verbatim
+// end to end — response header, response body, and flight recorder.
+func TestRequestIDPropagation(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	body, _ := json.Marshal(query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 51}})
+	hr, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(string(body)))
+	hr.Header.Set("X-Client", "rid")
+	hr.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") != "trace-me-42" {
+		t.Fatalf("header X-Request-ID = %q", resp.Header.Get("X-Request-ID"))
+	}
+	var qr query.Response
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RequestID != "trace-me-42" {
+		t.Fatalf("response request_id = %q", qr.RequestID)
+	}
+	rec := findRecord(t, ts.URL, "trace-me-42")
+	if rec.Client != "rid" {
+		t.Fatalf("record client = %q", rec.Client)
+	}
+}
