@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test ci
+.PHONY: all vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test serve-chaos ci
 
 all: build
 
@@ -71,4 +71,15 @@ chaos-recovery:
 	$(GO) run ./cmd/pipmcoll-chaos -scenario node-death
 	$(GO) run ./cmd/pipmcoll-chaos -scenario cascading-failures
 
-ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test
+# Serving resilience: graceful drain, request deadlines, the stuck-cell
+# watchdog, retry/backoff clients and serve-side chaos injection, all
+# under the race detector; the cache crash-safety sweep; then the
+# fixed-seed drain smoke (warm loadtest with retries achieves 100%
+# goodput on a draining server, fresh work gets the typed give-up).
+serve-chaos:
+	$(GO) test -race ./internal/serve -run 'Drain|Deadline|Watchdog|Chaos|Goodput|Resilience' -count=1
+	$(GO) test -race ./internal/client -count=1
+	$(GO) test -race ./internal/bench -run 'CacheSweep' -count=1
+	PIPMCOLL_CHAOS=1 $(GO) test -race -count=1 ./internal/serve -run TestLoadtestAgainstDrainingServer
+
+ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test serve-chaos

@@ -9,6 +9,7 @@
 //
 //	pipmcoll-bench [-fig 1,6,9] [-full] [-iters 3] [-warmup 2] [-csv DIR]
 //	               [-parallel N] [-nocache] [-cache-dir DIR]
+//	               [-server http://host:8090] [-timeout-ms 0]
 //	pipmcoll-bench -throughput [-throughput-out BENCH_throughput.json]
 //	pipmcoll-bench -gate [-gate-baseline BENCH_throughput.json]
 //	               [-gate-tolerance 0.15] [-gate-runs 3] [-gate-skip-wallclock]
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/query"
 )
@@ -116,6 +118,8 @@ func run() error {
 	gateTol := flag.Float64("gate-tolerance", 0.15, "gate: allowed fractional ns/event regression (0.15 = +15%)")
 	gateRuns := flag.Int("gate-runs", 3, "gate: repeats per world (best-of sheds host noise)")
 	gateSkipWall := flag.Bool("gate-skip-wallclock", false, "gate: skip the ns/event comparison (alloc ceilings and virtual time still enforced)")
+	server := flag.String("server", "", "run figures against a pipmcoll-serve URL instead of in-process (retries on shed load)")
+	timeoutMS := flag.Int("timeout-ms", 0, "with -server: per-request deadline in milliseconds (0 = none)")
 	flag.Parse()
 
 	// Diagnostics (cache problems, failing cells) go to stderr as
@@ -167,6 +171,11 @@ func run() error {
 		}
 	}
 
+	opts := bench.Opts{Full: *full, Warmup: *warmup, Iters: *iters}
+	if *server != "" {
+		return runRemote(*server, figs, opts, *timeoutMS, *csvDir, logger)
+	}
+
 	var cache *bench.Cache
 	if !*nocache {
 		c, err := bench.OpenCache(*cacheDir)
@@ -177,7 +186,6 @@ func run() error {
 		}
 	}
 
-	opts := bench.Opts{Full: *full, Warmup: *warmup, Iters: *iters}
 	mode := "quick"
 	if *full {
 		mode = "full"
@@ -254,6 +262,51 @@ func run() error {
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("%d figure(s) had failing cells: %s", len(failed), strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// runRemote sends each figure as one query to a pipmcoll-serve instance,
+// retrying shed load and drains with backoff, and prints the same tables
+// the in-process path does. The server shares the content-addressed
+// cache, so anything it has already computed comes back warm.
+func runRemote(baseURL string, figs []bench.Figure, opts bench.Opts, timeoutMS int,
+	csvDir string, logger *slog.Logger) error {
+	cl := client.New(client.Config{BaseURL: baseURL, ClientID: "pipmcoll-bench"})
+	fmt.Printf("PiP-MColl benchmark harness (remote %s, %d warm-up + %d measured iterations)\n\n",
+		baseURL, opts.Warmup, opts.Iters)
+	var failed []string
+	for _, f := range figs {
+		start := time.Now()
+		resp, outcome, err := cl.Query(context.Background(), query.Request{
+			Figure:    f.ID,
+			Opts:      query.Opts{Full: opts.Full, Warmup: opts.Warmup, Iters: opts.Iters},
+			TimeoutMS: timeoutMS,
+		})
+		if outcome.Retried > 0 {
+			logger.Info("figure needed retries", "figure", f.ID,
+				"attempts", len(outcome.Attempts), "shed", outcome.Shed)
+		}
+		if err != nil {
+			failed = append(failed, f.ID)
+			logger.Error("figure failed", "figure", f.ID,
+				"attempts", len(outcome.Attempts), "error", err)
+			continue
+		}
+		fmt.Printf("=== Figure %s: %s  [%.1fs, %d cache hits]\n\n",
+			f.ID, f.Title, time.Since(start).Seconds(), resp.CacheHits)
+		for i, t := range resp.Tables {
+			fmt.Println(t.Text)
+			if csvDir != "" {
+				name := fmt.Sprintf("fig%s_%d.csv", f.ID, i)
+				if err := os.WriteFile(filepath.Join(csvDir, name), []byte(t.CSV), 0o644); err != nil {
+					return fmt.Errorf("writing CSV: %w", err)
+				}
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d figure(s) failed remotely: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }

@@ -11,23 +11,33 @@
 //
 //	pipmcoll-serve [-addr :8090] [-workers N] [-queue 256] [-per-client 64]
 //	               [-nocache] [-cache-dir DIR] [-pprof] [-log-level info]
-//	pipmcoll-serve -loadtest [-clients 8] [-requests 50]
+//	               [-drain-timeout 10s] [-cell-budget 0]
+//	pipmcoll-serve -loadtest [-clients 8] [-requests 50] [-retries 1] [-seed 0]
 //
 // Endpoints: POST /query (add ?stream=1 for NDJSON progress), GET
 // /figures, GET /traces/{addr}, GET /metrics (Prometheus exposition;
 // ?format=text for the aligned dump), GET /debug/requests (flight
-// recorder), GET /debug/pprof/* (with -pprof), GET /healthz. See the
-// README's Observability section for the request schema and curl examples.
+// recorder), GET /debug/pprof/* (with -pprof), GET /healthz (liveness),
+// GET /readyz (readiness; 503 while draining). On SIGTERM/SIGINT the
+// server stops admitting new cells, keeps serving warm-cache hits, waits
+// up to -drain-timeout for in-flight work, then shuts the listener down.
+// See the README's Operations section for the full lifecycle.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/query"
@@ -44,9 +54,14 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	recSize := flag.Int("flight-recorder", serve.DefaultFlightRecorderSize, "flight recorder capacity (recent requests kept for /debug/requests)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight work before abandoning it")
+	cellBudget := flag.Duration("cell-budget", 0, "kill any single cell executing longer than this (0 disables the watchdog)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (bounds one request end to end)")
 	loadtest := flag.Bool("loadtest", false, "run the bundled load generator against an in-process server and exit")
 	clients := flag.Int("clients", 8, "loadtest: concurrent clients")
 	requests := flag.Int("requests", 50, "loadtest: requests per client")
+	retries := flag.Int("retries", 1, "loadtest: attempts per request (1 = no retries)")
+	seed := flag.Int64("seed", 0, "loadtest: retry jitter seed for reproducible runs (0 = clock)")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -55,7 +70,8 @@ func main() {
 		os.Exit(1)
 	}
 	if err := run(*addr, *workers, *queue, *perClient, *nocache, *cacheDir,
-		*pprofOn, *recSize, logger, *loadtest, *clients, *requests); err != nil {
+		*pprofOn, *recSize, *drainTimeout, *cellBudget, *writeTimeout,
+		logger, *loadtest, *clients, *requests, *retries, *seed); err != nil {
 		logger.Error("fatal", "error", err)
 		os.Exit(1)
 	}
@@ -72,7 +88,8 @@ func newLogger(level string) (*slog.Logger, error) {
 }
 
 func run(addr string, workers, queue, perClient int, nocache bool, cacheDir string,
-	pprofOn bool, recSize int, logger *slog.Logger, loadtest bool, clients, requests int) error {
+	pprofOn bool, recSize int, drainTimeout, cellBudget, writeTimeout time.Duration,
+	logger *slog.Logger, loadtest bool, clients, requests, retries int, seed int64) error {
 	var cache *bench.Cache
 	if !nocache {
 		c, err := bench.OpenCache(cacheDir)
@@ -90,24 +107,66 @@ func run(addr string, workers, queue, perClient int, nocache bool, cacheDir stri
 		Logger:             logger,
 		EnablePprof:        pprofOn,
 		FlightRecorderSize: recSize,
+		CellBudget:         cellBudget,
 	})
 	defer srv.Close()
 
 	if loadtest {
-		return runLoadtest(srv, clients, requests)
+		return runLoadtest(srv, clients, requests, retries, seed)
 	}
-	attrs := []any{"addr", addr, "workers", workers, "queue", queue,
-		"per_client", perClient, "pprof", pprofOn, "flight_recorder", recSize}
+
+	// A configured server, not bare ListenAndServe: header/idle timeouts
+	// close slowloris connections, and the write timeout bounds a single
+	// response end to end (it must exceed the longest expected cold query).
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	attrs := []any{"addr", ln.Addr().String(), "workers", workers, "queue", queue,
+		"per_client", perClient, "pprof", pprofOn, "flight_recorder", recSize,
+		"drain_timeout", drainTimeout, "cell_budget", cellBudget}
 	if cache != nil {
 		attrs = append(attrs, "cache_dir", cache.Dir())
 	}
 	logger.Info("pipmcoll-serve listening", attrs...)
-	return http.ListenAndServe(addr, srv.Handler())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // a second signal kills the process immediately
+
+	// Drain before Shutdown: flip /readyz, refuse new cells, let in-flight
+	// flights finish (warm hits keep serving throughout), then close the
+	// listener once connections are quiet.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // Serve returns http.ErrServerClosed after Shutdown
+	logger.Info("pipmcoll-serve stopped")
+	return nil
 }
 
 // runLoadtest stands the server up in-process, warms one cell query, and
 // measures the serving path under concurrent clients.
-func runLoadtest(srv *serve.Server, clients, requests int) error {
+func runLoadtest(srv *serve.Server, clients, requests, retries int, seed int64) error {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	req := query.Request{Cell: &query.Cell{Library: "PiP-MColl", Collective: "allgather",
@@ -120,8 +179,10 @@ func runLoadtest(srv *serve.Server, clients, requests int) error {
 	if warm.Errors > 0 {
 		return fmt.Errorf("warming query failed")
 	}
-	fmt.Printf("load-testing /query with %d clients x %d requests (warm cache)\n\n", clients, requests)
-	res, err := serve.LoadTest(ts.URL, serve.LoadOpts{Clients: clients, PerClient: requests, Request: req})
+	fmt.Printf("load-testing /query with %d clients x %d requests (warm cache, %d attempt budget)\n\n",
+		clients, requests, retries)
+	res, err := serve.LoadTest(ts.URL, serve.LoadOpts{
+		Clients: clients, PerClient: requests, Request: req, Retries: retries, Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 //
 //	pipmcoll-tune [-nodes 8] [-ppn 6] [-queue-bw GB/s] [-link-bw GB/s]
 //	              [-parallel N] [-nocache] [-cache-dir DIR]
+//	              [-server http://host:8090] [-timeout-ms 0]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/query"
 )
 
@@ -36,6 +38,8 @@ func main() {
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
 	verbose := flag.Bool("v", false, "log run diagnostics (stage timings) to stderr")
+	server := flag.String("server", "", "run the ladder against a pipmcoll-serve URL instead of in-process (retries on shed load)")
+	timeoutMS := flag.Int("timeout-ms", 0, "with -server: per-request deadline in milliseconds (0 = none)")
 	flag.Parse()
 
 	// Diagnostics go to stderr as structured lines; stdout stays the
@@ -45,6 +49,28 @@ func main() {
 		lvl = slog.LevelDebug
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	req := query.Request{
+		Tune: &query.Tune{Nodes: *nodes, PPN: *ppn, QueueBWGBs: *queueBW, LinkBWGBs: *linkBW},
+		Opts: query.Opts{Warmup: 1, Iters: 2},
+	}
+
+	if *server != "" {
+		req.TimeoutMS = *timeoutMS
+		fmt.Printf("tuning PiP-MColl switch points on %dx%d (remote %s)\n\n", *nodes, *ppn, *server)
+		cl := client.New(client.Config{BaseURL: *server, ClientID: "pipmcoll-tune"})
+		resp, outcome, err := cl.Query(context.Background(), req)
+		if outcome.Retried > 0 {
+			logger.Info("tune needed retries", "attempts", len(outcome.Attempts), "shed", outcome.Shed)
+		}
+		if err != nil {
+			logger.Error("tune failed", "attempts", len(outcome.Attempts), "error", err)
+			os.Exit(1)
+		}
+		logStages(logger, resp)
+		fmt.Print(resp.Analysis)
+		return
+	}
 
 	var cache *bench.Cache
 	if !*nocache {
@@ -69,10 +95,6 @@ func main() {
 	})
 
 	fmt.Printf("tuning PiP-MColl switch points on %dx%d\n\n", *nodes, *ppn)
-	req := query.Request{
-		Tune: &query.Tune{Nodes: *nodes, PPN: *ppn, QueueBWGBs: *queueBW, LinkBWGBs: *linkBW},
-		Opts: query.Opts{Warmup: 1, Iters: 2},
-	}
 	resp, err := query.Execute(context.Background(), runner, req)
 	if err != nil {
 		logger.Error("tune failed", "error", err)

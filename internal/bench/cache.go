@@ -44,12 +44,81 @@ type Cache struct {
 	mHits, mMisses, mCorrupt atomic.Pointer[obs.Counter]
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// QuarantineDir is the subdirectory (relative to the cache root) where the
+// startup sweep moves damaged files instead of deleting them, so a crash
+// investigation can still inspect what the writer left behind.
+const QuarantineDir = "quarantine"
+
+// OpenCache opens (creating if needed) a cache rooted at dir and runs the
+// crash-safety sweep: orphaned temp files from interrupted writes and
+// entries that no longer parse are quarantined before the cache serves its
+// first read, so a process that died mid-Store can never feed a torn entry
+// to a later run. Each quarantined file counts via Corruptions.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("bench: opening cache: %w", err)
 	}
-	return &Cache{dir: dir, Logf: log.Printf}, nil
+	c := &Cache{dir: dir, Logf: log.Printf}
+	if err := c.sweep(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// sweep is the startup crash-safety pass. Rename-into-place makes live
+// entries atomic, but a crash can still leave (a) cell-*.tmp files whose
+// rename never happened and (b) entries torn by an unclean filesystem
+// shutdown. Both are moved into QuarantineDir and counted as corruptions;
+// the next Load of a quarantined address is a plain miss, so the cell
+// recomputes and heals the entry.
+func (c *Cache) sweep() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("bench: sweeping cache: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "cell-") && strings.HasSuffix(name, ".tmp"):
+			c.quarantine(name, fmt.Errorf("orphaned temp file from an interrupted write"))
+		case strings.HasSuffix(name, ".json"):
+			data, err := os.ReadFile(filepath.Join(c.dir, name))
+			if err != nil {
+				c.quarantine(name, err)
+				continue
+			}
+			var vals []Value
+			if err := json.Unmarshal(data, &vals); err != nil {
+				c.quarantine(name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// quarantine moves one damaged file out of the entry namespace and counts
+// it as a corruption. Failure to move falls back to removal: a file that
+// can be neither parsed nor moved must not shadow the healed entry a
+// recomputation will write.
+func (c *Cache) quarantine(name string, reason error) {
+	c.corrupt.Add(1)
+	bump(&c.mCorrupt)
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	dst := filepath.Join(qdir, name)
+	err := os.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = os.Rename(filepath.Join(c.dir, name), dst)
+	}
+	if err != nil {
+		os.Remove(filepath.Join(c.dir, name))
+		dst = "(removed: " + err.Error() + ")"
+	}
+	if c.Logf != nil {
+		c.Logf("bench: cache sweep quarantined %s -> %s (%v)", name, dst, reason)
+	}
 }
 
 // Dir returns the cache's root directory.
@@ -83,8 +152,9 @@ func bump(p *atomic.Pointer[obs.Counter]) {
 	}
 }
 
-// Corruptions returns how many cache reads found a damaged (truncated,
-// torn, or otherwise unparseable) entry since OpenCache. Each one was
+// Corruptions returns how many damaged (truncated, torn, or otherwise
+// unparseable) files the cache has seen since OpenCache — both entries a
+// Load found damaged and files the startup sweep quarantined. Each one was
 // logged and treated as a miss, so the cell was recomputed and the entry
 // overwritten — a corrupt file never fails a cell.
 func (c *Cache) Corruptions() int64 { return c.corrupt.Load() }
@@ -103,6 +173,13 @@ func CellAddress(figID, cellKey string, o Opts) string {
 		calibrationKey(),
 	}, "\x00")))
 	return hex.EncodeToString(h[:])
+}
+
+// EntryPath returns the on-disk path of one cell's cache entry. Exposed
+// for the serve-side chaos hook, which simulates a torn write by planting
+// garbage at exactly the path a real Store would have renamed into.
+func (c *Cache) EntryPath(figID, cellKey string, o Opts) string {
+	return filepath.Join(c.dir, CellAddress(figID, cellKey, o)+".json")
 }
 
 // calibrationKey fingerprints the default fabric/memory calibration every

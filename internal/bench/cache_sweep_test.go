@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The crash-safety suite proves the cache's startup sweep: orphaned temp
+// files from interrupted writes and torn entries left by an unclean
+// shutdown are quarantined before the first read, counted as
+// corruptions, and the next Load of a damaged address recomputes and
+// heals instead of failing.
+
+func TestCacheSweepQuarantinesCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Opts{Warmup: 1, Iters: 1}
+	vals := []Value{{Table: 0, Row: "r", Col: "c", V: 42}}
+	if err := c.Store("figX", "cellA", opts, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("figX", "cellB", opts, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-Store: an orphaned temp file whose rename
+	// never happened, plus an entry torn to a prefix of its JSON.
+	orphan := filepath.Join(dir, "cell-12345.tmp")
+	if err := os.WriteFile(orphan, []byte(`[{"t":0`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tornPath := c.EntryPath("figX", "cellA", opts)
+	full, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the sweep must quarantine both before the first read.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Logf = nil
+	if got := c2.Corruptions(); got != 2 {
+		t.Fatalf("Corruptions() = %d after sweep, want 2 (orphan + torn entry)", got)
+	}
+	qdir := filepath.Join(dir, QuarantineDir)
+	for _, name := range []string{"cell-12345.tmp", filepath.Base(tornPath)} {
+		if _, err := os.Stat(filepath.Join(qdir, name)); err != nil {
+			t.Fatalf("%s not quarantined: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s still in the entry namespace after sweep", name)
+		}
+	}
+
+	// The healthy entry survived the sweep untouched.
+	if got, ok := c2.Load("figX", "cellB", opts); !ok || got[0].V != 42 {
+		t.Fatalf("healthy entry damaged by sweep: %v %v", got, ok)
+	}
+
+	// The quarantined address is a plain miss; recomputing heals it.
+	if _, ok := c2.Load("figX", "cellA", opts); ok {
+		t.Fatal("quarantined entry still loads")
+	}
+	if err := c2.Store("figX", "cellA", opts, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Load("figX", "cellA", opts); !ok || got[0].V != 42 {
+		t.Fatalf("healed entry does not load: %v %v", got, ok)
+	}
+}
+
+func TestCacheSweepLogsWhatItMoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "cell-9.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	c := &Cache{dir: dir, Logf: func(format string, args ...any) {
+		lines = append(lines, format)
+	}}
+	if err := c.sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "quarantined") {
+		t.Fatalf("sweep log lines %q", lines)
+	}
+	if c.Corruptions() != 1 {
+		t.Fatalf("Corruptions() = %d, want 1", c.Corruptions())
+	}
+}
+
+// TestCacheSweepIgnoresForeignFiles: only cell temp files and .json
+// entries are sweep targets — the quarantine directory itself and
+// unrelated files are left alone.
+func TestCacheSweepIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, QuarantineDir, "old.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Corruptions() != 0 {
+		t.Fatalf("Corruptions() = %d on a clean cache, want 0", c.Corruptions())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("foreign file touched by sweep: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, "old.json")); err != nil {
+		t.Fatalf("quarantined file re-swept: %v", err)
+	}
+}

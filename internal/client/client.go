@@ -1,0 +1,291 @@
+// Package client is the retrying HTTP client for the pipmcoll-serve query
+// API: exponential backoff with full jitter, Retry-After awareness, and a
+// bounded attempt/time budget, all context-aware. The CLIs use it when
+// -server is set, and the load-test harness uses it to measure goodput
+// (eventual success within budget) instead of raw 429 counts — a shed
+// request that succeeds on retry is throughput, not failure.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/query"
+)
+
+// Config configures a Client. Zero values pick the documented defaults.
+type Config struct {
+	// BaseURL is the server root (e.g. http://host:8090), no trailing
+	// slash required.
+	BaseURL string
+	// HTTP is the transport client; nil uses a client with a 60s timeout.
+	HTTP *http.Client
+	// ClientID is sent as X-Client for fair scheduling; empty omits it.
+	ClientID string
+	// MaxAttempts bounds tries per request, first attempt included
+	// (default 5). MaxElapsed bounds the whole retry loop including
+	// backoff sleeps (default 60s); whichever budget runs out first ends
+	// the loop with an ExhaustedError.
+	MaxAttempts int
+	MaxElapsed  time.Duration
+	// BaseDelay and MaxDelay shape the backoff: attempt n sleeps a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay·2ⁿ)] —
+	// "full jitter", which decorrelates retrying clients. A Retry-After
+	// hint raises the floor of that window: the server's estimate of when
+	// capacity returns beats a blind die roll. Defaults 100ms / 5s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed fixes the jitter sequence for deterministic tests (0 seeds
+	// from the clock).
+	Seed int64
+}
+
+// Client retries queries against one server with backoff.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Client, applying Config defaults.
+func New(cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.MaxElapsed <= 0 {
+		cfg.MaxElapsed = 60 * time.Second
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 100 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Attempt records one try of a request, for retry accounting.
+type Attempt struct {
+	Status int           // HTTP status (0 on transport error)
+	Err    string        // transport error, if any
+	Waited time.Duration // backoff slept before this attempt
+}
+
+// Outcome summarizes one request's retry loop.
+type Outcome struct {
+	Attempts []Attempt
+	// Shed counts 429 responses along the way; Retried is attempts beyond
+	// the first. A request with Shed>0 that ultimately succeeded is the
+	// "shed then succeeded on retry" goodput case.
+	Shed    int
+	Retried int
+}
+
+// ExhaustedError reports a retry loop that ran out of budget without a
+// success: every attempt, what ended it, and the last failure seen.
+type ExhaustedError struct {
+	Attempts   int
+	Elapsed    time.Duration
+	LastStatus int
+	LastErr    error
+}
+
+// Error summarizes the exhausted budget.
+func (e *ExhaustedError) Error() string {
+	s := fmt.Sprintf("client: gave up after %d attempts in %s", e.Attempts, e.Elapsed.Round(time.Millisecond))
+	if e.LastStatus != 0 {
+		s += fmt.Sprintf(" (last status %d)", e.LastStatus)
+	}
+	if e.LastErr != nil {
+		s += fmt.Sprintf(": %v", e.LastErr)
+	}
+	return s
+}
+
+// Unwrap exposes the final underlying failure.
+func (e *ExhaustedError) Unwrap() error { return e.LastErr }
+
+// retryable reports whether a status is worth another attempt: shed load
+// (429), transient server failures (500/502), shutdown drains (503) and
+// gateway timeouts (504). 4xx request errors are permanent.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff computes the sleep before attempt n (0-based first retry): full
+// jitter over an exponentially growing cap, floored at the server's
+// Retry-After hint when one was given.
+func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
+	cap := c.cfg.BaseDelay << n
+	if cap > c.cfg.MaxDelay || cap <= 0 {
+		cap = c.cfg.MaxDelay
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(cap) + 1))
+	c.mu.Unlock()
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// Query POSTs a query.Request and retries per the config until success,
+// a permanent error, an exhausted budget, or ctx cancellation. The
+// returned Outcome carries per-attempt accounting even on failure.
+func (c *Client) Query(ctx context.Context, req query.Request) (*query.Response, Outcome, error) {
+	body, err := req.Canonical()
+	if err != nil {
+		return nil, Outcome{}, err
+	}
+	// Canonical strips timeout_ms (it is transport policy, not experiment
+	// identity), so a request deadline rides the header instead.
+	var timeoutHdr string
+	if req.TimeoutMS > 0 {
+		timeoutHdr = strconv.Itoa(req.TimeoutMS)
+	}
+
+	var (
+		out        Outcome
+		start      = time.Now()
+		lastStatus int
+		lastErr    error
+	)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		var waited time.Duration
+		if attempt > 0 {
+			waited = c.backoff(attempt-1, retryAfterHint(lastStatus, lastErr))
+			if remaining := c.cfg.MaxElapsed - time.Since(start); waited > remaining {
+				break // sleeping would blow the time budget; give up now
+			}
+			select {
+			case <-time.After(waited):
+			case <-ctx.Done():
+				return nil, out, ctx.Err()
+			}
+			out.Retried++
+		}
+
+		resp, status, err := c.post(ctx, body, timeoutHdr)
+		out.Attempts = append(out.Attempts, Attempt{Status: status, Waited: waited,
+			Err: errString(err)})
+		if status == http.StatusTooManyRequests {
+			out.Shed++
+		}
+		if err == nil && status == http.StatusOK {
+			return resp, out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, out, ctx.Err()
+		}
+		lastStatus, lastErr = status, err
+		if status != 0 && status != http.StatusOK && !retryable(status) {
+			// Request errors (4xx other than 429) are permanent: retrying a
+			// malformed query would just re-fail.
+			return nil, out, fmt.Errorf("client: permanent failure: %w", err)
+		}
+		if time.Since(start) >= c.cfg.MaxElapsed {
+			break
+		}
+	}
+	return nil, out, &ExhaustedError{Attempts: len(out.Attempts),
+		Elapsed: time.Since(start), LastStatus: lastStatus, LastErr: lastErr}
+}
+
+// statusError is a non-200 response: the status, the server's error
+// message, and its Retry-After hint — which rides the error value from
+// post back to the backoff computation, keeping the retry loop stateless.
+type statusError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("status %d: %s", e.status, e.msg)
+	}
+	return fmt.Sprintf("status %d", e.status)
+}
+
+// retryAfterHint extracts the server's backoff hint from the last failed
+// attempt, if it carried one.
+func retryAfterHint(status int, err error) time.Duration {
+	if se, ok := err.(*statusError); ok {
+		return se.retryAfter
+	}
+	return 0
+}
+
+// post sends one attempt. A non-200 returns (nil, status, *statusError)
+// with the body's error message and any Retry-After hint attached.
+func (c *Client) post(ctx context.Context, body []byte, timeoutHdr string) (*query.Response, int, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if c.cfg.ClientID != "" {
+		hr.Header.Set("X-Client", c.cfg.ClientID)
+	}
+	if timeoutHdr != "" {
+		hr.Header.Set("X-Timeout-Ms", timeoutHdr)
+	}
+	resp, err := c.cfg.HTTP.Do(hr)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		se := &statusError{status: resp.StatusCode}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e) == nil {
+			se.msg = e.Error
+		}
+		if h := resp.Header.Get("Retry-After"); h != "" {
+			if sec, err := strconv.Atoi(h); err == nil && sec > 0 {
+				se.retryAfter = time.Duration(sec) * time.Second
+			}
+		}
+		return nil, resp.StatusCode, se
+	}
+	var qr query.Response
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &qr, resp.StatusCode, nil
+}
+
+// errString renders an error for attempt records ("" for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

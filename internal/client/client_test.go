@@ -1,0 +1,219 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+// testReq is a minimal valid request for round-trips.
+func testReq() query.Request {
+	return query.Request{Cell: &query.Cell{Library: "PiP-MColl", Collective: "allgather",
+		Nodes: 1, PPN: 2, Bytes: 64}, Opts: query.Opts{Warmup: 1, Iters: 1}}
+}
+
+// scriptServer answers each request with the next status in script; a 0
+// status sends a valid 200 query.Response. Headers maps a status to a
+// Retry-After value sent with it.
+func scriptServer(t *testing.T, script []int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		status := script[int(n-1)%len(script)]
+		if status == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(query.Response{Cells: 1})
+			return
+		}
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": "scripted failure"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestSuccessAfterRetries(t *testing.T) {
+	ts, calls := scriptServer(t, []int{503, 429, 0}, "")
+	cl := New(Config{BaseURL: ts.URL, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Seed: 1})
+	resp, out, err := cl.Query(context.Background(), testReq())
+	if err != nil || resp == nil {
+		t.Fatalf("eventual success failed: %v", err)
+	}
+	if calls.Load() != 3 || len(out.Attempts) != 3 || out.Retried != 2 {
+		t.Fatalf("attempts: calls %d, outcome %+v", calls.Load(), out)
+	}
+	if out.Shed != 1 {
+		t.Fatalf("shed = %d, want 1 (the 429)", out.Shed)
+	}
+	if out.Attempts[0].Status != 503 || out.Attempts[2].Status != 200 {
+		t.Fatalf("attempt statuses %+v", out.Attempts)
+	}
+	if out.Attempts[1].Waited <= 0 {
+		t.Fatal("retry recorded no backoff wait")
+	}
+}
+
+func TestMaxAttemptsExhausted(t *testing.T) {
+	ts, calls := scriptServer(t, []int{503}, "")
+	cl := New(Config{BaseURL: ts.URL, MaxAttempts: 3,
+		BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1})
+	_, out, err := cl.Query(context.Background(), testReq())
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err %v, want ExhaustedError", err)
+	}
+	if ex.Attempts != 3 || ex.LastStatus != 503 || calls.Load() != 3 {
+		t.Fatalf("exhausted %+v after %d calls", ex, calls.Load())
+	}
+	if len(out.Attempts) != 3 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if !strings.Contains(ex.Error(), "gave up after 3 attempts") {
+		t.Fatalf("error text %q", ex.Error())
+	}
+}
+
+func TestPermanent4xxNotRetried(t *testing.T) {
+	ts, calls := scriptServer(t, []int{400}, "")
+	cl := New(Config{BaseURL: ts.URL, Seed: 1})
+	_, out, err := cl.Query(context.Background(), testReq())
+	if err == nil || !strings.Contains(err.Error(), "permanent") {
+		t.Fatalf("err %v, want permanent failure", err)
+	}
+	if calls.Load() != 1 || len(out.Attempts) != 1 {
+		t.Fatalf("4xx was retried: %d calls", calls.Load())
+	}
+	if !strings.Contains(err.Error(), "scripted failure") {
+		t.Fatalf("server's error message lost: %v", err)
+	}
+}
+
+func TestRetryAfterRaisesBackoffFloor(t *testing.T) {
+	cl := New(Config{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1})
+	if d := cl.backoff(0, 700*time.Millisecond); d < 700*time.Millisecond {
+		t.Fatalf("backoff %s below the Retry-After floor", d)
+	}
+	// And the hint is parsed off the response into the attempt loop.
+	ts, _ := scriptServer(t, []int{429, 0}, "1")
+	rcl := New(Config{BaseURL: ts.URL, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, MaxElapsed: 5 * time.Second, Seed: 1})
+	start := time.Now()
+	_, _, err := rcl.Query(context.Background(), testReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry ignored Retry-After: 1s hint, retried after %s", elapsed)
+	}
+}
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	cl := New(Config{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 99})
+	for n := 0; n < 10; n++ {
+		capN := 10 * time.Millisecond << n
+		if capN > 80*time.Millisecond || capN <= 0 {
+			capN = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			if d := cl.backoff(n, 0); d < 0 || d > capN {
+				t.Fatalf("backoff(%d) = %s outside [0, %s]", n, d, capN)
+			}
+		}
+	}
+}
+
+func TestSeededJitterDeterministic(t *testing.T) {
+	a := New(Config{Seed: 7})
+	b := New(Config{Seed: 7})
+	for n := 0; n < 8; n++ {
+		if da, db := a.backoff(n, 0), b.backoff(n, 0); da != db {
+			t.Fatalf("same seed diverged at step %d: %s vs %s", n, da, db)
+		}
+	}
+}
+
+func TestContextCancelDuringBackoff(t *testing.T) {
+	ts, _ := scriptServer(t, []int{503}, "")
+	cl := New(Config{BaseURL: ts.URL, BaseDelay: 10 * time.Second,
+		MaxDelay: 10 * time.Second, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := cl.Query(ctx, testReq())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context deadline", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestMaxElapsedStopsBeforeSleeping(t *testing.T) {
+	ts, calls := scriptServer(t, []int{503}, "")
+	cl := New(Config{BaseURL: ts.URL, MaxAttempts: 100,
+		MaxElapsed: 20 * time.Millisecond, BaseDelay: 50 * time.Millisecond,
+		MaxDelay: 50 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	_, _, err := cl.Query(context.Background(), testReq())
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err %v, want ExhaustedError", err)
+	}
+	if time.Since(start) > 2*time.Second || calls.Load() > 3 {
+		t.Fatalf("time budget not enforced: %d calls in %s", calls.Load(), time.Since(start))
+	}
+}
+
+// TestTimeoutRidesHeader: the canonical body strips timeout_ms (it must
+// not split cache addresses), so the deadline travels as X-Timeout-Ms.
+func TestTimeoutRidesHeader(t *testing.T) {
+	var gotHeader atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get("X-Timeout-Ms"))
+		var req query.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.TimeoutMS != 0 {
+			t.Errorf("timeout_ms leaked into the canonical body: %d", req.TimeoutMS)
+		}
+		json.NewEncoder(w).Encode(query.Response{})
+	}))
+	defer ts.Close()
+	cl := New(Config{BaseURL: ts.URL, Seed: 1})
+	req := testReq()
+	req.TimeoutMS = 2500
+	if _, _, err := cl.Query(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if gotHeader.Load() != "2500" {
+		t.Fatalf("X-Timeout-Ms = %q, want 2500", gotHeader.Load())
+	}
+}
+
+func TestClientIDHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Client"))
+		json.NewEncoder(w).Encode(query.Response{})
+	}))
+	defer ts.Close()
+	cl := New(Config{BaseURL: ts.URL, ClientID: "tester", Seed: 1})
+	if _, _, err := cl.Query(context.Background(), testReq()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "tester" {
+		t.Fatalf("X-Client = %q", got.Load())
+	}
+}

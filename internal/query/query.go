@@ -43,6 +43,13 @@ type Request struct {
 	Cell   *Cell  `json:"cell,omitempty"`
 	Tune   *Tune  `json:"tune,omitempty"`
 	Opts   Opts   `json:"opts"`
+	// TimeoutMS bounds how long the executor may spend on this request
+	// (0 = no deadline). It is transport policy, not experiment identity:
+	// two requests differing only in TimeoutMS are the same experiment,
+	// so Normalize strips it and it never reaches the canonical encoding
+	// or the cache addresses. The serve layer reads it before Build (the
+	// X-Timeout-Ms header takes precedence when both are set).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // Opts mirrors bench.Opts: measurement scale and repetition counts.
@@ -106,6 +113,12 @@ func (r Request) Normalize() (Request, error) {
 	if set != 1 {
 		return r, fmt.Errorf("query: exactly one of figure, cell, tune must be set (got %d)", set)
 	}
+	if r.TimeoutMS < 0 {
+		return r, fmt.Errorf("query: negative timeout_ms %d", r.TimeoutMS)
+	}
+	// The deadline is transport policy: strip it so the canonical encoding
+	// (and every content address derived from it) is timeout-independent.
+	r.TimeoutMS = 0
 	o := r.Opts.Bench().WithDefaults()
 	r.Opts = Opts{Full: o.Full, Warmup: o.Warmup, Iters: o.Iters}
 	switch r.Kind {

@@ -18,12 +18,14 @@ import (
 
 // Request outcomes as recorded by the flight recorder and logged.
 const (
-	OutcomeHit        = "hit"         // every cell answered from cache
-	OutcomeMiss       = "miss"        // at least one cell simulated; success
-	OutcomeShed       = "shed"        // rejected by admission control (429)
-	OutcomeAbandoned  = "abandoned"   // client disconnected mid-flight
-	OutcomeError      = "error"       // execution/encode failure (5xx)
-	OutcomeBadRequest = "bad_request" // malformed or invalid request (4xx)
+	OutcomeHit        = "hit"               // every cell answered from cache
+	OutcomeMiss       = "miss"              // at least one cell simulated; success
+	OutcomeShed       = "shed"              // rejected by admission control (429)
+	OutcomeAbandoned  = "abandoned"         // client disconnected mid-flight
+	OutcomeError      = "error"             // execution/encode failure (5xx)
+	OutcomeBadRequest = "bad_request"       // malformed or invalid request (4xx)
+	OutcomeDeadline   = "deadline_exceeded" // request deadline fired mid-flight (504)
+	OutcomeDraining   = "draining"          // refused during shutdown drain (503)
 )
 
 // RequestRecord is one request's flight-recorder entry.

@@ -1,15 +1,13 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/query"
 )
 
@@ -22,6 +20,17 @@ type LoadOpts struct {
 	// Request is the query every generator POSTs (typically a warm one,
 	// so the run measures the serving path, not the simulator).
 	Request query.Request
+	// Retries is the per-request attempt budget (1 = no retries, the
+	// historical behavior; 0 defaults to 1). With retries, a 429 is not a
+	// terminal shed: the generator backs off per the server's Retry-After
+	// hint (plus full jitter) and tries again, so the run measures
+	// goodput — eventual success within budget — instead of raw 429s.
+	Retries int
+	// RetryBudget bounds one request's whole retry loop including backoff
+	// sleeps (0 = 30s).
+	RetryBudget time.Duration
+	// Seed fixes the retry jitter for reproducible smoke runs (0 = clock).
+	Seed int64
 }
 
 // StagePercentiles summarizes one lifecycle stage across a run, from the
@@ -33,14 +42,19 @@ type StagePercentiles struct {
 
 // LoadResult summarizes a load-test run.
 type LoadResult struct {
-	Requests      int           // completed 200s
-	Rejected      int           // 429s (admission control shed them)
-	Errors        int           // transport failures and non-200/429 statuses
+	Requests      int           // eventual successes (200, possibly after retries)
+	Rejected      int           // total 429 responses seen (including ones later retried to success)
+	Errors        int           // transport failures and non-200/429 statuses seen across attempts
+	GaveUp        int           // requests that exhausted their retry budget without a 200
+	RetriedOK     int           // goodput recovered by retrying: shed or failed first, succeeded later
+	Retries       int           // total attempts beyond each request's first
 	Elapsed       time.Duration // wall time for the whole run
 	QPS           float64       // successful requests per second
-	P50, P95, P99 time.Duration // latency percentiles over successful requests
+	P50, P95, P99 time.Duration // latency percentiles over successful requests (incl. retry backoff)
 	Max           time.Duration
 	CacheHits     int // cache_hits summed over successful responses
+	// AttemptHist maps attempts-needed -> request count (1 = first try).
+	AttemptHist map[int]int
 	// Stages are server-side per-stage percentiles in canonical lifecycle
 	// order — where the wall time went, not just how much there was.
 	Stages []StagePercentiles
@@ -49,12 +63,24 @@ type LoadResult struct {
 // Format renders the result as aligned text.
 func (r LoadResult) Format() string {
 	s := fmt.Sprintf(
-		"requests   %d ok, %d rejected (429), %d errors\n"+
+		"requests   %d ok, %d gave up, %d rejected (429 seen), %d errors seen\n"+
+			"goodput    %d recovered by retry, %d retries total\n"+
 			"elapsed    %.2fs  (%.0f qps)\n"+
 			"latency    p50 %s  p95 %s  p99 %s  max %s\n"+
 			"cache      %d hits across responses\n",
-		r.Requests, r.Rejected, r.Errors,
+		r.Requests, r.GaveUp, r.Rejected, r.Errors,
+		r.RetriedOK, r.Retries,
 		r.Elapsed.Seconds(), r.QPS, r.P50, r.P95, r.P99, r.Max, r.CacheHits)
+	if len(r.AttemptHist) > 0 {
+		var keys []int
+		for k := range r.AttemptHist {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			s += fmt.Sprintf("attempts   %d try(s): %d requests\n", k, r.AttemptHist[k])
+		}
+	}
 	for _, st := range r.Stages {
 		s += fmt.Sprintf("stage      %-18s p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs\n",
 			st.Name, st.P50, st.P95, st.P99)
@@ -72,9 +98,11 @@ func pctUS(sorted []float64, p int) float64 {
 }
 
 // LoadTest hammers baseURL's /query endpoint with Clients concurrent
-// generators and reports throughput and latency. 429 responses count as
-// shed load, not errors — a correctly overloaded server rejects crisply
-// instead of wedging.
+// retrying generators and reports goodput, retry accounting, and latency.
+// With Retries=1 a 429 counts as shed load and nothing more — a correctly
+// overloaded server rejects crisply instead of wedging; with a retry
+// budget, the run distinguishes "shed then succeeded on retry" from "gave
+// up", which is the number overload experiments actually care about.
 func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 	if o.Clients < 1 {
 		o.Clients = 4
@@ -82,15 +110,20 @@ func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 	if o.PerClient < 1 {
 		o.PerClient = 25
 	}
-	body, err := o.Request.Canonical()
-	if err != nil {
+	if o.Retries < 1 {
+		o.Retries = 1
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 30 * time.Second
+	}
+	if _, err := o.Request.Canonical(); err != nil {
 		return LoadResult{}, err
 	}
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		stageUS   = map[string][]float64{}
-		res       LoadResult
+		res       = LoadResult{AttemptHist: map[int]int{}}
 		wg        sync.WaitGroup
 	)
 	start := time.Now()
@@ -98,46 +131,46 @@ func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client := &http.Client{Timeout: 60 * time.Second}
+			seed := o.Seed
+			if seed != 0 {
+				seed += int64(c) // distinct but reproducible per generator
+			}
+			cl := client.New(client.Config{
+				BaseURL:     baseURL,
+				ClientID:    fmt.Sprintf("load-%d", c),
+				MaxAttempts: o.Retries,
+				MaxElapsed:  o.RetryBudget,
+				BaseDelay:   5 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+				Seed:        seed,
+			})
 			for i := 0; i < o.PerClient; i++ {
-				req, err := http.NewRequest(http.MethodPost, baseURL+"/query", bytes.NewReader(body))
-				if err != nil {
-					mu.Lock()
-					res.Errors++
-					mu.Unlock()
-					continue
-				}
-				req.Header.Set("X-Client", fmt.Sprintf("load-%d", c))
-				req.Header.Set("Content-Type", "application/json")
 				t0 := time.Now()
-				resp, err := client.Do(req)
+				qr, outcome, err := cl.Query(context.Background(), o.Request)
 				lat := time.Since(t0)
 				mu.Lock()
-				switch {
-				case err != nil:
-					res.Errors++
-				case resp.StatusCode == http.StatusTooManyRequests:
-					res.Rejected++
-				case resp.StatusCode != http.StatusOK:
-					res.Errors++
-				default:
-					var qr query.Response
-					if decodeErr := json.NewDecoder(resp.Body).Decode(&qr); decodeErr != nil {
+				res.Rejected += outcome.Shed
+				res.Retries += outcome.Retried
+				for _, a := range outcome.Attempts {
+					if a.Status != 200 && a.Status != 429 {
 						res.Errors++
-					} else {
-						res.Requests++
-						res.CacheHits += qr.CacheHits
-						latencies = append(latencies, lat)
-						for _, st := range qr.Stages {
-							stageUS[st.Name] = append(stageUS[st.Name], st.US)
-						}
+					}
+				}
+				if err != nil {
+					res.GaveUp++
+				} else {
+					res.Requests++
+					res.AttemptHist[len(outcome.Attempts)]++
+					if len(outcome.Attempts) > 1 {
+						res.RetriedOK++
+					}
+					res.CacheHits += qr.CacheHits
+					latencies = append(latencies, lat)
+					for _, st := range qr.Stages {
+						stageUS[st.Name] = append(stageUS[st.Name], st.US)
 					}
 				}
 				mu.Unlock()
-				if resp != nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-				}
 			}
 		}(c)
 	}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/query"
+)
+
+// Typed failure modes of the hardened serving path. Each maps to a
+// distinct HTTP status and flight-recorder outcome, so operators and
+// retrying clients can tell "come back after the restart" (draining),
+// "your deadline was too tight" (deadline) and "the server killed a
+// runaway cell" (stuck) apart from generic failures.
+
+// ErrDraining reports that the scheduler is shutting down and no longer
+// admits new cells. Warm-cache hits and singleflight joins keep serving
+// during the drain window — only work that would need a fresh cell is
+// refused — so clients see graceful degradation, not a cliff. Mapped to
+// HTTP 503 with a Retry-After hint.
+var ErrDraining = fmt.Errorf("serve: draining, not admitting new cells")
+
+// DeadlineError reports that a request's own deadline (timeout_ms /
+// X-Timeout-Ms) expired before its cells finished. It names the cell the
+// request was waiting on and carries the stage breakdown accumulated up
+// to the deadline, so the 504 body says where the time went. The flight
+// itself keeps running for any remaining waiters; this requester's
+// interest is abandoned (last waiter leaving cancels the cell and frees
+// the worker slot, and an abandoned result is never cached).
+type DeadlineError struct {
+	// Addr and Cell identify the cell the request was still waiting on
+	// when the deadline fired (first unfinished cell, in plan order).
+	Addr string
+	Cell string
+	// Timeout is the deadline the client asked for; Elapsed the wall time
+	// actually spent; Stages the request's breakdown at expiry.
+	Timeout time.Duration
+	Elapsed time.Duration
+	Stages  []query.Stage
+}
+
+// Error names the cell and summarizes where the time went.
+func (e *DeadlineError) Error() string {
+	s := fmt.Sprintf("serve: deadline %s exceeded after %s waiting on cell %s (addr %s)",
+		e.Timeout, e.Elapsed.Round(time.Microsecond), e.Cell, e.Addr)
+	for _, st := range e.Stages {
+		s += fmt.Sprintf("; %s %.0fµs", st.Name, st.US)
+	}
+	return s
+}
+
+// StuckCellError reports that the stuck-cell watchdog killed a flight
+// whose wall-clock execution exceeded the configured -cell-budget — the
+// wall-clock sibling of the simulator's virtual-time deadlock watchdog.
+// The cell's context is cancelled (freeing the worker slot), the kill is
+// logged with the cell's stage breakdown, and serve.cells_killed counts
+// it.
+type StuckCellError struct {
+	Addr   string
+	Figure string
+	Cell   string
+	Budget time.Duration
+}
+
+// Error names the killed cell and the budget it blew.
+func (e *StuckCellError) Error() string {
+	return fmt.Sprintf("serve: cell %s/%s (addr %s) exceeded the %s wall-clock budget and was killed",
+		e.Figure, e.Cell, e.Addr, e.Budget)
+}
+
+// InjectedFault is one serve-side chaos decision for a cell execution,
+// returned by a SchedulerConfig.Chaos hook (test-only). Zero fields mean
+// "no fault of that kind"; the fields compose.
+type InjectedFault struct {
+	// Delay stalls the cell body before it runs (a slow cell). The stall
+	// is raced against the flight's context, so watchdog kills and
+	// abandonment still release the worker.
+	Delay time.Duration
+	// Err fails the cell body without running it (a failing cell).
+	Err error
+	// TornWrite runs the cell normally but replaces its atomic cache
+	// store with a partial, non-atomic write — the on-disk damage a crash
+	// mid-Store would leave. The in-flight waiters still get the correct
+	// values; only later reads see the torn entry (and must heal it).
+	TornWrite bool
+}
+
+// ChaosFunc decides the injected fault for one cell execution; nil return
+// means run clean. It sees the full cell identity (figure, key, opts) —
+// the same inputs that form the content address — so a fault plan can
+// target one cell precisely. Installed only by tests
+// (SchedulerConfig.Chaos).
+type ChaosFunc func(figID, cellKey string, o bench.Opts) *InjectedFault

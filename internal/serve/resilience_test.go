@@ -1,0 +1,553 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// The resilience suite proves the hardened serving path: graceful drain
+// (readiness flip, warm hits through the window, typed 503s for fresh
+// work), per-request deadlines (504 naming the cell, worker freed,
+// nothing cached), the stuck-cell watchdog, and chaos injection (slow,
+// failing, torn-write cells) with retrying clients achieving 100%
+// eventual success.
+
+// syncBuffer is a race-safe log sink for asserting on server log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newResilServer is newTestServer plus access to the *Server itself, for
+// driving drains directly.
+func newResilServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Cache == nil {
+		c, err := bench.OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = c
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, cfg.Metrics
+}
+
+// postRaw posts a request without a testing.T, so goroutines can use it
+// and report through channels instead of calling Fatal off the test
+// goroutine.
+func postRaw(url, client string, req query.Request) (int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	hr, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	hr.Header.Set("X-Client", client)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := readAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// postTimed posts a request with an X-Timeout-Ms header.
+func postTimed(t *testing.T, url, client string, req query.Request, timeoutMS string) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("X-Client", client)
+	if timeoutMS != "" {
+		hr.Header.Set("X-Timeout-Ms", timeoutMS)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := readAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// lastOutcome finds the newest /debug/requests record with the given
+// outcome.
+func lastOutcome(t *testing.T, url, outcome string) *RequestRecord {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Requests []RequestRecord `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	for i := range page.Requests { // newest first
+		if page.Requests[i].Outcome == outcome {
+			return &page.Requests[i]
+		}
+	}
+	return nil
+}
+
+// TestGracefulDrain is the shutdown acceptance test: under load, drain
+// flips /readyz, keeps serving warm hits, refuses fresh cells with a
+// typed retryable 503, lets in-flight work complete, and finishes within
+// the drain timeout with zero connection resets.
+func TestGracefulDrain(t *testing.T) {
+	s, ts, reg := newResilServer(t, Config{Workers: 1})
+	g := resetGate(nil)
+
+	// Warm one entry before the drain starts.
+	countRuns.Store(0)
+	warmReq := query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 21}}
+	if _, code, _ := postQuery(t, ts.URL, "w", warmReq); code != http.StatusOK {
+		t.Fatalf("warming query: status %d", code)
+	}
+
+	// In-flight work: a gate cell blocked mid-execution.
+	inflightCode := make(chan int, 1)
+	go func() {
+		code, _, _ := postRaw(ts.URL, "inflight", gateReq(22))
+		inflightCode <- code
+	}()
+	waitFor(t, "in-flight cell to start", func() bool { return len(g.orderSnapshot()) == 1 })
+
+	// Before the drain, /readyz is green.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	s.BeginDrain()
+
+	// Readiness flips immediately; liveness stays green (restarting a
+	// draining server would defeat the drain).
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz without Retry-After")
+	}
+	if resp, err = http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	// Warm-cache hits keep serving through the window.
+	warm, code, _ := postQuery(t, ts.URL, "w", warmReq)
+	if code != http.StatusOK || warm.CacheHits != 1 {
+		t.Fatalf("warm hit during drain: status %d, hits %v", code, warm)
+	}
+
+	// Fresh cells are refused with the typed retryable 503.
+	_, code, hdr := postQuery(t, ts.URL, "fresh", gateReq(23))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("fresh cell during drain: status %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("draining 503 without Retry-After")
+	}
+	if reg.Counter("serve.queue.drained_rejects").Value() != 1 {
+		t.Fatalf("serve.queue.drained_rejects = %d, want 1",
+			reg.Counter("serve.queue.drained_rejects").Value())
+	}
+	if rec := lastOutcome(t, ts.URL, OutcomeDraining); rec == nil {
+		t.Fatal("no draining outcome in /debug/requests")
+	}
+
+	// Release the in-flight cell; the drain completes within its timeout
+	// and the held request gets its answer — no connection reset.
+	g.release <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain did not complete in time: %v", err)
+	}
+	if code := <-inflightCode; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, want 200", code)
+	}
+}
+
+// TestDrainTimeoutAbandonsInflight: a cell that never finishes cannot
+// hold shutdown hostage — the drain deadline abandons it with the typed
+// draining error and frees its worker.
+func TestDrainTimeoutAbandonsInflight(t *testing.T) {
+	s, ts, _ := newResilServer(t, Config{Workers: 1})
+	g := resetGate(nil)
+
+	stuckBody := make(chan []byte, 1)
+	stuckCode := make(chan int, 1)
+	go func() {
+		code, body, _ := postRaw(ts.URL, "stuck", gateReq(31))
+		stuckCode <- code
+		stuckBody <- body
+	}()
+	waitFor(t, "cell to start", func() bool { return len(g.orderSnapshot()) == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain of a stuck cell returned nil; want deadline error")
+	}
+	if code := <-stuckCode; code != http.StatusServiceUnavailable {
+		t.Fatalf("abandoned request: status %d, want 503", code)
+	}
+	if body := <-stuckBody; !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("abandoned request body %s; want the typed draining error", body)
+	}
+	g.release <- struct{}{} // let the orphaned cell body exit
+}
+
+// TestDeadline504NamesCell is the deadline acceptance test: a request
+// with timeout_ms gets a 504 within ~2x the deadline naming the cell it
+// was waiting on, the worker slot is freed, nothing partial is cached,
+// and the flight recorder logs the deadline_exceeded outcome with stage
+// timings.
+func TestDeadline504NamesCell(t *testing.T) {
+	logbuf := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(logbuf, nil))
+	_, ts, reg := newResilServer(t, Config{Workers: 1, Logger: logger})
+	g := resetGate(nil)
+
+	req := gateReq(41)
+	req.TimeoutMS = 100
+	start := time.Now()
+	code, body := postTimed(t, ts.URL, "hurry", req, "")
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline query: status %d, want 504 (body %s)", code, body)
+	}
+	if elapsed > 2*100*time.Millisecond+500*time.Millisecond {
+		t.Fatalf("504 took %s for a 100ms deadline", elapsed)
+	}
+	var dl deadlineBody
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatalf("504 body not structured: %v (%s)", err, body)
+	}
+	if dl.Cell != "pt" || dl.Addr == "" {
+		t.Fatalf("504 does not name the cell: %+v", dl)
+	}
+	if dl.TimeoutMS != 100 || dl.ElapsedMS <= 0 {
+		t.Fatalf("504 timings: %+v", dl)
+	}
+	if reg.Counter("serve.deadline_exceeded").Value() != 1 {
+		t.Fatalf("serve.deadline_exceeded = %d", reg.Counter("serve.deadline_exceeded").Value())
+	}
+
+	// The flight recorder has the outcome with stage timings.
+	rec := lastOutcome(t, ts.URL, OutcomeDeadline)
+	if rec == nil {
+		t.Fatal("no deadline_exceeded outcome in /debug/requests")
+	}
+	if len(rec.Stages) == 0 || rec.Status != http.StatusGatewayTimeout {
+		t.Fatalf("deadline record %+v", rec)
+	}
+
+	// The worker slot was freed: the only worker can run a fresh cell.
+	waitFor(t, "flight abandonment", func() bool {
+		return reg.Counter("serve.cells.abandoned").Value() == 1
+	})
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := postRaw(ts.URL, "next", gateReq(42))
+		done <- code
+	}()
+	waitFor(t, "next cell to start", func() bool { return len(g.orderSnapshot()) == 2 })
+	g.release <- struct{}{}
+	g.release <- struct{}{} // the abandoned body, then the live one
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("follow-up query: status %d", code)
+	}
+
+	// Nothing partial was cached: re-running the timed-out cell executes
+	// the body again instead of loading an entry.
+	go postRaw(ts.URL, "again", gateReq(41))
+	waitFor(t, "timed-out cell to re-execute", func() bool { return len(g.orderSnapshot()) == 3 })
+	g.release <- struct{}{}
+}
+
+// TestDeadlineHeaderOverridesBody: X-Timeout-Ms beats the body field, and
+// a malformed header is a 400, not a silent no-deadline.
+func TestDeadlineHeaderOverridesBody(t *testing.T) {
+	_, ts, _ := newResilServer(t, Config{Workers: 1})
+	g := resetGate(nil)
+
+	req := gateReq(51)
+	req.TimeoutMS = 60000 // generous body deadline...
+	code, body := postTimed(t, ts.URL, "hdr", req, "80") // ...tight header deadline
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("header deadline: status %d (body %s)", code, body)
+	}
+	g.release <- struct{}{}
+
+	if code, _ := postTimed(t, ts.URL, "hdr", gateReq(52), "not-a-number"); code != http.StatusBadRequest {
+		t.Fatalf("malformed X-Timeout-Ms: status %d, want 400", code)
+	}
+}
+
+// TestWatchdogKillsStuckCell: with -cell-budget armed, a cell that blows
+// its wall-clock budget is killed with the typed error, counted, logged
+// with the 5xx flight-recorder dump, and its worker slot is freed.
+func TestWatchdogKillsStuckCell(t *testing.T) {
+	logbuf := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(logbuf, nil))
+	_, ts, reg := newResilServer(t, Config{Workers: 1, CellBudget: 50 * time.Millisecond, Logger: logger})
+	g := resetGate(map[int]bool{61: true}) // only the stuck cell blocks
+
+	code, body := postTimed(t, ts.URL, "victim", gateReq(61), "")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("stuck cell: status %d, want 500 (body %s)", code, body)
+	}
+	if !bytes.Contains(body, []byte("wall-clock budget")) {
+		t.Fatalf("500 body does not carry the watchdog error: %s", body)
+	}
+	if reg.Counter("serve.cells_killed").Value() != 1 {
+		t.Fatalf("serve.cells_killed = %d, want 1", reg.Counter("serve.cells_killed").Value())
+	}
+	logs := logbuf.String()
+	if !strings.Contains(logs, "stuck cell killed") || !strings.Contains(logs, "cell_addr") {
+		t.Fatalf("watchdog kill not logged with the cell address:\n%s", logs)
+	}
+	// A 5xx auto-dumps the flight recorder to the log.
+	if !strings.Contains(logs, "flight recorder dump") {
+		t.Fatalf("5xx did not dump the flight recorder:\n%s", logs)
+	}
+
+	// Worker freed: a fresh (non-blocking) cell completes.
+	if _, code, _ := postQuery(t, ts.URL, "after", gateReq(62)); code != http.StatusOK {
+		t.Fatalf("query after watchdog kill: status %d", code)
+	}
+	g.release <- struct{}{} // let the killed body exit
+}
+
+// TestChaosEventualSuccess is the chaos acceptance test: under injected
+// slow cells, failing cells and torn cache writes, the server never
+// wedges, never serves a corrupt result, and a retrying client reaches
+// 100% eventual success.
+func TestChaosEventualSuccess(t *testing.T) {
+	cacheDir := t.TempDir()
+	cache, err := bench.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chaos plan, per execution attempt (counted per cell): first attempt
+	// fails, second is slowed but runs (and tears its cache write), later
+	// attempts run clean.
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	chaos := func(figID, cellKey string, o bench.Opts) *InjectedFault {
+		key := fmt.Sprintf("%s/%s/%d", figID, cellKey, o.Iters)
+		mu.Lock()
+		defer mu.Unlock()
+		attempts[key]++
+		switch attempts[key] {
+		case 1:
+			return &InjectedFault{Err: fmt.Errorf("chaos: injected cell failure")}
+		case 2:
+			return &InjectedFault{Delay: 5 * time.Millisecond, TornWrite: true}
+		}
+		return nil
+	}
+	_, ts, _ := newResilServer(t, Config{Workers: 2, Cache: cache, Chaos: chaos})
+	resetGate(map[int]bool{}) // gate cells run without blocking
+
+	cl := client.New(client.Config{
+		BaseURL: ts.URL, ClientID: "chaos",
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		Seed: 42,
+	})
+	// Several distinct cells, each walking the fault plan: fail -> retry
+	// -> slow+torn write -> success.
+	for iters := 71; iters <= 74; iters++ {
+		resp, outcome, err := cl.Query(context.Background(), gateReq(iters))
+		if err != nil {
+			t.Fatalf("iters %d: no eventual success: %v (attempts %d)",
+				iters, err, len(outcome.Attempts))
+		}
+		if len(outcome.Attempts) < 2 {
+			t.Fatalf("iters %d: chaos did not force a retry (%d attempts)", iters, len(outcome.Attempts))
+		}
+		if got := resp.Tables[0].CSV; !strings.Contains(got, fmt.Sprint(iters)) {
+			t.Fatalf("iters %d: wrong result through chaos:\n%s", iters, got)
+		}
+	}
+
+	// The second attempt tore every cache write. A corrupt entry must
+	// never be served: the next query detects the damage, recomputes, and
+	// heals — same values, corruption counted.
+	before := cache.Corruptions()
+	resp, outcome, err := cl.Query(context.Background(), gateReq(71))
+	if err != nil {
+		t.Fatalf("post-torn query: %v", err)
+	}
+	if len(outcome.Attempts) != 1 {
+		t.Fatalf("post-torn query took %d attempts; the heal should be transparent", len(outcome.Attempts))
+	}
+	if cache.Corruptions() <= before {
+		t.Fatal("torn entry was not detected as corrupt")
+	}
+	if !strings.Contains(resp.Tables[0].CSV, "71") {
+		t.Fatalf("healed result wrong:\n%s", resp.Tables[0].CSV)
+	}
+	// Healed for good: one more read is a clean warm hit.
+	resp, _, err = cl.Query(context.Background(), gateReq(71))
+	if err != nil || resp.CacheHits != 1 {
+		t.Fatalf("healed entry not warm: hits %v err %v", resp, err)
+	}
+}
+
+// TestLoadtestRetriesToFullGoodput: the load harness with a retry budget
+// turns injected first-attempt failures into 100% eventual success and
+// reports the recovery in its retry accounting.
+func TestLoadtestRetriesToFullGoodput(t *testing.T) {
+	// Every cell fails its first execution attempt, then runs clean.
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	chaos := func(figID, cellKey string, o bench.Opts) *InjectedFault {
+		key := fmt.Sprintf("%s/%s/%d", figID, cellKey, o.Iters)
+		mu.Lock()
+		defer mu.Unlock()
+		attempts[key]++
+		if attempts[key] == 1 {
+			return &InjectedFault{Err: fmt.Errorf("chaos: injected cell failure")}
+		}
+		return nil
+	}
+	_, ts, _ := newResilServer(t, Config{Workers: 2, Chaos: chaos})
+	resetGate(map[int]bool{})
+
+	req := gateReq(81)
+	res, err := LoadTest(ts.URL, LoadOpts{Clients: 3, PerClient: 4, Request: req, Retries: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 12 || res.GaveUp != 0 {
+		t.Fatalf("goodput %d ok / %d gave up, want 12/0:\n%s", res.Requests, res.GaveUp, res.Format())
+	}
+	if res.RetriedOK < 1 || res.Retries < 1 {
+		t.Fatalf("retry accounting missing recovery: %+v", res)
+	}
+	if res.AttemptHist[1] == 0 && res.AttemptHist[2] == 0 {
+		t.Fatalf("attempt histogram empty: %+v", res.AttemptHist)
+	}
+	for _, want := range []string{"gave up", "recovered by retry", "try(s)"} {
+		if !strings.Contains(res.Format(), want) {
+			t.Fatalf("Format() missing %q:\n%s", want, res.Format())
+		}
+	}
+}
+
+// TestLoadtestAgainstDrainingServer is the fixed-seed drain smoke (make
+// serve-chaos): a warm workload keeps achieving 100% success on a
+// draining server, because drain only refuses fresh cells. Gated behind
+// PIPMCOLL_CHAOS=1 alongside the other wall-clock-sensitive smokes.
+func TestLoadtestAgainstDrainingServer(t *testing.T) {
+	if os.Getenv("PIPMCOLL_CHAOS") == "" {
+		t.Skip("set PIPMCOLL_CHAOS=1 to run the drain loadtest smoke")
+	}
+	s, ts, _ := newResilServer(t, Config{Workers: 2})
+	countRuns.Store(0)
+	req := query.Request{Figure: "zq-count", Opts: query.Opts{Warmup: 1, Iters: 91}}
+	if _, code, _ := postQuery(t, ts.URL, "warm", req); code != http.StatusOK {
+		t.Fatalf("warming query: status %d", code)
+	}
+	s.BeginDrain()
+	res, err := LoadTest(ts.URL, LoadOpts{Clients: 4, PerClient: 10, Request: req, Retries: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 40 || res.GaveUp != 0 || res.Errors != 0 {
+		t.Fatalf("warm loadtest through drain: %+v\n%s", res, res.Format())
+	}
+	// Fresh work, by contrast, is refused throughout the drain: the
+	// retrying client gives up with the typed exhausted error. The tight
+	// MaxElapsed makes it give up rather than honor the server's 10s
+	// Retry-After — the drain isn't ending, so waiting is pointless.
+	cl := client.New(client.Config{BaseURL: ts.URL, ClientID: "fresh",
+		MaxAttempts: 2, MaxElapsed: 100 * time.Millisecond,
+		BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 42})
+	_, outcome, err := cl.Query(context.Background(), gateReq(92))
+	var ex *client.ExhaustedError
+	if err == nil || !errors.As(err, &ex) {
+		t.Fatalf("fresh cell on draining server: err %v (attempts %d), want ExhaustedError",
+			err, len(outcome.Attempts))
+	}
+	if ex.LastStatus != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted with last status %d, want 503", ex.LastStatus)
+	}
+}
+
+// TestSchedulerDrainLifecycle covers the drain primitives directly:
+// Draining flips, an idle scheduler is Idle, and WaitIdle returns
+// promptly when nothing is queued or in flight.
+func TestSchedulerDrainLifecycle(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{Workers: 1})
+	defer sched.Close()
+	sched.Drain()
+	if !sched.Draining() {
+		t.Fatal("Draining() false after Drain()")
+	}
+	if !sched.Idle() {
+		t.Fatal("fresh scheduler not idle")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := sched.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle on idle scheduler: %v", err)
+	}
+}

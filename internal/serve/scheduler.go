@@ -11,8 +11,10 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
+	"os"
 	"sync"
 	"time"
 
@@ -57,6 +59,16 @@ type SchedulerConfig struct {
 	// Logger receives structured scheduler events (cell failures,
 	// abandonments) with request IDs attached; nil discards them.
 	Logger *slog.Logger
+	// CellBudget, when positive, arms the stuck-cell watchdog: a flight
+	// whose wall-clock execution exceeds the budget is cancelled with a
+	// typed StuckCellError, logged with its stage breakdown, and counted
+	// in serve.cells_killed. Off (0) by default — figure cells legitimately
+	// run for minutes in -full mode.
+	CellBudget time.Duration
+	// Chaos, when non-nil, is the test-only fault hook consulted before
+	// every cell execution (slow cells, failing cells, torn cache
+	// writes). Production configs leave it nil.
+	Chaos ChaosFunc
 }
 
 // flight is one in-flight cell computation, shared by every job that needs
@@ -70,7 +82,7 @@ type flight struct {
 	cell   bench.Cell
 	opts   bench.Opts
 	ctx    context.Context
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 	// reqID is the request that enqueued the flight (joiners keep their
 	// own IDs); threaded into worker logs so a slow cell can be traced
 	// back to the query that caused it.
@@ -108,6 +120,7 @@ type Scheduler struct {
 	order    []string           // round-robin rotation of clients with queued work
 	queued   int                // total queued tasks (not yet picked by a worker)
 	inflight map[string]*flight // content address -> live flight
+	draining bool               // Drain called: no new cells admitted
 
 	wake chan struct{}
 	stop chan struct{}
@@ -152,6 +165,66 @@ func (s *Scheduler) Close() {
 // ErrStopped is reported to waiters whose queued cells were dropped by
 // Close.
 var ErrStopped = fmt.Errorf("serve: scheduler stopped")
+
+// Drain stops admitting new cells: jobs that would enqueue fresh work are
+// rejected with ErrDraining, while cache fast-path hits and singleflight
+// joins onto already-running cells keep serving — graceful degradation
+// during the shutdown window, not a cliff. Idempotent.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Idle reports whether no cells are queued or in flight.
+func (s *Scheduler) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued == 0 && len(s.inflight) == 0
+}
+
+// WaitIdle blocks until every queued and in-flight cell has finished, or
+// ctx expires — in which case every remaining flight is cancelled with
+// ErrDraining (their waiters get the typed error, workers release their
+// slots, nothing is cached) and WaitIdle returns ctx.Err(). Call Drain
+// first or new work may keep the scheduler busy indefinitely.
+func (s *Scheduler) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.Idle() {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			s.abortInflight(ErrDraining)
+			return ctx.Err()
+		}
+	}
+}
+
+// abortInflight cancels every live flight with the given cause. The
+// workers' context races observe the cause and finish the flights, so
+// waiters unblock promptly with the typed error.
+func (s *Scheduler) abortInflight(cause error) {
+	s.mu.Lock()
+	flights := make([]*flight, 0, len(s.inflight))
+	for _, fl := range s.inflight {
+		flights = append(flights, fl)
+	}
+	s.mu.Unlock()
+	for _, fl := range flights {
+		fl.cancel(cause)
+	}
+}
 
 func (s *Scheduler) counter(name string) *obs.Counter {
 	if s.cfg.Metrics == nil {
@@ -260,6 +333,14 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr 
 			fresh++
 		}
 	}
+	if s.draining && fresh > 0 {
+		// Drain window: joins and cache hits above stayed free, but no new
+		// cell may start. All-or-nothing, like every admission decision.
+		s.mu.Unlock()
+		stopAdmission()
+		s.add("serve.queue.drained_rejects")
+		return nil, hits, ErrDraining
+	}
 	if s.queued+fresh > s.cfg.MaxQueue || len(s.queues[client])+fresh > s.cfg.MaxPerClient {
 		retry := s.retryAfter()
 		depth := s.queued
@@ -280,7 +361,7 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr 
 			joined++
 			continue
 		}
-		fctx, cancel := context.WithCancel(context.Background())
+		fctx, cancel := context.WithCancelCause(context.Background())
 		fl := &flight{addr: addr, figID: j.FigID, cell: c, opts: opts,
 			ctx: fctx, cancel: cancel, reqID: reqID, waiters: 1,
 			enqueuedAt: now, done: make(chan struct{})}
@@ -372,6 +453,7 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr 
 		// slot mid-cell and unregistering it so later submitters start
 		// fresh instead of joining a dying computation.
 		var abandoned []string
+		var waitingOn *flight // first unfinished cell, in plan order
 		s.mu.Lock()
 		depth := s.queued
 		for _, i := range pending {
@@ -381,9 +463,12 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr 
 				continue
 			default:
 			}
+			if waitingOn == nil {
+				waitingOn = fl
+			}
 			fl.waiters--
 			if fl.waiters == 0 {
-				fl.cancel()
+				fl.cancel(context.Canceled)
 				if s.inflight[fl.addr] == fl {
 					delete(s.inflight, fl.addr)
 				}
@@ -398,6 +483,12 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr 
 			s.cfg.Logger.Info("cell abandoned",
 				"request_id", reqID, "client", client,
 				"cell_addr", addr, "queue_depth", depth)
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && waitingOn != nil {
+			// The request's own deadline fired: name the cell it was still
+			// waiting on so the 504 is actionable. The caller (server)
+			// fills the timing fields from its trace.
+			return nil, hits, &DeadlineError{Addr: waitingOn.addr, Cell: waitingOn.cell.Key}
 		}
 		return nil, hits, ctx.Err()
 	}
@@ -474,10 +565,11 @@ func (s *Scheduler) pop() *task {
 // execute runs one flight on the calling worker: re-probe the cache
 // (another front end may have stored the entry since submission), then run
 // the cell body in its own goroutine raced against the flight's context so
-// abandonment releases this worker immediately. Completed flights
-// unregister before signalling, and abandoned results are never cached.
+// abandonment, drain aborts and watchdog kills release this worker
+// immediately. Completed flights unregister before signalling, and
+// cancelled results are never cached.
 func (s *Scheduler) execute(fl *flight) {
-	defer fl.cancel()
+	defer fl.cancel(nil)
 	fl.startedAt = time.Now()
 	if !fl.enqueuedAt.IsZero() {
 		s.observeUS("serve.cell.queue_wait_us", fl.startedAt.Sub(fl.enqueuedAt))
@@ -490,8 +582,31 @@ func (s *Scheduler) execute(fl *flight) {
 		}
 	}
 	if err := fl.ctx.Err(); err != nil {
-		s.finish(fl, nil, false, err)
+		s.finish(fl, nil, false, context.Cause(fl.ctx))
 		return
+	}
+	if s.cfg.CellBudget > 0 {
+		// Stuck-cell watchdog: the wall-clock sibling of the simulator's
+		// virtual-time deadlock watchdog. The kill is logged with the
+		// cell's stage breakdown so the operator sees where the budget
+		// went, not just that it went.
+		stuck := &StuckCellError{Addr: fl.addr, Figure: fl.figID,
+			Cell: fl.cell.Key, Budget: s.cfg.CellBudget}
+		timer := time.AfterFunc(s.cfg.CellBudget, func() {
+			s.add("serve.cells_killed")
+			s.cfg.Logger.Error("stuck cell killed",
+				"request_id", fl.reqID, "cell_addr", fl.addr,
+				"figure", fl.figID, "cell", fl.cell.Key,
+				"budget", s.cfg.CellBudget,
+				"queue_wait_us", fl.startedAt.Sub(fl.enqueuedAt).Microseconds(),
+				"exec_us", time.Since(fl.startedAt).Microseconds())
+			fl.cancel(stuck)
+		})
+		defer timer.Stop()
+	}
+	var chaos *InjectedFault
+	if s.cfg.Chaos != nil {
+		chaos = s.cfg.Chaos(fl.figID, fl.cell.Key, fl.opts)
 	}
 	type outcome struct {
 		vals []bench.Value
@@ -506,12 +621,32 @@ func (s *Scheduler) execute(fl *flight) {
 			}
 			out <- res
 		}()
+		if chaos != nil {
+			if chaos.Delay > 0 {
+				select {
+				case <-time.After(chaos.Delay):
+				case <-fl.ctx.Done():
+					res.err = context.Cause(fl.ctx)
+					return
+				}
+			}
+			if chaos.Err != nil {
+				res.err = chaos.Err
+				return
+			}
+		}
 		res.vals, res.err = fl.cell.Run()
 	}()
 	select {
 	case res := <-out:
 		if res.err == nil && s.cfg.Cache != nil {
-			if err := s.cfg.Cache.Store(fl.figID, fl.cell.Key, fl.opts, res.vals); err != nil {
+			if chaos != nil && chaos.TornWrite {
+				// Simulate a crash mid-Store: a partial, non-atomic write at
+				// the entry's real path. Waiters still get correct values;
+				// the damage is only visible to later reads (which must
+				// detect and heal it).
+				s.tornWrite(fl)
+			} else if err := s.cfg.Cache.Store(fl.figID, fl.cell.Key, fl.opts, res.vals); err != nil {
 				res.err = err
 			}
 		}
@@ -523,7 +658,17 @@ func (s *Scheduler) execute(fl *flight) {
 		}
 		s.finish(fl, res.vals, false, res.err)
 	case <-fl.ctx.Done():
-		s.finish(fl, nil, false, fl.ctx.Err())
+		s.finish(fl, nil, false, context.Cause(fl.ctx))
+	}
+}
+
+// tornWrite plants a truncated entry at the flight's cache path — the
+// serve-side chaos stand-in for a writer that died mid-write on a
+// filesystem that tore the file.
+func (s *Scheduler) tornWrite(fl *flight) {
+	path := s.cfg.Cache.EntryPath(fl.figID, fl.cell.Key, fl.opts)
+	if err := os.WriteFile(path, []byte(`[{"t":0,"r":"torn`), 0o644); err != nil {
+		s.cfg.Logger.Warn("chaos torn write failed", "cell_addr", fl.addr, "error", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -41,6 +44,13 @@ type Config struct {
 	// FlightRecorderSize is how many recent requests the always-on flight
 	// recorder retains (0 means DefaultFlightRecorderSize).
 	FlightRecorderSize int
+	// CellBudget arms the scheduler's stuck-cell watchdog (0 = off): a
+	// cell executing longer than this wall-clock budget is killed with a
+	// typed StuckCellError and counted in serve.cells_killed.
+	CellBudget time.Duration
+	// Chaos is the test-only per-cell fault hook (slow cells, failing
+	// cells, torn cache writes); nil in production.
+	Chaos ChaosFunc
 }
 
 // Server is the simulation-as-a-service front end. Routes:
@@ -61,6 +71,10 @@ type Server struct {
 	logger  *slog.Logger
 	rec     *FlightRecorder
 	pprofOn bool
+	// ready is the /readyz signal: true while the server admits new work,
+	// flipped false at drain start so load balancers stop routing here
+	// while in-flight work (and warm-cache hits) finish.
+	ready atomic.Bool
 
 	mu     sync.Mutex
 	traces map[string]query.Request // cell content address -> normalized request
@@ -81,7 +95,7 @@ func New(cfg Config) *Server {
 		cfg.Cache.Instrument(cfg.Metrics, "serve.cache")
 	}
 	registerHelp(cfg.Metrics)
-	return &Server{
+	s := &Server{
 		sched: NewScheduler(SchedulerConfig{
 			Workers:      cfg.Workers,
 			MaxQueue:     cfg.MaxQueue,
@@ -89,6 +103,8 @@ func New(cfg Config) *Server {
 			Cache:        cfg.Cache,
 			Metrics:      cfg.Metrics,
 			Logger:       cfg.Logger,
+			CellBudget:   cfg.CellBudget,
+			Chaos:        cfg.Chaos,
 		}),
 		cache:   cfg.Cache,
 		metrics: cfg.Metrics,
@@ -97,7 +113,47 @@ func New(cfg Config) *Server {
 		pprofOn: cfg.EnablePprof,
 		traces:  make(map[string]query.Request),
 	}
+	s.ready.Store(true)
+	return s
 }
+
+// drainRetryAfterS is the Retry-After hint (seconds) on draining 503s: a
+// restart-supervised process is typically back within this window.
+const drainRetryAfterS = 10
+
+// BeginDrain enters the drain window: /readyz flips to 503 (load
+// balancers stop routing here) and the scheduler stops admitting new
+// cells — warm-cache hits and singleflight joins keep serving, requests
+// needing fresh work get a typed 503 draining response. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.ready.Swap(false) {
+		s.logger.Info("drain started",
+			"queue_depth", s.sched.QueueDepth(), "retry_after_s", drainRetryAfterS)
+	}
+	s.sched.Drain()
+}
+
+// Drain runs the full graceful-shutdown protocol: BeginDrain, then wait
+// for every queued and in-flight cell to finish. If ctx expires first,
+// the remaining flights are abandoned with ErrDraining (their waiters get
+// typed 503s, worker slots release mid-cell, nothing partial is cached)
+// and Drain returns ctx.Err(). Call before http.Server.Shutdown so the
+// listener keeps answering warm hits during the window.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	err := s.sched.WaitIdle(ctx)
+	if err != nil {
+		s.logger.Warn("drain timed out; abandoning in-flight cells",
+			"queue_depth", s.sched.QueueDepth(), "error", err)
+	} else {
+		s.logger.Info("drain complete")
+	}
+	return err
+}
+
+// Ready reports whether the server is admitting new work (the /readyz
+// signal).
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // registerHelp attaches exposition help text to the server's series.
 func registerHelp(r *obs.Registry) {
@@ -115,6 +171,9 @@ func registerHelp(r *obs.Registry) {
 	}
 	r.Help("serve.cell.queue_wait_us", "per-cell time from admission to worker pickup (µs)")
 	r.Help("serve.cell.exec_us", "per-cell worker execution time (µs)")
+	r.Help("serve.cells_killed", "flights killed by the stuck-cell watchdog (-cell-budget)")
+	r.Help("serve.queue.drained_rejects", "jobs refused with 503 because the server was draining")
+	r.Help("serve.deadline_exceeded", "requests that hit their own timeout_ms deadline (504)")
 }
 
 // Close stops the worker pool.
@@ -140,8 +199,20 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	// Liveness vs readiness: /healthz answers "is the process alive" and
+	// stays 200 through a drain (restarting a draining server would defeat
+	// the drain); /readyz answers "should new traffic come here" and flips
+	// to 503 the moment BeginDrain runs.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.ready.Load() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterS))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
 	})
 	return mux
 }
@@ -165,6 +236,49 @@ func requestID(r *http.Request) string {
 		return id
 	}
 	return newRequestID()
+}
+
+// requestTimeout resolves a request's deadline: the X-Timeout-Ms header
+// when present (operators can bound traffic at a proxy without touching
+// bodies), else the body's timeout_ms field. 0 means no deadline.
+func requestTimeout(r *http.Request, req query.Request) (time.Duration, error) {
+	ms := req.TimeoutMS
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		v, err := strconv.Atoi(h)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad X-Timeout-Ms %q", h)
+		}
+		ms = v
+	}
+	if ms < 0 {
+		return 0, fmt.Errorf("negative timeout_ms %d", ms)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// deadlineBody is the 504 response body: machine-readable fields naming
+// the cell the request was waiting on and where its time went.
+type deadlineBody struct {
+	Error     string        `json:"error"`
+	Cell      string        `json:"cell,omitempty"`
+	Addr      string        `json:"addr,omitempty"`
+	TimeoutMS float64       `json:"timeout_ms"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Stages    []query.Stage `json:"stages,omitempty"`
+}
+
+// writeDeadline renders a DeadlineError as a 504 with structured body.
+func (s *Server) writeDeadline(w http.ResponseWriter, dl *DeadlineError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusGatewayTimeout)
+	json.NewEncoder(w).Encode(deadlineBody{
+		Error:     dl.Error(),
+		Cell:      dl.Cell,
+		Addr:      dl.Addr,
+		TimeoutMS: dl.Timeout.Seconds() * 1e3,
+		ElapsedMS: dl.Elapsed.Seconds() * 1e3,
+		Stages:    dl.Stages,
+	})
 }
 
 // httpError writes a JSON error body with the given status.
@@ -297,6 +411,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Counter("serve.queries").Add(1)
 
+	// Per-request deadline: the timeout_ms field, overridden by the
+	// X-Timeout-Ms header. The derived context is threaded through the
+	// scheduler, so an expiring deadline abandons the request's flights
+	// (worker slots free, nothing partial cached) and comes back as a 504
+	// naming the cell it was waiting on.
+	timeout, terr := requestTimeout(r, req)
+	if terr != nil {
+		httpError(w, http.StatusBadRequest, terr)
+		s.finishRequest(tr, RequestRecord{Outcome: OutcomeBadRequest,
+			Status: http.StatusBadRequest, Error: terr.Error()})
+		return
+	}
+	qctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, timeout)
+		defer cancel()
+	}
+
 	stream := r.URL.Query().Get("stream") == "1"
 	var enc *json.Encoder
 	var flusher http.Flusher
@@ -320,11 +453,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	results, hits, err := s.sched.RunJob(r.Context(), tr.Client, j, tr, onCell)
+	results, hits, err := s.sched.RunJob(qctx, tr.Client, j, tr, onCell)
 	s.metrics.Histogram("serve.query.latency_ms", obs.DefaultBuckets).
 		Observe(tr.Total().Seconds() * 1e3)
 	if err != nil {
 		var over *ErrOverloaded
+		var dl *DeadlineError
 		switch {
 		case errors.As(err, &over):
 			// Shed load must be visible: the 429 is logged with the client,
@@ -337,6 +471,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if !stream {
 				w.Header().Set("Retry-After", strconv.Itoa(rec.RetryAfter))
 				httpError(w, http.StatusTooManyRequests, err)
+				s.finishRequest(tr, rec)
+				return
+			}
+		case errors.As(err, &dl), errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+			// The request's own deadline fired. Fill the typed error with
+			// the trace's view of where the time went, so the 504 body and
+			// the flight-recorder entry both carry the stage breakdown.
+			if dl == nil {
+				dl = &DeadlineError{}
+			}
+			dl.Timeout, dl.Elapsed, dl.Stages = timeout, tr.Total(), tr.Stages()
+			s.metrics.Counter("serve.deadline_exceeded").Add(1)
+			rec.Outcome, rec.Status = OutcomeDeadline, http.StatusGatewayTimeout
+			rec.Hits = hits
+			if dl.Addr != "" {
+				rec.Addr = dl.Addr
+			}
+			rec.Error = dl.Error()
+			if !stream {
+				s.writeDeadline(w, dl)
+				s.finishRequest(tr, rec)
+				return
+			}
+			err = dl
+		case errors.Is(err, ErrDraining):
+			// Graceful degradation during shutdown: work needing fresh
+			// cells is refused with a typed, retryable 503 (warm hits never
+			// reach this path — they were answered above).
+			rec.Outcome, rec.Status = OutcomeDraining, http.StatusServiceUnavailable
+			rec.Hits = hits
+			rec.RetryAfter = drainRetryAfterS
+			rec.Error = err.Error()
+			if !stream {
+				w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterS))
+				httpError(w, http.StatusServiceUnavailable, err)
 				s.finishRequest(tr, rec)
 				return
 			}
