@@ -38,9 +38,14 @@ bench-smoke:
 # (best-of-3 per world to shed host noise) and fail if ns/event regresses
 # more than 15% against the recorded BENCH_throughput.json baseline, if
 # allocs/event exceeds the pinned per-world ceilings, or if virtual time
-# drifts (engine behaviour change). CI hosts aren't comparable to the one
+# drifts (engine behaviour change). Each world also runs in
+# schedule-replay mode against its <world>-replay baseline entry: replay
+# must match live virtual time and event count exactly, stay under its
+# alloc ceiling, and (with wall-clock checks on) beat live events/s by
+# >=5x on the medium/large worlds. CI hosts aren't comparable to the one
 # that recorded the baseline, so CI sets GATE_FLAGS=-gate-skip-wallclock
-# (alloc ceilings and virtual-time pins still enforce there).
+# (alloc ceilings, replay exactness and virtual-time pins still enforce
+# there).
 bench-gate:
 	$(GO) run ./cmd/pipmcoll-bench -gate $(GATE_FLAGS)
 
@@ -79,7 +84,7 @@ chaos-recovery:
 serve-chaos:
 	$(GO) test -race ./internal/serve -run 'Drain|Deadline|Watchdog|Chaos|Goodput|Resilience' -count=1
 	$(GO) test -race ./internal/client -count=1
-	$(GO) test -race ./internal/bench -run 'CacheSweep' -count=1
+	$(GO) test -race ./internal/bench -run 'CacheSweep|CacheCorruption' -count=1
 	PIPMCOLL_CHAOS=1 $(GO) test -race -count=1 ./internal/serve -run TestLoadtestAgainstDrainingServer
 
 ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test serve-chaos

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	pipmcoll-bench [-fig 1,6,9] [-full] [-iters 3] [-warmup 2] [-csv DIR]
-//	               [-parallel N] [-nocache] [-cache-dir DIR]
+//	               [-parallel N] [-nocache] [-cache-dir DIR] [-replay]
 //	               [-server http://host:8090] [-timeout-ms 0]
 //	pipmcoll-bench -throughput [-throughput-out BENCH_throughput.json]
 //	pipmcoll-bench -gate [-gate-baseline BENCH_throughput.json]
@@ -49,7 +49,7 @@ func main() {
 // events/s, allocs/event) on the standard world shapes and records the
 // results for cross-PR tracking.
 func runThroughput(out string) error {
-	fmt.Printf("%-8s %8s %8s %12s %12s %14s %12s\n",
+	fmt.Printf("%-14s %8s %8s %12s %12s %14s %12s\n",
 		"world", "ranks", "rounds", "events", "ns/event", "events/s", "allocs/event")
 	var results []bench.ThroughputResult
 	for _, tw := range bench.ThroughputWorlds() {
@@ -57,10 +57,18 @@ func runThroughput(out string) error {
 		if err != nil {
 			return fmt.Errorf("throughput world %s: %w", tw.Name, err)
 		}
-		results = append(results, res)
-		fmt.Printf("%-8s %8d %8d %12d %12.0f %14.0f %12.3f\n",
-			res.World, res.Ranks, res.Rounds, res.Events,
-			res.NsPerEvent, res.EventsPerSec, res.AllocsPerEvent)
+		// The replay variant of the same world: record one live run, then
+		// measure the goroutine-free walk of its schedule.
+		rres, err := bench.RunThroughputReplay(tw)
+		if err != nil {
+			return fmt.Errorf("throughput world %s replay: %w", tw.Name, err)
+		}
+		results = append(results, res, rres)
+		for _, r := range []bench.ThroughputResult{res, rres} {
+			fmt.Printf("%-14s %8d %8d %12d %12.1f %14.0f %12.4f\n",
+				r.World, r.Ranks, r.Rounds, r.Events,
+				r.NsPerEvent, r.EventsPerSec, r.AllocsPerEvent)
+		}
 	}
 	if err := bench.WriteThroughputJSON(out, results); err != nil {
 		return err
@@ -111,6 +119,7 @@ func run() error {
 	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
 	cacheDir := flag.String("cache-dir", bench.DefaultCacheDir(), "result cache directory")
 	statsDump := flag.Bool("stats", false, "dump harness metrics (cells, cache hits/misses, wall time, queue wait) after the run")
+	replay := flag.Bool("replay", false, "memoize fault-free cell schedules: record each shape's event DAG once, replay repeats goroutine-free")
 	throughput := flag.Bool("throughput", false, "run the simulator-throughput suite instead of figures")
 	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where -throughput writes its JSON report")
 	gateRun := flag.Bool("gate", false, "run the throughput gate against -gate-baseline; exit nonzero on regression")
@@ -201,6 +210,13 @@ func run() error {
 		figStart time.Time
 	)
 	reg := obs.NewRegistry()
+	var memo *bench.ScheduleMemo
+	if *replay {
+		memo = bench.NewScheduleMemo()
+		memo.Instrument(reg, "bench.replay")
+		bench.EnableReplay(memo)
+		defer bench.EnableReplay(nil)
+	}
 	runner := bench.NewRunner(bench.RunnerConfig{
 		Parallel: *parallel,
 		Cache:    cache,
@@ -255,6 +271,11 @@ func run() error {
 	if cache != nil {
 		hits, misses := cache.Stats()
 		fmt.Printf("cache: %d hits, %d misses (%s)\n", hits, misses, cache.Dir())
+	}
+	if memo != nil {
+		st := memo.Stats()
+		fmt.Printf("replay: %d schedules, %d hits, %d misses, %d fallbacks\n",
+			st.Schedules, st.Hits, st.Misses, st.Fallbacks)
 	}
 	if *statsDump {
 		fmt.Println()

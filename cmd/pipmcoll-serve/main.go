@@ -11,7 +11,7 @@
 //
 //	pipmcoll-serve [-addr :8090] [-workers N] [-queue 256] [-per-client 64]
 //	               [-nocache] [-cache-dir DIR] [-pprof] [-log-level info]
-//	               [-drain-timeout 10s] [-cell-budget 0]
+//	               [-drain-timeout 10s] [-cell-budget 0] [-replay]
 //	pipmcoll-serve -loadtest [-clients 8] [-requests 50] [-retries 1] [-seed 0]
 //
 // Endpoints: POST /query (add ?stream=1 for NDJSON progress), GET
@@ -56,6 +56,7 @@ func main() {
 	recSize := flag.Int("flight-recorder", serve.DefaultFlightRecorderSize, "flight recorder capacity (recent requests kept for /debug/requests)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight work before abandoning it")
 	cellBudget := flag.Duration("cell-budget", 0, "kill any single cell executing longer than this (0 disables the watchdog)")
+	replay := flag.Bool("replay", false, "memoize fault-free cell schedules: record each shape's event DAG once, replay repeats goroutine-free")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (bounds one request end to end)")
 	loadtest := flag.Bool("loadtest", false, "run the bundled load generator against an in-process server and exit")
 	clients := flag.Int("clients", 8, "loadtest: concurrent clients")
@@ -70,7 +71,7 @@ func main() {
 		os.Exit(1)
 	}
 	if err := run(*addr, *workers, *queue, *perClient, *nocache, *cacheDir,
-		*pprofOn, *recSize, *drainTimeout, *cellBudget, *writeTimeout,
+		*pprofOn, *recSize, *drainTimeout, *cellBudget, *writeTimeout, *replay,
 		logger, *loadtest, *clients, *requests, *retries, *seed); err != nil {
 		logger.Error("fatal", "error", err)
 		os.Exit(1)
@@ -89,7 +90,7 @@ func newLogger(level string) (*slog.Logger, error) {
 
 func run(addr string, workers, queue, perClient int, nocache bool, cacheDir string,
 	pprofOn bool, recSize int, drainTimeout, cellBudget, writeTimeout time.Duration,
-	logger *slog.Logger, loadtest bool, clients, requests, retries int, seed int64) error {
+	replay bool, logger *slog.Logger, loadtest bool, clients, requests, retries int, seed int64) error {
 	var cache *bench.Cache
 	if !nocache {
 		c, err := bench.OpenCache(cacheDir)
@@ -98,6 +99,10 @@ func run(addr string, workers, queue, perClient int, nocache bool, cacheDir stri
 		} else {
 			cache = c
 		}
+	}
+	var memo *bench.ScheduleMemo
+	if replay {
+		memo = bench.NewScheduleMemo()
 	}
 	srv := serve.New(serve.Config{
 		Workers:            workers,
@@ -108,6 +113,7 @@ func run(addr string, workers, queue, perClient int, nocache bool, cacheDir stri
 		EnablePprof:        pprofOn,
 		FlightRecorderSize: recSize,
 		CellBudget:         cellBudget,
+		Replay:             memo,
 	})
 	defer srv.Close()
 
@@ -132,7 +138,7 @@ func run(addr string, workers, queue, perClient int, nocache bool, cacheDir stri
 	}
 	attrs := []any{"addr", ln.Addr().String(), "workers", workers, "queue", queue,
 		"per_client", perClient, "pprof", pprofOn, "flight_recorder", recSize,
-		"drain_timeout", drainTimeout, "cell_budget", cellBudget}
+		"drain_timeout", drainTimeout, "cell_budget", cellBudget, "replay", memo != nil}
 	if cache != nil {
 		attrs = append(attrs, "cache_dir", cache.Dir())
 	}

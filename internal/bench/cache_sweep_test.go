@@ -127,3 +127,93 @@ func TestCacheSweepIgnoresForeignFiles(t *testing.T) {
 		t.Fatalf("quarantined file re-swept: %v", err)
 	}
 }
+
+// TestCacheCorruptionCountedExactlyOnce pins the accounting contract: one
+// damaged file is one corruption, counted at the moment it is discovered
+// — by the startup sweep or by a Load — and never again once healed. In
+// particular, the Load right after a sweep quarantined the entry is a
+// plain miss (no second count), and the Load right after a heal is a
+// clean hit.
+func TestCacheCorruptionCountedExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Logf = nil
+	opts := Opts{Warmup: 1, Iters: 1}
+	vals := []Value{{Table: 0, Row: "r", Col: "c", V: 7}}
+
+	// Load-time discovery path: tear a live entry, Load it (one count),
+	// heal it with a Store, Load again (hit, no further count).
+	if err := c.Store("figY", "torn-live", opts, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.EntryPath("figY", "torn-live", opts), []byte(`[{"t":0,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("figY", "torn-live", opts); ok {
+		t.Fatal("torn entry loaded")
+	}
+	if got := c.Corruptions(); got != 1 {
+		t.Fatalf("Corruptions() after load-time discovery = %d, want 1", got)
+	}
+	if err := c.Store("figY", "torn-live", opts, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Load("figY", "torn-live", opts); !ok || got[0].V != 7 {
+		t.Fatalf("healed entry does not load: %v %v", got, ok)
+	}
+	if got := c.Corruptions(); got != 1 {
+		t.Fatalf("Corruptions() after heal = %d, want still 1 (heal must not re-count)", got)
+	}
+
+	// Sweep discovery path: tear the entry again and reopen. The sweep
+	// counts it once and quarantines it; the follow-up Load of the same
+	// address is a plain miss, not a second corruption.
+	if err := os.WriteFile(c.EntryPath("figY", "torn-live", opts), []byte(`[{"t":0,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Logf = nil
+	if got := c2.Corruptions(); got != 1 {
+		t.Fatalf("Corruptions() after sweep = %d, want 1", got)
+	}
+	if _, ok := c2.Load("figY", "torn-live", opts); ok {
+		t.Fatal("quarantined entry still loads")
+	}
+	if got := c2.Corruptions(); got != 1 {
+		t.Fatalf("Corruptions() after post-sweep miss = %d, want still 1", got)
+	}
+	if err := c2.Store("figY", "torn-live", opts, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Load("figY", "torn-live", opts); !ok || got[0].V != 7 {
+		t.Fatalf("re-healed entry does not load: %v %v", got, ok)
+	}
+	if got := c2.Corruptions(); got != 1 {
+		t.Fatalf("Corruptions() after re-heal = %d, want still 1", got)
+	}
+
+	// Quarantined debris is out of the entry namespace for good: a third
+	// OpenCache starts at zero corruptions and leaves the quarantine
+	// directory untouched, so one crash can never inflate the counters of
+	// every later run.
+	qname := filepath.Base(c.EntryPath("figY", "torn-live", opts))
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, qname)); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	c3, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.Corruptions(); got != 0 {
+		t.Fatalf("Corruptions() on reopen of a healed cache = %d, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, qname)); err != nil {
+		t.Fatalf("quarantined file re-swept on reopen: %v", err)
+	}
+}

@@ -24,12 +24,23 @@ const mediumAllocCeiling = 1.93
 
 // allocCeilings pins the allocs/event budget per world. The medium value
 // is the long-standing acceptance bar; small and large carry proportional
-// headroom over their recorded values.
+// headroom over their recorded values. The replay worlds walk a recorded
+// schedule with one presized heap, so their budget is two orders of
+// magnitude tighter: a regression here means the walk started allocating.
 var allocCeilings = map[string]float64{
-	"small":  3.20,
-	"medium": mediumAllocCeiling,
-	"large":  1.90,
+	"small":                 3.20,
+	"medium":                mediumAllocCeiling,
+	"large":                 1.90,
+	"small" + ReplaySuffix:  0.01,
+	"medium" + ReplaySuffix: 0.01,
+	"large" + ReplaySuffix:  0.01,
 }
+
+// replaySpeedupFloor is the acceptance bar for schedule replay: the
+// goroutine-free walk must dispatch at least this many times more events
+// per second than the live engine on the medium and large worlds (recorded
+// speedups are 35-500x, so 5x is a loud-failure floor, not a target).
+const replaySpeedupFloor = 5.0
 
 // GateOpts configures GateThroughput.
 type GateOpts struct {
@@ -107,7 +118,7 @@ func GateThroughput(baseline ThroughputReport, o GateOpts) ([]ThroughputResult, 
 	var fresh []ThroughputResult
 	var violations []GateViolation
 	for _, tw := range ThroughputWorlds() {
-		var best ThroughputResult
+		var best, rbest ThroughputResult
 		for rep := 0; rep < o.Repeats; rep++ {
 			res, err := RunThroughput(tw)
 			if err != nil {
@@ -118,19 +129,54 @@ func GateThroughput(baseline ThroughputReport, o GateOpts) ([]ThroughputResult, 
 				// not, so "best" is decided by ns/event.
 				best = res
 			}
+			rres, err := RunThroughputReplay(tw)
+			if err != nil {
+				return nil, fmt.Errorf("bench: gate world %s replay: %w", tw.Name, err)
+			}
+			if rep == 0 || rres.NsPerEvent < rbest.NsPerEvent {
+				rbest = rres
+			}
 		}
-		fresh = append(fresh, best)
+		fresh = append(fresh, best, rbest)
 		if o.Logf != nil {
-			o.Logf("gate %-8s best-of-%d: %.0f ns/event, %.3f allocs/event",
-				tw.Name, o.Repeats, best.NsPerEvent, best.AllocsPerEvent)
+			o.Logf("gate %-8s best-of-%d: %.0f ns/event, %.3f allocs/event (replay %.0f ns/event, %.4f allocs/event)",
+				tw.Name, o.Repeats, best.NsPerEvent, best.AllocsPerEvent,
+				rbest.NsPerEvent, rbest.AllocsPerEvent)
 		}
 
 		violations = append(violations, gateWorld(base, best, o)...)
+		violations = append(violations, gateWorld(base, rbest, o)...)
+		violations = append(violations, gateReplay(tw.Name, best, rbest, o)...)
 	}
 	if len(violations) > 0 {
 		return fresh, &GateError{Violations: violations}
 	}
 	return fresh, nil
+}
+
+// gateReplay cross-checks a world's replay result against its own live run
+// (independent of the baseline file): bit-identical events and virtual
+// time, and — when wall-clock comparisons are on — the replay speedup
+// floor on the medium and large worlds.
+func gateReplay(world string, live, replay ThroughputResult, o GateOpts) []GateViolation {
+	var violations []GateViolation
+	name := world + ReplaySuffix
+	if replay.Events != live.Events {
+		violations = append(violations, GateViolation{name, fmt.Sprintf(
+			"replayed %d events, live run dispatched %d", replay.Events, live.Events)})
+	}
+	if replay.VirtualUs != live.VirtualUs {
+		violations = append(violations, GateViolation{name, fmt.Sprintf(
+			"replay virtual time %.6fus != live %.6fus (replay not bit-identical)",
+			replay.VirtualUs, live.VirtualUs)})
+	}
+	if !o.SkipWallClock && (world == "medium" || world == "large") &&
+		replay.EventsPerSec < replaySpeedupFloor*live.EventsPerSec {
+		violations = append(violations, GateViolation{name, fmt.Sprintf(
+			"replay %.0f events/s is under %.0fx the live %.0f events/s",
+			replay.EventsPerSec, replaySpeedupFloor, live.EventsPerSec)})
+	}
+	return violations
 }
 
 // gateWorld applies the gate's checks to one world's best-of result.
@@ -140,7 +186,12 @@ func gateWorld(base map[string]ThroughputResult, best ThroughputResult, o GateOp
 		return []GateViolation{{best.World, "missing from baseline"}}
 	}
 	var violations []GateViolation
-	if !o.SkipWallClock && b.NsPerEvent > 0 {
+	// Replay worlds skip the ns/event baseline comparison: their walks are
+	// tens of microseconds long, so relative wall-clock tolerance is all
+	// noise. Their pinned checks are the alloc ceiling, exact virtual time,
+	// and the live-vs-replay speedup floor (see gateReplay).
+	replayWorld := strings.HasSuffix(best.World, ReplaySuffix)
+	if !o.SkipWallClock && !replayWorld && b.NsPerEvent > 0 {
 		limit := b.NsPerEvent * (1 + o.NsTolerance)
 		if best.NsPerEvent > limit {
 			violations = append(violations, GateViolation{best.World, fmt.Sprintf(

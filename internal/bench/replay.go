@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Schedule memoization for measurement cells. A fault-free cell's event DAG
+// is fixed by its shape — topology, library algorithm band, size class,
+// payload, iteration counts, and transport calibration — so the first live
+// execution records the DAG (simtime.Recording) and later cells with the
+// same shape replay it goroutine-free (simtime.Schedule.Replay), skipping
+// the park/wake handoffs that dominate live ns/event. Replay is verified
+// bit-identical in virtual time by the walk itself, and every ineligible
+// configuration (fault plan, kill plan, op timeouts; tracers and recorders
+// never reach this path) falls back to live mode — see mpi.(*World).Record
+// for the static gate and simtime.Recording for the dynamic taint flag.
+
+// ScheduleMemo is a concurrency-safe table of recorded schedules keyed by
+// measurement shape. One memo is typically process-wide (see EnableReplay);
+// the serve scheduler owns one so repeated what-if queries reuse recorded
+// shapes across requests.
+type ScheduleMemo struct {
+	mu sync.Mutex
+	m  map[string]*simtime.Schedule
+
+	hits, misses, fallbacks atomic.Int64
+	// Event-time counters (see Instrument), mirroring Cache's pattern.
+	mHits, mMisses, mFallbacks atomic.Pointer[obs.Counter]
+}
+
+// NewScheduleMemo returns an empty memo.
+func NewScheduleMemo() *ScheduleMemo {
+	return &ScheduleMemo{m: make(map[string]*simtime.Schedule)}
+}
+
+// MemoStats is a point-in-time snapshot of a memo's accounting.
+type MemoStats struct {
+	Schedules int   // recorded shapes currently held
+	Hits      int64 // measurements served by replay
+	Misses    int64 // eligible measurements that recorded a new shape
+	Fallbacks int64 // ineligible measurements that ran live unrecorded
+}
+
+// Stats returns the memo's current accounting.
+func (m *ScheduleMemo) Stats() MemoStats {
+	m.mu.Lock()
+	n := len(m.m)
+	m.mu.Unlock()
+	return MemoStats{Schedules: n, Hits: m.hits.Load(), Misses: m.misses.Load(),
+		Fallbacks: m.fallbacks.Load()}
+}
+
+// Instrument registers event-time counters for the memo under prefix.hits /
+// prefix.misses / prefix.fallbacks, incremented at the moment each
+// measurement resolves.
+func (m *ScheduleMemo) Instrument(reg *obs.Registry, prefix string) {
+	m.mHits.Store(reg.Counter(prefix + ".hits"))
+	m.mMisses.Store(reg.Counter(prefix + ".misses"))
+	m.mFallbacks.Store(reg.Counter(prefix + ".fallbacks"))
+	reg.Help(prefix+".hits", "measurements served by goroutine-free schedule replay")
+	reg.Help(prefix+".misses", "replay-eligible measurements that recorded a new schedule")
+	reg.Help(prefix+".fallbacks", "measurements ineligible for replay (fault plan, timeouts)")
+}
+
+// replayMemo is the process-wide memo RunConfig consults, nil when replay is
+// disabled (the default).
+var replayMemo atomic.Pointer[ScheduleMemo]
+
+// EnableReplay installs (or, with nil, removes) the process-wide schedule
+// memo. With a memo installed, every RunConfig measurement whose
+// configuration passes the static replay gate records its schedule on first
+// execution and replays it on repeats; ineligible configurations run live
+// exactly as before. Opt-in: the pipmcoll-bench -replay flag and the serve
+// scheduler's replay table are the two callers.
+func EnableReplay(m *ScheduleMemo) { replayMemo.Store(m) }
+
+// ReplayMemo returns the installed process-wide memo, or nil.
+func ReplayMemo() *ScheduleMemo { return replayMemo.Load() }
+
+// shapeKey is the memo key: everything that determines a measurement's
+// event DAG. specKey carries library, op, topology, payload and iteration
+// counts; ShapeClass names the algorithm/size-class band (self-describing
+// in logs); cfgKey fingerprints the transport calibration. Replay is
+// bit-identical, so the key is exact — "reuse across sizes" means repeated
+// cells sharing a shape (across figures, requests, or cache namespaces),
+// never interpolation between shapes.
+func shapeKey(spec Spec, cfg mpi.Config) string {
+	return fmt.Sprintf("%s|%s|%s", specKey(spec),
+		spec.Lib.ShapeClass(string(spec.Op), spec.Bytes, spec.Nodes*spec.PPN), cfgKey(cfg))
+}
+
+// run serves one measurement from the memo: replay on a recorded shape,
+// record on a fresh eligible shape. handled=false means the configuration
+// is statically ineligible and the caller must run live.
+func (m *ScheduleMemo) run(spec Spec, cfg mpi.Config) (Measurement, bool, error) {
+	if cfg.Faults != nil || cfg.OpTimeout > 0 {
+		m.fallbacks.Add(1)
+		bump(&m.mFallbacks)
+		return Measurement{}, false, nil
+	}
+	key := shapeKey(spec, cfg)
+	m.mu.Lock()
+	sched := m.m[key]
+	m.mu.Unlock()
+	if sched != nil {
+		meas, err := replayMeasurement(spec, sched)
+		if err == nil {
+			m.hits.Add(1)
+			bump(&m.mHits)
+			return meas, true, nil
+		}
+		// The walk's verification failed — a stale or corrupted entry.
+		// Drop it and re-record from a fresh live run.
+		m.mu.Lock()
+		if m.m[key] == sched {
+			delete(m.m, key)
+		}
+		m.mu.Unlock()
+	}
+	m.misses.Add(1)
+	bump(&m.mMisses)
+	meas, fresh, err := runConfigLive(spec, cfg, true)
+	if err == nil && fresh != nil {
+		m.mu.Lock()
+		m.m[key] = fresh
+		m.mu.Unlock()
+	}
+	return meas, true, err
+}
+
+// replayMeasurement rebuilds a Measurement from a verified replay walk. The
+// recorded run measured per-iteration boundaries as marks (rank 0's clock at
+// each measured iteration's start and end); replay is bit-identical in
+// virtual time, so the recorded instants are the replayed instants.
+func replayMeasurement(spec Spec, sched *simtime.Schedule) (Measurement, error) {
+	if _, err := sched.Replay(); err != nil {
+		return Measurement{}, err
+	}
+	marks := sched.Marks()
+	if len(marks) != 2*spec.Iters {
+		return Measurement{}, fmt.Errorf("bench: schedule has %d marks, spec needs %d",
+			len(marks), 2*spec.Iters)
+	}
+	durs := make([]simtime.Duration, spec.Iters)
+	us := make([]float64, spec.Iters)
+	for i := range durs {
+		durs[i] = marks[2*i+1].Sub(marks[2*i])
+		us[i] = durs[i].Microseconds()
+	}
+	return Measurement{Spec: spec, PerIter: durs, Summary: stats.Summarize(us)}, nil
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/libs"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+func replaySpec() Spec {
+	return Spec{Lib: libs.PiPMColl(), Op: OpAllgather, Nodes: 2, PPN: 2,
+		Bytes: 1024, Warmup: 1, Iters: 3}
+}
+
+// A memo's first eligible measurement records, the second replays, and both
+// produce the identical Measurement — same per-iteration virtual durations,
+// same summary — because replay is bit-identical in virtual time.
+func TestScheduleMemoRecordThenReplay(t *testing.T) {
+	spec := replaySpec()
+	cfg := spec.Lib.Config()
+
+	plain, err := Run(spec) // no memo: the reference measurement
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := NewScheduleMemo()
+	first, handled, err := memo.run(spec, cfg)
+	if err != nil || !handled {
+		t.Fatalf("first memo run: handled=%v err=%v", handled, err)
+	}
+	second, handled, err := memo.run(spec, cfg)
+	if err != nil || !handled {
+		t.Fatalf("second memo run: handled=%v err=%v", handled, err)
+	}
+
+	st := memo.Stats()
+	if st.Schedules != 1 || st.Misses != 1 || st.Hits != 1 || st.Fallbacks != 0 {
+		t.Fatalf("memo stats = %+v, want 1 schedule, 1 miss, 1 hit, 0 fallbacks", st)
+	}
+	for _, m := range []Measurement{first, second} {
+		if len(m.PerIter) != spec.Iters {
+			t.Fatalf("measurement has %d iterations, want %d", len(m.PerIter), spec.Iters)
+		}
+		for i := range m.PerIter {
+			if m.PerIter[i] != plain.PerIter[i] {
+				t.Errorf("iteration %d: %v != live %v", i, m.PerIter[i], plain.PerIter[i])
+			}
+		}
+		if m.Summary.Mean != plain.Summary.Mean {
+			t.Errorf("summary mean %.6f != live %.6f", m.Summary.Mean, plain.Summary.Mean)
+		}
+	}
+}
+
+// Ineligible configurations — fault plans, op timeouts — are not handled by
+// the memo: the caller runs live, and the memo counts a fallback.
+func TestScheduleMemoFallback(t *testing.T) {
+	spec := replaySpec()
+	memo := NewScheduleMemo()
+
+	faulty := spec.Lib.Config()
+	plan, err := fault.New(fault.Spec{Seed: 7, Noise: []fault.Noise{
+		{Amplitude: simtime.Microsecond, Period: 10 * simtime.Microsecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.Faults = plan
+	if _, handled, err := memo.run(spec, faulty); handled || err != nil {
+		t.Fatalf("fault-plan config: handled=%v err=%v, want unhandled", handled, err)
+	}
+
+	timed := spec.Lib.Config()
+	timed.OpTimeout = simtime.Second
+	if _, handled, err := memo.run(spec, timed); handled || err != nil {
+		t.Fatalf("op-timeout config: handled=%v err=%v, want unhandled", handled, err)
+	}
+
+	st := memo.Stats()
+	if st.Fallbacks != 2 || st.Hits != 0 || st.Misses != 0 || st.Schedules != 0 {
+		t.Fatalf("memo stats = %+v, want 2 fallbacks only", st)
+	}
+
+	// The full path still works: RunConfig with the process memo installed
+	// must serve the ineligible config live and agree with a memo-free run.
+	EnableReplay(memo)
+	t.Cleanup(func() { EnableReplay(nil) })
+	withMemo, err := RunConfig(spec, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnableReplay(nil)
+	without, err := RunConfig(spec, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMemo.Summary.Mean != without.Summary.Mean {
+		t.Errorf("fault-plan run under memo %.6f != live %.6f",
+			withMemo.Summary.Mean, without.Summary.Mean)
+	}
+}
+
+// Distinct shapes must never share an entry: same op and payload on a
+// different topology records its own schedule.
+func TestScheduleMemoShapeIsolation(t *testing.T) {
+	memo := NewScheduleMemo()
+	a := replaySpec()
+	b := a
+	b.Nodes = 4
+
+	ma, handled, err := memo.run(a, a.Lib.Config())
+	if err != nil || !handled {
+		t.Fatalf("shape a: handled=%v err=%v", handled, err)
+	}
+	mb, handled, err := memo.run(b, b.Lib.Config())
+	if err != nil || !handled {
+		t.Fatalf("shape b: handled=%v err=%v", handled, err)
+	}
+	st := memo.Stats()
+	if st.Schedules != 2 || st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("memo stats = %+v, want 2 schedules from 2 misses", st)
+	}
+	if ma.Summary.Mean == mb.Summary.Mean {
+		t.Fatalf("2x2 and 4x2 worlds agree on %.6fus — shapes not isolated?", ma.Summary.Mean)
+	}
+}
+
+// TestFig9CellReplayGolden re-runs the fig-9 golden cells with the
+// process-wide memo installed and every cell executed twice — the first
+// records, the second replays — and requires the byte-exact CSV of the
+// existing golden file. This pins the determinism suite's strongest claim
+// onto the replay engine: memoized cells are indistinguishable from live
+// ones down to the formatted output.
+func TestFig9CellReplayGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure cells are not short-mode material")
+	}
+	memo := NewScheduleMemo()
+	EnableReplay(memo)
+	t.Cleanup(func() { EnableReplay(nil) })
+
+	const bytes = 1024
+	ls := libs.All()
+	table := stats.NewTable("Fig 9 cell: MPI_Scatter 1 kB (16x6, quick)",
+		"size", "us", libNames(ls), []string{"1024B"})
+	for _, l := range ls {
+		spec := Spec{Lib: l, Op: OpScatter, Nodes: 16, PPN: 6,
+			Bytes: bytes, Warmup: 2, Iters: 3}
+		if _, err := Run(spec); err != nil { // records
+			t.Fatal(err)
+		}
+		m, err := Run(spec) // replays
+		if err != nil {
+			t.Fatal(err)
+		}
+		table.Set("1024B", l.Name(), m.MeanMicros())
+	}
+	st := memo.Stats()
+	if st.Hits != int64(len(ls)) || st.Misses != int64(len(ls)) {
+		t.Fatalf("memo stats = %+v, want %d hits and %d misses", st, len(ls), len(ls))
+	}
+
+	got := table.CSV()
+	want, err := os.ReadFile(filepath.Join("testdata", "fig9_cell.golden.csv"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("replayed fig9 cells diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+			got, want)
+	}
+}

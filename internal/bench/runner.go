@@ -77,14 +77,37 @@ func Run(spec Spec) (Measurement, error) {
 // the library's default — the hook for what-if cells that attach fault
 // plans or calibration tweaks to a standard measurement point. Callers
 // must fold the configuration into their cache keys (see cfgKey).
+//
+// With a process-wide schedule memo installed (EnableReplay), eligible
+// configurations are served by record-once/replay-thereafter; ineligible
+// ones (fault plans, op timeouts) fall back to the live path below.
 func RunConfig(spec Spec, cfg mpi.Config) (Measurement, error) {
 	if err := validate(spec); err != nil {
 		return Measurement{}, err
 	}
+	if memo := ReplayMemo(); memo != nil {
+		if meas, handled, err := memo.run(spec, cfg); handled {
+			return meas, err
+		}
+	}
+	meas, _, err := runConfigLive(spec, cfg, false)
+	return meas, err
+}
+
+// runConfigLive executes the measurement in a live world. When record is
+// true and the world's static replay gate admits the configuration, the
+// run's event DAG is recorded and returned as a schedule alongside the
+// measurement (nil when recording was refused or tainted — the measurement
+// itself is unaffected either way, since recording only observes).
+func runConfigLive(spec Spec, cfg mpi.Config, record bool) (Measurement, *simtime.Schedule, error) {
 	cluster := topology.New(spec.Nodes, spec.PPN, topology.Block)
 	world, err := mpi.NewWorld(cluster, cfg)
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
+	}
+	var rec *simtime.Recording
+	if record {
+		rec, _ = world.Record() // statically ineligible: run live unrecorded
 	}
 	size := cluster.Size()
 	durs := make([]simtime.Duration, spec.Iters)
@@ -101,6 +124,12 @@ func RunConfig(spec Spec, cfg mpi.Config) (Measurement, error) {
 			r.HarnessBarrier() // all ranks aligned at the slowest finisher
 			if it >= spec.Warmup && r.Rank() == 0 {
 				durs[it-spec.Warmup] = r.Now().Sub(start)
+				if rec != nil {
+					// Iteration boundaries ride the schedule as marks, so a
+					// replay rebuilds the same per-iteration durations.
+					rec.Mark(start)
+					rec.Mark(r.Now())
+				}
 			}
 			if it == total-1 {
 				if err := verify(spec, r, out, expect); err != nil && verifyErr == nil {
@@ -110,17 +139,21 @@ func RunConfig(spec Spec, cfg mpi.Config) (Measurement, error) {
 		}
 	})
 	if runErr != nil {
-		return Measurement{}, fmt.Errorf("bench: %s/%s %dx%d %dB: %w",
+		return Measurement{}, nil, fmt.Errorf("bench: %s/%s %dx%d %dB: %w",
 			spec.Lib.Name(), spec.Op, spec.Nodes, spec.PPN, spec.Bytes, runErr)
 	}
 	if verifyErr != nil {
-		return Measurement{}, verifyErr
+		return Measurement{}, nil, verifyErr
+	}
+	var sched *simtime.Schedule
+	if rec != nil {
+		sched, _ = rec.Schedule() // tainted recording: measurement stands, no memo entry
 	}
 	us := make([]float64, len(durs))
 	for i, d := range durs {
 		us[i] = d.Microseconds()
 	}
-	return Measurement{Spec: spec, PerIter: durs, Summary: stats.Summarize(us)}, nil
+	return Measurement{Spec: spec, PerIter: durs, Summary: stats.Summarize(us)}, sched, nil
 }
 
 // MustRun is Run for driver code with program-constant specs.

@@ -69,17 +69,24 @@ const (
 	tpRendezvous = 64 << 10
 )
 
-// RunThroughput builds the world, runs the workload with no tracer or
-// recorder attached (the bare configuration the hot path is optimized for),
-// and reports per-event wall and allocation costs. All workload buffers are
-// allocated before the measured region so the numbers reflect the
-// simulator's own per-event work, not benchmark setup.
-func RunThroughput(tw ThroughputWorld) (ThroughputResult, error) {
+// tpSetup is one built-but-unrun throughput world: the world, the rank
+// body, and the output spot-check, shared by the live and replay variants.
+type tpSetup struct {
+	world  *mpi.World
+	size   int
+	body   func(r *mpi.Rank)
+	verify func() error
+}
+
+// buildThroughput constructs a throughput world with every workload buffer
+// allocated up front, so measured regions reflect the simulator's own
+// per-event work, not benchmark setup.
+func buildThroughput(tw ThroughputWorld) (*tpSetup, error) {
 	l := libs.PiPMColl()
 	cluster := topology.New(tw.Nodes, tw.PPN, topology.Block)
 	world, err := mpi.NewWorld(cluster, l.Config())
 	if err != nil {
-		return ThroughputResult{}, err
+		return nil, err
 	}
 	size := cluster.Size()
 
@@ -125,30 +132,98 @@ func RunThroughput(tw ThroughputWorld) (ThroughputResult, error) {
 			l.Allreduce(r, b.bigIn, b.bigOut, nums.Sum)
 		}
 	}
+	verify := func() error {
+		return verifyThroughput(size, bufs[size-1].scatterOut, bufs[0].gatherOut, bufs[0].redOut)
+	}
+	return &tpSetup{world: world, size: size, body: body, verify: verify}, nil
+}
 
+// RunThroughput builds the world, runs the workload with no tracer or
+// recorder attached (the bare configuration the hot path is optimized for),
+// and reports per-event wall and allocation costs.
+func RunThroughput(tw ThroughputWorld) (ThroughputResult, error) {
+	s, err := buildThroughput(tw)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
-	runErr := world.Run(body)
+	runErr := s.world.Run(s.body)
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 	if runErr != nil {
 		return ThroughputResult{}, runErr
 	}
-	if err := verifyThroughput(size, bufs[size-1].scatterOut, bufs[0].gatherOut, bufs[0].redOut); err != nil {
+	if err := s.verify(); err != nil {
+		return ThroughputResult{}, err
+	}
+	return tpResult(tw.Name, s.size, tw.Rounds, s.world.Events(), wall, m0, m1,
+		simtime.Duration(s.world.Horizon())), nil
+}
+
+// ReplaySuffix distinguishes the throughput suite's replay entries:
+// "<world>-replay" measures the goroutine-free walk of the same world's
+// recorded schedule.
+const ReplaySuffix = "-replay"
+
+// RunThroughputReplay records tw's schedule in one live (unmeasured) run,
+// then measures a verified goroutine-free replay of it — the suite's view
+// of schedule memoization's steady state, where every cell after the first
+// is a replay. Events and virtual time are checked bit-identical to the
+// live run by the walk itself.
+func RunThroughputReplay(tw ThroughputWorld) (ThroughputResult, error) {
+	s, err := buildThroughput(tw)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	rec, err := s.world.Record()
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	if err := s.world.Run(s.body); err != nil {
+		return ThroughputResult{}, err
+	}
+	if err := s.verify(); err != nil {
+		return ThroughputResult{}, err
+	}
+	sched, err := rec.Schedule()
+	if err != nil {
 		return ThroughputResult{}, err
 	}
 
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	horizon, replayErr := sched.Replay()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if replayErr != nil {
+		return ThroughputResult{}, replayErr
+	}
+	if horizon != s.world.Horizon() || sched.Events() != s.world.Events() {
+		return ThroughputResult{}, fmt.Errorf(
+			"bench: replay of %s diverged from live run (horizon %v/%v, events %d/%d)",
+			tw.Name, horizon, s.world.Horizon(), sched.Events(), s.world.Events())
+	}
+	return tpResult(tw.Name+ReplaySuffix, s.size, tw.Rounds, sched.Events(), wall, m0, m1,
+		simtime.Duration(horizon)), nil
+}
+
+// tpResult assembles one ThroughputResult from a measured region.
+func tpResult(name string, ranks, rounds int, events int64, wall time.Duration,
+	m0, m1 runtime.MemStats, virtual simtime.Duration) ThroughputResult {
 	res := ThroughputResult{
-		World:      tw.Name,
-		Ranks:      size,
-		Rounds:     tw.Rounds,
-		Events:     world.Events(),
+		World:      name,
+		Ranks:      ranks,
+		Rounds:     rounds,
+		Events:     events,
 		WallNs:     wall.Nanoseconds(),
 		Allocs:     m1.Mallocs - m0.Mallocs,
 		AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
-		VirtualUs:  simtime.Duration(world.Horizon()).Microseconds(),
+		VirtualUs:  virtual.Microseconds(),
 	}
 	if res.Events > 0 {
 		res.NsPerEvent = float64(res.WallNs) / float64(res.Events)
@@ -157,7 +232,7 @@ func RunThroughput(tw ThroughputWorld) (ThroughputResult, error) {
 	if res.WallNs > 0 {
 		res.EventsPerSec = float64(res.Events) / (float64(res.WallNs) / 1e9)
 	}
-	return res, nil
+	return res
 }
 
 // verifyThroughput spot-checks the last round's collective outputs so the

@@ -54,6 +54,61 @@ func TestThroughputVirtualTimePinned(t *testing.T) {
 		if w, ok := want[tw.Name]; ok && res.VirtualUs != w {
 			t.Errorf("%s world virtual time = %.6fus, want %.6fus", tw.Name, res.VirtualUs, w)
 		}
+		// The replay variant walks the recorded schedule of the same world,
+		// so it pins to the identical virtual time — any drift means the
+		// replay is not bit-identical to the live engine.
+		rres, err := RunThroughputReplay(tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := want[tw.Name]; ok && rres.VirtualUs != w {
+			t.Errorf("%s replay virtual time = %.6fus, want %.6fus", tw.Name, rres.VirtualUs, w)
+		}
+		if rres.Events != res.Events {
+			t.Errorf("%s replay dispatched %d events, live %d", tw.Name, rres.Events, res.Events)
+		}
+	}
+}
+
+// TestThroughputReplaySpeedup enforces the tentpole acceptance bar on real
+// wall clocks: the goroutine-free walk must beat the live engine by at
+// least replaySpeedupFloor on the medium and large worlds (measured margins
+// are 35-55x, so a failure here means replay fell off a cliff, not noise).
+func TestThroughputReplaySpeedup(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation distorts wall-clock ratios")
+	}
+	if testing.Short() {
+		t.Skip("wall-clock benchmark is not short-mode material")
+	}
+	for _, tw := range ThroughputWorlds() {
+		if tw.Name == "small" {
+			continue // scheduler-dominated tiny walk; ratio is noisy
+		}
+		var live, replay ThroughputResult
+		for rep := 0; rep < 3; rep++ {
+			l, err := RunThroughput(tw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := RunThroughputReplay(tw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 || l.EventsPerSec > live.EventsPerSec {
+				live = l
+			}
+			if rep == 0 || r.EventsPerSec > replay.EventsPerSec {
+				replay = r
+			}
+		}
+		ratio := replay.EventsPerSec / live.EventsPerSec
+		t.Logf("%s: live %.0f events/s, replay %.0f events/s (%.1fx)",
+			tw.Name, live.EventsPerSec, replay.EventsPerSec, ratio)
+		if ratio < replaySpeedupFloor {
+			t.Errorf("%s replay speedup %.1fx is under the %.0fx floor",
+				tw.Name, ratio, replaySpeedupFloor)
+		}
 	}
 }
 

@@ -229,6 +229,25 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("status %d", e.status)
 }
 
+// parseRetryAfter decodes a Retry-After header value per RFC 9110 §10.2.3:
+// either a non-negative integer of seconds or an HTTP-date. Negative
+// seconds, dates in the past, and unparseable values yield 0 — "retry
+// whenever", never a negative floor that would corrupt the backoff window.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if sec, err := strconv.Atoi(h); err == nil {
+		if sec <= 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // retryAfterHint extracts the server's backoff hint from the last failed
 // attempt, if it carried one.
 func retryAfterHint(status int, err error) time.Duration {
@@ -269,9 +288,7 @@ func (c *Client) post(ctx context.Context, body []byte, timeoutHdr string) (*que
 			se.msg = e.Error
 		}
 		if h := resp.Header.Get("Retry-After"); h != "" {
-			if sec, err := strconv.Atoi(h); err == nil && sec > 0 {
-				se.retryAfter = time.Duration(sec) * time.Second
-			}
+			se.retryAfter = parseRetryAfter(h, time.Now())
 		}
 		return nil, resp.StatusCode, se
 	}

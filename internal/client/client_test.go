@@ -217,3 +217,54 @@ func TestClientIDHeader(t *testing.T) {
 		t.Fatalf("X-Client = %q", got.Load())
 	}
 }
+
+// TestParseRetryAfter covers both RFC 9110 forms of the header — integer
+// seconds and HTTP-date — and the clamping of everything unusable
+// (negative seconds, past dates, garbage) to zero.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"integer seconds", "7", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http-date in the future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http-date in the past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"http-date rfc850 form", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"garbage", "soon", 0},
+		{"fractional seconds not in the grammar", "1.5", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.h, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.h, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateHeader: a server sending the HTTP-date form raises
+// the backoff floor end to end, same as the integer form.
+func TestRetryAfterHTTPDateHeader(t *testing.T) {
+	// HTTP-dates carry whole-second resolution, so the floor only shows up
+	// with a date comfortably in the next second.
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	ts, calls := scriptServer(t, []int{http.StatusServiceUnavailable, 0}, date)
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 3, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	_, out, err := c.Query(context.Background(), testReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 || out.Retried != 1 {
+		t.Fatalf("calls=%d retried=%d, want 2/1", calls.Load(), out.Retried)
+	}
+	// Date formatting truncated up to a second; the retry must still have
+	// waited most of the remainder (generous lower bound sheds timer slop).
+	if waited := time.Since(start); waited < 900*time.Millisecond {
+		t.Fatalf("retried after %v; the HTTP-date floor was ignored", waited)
+	}
+}

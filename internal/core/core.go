@@ -83,6 +83,38 @@ func (t Tunables) withDefaults() Tunables {
 	return t
 }
 
+// SizeClass names the algorithm band a payload falls in under these switch
+// points — the PiP-MColl component of a schedule shape key (see
+// bench.ScheduleMemo). Two measurement points with equal SizeClass run the
+// same algorithm; the name is descriptive, not parsed.
+func (t Tunables) SizeClass(op string, bytes int) string {
+	d := t.withDefaults()
+	switch op {
+	case "allgather":
+		if bytes >= d.AllgatherLargeMin {
+			return "mo-ring"
+		}
+		return "mo-bruck"
+	case "allreduce":
+		if bytes >= d.AllreduceLargeMin {
+			return "mo-rsag"
+		}
+		return "mo-recbruck"
+	case "alltoall":
+		if bytes <= d.AlltoallAggMax {
+			return "mo-agg"
+		}
+		return "mo-pairwise"
+	default:
+		// Scatter/bcast/gather/reduce use one two-level form whose intranode
+		// phase switches at IntraLargeMin.
+		if bytes >= d.IntraLargeMin {
+			return "mo-2level-large"
+		}
+		return "mo-2level-small"
+	}
+}
+
 // requireBlock panics unless the cluster uses the Block layout, which the
 // paper's rank arithmetic assumes.
 func requireBlock(r *mpi.Rank, opName string) {

@@ -38,6 +38,11 @@ type Library struct {
 	name string
 	cfg  mpi.Config
 
+	// algo names the algorithm band the profile's selection table picks for
+	// (op, per-process bytes, total ranks) — the library component of a
+	// schedule shape key (see ShapeClass).
+	algo func(op string, bytes, ranks int) string
+
 	scatter   func(r *mpi.Rank, root int, send, recv []byte)
 	allgather func(r *mpi.Rank, send, recv []byte)
 	allreduce func(r *mpi.Rank, send, recv []byte, op nums.Op)
@@ -52,6 +57,25 @@ func (l *Library) Name() string { return l.name }
 
 // Config returns the transport configuration the profile's world must use.
 func (l *Library) Config() mpi.Config { return l.cfg }
+
+// ShapeClass fingerprints the algorithm and size-class a measurement point
+// selects under this profile: the algorithm band from the profile's
+// selection table plus which side of the intranode eager/rendezvous switch
+// the payload falls on. It names the (topology, algorithm, size-class) shape
+// axis of schedule memoization — two points with different ShapeClass never
+// share a recorded schedule, and the string makes a memo key self-describing
+// in logs.
+func (l *Library) ShapeClass(op string, bytes, ranks int) string {
+	band := "default"
+	if l.algo != nil {
+		band = l.algo(op, bytes, ranks)
+	}
+	path := "eager"
+	if bytes > l.cfg.IntranodeEager {
+		path = "rendezvous"
+	}
+	return band + "/" + path
+}
 
 // span opens a collective-level display span, the root of the span
 // hierarchy (collective → phase → per-rank op) in trace exports. The
@@ -156,6 +180,22 @@ func baseConfig(mech shm.Mechanism) mpi.Config {
 // flatAlgorithms is the stock-MPICH selection table used by the PiP-MPICH
 // and Open MPI profiles.
 func flatAlgorithms(l *Library) {
+	l.algo = func(op string, bytes, ranks int) string {
+		switch op {
+		case "allgather":
+			if bytes*ranks >= flatRingThreshold {
+				return "flat-ring"
+			}
+			return "flat-bruck"
+		case "allreduce":
+			if bytes >= rabenThreshold {
+				return "flat-raben"
+			}
+			return "flat-recdbl"
+		default:
+			return "flat-binomial"
+		}
+	}
 	l.scatter = func(r *mpi.Rank, root int, send, recv []byte) {
 		coll.Scatter(coll.World(r), root, send, recv)
 	}
@@ -194,6 +234,22 @@ func flatAlgorithms(l *Library) {
 // hierAlgorithms is the leader-based selection table used by the MVAPICH2
 // and Intel MPI profiles.
 func hierAlgorithms(l *Library) {
+	l.algo = func(op string, bytes, ranks int) string {
+		switch op {
+		case "allgather":
+			if bytes*ranks >= hierRingThreshold {
+				return "hier-ring"
+			}
+			return "hier-gather-bcast"
+		case "allreduce":
+			if bytes >= hierARThreshold {
+				return "hier-raben"
+			}
+			return "hier-leader"
+		default:
+			return "hier-leader"
+		}
+	}
 	l.scatter = func(r *mpi.Rank, root int, send, recv []byte) {
 		coll.ScatterHier(coll.World(r), root, send, recv)
 	}
@@ -227,6 +283,9 @@ func PiPMColl() *Library {
 
 // wireCore connects a PiP-MColl context's collectives to a profile.
 func wireCore(l *Library, cl core.Coll) {
+	l.algo = func(op string, bytes, ranks int) string {
+		return cl.Tun.SizeClass(op, bytes)
+	}
 	l.scatter = cl.Scatter
 	l.allgather = cl.Allgather
 	l.allreduce = cl.Allreduce

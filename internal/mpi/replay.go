@@ -1,0 +1,47 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Record attaches a schedule recording (see simtime.Recording) to the
+// world's engine, for goroutine-free replay of the run's event DAG. It must
+// be called before Run.
+//
+// Record is the static half of the replay eligibility gate: it refuses any
+// configuration whose execution may depend on data, failures, or wall-clock
+// observation rather than on the (topology, algorithm, size-class) shape
+// alone — a fault plan (Plan.HasKills-style inspection is subsumed by
+// refusing every plan: noise and link faults perturb timing just as kills
+// do), operation timeouts (deadline-bounded waits race their wakeups), and
+// attached tracers or recorders (observer callbacks are not part of the
+// DAG, and replay runs no rank code to feed them). The dynamic half is the
+// recording-time taint flag: hazards only visible during execution
+// (cancellable timers, failure delivery, quiescence activity) void the
+// recording even if the static gate passed.
+func (w *World) Record() (*simtime.Recording, error) {
+	if reason := w.replayIneligible(); reason != "" {
+		return nil, fmt.Errorf("mpi: record refused: %s", reason)
+	}
+	return w.engine.Record()
+}
+
+// replayIneligible returns the static reason this world's runs cannot be
+// recorded for replay, or "" when recording is allowed.
+func (w *World) replayIneligible() string {
+	switch {
+	case w.hasKills:
+		return "fault plan has kills"
+	case w.cfg.Faults != nil:
+		return "fault plan attached"
+	case w.cfg.OpTimeout > 0:
+		return "operation timeouts enabled"
+	case w.tracer != nil:
+		return "tracer attached"
+	case w.rec != nil:
+		return "recorder attached"
+	}
+	return ""
+}

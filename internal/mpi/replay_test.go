@@ -1,0 +1,78 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// The static replay gate: worlds whose execution may depend on faults,
+// timeouts, or observation must refuse to record, so the bench layer falls
+// back to live mode instead of replaying an unsound schedule.
+func TestRecordStaticGates(t *testing.T) {
+	cluster := topology.New(2, 2, topology.Block)
+	cases := []struct {
+		name string
+		prep func() (*World, error)
+		want string // substring of the refusal, "" = must succeed
+	}{
+		{"clean", func() (*World, error) {
+			return NewWorld(cluster, DefaultConfig())
+		}, ""},
+		{"fault plan", func() (*World, error) {
+			cfg := DefaultConfig()
+			plan, err := fault.New(fault.Spec{Seed: 1, Noise: []fault.Noise{
+				{Amplitude: simtime.Microsecond, Period: 10 * simtime.Microsecond}}})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Faults = plan
+			return NewWorld(cluster, cfg)
+		}, "fault plan"},
+		{"kill plan", func() (*World, error) {
+			cfg := DefaultConfig()
+			plan, err := fault.New(fault.Spec{KillRanks: []fault.KillRank{
+				{Rank: 1, At: 5 * simtime.Time(simtime.Microsecond)}}})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Faults = plan
+			return NewWorld(cluster, cfg)
+		}, "kills"},
+		{"op timeout", func() (*World, error) {
+			cfg := DefaultConfig()
+			cfg.OpTimeout = simtime.Second
+			return NewWorld(cluster, cfg)
+		}, "timeouts"},
+		{"tracer", func() (*World, error) {
+			w, err := NewWorld(cluster, DefaultConfig())
+			if err == nil {
+				w.SetTracer(trace.NewLog(1024))
+			}
+			return w, err
+		}, "tracer"},
+	}
+	for _, tc := range cases {
+		w, err := tc.prep()
+		if err != nil {
+			t.Fatalf("%s: building world: %v", tc.name, err)
+		}
+		rec, err := w.Record()
+		if tc.want == "" {
+			if err != nil || rec == nil {
+				t.Fatalf("%s: Record() = %v, want success", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s: Record() succeeded, want refusal mentioning %q", tc.name, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: refusal %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -136,7 +137,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return s.Min
 	}
 	if q >= 1 {
-		return s.Max
+		return finiteMax(s)
 	}
 	rank := q * float64(s.Count)
 	var prevCum int64
@@ -153,14 +154,29 @@ func (h *Histogram) Quantile(q float64) float64 {
 				}
 				v = lo + (bound-lo)*(rank-float64(prevCum))/float64(in)
 			}
-			return clamp(v, s.Min, s.Max)
+			return clamp(v, s.Min, finiteMax(s))
 		}
 		prevCum = cum
 		lower = bound
 	}
 	// Target rank falls in the overflow bucket: the best bounded estimate
 	// is the observed maximum.
-	return s.Max
+	return finiteMax(s)
+}
+
+// finiteMax is the bounded upper estimate for quantiles: the observed
+// maximum when it is finite, else the top bucket bound — an Observe(+Inf)
+// or NaN lands in the overflow bucket and poisons the max aggregate, and a
+// quantile must degrade to a finite bound rather than propagate Inf into
+// dashboards and alerts.
+func finiteMax(s HistSnapshot) float64 {
+	if !math.IsInf(s.Max, 0) && !math.IsNaN(s.Max) {
+		return s.Max
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
 }
 
 func clamp(v, lo, hi float64) float64 {

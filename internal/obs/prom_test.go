@@ -113,3 +113,36 @@ func TestHistogramSnapshotCumulative(t *testing.T) {
 		t.Errorf("snapshot aggregates = %+v", s)
 	}
 }
+
+// TestHistogramQuantileOverflowClamped pins the overflow behaviour: with
+// every sample above the top bucket bound, any quantile is the observed
+// max, and a non-finite observation (a duration computed from a zero
+// stamp, say) degrades quantiles to the top bound instead of +Inf.
+func TestHistogramQuantileOverflowClamped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ovf", []float64{1, 10, 100})
+	for _, v := range []float64{250, 300, 1e6} {
+		h.Observe(v)
+	}
+	max := h.Snapshot().Max
+	for _, q := range []float64{0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != max {
+			t.Errorf("q%g = %g, want observed max %g", q, got, max)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("q%g = %g, want finite", q, got)
+		}
+	}
+
+	h.Observe(math.Inf(1)) // poisons the max aggregate
+	for _, q := range []float64{0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("after Inf observation: q%g = %g, want finite", q, got)
+		}
+		if got != 100 {
+			t.Errorf("after Inf observation: q%g = %g, want top bound 100", q, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -29,9 +30,17 @@ type LoadOpts struct {
 	// RetryBudget bounds one request's whole retry loop including backoff
 	// sleeps (0 = 30s).
 	RetryBudget time.Duration
-	// Seed fixes the retry jitter for reproducible smoke runs (0 = clock).
+	// Seed fixes the retry jitter for reproducible smoke runs. 0 normally
+	// falls back to the clock — except under the CI smoke harnesses
+	// (PIPMCOLL_SMOKE / PIPMCOLL_CHAOS set), where it defaults to
+	// smokeDefaultSeed so `make serve-chaos` goodput runs are
+	// deterministic without every call site remembering to pass one.
 	Seed int64
 }
+
+// smokeDefaultSeed is the fixed jitter seed smoke runs fall back to when
+// no explicit -seed is given.
+const smokeDefaultSeed = 0x51D
 
 // StagePercentiles summarizes one lifecycle stage across a run, from the
 // per-request breakdowns the server returns.
@@ -53,6 +62,10 @@ type LoadResult struct {
 	P50, P95, P99 time.Duration // latency percentiles over successful requests (incl. retry backoff)
 	Max           time.Duration
 	CacheHits     int // cache_hits summed over successful responses
+	// Seed is the effective jitter seed the run used (0 = clock-seeded,
+	// nondeterministic) — reported so a smoke log always names the seed a
+	// failure can be reproduced with.
+	Seed int64
 	// AttemptHist maps attempts-needed -> request count (1 = first try).
 	AttemptHist map[int]int
 	// Stages are server-side per-stage percentiles in canonical lifecycle
@@ -71,6 +84,11 @@ func (r LoadResult) Format() string {
 		r.Requests, r.GaveUp, r.Rejected, r.Errors,
 		r.RetriedOK, r.Retries,
 		r.Elapsed.Seconds(), r.QPS, r.P50, r.P95, r.P99, r.Max, r.CacheHits)
+	if r.Seed != 0 {
+		s += fmt.Sprintf("seed       %d (fixed jitter)\n", r.Seed)
+	} else {
+		s += "seed       clock (nondeterministic; pass -seed to reproduce)\n"
+	}
 	if len(r.AttemptHist) > 0 {
 		var keys []int
 		for k := range r.AttemptHist {
@@ -119,11 +137,17 @@ func LoadTest(baseURL string, o LoadOpts) (LoadResult, error) {
 	if _, err := o.Request.Canonical(); err != nil {
 		return LoadResult{}, err
 	}
+	if o.Seed == 0 && (os.Getenv("PIPMCOLL_SMOKE") != "" || os.Getenv("PIPMCOLL_CHAOS") != "") {
+		// Smoke harnesses must be reproducible: a clock-seeded jitter run
+		// that flakes in CI cannot be re-run. The env vars already gate the
+		// wall-clock-sensitive smokes, so they double as the signal here.
+		o.Seed = smokeDefaultSeed
+	}
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		stageUS   = map[string][]float64{}
-		res       = LoadResult{AttemptHist: map[int]int{}}
+		res       = LoadResult{AttemptHist: map[int]int{}, Seed: o.Seed}
 		wg        sync.WaitGroup
 	)
 	start := time.Now()

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/query"
+)
+
+// TestDeadline504StageSumClamped: a request that joins another client's
+// in-flight cell and then hits its own deadline attributes the wait to
+// singleflight_wait — and the clamped accounting keeps the stage sum at or
+// under the request's wall total, the invariant /debug/requests readers
+// rely on.
+func TestDeadline504StageSumClamped(t *testing.T) {
+	_, ts, _ := newResilServer(t, Config{Workers: 1})
+	g := resetGate(nil)
+
+	holderCode := make(chan int, 1)
+	go func() {
+		code, _, _ := postRaw(ts.URL, "holder", gateReq(61))
+		holderCode <- code
+	}()
+	waitFor(t, "cell to start", func() bool { return len(g.orderSnapshot()) == 1 })
+
+	req := gateReq(61) // identical cell: joins the holder's flight
+	req.TimeoutMS = 80
+	code, body := postTimed(t, ts.URL, "joiner", req, "")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("joiner: status %d, want 504 (body %s)", code, body)
+	}
+	var dl deadlineBody
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatalf("504 body not structured: %v (%s)", err, body)
+	}
+	var sumUS, flightUS float64
+	for _, st := range dl.Stages {
+		sumUS += st.US
+		if st.Name == StageFlightWait {
+			flightUS = st.US
+		}
+	}
+	if flightUS <= 0 {
+		t.Errorf("504 stages %+v attribute no singleflight_wait", dl.Stages)
+	}
+	if elapsedUS := dl.ElapsedMS * 1e3; sumUS > elapsedUS {
+		t.Errorf("stage sum %.0fus exceeds wall total %.0fus", sumUS, elapsedUS)
+	}
+
+	// The flight-recorder record holds the same invariant.
+	rec := lastOutcome(t, ts.URL, OutcomeDeadline)
+	if rec == nil {
+		t.Fatal("no deadline_exceeded outcome in /debug/requests")
+	}
+	var recSum float64
+	for _, st := range rec.Stages {
+		recSum += st.US
+	}
+	if recSum > rec.TotalUS {
+		t.Errorf("recorded stage sum %.0fus exceeds total %.0fus", recSum, rec.TotalUS)
+	}
+
+	// The holder was unaffected by the joiner's deadline.
+	g.release <- struct{}{}
+	if code := <-holderCode; code != http.StatusOK {
+		t.Fatalf("holder: status %d, want 200", code)
+	}
+}
+
+// TestServerReplayMemo: Config.Replay installs the schedule memo on the
+// serving path — a real (non-synthetic) cell query records its schedule,
+// and the memo's counters surface under serve.replay.*.
+func TestServerReplayMemo(t *testing.T) {
+	memo := bench.NewScheduleMemo()
+	t.Cleanup(func() { bench.EnableReplay(nil) })
+	_, ts, reg := newResilServer(t, Config{Workers: 2, Replay: memo})
+
+	req := query.Request{Cell: &query.Cell{Library: "PiP-MColl", Collective: "allgather",
+		Nodes: 2, PPN: 2, Bytes: 1024}, Opts: query.Opts{Warmup: 1, Iters: 2}}
+	if _, code, _ := postQuery(t, ts.URL, "replayer", req); code != http.StatusOK {
+		t.Fatalf("cell query: status %d", code)
+	}
+	st := memo.Stats()
+	if st.Misses != 1 || st.Schedules != 1 {
+		t.Fatalf("memo stats after first cell = %+v, want 1 miss recording 1 schedule", st)
+	}
+	if v := reg.Counter("serve.replay.misses").Value(); v != 1 {
+		t.Fatalf("serve.replay.misses = %d, want 1", v)
+	}
+
+	// Same shape under different measurement opts: the result cache misses
+	// (opts are in the content address) but the collective's schedule shape
+	// differs too (iteration counts are part of the DAG), so this records a
+	// second schedule rather than replaying — both paths must keep working
+	// through the server.
+	req.Opts.Iters = 3
+	if _, code, _ := postQuery(t, ts.URL, "replayer", req); code != http.StatusOK {
+		t.Fatalf("second cell query: status %d", code)
+	}
+	st = memo.Stats()
+	if st.Misses != 2 || st.Schedules != 2 || st.Hits != 0 {
+		t.Fatalf("memo stats after second cell = %+v, want 2 misses, 2 schedules", st)
+	}
+}

@@ -328,7 +328,7 @@ func TestDeadlineHeaderOverridesBody(t *testing.T) {
 	g := resetGate(nil)
 
 	req := gateReq(51)
-	req.TimeoutMS = 60000 // generous body deadline...
+	req.TimeoutMS = 60000                                // generous body deadline...
 	code, body := postTimed(t, ts.URL, "hdr", req, "80") // ...tight header deadline
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("header deadline: status %d (body %s)", code, body)
@@ -549,5 +549,50 @@ func TestSchedulerDrainLifecycle(t *testing.T) {
 	defer cancel()
 	if err := sched.WaitIdle(ctx); err != nil {
 		t.Fatalf("WaitIdle on idle scheduler: %v", err)
+	}
+}
+
+// TestLoadtestSmokeSeedDerivation: with no explicit seed, the smoke
+// harness env vars (PIPMCOLL_SMOKE / PIPMCOLL_CHAOS) derive the fixed
+// default so CI goodput runs are reproducible; outside them, the clock
+// fallback is reported as such; an explicit seed always wins. The goodput
+// report names the effective seed either way.
+func TestLoadtestSmokeSeedDerivation(t *testing.T) {
+	_, ts, _ := newResilServer(t, Config{Workers: 1})
+	resetGate(map[int]bool{})
+	req := gateReq(95)
+
+	t.Setenv("PIPMCOLL_SMOKE", "")
+	t.Setenv("PIPMCOLL_CHAOS", "1")
+	res, err := LoadTest(ts.URL, LoadOpts{Clients: 1, PerClient: 1, Request: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != smokeDefaultSeed {
+		t.Fatalf("seed under PIPMCOLL_CHAOS = %d, want the fixed default %d", res.Seed, smokeDefaultSeed)
+	}
+	if want := fmt.Sprintf("seed       %d (fixed jitter)", smokeDefaultSeed); !strings.Contains(res.Format(), want) {
+		t.Fatalf("Format() missing %q:\n%s", want, res.Format())
+	}
+
+	t.Setenv("PIPMCOLL_CHAOS", "")
+	res, err = LoadTest(ts.URL, LoadOpts{Clients: 1, PerClient: 1, Request: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 0 {
+		t.Fatalf("seed outside the smoke harnesses = %d, want clock fallback 0", res.Seed)
+	}
+	if !strings.Contains(res.Format(), "clock") {
+		t.Fatalf("Format() does not flag the clock fallback:\n%s", res.Format())
+	}
+
+	t.Setenv("PIPMCOLL_CHAOS", "1")
+	res, err = LoadTest(ts.URL, LoadOpts{Clients: 1, PerClient: 1, Request: req, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 9 {
+		t.Fatalf("explicit seed overridden: got %d, want 9", res.Seed)
 	}
 }

@@ -69,6 +69,13 @@ type SchedulerConfig struct {
 	// every cell execution (slow cells, failing cells, torn cache
 	// writes). Production configs leave it nil.
 	Chaos ChaosFunc
+	// Replay, when non-nil, installs the schedule memo as the process-wide
+	// replay table (bench.EnableReplay): the first execution of each
+	// fault-free cell shape records its event DAG, and repeated shapes —
+	// across requests and clients — replay goroutine-free. Ineligible cells
+	// (fault plans, op timeouts) run live as always. Instrumented under
+	// serve.replay.* when Metrics is set.
+	Replay *bench.ScheduleMemo
 }
 
 // flight is one in-flight cell computation, shared by every job that needs
@@ -140,6 +147,12 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Replay != nil {
+		if cfg.Metrics != nil {
+			cfg.Replay.Instrument(cfg.Metrics, "serve.replay")
+		}
+		bench.EnableReplay(cfg.Replay)
 	}
 	s := &Scheduler{
 		cfg:      cfg,
@@ -440,6 +453,17 @@ func (s *Scheduler) RunJob(ctx context.Context, client string, j *query.Job, tr 
 				cellMu.Unlock()
 			case <-ctx.Done():
 				errs[i] = ctx.Err()
+				// The request expired mid-wait. fl.done never closed, so the
+				// worker-side stamps (startedAt/finishedAt) are unsynchronized
+				// and must not be read; attribute the whole wait to the stage
+				// the cell was in from this request's point of view. Clamped:
+				// several cells waiting in parallel cover the same wall time,
+				// and the 504's stage sum must not exceed its wall total.
+				if _, ok := joinedAt[i]; ok {
+					tr.AddClamped(StageFlightWait, time.Since(admitted))
+				} else {
+					tr.AddClamped(StageQueueWait, time.Since(admitted))
+				}
 			case <-s.stop:
 				errs[i] = ErrStopped
 			}

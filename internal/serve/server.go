@@ -51,6 +51,10 @@ type Config struct {
 	// Chaos is the test-only per-cell fault hook (slow cells, failing
 	// cells, torn cache writes); nil in production.
 	Chaos ChaosFunc
+	// Replay, when non-nil, enables schedule memoization for fault-free
+	// cells: record each shape's event DAG once, replay repeats
+	// goroutine-free (the pipmcoll-serve -replay flag).
+	Replay *bench.ScheduleMemo
 }
 
 // Server is the simulation-as-a-service front end. Routes:
@@ -105,6 +109,7 @@ func New(cfg Config) *Server {
 			Logger:       cfg.Logger,
 			CellBudget:   cfg.CellBudget,
 			Chaos:        cfg.Chaos,
+			Replay:       cfg.Replay,
 		}),
 		cache:   cfg.Cache,
 		metrics: cfg.Metrics,

@@ -99,6 +99,30 @@ func (t *Trace) Add(stage string, d time.Duration) {
 	t.mu.Unlock()
 }
 
+// AddClamped accumulates d into the named stage, capped at the trace's
+// remaining unattributed wall time (Total minus the current stage sum).
+// Use it on paths where concurrent waiters account overlapping wall time —
+// a deadline firing while several cells sit in singleflight or queue waits
+// would otherwise attribute the same seconds once per cell and report a
+// stage sum exceeding the request's wall total in /debug/requests.
+func (t *Trace) AddClamped(stage string, d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, v := range t.stages {
+		sum += v
+	}
+	if rem := time.Since(t.Start) - sum; d > rem {
+		d = rem
+	}
+	if d > 0 {
+		t.stages[stage] += d
+	}
+}
+
 // Time starts a span for the named stage; the returned stop function
 // accumulates the elapsed time. Usage: defer tr.Time(StageDecode)().
 func (t *Trace) Time(stage string) func() {

@@ -30,6 +30,10 @@ type Engine struct {
 	// layer may fail parked processes (posting them wakeups) and return true
 	// to keep the run going. See SetQuiesceHandler.
 	quiesce func(at Time) bool
+	// rec, when set, captures the run's event DAG for later goroutine-free
+	// replay (see replay.go). Recording never alters scheduling: the hooks
+	// only append to the recording's buffers.
+	rec *Recording
 }
 
 // Dispatches returns the number of events the engine has dispatched so far —
@@ -340,6 +344,9 @@ func (e *Engine) postEvent(p *Proc, t Time, cancel *bool) {
 	p.state = stScheduled
 	e.seq++
 	e.events.push(event{t: t, seq: e.seq, p: p, cancel: cancel})
+	if e.rec != nil {
+		e.rec.post(t, cancel != nil)
+	}
 }
 
 // postFrom is post with attribution: waker is the process whose action made
@@ -395,6 +402,10 @@ func (e *Engine) Fail(p *Proc, cause any, at Time) {
 		p.waitList = nil
 	}
 	p.failCause = cause
+	if e.rec != nil {
+		// Failure delivery is not part of the static DAG.
+		e.rec.Taint("Engine.Fail delivered a failure")
+	}
 	e.post(p, at)
 }
 
@@ -491,8 +502,13 @@ func (e *Engine) Run() error {
 			// Quiescence with parked processes: give the failure detector a
 			// chance to fail waits a peer's death made unsatisfiable before
 			// declaring the run wedged.
-			if e.quiesce != nil && e.quiesce(e.horizon) && len(e.events) > 0 {
-				continue
+			if e.quiesce != nil {
+				if e.rec != nil {
+					e.rec.Taint("quiescence handler consulted")
+				}
+				if e.quiesce(e.horizon) && len(e.events) > 0 {
+					continue
+				}
 			}
 			err := e.deadlock()
 			e.teardown()
@@ -504,6 +520,9 @@ func (e *Engine) Run() error {
 		}
 		p := ev.p
 		e.dispatched++
+		if e.rec != nil {
+			e.rec.dispatch(ev.t)
+		}
 		if ev.t > e.horizon {
 			e.horizon = ev.t
 		}

@@ -1,0 +1,237 @@
+package simtime
+
+import "fmt"
+
+// Schedule memoization: a fault-free simulation's event DAG is fixed by its
+// inputs — every wakeup either exists before the first dispatch (a spawn) or
+// is posted while exactly one process runs, at a time offset determined by
+// the calibrated cost models. Recording captures that DAG during one live
+// Run; Schedule replays it as a goroutine-free walk over the same typed
+// 4-ary event heap, re-charging each recorded cost term without parking or
+// waking a single goroutine. Replay is verified bit-identical in virtual
+// time: every popped event is checked against the recorded dispatch stream,
+// so a divergence (a schedule replayed against the wrong shape, or a model
+// change since recording) fails loudly instead of fabricating timings.
+//
+// The soundness argument is the engine's one-pending-wakeup-per-process
+// invariant (see Engine.post): events carry no identity beyond (t, seq), seq
+// is assigned in posting order, and the heap pops a total order over
+// (t, seq) — so pushing the recorded seeds in recorded order and, after the
+// k-th pop, the k-th dispatch's recorded edges in recorded order reproduces
+// the live run's pop sequence exactly, by induction on dispatch count.
+//
+// Anything that breaks the DAG's determinism taints the recording instead of
+// silently mis-replaying: cancellable timers (deadline-bounded waits may
+// race their wakeup), Engine.Fail, and quiescence-handler activity (both are
+// fault-model machinery). Layers above add their own static gates — see
+// mpi.(*World).Record.
+
+// Recording accumulates a live run's event DAG. Attach one with
+// Engine.Record before Run, then call Schedule after a successful Run.
+type Recording struct {
+	e       *Engine
+	started bool   // first dispatch seen; earlier posts are seeds
+	taint   string // first taint reason; non-empty voids the recording
+	curT    Time   // event time of the dispatch currently executing
+
+	seeds     []Time     // pre-run spawn events, in posting (seq) order
+	dispatchT []Time     // event time of every dispatch, in pop order
+	edgeStart []int32    // per-dispatch offsets into edgeDelta
+	edgeDelta []Duration // post time minus dispatch time, in posting order
+	marks     []Time     // caller-recorded instants (see Mark)
+	maxQueue  int        // peak heap occupancy, to presize replay heaps
+}
+
+// Record attaches a fresh Recording to the engine. It must be called before
+// Run, and refuses engines with a quiescence handler installed: quiescence
+// handlers exist to inject failures, whose timing is not part of the static
+// DAG.
+func (e *Engine) Record() (*Recording, error) {
+	if e.running || e.dispatched > 0 {
+		return nil, fmt.Errorf("simtime: Record after Run started")
+	}
+	if e.quiesce != nil {
+		return nil, fmt.Errorf("simtime: Record on an engine with a quiescence handler")
+	}
+	r := &Recording{e: e}
+	e.rec = r
+	return r, nil
+}
+
+// post records one wakeup. timer marks cancellable timer events, which may
+// be withdrawn by a racing wakeup and therefore void the recording.
+func (r *Recording) post(t Time, timer bool) {
+	if timer {
+		r.Taint("cancellable timer posted (deadline-bounded wait)")
+	}
+	if r.taint != "" {
+		return
+	}
+	if n := len(r.e.events); n > r.maxQueue {
+		r.maxQueue = n
+	}
+	if !r.started {
+		r.seeds = append(r.seeds, t)
+		return
+	}
+	r.edgeDelta = append(r.edgeDelta, t.Sub(r.curT))
+}
+
+// dispatch records the engine popping one event; posts until the next
+// dispatch are its edges.
+func (r *Recording) dispatch(t Time) {
+	if r.taint != "" {
+		return
+	}
+	r.started = true
+	r.curT = t
+	r.dispatchT = append(r.dispatchT, t)
+	r.edgeStart = append(r.edgeStart, int32(len(r.edgeDelta)))
+}
+
+// Mark appends a caller-chosen virtual instant to the recording — the hook
+// measurement harnesses use to carry per-iteration boundaries into the
+// schedule. Because replay is bit-identical in virtual time, the recorded
+// instants are the replayed instants; no recovery pass is needed.
+func (r *Recording) Mark(t Time) {
+	if r.taint == "" {
+		r.marks = append(r.marks, t)
+	}
+}
+
+// Taint voids the recording with a reason (the first one sticks). The
+// engine calls it for dynamic determinism hazards; layers above may call it
+// for their own (e.g. a data-dependent branch they cannot prove fixed).
+func (r *Recording) Taint(reason string) {
+	if r.taint == "" {
+		r.taint = reason
+		// Release the partial DAG eagerly: a tainted recording never
+		// becomes a Schedule, and long runs record millions of edges.
+		r.seeds, r.dispatchT, r.edgeStart, r.edgeDelta, r.marks = nil, nil, nil, nil, nil
+	}
+}
+
+// Tainted returns the first taint reason, or "".
+func (r *Recording) Tainted() string { return r.taint }
+
+// Schedule finalizes the recording into an immutable, replayable Schedule.
+// It fails if the recording was tainted or the run did not complete cleanly
+// (every process finished and the heap drained).
+func (r *Recording) Schedule() (*Schedule, error) {
+	e := r.e
+	if r.taint != "" {
+		return nil, fmt.Errorf("simtime: recording tainted: %s", r.taint)
+	}
+	if e.running {
+		return nil, fmt.Errorf("simtime: Schedule during Run")
+	}
+	if e.failure != nil || e.done != len(e.procs) || len(e.events) != 0 {
+		return nil, fmt.Errorf("simtime: Schedule of an incomplete run")
+	}
+	if int64(len(r.dispatchT)) != e.dispatched {
+		return nil, fmt.Errorf("simtime: recording saw %d dispatches, engine made %d",
+			len(r.dispatchT), e.dispatched)
+	}
+	// A process may advance its clock after its last wakeup (trailing
+	// compute); the engine folds that into the horizon at process exit, so
+	// the replayed horizon needs the exit clocks alongside the pop stream.
+	var exitMax Time
+	for _, p := range e.procs {
+		if p.now > exitMax {
+			exitMax = p.now
+		}
+	}
+	e.rec = nil
+	return &Schedule{
+		seeds:     r.seeds,
+		dispatchT: r.dispatchT,
+		edgeStart: append(r.edgeStart, int32(len(r.edgeDelta))),
+		edgeDelta: r.edgeDelta,
+		marks:     r.marks,
+		horizon:   e.horizon,
+		exitMax:   exitMax,
+		maxQueue:  r.maxQueue,
+	}, nil
+}
+
+// Schedule is the immutable, replayable form of one recorded run. It is safe
+// for concurrent Replay calls.
+type Schedule struct {
+	seeds     []Time
+	dispatchT []Time
+	edgeStart []int32 // len(dispatchT)+1 offsets into edgeDelta
+	edgeDelta []Duration
+	marks     []Time
+	horizon   Time
+	exitMax   Time
+	maxQueue  int
+}
+
+// Events returns the number of dispatches the schedule replays — the same
+// count Engine.Dispatches reports for the live run.
+func (s *Schedule) Events() int64 { return int64(len(s.dispatchT)) }
+
+// Horizon returns the recorded virtual makespan, which Replay re-derives and
+// verifies.
+func (s *Schedule) Horizon() Time { return s.horizon }
+
+// Marks returns the instants recorded via Recording.Mark, in call order. The
+// returned slice is shared; callers must not modify it.
+func (s *Schedule) Marks() []Time { return s.marks }
+
+// ReplayError reports a divergence between a replay walk and its recording —
+// a schedule replayed against a mutated model, or a corrupted memo entry.
+type ReplayError struct {
+	Dispatch int // pop index of the divergence, -1 for end-of-walk checks
+	Detail   string
+}
+
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("simtime: replay diverged at dispatch %d: %s", e.Dispatch, e.Detail)
+}
+
+// Replay walks the schedule goroutine-free: seeds are pushed into a fresh
+// event heap, the minimum (t, seq) event is popped, and the popped
+// dispatch's recorded edges are pushed at their recorded cost offsets. Every
+// pop is verified against the recorded dispatch stream and the re-derived
+// horizon against the recorded one, so a successful Replay is a proof of
+// bit-identical virtual time, not an assumption. It returns the horizon.
+func (s *Schedule) Replay() (Time, error) {
+	h := make(eventHeap, 0, s.maxQueue+1)
+	var seq uint64
+	for _, t := range s.seeds {
+		seq++
+		h.push(event{t: t, seq: seq})
+	}
+	var maxT Time
+	for k := range s.dispatchT {
+		if len(h) == 0 {
+			return 0, &ReplayError{Dispatch: k, Detail: "event heap drained early"}
+		}
+		ev := h.pop()
+		if ev.t != s.dispatchT[k] {
+			return 0, &ReplayError{Dispatch: k, Detail: fmt.Sprintf(
+				"popped t=%v, recorded t=%v", ev.t, s.dispatchT[k])}
+		}
+		if ev.t > maxT {
+			maxT = ev.t
+		}
+		for _, d := range s.edgeDelta[s.edgeStart[k]:s.edgeStart[k+1]] {
+			seq++
+			h.push(event{t: ev.t.Add(d), seq: seq})
+		}
+	}
+	if len(h) != 0 {
+		return 0, &ReplayError{Dispatch: -1, Detail: fmt.Sprintf(
+			"%d events left after the last dispatch", len(h))}
+	}
+	horizon := maxT
+	if s.exitMax > horizon {
+		horizon = s.exitMax
+	}
+	if horizon != s.horizon {
+		return 0, &ReplayError{Dispatch: -1, Detail: fmt.Sprintf(
+			"replayed horizon %v, recorded %v", horizon, s.horizon)}
+	}
+	return horizon, nil
+}

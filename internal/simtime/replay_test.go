@@ -1,0 +1,169 @@
+package simtime
+
+import (
+	"testing"
+)
+
+// replayWorkload spawns a small program exercising every recorded edge kind:
+// pre-run spawns (seeds), self-scheduled sleeps, mailbox handoffs (posts from
+// a peer's action), barrier releases, a mid-run child spawn, and trailing
+// compute after the last wakeup (exit-clock horizon contribution).
+func replayWorkload(e *Engine) {
+	mb := &Mailbox{}
+	bar := NewBarrier(3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("worker", func(p *Proc) {
+			p.Sleep(Duration(i+1) * Microsecond)
+			if i == 0 {
+				mb.Put(p, "ping")
+				child := p.Spawn("child", func(c *Proc) {
+					c.Sleep(5 * Nanosecond)
+				})
+				_ = child
+			} else if i == 1 {
+				got := mb.Get(p, func(any) bool { return true })
+				if got != "ping" {
+					panic("wrong item")
+				}
+			}
+			bar.Wait(p)
+			p.Advance(Duration(10+i) * Nanosecond) // trailing compute
+		})
+	}
+}
+
+func TestRecordReplayBitIdentical(t *testing.T) {
+	// Bare run: the reference horizon and dispatch count.
+	bare := NewEngine()
+	replayWorkload(bare)
+	mustRun(t, bare)
+
+	// Recorded run of the identical program.
+	e := NewEngine()
+	rec, err := e.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayWorkload(e)
+	mustRun(t, e)
+	if e.Horizon() != bare.Horizon() || e.Dispatches() != bare.Dispatches() {
+		t.Fatalf("recording perturbed the run: horizon %v/%v dispatches %d/%d",
+			e.Horizon(), bare.Horizon(), e.Dispatches(), bare.Dispatches())
+	}
+
+	sched, err := rec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Events() != bare.Dispatches() {
+		t.Fatalf("schedule has %d events, live run dispatched %d", sched.Events(), bare.Dispatches())
+	}
+	// Replay twice: the walk is read-only and must verify both times.
+	for i := 0; i < 2; i++ {
+		h, err := sched.Replay()
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if h != bare.Horizon() {
+			t.Fatalf("replay %d horizon %v, live %v", i, h, bare.Horizon())
+		}
+	}
+}
+
+func TestRecordingMarks(t *testing.T) {
+	e := NewEngine()
+	rec, err := e.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Time
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Microsecond)
+			rec.Mark(p.Now())
+			want = append(want, p.Now())
+		}
+	})
+	mustRun(t, e)
+	sched, err := rec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := sched.Marks()
+	if len(marks) != len(want) {
+		t.Fatalf("got %d marks, want %d", len(marks), len(want))
+	}
+	for i := range marks {
+		if marks[i] != want[i] {
+			t.Fatalf("mark %d = %v, want %v", i, marks[i], want[i])
+		}
+	}
+}
+
+// A deadline-bounded wait posts a cancellable timer whose outcome may race
+// the real wakeup, so recording it must taint the schedule.
+func TestRecordingTaintedByDeadlineTimer(t *testing.T) {
+	e := NewEngine()
+	rec, err := e.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &Mailbox{}
+	e.Spawn("waiter", func(p *Proc) {
+		if _, ok := mb.GetDeadline(p, func(any) bool { return true }, 10*Time(Microsecond)); ok {
+			panic("unexpected delivery")
+		}
+	})
+	mustRun(t, e)
+	if rec.Tainted() == "" {
+		t.Fatal("timer-based run left the recording untainted")
+	}
+	if _, err := rec.Schedule(); err == nil {
+		t.Fatal("Schedule() succeeded on a tainted recording")
+	}
+}
+
+func TestRecordRefusals(t *testing.T) {
+	e := NewEngine()
+	e.SetQuiesceHandler(func(Time) bool { return false })
+	if _, err := e.Record(); err == nil {
+		t.Fatal("Record accepted an engine with a quiescence handler")
+	}
+
+	e2 := NewEngine()
+	e2.Spawn("p", func(p *Proc) { p.Sleep(Microsecond) })
+	mustRun(t, e2)
+	if _, err := e2.Record(); err == nil {
+		t.Fatal("Record accepted an engine that already ran")
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	e := NewEngine()
+	rec, err := e.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayWorkload(e)
+	mustRun(t, e)
+	sched, err := rec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A mutated dispatch stream — the shape a stale or corrupted memo entry
+	// would have — must fail the walk's per-pop verification.
+	k := len(sched.dispatchT) / 2
+	sched.dispatchT[k] += Time(Nanosecond)
+	if _, err := sched.Replay(); err == nil {
+		t.Fatal("replay accepted a mutated dispatch stream")
+	}
+	sched.dispatchT[k] -= Time(Nanosecond)
+
+	// A mutated horizon must fail the end-of-walk cross-check.
+	sched.horizon += Time(Nanosecond)
+	if _, err := sched.Replay(); err == nil {
+		t.Fatal("replay accepted a mutated horizon")
+	}
+}
