@@ -87,4 +87,16 @@ serve-chaos:
 	$(GO) test -race ./internal/bench -run 'CacheSweep|CacheCorruption' -count=1
 	PIPMCOLL_CHAOS=1 $(GO) test -race -count=1 ./internal/serve -run TestLoadtestAgainstDrainingServer
 
-ci: vet build test race chaos-race chaos-smoke chaos-recovery bench-smoke bench-gate serve-test serve-chaos
+# Model checking: the internal/mc suite under the race detector (DPOR
+# explorer, certificates, minimizer, kill sweeps), then a bounded exhaustive
+# smoke through the CLI — Barrier/Bcast/Allreduce proved schedule-independent
+# on 1x4 and 2x2 worlds (the 2x2 pass sweeps every one-kill timing too), and
+# the planted broken-allreduce must be convicted (exit 1) with a replayable
+# certificate.
+verify:
+	$(GO) test -race ./internal/mc
+	$(GO) run ./cmd/pipmcoll-verify -nodes 1 -ppn 4
+	$(GO) run ./cmd/pipmcoll-verify -nodes 2 -ppn 2 -kills
+	! $(GO) run ./cmd/pipmcoll-verify -op broken-allreduce -nodes 1 -ppn 4 -elems 2 -max-violations 1 >/dev/null
+
+ci: vet build test race chaos-race chaos-smoke chaos-recovery verify bench-smoke bench-gate serve-test serve-chaos

@@ -47,6 +47,12 @@ type Spec struct {
 	// KillNodes lists permanent whole-node deaths: every rank on the node
 	// dies at the same instant, modelling a node crash or power loss.
 	KillNodes []KillNode
+	// KillOps lists schedule-indexed permanent rank deaths: the rank dies at
+	// (or just after) its Nth MPI operation boundary rather than at a wall of
+	// virtual time. Op-indexed kills are stable across schedule perturbations
+	// — rank 2's third Send is its third Send under every interleaving — which
+	// is what lets the model checker enumerate kill timings exhaustively.
+	KillOps []KillOp
 }
 
 // KillRank declares the permanent fail-stop death of one world rank at a
@@ -65,6 +71,19 @@ type KillRank struct {
 type KillNode struct {
 	Node int
 	At   simtime.Time
+}
+
+// KillOp declares the permanent fail-stop death of one world rank pinned to
+// an operation boundary: the rank's 0-based Op-th MPI operation entry. With
+// After false the rank dies *at* the boundary — it never enters the op. With
+// After true it arms the kill on entry and dies at its next boundary or,
+// if it parks inside the op first, mid-wait (delivered by the failure
+// detector's quiescence machinery) — covering mid-round deaths inside
+// Agree/Shrink and long collectives.
+type KillOp struct {
+	Rank  int
+	Op    int
+	After bool
 }
 
 // LinkDegrade scales one node's link parameters inside a virtual-time
@@ -239,6 +258,18 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("fault: kill-node[%d] negative time %v", i, k.At)
 		}
 	}
+	seenOp := map[int]bool{}
+	for i, k := range s.KillOps {
+		switch {
+		case k.Rank < 0:
+			return fmt.Errorf("fault: kill-op[%d] bad rank %d", i, k.Rank)
+		case k.Op < 0:
+			return fmt.Errorf("fault: kill-op[%d] negative op index %d", i, k.Op)
+		case seenOp[k.Rank]:
+			return fmt.Errorf("fault: kill-op[%d] duplicate rank %d", i, k.Rank)
+		}
+		seenOp[k.Rank] = true
+	}
 	return nil
 }
 
@@ -311,6 +342,13 @@ func (p *Plan) String() string {
 	}
 	for _, k := range p.spec.KillNodes {
 		fmt.Fprintf(&b, " kill(n%d@%v)", k.Node, k.At)
+	}
+	for _, k := range p.spec.KillOps {
+		mark := ""
+		if k.After {
+			mark = "+"
+		}
+		fmt.Fprintf(&b, " kill(r%d#op%d%s)", k.Rank, k.Op, mark)
 	}
 	b.WriteString("}")
 	return b.String()
@@ -433,7 +471,23 @@ func (p *Plan) StallClear(node, queue int, at simtime.Time) simtime.Time {
 // HasKills reports whether the plan declares any permanent rank or node
 // deaths. Nil-safe: a nil plan kills nobody.
 func (p *Plan) HasKills() bool {
-	return p != nil && (len(p.spec.KillRanks) > 0 || len(p.spec.KillNodes) > 0)
+	return p != nil && (len(p.spec.KillRanks) > 0 || len(p.spec.KillNodes) > 0 ||
+		len(p.spec.KillOps) > 0)
+}
+
+// OpKill returns the op-boundary kill declared for the given world rank, if
+// any. Nil-safe: a nil plan kills nobody. At most one entry per rank exists
+// (Validate rejects duplicates).
+func (p *Plan) OpKill(rank int) (op int, after bool, ok bool) {
+	if p == nil {
+		return 0, false, false
+	}
+	for _, k := range p.spec.KillOps {
+		if k.Rank == rank {
+			return k.Op, k.After, true
+		}
+	}
+	return 0, false, false
 }
 
 // KillTime returns the earliest virtual time at which the given (world rank,

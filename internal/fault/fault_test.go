@@ -243,3 +243,44 @@ func TestU01Distribution(t *testing.T) {
 		t.Errorf("u01 mean %.3f, want ~0.5", mean)
 	}
 }
+
+// TestKillOp pins the op-boundary kill spec: validation, the per-rank
+// accessor, HasKills, and the fingerprint.
+func TestKillOp(t *testing.T) {
+	spec := Spec{KillOps: []KillOp{{Rank: 1, Op: 3}, {Rank: 2, Op: 0, After: true}}}
+	p := MustNew(spec)
+	if !p.HasKills() {
+		t.Error("HasKills false with KillOps present")
+	}
+	if op, after, ok := p.OpKill(1); !ok || op != 3 || after {
+		t.Errorf("OpKill(1) = (%d,%v,%v), want (3,false,true)", op, after, ok)
+	}
+	if op, after, ok := p.OpKill(2); !ok || op != 0 || !after {
+		t.Errorf("OpKill(2) = (%d,%v,%v), want (0,true,true)", op, after, ok)
+	}
+	if _, _, ok := p.OpKill(0); ok {
+		t.Error("OpKill(0) matched with no entry")
+	}
+	var nilPlan *Plan
+	if nilPlan.HasKills() {
+		t.Error("nil plan HasKills")
+	}
+	if _, _, ok := nilPlan.OpKill(1); ok {
+		t.Error("nil plan OpKill matched")
+	}
+	s := p.String()
+	for _, want := range []string{"kill(r1#op3)", "kill(r2#op0+)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fingerprint %q missing %q", s, want)
+		}
+	}
+	for _, bad := range []Spec{
+		{KillOps: []KillOp{{Rank: -1, Op: 0}}},
+		{KillOps: []KillOp{{Rank: 0, Op: -1}}},
+		{KillOps: []KillOp{{Rank: 0, Op: 0}, {Rank: 0, Op: 2}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted bad spec %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package mc
+
+// Schedule certificates: the canonical, replayable encoding of one explored
+// interleaving. A certificate is the sequence of decisions a run's chooser
+// took, one token per choice point, in choice order:
+//
+//	mc1;t1/3,t0/2,m2/3
+//
+// `mc1` is the format version. Each token is <kind-letter><pick>/<arity>:
+// the letter is simtime.ChoiceKind.Code ('t' dispatch tie, 'm' wildcard
+// match, 'o' timeout, 'k' kill), pick the 0-based alternative taken, arity
+// how many alternatives existed. Trailing all-default (pick 0) tokens are
+// trimmed — forcing a prefix and defaulting the rest reproduces the run
+// exactly, so the trimmed form is canonical. A program explored under an
+// op-boundary kill carries the kill as a leading clause so the certificate
+// alone names the full scenario:
+//
+//	mc1;k2.5+;t1/3          (rank 2 dies after its 5th op boundary)
+//
+// Certificates embed into typed errors raised under exploration
+// (ProcFailedError/TimeoutError/DeadlockError gain a Schedule field), print
+// with every Violation, and replay via cmd/pipmcoll-verify -schedule.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
+)
+
+// certVersion is the leading format tag of every certificate.
+const certVersion = "mc1"
+
+// pick is one recorded (or forced) decision at a choice point.
+type pick struct {
+	kind simtime.ChoiceKind
+	k    int // alternative taken, 0-based
+	n    int // arity at the choice point
+}
+
+// killClause renders an op-boundary kill as a certificate clause, "" for a
+// fault-free program.
+func killClause(kill *fault.KillOp) string {
+	if kill == nil {
+		return ""
+	}
+	after := ""
+	if kill.After {
+		after = "+"
+	}
+	return fmt.Sprintf("k%d.%d%s", kill.Rank, kill.Op, after)
+}
+
+// parseKillClause is the inverse of killClause.
+func parseKillClause(s string) (*fault.KillOp, error) {
+	body, after := strings.CutSuffix(s, "+")
+	rank, op, ok := strings.Cut(strings.TrimPrefix(body, "k"), ".")
+	if !strings.HasPrefix(s, "k") || !ok {
+		return nil, fmt.Errorf("mc: bad kill clause %q", s)
+	}
+	r, err1 := strconv.Atoi(rank)
+	o, err2 := strconv.Atoi(op)
+	if err1 != nil || err2 != nil || r < 0 || o < 0 {
+		return nil, fmt.Errorf("mc: bad kill clause %q", s)
+	}
+	return &fault.KillOp{Rank: r, Op: o, After: after}, nil
+}
+
+// formatCert renders the canonical certificate for a kill scenario and a
+// pick sequence (trailing defaults trimmed).
+func formatCert(kill *fault.KillOp, picks []pick) string {
+	end := len(picks)
+	for end > 0 && picks[end-1].k == 0 {
+		end--
+	}
+	var b strings.Builder
+	b.WriteString(certVersion)
+	b.WriteByte(';')
+	if kc := killClause(kill); kc != "" {
+		b.WriteString(kc)
+		b.WriteByte(';')
+	}
+	for i, p := range picks[:end] {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(p.kind.Code())
+		b.WriteString(strconv.Itoa(p.k))
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(p.n))
+	}
+	return b.String()
+}
+
+// ParseCertificate decodes a certificate into its kill scenario (nil when
+// fault-free) and forced choice prefix. It validates the version tag, token
+// syntax, kind letters, and pick/arity sanity.
+func ParseCertificate(s string) (*fault.KillOp, []pick, error) {
+	parts := strings.Split(s, ";")
+	if parts[0] != certVersion {
+		return nil, nil, fmt.Errorf("mc: certificate version %q, want %q", parts[0], certVersion)
+	}
+	parts = parts[1:]
+	var kill *fault.KillOp
+	if len(parts) > 0 && strings.HasPrefix(parts[0], "k") && strings.Contains(parts[0], ".") {
+		var err error
+		if kill, err = parseKillClause(parts[0]); err != nil {
+			return nil, nil, err
+		}
+		parts = parts[1:]
+	}
+	switch {
+	case len(parts) == 0 || parts[0] == "":
+		return kill, nil, nil
+	case len(parts) > 1:
+		return nil, nil, fmt.Errorf("mc: certificate %q has %d clauses, want at most 2", s, len(parts)+1)
+	}
+	var picks []pick
+	for _, tok := range strings.Split(parts[0], ",") {
+		if len(tok) < 4 {
+			return nil, nil, fmt.Errorf("mc: bad certificate token %q", tok)
+		}
+		kind, ok := simtime.KindFromCode(tok[0])
+		if !ok {
+			return nil, nil, fmt.Errorf("mc: bad choice kind %q in token %q", tok[0], tok)
+		}
+		ks, ns, found := strings.Cut(tok[1:], "/")
+		k, err1 := strconv.Atoi(ks)
+		n, err2 := strconv.Atoi(ns)
+		if !found || err1 != nil || err2 != nil || n < 2 || k < 0 || k >= n {
+			return nil, nil, fmt.Errorf("mc: bad certificate token %q", tok)
+		}
+		picks = append(picks, pick{kind: kind, k: k, n: n})
+	}
+	return kill, picks, nil
+}
+
+// Minimize delta-debugs a violating pick vector: each non-default pick is
+// greedily reset to the default (0) and the program re-run with the
+// shortened vector forced; resets that still violate stick. The loop runs
+// to a fixed point, so the result is 1-minimal — resetting any single
+// remaining non-default pick loses the violation. Runs spent minimizing are
+// counted into st.
+func (x *explorer) minimize(picks []pick) []pick {
+	cur := append([]pick(nil), picks...)
+	for changed := true; changed; {
+		changed = false
+		for i := range cur {
+			if cur[i].k == 0 {
+				continue
+			}
+			cand := append([]pick(nil), cur...)
+			cand[i].k = 0
+			res := x.runOne(cand)
+			if res.violation != nil && !res.diverged {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,74 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simtime"
+)
+
+func TestCertificateRoundTrip(t *testing.T) {
+	cases := []struct {
+		kill  *fault.KillOp
+		picks []pick
+		want  string
+	}{
+		{nil, nil, "mc1;"},
+		{nil, []pick{{simtime.ChooseTie, 0, 3}}, "mc1;"}, // all-default trims to empty
+		{nil, []pick{{simtime.ChooseTie, 1, 3}}, "mc1;t1/3"},
+		{nil, []pick{{simtime.ChooseTie, 0, 4}, {simtime.ChooseMatch, 2, 3}, {simtime.ChooseTimeout, 0, 2}},
+			"mc1;t0/4,m2/3"},
+		{&fault.KillOp{Rank: 2, Op: 5, After: true}, []pick{{simtime.ChooseTie, 1, 2}}, "mc1;k2.5+;t1/2"},
+		{&fault.KillOp{Rank: 0, Op: 0}, nil, "mc1;k0.0;"},
+	}
+	for _, c := range cases {
+		got := formatCert(c.kill, c.picks)
+		if got != c.want {
+			t.Errorf("formatCert(%v, %v) = %q, want %q", c.kill, c.picks, got, c.want)
+			continue
+		}
+		kill, picks, err := ParseCertificate(got)
+		if err != nil {
+			t.Errorf("ParseCertificate(%q): %v", got, err)
+			continue
+		}
+		if !sameKill(kill, c.kill) {
+			t.Errorf("ParseCertificate(%q) kill = %v, want %v", got, kill, c.kill)
+		}
+		// Parsing loses trailing defaults by design; re-format must agree.
+		if re := formatCert(kill, picks); re != got {
+			t.Errorf("re-format of %q = %q", got, re)
+		}
+	}
+}
+
+func TestParseCertificateRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"mc2;t1/3",      // wrong version
+		"mc1;x1/3",      // unknown kind letter
+		"mc1;t1",        // no arity
+		"mc1;t3/3",      // pick out of range
+		"mc1;t0/1",      // arity below 2
+		"mc1;t1/3;t1/3", // too many clauses
+		"mc1;k2.x;t1/3", // bad kill clause
+		"mc1;k-1.0;",    // negative rank
+	}
+	for _, s := range bad {
+		if _, _, err := ParseCertificate(s); err == nil {
+			t.Errorf("ParseCertificate(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestKillClauseRoundTrip(t *testing.T) {
+	for _, k := range []fault.KillOp{{Rank: 0, Op: 0}, {Rank: 3, Op: 12, After: true}} {
+		got, err := parseKillClause(killClause(&k))
+		if err != nil {
+			t.Fatalf("parseKillClause(%q): %v", killClause(&k), err)
+		}
+		if *got != k {
+			t.Fatalf("round trip %v -> %q -> %v", k, killClause(&k), *got)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package mc is the model-checking harness: it runs a program on a small
+// simulated world under a controlled scheduler, systematically enumerating
+// every nondeterministic choice point — dispatch ties, wildcard-receive
+// match selection, timeout races, kill timing — and asserts that every
+// interleaving either yields the serial-reference result bit-exact or
+// terminates with a typed failure. A program that survives exhaustive
+// exploration is proved correct on that world, not merely unfalsified by
+// sampled seeds.
+//
+// Exploration is stateless depth-first search over the choice tree: each
+// run re-executes the program from scratch with a forced prefix of picks
+// and defaults (pick 0) beyond it, then expands alternatives only at choice
+// points past the prefix — every forced prefix is therefore visited exactly
+// once. Dispatch-tie alternatives are pruned with a dynamic
+// partial-order-reduction argument: the engine records, per dispatch slice,
+// the synchronization objects the slice touched (its footprint), and an
+// alternative "run candidate j first" is explored only when j's slice is
+// dependent — overlapping footprints, or a slice that mutated its own tie
+// group — with some candidate ordered before it. Independent reorderings
+// commute and are provably covered by the default order. Match, timeout and
+// kill alternatives are never pruned; they produce genuinely different
+// outcomes, not reorderings.
+//
+// Every violating interleaving is reported as a schedule certificate (see
+// cert.go) that replays the failure exactly, optionally shrunk first by a
+// delta-debugging minimizer.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// CheckFn judges one finished run: the world after Run and Run's error go
+// in; nil comes out when the interleaving met the program's contract, and a
+// descriptive error when it did not (wrong bytes, silent wedge, untyped
+// failure).
+type CheckFn func(w *mpi.World, runErr error) error
+
+// Program is one model-checking target: a factory producing a fresh world,
+// rank body and checker per run (exploration re-executes it once per
+// schedule), plus the op-boundary kill scenario it runs under, if any.
+type Program struct {
+	Name  string
+	Kill  *fault.KillOp
+	Build func() (*mpi.World, func(*mpi.Rank), CheckFn)
+}
+
+// Options tune an exploration.
+type Options struct {
+	// Naive disables partial-order reduction: every alternative at every
+	// choice point is explored. Ground truth for pruning-soundness tests.
+	Naive bool
+	// MaxSchedules bounds the number of executed runs (0 = unlimited). An
+	// exploration stopped by the bound reports Truncated — its guarantees
+	// cover only the visited prefix of the tree.
+	MaxSchedules int
+	// MaxViolations stops the search after this many violations (0 =
+	// unlimited); 1 gives counterexample-finding mode.
+	MaxViolations int
+	// Minimize delta-debugs each reported violation to a 1-minimal
+	// certificate before returning it.
+	Minimize bool
+	// Metrics, when set, receives the exploration counters (mc.schedules,
+	// mc.pruned, mc.violations).
+	Metrics *obs.Registry
+}
+
+// Stats summarizes one exploration.
+type Stats struct {
+	// Schedules is the number of interleavings executed, including runs
+	// spent minimizing violations.
+	Schedules int
+	// Pruned counts alternatives partial-order reduction proved redundant.
+	Pruned int
+	// Violations counts interleavings that broke the program's contract.
+	Violations int
+	// Truncated reports that a budget (MaxSchedules/MaxViolations) stopped
+	// the search before the choice tree was exhausted.
+	Truncated bool
+}
+
+// Violation is one interleaving that broke the program's contract.
+type Violation struct {
+	// Certificate replays the violating schedule exactly.
+	Certificate string
+	// Minimized is the delta-debugged 1-minimal certificate (set only under
+	// Options.Minimize; it replays a violation too, not necessarily an
+	// identical error message).
+	Minimized string
+	// Err describes what went wrong.
+	Err error
+}
+
+// node is one choice point observed during a run.
+type node struct {
+	kind  simtime.ChoiceKind
+	n     int   // arity
+	k     int   // pick taken
+	slice int   // engine slice index at choose time (= chosen cand's slice)
+	procs []int // ChooseTie candidate process ids, in candidate order
+}
+
+// runChooser forces a pick prefix and records every choice point. Beyond
+// the prefix it picks the default (0). A prefix entry that no longer fits
+// the run (kind/arity drift after a program change) marks the run diverged
+// and falls back to the default rather than crashing the engine.
+type runChooser struct {
+	prefix   []pick
+	kill     *fault.KillOp
+	eng      *simtime.Engine
+	nodes    []node
+	diverged bool
+}
+
+func (c *runChooser) Choose(kind simtime.ChoiceKind, cands []simtime.Cand) int {
+	i := len(c.nodes)
+	k := 0
+	if i < len(c.prefix) {
+		if p := c.prefix[i]; p.kind == kind && p.n == len(cands) {
+			k = p.k
+		} else {
+			c.diverged = true
+		}
+	}
+	nd := node{kind: kind, n: len(cands), k: k, slice: len(c.eng.Slices())}
+	if kind == simtime.ChooseTie {
+		nd.procs = make([]int, len(cands))
+		for j, cd := range cands {
+			nd.procs[j] = cd.Proc
+		}
+	}
+	c.nodes = append(c.nodes, nd)
+	return k
+}
+
+// Certificate renders the decisions taken so far — the engine attaches it
+// to typed failures raised mid-run (simtime.Certifier).
+func (c *runChooser) Certificate() string { return formatCert(c.kill, picksOf(c.nodes)) }
+
+func picksOf(nodes []node) []pick {
+	out := make([]pick, len(nodes))
+	for i, nd := range nodes {
+		out[i] = pick{kind: nd.kind, k: nd.k, n: nd.n}
+	}
+	return out
+}
+
+// runResult is one executed interleaving.
+type runResult struct {
+	nodes     []node
+	slices    []simtime.SliceInfo
+	violation error
+	diverged  bool
+}
+
+// explorer carries one exploration's state.
+type explorer struct {
+	prog Program
+	opt  Options
+	st   Stats
+}
+
+// runOne executes the program once under the forced prefix.
+func (x *explorer) runOne(prefix []pick) *runResult {
+	w, body, check := x.prog.Build()
+	ch := &runChooser{prefix: prefix, kill: x.prog.Kill, eng: w.Engine()}
+	w.SetChooser(ch)
+	err := w.Run(body)
+	x.st.Schedules++
+	return &runResult{
+		nodes:     ch.nodes,
+		slices:    w.Engine().Slices(),
+		violation: check(w, err),
+		diverged:  ch.diverged,
+	}
+}
+
+// sliceFor maps candidate j of a tie node to its dispatch slice: the first
+// slice of that process at or after the choice point. Nil (not found — the
+// run ended before the candidate dispatched) is treated as dependent.
+func sliceFor(nd node, slices []simtime.SliceInfo, j int) *simtime.SliceInfo {
+	for i := nd.slice; i < len(slices); i++ {
+		if slices[i].Proc == nd.procs[j] {
+			return &slices[i]
+		}
+	}
+	return nil
+}
+
+// dependent reports whether two dispatch slices may not commute: either
+// mutated its own tie group (Joined), or their synchronization-object
+// footprints overlap. Footprints are small sorted-by-first-touch id lists;
+// quadratic scan beats allocating sets at these sizes.
+func dependent(a, b *simtime.SliceInfo) bool {
+	if a == nil || b == nil || a.Joined || b.Joined {
+		return true
+	}
+	for _, x := range a.Objs {
+		for _, y := range b.Objs {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expand returns which alternatives (1..n-1) of a choice point to explore.
+func (x *explorer) expand(nd node, res *runResult) []int {
+	all := make([]int, 0, nd.n-1)
+	for j := 1; j < nd.n; j++ {
+		all = append(all, j)
+	}
+	if x.opt.Naive || nd.kind != simtime.ChooseTie {
+		return all // match/timeout/kill choices are real branches, never pruned
+	}
+	sl := make([]*simtime.SliceInfo, nd.n)
+	for j := range sl {
+		sl[j] = sliceFor(nd, res.slices, j)
+	}
+	out := all[:0]
+	for j := 1; j < nd.n; j++ {
+		for i := 0; i < j; i++ {
+			if dependent(sl[i], sl[j]) {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Explore runs the program under every (non-pruned) interleaving, depth
+// first, and returns the exploration stats and any violations found. The
+// error return reports infrastructure failures only (never a program
+// violation).
+func Explore(prog Program, opt Options) (Stats, []Violation, error) {
+	x := &explorer{prog: prog, opt: opt}
+	stack := [][]pick{nil} // DFS frontier of forced prefixes; nil = default run
+	var viols []Violation
+	for len(stack) > 0 {
+		if opt.MaxSchedules > 0 && x.st.Schedules >= opt.MaxSchedules {
+			x.st.Truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res := x.runOne(prefix)
+		if res.violation != nil {
+			x.st.Violations++
+			v := Violation{Certificate: formatCert(prog.Kill, picksOf(res.nodes)), Err: res.violation}
+			if opt.Minimize {
+				v.Minimized = formatCert(prog.Kill, x.minimize(picksOf(res.nodes)))
+			}
+			viols = append(viols, v)
+			if opt.MaxViolations > 0 && len(viols) >= opt.MaxViolations {
+				x.st.Truncated = x.st.Truncated || len(stack) > 0
+				break
+			}
+		}
+		// Expand alternatives at choice points past the forced prefix; the
+		// prefix's own nodes were expanded by the ancestor run that forced
+		// them.
+		for i := len(prefix); i < len(res.nodes); i++ {
+			nd := res.nodes[i]
+			alts := x.expand(nd, res)
+			for _, j := range alts {
+				np := make([]pick, i+1)
+				copy(np, picksOf(res.nodes[:i]))
+				np[i] = pick{kind: nd.kind, k: j, n: nd.n}
+				stack = append(stack, np)
+			}
+			x.st.Pruned += nd.n - 1 - len(alts)
+		}
+	}
+	if reg := opt.Metrics; reg != nil {
+		reg.Counter(obs.MetricMCSchedules).Add(int64(x.st.Schedules))
+		reg.Counter(obs.MetricMCPruned).Add(int64(x.st.Pruned))
+		reg.Counter(obs.MetricMCViolations).Add(int64(x.st.Violations))
+	}
+	return x.st, viols, nil
+}
+
+// CertKill extracts a certificate's kill clause (nil when fault-free), so
+// drivers can rebuild the right program variant before Replay.
+func CertKill(cert string) (*fault.KillOp, error) {
+	kill, _, err := ParseCertificate(cert)
+	return kill, err
+}
+
+// sameKill reports whether two kill scenarios are the same (both nil, or
+// equal).
+func sameKill(a, b *fault.KillOp) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+// Replay runs the program once under the certificate's forced schedule and
+// returns the check's verdict: nil when the interleaving met the contract,
+// the violation otherwise. The second return reports replay problems — a
+// malformed certificate, a kill clause that does not match the program, or
+// a schedule that diverged (the program changed since the certificate was
+// recorded).
+func Replay(prog Program, cert string) (violation error, err error) {
+	kill, picks, err := ParseCertificate(cert)
+	if err != nil {
+		return nil, err
+	}
+	if !sameKill(kill, prog.Kill) {
+		return nil, fmt.Errorf("mc: certificate kill clause %q does not match program %q (%s)",
+			killClause(kill), prog.Name, killClause(prog.Kill))
+	}
+	x := &explorer{prog: prog}
+	res := x.runOne(picks)
+	if res.diverged {
+		return nil, fmt.Errorf("mc: schedule diverged — certificate %q no longer fits program %q", cert, prog.Name)
+	}
+	return res.violation, nil
+}
+
+// MinimizeViolation delta-debugs a violating certificate to a 1-minimal
+// one. It fails if the certificate does not reproduce a violation.
+func MinimizeViolation(prog Program, cert string) (string, error) {
+	kill, picks, err := ParseCertificate(cert)
+	if err != nil {
+		return "", err
+	}
+	if !sameKill(kill, prog.Kill) {
+		return "", fmt.Errorf("mc: certificate kill clause %q does not match program %q",
+			killClause(kill), prog.Name)
+	}
+	x := &explorer{prog: prog}
+	if res := x.runOne(picks); res.violation == nil {
+		return "", fmt.Errorf("mc: certificate %q does not violate program %q", cert, prog.Name)
+	}
+	return formatCert(prog.Kill, x.minimize(picks)), nil
+}

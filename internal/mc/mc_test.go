@@ -1,0 +1,364 @@
+package mc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// explore is the test shorthand for an unbounded exhaustive exploration.
+func explore(t *testing.T, p Program, opt Options) (Stats, []Violation) {
+	t.Helper()
+	st, viols, err := Explore(p, opt)
+	if err != nil {
+		t.Fatalf("%s: Explore: %v", p.Name, err)
+	}
+	return st, viols
+}
+
+// requireClean asserts an exhaustive, violation-free exploration.
+func requireClean(t *testing.T, p Program, opt Options) Stats {
+	t.Helper()
+	st, viols := explore(t, p, opt)
+	for _, v := range viols {
+		t.Errorf("%s: violation %s: %v", p.Name, v.Certificate, v.Err)
+	}
+	if st.Truncated {
+		t.Errorf("%s: exploration truncated after %d schedules (not a proof)", p.Name, st.Schedules)
+	}
+	if st.Schedules < 1 {
+		t.Errorf("%s: no schedules executed", p.Name)
+	}
+	return st
+}
+
+// TestExhaustiveFaultFree proves the fault-free collectives correct on every
+// interleaving of the small worlds: all schedules executed, none truncated,
+// zero violations.
+func TestExhaustiveFaultFree(t *testing.T) {
+	progs := []Program{
+		Barrier(1, 2, nil), Barrier(1, 3, nil), Barrier(1, 4, nil), Barrier(2, 2, nil),
+		Bcast(1, 4, 64, nil), Bcast(2, 2, 64, nil),
+		Allreduce(1, 4, 4, nil), Allreduce(2, 2, 4, nil),
+		AgreeShrink(1, 4, nil), AgreeShrink(2, 2, nil),
+		RecoverAllreduce(1, 3, 4, nil),
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			requireClean(t, p, Options{})
+		})
+	}
+}
+
+// TestMultipleSchedulesExplored pins that exploration actually branches:
+// a 3-rank barrier has ties, so more than one interleaving must run.
+func TestMultipleSchedulesExplored(t *testing.T) {
+	st := requireClean(t, Barrier(1, 3, nil), Options{})
+	if st.Schedules < 2 {
+		t.Fatalf("barrier-1x3 explored %d schedules, want >= 2", st.Schedules)
+	}
+}
+
+// TestDPORPruningSpeedup asserts the partial-order reduction is worth at
+// least 5x over naive enumeration on the ring allreduce, while reaching the
+// same verdict (no violations either way).
+func TestDPORPruningSpeedup(t *testing.T) {
+	p := Allreduce(2, 2, 4, nil)
+	dpor := requireClean(t, p, Options{})
+	naive := requireClean(t, p, Options{Naive: true})
+	if naive.Schedules < 5*dpor.Schedules {
+		t.Fatalf("DPOR %d schedules vs naive %d: speedup %.1fx, want >= 5x",
+			dpor.Schedules, naive.Schedules, float64(naive.Schedules)/float64(dpor.Schedules))
+	}
+	if dpor.Pruned == 0 {
+		t.Fatal("DPOR pruned nothing")
+	}
+	if naive.Pruned != 0 {
+		t.Fatalf("naive mode pruned %d alternatives, want 0", naive.Pruned)
+	}
+}
+
+// TestExploreMetrics checks the exploration counters land in the registry
+// under the shared metric names.
+func TestExploreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := requireClean(t, Barrier(1, 3, nil), Options{Metrics: reg})
+	if got := reg.Counter(obs.MetricMCSchedules).Value(); got != int64(st.Schedules) {
+		t.Errorf("mc.schedules = %d, want %d", got, st.Schedules)
+	}
+	if got := reg.Counter(obs.MetricMCPruned).Value(); got != int64(st.Pruned) {
+		t.Errorf("mc.pruned = %d, want %d", got, st.Pruned)
+	}
+	if got := reg.Counter(obs.MetricMCViolations).Value(); got != 0 {
+		t.Errorf("mc.violations = %d, want 0", got)
+	}
+}
+
+// TestExhaustiveOneKill sweeps every op-boundary kill timing of every rank
+// for the core collectives and explores each scenario exhaustively: every
+// interleaving must end in a typed failure or a bit-exact result on the
+// completing ranks.
+func TestExhaustiveOneKill(t *testing.T) {
+	families := []struct {
+		name string
+		mk   func(*fault.KillOp) Program
+		min  int // variant-count floor so a counting regression can't hollow out the sweep
+	}{
+		{"barrier-2x2", func(k *fault.KillOp) Program { return Barrier(2, 2, k) }, 16},
+		{"bcast-1x4", func(k *fault.KillOp) Program { return Bcast(1, 4, 64, k) }, 8},
+		{"allreduce-2x2", func(k *fault.KillOp) Program { return Allreduce(2, 2, 4, k) }, 32},
+	}
+	for _, f := range families {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			variants, err := KillVariants(f.mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(variants) < f.min {
+				t.Fatalf("%d kill variants, want >= %d", len(variants), f.min)
+			}
+			for _, p := range variants {
+				requireClean(t, p, Options{})
+			}
+		})
+	}
+}
+
+// TestAgreeShrinkKillSweep is the ULFM agreement pin: Agree/Shrink/Agree
+// explored under ALL mid-round kill timings on 4-rank worlds, with the
+// check asserting every completing rank reports an identical transcript
+// (survivors in lockstep).
+func TestAgreeShrinkKillSweep(t *testing.T) {
+	for _, shape := range []struct{ nodes, ppn int }{{1, 4}, {2, 2}, {1, 3}} {
+		variants, err := KillVariants(func(k *fault.KillOp) Program {
+			return AgreeShrink(shape.nodes, shape.ppn, k)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Three agreement arrivals per rank, each killable before and after.
+		if want := shape.nodes * shape.ppn * 3 * 2; len(variants) != want {
+			t.Fatalf("%dx%d: %d kill variants, want %d", shape.nodes, shape.ppn, len(variants), want)
+		}
+		for _, p := range variants {
+			requireClean(t, p, Options{})
+		}
+	}
+}
+
+// TestRecoverAllreduceKillSweep proves the shrink-and-retry loop delivers
+// the serial sum over the agreed survivor set under every kill timing.
+func TestRecoverAllreduceKillSweep(t *testing.T) {
+	variants, err := KillVariants(func(k *fault.KillOp) Program {
+		return RecoverAllreduce(1, 3, 4, k)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) == 0 {
+		t.Fatal("no kill variants")
+	}
+	for _, p := range variants {
+		requireClean(t, p, Options{})
+	}
+}
+
+// TestPlantedBugConvicted is the end-to-end counterexample story: the
+// arrival-indexed gather passes the default schedule (so replay/goldens and
+// naive testing would miss it), the explorer convicts it, the minimized
+// certificate is 1-minimal, and Replay reproduces the violation from the
+// certificate string alone.
+func TestPlantedBugConvicted(t *testing.T) {
+	p := BrokenAllreduce(1, 4, 2)
+
+	if res := (&explorer{prog: p}).runOne(nil); res.violation != nil {
+		t.Fatalf("planted bug fails on the default schedule (%v) — it must only fail on reordered schedules", res.violation)
+	}
+
+	st, viols := explore(t, p, Options{MaxViolations: 1, Minimize: true})
+	if len(viols) != 1 {
+		t.Fatalf("explorer found %d violations, want 1 (stats %+v)", len(viols), st)
+	}
+	v := viols[0]
+	if v.Minimized == "" {
+		t.Fatal("no minimized certificate")
+	}
+
+	// The certificate alone must reproduce the violation.
+	for _, cert := range []string{v.Certificate, v.Minimized} {
+		viol, err := Replay(p, cert)
+		if err != nil {
+			t.Fatalf("Replay(%s): %v", cert, err)
+		}
+		if viol == nil {
+			t.Fatalf("Replay(%s) did not reproduce the violation", cert)
+		}
+	}
+
+	// 1-minimality: resetting any single remaining non-default pick loses it.
+	_, picks, err := ParseCertificate(v.Minimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &explorer{prog: p}
+	for i := range picks {
+		if picks[i].k == 0 {
+			continue
+		}
+		cand := append([]pick(nil), picks...)
+		cand[i].k = 0
+		if res := x.runOne(cand); res.violation != nil && !res.diverged {
+			t.Errorf("minimized certificate is not 1-minimal: zeroing pick %d still violates", i)
+		}
+	}
+
+	// MinimizeViolation on the un-minimized certificate agrees.
+	min2, err := MinimizeViolation(p, v.Certificate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol, err := Replay(p, min2); err != nil || viol == nil {
+		t.Fatalf("MinimizeViolation result %q does not replay a violation (viol=%v err=%v)", min2, viol, err)
+	}
+}
+
+// deadlockProg wedges by construction: rank 0 receives a message nobody
+// sends. The contract for this program is that the wedge surfaces as a
+// typed, certificate-carrying DeadlockError — never a silent hang.
+func deadlockProg() Program {
+	return Program{
+		Name: "deadlock-probe",
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := mpi.MustNewWorld(topology.New(1, 2, topology.Block), mpi.DefaultConfig())
+			body := func(r *mpi.Rank) {
+				if r.Rank() == 0 {
+					buf := make([]byte, 8)
+					r.Recv(1, 7, buf)
+				}
+			}
+			check := func(w *mpi.World, runErr error) error { return runErr }
+			return w, body, check
+		},
+	}
+}
+
+// TestDeadlockCertified asserts a wedged interleaving is reported as a
+// DeadlockError carrying a parseable schedule certificate.
+func TestDeadlockCertified(t *testing.T) {
+	_, viols := explore(t, deadlockProg(), Options{})
+	if len(viols) == 0 {
+		t.Fatal("deadlock program produced no violations")
+	}
+	for _, v := range viols {
+		var de *mpi.DeadlockError
+		if !errors.As(v.Err, &de) {
+			t.Fatalf("violation is %T (%v), want *mpi.DeadlockError", v.Err, v.Err)
+		}
+		if !strings.HasPrefix(de.Schedule, certVersion+";") {
+			t.Fatalf("deadlock schedule certificate %q lacks %s prefix", de.Schedule, certVersion)
+		}
+		if _, _, err := ParseCertificate(de.Schedule); err != nil {
+			t.Fatalf("deadlock certificate does not parse: %v", err)
+		}
+	}
+}
+
+// timeoutProg makes OpTimeout a real race: rank 1 computes past the
+// deadline before sending, rank 0 receives with a timeout. Under
+// exploration the fire-or-block outcome is an enumerated choice, so both
+// interleavings must appear: one completing normally, one failing with a
+// certified TimeoutError.
+func timeoutProg(sawTimeout, sawOK *int) Program {
+	return Program{
+		Name: "timeout-probe",
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			cfg := mpi.DefaultConfig()
+			cfg.OpTimeout = simtime.Millisecond
+			w := mpi.MustNewWorld(topology.New(1, 2, topology.Block), cfg)
+			body := func(r *mpi.Rank) {
+				buf := make([]byte, 8)
+				if r.Rank() == 0 {
+					r.Recv(1, 7, buf)
+				} else {
+					r.Proc().Advance(2 * simtime.Millisecond)
+					r.Send(0, 7, buf)
+				}
+			}
+			check := func(w *mpi.World, runErr error) error {
+				var te *mpi.TimeoutError
+				switch {
+				case runErr == nil:
+					*sawOK++
+					return nil
+				case errors.As(runErr, &te):
+					*sawTimeout++
+					if _, _, err := ParseCertificate(te.Schedule); err != nil {
+						return err
+					}
+					return nil
+				default:
+					return runErr
+				}
+			}
+			return w, body, check
+		},
+	}
+}
+
+// TestTimeoutEnumerated asserts both outcomes of an armed OpTimeout are
+// explored — the optimistic block that completes and the certified timeout.
+func TestTimeoutEnumerated(t *testing.T) {
+	var sawTimeout, sawOK int
+	requireClean(t, timeoutProg(&sawTimeout, &sawOK), Options{})
+	if sawTimeout == 0 || sawOK == 0 {
+		t.Fatalf("timeout race not fully explored: %d timeout runs, %d clean runs", sawTimeout, sawOK)
+	}
+}
+
+// TestKillVariantsShape checks the enumeration: one variant per (rank,
+// boundary, before/after) with the kill clause in the name and the kill
+// wired into the program.
+func TestKillVariantsShape(t *testing.T) {
+	variants, err := KillVariants(func(k *fault.KillOp) Program { return Bcast(1, 4, 64, k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants)%2 != 0 {
+		t.Fatalf("%d variants, want before/after pairs", len(variants))
+	}
+	seen := map[string]bool{}
+	for _, p := range variants {
+		if p.Kill == nil {
+			t.Fatalf("variant %s lost its kill", p.Name)
+		}
+		kc := killClause(p.Kill)
+		if !strings.HasSuffix(p.Name, kc) {
+			t.Errorf("variant name %q does not end in kill clause %q", p.Name, kc)
+		}
+		if seen[kc] {
+			t.Errorf("duplicate kill variant %s", kc)
+		}
+		seen[kc] = true
+	}
+}
+
+// TestBoundedBudget checks MaxSchedules truncates and says so.
+func TestBoundedBudget(t *testing.T) {
+	st, _ := explore(t, Allreduce(1, 4, 4, nil), Options{MaxSchedules: 10})
+	if !st.Truncated {
+		t.Fatal("bounded exploration not marked truncated")
+	}
+	if st.Schedules > 10 {
+		t.Fatalf("budget of 10 ran %d schedules", st.Schedules)
+	}
+}

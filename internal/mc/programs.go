@@ -1,0 +1,408 @@
+package mc
+
+// Verification programs: the concrete collectives the explorer proves
+// correct on small worlds, each packaged as a Program with a fresh world
+// per run and a serial-reference check. The contract every program
+// enforces:
+//
+//   - Fault-free: World.Run returns nil, every rank finishes, and every
+//     rank's output matches the serial reference bit-exact.
+//   - Under a kill: the run ends with nil or a typed failure
+//     (ProcFailedError, TimeoutError, RevokedError, DeadlockError — never
+//     an untyped error or a silent wedge), and every rank that completed
+//     without error still holds bit-exact (or lockstep-identical) results.
+//
+// BrokenAllreduce is the deliberately planted bug (arrival-indexed gather)
+// used to prove the explorer finds real schedule-dependent defects.
+//
+// Known limitation: op-boundary kill timing counts a rank's operations in
+// program order, which is only schedule-stable for plain collectives; the
+// async-helper paths (nonblocking internode progress) share the parent
+// rank's identity, so programs explored here stick to the collectives'
+// synchronous call graphs.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/nums"
+	recovery "repro/internal/recover"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// outcome is one rank's recorded result for a run.
+type outcome struct {
+	out  []byte
+	err  error
+	done bool
+}
+
+// typedFailure reports whether err is one of the failure types the
+// verification contract accepts.
+func typedFailure(err error) bool {
+	switch err.(type) {
+	case *mpi.ProcFailedError, *mpi.TimeoutError, *mpi.RevokedError, *mpi.DeadlockError:
+		return true
+	}
+	return false
+}
+
+// killConfig returns the default config with the kill scenario attached.
+func killConfig(kill *fault.KillOp) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	if kill != nil {
+		cfg.Faults = fault.MustNew(fault.Spec{KillOps: []fault.KillOp{*kill}})
+	}
+	return cfg
+}
+
+// newWorld builds the small world every program runs on.
+func newWorld(nodes, ppn int, kill *fault.KillOp) *mpi.World {
+	return mpi.MustNewWorld(topology.New(nodes, ppn, topology.Block), killConfig(kill))
+}
+
+// serialSum is the serial reference for a sum-allreduce over n ranks whose
+// rank r contributes nums.Fill(_, r): element i holds Σ_r PatternValue(r, i).
+// Pattern values are small integers, so float64 summation is exact and the
+// comparison is bit-exact.
+func serialSum(ranks []int, elems int) []byte {
+	out := make([]byte, elems*nums.F64Size)
+	for i := 0; i < elems; i++ {
+		var s float64
+		for _, r := range ranks {
+			s += nums.PatternValue(r, i)
+		}
+		nums.SetF64At(out, i, s)
+	}
+	return out
+}
+
+func worldRanks(n int) []int {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranks
+}
+
+// checkOutcomes is the shared verdict for programs with a fixed per-rank
+// reference output (want == nil means "no payload to compare").
+func checkOutcomes(kill *fault.KillOp, outs []outcome, want []byte) CheckFn {
+	return func(w *mpi.World, runErr error) error {
+		if kill == nil {
+			if runErr != nil {
+				return fmt.Errorf("fault-free run failed: %w", runErr)
+			}
+			for r := range outs {
+				switch {
+				case !outs[r].done:
+					return fmt.Errorf("fault-free run: rank %d never finished", r)
+				case outs[r].err != nil:
+					return fmt.Errorf("fault-free run: rank %d failed: %w", r, outs[r].err)
+				case want != nil && !bytes.Equal(outs[r].out, want):
+					return fmt.Errorf("rank %d result differs from serial reference", r)
+				}
+			}
+			return nil
+		}
+		if runErr != nil && !typedFailure(runErr) {
+			return fmt.Errorf("untyped failure: %w", runErr)
+		}
+		for r := range outs {
+			o := outs[r]
+			switch {
+			case r == kill.Rank:
+				// The victim may die mid-operation; nothing to assert.
+			case !o.done:
+				// A survivor that never finished is only acceptable when the
+				// run itself unwound with a typed failure.
+				if runErr == nil {
+					return fmt.Errorf("run returned nil but rank %d never finished", r)
+				}
+			case o.err != nil:
+				if !typedFailure(o.err) {
+					return fmt.Errorf("rank %d untyped failure: %w", r, o.err)
+				}
+			case want != nil && !bytes.Equal(o.out, want):
+				return fmt.Errorf("rank %d completed without error but differs from serial reference", r)
+			}
+		}
+		return nil
+	}
+}
+
+// Barrier is a dissemination barrier on nodes×ppn ranks: the contract is
+// pure liveness — every interleaving completes or fails typed.
+func Barrier(nodes, ppn int, kill *fault.KillOp) Program {
+	return Program{
+		Name: fmt.Sprintf("barrier-%dx%d", nodes, ppn),
+		Kill: kill,
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := newWorld(nodes, ppn, kill)
+			outs := make([]outcome, nodes*ppn)
+			body := func(r *mpi.Rank) {
+				me := r.Rank()
+				outs[me].err = mpi.Try(func() { coll.Barrier(coll.World(r)) })
+				outs[me].done = true
+			}
+			return w, body, checkOutcomes(kill, outs, nil)
+		},
+	}
+}
+
+// Bcast is a binomial-tree broadcast of payload bytes from rank 0; every
+// completing rank must hold the root's exact bytes.
+func Bcast(nodes, ppn, payload int, kill *fault.KillOp) Program {
+	return Program{
+		Name: fmt.Sprintf("bcast-%dx%d-%dB", nodes, ppn, payload),
+		Kill: kill,
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := newWorld(nodes, ppn, kill)
+			n := nodes * ppn
+			outs := make([]outcome, n)
+			want := make([]byte, payload)
+			nums.FillBytes(want, 42)
+			body := func(r *mpi.Rank) {
+				me := r.Rank()
+				buf := make([]byte, payload)
+				if me == 0 {
+					copy(buf, want)
+				}
+				outs[me].err = mpi.Try(func() { coll.Bcast(coll.World(r), 0, buf) })
+				outs[me].out = buf
+				outs[me].done = true
+			}
+			return w, body, checkOutcomes(kill, outs, want)
+		},
+	}
+}
+
+// Allreduce is the ring allreduce (reduce-scatter + allgather) summing
+// elems float64s per rank; every completing rank must match the serial sum
+// bit-exact.
+func Allreduce(nodes, ppn, elems int, kill *fault.KillOp) Program {
+	return Program{
+		Name: fmt.Sprintf("allreduce-%dx%d-%de", nodes, ppn, elems),
+		Kill: kill,
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := newWorld(nodes, ppn, kill)
+			n := nodes * ppn
+			outs := make([]outcome, n)
+			want := serialSum(worldRanks(n), elems)
+			body := func(r *mpi.Rank) {
+				me := r.Rank()
+				send := make([]byte, elems*nums.F64Size)
+				recv := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, me)
+				outs[me].err = mpi.Try(func() {
+					coll.AllreduceRing(coll.World(r), send, recv, nums.Sum)
+				})
+				outs[me].out = recv
+				outs[me].done = true
+			}
+			return w, body, checkOutcomes(kill, outs, want)
+		},
+	}
+}
+
+// BrokenAllreduce is the planted bug: an allreduce whose reduce-scatter is
+// honest (coll.ReduceScatterBlock leaves rank r holding reduced block r)
+// but whose gather phase receives the survivors' blocks at rank 0 with a
+// shared tag from AnySource and places them BY ARRIVAL ORDER — the classic
+// mistake of assuming cross-sender FIFO. The default schedule happens to
+// deliver blocks in rank order, so sampling passes; an alternative match
+// (or dispatch) order permutes the result and the explorer convicts it
+// with a replayable certificate.
+func BrokenAllreduce(nodes, ppn, blockElems int) Program {
+	return Program{
+		Name: fmt.Sprintf("broken-allreduce-%dx%d-%de", nodes, ppn, blockElems),
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := newWorld(nodes, ppn, nil)
+			n := nodes * ppn
+			elems := n * blockElems
+			block := blockElems * nums.F64Size
+			outs := make([]outcome, n)
+			want := serialSum(worldRanks(n), elems)
+			body := func(r *mpi.Rank) {
+				me := r.Rank()
+				send := make([]byte, elems*nums.F64Size)
+				recv := make([]byte, elems*nums.F64Size)
+				nums.Fill(send, me)
+				outs[me].err = mpi.Try(func() {
+					coll.ReduceScatterBlock(coll.World(r), send, recv[me*block:(me+1)*block], nums.Sum)
+					window := int(r.NextEpoch()) << 24
+					if me == 0 {
+						for i := 1; i < n; i++ {
+							// BUG: slot i is the i-th ARRIVAL, not the sender's
+							// block id — correct code would probe for the source
+							// or use per-source tags.
+							r.Recv(mpi.AnySource, window, recv[i*block:(i+1)*block])
+						}
+						for dst := 1; dst < n; dst++ {
+							r.Send(dst, window+1, recv)
+						}
+					} else {
+						r.Send(0, window, recv[me*block:(me+1)*block])
+						r.Recv(0, window+1, recv)
+					}
+				})
+				outs[me].out = recv
+				outs[me].done = true
+			}
+			return w, body, checkOutcomes(nil, outs, want)
+		},
+	}
+}
+
+// AgreeShrink drives one Agree / Shrink / Agree sequence on the world
+// communicator. The pinned property is lockstep: every rank that completes
+// reports an identical transcript (agreed value, ok flag, survivor set,
+// post-shrink agreement) — fault-free it must equal the serial reference,
+// and under any kill timing the survivors must still agree with each other.
+func AgreeShrink(nodes, ppn int, kill *fault.KillOp) Program {
+	return Program{
+		Name: fmt.Sprintf("agree-shrink-%dx%d", nodes, ppn),
+		Kill: kill,
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := newWorld(nodes, ppn, kill)
+			n := nodes * ppn
+			outs := make([]outcome, n)
+			allBits := uint64(1)<<n - 1
+			want := []byte(fmt.Sprintf("v=%x ok=true survivors=%v v2=%x ok2=true",
+				^allBits, worldRanks(n), allBits))
+			body := func(r *mpi.Rank) {
+				me := r.Rank()
+				outs[me].err = mpi.Try(func() {
+					c := mpi.WorldComm(r)
+					// Contribute ^0 with our own bit cleared: the AND ends up
+					// with exactly the non-contributors' bits set.
+					v, ok := c.Agree(^uint64(0) &^ (1 << uint(me)))
+					nc := c.Shrink()
+					var mask uint64
+					for _, wr := range nc.WorldRanks() {
+						mask |= 1 << wr
+					}
+					v2, ok2 := nc.Agree(mask)
+					outs[me].out = []byte(fmt.Sprintf("v=%x ok=%v survivors=%v v2=%x ok2=%v",
+						v, ok, nc.WorldRanks(), v2, ok2))
+				})
+				outs[me].done = true
+			}
+			check := func(w *mpi.World, runErr error) error {
+				if kill == nil {
+					return checkOutcomes(nil, outs, want)(w, runErr)
+				}
+				if err := checkOutcomes(kill, outs, nil)(w, runErr); err != nil {
+					return err
+				}
+				var ref []byte
+				for r := range outs {
+					o := outs[r]
+					if r == kill.Rank || !o.done || o.err != nil {
+						continue
+					}
+					if ref == nil {
+						ref = o.out
+					} else if !bytes.Equal(o.out, ref) {
+						return fmt.Errorf("agreement broke lockstep: rank %d says %q, earlier survivor says %q",
+							r, o.out, ref)
+					}
+				}
+				return nil
+			}
+			return w, body, check
+		},
+	}
+}
+
+// RecoverAllreduce wraps the ring allreduce in the shrink-and-retry
+// recovery loop: under any kill timing, every rank that completes recovery
+// must land on the same shrunk membership and hold the serial sum over
+// exactly that membership, bit-exact.
+func RecoverAllreduce(nodes, ppn, elems int, kill *fault.KillOp) Program {
+	return Program{
+		Name: fmt.Sprintf("recover-allreduce-%dx%d-%de", nodes, ppn, elems),
+		Kill: kill,
+		Build: func() (*mpi.World, func(*mpi.Rank), CheckFn) {
+			w := newWorld(nodes, ppn, kill)
+			n := nodes * ppn
+			outs := make([]outcome, n)
+			members := make([][]int, n)
+			body := func(r *mpi.Rank) {
+				me := r.Rank()
+				send := make([]byte, elems*nums.F64Size)
+				recv := make([]byte, elems*nums.F64Size)
+				final, _, err := recovery.RunWithRecovery(mpi.WorldComm(r), func(c *mpi.Comm) error {
+					nums.Fill(send, me)
+					return mpi.Try(func() {
+						coll.AllreduceRing(coll.CommView(c), send, recv, nums.Sum)
+					})
+				}, n)
+				if err == nil {
+					members[me] = final.WorldRanks()
+				}
+				outs[me].out, outs[me].err, outs[me].done = recv, err, true
+			}
+			check := func(w *mpi.World, runErr error) error {
+				if err := checkOutcomes(kill, outs, nil)(w, runErr); err != nil {
+					return err
+				}
+				var refMembers []int
+				for r := range outs {
+					o := outs[r]
+					if (kill != nil && r == kill.Rank) || !o.done || o.err != nil {
+						continue
+					}
+					if refMembers == nil {
+						refMembers = members[r]
+					} else if fmt.Sprint(members[r]) != fmt.Sprint(refMembers) {
+						return fmt.Errorf("recovery diverged: rank %d on members %v, earlier survivor on %v",
+							r, members[r], refMembers)
+					}
+					if want := serialSum(members[r], elems); !bytes.Equal(o.out, want) {
+						return fmt.Errorf("rank %d recovered result differs from serial sum over %v",
+							r, members[r])
+					}
+				}
+				return nil
+			}
+			return w, body, check
+		},
+	}
+}
+
+// defaultChooser drives a counting baseline run: always the default pick.
+type defaultChooser struct{}
+
+func (defaultChooser) Choose(simtime.ChoiceKind, []simtime.Cand) int { return 0 }
+
+// KillVariants enumerates every op-boundary kill scenario for a program
+// family: it runs the fault-free variant once under the default schedule to
+// count each rank's operation boundaries, then builds one Program per
+// (rank, boundary, before/after). Boundary counts are taken from the
+// default schedule; a kill index past another schedule's count simply never
+// fires there (the rank survives), which the kill contract already covers.
+func KillVariants(mk func(*fault.KillOp) Program) ([]Program, error) {
+	base := mk(nil)
+	w, body, _ := base.Build()
+	w.SetChooser(defaultChooser{})
+	if err := w.Run(body); err != nil {
+		return nil, fmt.Errorf("mc: baseline run of %q failed: %w", base.Name, err)
+	}
+	var out []Program
+	for r, ops := range w.OpCounts() {
+		for op := 0; op < ops; op++ {
+			for _, after := range []bool{false, true} {
+				kill := &fault.KillOp{Rank: r, Op: op, After: after}
+				p := mk(kill)
+				p.Name = fmt.Sprintf("%s/%s", p.Name, killClause(kill))
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}

@@ -18,11 +18,19 @@ type TimeoutError struct {
 	Source   int    // AnySource for wildcard receives
 	Tag      int
 	Deadline simtime.Time // virtual time at which the operation gave up
+	// Schedule is the schedule certificate of the interleaving that fired the
+	// timeout, set under schedule exploration (where timeouts are enumerated
+	// choices); "" otherwise.
+	Schedule string
 }
 
 func (e *TimeoutError) Error() string {
-	return fmt.Sprintf("mpi: rank %d %s (src=%d, tag=%d) timed out at %v",
+	s := fmt.Sprintf("mpi: rank %d %s (src=%d, tag=%d) timed out at %v",
 		e.Rank, e.Op, e.Source, e.Tag, e.Deadline)
+	if e.Schedule != "" {
+		s += " [schedule " + e.Schedule + "]"
+	}
+	return s
 }
 
 // BlockedRank is one entry of a deadlock diagnosis: which rank is stuck,
@@ -69,8 +77,11 @@ type DeadlockError struct {
 	Blocked []BlockedRank
 	// At is the virtual time of the wedge (the engine horizon when the
 	// event queue drained).
-	At     simtime.Time
-	engine *simtime.DeadlockError
+	At simtime.Time
+	// Schedule is the schedule certificate of the interleaving that wedged,
+	// set under schedule exploration; "" otherwise.
+	Schedule string
+	engine   *simtime.DeadlockError
 }
 
 func (e *DeadlockError) Error() string {
@@ -78,8 +89,12 @@ func (e *DeadlockError) Error() string {
 	for i, b := range e.Blocked {
 		parts[i] = b.String()
 	}
-	return fmt.Sprintf("mpi: deadlock at %v, %d rank(s) blocked: %s",
+	s := fmt.Sprintf("mpi: deadlock at %v, %d rank(s) blocked: %s",
 		e.At, len(e.Blocked), strings.Join(parts, "; "))
+	if e.Schedule != "" {
+		s += " [schedule " + e.Schedule + "]"
+	}
+	return s
 }
 
 // Unwrap exposes the underlying engine diagnosis.
@@ -137,7 +152,7 @@ func (w *World) wrapRunError(err error) error {
 }
 
 func (w *World) diagnoseDeadlock(de *simtime.DeadlockError) *DeadlockError {
-	me := &DeadlockError{engine: de, At: de.At}
+	me := &DeadlockError{engine: de, At: de.At, Schedule: de.Schedule}
 	for _, pi := range de.Info {
 		b := BlockedRank{Rank: -1, Name: pi.Name, Op: pi.Reason,
 			Source: -1, Tag: -1, Since: pi.At, WaitsOn: pi.WaitsOn}

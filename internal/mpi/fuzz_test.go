@@ -39,6 +39,16 @@ func FuzzMatching(f *testing.F) {
 	f.Add([]byte{5, 6, 1, 2, 0, 1, 1, 0})
 	f.Add([]byte{9, 8, 2, 2, 1, 3, 1, 0, 50, 200, 7, 7})
 	f.Add([]byte{4, 10, 3, 1, 2, 0, 1, 3, 255, 9})
+	// Seeds transcribed from the model checker's minimized counterexamples
+	// against the planted broken-allreduce (internal/mc): certificates
+	// mc1;t0/4,t0/3,t0/2,m1/2 and mc1;t0/4,t2/3,t1/2 convict an
+	// arrival-order assumption on three same-tag senders into rank 0. These
+	// encode that scenario in this harness's byte protocol — one message per
+	// sender on a shared tag with the receive posting order permuted — at an
+	// eager size, a rendezvous size, and with a mid-schedule kill.
+	f.Add([]byte{2, 0, 0, 0, 1, 0, 2, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 12, 0, 0, 1, 0, 2, 0, 1, 1, 0, 0, 0})
+	f.Add([]byte{2, 5, 0, 0, 1, 0, 2, 0, 1, 0, 1, 2, 30})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			t.Skip()

@@ -100,11 +100,21 @@ type World struct {
 	commIDs uint64
 	envFree []*envelope // recycled message envelopes (see getEnv/putEnv)
 
+	// Schedule-exploration state (see SetChooser). exploring switches the
+	// wildcard-receive and timeout paths to enumerated choice points; opGate
+	// (hasKills || exploring) gates the per-op boundary hook so fault-free,
+	// unexplored runs stay bit-identical.
+	exploring bool
+	opGate    bool
+
 	// ULFM failure-model state (see ulfm.go). hasKills gates every check so
 	// fault-free runs stay bit-identical; the slices are allocated regardless
 	// (the deadlock diagnosis reads dead/exited unconditionally).
 	hasKills  bool
 	killAt    []simtime.Time  // [rank] kill time, killNever when unkilled
+	killOp    []int           // [rank] op-boundary kill index, -1 when none
+	killAfter []bool          // [rank] arm at the boundary instead of dying at it
+	opCount   []int           // [rank] operation boundaries passed (opGate runs)
 	dead      []bool          // [rank] rank has died
 	deadAt    []simtime.Time  // [rank] death time, valid when dead
 	deadCount int             // number of dead ranks
@@ -168,11 +178,15 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 	}
 	w.ranks = make([]*Rank, cluster.Size())
 	w.killAt = make([]simtime.Time, cluster.Size())
+	w.killOp = make([]int, cluster.Size())
+	w.killAfter = make([]bool, cluster.Size())
+	w.opCount = make([]int, cluster.Size())
 	w.dead = make([]bool, cluster.Size())
 	w.deadAt = make([]simtime.Time, cluster.Size())
 	w.exited = make([]bool, cluster.Size())
 	w.procs = make([]*simtime.Proc, cluster.Size())
 	w.hasKills = cfg.Faults.HasKills()
+	w.opGate = w.hasKills
 	w.fdBudget = 64*cluster.Size() + 64
 	for r := range w.ranks {
 		node, local := cluster.Place(r)
@@ -188,6 +202,10 @@ func NewWorld(cluster *topology.Cluster, cfg Config) (*World, error) {
 		w.killAt[r] = killNever
 		if at, ok := cfg.Faults.KillTime(r, node); ok {
 			w.killAt[r] = at
+		}
+		w.killOp[r] = -1
+		if op, after, ok := cfg.Faults.OpKill(r); ok {
+			w.killOp[r], w.killAfter[r] = op, after
 		}
 	}
 	if w.hasKills {
@@ -208,6 +226,29 @@ func MustNewWorld(cluster *topology.Cluster, cfg Config) *World {
 
 // Cluster returns the world's cluster description.
 func (w *World) Cluster() *topology.Cluster { return w.cluster }
+
+// Engine exposes the world's simulation engine, for the model-checking
+// harness (schedule certificates, footprint slices).
+func (w *World) Engine() *simtime.Engine { return w.engine }
+
+// SetChooser attaches (or, with nil, removes) a schedule-exploration chooser
+// before Run: the engine consults it at dispatch tie-breaks, wildcard
+// receives offer their queued-match selection as a choice point, and
+// OpTimeout deadlines are enumerated as fire-or-block choices instead of
+// racing virtual time. Typed failures raised while exploring embed the
+// chooser's schedule certificate (when it implements simtime.Certifier).
+func (w *World) SetChooser(c simtime.Chooser) {
+	w.engine.SetChooser(c)
+	w.exploring = c != nil
+	w.opGate = w.hasKills || w.exploring
+}
+
+// OpCounts returns each rank's count of MPI operation boundaries passed
+// (send entries, receive completions, probes, agreement arrivals). Counted
+// only while a chooser is attached or the fault plan kills somebody; the
+// model checker uses a baseline run's counts to enumerate op-boundary kill
+// timings exhaustively.
+func (w *World) OpCounts() []int { return append([]int(nil), w.opCount...) }
 
 // Config returns the world's transport configuration.
 func (w *World) Config() Config { return w.cfg }

@@ -228,9 +228,8 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: Isend to rank %d in world of %d", dst, r.Size()))
 	}
-	if r.world.hasKills {
-		r.checkSelfKill()
-		r.checkPeerDead("send", dst)
+	if r.world.opGate {
+		r.opBoundary("send", dst)
 	}
 	if r.noise != nil {
 		r.chargeNoise()
@@ -422,9 +421,8 @@ func (r *Rank) Waitall(reqs ...*Request) {
 // copy-out costs for eager paths, the mechanism's single-copy cost for
 // intranode rendezvous, and truncation checking throughout.
 func (r *Rank) completeRecv(q *Request) {
-	if r.world.hasKills {
-		r.checkSelfKill()
-		r.checkPeerDead("recv", q.src) // AnySource (-1) never fails fast
+	if r.world.opGate {
+		r.opBoundary("recv", q.src) // AnySource (-1) never fails fast
 	}
 	if r.noise != nil {
 		r.chargeNoise()
@@ -432,17 +430,34 @@ func (r *Rank) completeRecv(q *Request) {
 	t0 := r.proc.Now()
 	match := r.match(q.src, q.tag)
 	r.setPending("recv", q.src, q.tag)
+	wildcard := q.src == AnySource || q.tag == AnyTag
+	inbox := r.world.fab.Inbox(r.ep)
 	var item any
-	if d := r.world.cfg.OpTimeout; d > 0 {
+	switch d := r.world.cfg.OpTimeout; {
+	case d > 0 && r.world.exploring:
+		// Under exploration the timeout is a choice, not a race: with no
+		// queued match, the chooser decides whether the watchdog fires here
+		// or the receive blocks optimistically (a block that never completes
+		// surfaces as a certified DeadlockError).
 		deadline := t0.Add(d)
-		got, ok := r.world.fab.Inbox(r.ep).GetDeadline(r.proc, match, deadline)
+		if _, ok := inbox.TryPeek(r.proc, match); !ok {
+			if r.world.engine.Chooser().Choose(simtime.ChooseTimeout, timeoutCands) == 1 {
+				r.proc.AdvanceTo(deadline)
+				panic(&TimeoutError{Rank: r.rank, Op: "recv", Source: q.src, Tag: q.tag,
+					Deadline: deadline, Schedule: r.world.engine.Certificate()})
+			}
+		}
+		item = r.getMatch(inbox, match, wildcard)
+	case d > 0:
+		deadline := t0.Add(d)
+		got, ok := inbox.GetDeadline(r.proc, match, deadline)
 		if !ok {
 			panic(&TimeoutError{Rank: r.rank, Op: "recv",
 				Source: q.src, Tag: q.tag, Deadline: deadline})
 		}
 		item = got
-	} else {
-		item = r.world.fab.Inbox(r.ep).Get(r.proc, match)
+	default:
+		item = r.getMatch(inbox, match, wildcard)
 	}
 	r.clearPending()
 	env := envOf(item)
@@ -495,6 +510,48 @@ func (r *Rank) completeRecv(q *Request) {
 	r.world.putEnv(env) // the receive owns the last (or only) delivery handle
 }
 
+// timeoutCands are the two outcomes of an enumerated OpTimeout choice:
+// 0 = block (the timeout does not fire), 1 = fire the watchdog now.
+var timeoutCands = []simtime.Cand{{Proc: -1}, {Proc: -1}}
+
+// getMatch takes the matching envelope off the inbox. Wildcard receives
+// under exploration expose the queued-match selection as a ChooseMatch
+// point; exact-match receives always take the oldest (MPI's non-overtaking
+// rule leaves them no freedom).
+func (r *Rank) getMatch(inbox *simtime.Mailbox, match func(any) bool, wildcard bool) any {
+	if r.world.exploring && wildcard {
+		return inbox.GetChoose(r.proc, match)
+	}
+	return inbox.Get(r.proc, match)
+}
+
+// opBoundary is the per-operation hook run at every MPI operation entry
+// (sends, receive completions, probes, agreement arrivals) when the world
+// has kills declared or a chooser attached. It delivers this rank's own
+// pending death, counts the boundary, executes op-indexed kills
+// (fault.KillOp) — dying at the boundary, or arming a mid-op death that the
+// next boundary/resume or the quiescence detector delivers — and fails fast
+// against a peer already known dead.
+func (r *Rank) opBoundary(op string, peer int) {
+	w := r.world
+	if w.hasKills {
+		r.checkSelfKill()
+	}
+	k := w.opCount[r.rank]
+	w.opCount[r.rank] = k + 1
+	if w.killOp[r.rank] == k {
+		if w.killAfter[r.rank] {
+			w.killAt[r.rank] = r.proc.Now()
+		} else {
+			w.killRank(r, r.proc.Now())
+			panic(rankKilled{r.rank})
+		}
+	}
+	if w.hasKills {
+		r.checkPeerDead(op, peer)
+	}
+}
+
 // Status describes a pending message observed by Probe/Iprobe.
 type Status struct {
 	Source int
@@ -509,15 +566,20 @@ func (r *Rank) Probe(src, tag int) Status {
 	if src != AnySource && (src < 0 || src >= r.Size()) {
 		panic(fmt.Sprintf("mpi: Probe from rank %d in world of %d", src, r.Size()))
 	}
-	if r.world.hasKills {
-		r.checkSelfKill()
-		r.checkPeerDead("probe", src)
+	if r.world.opGate {
+		r.opBoundary("probe", src)
 	}
 	if r.noise != nil {
 		r.chargeNoise()
 	}
 	r.setPending("probe", src, tag)
-	item := r.world.fab.Inbox(r.ep).Peek(r.proc, r.match(src, tag))
+	inbox := r.world.fab.Inbox(r.ep)
+	var item any
+	if r.world.exploring && (src == AnySource || tag == AnyTag) {
+		item = inbox.PeekChoose(r.proc, r.match(src, tag))
+	} else {
+		item = inbox.Peek(r.proc, r.match(src, tag))
+	}
 	r.clearPending()
 	env := envOf(item)
 	return Status{Source: env.src, Tag: env.tag, Bytes: env.n}

@@ -58,10 +58,18 @@ const killNever = simtime.Time(math.MaxInt64)
 type ProcFailedError struct {
 	Rank       int
 	DetectedAt simtime.Time
+	// Schedule is the schedule certificate of the interleaving that raised
+	// the failure, set when the run was driven by a certifying chooser
+	// (schedule exploration); "" otherwise.
+	Schedule string
 }
 
 func (e *ProcFailedError) Error() string {
-	return fmt.Sprintf("mpi: rank %d failed (detected at %v)", e.Rank, e.DetectedAt)
+	s := fmt.Sprintf("mpi: rank %d failed (detected at %v)", e.Rank, e.DetectedAt)
+	if e.Schedule != "" {
+		s += " [schedule " + e.Schedule + "]"
+	}
+	return s
 }
 
 // RevokedError reports an operation on a communicator that a member revoked
@@ -132,7 +140,7 @@ func (r *Rank) checkPeerDead(op string, peer int) {
 	if w.rec != nil {
 		w.rec.FailureDetected(r.proc, op, peer, now, now)
 	}
-	panic(&ProcFailedError{Rank: peer, DetectedAt: now})
+	panic(&ProcFailedError{Rank: peer, DetectedAt: now, Schedule: w.engine.Certificate()})
 }
 
 // killRank executes a rank's death in the dying process's own context:
@@ -222,7 +230,8 @@ func (w *World) onQuiesce(at simtime.Time) bool {
 			if w.rec != nil {
 				w.rec.FailureDetected(p, "blocked", peer, p.Now(), at)
 			}
-			w.engine.Fail(p, &ProcFailedError{Rank: peer, DetectedAt: at}, at)
+			w.engine.Fail(p, &ProcFailedError{Rank: peer, DetectedAt: at,
+				Schedule: w.engine.Certificate()}, at)
 			acted = true
 		}
 		w.engine.ForEachParked(func(p *simtime.Proc) {
@@ -375,8 +384,8 @@ func (w *World) tryPublish(rd *ftRound, p *simtime.Proc) {
 func (c *Comm) arrive(name string, rd *ftRound, contrib uint64) {
 	r := c.r
 	w := r.world
-	if w.hasKills {
-		r.checkSelfKill()
+	if w.opGate {
+		r.opBoundary(name, -1)
 	}
 	if !rd.arrived[c.me] {
 		rd.arrived[c.me] = true

@@ -21,6 +21,15 @@ const (
 	// MetricRecoverRetries counts collective re-executions performed by the
 	// recovery loop (successful first attempts count zero).
 	MetricRecoverRetries = "recover.retries"
+	// MetricMCSchedules counts interleavings executed by the model-checking
+	// explorer (internal/mc).
+	MetricMCSchedules = "mc.schedules"
+	// MetricMCPruned counts alternative interleavings the explorer's
+	// partial-order reduction proved redundant and skipped.
+	MetricMCPruned = "mc.pruned"
+	// MetricMCViolations counts interleavings that broke the explored
+	// program's correctness contract.
+	MetricMCViolations = "mc.violations"
 )
 
 // ProcKilled records one permanent rank death: the counter always, plus an

@@ -1,0 +1,267 @@
+package simtime
+
+// Schedule exploration: the engine's nondeterministic choice points, exposed
+// as a hook. A sequential discrete-event simulation is deterministic by
+// construction — the heap pops a total order over (time, seq) — but that
+// determinism is a *policy*, not a property of the modeled system. Wherever
+// the model itself leaves an order unspecified, the engine consults an
+// attached Chooser instead of silently applying the default:
+//
+//   - ChooseTie: several events are due at the same virtual instant. The
+//     modeled system may run them in any order; the default policy is FIFO
+//     by posting sequence.
+//   - ChooseMatch: a wildcard receive finds more than one queued message
+//     matching its predicate (MPI_ANY_SOURCE). The matching rules allow any
+//     of them; the default policy takes the oldest.
+//   - ChooseTimeout: a deadline-bounded wait races its timer against a
+//     wakeup. The default policy resolves the race by virtual time; under
+//     exploration the layer above enumerates both outcomes as a choice.
+//   - ChooseKill: reserved for the fault layer's kill-timing enumeration;
+//     the engine itself never emits it.
+//
+// With no chooser attached (the default), none of these paths execute and
+// scheduling is bit-identical to a build without this file: all goldens,
+// replay recordings and throughput pins are unchanged. The model-checking
+// harness in internal/mc attaches a recording/forcing chooser and
+// systematically explores the choice tree.
+
+import "fmt"
+
+// ChoiceKind labels one family of nondeterministic choice points.
+type ChoiceKind uint8
+
+// The choice-point families. Their one-letter codes (t, m, o, k) are the
+// tokens of schedule certificates (see internal/mc).
+const (
+	ChooseTie     ChoiceKind = iota // dispatch order among equal-time events
+	ChooseMatch                     // wildcard receive: which queued match to take
+	ChooseTimeout                   // deadline-bounded wait: fire the timeout or block
+	ChooseKill                      // fault layer: die at this boundary or continue
+)
+
+// Code returns the certificate token letter for the kind.
+func (k ChoiceKind) Code() byte {
+	switch k {
+	case ChooseTie:
+		return 't'
+	case ChooseMatch:
+		return 'm'
+	case ChooseTimeout:
+		return 'o'
+	case ChooseKill:
+		return 'k'
+	}
+	return '?'
+}
+
+// KindFromCode is the inverse of Code.
+func KindFromCode(c byte) (ChoiceKind, bool) {
+	switch c {
+	case 't':
+		return ChooseTie, true
+	case 'm':
+		return ChooseMatch, true
+	case 'o':
+		return ChooseTimeout, true
+	case 'k':
+		return ChooseKill, true
+	}
+	return 0, false
+}
+
+// String returns the kind's name.
+func (k ChoiceKind) String() string {
+	switch k {
+	case ChooseTie:
+		return "tie"
+	case ChooseMatch:
+		return "match"
+	case ChooseTimeout:
+		return "timeout"
+	case ChooseKill:
+		return "kill"
+	}
+	return fmt.Sprintf("ChoiceKind(%d)", int(k))
+}
+
+// Cand describes one alternative at a choice point. For ChooseTie it names
+// the process the candidate event wakes; other kinds carry -1.
+type Cand struct {
+	Proc int
+}
+
+// Chooser decides nondeterministic choice points. Choose must return an
+// index in [0, len(cands)); returning 0 everywhere reproduces the engine's
+// default deterministic schedule exactly. Choose is called while the engine
+// is serialized, so implementations need no locking.
+type Chooser interface {
+	Choose(kind ChoiceKind, cands []Cand) int
+}
+
+// Certifier is the optional Chooser extension for failure reporting: a
+// chooser that can render the decisions taken so far as a replayable
+// schedule certificate. When the engine (or a layer above) raises a typed
+// failure under exploration, it attaches the certificate so the failing
+// interleaving is reproducible from the error message alone.
+type Certifier interface {
+	Certificate() string
+}
+
+// SetChooser installs (or, with nil, removes) the engine's schedule chooser.
+// Call it before Run. While a chooser is attached the engine also records
+// per-dispatch footprint slices (see Slices) for independence analysis.
+func (e *Engine) SetChooser(c Chooser) { e.chooser = c }
+
+// Chooser returns the attached chooser, or nil.
+func (e *Engine) Chooser() Chooser { return e.chooser }
+
+// Certificate returns the attached chooser's schedule certificate, or ""
+// when no certifying chooser is attached. Typed failures raised under
+// exploration embed it so they are reproducible from the message alone.
+func (e *Engine) Certificate() string {
+	if c, ok := e.chooser.(Certifier); ok {
+		return c.Certificate()
+	}
+	return ""
+}
+
+// SliceInfo is the footprint of one dispatch slice — everything the resumed
+// process did between being dispatched and its next park — recorded only
+// while a chooser is attached. The model checker's partial-order reduction
+// uses it: two equal-time events whose slices touch disjoint synchronization
+// objects commute, so only one of their orders needs exploring.
+type SliceInfo struct {
+	// Proc is the id of the dispatched process.
+	Proc int
+	// Objs are small ids (assigned per engine, first-touch order) of the
+	// synchronization objects — mailboxes, counters, barriers — the slice
+	// touched.
+	Objs []uint32
+	// Joined marks a slice that posted new work at its own instant (or other
+	// machinery, like a quiescence handler, posted during it): the tie group
+	// changed underfoot, so the slice must be treated as dependent with
+	// everything at that instant.
+	Joined bool
+}
+
+// Slices returns the dispatch-slice footprints recorded so far, in dispatch
+// order. The returned slice is shared; callers must not modify it. Empty
+// unless a chooser was attached before Run.
+func (e *Engine) Slices() []SliceInfo { return e.slices }
+
+// touch records that the running process's current slice accessed the given
+// synchronization object. Primitives call it on every operation; with no
+// chooser attached it is a single nil check.
+func (e *Engine) touch(obj any) {
+	if e.chooser == nil || len(e.slices) == 0 {
+		return
+	}
+	if e.objIDs == nil {
+		e.objIDs = make(map[any]uint32)
+	}
+	id, ok := e.objIDs[obj]
+	if !ok {
+		id = uint32(len(e.objIDs))
+		e.objIDs[obj] = id
+	}
+	s := &e.slices[len(e.slices)-1]
+	for _, o := range s.Objs {
+		if o == id {
+			return
+		}
+	}
+	s.Objs = append(s.Objs, id)
+}
+
+// GetChoose is Mailbox.Get with the queued-match selection exposed as a
+// ChooseMatch choice point: when a chooser is attached and more than one
+// queued item satisfies the predicate, the chooser picks which is taken
+// (wildcard-receive semantics — MPI's matching rules allow any of them).
+// With no chooser, or fewer than two matches, it is exactly Get.
+func (m *Mailbox) GetChoose(p *Proc, match func(any) bool) any {
+	if i, ok := m.pickQueued(p, match); ok {
+		it := m.items[i]
+		m.items = append(m.items[:i], m.items[i+1:]...)
+		p.AdvanceTo(it.t)
+		return it.item
+	}
+	return m.Get(p, match)
+}
+
+// PeekChoose is Mailbox.Peek with the same ChooseMatch exposure as GetChoose.
+// The caller is expected to follow up with an exact (fully-determined) Get, so
+// the choice made here decides the match once, not twice.
+func (m *Mailbox) PeekChoose(p *Proc, match func(any) bool) any {
+	if i, ok := m.pickQueued(p, match); ok {
+		it := m.items[i]
+		p.AdvanceTo(it.t)
+		return it.item
+	}
+	return m.Peek(p, match)
+}
+
+// pickQueued runs the ChooseMatch choice point over the queued matching
+// items. It reports false when the default policy applies: no chooser, or
+// fewer than two queued matches.
+func (m *Mailbox) pickQueued(p *Proc, match func(any) bool) (int, bool) {
+	e := p.e
+	if e.chooser == nil {
+		return 0, false
+	}
+	e.touch(m)
+	var idxs []int
+	for i, it := range m.items {
+		if match == nil || match(it.item) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) < 2 {
+		return 0, false
+	}
+	cands := make([]Cand, len(idxs))
+	for i := range cands {
+		cands[i] = Cand{Proc: -1}
+	}
+	k := e.chooser.Choose(ChooseMatch, cands)
+	if k < 0 || k >= len(idxs) {
+		panic(fmt.Sprintf("simtime: chooser picked %d of %d queued matches", k, len(idxs)))
+	}
+	return idxs[k], true
+}
+
+// chooseTie resolves a dispatch tie: ev has just been popped and at least
+// one more event is due at the same instant. All equal-time events are
+// collected, the chooser picks which goes first, and the rest are pushed
+// back (their seq numbers are preserved, so the remaining group re-forms a
+// choice point at the next iteration). Withdrawn timers are discarded here
+// exactly as the main loop would.
+func (e *Engine) chooseTie(ev event) event {
+	cands := e.tieBuf[:0]
+	cands = append(cands, ev)
+	for len(e.events) > 0 && e.events[0].t == ev.t {
+		c := e.events.pop()
+		if c.cancel != nil && *c.cancel {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	e.tieBuf = cands
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	meta := make([]Cand, len(cands))
+	for i, c := range cands {
+		meta[i] = Cand{Proc: c.p.id}
+	}
+	k := e.chooser.Choose(ChooseTie, meta)
+	if k < 0 || k >= len(cands) {
+		panic(fmt.Sprintf("simtime: chooser picked %d of %d tie candidates", k, len(cands)))
+	}
+	chosen := cands[k]
+	for i, c := range cands {
+		if i != k {
+			e.events.push(c)
+		}
+	}
+	return chosen
+}

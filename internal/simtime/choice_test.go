@@ -1,0 +1,190 @@
+package simtime
+
+import (
+	"strings"
+	"testing"
+)
+
+// scriptChooser forces a fixed pick sequence, then defaults to 0. It records
+// every choice point it is offered.
+type scriptChooser struct {
+	script []int
+	seen   []ChoiceKind
+	arity  []int
+}
+
+func (s *scriptChooser) Choose(kind ChoiceKind, cands []Cand) int {
+	i := len(s.seen)
+	s.seen = append(s.seen, kind)
+	s.arity = append(s.arity, len(cands))
+	if i < len(s.script) {
+		return s.script[i]
+	}
+	return 0
+}
+
+// tieWorld spawns n processes that all wake at the same instant and append
+// their id to order.
+func tieWorld(n int, order *[]int) *Engine {
+	e := NewEngine()
+	for i := 0; i < n; i++ {
+		id := i
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(Duration(100)) // all due at t=100: a guaranteed tie
+			*order = append(*order, id)
+		})
+	}
+	return e
+}
+
+// TestChooserDefaultPreservesOrder pins that an attached all-zeros chooser
+// reproduces the engine's default deterministic schedule exactly.
+func TestChooserDefaultPreservesOrder(t *testing.T) {
+	var base []int
+	if err := tieWorld(3, &base).Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	e := tieWorld(3, &got)
+	c := &scriptChooser{}
+	e.SetChooser(c)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 3 || len(got) != 3 {
+		t.Fatalf("order lens: base=%v got=%v", base, got)
+	}
+	for i := range base {
+		if base[i] != got[i] {
+			t.Fatalf("default chooser changed schedule: base=%v got=%v", base, got)
+		}
+	}
+	if len(c.seen) == 0 || c.seen[0] != ChooseTie {
+		t.Fatalf("expected ChooseTie choice points, saw %v", c.seen)
+	}
+	// Three processes due at one instant: first point has 3 candidates, the
+	// re-formed group has 2.
+	if c.arity[0] != 3 || c.arity[1] != 2 {
+		t.Fatalf("tie arities = %v, want [3 2]", c.arity)
+	}
+}
+
+// TestChooserAltTieOrder pins that a non-default tie pick reorders dispatch.
+func TestChooserAltTieOrder(t *testing.T) {
+	var got []int
+	e := tieWorld(3, &got)
+	e.SetChooser(&scriptChooser{script: []int{2}}) // run the last-posted first
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("forced pick 2 of tie, dispatch order = %v", got)
+	}
+}
+
+// TestGetChooseMatchPoint pins that GetChoose offers a ChooseMatch point over
+// queued matches and honours the pick, while plain Get stays FIFO.
+func TestGetChooseMatchPoint(t *testing.T) {
+	run := func(pick int) (val int, c *scriptChooser) {
+		e := NewEngine()
+		var mb Mailbox
+		c = &scriptChooser{script: []int{pick}}
+		e.SetChooser(c)
+		e.Spawn("w", func(p *Proc) {
+			mb.Put(p, 10)
+			mb.Put(p, 20)
+			mb.Put(p, 30)
+			val = mb.GetChoose(p, nil).(int)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return val, c
+	}
+	v, c := run(0)
+	if v != 10 {
+		t.Fatalf("pick 0 got %d, want 10", v)
+	}
+	if len(c.seen) != 1 || c.seen[0] != ChooseMatch || c.arity[0] != 3 {
+		t.Fatalf("choice points = %v arity %v, want one ChooseMatch/3", c.seen, c.arity)
+	}
+	if v, _ := run(2); v != 30 {
+		t.Fatalf("pick 2 got %d, want 30", v)
+	}
+}
+
+// TestSlicesRecordFootprints pins that dispatch slices record touched
+// synchronization objects and that disjoint mailboxes get distinct ids.
+func TestSlicesRecordFootprints(t *testing.T) {
+	e := NewEngine()
+	var a, b Mailbox
+	e.SetChooser(&scriptChooser{})
+	e.Spawn("pa", func(p *Proc) {
+		p.Sleep(Duration(10))
+		a.Put(p, 1)
+	})
+	e.Spawn("pb", func(p *Proc) {
+		p.Sleep(Duration(10))
+		b.Put(p, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slices := e.Slices()
+	if len(slices) == 0 {
+		t.Fatal("no slices recorded under chooser")
+	}
+	// The two post-sleep slices touch one mailbox each, with different ids.
+	var objs [][]uint32
+	for _, s := range slices {
+		if len(s.Objs) > 0 {
+			objs = append(objs, s.Objs)
+		}
+	}
+	if len(objs) != 2 || len(objs[0]) != 1 || len(objs[1]) != 1 || objs[0][0] == objs[1][0] {
+		t.Fatalf("footprints = %v, want two disjoint single-object slices", objs)
+	}
+}
+
+// TestRecordRefusesChooser pins that schedule memoization refuses an engine
+// under exploration.
+func TestRecordRefusesChooser(t *testing.T) {
+	e := NewEngine()
+	e.SetChooser(&scriptChooser{})
+	if _, err := e.Record(); err == nil || !strings.Contains(err.Error(), "chooser") {
+		t.Fatalf("Record on chooser engine: err=%v, want chooser refusal", err)
+	}
+}
+
+type fixedCert string
+
+func (f fixedCert) Choose(ChoiceKind, []Cand) int { return 0 }
+func (f fixedCert) Certificate() string           { return string(f) }
+
+// TestDeadlockCarriesSchedule pins that a deadlock under a certifying chooser
+// embeds the schedule certificate in the typed error and its message.
+func TestDeadlockCarriesSchedule(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox
+	e.SetChooser(fixedCert("mc1;t1/2"))
+	e.Spawn("stuck", func(p *Proc) { mb.Get(p, nil) })
+	err := e.Run()
+	var d *DeadlockError
+	if !asDeadlock(err, &d) {
+		t.Fatalf("Run err = %v, want DeadlockError", err)
+	}
+	if d.Schedule != "mc1;t1/2" {
+		t.Fatalf("Schedule = %q", d.Schedule)
+	}
+	if !strings.Contains(d.Error(), "mc1;t1/2") {
+		t.Fatalf("message %q lacks certificate", d.Error())
+	}
+}
+
+func asDeadlock(err error, out **DeadlockError) bool {
+	d, ok := err.(*DeadlockError)
+	if ok {
+		*out = d
+	}
+	return ok
+}

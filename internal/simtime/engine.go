@@ -34,6 +34,15 @@ type Engine struct {
 	// replay (see replay.go). Recording never alters scheduling: the hooks
 	// only append to the recording's buffers.
 	rec *Recording
+	// chooser, when set, decides the engine's nondeterministic choice points
+	// (dispatch tie-breaks) and switches on footprint-slice recording; see
+	// choice.go. Nil — the default — keeps scheduling bit-identical to a
+	// build without the exploration hook.
+	chooser Chooser
+	slices  []SliceInfo    // per-dispatch footprints, chooser runs only
+	objIDs  map[any]uint32 // sync-object ids for footprints, first-touch order
+	tieBuf  []event        // reusable tie-candidate scratch
+	sliceT  Time           // event time of the dispatch currently executing
 }
 
 // Dispatches returns the number of events the engine has dispatched so far —
@@ -347,6 +356,12 @@ func (e *Engine) postEvent(p *Proc, t Time, cancel *bool) {
 	if e.rec != nil {
 		e.rec.post(t, cancel != nil)
 	}
+	if e.chooser != nil && len(e.slices) > 0 && t == e.sliceT {
+		// New work posted at the executing slice's own instant: the tie
+		// group changed underfoot, so independence analysis must treat this
+		// slice as dependent with everything at the instant.
+		e.slices[len(e.slices)-1].Joined = true
+	}
 }
 
 // postFrom is post with attribution: waker is the process whose action made
@@ -461,11 +476,20 @@ type DeadlockError struct {
 	// At is the virtual time of the wedge: the horizon when the event queue
 	// drained with processes still parked.
 	At Time
+	// Schedule is the schedule certificate of the interleaving that wedged,
+	// set when the run was driven by a certifying chooser (schedule
+	// exploration); "" otherwise. It makes the deadlock reproducible from
+	// the error message alone.
+	Schedule string
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("simtime: deadlock at %v, %d process(es) parked: %s",
+	s := fmt.Sprintf("simtime: deadlock at %v, %d process(es) parked: %s",
 		d.At, len(d.Parked), strings.Join(d.Parked, "; "))
+	if d.Schedule != "" {
+		s += " [schedule " + d.Schedule + "]"
+	}
+	return s
 }
 
 // PanicError wraps a panic raised inside a simulated process.
@@ -517,6 +541,13 @@ func (e *Engine) Run() error {
 		ev := e.events.pop()
 		if ev.cancel != nil && *ev.cancel {
 			continue // withdrawn timer: its process was woken another way
+		}
+		if e.chooser != nil {
+			if len(e.events) > 0 && e.events[0].t == ev.t {
+				ev = e.chooseTie(ev)
+			}
+			e.slices = append(e.slices, SliceInfo{Proc: ev.p.id})
+			e.sliceT = ev.t
 		}
 		p := ev.p
 		e.dispatched++
@@ -584,7 +615,7 @@ func (e *Engine) deadlock() error {
 	if o, ok := e.obs.(DeadlockObserver); ok {
 		o.DeadlockDetected(info, e.horizon)
 	}
-	return &DeadlockError{Parked: parked, Info: info, At: e.horizon}
+	return &DeadlockError{Parked: parked, Info: info, At: e.horizon, Schedule: e.Certificate()}
 }
 
 // teardown force-exits every live process goroutine so that Run never leaks

@@ -26,6 +26,7 @@ func (c *Counter) LastAt() Time { return c.lastAt }
 // Add increments the counter by n at p's current time and wakes every waiter
 // whose threshold is now met.
 func (c *Counter) Add(p *Proc, n uint64) {
+	p.e.touch(c)
 	c.val += n
 	c.lastAt = p.now
 	rest := c.waiters[:0]
@@ -43,6 +44,7 @@ func (c *Counter) Add(p *Proc, n uint64) {
 // is already there, it returns immediately without yielding: the value was
 // published at or before the caller's current time.
 func (c *Counter) WaitGE(p *Proc, target uint64) {
+	p.e.touch(c)
 	if c.val >= target {
 		return
 	}
@@ -123,6 +125,7 @@ func (b *Barrier) Parties() int { return b.parties }
 // Wait blocks p until all parties of the current epoch have arrived, then
 // resumes everyone at the time of the last arrival.
 func (b *Barrier) Wait(p *Proc) {
+	p.e.touch(b)
 	b.count++
 	b.latest = MaxTime(b.latest, p.now)
 	if b.count == b.parties {
@@ -188,6 +191,7 @@ func (m *Mailbox) Put(p *Proc, item any) { m.PutAt(p, p.now, item) }
 // current time, for "this data lands in the future" patterns such as a NIC
 // delivering a packet whose transfer completes later.
 func (m *Mailbox) PutAt(p *Proc, t Time, item any) {
+	p.e.touch(m)
 	if t < p.now {
 		t = p.now
 	}
@@ -252,6 +256,7 @@ func (m *Mailbox) dropWaiter(p *Proc) {
 // is available, removes it, and returns it. p's clock advances to at least
 // the item's availability time.
 func (m *Mailbox) Get(p *Proc, match func(any) bool) any {
+	p.e.touch(m)
 	for i, it := range m.items {
 		if match == nil || match(it.item) {
 			m.items = append(m.items[:i], m.items[i+1:]...)
@@ -284,6 +289,7 @@ func (m *Mailbox) Get(p *Proc, match func(any) bool) any {
 // the MPI layer's per-operation watchdog timeouts. A deadline at or before
 // p's current time with no queued match fails immediately without yielding.
 func (m *Mailbox) GetDeadline(p *Proc, match func(any) bool, deadline Time) (any, bool) {
+	p.e.touch(m)
 	for i, it := range m.items {
 		if match == nil || match(it.item) {
 			m.items = append(m.items[:i], m.items[i+1:]...)
@@ -312,6 +318,7 @@ func (m *Mailbox) GetDeadline(p *Proc, match func(any) bool, deadline Time) (any
 // returns it without removing it from the queue — the primitive behind
 // MPI_Probe. p's clock advances to at least the item's availability time.
 func (m *Mailbox) Peek(p *Proc, match func(any) bool) any {
+	p.e.touch(m)
 	for _, it := range m.items {
 		if match == nil || match(it.item) {
 			p.AdvanceTo(it.t)
@@ -334,6 +341,7 @@ func (m *Mailbox) Peek(p *Proc, match func(any) bool) any {
 // TryPeek returns the first queued matching item without removing or
 // blocking (subject to the non-blocking-read caveat on Flag.IsSet).
 func (m *Mailbox) TryPeek(p *Proc, match func(any) bool) (any, bool) {
+	p.e.touch(m)
 	for _, it := range m.items {
 		if match == nil || match(it.item) {
 			p.AdvanceTo(it.t)
@@ -347,6 +355,7 @@ func (m *Mailbox) TryPeek(p *Proc, match func(any) bool) (any, bool) {
 // without blocking. It reports false if none is queued (subject to the
 // non-blocking-read caveat documented on Flag.IsSet).
 func (m *Mailbox) TryGet(p *Proc, match func(any) bool) (any, bool) {
+	p.e.touch(m)
 	for i, it := range m.items {
 		if match == nil || match(it.item) {
 			m.items = append(m.items[:i], m.items[i+1:]...)

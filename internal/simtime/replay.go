@@ -53,6 +53,9 @@ func (e *Engine) Record() (*Recording, error) {
 	if e.quiesce != nil {
 		return nil, fmt.Errorf("simtime: Record on an engine with a quiescence handler")
 	}
+	if e.chooser != nil {
+		return nil, fmt.Errorf("simtime: Record on an engine with a chooser (schedule exploration)")
+	}
 	r := &Recording{e: e}
 	e.rec = r
 	return r, nil
